@@ -1,0 +1,228 @@
+//! M1 — Criterion micro-benchmarks: the software packet-processing costs.
+//!
+//! These measure the costs the paper argues must be small for line-rate
+//! operation (Req 2): header parse/emit, the match-action pipeline per
+//! packet, mode-upgrade frame surgery, detector waveform synthesis, and
+//! raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mmt_dataplane::action::Intrinsics;
+use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
+use mmt_dataplane::programs::{self, BorderConfig};
+use mmt_netsim::{Bandwidth, LinkSpec, Simulator, Time};
+use mmt_wire::daq::{DuneSubHeader, SubHeader, TriggerRecord};
+use mmt_wire::mmt::{CoreHeader, ExperimentId, Features, MmtRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+
+fn wan_repr() -> MmtRepr {
+    MmtRepr::data(ExperimentId::new(2, 0))
+        .with_sequence(42)
+        .with_retransmit(Ipv4Address::new(10, 0, 0, 5), 47_000)
+        .with_timeliness(1_000_000, Ipv4Address::new(10, 0, 0, 9))
+        .with_age(1_500, false)
+        .with_flags(Features::ACK_NAK)
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(1));
+
+    let repr = wan_repr();
+    let mut buf = vec![0u8; repr.header_len()];
+    group.bench_function("mmt_emit_mode2", |b| {
+        b.iter(|| repr.emit(std::hint::black_box(&mut buf)).unwrap())
+    });
+    repr.emit(&mut buf).unwrap();
+    group.bench_function("mmt_parse_mode2", |b| {
+        b.iter(|| MmtRepr::parse(std::hint::black_box(&buf)).unwrap())
+    });
+    group.bench_function("mmt_view_age_update", |b| {
+        let mut frame = repr.emit_with_payload(&[0u8; 64]);
+        b.iter(|| {
+            let mut hdr = CoreHeader::new_unchecked(std::hint::black_box(&mut frame[..]));
+            hdr.update_age(100, 1_000_000)
+        })
+    });
+
+    let record = TriggerRecord {
+        run: 1,
+        event: 7,
+        timestamp_ns: 12345,
+        sub: SubHeader::Dune(DuneSubHeader {
+            crate_no: 1,
+            slot: 2,
+            link: 3,
+            first_channel: 0,
+            last_channel: 63,
+        }),
+        payload: vec![0xAB; 12_288],
+    };
+    group.throughput(Throughput::Bytes(record.encoded_len() as u64));
+    group.bench_function("trigger_record_encode_12k", |b| {
+        b.iter(|| record.encode().unwrap())
+    });
+    let encoded = record.encode().unwrap();
+    group.bench_function("trigger_record_decode_12k", |b| {
+        b.iter(|| TriggerRecord::decode(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataplane");
+    group.throughput(Throughput::Elements(1));
+
+    let border_cfg = BorderConfig {
+        daq_port: 0,
+        wan_port: 1,
+        retransmit_source: (Ipv4Address::new(10, 0, 0, 5), 47_000),
+        deadline_budget_ns: 50_000_000,
+        notify_addr: Ipv4Address::new(10, 0, 0, 1),
+        priority_class: None,
+    };
+    let sensor_frame = build_eth_mmt_frame(
+        EthernetAddress([2, 0, 0, 0, 0, 1]),
+        EthernetAddress([2, 0, 0, 0, 0, 2]),
+        &MmtRepr::data(ExperimentId::new(2, 0)),
+        &[0u8; 8192],
+    );
+    group.bench_function("border_upgrade_8k_frame", |b| {
+        let mut pipeline = programs::daq_to_wan_border(border_cfg);
+        b.iter_batched(
+            || ParsedPacket::parse(sensor_frame.clone(), 0),
+            |mut pkt| {
+                pipeline.process(&mut pkt, Intrinsics { now_ns: 100, created_at_ns: 0 });
+                pkt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let wan_frame = build_eth_mmt_frame(
+        EthernetAddress([2, 0, 0, 0, 0, 1]),
+        EthernetAddress([2, 0, 0, 0, 0, 2]),
+        &wan_repr(),
+        &[0u8; 8192],
+    );
+    group.bench_function("transit_age_update_8k_frame", |b| {
+        let mut pipeline = programs::wan_transit(0, 1, 40_000_000);
+        b.iter_batched(
+            || ParsedPacket::parse(wan_frame.clone(), 0),
+            |mut pkt| {
+                pipeline.process(&mut pkt, Intrinsics { now_ns: 100, created_at_ns: 0 });
+                pkt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("parse_classify_only", |b| {
+        b.iter(|| ParsedPacket::parse(std::hint::black_box(wan_frame.clone()), 0))
+    });
+    group.finish();
+}
+
+fn bench_daq(c: &mut Criterion) {
+    use mmt_daq::lartpc::{pack_samples, LArTpc, LArTpcConfig};
+    let mut group = c.benchmark_group("daq");
+
+    let mut detector = LArTpc::new(LArTpcConfig::iceberg(), 1);
+    group.throughput(Throughput::Elements(2048));
+    group.bench_function("waveform_2048_samples", |b| {
+        b.iter(|| detector.waveform(0, 2048, &[]))
+    });
+    let wf = detector.waveform(0, 2048, &[]);
+    group.throughput(Throughput::Bytes(2048 * 2));
+    group.bench_function("pack_2048_samples", |b| {
+        b.iter(|| pack_samples(std::hint::black_box(&wf)))
+    });
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    use mmt_netsim::{Context, Node, Packet, PortId};
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    struct Burst(usize);
+    impl Node for Burst {
+        fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.0 {
+                ctx.send(0, Packet::new(vec![0u8; 1500]));
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    let mut group = c.benchmark_group("netsim");
+    const N: usize = 10_000;
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("sim_10k_packets_one_link", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            let src = sim.add_node("src", Box::new(Burst(N)));
+            let dst = sim.add_node("dst", Box::new(Sink));
+            sim.add_oneway(
+                src,
+                0,
+                dst,
+                0,
+                LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(1)),
+            );
+            sim.run();
+            sim.now()
+        })
+    });
+    group.finish();
+}
+
+fn bench_seqtrack(c: &mut Criterion) {
+    use mmt_core::SeqTracker;
+    let mut group = c.benchmark_group("seqtrack");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("record_10k_in_order", |b| {
+        b.iter(|| {
+            let mut t = SeqTracker::new();
+            for s in 0..10_000u64 {
+                t.record(s);
+            }
+            t.received_count()
+        })
+    });
+    group.bench_function("record_10k_with_gaps", |b| {
+        b.iter(|| {
+            let mut t = SeqTracker::new();
+            for s in (0..20_000u64).step_by(2) {
+                t.record(s);
+            }
+            t.missing_ranges(32).len()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_wire, bench_dataplane, bench_daq, bench_netsim, bench_seqtrack
+}
+criterion_main!(benches);

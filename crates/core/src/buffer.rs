@@ -1,0 +1,431 @@
+//! The in-network retransmission buffer — the DTN 1 role of the pilot.
+//!
+//! "This buffering reduces the flow-completion time since a
+//! re-transmission would originate from a closer source, rather than from
+//! ①" (§5.1). The buffer node:
+//!
+//! 1. runs the DAQ→WAN border pipeline (mode 1 → mode 2 upgrade: sequence
+//!    stamping, retransmit-source naming, age/timeliness activation);
+//! 2. keeps a bounded ring of the upgraded packets, keyed by sequence
+//!    number;
+//! 3. answers NAKs from downstream by re-sending the stored packets —
+//!    "recovering lost packets involves requesting re-transmission from
+//!    DTN 1" (§5.4);
+//! 4. optionally relays a backpressure credit signal upstream to the
+//!    sender (§5.1), realizing hop-by-hop flow control without TCP-style
+//!    congestion control (the §5.3 hypothesis exercised by experiment E7).
+
+use mmt_dataplane::action::Intrinsics;
+use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
+use mmt_dataplane::pipeline::Pipeline;
+use mmt_dataplane::programs::{self, BorderConfig};
+use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
+use mmt_wire::mmt::{BackpressureRepr, ControlRepr, ExperimentId, MmtRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+use std::collections::{HashMap, VecDeque};
+
+const TOKEN_CREDIT: TimerToken = 0x42;
+
+/// Port facing the DAQ network (sensor side).
+pub const PORT_DAQ: PortId = 0;
+/// Port facing the WAN.
+pub const PORT_WAN: PortId = 1;
+
+/// Backpressure credit generation settings.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditConfig {
+    /// Messages granted per interval.
+    pub grant: u32,
+    /// Grant interval.
+    pub interval: Time,
+}
+
+/// Counters exposed after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetransmitBufferStats {
+    /// Data packets upgraded and forwarded to the WAN.
+    pub forwarded: u64,
+    /// Packets currently retained (snapshot at read time).
+    pub stored: u64,
+    /// Packets evicted to honour the capacity bound.
+    pub evicted: u64,
+    /// NAK messages served.
+    pub naks_received: u64,
+    /// Packets re-sent in response to NAKs.
+    pub retransmitted: u64,
+    /// NAKed sequences no longer in the buffer (evicted before recovery).
+    pub nak_misses: u64,
+    /// Backpressure grants sent upstream.
+    pub credits_sent: u64,
+}
+
+/// The buffer node.
+pub struct RetransmitBuffer {
+    pipeline: Pipeline,
+    experiment: ExperimentId,
+    capacity_bytes: usize,
+    store_bytes: usize,
+    /// Ring of stored packets, oldest first.
+    ring: VecDeque<u64>,
+    store: HashMap<u64, Packet>,
+    credit: Option<CreditConfig>,
+    /// Counters.
+    pub stats: RetransmitBufferStats,
+}
+
+impl RetransmitBuffer {
+    /// Create the DTN 1 node: a border pipeline configured from `border`,
+    /// a `capacity_bytes` retransmission store, and optional credit
+    /// generation.
+    pub fn new(
+        experiment: ExperimentId,
+        border: BorderConfig,
+        capacity_bytes: usize,
+        credit: Option<CreditConfig>,
+    ) -> RetransmitBuffer {
+        assert_eq!(border.daq_port, PORT_DAQ);
+        assert_eq!(border.wan_port, PORT_WAN);
+        RetransmitBuffer {
+            pipeline: programs::daq_to_wan_border(border),
+            experiment,
+            capacity_bytes,
+            store_bytes: 0,
+            ring: VecDeque::new(),
+            store: HashMap::new(),
+            credit,
+            stats: RetransmitBufferStats::default(),
+        }
+    }
+
+    /// Convenience: a buffer whose border names this node as the
+    /// retransmission source.
+    pub fn with_defaults(
+        experiment: ExperimentId,
+        own_addr: Ipv4Address,
+        deadline_budget_ns: u64,
+        capacity_bytes: usize,
+    ) -> RetransmitBuffer {
+        RetransmitBuffer::new(
+            experiment,
+            BorderConfig {
+                daq_port: PORT_DAQ,
+                wan_port: PORT_WAN,
+                retransmit_source: (own_addr, 47_000),
+                deadline_budget_ns,
+                notify_addr: own_addr,
+                priority_class: None,
+            },
+            capacity_bytes,
+            None,
+        )
+    }
+
+    /// Number of packets currently retained.
+    pub fn stored_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn retain(&mut self, seq: u64, pkt: Packet) {
+        let len = pkt.len();
+        while self.store_bytes + len > self.capacity_bytes {
+            let Some(old) = self.ring.pop_front() else { break };
+            if let Some(old_pkt) = self.store.remove(&old) {
+                self.store_bytes -= old_pkt.len();
+                self.stats.evicted += 1;
+            }
+        }
+        if len <= self.capacity_bytes {
+            self.store_bytes += len;
+            self.ring.push_back(seq);
+            self.store.insert(seq, pkt);
+        }
+        self.stats.stored = self.store.len() as u64;
+    }
+
+    fn serve_nak(&mut self, ctx: &mut Context<'_>, nak: &mmt_wire::mmt::NakRepr, from_port: PortId) {
+        self.stats.naks_received += 1;
+        for range in &nak.ranges {
+            for seq in range.first..=range.last {
+                match self.store.get(&seq) {
+                    Some(pkt) => {
+                        ctx.send(from_port, pkt.clone());
+                        self.stats.retransmitted += 1;
+                    }
+                    None => self.stats.nak_misses += 1,
+                }
+            }
+        }
+    }
+
+    fn send_credit(&mut self, ctx: &mut Context<'_>, grant: u32) {
+        let ctrl = ControlRepr::Backpressure(BackpressureRepr {
+            level: 1,
+            window: grant,
+            origin: Ipv4Address::UNSPECIFIED,
+        })
+        .emit_packet(self.experiment);
+        let repr = MmtRepr::parse(&ctrl).expect("just built");
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([0x02, 0, 0, 0, 0, 0x10]),
+            EthernetAddress::BROADCAST,
+            &repr,
+            &ctrl[repr.header_len()..],
+        );
+        ctx.send(PORT_DAQ, Packet::new(frame));
+        self.stats.credits_sent += 1;
+    }
+}
+
+impl Node for RetransmitBuffer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some(credit) = self.credit {
+            self.send_credit(ctx, credit.grant);
+            ctx.set_timer(credit.interval, TOKEN_CREDIT);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+        let meta = pkt.meta;
+        let parsed0 = ParsedPacket::parse(pkt.bytes, port);
+        let Some(off) = parsed0.layers.mmt_offset() else {
+            return;
+        };
+        // NAKs addressed to this buffer are served locally, not piped.
+        if let Ok((_, ControlRepr::Nak(nak))) = ControlRepr::parse_packet(&parsed0.bytes[off..]) {
+            self.serve_nak(ctx, &nak, port);
+            return;
+        }
+        // Everything else runs the border pipeline.
+        let mut parsed = parsed0;
+        let intr = Intrinsics {
+            now_ns: ctx.now().as_nanos(),
+            created_at_ns: meta.created_at.as_nanos(),
+        };
+        let disp = self.pipeline.process(&mut parsed, intr);
+        // Forward + retain upgraded data packets.
+        if let Some(egress) = disp.egress {
+            let out = Packet {
+                bytes: parsed.bytes,
+                meta,
+            };
+            if egress == PORT_WAN {
+                if let Some(seq) = ParsedPacket::parse(out.bytes.clone(), port)
+                    .mmt_repr()
+                    .and_then(|r| r.sequence())
+                {
+                    self.retain(seq, out.clone());
+                }
+                self.stats.forwarded += 1;
+            }
+            ctx.send(egress, out);
+        }
+        for (eport, bytes) in disp.emitted {
+            ctx.send(eport, Packet::new(bytes));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if token == TOKEN_CREDIT {
+            if let Some(credit) = self.credit {
+                self.send_credit(ctx, credit.grant);
+                ctx.set_timer(credit.interval, TOKEN_CREDIT);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_netsim::{Bandwidth, LinkSpec, Simulator};
+    use mmt_wire::mmt::{Features, NakRange, NakRepr};
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _: PortId, pkt: Packet) {
+            ctx.deliver_local(pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn exp() -> ExperimentId {
+        ExperimentId::new(2, 0)
+    }
+
+    fn sensor_frame(index: u64) -> Packet {
+        let mut payload = vec![0u8; 256];
+        payload[..8].copy_from_slice(&index.to_be_bytes());
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+            &MmtRepr::data(exp()),
+            &payload,
+        );
+        Packet::new(frame)
+    }
+
+    fn nak_frame(ranges: Vec<NakRange>) -> Packet {
+        let ctrl = ControlRepr::Nak(NakRepr {
+            requester: Ipv4Address::new(10, 0, 0, 8),
+            requester_port: 47_000,
+            ranges,
+        })
+        .emit_packet(exp());
+        let repr = MmtRepr::parse(&ctrl).unwrap();
+        Packet::new(build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 8]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+            &repr,
+            &ctrl[repr.header_len()..],
+        ))
+    }
+
+    fn setup(capacity: usize) -> (Simulator, mmt_netsim::NodeId, mmt_netsim::NodeId) {
+        let mut sim = Simulator::new(1);
+        let buf = sim.add_node(
+            "dtn1",
+            Box::new(RetransmitBuffer::with_defaults(
+                exp(),
+                Ipv4Address::new(10, 0, 0, 5),
+                1_000_000_000,
+                capacity,
+            )),
+        );
+        let wan = sim.add_node("wan", Box::new(Sink));
+        sim.add_oneway(buf, PORT_WAN, wan, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        (sim, buf, wan)
+    }
+
+    #[test]
+    fn upgrades_and_stores_data_packets() {
+        let (mut sim, buf, wan) = setup(1 << 20);
+        for i in 0..5 {
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i as u64));
+        }
+        sim.run();
+        let got = sim.local_deliveries(wan);
+        assert_eq!(got.len(), 5);
+        for (i, (_, pkt)) in got.iter().enumerate() {
+            let repr = ParsedPacket::parse(pkt.bytes.clone(), 0).mmt_repr().unwrap();
+            assert_eq!(repr.sequence(), Some(i as u64));
+            assert!(repr.features.contains(Features::RETRANSMIT));
+            assert_eq!(
+                repr.retransmit().unwrap().source,
+                Ipv4Address::new(10, 0, 0, 5)
+            );
+        }
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert_eq!(b.stored_count(), 5);
+        assert_eq!(b.stats.forwarded, 5);
+    }
+
+    #[test]
+    fn serves_naks_from_store() {
+        let (mut sim, buf, wan) = setup(1 << 20);
+        for i in 0..10 {
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i as u64));
+        }
+        sim.run();
+        let before = sim.local_deliveries(wan).len();
+        // NAK seqs 2..=4 and 7 from the WAN side.
+        sim.inject(
+            sim.now(),
+            buf,
+            PORT_WAN,
+            nak_frame(vec![
+                NakRange { first: 2, last: 4 },
+                NakRange { first: 7, last: 7 },
+            ]),
+        );
+        sim.run();
+        let got = sim.local_deliveries(wan);
+        assert_eq!(got.len(), before + 4);
+        // Retransmitted copies are the stored upgraded frames with the
+        // right sequence numbers.
+        let reseqs: Vec<u64> = got[before..]
+            .iter()
+            .map(|(_, p)| {
+                ParsedPacket::parse(p.bytes.clone(), 0)
+                    .mmt_repr()
+                    .unwrap()
+                    .sequence()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(reseqs, vec![2, 3, 4, 7]);
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert_eq!(b.stats.naks_received, 1);
+        assert_eq!(b.stats.retransmitted, 4);
+        assert_eq!(b.stats.nak_misses, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        // Each upgraded frame is ~300+ bytes; capacity for ~3.
+        let (mut sim, buf, _) = setup(1_000);
+        for i in 0..10 {
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i as u64));
+        }
+        sim.run();
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert!(b.stored_count() <= 3, "{}", b.stored_count());
+        assert!(b.stats.evicted >= 7);
+        // NAK for an evicted seq is a miss.
+        sim.inject(sim.now(), buf, PORT_WAN, nak_frame(vec![NakRange { first: 0, last: 0 }]));
+        sim.run();
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert_eq!(b.stats.nak_misses, 1);
+    }
+
+    #[test]
+    fn credit_generation_is_periodic() {
+        let mut sim = Simulator::new(1);
+        let buf = sim.add_node(
+            "dtn1",
+            Box::new(RetransmitBuffer::new(
+                exp(),
+                BorderConfig {
+                    daq_port: PORT_DAQ,
+                    wan_port: PORT_WAN,
+                    retransmit_source: (Ipv4Address::new(10, 0, 0, 5), 47_000),
+                    deadline_budget_ns: 1_000_000,
+                    notify_addr: Ipv4Address::new(10, 0, 0, 5),
+                    priority_class: None,
+                },
+                1 << 20,
+                Some(CreditConfig {
+                    grant: 16,
+                    interval: Time::from_millis(1),
+                }),
+            )),
+        );
+        let sensor_side = sim.add_node("sensor", Box::new(Sink));
+        sim.add_oneway(buf, PORT_DAQ, sensor_side, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        // Run past t = 5 ms so the grant emitted at 5 ms finishes its
+        // (nanoseconds of) link serialization and arrives.
+        sim.run_until(Time::from_micros(5_500));
+        let got = sim.local_deliveries(sensor_side);
+        // Grants at t=0,1,2,3,4,5 ms.
+        assert_eq!(got.len(), 6, "{}", got.len());
+        let parsed = ParsedPacket::parse(got[0].1.bytes.clone(), 0);
+        let off = parsed.layers.mmt_offset().unwrap();
+        let (_, ctrl) = ControlRepr::parse_packet(&parsed.bytes[off..]).unwrap();
+        match ctrl {
+            ControlRepr::Backpressure(bp) => assert_eq!(bp.window, 16),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+    }
+}

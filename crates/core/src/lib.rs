@@ -1,0 +1,46 @@
+//! # `mmt-core` — the multi-modal transport protocol
+//!
+//! This crate is the paper's contribution (§5): a transport protocol for
+//! DAQ elephant flows whose feature set is reconfigured *by the network*
+//! as the flow crosses segments — "a pragmatic layering violation". The
+//! wire format lives in `mmt-wire`; the in-network header surgery lives in
+//! `mmt-dataplane`; this crate provides the protocol's *behaviour*:
+//!
+//! * [`mode`] — named modes (feature set + parameters) and the canonical
+//!   pilot-study mode sequence (mode 0/1 unreliable in the DAQ network,
+//!   mode 2 age-sensitive + recoverable-loss on the WAN, mode 3 timeliness
+//!   check at the destination, §5.4).
+//! * [`sender`] — the source endpoint: emits discrete MMT datagrams
+//!   (Req 7) with no retransmission buffering at the sensor (§4's point
+//!   that sources do not buffer), honours backpressure credits (§5.1).
+//! * [`buffer`] — the in-network retransmission buffer (the DTN 1 role):
+//!   stores the upgraded stream and answers NAKs, so recovery happens
+//!   from "a 'recent' (lower RTT) retransmission buffer ... to avoid
+//!   retransmission from the source" (§1).
+//! * [`receiver`] — the consuming endpoint (the DTN 2 role): detects loss
+//!   from sequence gaps, NAKs the retransmission source named *in the
+//!   packet header*, delivers datagrams immediately (no head-of-line
+//!   blocking), and accounts ages/deadlines.
+//! * [`seqtrack`] — sequence-space bookkeeping (gap detection, dedup).
+//! * [`resourcemap`] — the §6 future-work sketch: a shared map of
+//!   in-network programmable resources and a mode planner that assigns
+//!   per-segment modes from it, plus a gossip-style map exchange.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod mode;
+pub mod receiver;
+pub mod resourcemap;
+pub mod sender;
+pub mod seqtrack;
+pub mod transit;
+
+pub use buffer::{RetransmitBuffer, RetransmitBufferStats};
+pub use mode::{Mode, ModeParams};
+pub use receiver::{MmtReceiver, ReceivedMessage, ReceiverConfig, ReceiverStats};
+pub use resourcemap::{Capability, ModePlanner, ResourceMap};
+pub use sender::{Framing, MmtSender, SenderConfig, SenderStats};
+pub use seqtrack::SeqTracker;
+pub use transit::{TransitBuffer, TransitBufferStats};

@@ -1,0 +1,163 @@
+//! Transport modes.
+//!
+//! "The protocol operates in a mode, in which a combination of features
+//! are activated and configured — features such as retransmission, pacing,
+//! and timeliness; and configurations such as where to retransmit from,
+//! what pace to set, and the delivery deadline" (§5).
+
+use mmt_wire::mmt::Features;
+use mmt_wire::Ipv4Address;
+
+/// Configuration values accompanying a mode's features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModeParams {
+    /// Where to request retransmission from (RETRANSMIT).
+    pub retransmit_source: Option<(Ipv4Address, u16)>,
+    /// Delivery budget from creation, ns, and the notify address
+    /// (TIMELINESS).
+    pub deadline_budget_ns: Option<(u64, Ipv4Address)>,
+    /// Maximum age before the aged flag is set, ns (AGE).
+    pub max_age_ns: Option<u64>,
+    /// Pacing rate hint, Mbit/s (PACING).
+    pub pacing_mbps: Option<u32>,
+    /// Priority class (PRIORITY).
+    pub priority_class: Option<u8>,
+    /// Initial backpressure window, messages (BACKPRESSURE).
+    pub backpressure_window: Option<u32>,
+}
+
+/// A named transport mode: the (config id, features, parameters) triple of
+/// §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Active features.
+    pub features: Features,
+    /// Their configuration values.
+    pub params: ModeParams,
+}
+
+impl Mode {
+    /// Mode 0: pure experiment identification — what sensors emit (§5.3:
+    /// "DAQ data starts out in mode 0 at the sensor").
+    pub fn mode0_identification() -> Mode {
+        Mode {
+            name: "mode0-identification",
+            features: Features::EMPTY,
+            params: ModeParams::default(),
+        }
+    }
+
+    /// Pilot mode 1: unreliable transport, sensor → DTN 1 (§5.4). Same
+    /// wire format as mode 0; named separately because the pilot counts it
+    /// as a distinct segment mode.
+    pub fn mode1_unreliable() -> Mode {
+        Mode {
+            name: "mode1-unreliable",
+            features: Features::EMPTY,
+            params: ModeParams::default(),
+        }
+    }
+
+    /// Pilot mode 2: age-sensitive, recoverable-loss transport between
+    /// DTN 1 and DTN 2 (§5.4): sequence numbers, a named retransmission
+    /// buffer, NAK-based recovery, age tracking, and a delivery deadline.
+    pub fn mode2_wan(
+        retransmit_source: (Ipv4Address, u16),
+        deadline_budget_ns: u64,
+        notify: Ipv4Address,
+        max_age_ns: u64,
+    ) -> Mode {
+        Mode {
+            name: "mode2-wan",
+            features: Features::SEQUENCE
+                | Features::RETRANSMIT
+                | Features::TIMELINESS
+                | Features::AGE
+                | Features::ACK_NAK,
+            params: ModeParams {
+                retransmit_source: Some(retransmit_source),
+                deadline_budget_ns: Some((deadline_budget_ns, notify)),
+                max_age_ns: Some(max_age_ns),
+                ..ModeParams::default()
+            },
+        }
+    }
+
+    /// Pilot mode 3: timeliness check at the destination (§5.4) — the
+    /// same features as mode 2; the destination element additionally runs
+    /// the deadline check.
+    pub fn mode3_delivery(
+        retransmit_source: (Ipv4Address, u16),
+        deadline_budget_ns: u64,
+        notify: Ipv4Address,
+        max_age_ns: u64,
+    ) -> Mode {
+        Mode {
+            name: "mode3-delivery",
+            ..Mode::mode2_wan(retransmit_source, deadline_budget_ns, notify, max_age_ns)
+        }
+    }
+
+    /// The upgrade descriptor handing this mode to a border element.
+    pub fn as_upgrade(&self, seq_register: Option<usize>) -> mmt_dataplane::action::ModeUpgrade {
+        mmt_dataplane::action::ModeUpgrade {
+            sequence_from_register: if self.features.contains(Features::SEQUENCE) {
+                seq_register
+            } else {
+                None
+            },
+            retransmit_source: self.params.retransmit_source,
+            deadline_budget_ns: self.params.deadline_budget_ns,
+            init_age: self.features.contains(Features::AGE),
+            set_flags: self.features
+                & (Features::ACK_NAK | Features::DUPLICATED | Features::ENCRYPTED),
+            priority_class: self.params.priority_class,
+            backpressure_window: self.params.backpressure_window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pilot_modes_have_expected_features() {
+        assert!(Mode::mode0_identification().features.is_empty());
+        assert!(Mode::mode1_unreliable().features.is_empty());
+        let src = (Ipv4Address::new(10, 0, 0, 5), 47_000);
+        let m2 = Mode::mode2_wan(src, 1_000_000, Ipv4Address::new(10, 0, 0, 9), 500_000);
+        for f in [
+            Features::SEQUENCE,
+            Features::RETRANSMIT,
+            Features::TIMELINESS,
+            Features::AGE,
+            Features::ACK_NAK,
+        ] {
+            assert!(m2.features.contains(f));
+        }
+        assert!(!m2.features.contains(Features::PACING));
+        let m3 = Mode::mode3_delivery(src, 1, Ipv4Address::UNSPECIFIED, 1);
+        assert_eq!(m3.features, m2.features);
+        assert_eq!(m3.name, "mode3-delivery");
+    }
+
+    #[test]
+    fn upgrade_descriptor_reflects_mode() {
+        let src = (Ipv4Address::new(10, 0, 0, 5), 47_000);
+        let m2 = Mode::mode2_wan(src, 2_000, Ipv4Address::new(10, 0, 0, 9), 1_000);
+        let up = m2.as_upgrade(Some(0));
+        assert_eq!(up.sequence_from_register, Some(0));
+        assert_eq!(up.retransmit_source, Some(src));
+        assert_eq!(up.deadline_budget_ns, Some((2_000, Ipv4Address::new(10, 0, 0, 9))));
+        assert!(up.init_age);
+        assert!(up.set_flags.contains(Features::ACK_NAK));
+        // Mode 0 upgrades to nothing.
+        let up0 = Mode::mode0_identification().as_upgrade(Some(0));
+        assert_eq!(up0.sequence_from_register, None);
+        assert!(!up0.init_age);
+        assert!(up0.set_flags.is_empty());
+    }
+}

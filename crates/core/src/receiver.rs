@@ -1,0 +1,541 @@
+//! The MMT consuming endpoint — the DTN 2 role of the pilot.
+//!
+//! "DTN 2 then uses this information to detect loss, and to prepare a NAK
+//! to restore the missing packets" (§5.4). Datagrams are delivered to the
+//! application the moment they arrive — MMT is message-based (Req 7), so a
+//! gap never blocks later messages (the head-of-line contrast with TCP in
+//! §4.1).
+
+use crate::seqtrack::SeqTracker;
+use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
+use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
+use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr, NakRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+use std::collections::HashMap;
+
+const TOKEN_NAK: TimerToken = 0x17;
+
+/// Receiver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverConfig {
+    /// The experiment this endpoint consumes.
+    pub experiment: ExperimentId,
+    /// This endpoint's address (stamped in NAKs as the requester).
+    pub own_addr: Ipv4Address,
+    /// Delay between detecting a gap and sending the first NAK (allows
+    /// benign reordering to settle).
+    pub reorder_delay: Time,
+    /// Interval between NAK retries for unrecovered gaps.
+    pub nak_interval: Time,
+    /// Give up on a gap after this long and count it lost.
+    pub give_up_after: Time,
+    /// Maximum ranges per NAK message.
+    pub max_ranges_per_nak: usize,
+    /// Expected message count (None = open-ended stream).
+    pub expect_messages: Option<u64>,
+}
+
+impl ReceiverConfig {
+    /// Defaults suited to a 10–100 ms WAN.
+    pub fn wan_defaults(experiment: ExperimentId, own_addr: Ipv4Address) -> ReceiverConfig {
+        ReceiverConfig {
+            experiment,
+            own_addr,
+            reorder_delay: Time::from_micros(200),
+            nak_interval: Time::from_millis(30),
+            give_up_after: Time::from_secs(2),
+            max_ranges_per_nak: 32,
+            expect_messages: None,
+        }
+    }
+}
+
+/// One delivered message's record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceivedMessage {
+    /// Application message index (from the payload prefix).
+    pub msg_index: u64,
+    /// Network sequence number, if the stream was sequenced.
+    pub seq: Option<u64>,
+    /// Source creation time.
+    pub created_at: Time,
+    /// Arrival (= delivery) time — MMT delivers immediately.
+    pub arrived_at: Time,
+    /// In-network age carried by the header, if tracked.
+    pub age_ns: Option<u64>,
+    /// Whether the aged flag was set.
+    pub aged: bool,
+    /// Whether this was an in-network duplicate copy.
+    pub duplicated: bool,
+    /// Whether this message arrived via NAK recovery.
+    pub recovered: bool,
+}
+
+/// Counters exposed after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Messages delivered (deduplicated).
+    pub delivered: u64,
+    /// Duplicate packets suppressed.
+    pub duplicates: u64,
+    /// NAK messages sent.
+    pub naks_sent: u64,
+    /// Sequences recovered via NAK.
+    pub recovered: u64,
+    /// Sequences abandoned as lost.
+    pub lost: u64,
+    /// Deadline-exceeded notifications received (when this node is the
+    /// notify target).
+    pub deadline_notifications: u64,
+    /// Packets delivered with the aged flag set.
+    pub aged_deliveries: u64,
+    /// When the expected message count was reached.
+    pub completed_at: Option<Time>,
+}
+
+/// The consuming endpoint node (port 0 faces the network).
+pub struct MmtReceiver {
+    config: ReceiverConfig,
+    tracker: SeqTracker,
+    /// First-detected time per gap start (for give-up accounting).
+    gap_first_seen: HashMap<u64, Time>,
+    /// Seqs we have NAKed at least once (to label recoveries).
+    naked: std::collections::HashSet<u64>,
+    /// Retransmit source seen on the most recent sequenced packet.
+    retransmit_source: Option<(Ipv4Address, u16)>,
+    /// When the most recent sequenced packet arrived.
+    last_arrival: Time,
+    nak_timer_armed: bool,
+    /// Delivered messages, in arrival order.
+    log: Vec<ReceivedMessage>,
+    /// Distinct message indices delivered.
+    distinct: std::collections::HashSet<u64>,
+    /// Counters.
+    pub stats: ReceiverStats,
+}
+
+impl MmtReceiver {
+    /// Create a receiver.
+    pub fn new(config: ReceiverConfig) -> MmtReceiver {
+        MmtReceiver {
+            config,
+            tracker: SeqTracker::new(),
+            gap_first_seen: HashMap::new(),
+            naked: std::collections::HashSet::new(),
+            retransmit_source: None,
+            last_arrival: Time::ZERO,
+            nak_timer_armed: false,
+            log: Vec::new(),
+            distinct: std::collections::HashSet::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// The delivery log, in arrival order.
+    pub fn log(&self) -> &[ReceivedMessage] {
+        &self.log
+    }
+
+    /// Whether all expected messages have been delivered.
+    pub fn is_complete(&self) -> bool {
+        self.stats.completed_at.is_some()
+    }
+
+    fn arm_nak_timer(&mut self, ctx: &mut Context<'_>, delay: Time) {
+        if !self.nak_timer_armed {
+            self.nak_timer_armed = true;
+            ctx.set_timer(delay, TOKEN_NAK);
+        }
+    }
+
+    /// Missing ranges: gaps below the highest received sequence, plus —
+    /// when the expected message count is known — the invisible *tail*
+    /// (sequences after the highest received). Border elements assign
+    /// consecutive sequence numbers from 0, so the expected count bounds
+    /// the sequence space exactly.
+    /// The tail is only suspicious once the stream has gone quiet — during
+    /// active streaming the "missing" tail is simply data not yet sent.
+    fn outstanding_ranges(&self, cap: usize, now: Time) -> Vec<mmt_wire::mmt::NakRange> {
+        let mut missing = self.tracker.missing_ranges(cap);
+        let quiet = now.saturating_sub(self.last_arrival) >= self.config.nak_interval;
+        if let Some(expect) = self.config.expect_messages {
+            // Tail guard requires a sequenced stream (something arrived)
+            // and silence long enough to rule out in-flight data.
+            if quiet && self.tracker.received_count() > 0 && missing.len() < cap {
+                let next = self.tracker.highest().map_or(0, |h| h + 1);
+                if next < expect {
+                    missing.push(mmt_wire::mmt::NakRange {
+                        first: next,
+                        last: expect - 1,
+                    });
+                }
+            }
+        }
+        missing
+    }
+
+    fn send_nak(&mut self, ctx: &mut Context<'_>) {
+        let missing = self.outstanding_ranges(self.config.max_ranges_per_nak, ctx.now());
+        if missing.is_empty() {
+            return;
+        }
+        let Some((_, port)) = self.retransmit_source else {
+            return;
+        };
+        for r in &missing {
+            for s in r.first..=r.last {
+                self.naked.insert(s);
+            }
+        }
+        let nak = NakRepr {
+            requester: self.config.own_addr,
+            requester_port: port,
+            ranges: missing,
+        };
+        let ctrl = ControlRepr::Nak(nak).emit_packet(self.config.experiment);
+        let repr = MmtRepr::parse(&ctrl).expect("just built");
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([0x02, 0, 0, 0, 0, 0x20]),
+            EthernetAddress::BROADCAST,
+            &repr,
+            &ctrl[repr.header_len()..],
+        );
+        ctx.send(0, Packet::new(frame));
+        self.stats.naks_sent += 1;
+    }
+
+    /// Abandon gaps older than the give-up horizon; returns whether any
+    /// gaps remain outstanding.
+    fn age_out_gaps(&mut self, now: Time) -> bool {
+        let missing = self.outstanding_ranges(usize::MAX, now);
+        let mut outstanding = false;
+        for r in missing {
+            let first_seen = *self.gap_first_seen.entry(r.first).or_insert(now);
+            if now.saturating_sub(first_seen) >= self.config.give_up_after {
+                for s in r.first..=r.last {
+                    self.tracker.record(s); // pseudo-fill: stop NAKing
+                    self.stats.lost += 1;
+                }
+                self.gap_first_seen.remove(&r.first);
+            } else {
+                outstanding = true;
+            }
+        }
+        outstanding
+    }
+
+    fn deliver(&mut self, msg: ReceivedMessage, now: Time) {
+        if msg.aged {
+            self.stats.aged_deliveries += 1;
+        }
+        self.distinct.insert(msg.msg_index);
+        self.log.push(msg);
+        self.stats.delivered += 1;
+        if let Some(expect) = self.config.expect_messages {
+            if self.distinct.len() as u64 >= expect && self.stats.completed_at.is_none() {
+                self.stats.completed_at = Some(now);
+            }
+        }
+    }
+}
+
+impl Node for MmtReceiver {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+        let now = ctx.now();
+        let meta = pkt.meta;
+        let parsed = ParsedPacket::parse(pkt.bytes, 0);
+        let Some(off) = parsed.layers.mmt_offset() else {
+            return;
+        };
+        // Control messages: count deadline notifications.
+        if let Ok((_, ctrl)) = ControlRepr::parse_packet(&parsed.bytes[off..]) {
+            if matches!(ctrl, ControlRepr::DeadlineExceeded(_)) {
+                self.stats.deadline_notifications += 1;
+            }
+            return;
+        }
+        let Some(repr) = parsed.mmt_repr() else {
+            return;
+        };
+        if repr.experiment.experiment() != self.config.experiment.experiment() {
+            return;
+        }
+        // Sequence bookkeeping.
+        let seq = repr.sequence();
+        let mut recovered = false;
+        if let Some(s) = seq {
+            self.last_arrival = now;
+            if let Some(r) = repr.retransmit() {
+                self.retransmit_source = Some((r.source, r.port));
+            }
+            if !self.tracker.record(s) {
+                self.stats.duplicates += 1;
+                return;
+            }
+            if self.naked.remove(&s) {
+                recovered = true;
+                self.stats.recovered += 1;
+            }
+            // Gap filled? Clean up its first-seen entry lazily (handled in
+            // age_out_gaps). New gaps — or a known stream length with
+            // messages still outstanding (tail-loss guard) — arm the
+            // reorder-delay NAK timer.
+            let tail_pending = self
+                .config
+                .expect_messages
+                .is_some_and(|expect| self.tracker.received_count() < expect);
+            if self.tracker.gap_count() > 0 || tail_pending {
+                self.arm_nak_timer(ctx, self.config.reorder_delay);
+            }
+        }
+        // Extract the application message index from the payload prefix.
+        let payload = &parsed.bytes[off + repr.header_len()..];
+        if payload.len() < 8 {
+            return;
+        }
+        let msg_index = u64::from_be_bytes(payload[..8].try_into().expect("checked"));
+        let msg = ReceivedMessage {
+            msg_index,
+            seq,
+            created_at: meta.created_at,
+            arrived_at: now,
+            age_ns: repr.age().map(|a| a.age_ns),
+            aged: repr.age().is_some_and(|a| a.aged),
+            duplicated: repr.features.contains(mmt_wire::mmt::Features::DUPLICATED),
+            recovered,
+        };
+        self.deliver(msg, now);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if token != TOKEN_NAK {
+            return;
+        }
+        self.nak_timer_armed = false;
+        let now = ctx.now();
+        let outstanding = self.age_out_gaps(now);
+        if outstanding {
+            self.send_nak(ctx);
+        }
+        // Stay armed while anything is (or may become) outstanding: gaps
+        // under recovery, or a pending tail waiting out the quiet period.
+        let tail_pending = self
+            .config
+            .expect_messages
+            .is_some_and(|expect| self.tracker.received_count() > 0
+                && self.tracker.received_count() < expect);
+        if outstanding || tail_pending {
+            self.arm_nak_timer(ctx, self.config.nak_interval);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_netsim::{Bandwidth, LinkSpec, NodeId, Simulator};
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _: PortId, pkt: Packet) {
+            ctx.deliver_local(pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn exp() -> ExperimentId {
+        ExperimentId::new(2, 0)
+    }
+
+    /// Build an upgraded (mode 2) data frame as DTN 1 would emit it.
+    fn wan_frame(msg_index: u64, seq: u64, aged: bool) -> Packet {
+        let repr = MmtRepr::data(exp())
+            .with_sequence(seq)
+            .with_retransmit(Ipv4Address::new(10, 0, 0, 5), 47_000)
+            .with_age(1_000, aged)
+            .with_flags(mmt_wire::mmt::Features::ACK_NAK);
+        let mut payload = vec![0u8; 64];
+        payload[..8].copy_from_slice(&msg_index.to_be_bytes());
+        Packet::new(build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 5]),
+            EthernetAddress([2, 0, 0, 0, 0, 8]),
+            &repr,
+            &payload,
+        ))
+    }
+
+    fn setup() -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let rcv = sim.add_node(
+            "dtn2",
+            Box::new(MmtReceiver::new(ReceiverConfig::wan_defaults(
+                exp(),
+                Ipv4Address::new(10, 0, 0, 8),
+            ))),
+        );
+        let net = sim.add_node("net", Box::new(Sink));
+        sim.add_oneway(rcv, 0, net, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        (sim, rcv, net)
+    }
+
+    #[test]
+    fn in_order_stream_delivers_without_naks() {
+        let (mut sim, rcv, net) = setup();
+        for i in 0..20u64 {
+            sim.inject(Time::from_micros(i), rcv, 0, wan_frame(i, i, false));
+        }
+        sim.run();
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.delivered, 20);
+        assert_eq!(r.stats.naks_sent, 0);
+        assert_eq!(r.stats.duplicates, 0);
+        assert!(sim.local_deliveries(net).is_empty(), "no NAK traffic");
+    }
+
+    #[test]
+    fn gap_triggers_nak_after_reorder_delay() {
+        let (mut sim, rcv, net) = setup();
+        // Seqs 0,1,2 then 5 — gap {3,4}.
+        for (t, s) in [(0u64, 0u64), (1, 1), (2, 2), (3, 5)] {
+            sim.inject(Time::from_micros(t), rcv, 0, wan_frame(s, s, false));
+        }
+        sim.run_until(Time::from_millis(1));
+        let naks = sim.local_deliveries(net);
+        assert_eq!(naks.len(), 1, "one NAK after the reorder delay");
+        let parsed = ParsedPacket::parse(naks[0].1.bytes.clone(), 0);
+        let off = parsed.layers.mmt_offset().unwrap();
+        let (_, ctrl) = ControlRepr::parse_packet(&parsed.bytes[off..]).unwrap();
+        match ctrl {
+            ControlRepr::Nak(nak) => {
+                assert_eq!(nak.ranges.len(), 1);
+                assert_eq!(nak.ranges[0].first, 3);
+                assert_eq!(nak.ranges[0].last, 4);
+                assert_eq!(nak.requester, Ipv4Address::new(10, 0, 0, 8));
+            }
+            other => panic!("expected NAK, got {other:?}"),
+        }
+        // Deliveries were NOT blocked by the gap (no HOL).
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.delivered, 4);
+    }
+
+    #[test]
+    fn recovery_fills_gap_and_stops_naking() {
+        let (mut sim, rcv, net) = setup();
+        for (t, s) in [(0u64, 0u64), (1, 1), (2, 4)] {
+            sim.inject(Time::from_micros(t), rcv, 0, wan_frame(s, s, false));
+        }
+        // Deliver the retransmissions shortly after the first NAK.
+        sim.inject(Time::from_millis(2), rcv, 0, wan_frame(2, 2, false));
+        sim.inject(Time::from_millis(2), rcv, 0, wan_frame(3, 3, false));
+        sim.run_until(Time::from_secs(1));
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.delivered, 5);
+        assert_eq!(r.stats.recovered, 2);
+        assert_eq!(r.stats.lost, 0);
+        assert!(r.log().iter().filter(|m| m.recovered).count() == 2);
+        // Only the initial NAK (the gap was filled before the retry).
+        assert_eq!(sim.local_deliveries(net).len(), 1);
+    }
+
+    #[test]
+    fn persistent_gap_retries_then_gives_up() {
+        let mut sim = Simulator::new(1);
+        let mut cfg = ReceiverConfig::wan_defaults(exp(), Ipv4Address::new(10, 0, 0, 8));
+        cfg.give_up_after = Time::from_millis(100);
+        cfg.nak_interval = Time::from_millis(10);
+        let rcv = sim.add_node("dtn2", Box::new(MmtReceiver::new(cfg)));
+        let net = sim.add_node("net", Box::new(Sink));
+        sim.add_oneway(rcv, 0, net, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.inject(Time::ZERO, rcv, 0, wan_frame(0, 0, false));
+        sim.inject(Time::from_micros(1), rcv, 0, wan_frame(3, 3, false));
+        sim.run_until(Time::from_secs(1));
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.lost, 2, "seqs 1–2 abandoned");
+        let naks = sim.local_deliveries(net).len();
+        assert!((2..=12).contains(&naks), "retried then stopped: {naks}");
+        // After giving up, no more NAK traffic.
+        let quiet_after = sim.local_deliveries(net).len();
+        sim.run_until(Time::from_secs(2));
+        assert_eq!(sim.local_deliveries(net).len(), quiet_after);
+    }
+
+    #[test]
+    fn duplicates_suppressed_and_counted() {
+        let (mut sim, rcv, _) = setup();
+        sim.inject(Time::ZERO, rcv, 0, wan_frame(0, 0, false));
+        sim.inject(Time::from_micros(1), rcv, 0, wan_frame(0, 0, false));
+        sim.run();
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.delivered, 1);
+        assert_eq!(r.stats.duplicates, 1);
+    }
+
+    #[test]
+    fn aged_flag_and_completion_accounted() {
+        let mut sim = Simulator::new(1);
+        let mut cfg = ReceiverConfig::wan_defaults(exp(), Ipv4Address::new(10, 0, 0, 8));
+        cfg.expect_messages = Some(3);
+        let rcv = sim.add_node("dtn2", Box::new(MmtReceiver::new(cfg)));
+        for i in 0..3u64 {
+            sim.inject(Time::from_micros(i), rcv, 0, wan_frame(i, i, i == 1));
+        }
+        sim.run();
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert!(r.is_complete());
+        assert_eq!(r.stats.aged_deliveries, 1);
+        assert_eq!(r.stats.completed_at, Some(Time::from_micros(2)));
+        assert!(r.log()[1].aged);
+        assert_eq!(r.log()[0].age_ns, Some(1_000));
+    }
+
+    #[test]
+    fn unsequenced_mode0_traffic_delivers_without_tracking() {
+        let (mut sim, rcv, net) = setup();
+        let mut payload = vec![0u8; 64];
+        payload[..8].copy_from_slice(&7u64.to_be_bytes());
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 8]),
+            &MmtRepr::data(exp()),
+            &payload,
+        );
+        sim.inject(Time::ZERO, rcv, 0, Packet::new(frame));
+        sim.run();
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.delivered, 1);
+        assert_eq!(r.log()[0].seq, None);
+        assert_eq!(r.log()[0].msg_index, 7);
+        assert!(sim.local_deliveries(net).is_empty());
+    }
+
+    #[test]
+    fn foreign_experiment_ignored() {
+        let (mut sim, rcv, _) = setup();
+        let repr = MmtRepr::data(ExperimentId::new(9, 0)).with_sequence(0);
+        let mut payload = vec![0u8; 16];
+        payload[..8].copy_from_slice(&0u64.to_be_bytes());
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 8]),
+            &repr,
+            &payload,
+        );
+        sim.inject(Time::ZERO, rcv, 0, Packet::new(frame));
+        sim.run();
+        assert_eq!(sim.node_as::<MmtReceiver>(rcv).unwrap().stats.delivered, 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The in-network resource map and mode planner (§6, challenge 1).
+//!
+//! "We initially envisage having a map of in-network programmable
+//! resources that DAQ workloads can use. This map is shared between
+//! network operators — perhaps by piggy-backing on BGP messages — to
+//! describe their programmable infrastructure and its capabilities."
+//!
+//! [`ResourceMap`] is that map; [`ModePlanner`] turns it into per-segment
+//! mode assignments for a path (the "simple 3-mode setup that pre-supposes
+//! knowledge of in-network resources at system start" of §5.3, made
+//! data-driven); [`gossip_exchange`] simulates the map dissemination
+//! between operators until every domain converges on the union.
+
+use crate::mode::Mode;
+use mmt_wire::Ipv4Address;
+use std::collections::BTreeMap;
+
+/// What a programmable element can do for DAQ flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// Can rewrite MMT headers (mode transitions).
+    HeaderRewrite,
+    /// Hosts a retransmission buffer of the given capacity (bytes).
+    RetransmitBuffer(u64),
+    /// Can track/update age fields.
+    AgeTracking,
+    /// Can run timeliness checks and emit notifications.
+    DeadlineCheck,
+    /// Can duplicate streams to additional consumers.
+    Duplication,
+}
+
+/// One advertised resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceEntry {
+    /// The element's address.
+    pub addr: Ipv4Address,
+    /// Which operator domain advertises it.
+    pub domain: &'static str,
+    /// Its capabilities.
+    pub capabilities: Vec<Capability>,
+    /// RTT from the path's ingress to this element, ns (the planner
+    /// prefers *nearer* buffers — the paper's "more 'recent' (lower RTT)
+    /// retransmission buffer").
+    pub rtt_from_source_ns: u64,
+}
+
+impl ResourceEntry {
+    /// Whether this element hosts a retransmission buffer.
+    pub fn buffer_capacity(&self) -> Option<u64> {
+        self.capabilities.iter().find_map(|c| match c {
+            Capability::RetransmitBuffer(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Whether this element has a capability.
+    pub fn has(&self, cap: Capability) -> bool {
+        self.capabilities.contains(&cap)
+    }
+}
+
+/// The map: resources keyed by address.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceMap {
+    entries: BTreeMap<u32, ResourceEntry>,
+}
+
+impl ResourceMap {
+    /// An empty map.
+    pub fn new() -> ResourceMap {
+        ResourceMap::default()
+    }
+
+    /// Advertise (or update) a resource.
+    pub fn advertise(&mut self, entry: ResourceEntry) {
+        self.entries.insert(entry.addr.to_u32(), entry);
+    }
+
+    /// All entries, ordered by address.
+    pub fn entries(&self) -> impl Iterator<Item = &ResourceEntry> {
+        self.entries.values()
+    }
+
+    /// Number of advertised resources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another map into this one (newer advertisement wins on
+    /// address collision — both maps here are snapshots, so "newer" is
+    /// the incoming one).
+    pub fn merge(&mut self, other: &ResourceMap) -> bool {
+        let mut changed = false;
+        for (k, v) in &other.entries {
+            if self.entries.get(k) != Some(v) {
+                self.entries.insert(*k, v.clone());
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The nearest (lowest-RTT) retransmission buffer at or beyond
+    /// `min_rtt_ns` from the source.
+    pub fn nearest_buffer(&self, min_rtt_ns: u64) -> Option<&ResourceEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.buffer_capacity().is_some() && e.rtt_from_source_ns >= min_rtt_ns)
+            .min_by_key(|e| e.rtt_from_source_ns)
+    }
+}
+
+/// Plans per-segment modes for a path from the resource map.
+#[derive(Debug, Clone)]
+pub struct ModePlanner {
+    map: ResourceMap,
+}
+
+/// A path segment the planner assigns a mode to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Inside the instrument's DAQ network.
+    DaqNetwork,
+    /// A WAN crossing with the given one-way delay budget, ns.
+    Wan {
+        /// One-way propagation, ns.
+        one_way_ns: u64,
+    },
+    /// The destination campus/site network.
+    Campus,
+}
+
+impl ModePlanner {
+    /// Create a planner over a (converged) map.
+    pub fn new(map: ResourceMap) -> ModePlanner {
+        ModePlanner { map }
+    }
+
+    /// The map in use.
+    pub fn map(&self) -> &ResourceMap {
+        &self.map
+    }
+
+    /// Assign a mode to each segment of a path. DAQ segments ride
+    /// unreliable (mode 1); WAN segments get the recoverable-loss mode
+    /// anchored at the nearest advertised buffer; the final segment keeps
+    /// the WAN mode with the destination timeliness check (mode 3).
+    ///
+    /// Returns `None` if a WAN segment has no reachable buffer — the
+    /// planner refuses to promise reliability it cannot provide.
+    pub fn plan(
+        &self,
+        segments: &[Segment],
+        deadline_budget_ns: u64,
+        notify: Ipv4Address,
+        max_age_ns: u64,
+    ) -> Option<Vec<Mode>> {
+        let mut out = Vec::with_capacity(segments.len());
+        for seg in segments {
+            match seg {
+                Segment::DaqNetwork => out.push(Mode::mode1_unreliable()),
+                Segment::Wan { .. } => {
+                    let buffer = self.map.nearest_buffer(0)?;
+                    out.push(Mode::mode2_wan(
+                        (buffer.addr, 47_000),
+                        deadline_budget_ns,
+                        notify,
+                        max_age_ns,
+                    ));
+                }
+                Segment::Campus => {
+                    let buffer = self.map.nearest_buffer(0)?;
+                    out.push(Mode::mode3_delivery(
+                        (buffer.addr, 47_000),
+                        deadline_budget_ns,
+                        notify,
+                        max_age_ns,
+                    ));
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Simulate map dissemination between operator domains: each round, every
+/// pair of adjacent domains exchanges maps; returns the number of rounds
+/// until global convergence. `adjacency[i]` lists the neighbours of
+/// domain `i`.
+pub fn gossip_exchange(maps: &mut [ResourceMap], adjacency: &[Vec<usize>]) -> usize {
+    assert_eq!(maps.len(), adjacency.len());
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        // Synchronous rounds: everyone sends their current map, merges
+        // what they received.
+        let snapshot: Vec<ResourceMap> = maps.to_vec();
+        for (i, neighbours) in adjacency.iter().enumerate() {
+            for &n in neighbours {
+                if maps[i].merge(&snapshot[n]) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return rounds;
+        }
+        rounds += 1;
+        assert!(rounds < 1_000, "gossip failed to converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_wire::mmt::Features;
+
+    fn buffer_entry(addr: Ipv4Address, domain: &'static str, rtt_ns: u64) -> ResourceEntry {
+        ResourceEntry {
+            addr,
+            domain,
+            capabilities: vec![
+                Capability::HeaderRewrite,
+                Capability::RetransmitBuffer(1 << 30),
+                Capability::AgeTracking,
+            ],
+            rtt_from_source_ns: rtt_ns,
+        }
+    }
+
+    #[test]
+    fn nearest_buffer_prefers_low_rtt() {
+        let mut map = ResourceMap::new();
+        map.advertise(buffer_entry(Ipv4Address::new(10, 0, 0, 5), "esnet", 1_000_000));
+        map.advertise(buffer_entry(Ipv4Address::new(10, 1, 0, 5), "geant", 50_000_000));
+        let near = map.nearest_buffer(0).unwrap();
+        assert_eq!(near.addr, Ipv4Address::new(10, 0, 0, 5));
+        // Constrained to beyond 10 ms: the farther one.
+        let far = map.nearest_buffer(10_000_000).unwrap();
+        assert_eq!(far.addr, Ipv4Address::new(10, 1, 0, 5));
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn capability_queries() {
+        let e = buffer_entry(Ipv4Address::new(10, 0, 0, 5), "esnet", 0);
+        assert_eq!(e.buffer_capacity(), Some(1 << 30));
+        assert!(e.has(Capability::AgeTracking));
+        assert!(!e.has(Capability::Duplication));
+    }
+
+    #[test]
+    fn planner_assigns_pilot_modes() {
+        let mut map = ResourceMap::new();
+        map.advertise(buffer_entry(Ipv4Address::new(10, 0, 0, 5), "esnet", 1_000));
+        let planner = ModePlanner::new(map);
+        let plan = planner
+            .plan(
+                &[
+                    Segment::DaqNetwork,
+                    Segment::Wan { one_way_ns: 25_000_000 },
+                    Segment::Campus,
+                ],
+                1_000_000_000,
+                Ipv4Address::new(10, 0, 0, 9),
+                500_000_000,
+            )
+            .unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(plan[0].features.is_empty());
+        assert!(plan[1].features.contains(Features::RETRANSMIT));
+        assert_eq!(
+            plan[1].params.retransmit_source,
+            Some((Ipv4Address::new(10, 0, 0, 5), 47_000))
+        );
+        assert_eq!(plan[2].name, "mode3-delivery");
+    }
+
+    #[test]
+    fn planner_refuses_wan_without_buffer() {
+        let planner = ModePlanner::new(ResourceMap::new());
+        assert!(planner
+            .plan(
+                &[Segment::Wan { one_way_ns: 1 }],
+                1,
+                Ipv4Address::UNSPECIFIED,
+                1
+            )
+            .is_none());
+        // DAQ-only plans need no resources.
+        assert!(planner
+            .plan(&[Segment::DaqNetwork], 1, Ipv4Address::UNSPECIFIED, 1)
+            .is_some());
+    }
+
+    #[test]
+    fn gossip_converges_along_a_chain() {
+        // Domains 0–3 in a line; only domain 0 and 3 advertise resources.
+        let mut maps = vec![ResourceMap::new(); 4];
+        maps[0].advertise(buffer_entry(Ipv4Address::new(10, 0, 0, 1), "d0", 0));
+        maps[3].advertise(buffer_entry(Ipv4Address::new(10, 3, 0, 1), "d3", 0));
+        let adjacency = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let rounds = gossip_exchange(&mut maps, &adjacency);
+        // A 4-domain chain converges in ≤ 4 synchronous rounds.
+        assert!((1..=4).contains(&rounds), "{rounds}");
+        for m in &maps {
+            assert_eq!(m.len(), 2, "every domain sees both resources");
+        }
+        // Idempotent afterwards.
+        let again = gossip_exchange(&mut maps, &adjacency);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn merge_reports_change() {
+        let mut a = ResourceMap::new();
+        let mut b = ResourceMap::new();
+        b.advertise(buffer_entry(Ipv4Address::new(1, 1, 1, 1), "x", 5));
+        assert!(a.merge(&b));
+        assert!(!a.merge(&b), "second merge is a no-op");
+    }
+}

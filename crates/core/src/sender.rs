@@ -1,0 +1,331 @@
+//! The MMT source endpoint.
+//!
+//! Sensors "stream out data encapsulated in the protocol's header, even if
+//! directly over layer 2" (§5.1) in mode 0, and do **not** buffer for
+//! retransmission (§4: "At the originating sensor ①, DAQ data is not
+//! buffered for retransmission") — reliability is added downstream by the
+//! network. The sender honours backpressure credits when a relayed signal
+//! arrives (§5.1: "if an element ③ receives signals of downstream
+//! congestion or loss, it can relay a back-pressure signal to the sender").
+
+use mmt_dataplane::parser::{build_eth_mmt_frame, build_ip_mmt_frame, build_udp_tunnel_frame};
+use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
+use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+
+/// How the sender frames its datagrams (Req 1: the protocol works both
+/// directly on Ethernet and on IP; a UDP tunnel covers networks that drop
+/// unknown IP protocols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// MMT directly over Ethernet (DAQ-network framing).
+    Ethernet,
+    /// MMT over IPv4 (protocol 253).
+    Ipv4 {
+        /// Source address.
+        src: Ipv4Address,
+        /// Destination address.
+        dst: Ipv4Address,
+    },
+    /// MMT in a UDP tunnel over IPv4.
+    UdpTunnel {
+        /// Source address.
+        src: Ipv4Address,
+        /// Destination address.
+        dst: Ipv4Address,
+    },
+}
+
+const TOKEN_PUMP: TimerToken = 1;
+
+/// Sender configuration.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Experiment/slice identity stamped on every datagram.
+    pub experiment: ExperimentId,
+    /// Payload size per datagram.
+    pub message_len: usize,
+    /// Creation schedule (non-decreasing), one entry per message.
+    pub schedule: Vec<Time>,
+    /// Source MAC.
+    pub src_mac: EthernetAddress,
+    /// Next-hop MAC.
+    pub dst_mac: EthernetAddress,
+    /// Honour backpressure credits (BACKPRESSURE behaviour). When false,
+    /// backpressure control messages are counted but ignored.
+    pub respect_backpressure: bool,
+    /// Wire framing for emitted datagrams.
+    pub framing: Framing,
+}
+
+impl SenderConfig {
+    /// A sender with a fixed-gap schedule (regular-shape elephant flow).
+    pub fn regular(
+        experiment: ExperimentId,
+        message_len: usize,
+        gap: Time,
+        count: usize,
+    ) -> SenderConfig {
+        SenderConfig {
+            experiment,
+            message_len,
+            schedule: (0..count as u64).map(|i| gap * i).collect(),
+            src_mac: EthernetAddress([0x02, 0, 0, 0, 0, 0x01]),
+            dst_mac: EthernetAddress([0x02, 0, 0, 0, 0, 0x02]),
+            respect_backpressure: false,
+            framing: Framing::Ethernet,
+        }
+    }
+}
+
+/// Counters exposed after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Datagrams emitted.
+    pub sent: u64,
+    /// Backpressure signals received.
+    pub backpressure_signals: u64,
+    /// Deadline-exceeded notifications received (the sender is the
+    /// notify target in the pilot: "to alert the source", §5.3).
+    pub deadline_notifications: u64,
+    /// Messages delayed by lack of credits.
+    pub credit_stalls: u64,
+    /// When the last message was emitted.
+    pub finished_at: Option<Time>,
+}
+
+/// The source endpoint node.
+pub struct MmtSender {
+    config: SenderConfig,
+    next: usize,
+    /// Messages-in-flight credits granted by backpressure (None = no
+    /// governor active).
+    credits: Option<u64>,
+    /// Counters.
+    pub stats: SenderStats,
+}
+
+impl MmtSender {
+    /// Create a sender.
+    pub fn new(config: SenderConfig) -> MmtSender {
+        assert!(
+            config.schedule.windows(2).all(|w| w[1] >= w[0]),
+            "schedule must be non-decreasing"
+        );
+        assert!(config.message_len >= 8, "message must fit its index");
+        MmtSender {
+            config,
+            next: 0,
+            credits: None,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Whether every scheduled message has been emitted.
+    pub fn is_complete(&self) -> bool {
+        self.stats.finished_at.is_some()
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        while self.next < self.config.schedule.len() && self.config.schedule[self.next] <= now {
+            if self.config.respect_backpressure {
+                match &mut self.credits {
+                    Some(0) => {
+                        // Stalled: wait for the next credit grant.
+                        self.stats.credit_stalls += 1;
+                        return;
+                    }
+                    Some(c) => *c -= 1,
+                    None => {}
+                }
+            }
+            // Mode-0 header: identification only; the network adds the
+            // rest. The payload carries the message index so receivers can
+            // account per-message latency even before sequencing begins.
+            let repr = MmtRepr::data(self.config.experiment);
+            let mut payload = vec![0u8; self.config.message_len];
+            payload[..8].copy_from_slice(&(self.next as u64).to_be_bytes());
+            let frame = match self.config.framing {
+                Framing::Ethernet => {
+                    build_eth_mmt_frame(self.config.src_mac, self.config.dst_mac, &repr, &payload)
+                }
+                Framing::Ipv4 { src, dst } => build_ip_mmt_frame(
+                    self.config.src_mac,
+                    self.config.dst_mac,
+                    src,
+                    dst,
+                    &repr,
+                    &payload,
+                ),
+                Framing::UdpTunnel { src, dst } => build_udp_tunnel_frame(
+                    self.config.src_mac,
+                    self.config.dst_mac,
+                    src,
+                    dst,
+                    &repr,
+                    &payload,
+                ),
+            };
+            let mut pkt = Packet::with_flow(frame, u64::from(self.config.experiment.raw()));
+            pkt.meta.created_at = self.config.schedule[self.next];
+            ctx.send(0, pkt);
+            self.stats.sent += 1;
+            self.next += 1;
+        }
+        if self.next < self.config.schedule.len() {
+            let wake = self.config.schedule[self.next] - now;
+            ctx.set_timer(wake, TOKEN_PUMP);
+        } else if self.stats.finished_at.is_none() {
+            self.stats.finished_at = Some(now);
+        }
+    }
+}
+
+impl Node for MmtSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+        // The only traffic a sensor receives is relayed control.
+        let parsed = mmt_dataplane::parser::ParsedPacket::parse(pkt.bytes, 0);
+        let Some(off) = parsed.layers.mmt_offset() else {
+            return;
+        };
+        match ControlRepr::parse_packet(&parsed.bytes[off..]) {
+            Ok((_, ControlRepr::Backpressure(bp))) => {
+                self.stats.backpressure_signals += 1;
+                if self.config.respect_backpressure {
+                    self.credits = Some(u64::from(bp.window));
+                    // Credits may unblock the pump.
+                    self.pump(ctx);
+                }
+            }
+            Ok((_, ControlRepr::DeadlineExceeded(_))) => {
+                self.stats.deadline_notifications += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if token == TOKEN_PUMP {
+            self.pump(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_netsim::{Bandwidth, LinkSpec, Simulator};
+    use mmt_wire::mmt::BackpressureRepr;
+    use mmt_wire::Ipv4Address;
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _: PortId, pkt: Packet) {
+            ctx.deliver_local(pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn backpressure_frame(experiment: ExperimentId, window: u32) -> Vec<u8> {
+        let ctrl = ControlRepr::Backpressure(BackpressureRepr {
+            level: 1,
+            window,
+            origin: Ipv4Address::new(10, 0, 0, 3),
+        })
+        .emit_packet(experiment);
+        let repr = MmtRepr::parse(&ctrl).unwrap();
+        build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 9]),
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            &repr,
+            &ctrl[repr.header_len()..],
+        )
+    }
+
+    #[test]
+    fn emits_schedule_as_mode0_datagrams() {
+        let mut sim = Simulator::new(1);
+        let exp = ExperimentId::new(2, 0);
+        let cfg = SenderConfig::regular(exp, 1024, Time::from_micros(10), 20);
+        let s = sim.add_node("s", Box::new(MmtSender::new(cfg)));
+        let d = sim.add_node("d", Box::new(Sink));
+        sim.add_oneway(s, 0, d, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.run();
+        let got = sim.local_deliveries(d);
+        assert_eq!(got.len(), 20);
+        for (i, (_, pkt)) in got.iter().enumerate() {
+            let parsed = mmt_dataplane::parser::ParsedPacket::parse(pkt.bytes.clone(), 0);
+            let repr = parsed.mmt_repr().unwrap();
+            assert_eq!(repr.experiment, exp);
+            assert!(repr.features.is_empty(), "sensors emit mode 0");
+            let payload = parsed.mmt().unwrap().payload().to_vec();
+            let idx = u64::from_be_bytes(payload[..8].try_into().unwrap());
+            assert_eq!(idx, i as u64);
+            // created_at carries the schedule time.
+            assert_eq!(pkt.meta.created_at, Time::from_micros(10) * i as u64);
+        }
+        let stats = sim.node_as::<MmtSender>(s).unwrap().stats;
+        assert_eq!(stats.sent, 20);
+        assert!(stats.finished_at.is_some());
+    }
+
+    #[test]
+    fn ignores_backpressure_when_not_configured() {
+        let mut sim = Simulator::new(1);
+        let exp = ExperimentId::new(2, 0);
+        let cfg = SenderConfig::regular(exp, 1024, Time::from_micros(1), 100);
+        let s = sim.add_node("s", Box::new(MmtSender::new(cfg)));
+        let d = sim.add_node("d", Box::new(Sink));
+        sim.add_oneway(s, 0, d, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.inject(Time::ZERO, s, 0, Packet::new(backpressure_frame(exp, 0)));
+        sim.run();
+        let stats = sim.node_as::<MmtSender>(s).unwrap().stats;
+        assert_eq!(stats.sent, 100, "no governor: all messages sent");
+        assert_eq!(stats.backpressure_signals, 1);
+        assert_eq!(stats.credit_stalls, 0);
+    }
+
+    #[test]
+    fn backpressure_credits_gate_the_pump() {
+        let mut sim = Simulator::new(1);
+        let exp = ExperimentId::new(2, 0);
+        let mut cfg = SenderConfig::regular(exp, 1024, Time::from_micros(1), 50);
+        cfg.respect_backpressure = true;
+        let s = sim.add_node("s", Box::new(MmtSender::new(cfg)));
+        let d = sim.add_node("d", Box::new(Sink));
+        sim.add_oneway(s, 0, d, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        // Grant only 10 credits at t=0 (arrives before any send at t=0?
+        // injection order: inject processes at t=0 alongside start — the
+        // pump runs first at start, so grant at t=0 may land after some
+        // sends; grant tiny credits then more later.
+        sim.inject(Time::ZERO, s, 0, Packet::new(backpressure_frame(exp, 10)));
+        sim.run_until(Time::from_millis(1));
+        let sent_mid = sim.node_as::<MmtSender>(s).unwrap().stats.sent;
+        assert!(sent_mid < 50, "credits must stall the sender: {sent_mid}");
+        // Grant the rest.
+        let now = sim.now();
+        sim.inject(now, s, 0, Packet::new(backpressure_frame(exp, 1000)));
+        sim.run();
+        let stats = sim.node_as::<MmtSender>(s).unwrap().stats;
+        assert_eq!(stats.sent, 50);
+        assert!(stats.credit_stalls > 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sequence-space bookkeeping: dedup, gap detection, missing ranges.
+
+use mmt_wire::mmt::NakRange;
+use std::collections::BTreeMap;
+
+/// Tracks which sequence numbers have been received.
+///
+/// Stores received sequence space as merged `[start, end)` intervals, so
+/// memory stays proportional to the number of *gaps*, not packets.
+#[derive(Debug, Clone, Default)]
+pub struct SeqTracker {
+    /// Merged received ranges: start → end (exclusive).
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl SeqTracker {
+    /// An empty tracker.
+    pub fn new() -> SeqTracker {
+        SeqTracker::default()
+    }
+
+    /// Record a sequence number. Returns `true` if new, `false` if a
+    /// duplicate.
+    pub fn record(&mut self, seq: u64) -> bool {
+        // Find a range containing or adjacent to seq.
+        if self.contains(seq) {
+            return false;
+        }
+        let prev = self
+            .ranges
+            .range(..=seq)
+            .next_back()
+            .map(|(&s, &e)| (s, e));
+        let next = self
+            .ranges
+            .range(seq + 1..)
+            .next()
+            .map(|(&s, &e)| (s, e));
+        let joins_prev = prev.is_some_and(|(_, e)| e == seq);
+        let joins_next = next.is_some_and(|(s, _)| s == seq + 1);
+        match (joins_prev, joins_next) {
+            (true, true) => {
+                let (ps, _) = prev.unwrap();
+                let (ns, ne) = next.unwrap();
+                self.ranges.remove(&ns);
+                self.ranges.insert(ps, ne);
+            }
+            (true, false) => {
+                let (ps, _) = prev.unwrap();
+                self.ranges.insert(ps, seq + 1);
+            }
+            (false, true) => {
+                let (ns, ne) = next.unwrap();
+                self.ranges.remove(&ns);
+                self.ranges.insert(seq, ne);
+            }
+            (false, false) => {
+                self.ranges.insert(seq, seq + 1);
+            }
+        }
+        true
+    }
+
+    /// Whether `seq` has been received.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.ranges
+            .range(..=seq)
+            .next_back()
+            .is_some_and(|(&s, &e)| seq >= s && seq < e)
+    }
+
+    /// The highest received sequence number, if any.
+    pub fn highest(&self) -> Option<u64> {
+        self.ranges.iter().next_back().map(|(_, &e)| e - 1)
+    }
+
+    /// Count of distinct sequence numbers received.
+    pub fn received_count(&self) -> u64 {
+        self.ranges.iter().map(|(&s, &e)| e - s).sum()
+    }
+
+    /// Number of gaps (missing ranges at or below the highest received
+    /// sequence). Sequence space starts at 0 — a stream whose first
+    /// packets were lost has a *leading* gap.
+    pub fn gap_count(&self) -> usize {
+        let leading = usize::from(self.ranges.keys().next().is_some_and(|&s| s > 0));
+        self.ranges.len().saturating_sub(1) + leading
+    }
+
+    /// Missing ranges below the highest received sequence number, capped
+    /// at `max_ranges` (NAK messages carry a bounded list). Includes the
+    /// leading gap `[0, first-1]` when the first received sequence is not
+    /// 0 — streams are numbered from 0, so those packets were lost too.
+    pub fn missing_ranges(&self, max_ranges: usize) -> Vec<NakRange> {
+        let mut out = Vec::new();
+        let mut prev_end: Option<u64> = Some(0);
+        for (&s, &e) in &self.ranges {
+            if let Some(pe) = prev_end {
+                if pe < s {
+                    if out.len() >= max_ranges {
+                        break;
+                    }
+                    out.push(NakRange {
+                        first: pe,
+                        last: s - 1,
+                    });
+                }
+            }
+            prev_end = Some(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_arrival_is_one_range() {
+        let mut t = SeqTracker::new();
+        for s in 0..100 {
+            assert!(t.record(s));
+        }
+        assert_eq!(t.received_count(), 100);
+        assert_eq!(t.gap_count(), 0);
+        assert!(t.missing_ranges(16).is_empty());
+        assert_eq!(t.highest(), Some(99));
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let mut t = SeqTracker::new();
+        assert!(t.record(5));
+        assert!(!t.record(5));
+        assert!(t.contains(5));
+        assert!(!t.contains(4));
+        assert_eq!(t.received_count(), 1);
+    }
+
+    #[test]
+    fn gaps_reported_as_ranges() {
+        let mut t = SeqTracker::new();
+        for s in [0u64, 1, 2, 5, 6, 10] {
+            t.record(s);
+        }
+        let missing = t.missing_ranges(16);
+        assert_eq!(
+            missing,
+            vec![
+                NakRange { first: 3, last: 4 },
+                NakRange { first: 7, last: 9 }
+            ]
+        );
+        assert_eq!(t.gap_count(), 2);
+        // Filling a gap merges ranges.
+        t.record(3);
+        t.record(4);
+        assert_eq!(t.gap_count(), 1);
+        assert_eq!(t.missing_ranges(16), vec![NakRange { first: 7, last: 9 }]);
+        t.record(8);
+        assert_eq!(
+            t.missing_ranges(16),
+            vec![
+                NakRange { first: 7, last: 7 },
+                NakRange { first: 9, last: 9 }
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_ranges_capped() {
+        let mut t = SeqTracker::new();
+        for s in (0..100).step_by(2) {
+            t.record(s); // every odd number missing
+        }
+        let missing = t.missing_ranges(5);
+        assert_eq!(missing.len(), 5);
+        assert_eq!(missing[0], NakRange { first: 1, last: 1 });
+    }
+
+    #[test]
+    fn out_of_order_merges_correctly() {
+        let mut t = SeqTracker::new();
+        t.record(10);
+        t.record(8);
+        t.record(9); // joins both neighbours
+        assert_eq!(t.gap_count(), 1, "leading gap [0,7] counts");
+        assert_eq!(
+            t.missing_ranges(16),
+            vec![NakRange { first: 0, last: 7 }]
+        );
+        assert_eq!(t.received_count(), 3);
+        assert_eq!(t.highest(), Some(10));
+        t.record(0);
+        assert_eq!(
+            t.missing_ranges(16),
+            vec![NakRange { first: 1, last: 7 }]
+        );
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = SeqTracker::new();
+        assert_eq!(t.highest(), None);
+        assert_eq!(t.received_count(), 0);
+        assert!(t.missing_ranges(4).is_empty());
+        assert!(!t.contains(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the protocol core: sequence-tracker correctness
+//! against a naive model, and buffer/receiver behaviour under arbitrary
+//! arrival patterns.
+
+use proptest::prelude::*;
+
+use mmt_core::SeqTracker;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// The interval-based tracker agrees with a naive set model on every
+    /// query, for arbitrary insertion orders with duplicates.
+    #[test]
+    fn seqtracker_matches_naive_model(seqs in proptest::collection::vec(0u64..500, 0..400)) {
+        let mut tracker = SeqTracker::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for s in seqs {
+            let fresh = tracker.record(s);
+            prop_assert_eq!(fresh, model.insert(s), "record({}) freshness", s);
+        }
+        prop_assert_eq!(tracker.received_count(), model.len() as u64);
+        prop_assert_eq!(tracker.highest(), model.iter().next_back().copied());
+        for probe in 0..500u64 {
+            prop_assert_eq!(tracker.contains(probe), model.contains(&probe));
+        }
+        // Missing ranges cover exactly the model's holes below the max.
+        if let Some(&max) = model.iter().next_back() {
+            let holes: Vec<u64> = (0..max).filter(|s| !model.contains(s)).collect();
+            let reported: Vec<u64> = tracker
+                .missing_ranges(usize::MAX)
+                .into_iter()
+                .flat_map(|r| r.first..=r.last)
+                .collect();
+            prop_assert_eq!(reported, holes);
+        } else {
+            prop_assert!(tracker.missing_ranges(usize::MAX).is_empty());
+        }
+    }
+
+    /// Gap count equals the number of maximal missing runs.
+    #[test]
+    fn gap_count_consistent(seqs in proptest::collection::vec(0u64..200, 1..150)) {
+        let mut tracker = SeqTracker::new();
+        for &s in &seqs {
+            tracker.record(s);
+        }
+        prop_assert_eq!(
+            tracker.gap_count(),
+            tracker.missing_ranges(usize::MAX).len()
+        );
+    }
+}
+
+mod buffer_props {
+    use super::*;
+    use mmt_core::buffer::{RetransmitBuffer, PORT_DAQ, PORT_WAN};
+    use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
+    use mmt_netsim::{Bandwidth, Context, LinkSpec, Node, Packet, PortId, Simulator, Time};
+    use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr, NakRange, NakRepr};
+    use mmt_wire::{EthernetAddress, Ipv4Address};
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _: PortId, pkt: Packet) {
+            ctx.deliver_local(pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn exp() -> ExperimentId {
+        ExperimentId::new(2, 0)
+    }
+
+    proptest! {
+        /// For any NAK ranges, the buffer's response = (packets it holds)
+        /// and misses = (packets it does not), exactly.
+        #[test]
+        fn nak_service_is_exact(
+            stored in 1usize..40,
+            raw_ranges in proptest::collection::vec((0u64..60, 0u64..5), 1..6),
+        ) {
+            let mut sim = Simulator::new(1);
+            let buf = sim.add_node(
+                "dtn1",
+                Box::new(RetransmitBuffer::with_defaults(
+                    exp(),
+                    Ipv4Address::new(10, 0, 0, 5),
+                    1_000_000_000,
+                    1 << 24,
+                )),
+            );
+            let wan = sim.add_node("wan", Box::new(Sink));
+            sim.add_oneway(buf, PORT_WAN, wan, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+            // Feed `stored` sensor messages; seqs 0..stored get retained.
+            for i in 0..stored {
+                let mut payload = vec![0u8; 64];
+                payload[..8].copy_from_slice(&(i as u64).to_be_bytes());
+                let frame = build_eth_mmt_frame(
+                    EthernetAddress([2, 0, 0, 0, 0, 1]),
+                    EthernetAddress([2, 0, 0, 0, 0, 2]),
+                    &MmtRepr::data(exp()),
+                    &payload,
+                );
+                sim.inject(Time::from_micros(i as u64), buf, PORT_DAQ, Packet::new(frame));
+            }
+            sim.run();
+            let forwarded = sim.local_deliveries(wan).len();
+            prop_assert_eq!(forwarded, stored);
+
+            let ranges: Vec<NakRange> = raw_ranges
+                .iter()
+                .map(|&(first, span)| NakRange { first, last: first + span })
+                .collect();
+            let mut requested: Vec<u64> =
+                ranges.iter().flat_map(|r| r.first..=r.last).collect();
+            requested.sort_unstable();
+            requested.dedup();
+            // NAK ranges may overlap; the buffer serves per listed seq.
+            let expect_hits: u64 = ranges
+                .iter()
+                .flat_map(|r| r.first..=r.last)
+                .filter(|&s| s < stored as u64)
+                .count() as u64;
+            let expect_misses: u64 = ranges
+                .iter()
+                .flat_map(|r| r.first..=r.last)
+                .filter(|&s| s >= stored as u64)
+                .count() as u64;
+            let ctrl = ControlRepr::Nak(NakRepr {
+                requester: Ipv4Address::new(10, 0, 0, 8),
+                requester_port: 47_000,
+                ranges,
+            })
+            .emit_packet(exp());
+            let repr = MmtRepr::parse(&ctrl).unwrap();
+            let frame = build_eth_mmt_frame(
+                EthernetAddress([2, 0, 0, 0, 0, 8]),
+                EthernetAddress([2, 0, 0, 0, 0, 2]),
+                &repr,
+                &ctrl[repr.header_len()..],
+            );
+            sim.inject(sim.now(), buf, PORT_WAN, Packet::new(frame));
+            sim.run();
+            let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+            prop_assert_eq!(b.stats.retransmitted, expect_hits);
+            prop_assert_eq!(b.stats.nak_misses, expect_misses);
+            // Retransmitted copies really went out the WAN port.
+            prop_assert_eq!(
+                sim.local_deliveries(wan).len(),
+                stored + expect_hits as usize
+            );
+            // And they carry the right sequence numbers.
+            for (_, pkt) in &sim.local_deliveries(wan)[stored..] {
+                let seq = ParsedPacket::parse(pkt.bytes.clone(), 0)
+                    .mmt_repr()
+                    .unwrap()
+                    .sequence()
+                    .unwrap();
+                prop_assert!(seq < stored as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The event builder: hits → trigger records, with instrument slicing.
+//!
+//! DAQ readout is organized per *link* (a WIB fibre serving a block of
+//! channels). The event builder groups an event's hits by link, optionally
+//! synthesizes the affected channels' waveforms, and emits one
+//! [`TriggerRecord`] per active link. Detectors "may be partitioned for
+//! different simultaneous experiments by different researchers" (Req 8);
+//! a [`SliceMap`] assigns channel ranges to slices, and the builder tags
+//! each record with the slice that owns its channels.
+
+use crate::events::Event;
+use crate::lartpc::{pack_samples, LArTpc};
+use mmt_netsim::Time;
+use mmt_wire::daq::{DuneSubHeader, SubHeader, TriggerRecord};
+
+/// Assignment of channel ranges to instrument slices (Req 8).
+#[derive(Debug, Clone, Default)]
+pub struct SliceMap {
+    /// `(first_channel, last_channel, slice)` entries; first match wins.
+    ranges: Vec<(u16, u16, u8)>,
+}
+
+impl SliceMap {
+    /// The whole instrument as one slice (slice 0).
+    pub fn single() -> SliceMap {
+        SliceMap {
+            ranges: vec![(0, u16::MAX, 0)],
+        }
+    }
+
+    /// Split `channels` evenly into `n` slices (remainder to the last).
+    pub fn even_split(channels: u16, n: u8) -> SliceMap {
+        assert!(n > 0, "need at least one slice");
+        let per = channels / u16::from(n);
+        assert!(per > 0, "more slices than channels");
+        let mut ranges = Vec::new();
+        for s in 0..n {
+            let first = u16::from(s) * per;
+            let last = if s == n - 1 {
+                channels - 1
+            } else {
+                first + per - 1
+            };
+            ranges.push((first, last, s));
+        }
+        SliceMap { ranges }
+    }
+
+    /// Add a range mapping.
+    pub fn add(&mut self, first: u16, last: u16, slice: u8) {
+        assert!(first <= last);
+        self.ranges.push((first, last, slice));
+    }
+
+    /// The slice owning a channel (255 = unassigned).
+    pub fn slice_of(&self, channel: u16) -> u8 {
+        self.ranges
+            .iter()
+            .find(|&&(f, l, _)| channel >= f && channel <= l)
+            .map(|&(_, _, s)| s)
+            .unwrap_or(255)
+    }
+}
+
+/// Event-builder configuration.
+#[derive(Debug, Clone)]
+pub struct BuilderConfig {
+    /// Run number stamped on records.
+    pub run: u32,
+    /// Channels per readout link.
+    pub channels_per_link: u16,
+    /// Samples per channel in a record window.
+    pub samples_per_channel: usize,
+    /// Synthesize and pack real waveforms (true) or emit zero payloads of
+    /// the correct size (false — orders of magnitude faster for transport
+    /// experiments where payload content is irrelevant).
+    pub synthesize_waveforms: bool,
+}
+
+impl BuilderConfig {
+    /// ICEBERG-like defaults.
+    pub fn iceberg() -> BuilderConfig {
+        BuilderConfig {
+            run: 1,
+            channels_per_link: 64,
+            samples_per_channel: 128,
+            synthesize_waveforms: true,
+        }
+    }
+}
+
+/// The event builder.
+#[derive(Debug)]
+pub struct EventBuilder {
+    config: BuilderConfig,
+    slices: SliceMap,
+    detector: LArTpc,
+    next_event_no: u64,
+}
+
+impl EventBuilder {
+    /// Create a builder over a detector model and slice map.
+    pub fn new(config: BuilderConfig, slices: SliceMap, detector: LArTpc) -> EventBuilder {
+        EventBuilder {
+            config,
+            slices,
+            detector,
+            next_event_no: 1,
+        }
+    }
+
+    /// The slice map (for demux assertions in tests/experiments).
+    pub fn slices(&self) -> &SliceMap {
+        &self.slices
+    }
+
+    /// Payload bytes per record (fixed: links carry full channel blocks).
+    pub fn record_payload_len(&self) -> usize {
+        // 12-bit packing: 3 bytes per 2 samples.
+        let samples = usize::from(self.config.channels_per_link) * self.config.samples_per_channel;
+        samples * 3 / 2 + (samples % 2) * 2
+    }
+
+    /// Build the records for one event: one per readout link with hits,
+    /// tagged `(record, slice)`.
+    pub fn build(&mut self, event: &Event) -> Vec<(TriggerRecord, u8)> {
+        let event_no = self.next_event_no;
+        self.next_event_no += 1;
+        let per_link = self.config.channels_per_link;
+        // Group hit channels by link.
+        let mut links: Vec<u16> = event.hits.iter().map(|h| h.channel / per_link).collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+            .into_iter()
+            .map(|link| {
+                let first_channel = link * per_link;
+                let last_channel = first_channel + per_link - 1;
+                let payload = if self.config.synthesize_waveforms {
+                    let mut packed = Vec::with_capacity(self.record_payload_len());
+                    for ch in first_channel..=last_channel {
+                        let wf = self.detector.waveform(
+                            ch,
+                            self.config.samples_per_channel,
+                            &event.hits,
+                        );
+                        packed.extend_from_slice(&pack_samples(&wf));
+                    }
+                    packed
+                } else {
+                    vec![0u8; self.record_payload_len()]
+                };
+                let record = TriggerRecord {
+                    run: self.config.run,
+                    event: event_no,
+                    timestamp_ns: event.at.as_nanos(),
+                    sub: SubHeader::Dune(DuneSubHeader {
+                        crate_no: (link / 10) as u8,
+                        slot: (link % 10) as u8,
+                        link: 0,
+                        first_channel,
+                        last_channel,
+                    }),
+                    payload,
+                };
+                (record, self.slices.slice_of(first_channel))
+            })
+            .collect()
+    }
+
+    /// Convenience: build all records for a batch of events, with their
+    /// emission times.
+    pub fn build_all(&mut self, events: &[Event]) -> Vec<(Time, TriggerRecord, u8)> {
+        events
+            .iter()
+            .flat_map(|ev| {
+                let at = ev.at;
+                self.build(ev)
+                    .into_iter()
+                    .map(move |(rec, slice)| (at, rec, slice))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventGenerator, EventKind, EventRates, Hit};
+    use crate::lartpc::LArTpcConfig;
+
+    fn builder(synthesize: bool) -> EventBuilder {
+        EventBuilder::new(
+            BuilderConfig {
+                synthesize_waveforms: synthesize,
+                ..BuilderConfig::iceberg()
+            },
+            SliceMap::even_split(1280, 4),
+            LArTpc::new(LArTpcConfig::iceberg(), 1),
+        )
+    }
+
+    fn event(hits: Vec<Hit>) -> Event {
+        Event {
+            kind: EventKind::Cosmic,
+            at: Time::from_millis(5),
+            hits,
+        }
+    }
+
+    #[test]
+    fn slice_map_assignment() {
+        let m = SliceMap::even_split(1280, 4);
+        assert_eq!(m.slice_of(0), 0);
+        assert_eq!(m.slice_of(319), 0);
+        assert_eq!(m.slice_of(320), 1);
+        assert_eq!(m.slice_of(1279), 3);
+        let single = SliceMap::single();
+        assert_eq!(single.slice_of(9999), 0);
+        let mut custom = SliceMap::default();
+        custom.add(100, 200, 7);
+        assert_eq!(custom.slice_of(150), 7);
+        assert_eq!(custom.slice_of(99), 255, "unassigned channels get 255");
+    }
+
+    #[test]
+    fn one_record_per_active_link() {
+        let mut b = builder(false);
+        // Hits on channels 10 and 20 (link 0) and channel 130 (link 2).
+        let ev = event(vec![
+            Hit { channel: 10, time_sample: 5, amplitude: 100, duration_samples: 4 },
+            Hit { channel: 20, time_sample: 9, amplitude: 100, duration_samples: 4 },
+            Hit { channel: 130, time_sample: 5, amplitude: 100, duration_samples: 4 },
+        ]);
+        let records = b.build(&ev);
+        assert_eq!(records.len(), 2);
+        let subs: Vec<u16> = records
+            .iter()
+            .map(|(r, _)| match r.sub {
+                SubHeader::Dune(d) => d.first_channel,
+                _ => panic!("wrong sub-header"),
+            })
+            .collect();
+        assert_eq!(subs, vec![0, 128]);
+        // Both links are in slice 0 (channels < 320).
+        assert!(records.iter().all(|&(_, s)| s == 0));
+        // Timestamps carry the event time; event numbers are sequential.
+        assert!(records.iter().all(|(r, _)| r.timestamp_ns == 5_000_000));
+        assert!(records.iter().all(|(r, _)| r.event == 1));
+        let ev2 = event(vec![Hit { channel: 400, time_sample: 0, amplitude: 50, duration_samples: 4 }]);
+        let records2 = b.build(&ev2);
+        assert_eq!(records2[0].0.event, 2);
+        assert_eq!(records2[0].1, 1, "channel 400 lives in slice 1");
+    }
+
+    #[test]
+    fn payload_size_is_fixed_and_predicted() {
+        let mut b = builder(false);
+        let ev = event(vec![Hit { channel: 3, time_sample: 0, amplitude: 80, duration_samples: 4 }]);
+        let records = b.build(&ev);
+        assert_eq!(records[0].0.payload.len(), b.record_payload_len());
+        // 64 channels × 128 samples = 8192 samples → 12288 packed bytes.
+        assert_eq!(b.record_payload_len(), 12_288);
+    }
+
+    #[test]
+    fn synthesized_payload_contains_the_pulse() {
+        let mut b = builder(true);
+        let ev = event(vec![Hit { channel: 3, time_sample: 20, amplitude: 600, duration_samples: 10 }]);
+        let records = b.build(&ev);
+        let payload = &records[0].0.payload;
+        assert_eq!(payload.len(), b.record_payload_len());
+        // Unpack channel 3's block and find the pulse.
+        let per_ch_bytes = 128 * 3 / 2;
+        let ch3 = &payload[3 * per_ch_bytes..4 * per_ch_bytes];
+        let samples = crate::lartpc::unpack_samples(ch3, 128);
+        assert!(*samples.iter().max().unwrap() > 1200);
+        // A quiet channel stays near pedestal.
+        let ch10 = &payload[10 * per_ch_bytes..11 * per_ch_bytes];
+        let quiet = crate::lartpc::unpack_samples(ch10, 128);
+        assert!(*quiet.iter().max().unwrap() < 1000);
+    }
+
+    #[test]
+    fn records_decode_with_wire_crate() {
+        let mut b = builder(true);
+        let ev = event(vec![Hit { channel: 0, time_sample: 5, amplitude: 90, duration_samples: 4 }]);
+        let (record, _) = b.build(&ev).remove(0);
+        let encoded = record.encode().unwrap();
+        assert_eq!(TriggerRecord::decode(&encoded).unwrap(), record);
+    }
+
+    #[test]
+    fn build_all_from_generator() {
+        let mut generator = EventGenerator::new(EventRates::background(), 1280, 9);
+        let events = generator.events_until(Time::from_millis(200));
+        let mut b = builder(false);
+        let out = b.build_all(&events);
+        assert!(!out.is_empty());
+        // Emission times are the event times, non-decreasing.
+        let mut last = Time::ZERO;
+        for (at, rec, slice) in &out {
+            assert!(*at >= last);
+            last = *at;
+            assert!(rec.payload.len() == b.record_payload_len());
+            assert!(*slice < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more slices than channels")]
+    fn oversliced_map_panics() {
+        let _ = SliceMap::even_split(4, 8);
+    }
+}

@@ -1,0 +1,180 @@
+//! The experiment catalog — Table 1 of the paper, as executable data.
+//!
+//! | Experiment   | DAQ rate  | Source                                    |
+//! |--------------|-----------|-------------------------------------------|
+//! | CMS L1       | 63 Tbps   | accelerator-driven collider trigger \[77\]  |
+//! | DUNE         | 120 Tbps  | accelerator + natural neutrinos \[68\]      |
+//! | ECCE         | 100 Tbps  | electron-ion collider detector \[13\]       |
+//! | Mu2e         | 160 Gbps  | muon-conversion experiment \[29\]           |
+//! | Vera Rubin   | 400 Gbps  | optical survey telescope \[38\]             |
+//!
+//! Record sizes and event rates are chosen so `rate × size ≈ DAQ rate`,
+//! with sizes representative of each readout (jumbo-frame-friendly for the
+//! Ethernet-based DAQs, §2.1).
+
+use mmt_netsim::{Bandwidth, Time};
+use mmt_wire::mmt::ExperimentId;
+
+/// A large-instrument experiment and its DAQ traffic profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// Short name as used in the paper.
+    pub name: &'static str,
+    /// The MMT experiment number assigned in this deployment.
+    pub experiment_no: u32,
+    /// Aggregate data-acquisition rate (Table 1).
+    pub daq_rate: Bandwidth,
+    /// Typical trigger-record payload size in bytes.
+    pub record_bytes: usize,
+    /// Whether the DAQ network is Ethernet-based (Vera Rubin and DUNE are,
+    /// §2; Mu2e runs directly over Ethernet frames, §4).
+    pub ethernet_daq: bool,
+    /// One-line description.
+    pub about: &'static str,
+}
+
+impl Experiment {
+    /// Records per second needed to sustain the DAQ rate.
+    pub fn record_rate_hz(&self) -> f64 {
+        self.daq_rate.as_bps() as f64 / (self.record_bytes as f64 * 8.0)
+    }
+
+    /// Mean inter-record gap at the full DAQ rate.
+    pub fn record_interval(&self) -> Time {
+        let ns = 1e9 / self.record_rate_hz();
+        Time::from_nanos(ns.round().max(1.0) as u64)
+    }
+
+    /// The [`ExperimentId`] for a given slice of this instrument.
+    pub fn id(&self, slice: u8) -> ExperimentId {
+        ExperimentId::new(self.experiment_no, slice)
+    }
+}
+
+/// CMS Level-1 trigger readout.
+pub const CMS_L1: Experiment = Experiment {
+    name: "CMS L1 Trigger",
+    experiment_no: 1,
+    daq_rate: Bandwidth::tbps(63),
+    record_bytes: 8192,
+    ethernet_daq: false,
+    about: "high-energy physics; artificial collisions from the LHC",
+};
+
+/// DUNE far detector.
+pub const DUNE: Experiment = Experiment {
+    name: "DUNE",
+    experiment_no: 2,
+    daq_rate: Bandwidth::tbps(120),
+    record_bytes: 8192,
+    ethernet_daq: true,
+    about: "accelerator neutrinos plus natural sources (sun, cosmic rays, supernovae)",
+};
+
+/// ECCE detector at the Electron-Ion Collider.
+pub const ECCE: Experiment = Experiment {
+    name: "ECCE detector",
+    experiment_no: 3,
+    daq_rate: Bandwidth::tbps(100),
+    record_bytes: 8192,
+    ethernet_daq: false,
+    about: "electron-ion collider detector",
+};
+
+/// Mu2e muon-to-electron conversion experiment.
+pub const MU2E: Experiment = Experiment {
+    name: "Mu2e",
+    experiment_no: 4,
+    daq_rate: Bandwidth::gbps(160),
+    record_bytes: 4096,
+    ethernet_daq: true,
+    about: "muon conversion; DAQ data carried directly over Ethernet frames",
+};
+
+/// Vera C. Rubin observatory.
+pub const VERA_RUBIN: Experiment = Experiment {
+    name: "Vera Rubin",
+    experiment_no: 5,
+    daq_rate: Bandwidth::gbps(400),
+    record_bytes: 8192,
+    ethernet_daq: true,
+    about: "optical survey telescope; nightly 30 TB capture plus 5.4 Gbps alert bursts",
+};
+
+/// All Table 1 experiments, in the paper's order.
+pub const EXPERIMENTS: [Experiment; 5] = [CMS_L1, DUNE, ECCE, MU2E, VERA_RUBIN];
+
+/// Vera Rubin's alert-stream burst rate (§2.1: "expected to burst to
+/// 5.4 Gbps").
+pub const RUBIN_ALERT_BURST: Bandwidth = Bandwidth::mbps(5_400);
+
+/// Vera Rubin's nightly capture volume in bytes (§2.1: 30 TB).
+pub const RUBIN_NIGHTLY_BYTES: u64 = 30_000_000_000_000;
+
+/// Look up an experiment by its MMT experiment number.
+pub fn by_number(experiment_no: u32) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.experiment_no == experiment_no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rates_match_paper() {
+        assert_eq!(CMS_L1.daq_rate, Bandwidth::tbps(63));
+        assert_eq!(DUNE.daq_rate, Bandwidth::tbps(120));
+        assert_eq!(ECCE.daq_rate, Bandwidth::tbps(100));
+        assert_eq!(MU2E.daq_rate, Bandwidth::gbps(160));
+        assert_eq!(VERA_RUBIN.daq_rate, Bandwidth::gbps(400));
+    }
+
+    #[test]
+    fn record_rate_times_size_reproduces_daq_rate() {
+        for exp in EXPERIMENTS {
+            let reconstructed = exp.record_rate_hz() * exp.record_bytes as f64 * 8.0;
+            let target = exp.daq_rate.as_bps() as f64;
+            assert!(
+                (reconstructed - target).abs() / target < 1e-9,
+                "{}: {reconstructed} vs {target}",
+                exp.name
+            );
+        }
+    }
+
+    #[test]
+    fn record_interval_positive_even_at_extreme_rates() {
+        for exp in EXPERIMENTS {
+            assert!(exp.record_interval().as_nanos() >= 1, "{}", exp.name);
+        }
+        // DUNE at 120 Tbps with 8 KiB records ⇒ ~1.8 G records/s ⇒ sub-ns
+        // mean gap, clamped to 1 ns (generation then proceeds in batches).
+        assert_eq!(DUNE.record_interval().as_nanos(), 1);
+        // Mu2e: 160 Gbps at 4 KiB ⇒ ≈4.88 M records/s ⇒ ≈205 ns.
+        let gap = MU2E.record_interval().as_nanos();
+        assert!((200..=210).contains(&gap), "{gap}");
+    }
+
+    #[test]
+    fn lookup_and_ids() {
+        assert_eq!(by_number(2).unwrap().name, "DUNE");
+        assert!(by_number(99).is_none());
+        let id = DUNE.id(3);
+        assert_eq!(id.experiment(), 2);
+        assert_eq!(id.slice(), 3);
+    }
+
+    #[test]
+    fn unique_experiment_numbers() {
+        let mut nums: Vec<u32> = EXPERIMENTS.iter().map(|e| e.experiment_no).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn rubin_constants() {
+        assert_eq!(RUBIN_ALERT_BURST.as_bps(), 5_400_000_000);
+        assert_eq!(RUBIN_NIGHTLY_BYTES, 30_000_000_000_000);
+    }
+}

@@ -1,0 +1,297 @@
+//! A liquid-argon time-projection chamber (LArTPC) model.
+//!
+//! ICEBERG — the pilot's hardware data source — is a small LArTPC: charged
+//! particles ionize argon, the freed electrons drift to anode wires, and
+//! each wire's induced current is digitized (~2 MHz, 12-bit ADC). The
+//! model below synthesizes exactly that signal chain: per-channel pedestal
+//! + Gaussian noise, plus triangular unipolar pulses where particle "hits"
+//! deposit charge, then a threshold-based trigger-primitive finder of the
+//! kind DUNE runs in its readout firmware.
+
+use crate::events::Hit;
+use mmt_netsim::SimRng;
+
+/// Static configuration of a LArTPC readout plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LArTpcConfig {
+    /// Number of readout channels (wires).
+    pub channels: u16,
+    /// ADC sampling period in nanoseconds (DUNE: 500 ns ⇒ 2 MHz).
+    pub sample_period_ns: u64,
+    /// ADC resolution in bits (DUNE: 12).
+    pub adc_bits: u8,
+    /// Pedestal (baseline) in ADC counts.
+    pub pedestal: u16,
+    /// RMS of the Gaussian electronics noise, in ADC counts.
+    pub noise_rms: f64,
+}
+
+impl LArTpcConfig {
+    /// ICEBERG-like defaults: 1280 channels, 2 MHz, 12-bit, quiet
+    /// electronics.
+    pub fn iceberg() -> LArTpcConfig {
+        LArTpcConfig {
+            channels: 1280,
+            sample_period_ns: 500,
+            adc_bits: 12,
+            pedestal: 900,
+            noise_rms: 4.5,
+        }
+    }
+
+    /// Maximum ADC count.
+    pub fn adc_max(&self) -> u16 {
+        ((1u32 << self.adc_bits) - 1) as u16
+    }
+}
+
+/// A trigger primitive: one channel's above-threshold activity summary —
+/// the unit DUNE's readout firmware emits upstream of the event builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerPrimitive {
+    /// Channel that fired.
+    pub channel: u16,
+    /// Index of the first above-threshold sample.
+    pub start_sample: u32,
+    /// Number of consecutive above-threshold samples.
+    pub samples_over: u32,
+    /// Sum of (ADC − pedestal) over the window (collected charge proxy).
+    pub charge: u32,
+    /// Peak ADC value.
+    pub peak: u16,
+}
+
+/// The detector model.
+#[derive(Debug, Clone)]
+pub struct LArTpc {
+    /// Configuration.
+    pub config: LArTpcConfig,
+    rng: SimRng,
+}
+
+impl LArTpc {
+    /// Create a detector with a deterministic noise seed.
+    pub fn new(config: LArTpcConfig, seed: u64) -> LArTpc {
+        LArTpc {
+            config,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Synthesize one channel's waveform over `n_samples`, injecting the
+    /// given hits (only those on this channel contribute).
+    ///
+    /// Hit times are in samples relative to the window start; each hit
+    /// produces a triangular pulse of `duration_samples` width peaking at
+    /// `amplitude` ADC counts above pedestal.
+    pub fn waveform(&mut self, channel: u16, n_samples: usize, hits: &[Hit]) -> Vec<u16> {
+        let cfg = self.config;
+        let max = cfg.adc_max();
+        let mut wf = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let noisy = cfg.pedestal as f64 + self.rng.normal(0.0, cfg.noise_rms);
+            wf.push(noisy.round().clamp(0.0, max as f64) as u16);
+        }
+        for hit in hits.iter().filter(|h| h.channel == channel) {
+            let start = hit.time_sample as usize;
+            let dur = hit.duration_samples.max(2) as usize;
+            let half = dur / 2;
+            for i in 0..dur {
+                let Some(slot) = wf.get_mut(start + i) else { break };
+                // Triangular pulse: rise to peak at `half`, fall after.
+                let frac = if i <= half {
+                    i as f64 / half.max(1) as f64
+                } else {
+                    (dur - i) as f64 / (dur - half).max(1) as f64
+                };
+                let add = (hit.amplitude as f64 * frac).round() as u16;
+                *slot = (*slot + add).min(max);
+            }
+        }
+        wf
+    }
+
+    /// Run the trigger-primitive finder: contiguous runs of samples at
+    /// least `threshold` counts above pedestal become primitives.
+    pub fn find_primitives(
+        &self,
+        channel: u16,
+        waveform: &[u16],
+        threshold: u16,
+    ) -> Vec<TriggerPrimitive> {
+        let pedestal = self.config.pedestal;
+        let cut = pedestal.saturating_add(threshold);
+        let mut out = Vec::new();
+        let mut run_start: Option<usize> = None;
+        let mut charge = 0u32;
+        let mut peak = 0u16;
+        for (i, &s) in waveform.iter().enumerate() {
+            if s >= cut {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                    charge = 0;
+                    peak = 0;
+                }
+                charge += u32::from(s.saturating_sub(pedestal));
+                peak = peak.max(s);
+            } else if let Some(start) = run_start.take() {
+                out.push(TriggerPrimitive {
+                    channel,
+                    start_sample: start as u32,
+                    samples_over: (i - start) as u32,
+                    charge,
+                    peak,
+                });
+            }
+        }
+        if let Some(start) = run_start {
+            out.push(TriggerPrimitive {
+                channel,
+                start_sample: start as u32,
+                samples_over: (waveform.len() - start) as u32,
+                charge,
+                peak,
+            });
+        }
+        out
+    }
+}
+
+/// Pack 12-bit ADC samples two-per-three-bytes (the dense encoding DAQ
+/// firmware uses to fill jumbo frames efficiently).
+pub fn pack_samples(samples: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 3 / 2 + 2);
+    let mut iter = samples.chunks_exact(2);
+    for pair in &mut iter {
+        let a = pair[0] & 0x0fff;
+        let b = pair[1] & 0x0fff;
+        out.push((a >> 4) as u8);
+        out.push((((a & 0x0f) as u8) << 4) | ((b >> 8) as u8));
+        out.push(b as u8);
+    }
+    if let [last] = iter.remainder() {
+        let a = last & 0x0fff;
+        out.push((a >> 4) as u8);
+        out.push(((a & 0x0f) as u8) << 4);
+    }
+    out
+}
+
+/// Unpack samples produced by [`pack_samples`]. `count` is the original
+/// sample count (needed to distinguish a trailing half-word from padding).
+pub fn unpack_samples(packed: &[u8], count: usize) -> Vec<u16> {
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0;
+    while out.len() + 2 <= count && i + 3 <= packed.len() {
+        let a = (u16::from(packed[i]) << 4) | (u16::from(packed[i + 1]) >> 4);
+        let b = ((u16::from(packed[i + 1]) & 0x0f) << 8) | u16::from(packed[i + 2]);
+        out.push(a);
+        out.push(b);
+        i += 3;
+    }
+    if out.len() < count && i + 2 <= packed.len() {
+        let a = (u16::from(packed[i]) << 4) | (u16::from(packed[i + 1]) >> 4);
+        out.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(channel: u16, time: u32, amplitude: u16) -> Hit {
+        Hit {
+            channel,
+            time_sample: time,
+            amplitude,
+            duration_samples: 10,
+        }
+    }
+
+    #[test]
+    fn quiet_channel_stays_near_pedestal() {
+        let mut det = LArTpc::new(LArTpcConfig::iceberg(), 1);
+        let wf = det.waveform(0, 2000, &[]);
+        assert_eq!(wf.len(), 2000);
+        let mean: f64 = wf.iter().map(|&s| f64::from(s)).sum::<f64>() / 2000.0;
+        assert!((mean - 900.0).abs() < 1.0, "{mean}");
+        // Noise never strays absurdly far (±10σ).
+        assert!(wf.iter().all(|&s| (855..=945).contains(&s)));
+    }
+
+    #[test]
+    fn hit_produces_pulse_on_its_channel_only() {
+        let mut det = LArTpc::new(LArTpcConfig::iceberg(), 2);
+        let hits = [hit(5, 100, 300)];
+        let wf5 = det.waveform(5, 300, &hits);
+        let wf6 = det.waveform(6, 300, &hits);
+        let peak5 = *wf5.iter().max().unwrap();
+        let peak6 = *wf6.iter().max().unwrap();
+        assert!(peak5 > 1100, "{peak5}");
+        assert!(peak6 < 950, "{peak6}");
+    }
+
+    #[test]
+    fn primitives_found_for_real_pulses_not_noise() {
+        let cfg = LArTpcConfig::iceberg();
+        let mut det = LArTpc::new(cfg, 3);
+        let hits = [hit(0, 50, 200), hit(0, 400, 200)];
+        let wf = det.waveform(0, 600, &hits);
+        let prims = det.find_primitives(0, &wf, 60);
+        assert_eq!(prims.len(), 2, "{prims:?}");
+        assert!(prims[0].start_sample >= 50 && prims[0].start_sample < 60);
+        assert!(prims[1].start_sample >= 400 && prims[1].start_sample < 410);
+        assert!(prims.iter().all(|p| p.charge > 0 && p.peak > cfg.pedestal));
+        // Pure noise yields nothing at a 60-count (≈13σ) threshold.
+        let quiet = det.waveform(1, 5000, &[]);
+        assert!(det.find_primitives(1, &quiet, 60).is_empty());
+    }
+
+    #[test]
+    fn primitive_at_window_end_is_closed() {
+        let det = LArTpc::new(LArTpcConfig::iceberg(), 4);
+        // Hand-built waveform ending above threshold.
+        let mut wf = vec![900u16; 10];
+        wf.extend_from_slice(&[1000, 1000, 1000]);
+        let prims = det.find_primitives(2, &wf, 50);
+        assert_eq!(prims.len(), 1);
+        assert_eq!(prims[0].start_sample, 10);
+        assert_eq!(prims[0].samples_over, 3);
+        assert_eq!(prims[0].charge, 300);
+    }
+
+    #[test]
+    fn pulse_clamps_at_adc_max() {
+        let cfg = LArTpcConfig::iceberg();
+        let mut det = LArTpc::new(cfg, 5);
+        let hits = [hit(0, 10, 4000)]; // would exceed 4095
+        let wf = det.waveform(0, 40, &hits);
+        assert_eq!(*wf.iter().max().unwrap(), cfg.adc_max());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_even_and_odd() {
+        for n in [0usize, 1, 2, 7, 100, 101] {
+            let samples: Vec<u16> = (0..n as u16).map(|i| (i * 37) & 0x0fff).collect();
+            let packed = pack_samples(&samples);
+            assert_eq!(unpack_samples(&packed, n), samples, "n={n}");
+            // Density: 1.5 bytes per sample (rounded up to whole bytes).
+            assert!(packed.len() <= n * 3 / 2 + 2);
+        }
+    }
+
+    #[test]
+    fn packing_masks_to_12_bits() {
+        let samples = vec![0xffff, 0xffff];
+        let packed = pack_samples(&samples);
+        assert_eq!(unpack_samples(&packed, 2), vec![0x0fff, 0x0fff]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = LArTpc::new(LArTpcConfig::iceberg(), 7);
+        let mut b = LArTpc::new(LArTpcConfig::iceberg(), 7);
+        assert_eq!(a.waveform(0, 100, &[]), b.waveform(0, 100, &[]));
+    }
+}

@@ -1,0 +1,138 @@
+//! Osmotic computing sensors (§6, challenge 3).
+//!
+//! "Osmotic computing uses a large number of distributed sensors, instead
+//! of a few large instruments. Sensors lack a DAQ network — instead they
+//! rely on cell networks and backhaul." Examples in the paper's citations
+//! include kilometre-baseline GPS scintillation arrays \[20\]. Each sensor
+//! produces a trickle (hertz-rate, sub-kilobyte readings); the challenge
+//! is *integration*: getting thousands of trickles into the same
+//! infrastructure — with the same headers, slicing, and timeliness
+//! machinery — that carries the 100 Tb/s instruments.
+
+use crate::workload::WorkloadMessage;
+use mmt_netsim::{SimRng, Time};
+use mmt_wire::mmt::ExperimentId;
+
+/// A field of dispersed sensors.
+#[derive(Debug, Clone)]
+pub struct SensorField {
+    /// The experiment these sensors belong to.
+    pub experiment: ExperimentId,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Mean reporting interval per sensor.
+    pub report_interval: Time,
+    /// Reading size, bytes.
+    pub reading_bytes: usize,
+    /// Timing jitter fraction (cell-network scheduling noise), 0.0–1.0.
+    pub jitter: f64,
+}
+
+impl SensorField {
+    /// A GPS-scintillation-like array: 200 stations, 1 reading/s, 512 B.
+    pub fn scintillation_array(experiment: ExperimentId) -> SensorField {
+        SensorField {
+            experiment,
+            sensors: 200,
+            report_interval: Time::from_secs(1),
+            reading_bytes: 512,
+            jitter: 0.3,
+        }
+    }
+
+    /// Generate all readings up to `until`, merged into one time-ordered
+    /// stream with per-sensor phase offsets and jitter.
+    pub fn readings_until(&self, until: Time, seed: u64) -> Vec<WorkloadMessage> {
+        let mut rng = SimRng::new(seed);
+        let mut out = Vec::new();
+        let mut index = 0u64;
+        for sensor in 0..self.sensors {
+            // Each sensor free-runs with a random phase.
+            let phase = Time::from_nanos(rng.next_bounded(self.report_interval.as_nanos().max(1)));
+            let mut t = phase;
+            while t <= until {
+                let jitter_span = (self.report_interval.as_nanos() as f64 * self.jitter) as u64;
+                let jitter = if jitter_span > 0 {
+                    Time::from_nanos(rng.next_bounded(jitter_span))
+                } else {
+                    Time::ZERO
+                };
+                out.push(WorkloadMessage {
+                    at: t + jitter,
+                    payload_len: self.reading_bytes,
+                    index,
+                    // The sensor id rides in the slice byte: dispersed
+                    // fields are just another partitioned instrument.
+                    experiment: self.experiment.with_slice((sensor % 256) as u8),
+                });
+                index += 1;
+                t += self.report_interval;
+            }
+        }
+        out.sort_by_key(|m| m.at);
+        for (i, m) in out.iter_mut().enumerate() {
+            m.index = i as u64;
+        }
+        out
+    }
+
+    /// Aggregate offered load in bits per second.
+    pub fn offered_bps(&self) -> f64 {
+        self.sensors as f64 * self.reading_bytes as f64 * 8.0
+            / self.report_interval.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> SensorField {
+        SensorField::scintillation_array(ExperimentId::new(6, 0))
+    }
+
+    #[test]
+    fn trickle_rates_are_tiny_next_to_table1() {
+        let f = field();
+        // 200 × 512 B/s ≈ 0.8 Mb/s — ten orders below DUNE.
+        assert!((0.7e6..0.9e6).contains(&f.offered_bps()), "{}", f.offered_bps());
+    }
+
+    #[test]
+    fn readings_are_time_ordered_and_complete() {
+        let f = field();
+        let msgs = f.readings_until(Time::from_secs(10), 1);
+        // ~200 sensors × ~10 readings each.
+        assert!((1800..2300).contains(&msgs.len()), "{}", msgs.len());
+        assert!(msgs.windows(2).all(|w| w[1].at >= w[0].at));
+        assert!(msgs.iter().enumerate().all(|(i, m)| m.index == i as u64));
+        // Sensor identity rides the slice byte.
+        let slices: std::collections::HashSet<u8> =
+            msgs.iter().map(|m| m.experiment.slice()).collect();
+        assert!(slices.len() > 150, "{}", slices.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = field();
+        assert_eq!(
+            f.readings_until(Time::from_secs(2), 9),
+            f.readings_until(Time::from_secs(2), 9)
+        );
+        assert_ne!(
+            f.readings_until(Time::from_secs(2), 9),
+            f.readings_until(Time::from_secs(2), 10)
+        );
+    }
+
+    #[test]
+    fn jitter_zero_is_strictly_periodic_per_sensor() {
+        let mut f = field();
+        f.jitter = 0.0;
+        f.sensors = 1;
+        let msgs = f.readings_until(Time::from_secs(5), 3);
+        assert!(msgs.len() >= 4);
+        let gaps: Vec<u64> = msgs.windows(2).map(|w| (w[1].at - w[0].at).as_nanos()).collect();
+        assert!(gaps.iter().all(|&g| g == gaps[0]));
+    }
+}

@@ -1,0 +1,266 @@
+//! A columnar storage container — the HDF5 stand-in (§6, challenge 2).
+//!
+//! "DPDK-capable or FPGA resources could be used to ... transcode into
+//! other formats, such as HDF5 which is ubiquitously used for storage in
+//! scientific computing." Real HDF5 is a large external format; this
+//! container captures the property the transport cares about — many
+//! discrete trigger records packed into one seekable object with an index
+//! — in a compact format that in-path processors can emit.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "MMTSTOR1" (8) | version u8 | reserved (3) | record count u32 |
+//! index offset u64 | record bytes... | index: count × (offset u64,
+//! len u32, event u64, timestamp_ns u64)
+//! ```
+
+use mmt_wire::daq::TriggerRecord;
+
+/// Container magic bytes.
+pub const MAGIC: &[u8; 8] = b"MMTSTOR1";
+const HEADER_LEN: usize = 8 + 1 + 3 + 4 + 8;
+const INDEX_ENTRY_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Errors from container encoding/decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// Magic or version mismatch.
+    NotAContainer,
+    /// Structure inconsistent with the byte length.
+    Corrupt(&'static str),
+    /// A contained record failed to decode.
+    BadRecord,
+}
+
+impl core::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StorageError::NotAContainer => write!(f, "not an MMTSTOR1 container"),
+            StorageError::Corrupt(what) => write!(f, "corrupt container: {what}"),
+            StorageError::BadRecord => write!(f, "contained record failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Accumulates trigger records into a container.
+#[derive(Debug, Default)]
+pub struct ContainerWriter {
+    records: Vec<u8>,
+    index: Vec<(u64, u32, u64, u64)>,
+}
+
+impl ContainerWriter {
+    /// An empty writer.
+    pub fn new() -> ContainerWriter {
+        ContainerWriter::default()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: &TriggerRecord) -> Result<(), StorageError> {
+        let encoded = record.encode().map_err(|_| StorageError::BadRecord)?;
+        let offset = (HEADER_LEN + self.records.len()) as u64;
+        self.index.push((
+            offset,
+            encoded.len() as u32,
+            record.event,
+            record.timestamp_ns,
+        ));
+        self.records.extend_from_slice(&encoded);
+        Ok(())
+    }
+
+    /// Records accumulated so far.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the writer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Serialize the container.
+    pub fn finish(self) -> Vec<u8> {
+        let index_offset = (HEADER_LEN + self.records.len()) as u64;
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + self.records.len() + self.index.len() * INDEX_ENTRY_LEN);
+        out.extend_from_slice(MAGIC);
+        out.push(1); // version
+        out.extend_from_slice(&[0; 3]);
+        out.extend_from_slice(&(self.index.len() as u32).to_be_bytes());
+        out.extend_from_slice(&index_offset.to_be_bytes());
+        out.extend_from_slice(&self.records);
+        for (offset, len, event, ts) in &self.index {
+            out.extend_from_slice(&offset.to_be_bytes());
+            out.extend_from_slice(&len.to_be_bytes());
+            out.extend_from_slice(&event.to_be_bytes());
+            out.extend_from_slice(&ts.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// Random-access reader over a serialized container.
+#[derive(Debug)]
+pub struct ContainerReader<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    index_offset: usize,
+}
+
+impl<'a> ContainerReader<'a> {
+    /// Open a container, validating structure.
+    pub fn open(bytes: &'a [u8]) -> Result<ContainerReader<'a>, StorageError> {
+        if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC || bytes[8] != 1 {
+            return Err(StorageError::NotAContainer);
+        }
+        let count = u32::from_be_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let index_offset = u64::from_be_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let expected_len = index_offset + count * INDEX_ENTRY_LEN;
+        if index_offset < HEADER_LEN || bytes.len() != expected_len {
+            return Err(StorageError::Corrupt("length/index mismatch"));
+        }
+        Ok(ContainerReader {
+            bytes,
+            count,
+            index_offset,
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn entry(&self, i: usize) -> Result<(usize, usize, u64, u64), StorageError> {
+        if i >= self.count {
+            return Err(StorageError::Corrupt("index out of range"));
+        }
+        let off = self.index_offset + i * INDEX_ENTRY_LEN;
+        let b = &self.bytes[off..off + INDEX_ENTRY_LEN];
+        let rec_off = u64::from_be_bytes(b[0..8].try_into().unwrap()) as usize;
+        let rec_len = u32::from_be_bytes(b[8..12].try_into().unwrap()) as usize;
+        let event = u64::from_be_bytes(b[12..20].try_into().unwrap());
+        let ts = u64::from_be_bytes(b[20..28].try_into().unwrap());
+        if rec_off + rec_len > self.index_offset {
+            return Err(StorageError::Corrupt("record overlaps index"));
+        }
+        Ok((rec_off, rec_len, event, ts))
+    }
+
+    /// The `(event number, timestamp)` of record `i` — index-only access,
+    /// no record decode (what analysis-time seeks use).
+    pub fn metadata(&self, i: usize) -> Result<(u64, u64), StorageError> {
+        let (_, _, event, ts) = self.entry(i)?;
+        Ok((event, ts))
+    }
+
+    /// Decode record `i`.
+    pub fn record(&self, i: usize) -> Result<TriggerRecord, StorageError> {
+        let (off, len, _, _) = self.entry(i)?;
+        TriggerRecord::decode(&self.bytes[off..off + len]).map_err(|_| StorageError::BadRecord)
+    }
+
+    /// Iterate all records.
+    pub fn records(&self) -> impl Iterator<Item = Result<TriggerRecord, StorageError>> + '_ {
+        (0..self.count).map(|i| self.record(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_wire::daq::{DuneSubHeader, SubHeader};
+
+    fn record(event: u64) -> TriggerRecord {
+        TriggerRecord {
+            run: 9,
+            event,
+            timestamp_ns: event * 1_000,
+            sub: SubHeader::Dune(DuneSubHeader {
+                crate_no: 1,
+                slot: 2,
+                link: 3,
+                first_channel: 0,
+                last_channel: 63,
+            }),
+            payload: vec![event as u8; 100 + (event as usize % 50)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_many_records() {
+        let mut w = ContainerWriter::new();
+        assert!(w.is_empty());
+        for e in 0..20 {
+            w.push(&record(e)).unwrap();
+        }
+        assert_eq!(w.len(), 20);
+        let bytes = w.finish();
+        let r = ContainerReader::open(&bytes).unwrap();
+        assert_eq!(r.len(), 20);
+        assert!(!r.is_empty());
+        for e in 0..20u64 {
+            assert_eq!(r.record(e as usize).unwrap(), record(e));
+            assert_eq!(r.metadata(e as usize).unwrap(), (e, e * 1_000));
+        }
+        assert_eq!(r.records().filter_map(Result::ok).count(), 20);
+    }
+
+    #[test]
+    fn empty_container() {
+        let bytes = ContainerWriter::new().finish();
+        let r = ContainerReader::open(&bytes).unwrap();
+        assert!(r.is_empty());
+        assert!(r.record(0).is_err());
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        let mut w = ContainerWriter::new();
+        w.push(&record(1)).unwrap();
+        let bytes = w.finish();
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            ContainerReader::open(&bad),
+            Err(StorageError::NotAContainer)
+        ));
+        assert!(ContainerReader::open(&bytes[..bytes.len() - 1]).is_err());
+        assert!(ContainerReader::open(&bytes[..10]).is_err());
+        // Version bump rejected.
+        let mut v2 = bytes.clone();
+        v2[8] = 2;
+        assert!(matches!(
+            ContainerReader::open(&v2),
+            Err(StorageError::NotAContainer)
+        ));
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let mut w = ContainerWriter::new();
+        w.push(&record(1)).unwrap();
+        let mut bytes = w.finish();
+        // Point the first index entry's offset past the index start.
+        let idx = u64::from_be_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        bytes[idx..idx + 8].copy_from_slice(&(u64::MAX / 2).to_be_bytes());
+        let r = ContainerReader::open(&bytes).unwrap();
+        assert!(matches!(r.record(0), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StorageError::NotAContainer.to_string().contains("MMTSTOR1"));
+        assert!(StorageError::Corrupt("x").to_string().contains('x'));
+        assert!(StorageError::BadRecord.to_string().contains("record"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Wire-level workload generators: the traffic shapes of §2.1.
+//!
+//! "Traffic consists of elephant flows with a regular shape (size and
+//! arrival rate)" — [`RegularFlow`] produces exactly that. The Vera Rubin
+//! alert stream "is expected to burst to 5.4 Gbps, and takes place
+//! alongside the nightly 30 TB capture" — [`BurstFlow`] models the bursty
+//! alert traffic; running both together reproduces the telescope's mix.
+//!
+//! Generators yield [`WorkloadMessage`]s (time + size + identity) rather
+//! than full packets, so experiments can choose framing (MMT over
+//! Ethernet, MMT over IP, TCP baseline) independently of the workload.
+
+use mmt_netsim::{Bandwidth, Time};
+use mmt_wire::mmt::ExperimentId;
+
+/// One message to transmit: a discrete, timestamped DAQ unit (Req 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMessage {
+    /// Creation time at the source.
+    pub at: Time,
+    /// Payload size in bytes (excluding transport headers).
+    pub payload_len: usize,
+    /// Message index within its flow (source-assigned, 0-based).
+    pub index: u64,
+    /// Which experiment/slice produced it.
+    pub experiment: ExperimentId,
+}
+
+/// A constant-rate, constant-size elephant flow.
+#[derive(Debug, Clone)]
+pub struct RegularFlow {
+    experiment: ExperimentId,
+    message_bytes: usize,
+    interval: Time,
+    start: Time,
+    next_index: u64,
+}
+
+impl RegularFlow {
+    /// A flow of `message_bytes` messages at `rate` starting at `start`.
+    ///
+    /// # Panics
+    /// Panics if the rate or size produce a zero interval.
+    pub fn new(
+        experiment: ExperimentId,
+        message_bytes: usize,
+        rate: Bandwidth,
+        start: Time,
+    ) -> RegularFlow {
+        let interval = rate.tx_time(message_bytes);
+        assert!(interval > Time::ZERO, "rate too high for message size");
+        RegularFlow {
+            experiment,
+            message_bytes,
+            interval,
+            start,
+            next_index: 0,
+        }
+    }
+
+    /// The constant inter-message gap.
+    pub fn interval(&self) -> Time {
+        self.interval
+    }
+
+    /// Messages with creation times `<= until`.
+    pub fn take_until(&mut self, until: Time) -> Vec<WorkloadMessage> {
+        let mut out = Vec::new();
+        loop {
+            let at = self.start + self.interval * self.next_index;
+            if at > until {
+                break;
+            }
+            out.push(WorkloadMessage {
+                at,
+                payload_len: self.message_bytes,
+                index: self.next_index,
+                experiment: self.experiment,
+            });
+            self.next_index += 1;
+        }
+        out
+    }
+}
+
+impl Iterator for RegularFlow {
+    type Item = WorkloadMessage;
+
+    fn next(&mut self) -> Option<WorkloadMessage> {
+        let at = self.start.checked_add(self.interval * self.next_index)?;
+        let msg = WorkloadMessage {
+            at,
+            payload_len: self.message_bytes,
+            index: self.next_index,
+            experiment: self.experiment,
+        };
+        self.next_index += 1;
+        Some(msg)
+    }
+}
+
+/// An on/off burst flow: `burst_rate` for `burst_len`, silent until the
+/// next period boundary. Vera Rubin's alert stream: a burst after each
+/// exposure readout (~every 34 s), peaking at 5.4 Gbps (§2.1).
+#[derive(Debug, Clone)]
+pub struct BurstFlow {
+    experiment: ExperimentId,
+    message_bytes: usize,
+    /// Gap between messages inside a burst.
+    intra_gap: Time,
+    /// Burst duration.
+    burst_len: Time,
+    /// Period between burst starts.
+    period: Time,
+    start: Time,
+    next_index: u64,
+    /// Messages emitted in the current burst.
+    in_burst: u64,
+    /// Index of the current burst.
+    burst_no: u64,
+}
+
+impl BurstFlow {
+    /// Create a burst flow.
+    ///
+    /// # Panics
+    /// Panics if the burst is longer than the period or rates degenerate.
+    pub fn new(
+        experiment: ExperimentId,
+        message_bytes: usize,
+        burst_rate: Bandwidth,
+        burst_len: Time,
+        period: Time,
+        start: Time,
+    ) -> BurstFlow {
+        assert!(burst_len <= period, "burst longer than its period");
+        let intra_gap = burst_rate.tx_time(message_bytes);
+        assert!(intra_gap > Time::ZERO, "burst rate too high for size");
+        BurstFlow {
+            experiment,
+            message_bytes,
+            intra_gap,
+            burst_len,
+            period,
+            start,
+            next_index: 0,
+            in_burst: 0,
+            burst_no: 0,
+        }
+    }
+
+    /// The Vera Rubin alert profile: 8 KiB alert packets bursting at
+    /// 5.4 Gbps for 1 s out of every 34 s exposure cadence.
+    pub fn vera_rubin_alerts(start: Time) -> BurstFlow {
+        BurstFlow::new(
+            crate::catalog::VERA_RUBIN.id(0),
+            8192,
+            crate::catalog::RUBIN_ALERT_BURST,
+            Time::from_secs(1),
+            Time::from_secs(34),
+            start,
+        )
+    }
+
+    /// Messages with creation times `<= until`.
+    pub fn take_until(&mut self, until: Time) -> Vec<WorkloadMessage> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.peek_time().filter(|&t| t <= until).map(|t| {
+            let m = WorkloadMessage {
+                at: t,
+                payload_len: self.message_bytes,
+                index: self.next_index,
+                experiment: self.experiment,
+            };
+            self.advance();
+            m
+        }) {
+            out.push(msg);
+        }
+        out
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        let burst_start = self.start.checked_add(self.period * self.burst_no)?;
+        let offset = self.intra_gap * self.in_burst;
+        burst_start.checked_add(offset)
+    }
+
+    fn advance(&mut self) {
+        self.next_index += 1;
+        self.in_burst += 1;
+        // Past the burst window? Move to the next period.
+        if self.intra_gap * self.in_burst >= self.burst_len {
+            self.in_burst = 0;
+            self.burst_no += 1;
+        }
+    }
+}
+
+impl Iterator for BurstFlow {
+    type Item = WorkloadMessage;
+
+    fn next(&mut self) -> Option<WorkloadMessage> {
+        let at = self.peek_time()?;
+        let msg = WorkloadMessage {
+            at,
+            payload_len: self.message_bytes,
+            index: self.next_index,
+            experiment: self.experiment,
+        };
+        self.advance();
+        Some(msg)
+    }
+}
+
+/// Offered load of a message batch over an interval, in bits per second.
+pub fn offered_bps(messages: &[WorkloadMessage], over: Time) -> f64 {
+    if over == Time::ZERO {
+        return 0.0;
+    }
+    let bytes: u64 = messages.iter().map(|m| m.payload_len as u64).sum();
+    bytes as f64 * 8.0 / over.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn regular_flow_has_constant_shape() {
+        let mut flow = RegularFlow::new(
+            catalog::DUNE.id(0),
+            8192,
+            Bandwidth::gbps(10),
+            Time::ZERO,
+        );
+        let msgs = flow.take_until(Time::from_millis(1));
+        // 8192 B at 10 Gb/s = 6.5536 µs per message → ~152 in 1 ms.
+        assert!((150..=154).contains(&msgs.len()), "{}", msgs.len());
+        // Perfectly regular gaps and sizes.
+        let gap = msgs[1].at - msgs[0].at;
+        assert_eq!(gap, flow.interval());
+        for w in msgs.windows(2) {
+            assert_eq!(w[1].at - w[0].at, gap);
+            assert_eq!(w[0].payload_len, 8192);
+        }
+        // Indices are sequential.
+        assert!(msgs.iter().enumerate().all(|(i, m)| m.index == i as u64));
+        // Offered load reproduces the configured rate.
+        let bps = offered_bps(&msgs, Time::from_millis(1));
+        assert!((bps - 10e9).abs() / 10e9 < 0.02, "{bps}");
+    }
+
+    #[test]
+    fn regular_flow_iterator_agrees_with_take_until() {
+        let flow_a = RegularFlow::new(catalog::MU2E.id(0), 4096, Bandwidth::gbps(1), Time::ZERO);
+        let mut flow_b = flow_a.clone();
+        let from_iter: Vec<_> = flow_a.take(10).collect();
+        let from_take = flow_b.take_until(from_iter.last().unwrap().at);
+        assert_eq!(from_iter, from_take);
+    }
+
+    #[test]
+    fn burst_flow_is_silent_between_bursts() {
+        let mut flow = BurstFlow::new(
+            catalog::VERA_RUBIN.id(0),
+            8192,
+            Bandwidth::gbps(5),
+            Time::from_millis(10),
+            Time::from_secs(1),
+            Time::ZERO,
+        );
+        let msgs = flow.take_until(Time::from_secs(3));
+        assert!(!msgs.is_empty());
+        // All messages fall within [k, k + 10 ms) of some period k.
+        for m in &msgs {
+            let phase = m.at.as_nanos() % 1_000_000_000;
+            assert!(phase < 10_000_000, "message outside burst window: {m:?}");
+        }
+        // Roughly: 10 ms at 5 Gb/s = 6.25 MB / 8 KiB ≈ 763 msgs per burst,
+        // 4 burst starts in [0, 3] (t=0,1,2,3 — t=3 contributes 1 message).
+        let per_burst = msgs
+            .iter()
+            .filter(|m| m.at < Time::from_millis(10))
+            .count();
+        assert!((700..830).contains(&per_burst), "{per_burst}");
+    }
+
+    #[test]
+    fn vera_rubin_profile_peaks_at_5_4_gbps() {
+        let mut flow = BurstFlow::vera_rubin_alerts(Time::ZERO);
+        let msgs = flow.take_until(Time::from_secs(1));
+        let in_burst: Vec<_> = msgs
+            .iter()
+            .filter(|m| m.at < Time::from_secs(1))
+            .copied()
+            .collect();
+        let bps = offered_bps(&in_burst, Time::from_secs(1));
+        assert!((bps - 5.4e9).abs() / 5.4e9 < 0.02, "{bps}");
+        // And silence until the next exposure at t = 34 s.
+        let mut flow2 = BurstFlow::vera_rubin_alerts(Time::ZERO);
+        let more = flow2.take_until(Time::from_secs(33));
+        assert!(more.iter().all(|m| m.at <= Time::from_secs(1) + Time::from_nanos(1)));
+    }
+
+    #[test]
+    fn burst_iterator_monotone() {
+        let flow = BurstFlow::vera_rubin_alerts(Time::from_secs(5));
+        let msgs: Vec<_> = flow.take(2000).collect();
+        assert!(msgs.windows(2).all(|w| w[1].at > w[0].at));
+        assert!(msgs[0].at == Time::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst longer")]
+    fn burst_longer_than_period_panics() {
+        let _ = BurstFlow::new(
+            catalog::VERA_RUBIN.id(0),
+            1024,
+            Bandwidth::gbps(1),
+            Time::from_secs(2),
+            Time::from_secs(1),
+            Time::ZERO,
+        );
+    }
+
+    #[test]
+    fn offered_bps_zero_interval() {
+        assert_eq!(offered_bps(&[], Time::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,511 @@
+//! The fixed parse graph: Ethernet → (IPv4 →) MMT.
+//!
+//! MMT appears either directly above Ethernet (EtherType 0x88B5, inside
+//! DAQ networks — Req 1) or above IPv4 (protocol 253, on WAN segments).
+//! The parser locates the MMT header without copying; actions that grow or
+//! shrink the header rebuild the frame.
+
+use mmt_wire::ethernet::{self, EtherType, Frame};
+use mmt_wire::ipv4::{self, Packet as Ipv4Packet, Protocol};
+use mmt_wire::mmt::{CoreHeader, MmtRepr};
+
+/// Which encapsulation layers were found in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketLayers {
+    /// Ethernet, then something we don't parse (not MMT traffic).
+    EthernetOnly,
+    /// Ethernet → MMT (DAQ network framing).
+    EthernetMmt {
+        /// Byte offset of the MMT header.
+        mmt_offset: usize,
+    },
+    /// Ethernet → IPv4, payload is not MMT.
+    EthernetIpv4,
+    /// Ethernet → IPv4 → MMT (WAN framing).
+    EthernetIpv4Mmt {
+        /// Byte offset of the IPv4 header.
+        ip_offset: usize,
+        /// Byte offset of the MMT header.
+        mmt_offset: usize,
+    },
+    /// Ethernet → IPv4 → UDP tunnel → MMT (networks that drop unknown IP
+    /// protocols; the tunnel rides [`mmt_wire::udp::MMT_TUNNEL_PORT`]).
+    EthernetIpv4UdpMmt {
+        /// Byte offset of the IPv4 header.
+        ip_offset: usize,
+        /// Byte offset of the UDP header.
+        udp_offset: usize,
+        /// Byte offset of the MMT header.
+        mmt_offset: usize,
+    },
+    /// The frame failed to parse (truncated or malformed).
+    Malformed,
+}
+
+impl PacketLayers {
+    /// The MMT header offset, if the frame carries MMT.
+    pub fn mmt_offset(&self) -> Option<usize> {
+        match *self {
+            PacketLayers::EthernetMmt { mmt_offset }
+            | PacketLayers::EthernetIpv4Mmt { mmt_offset, .. }
+            | PacketLayers::EthernetIpv4UdpMmt { mmt_offset, .. } => Some(mmt_offset),
+            _ => None,
+        }
+    }
+
+    /// The IPv4 header offset, if present.
+    pub fn ip_offset(&self) -> Option<usize> {
+        match *self {
+            PacketLayers::EthernetIpv4Mmt { ip_offset, .. }
+            | PacketLayers::EthernetIpv4UdpMmt { ip_offset, .. } => Some(ip_offset),
+            PacketLayers::EthernetIpv4 => Some(ethernet::HEADER_LEN),
+            _ => None,
+        }
+    }
+
+    /// The UDP header offset, when the MMT rides the UDP tunnel.
+    pub fn udp_offset(&self) -> Option<usize> {
+        match *self {
+            PacketLayers::EthernetIpv4UdpMmt { udp_offset, .. } => Some(udp_offset),
+            _ => None,
+        }
+    }
+}
+
+/// A frame plus its parse result — what one pipeline invocation sees.
+#[derive(Debug)]
+pub struct ParsedPacket {
+    /// The frame bytes (may be rewritten by actions).
+    pub bytes: Vec<u8>,
+    /// Parse result.
+    pub layers: PacketLayers,
+    /// The port the frame arrived on.
+    pub ingress_port: usize,
+}
+
+impl ParsedPacket {
+    /// Parse a frame arriving on `ingress_port`.
+    pub fn parse(bytes: Vec<u8>, ingress_port: usize) -> ParsedPacket {
+        let layers = classify_layers(&bytes);
+        ParsedPacket {
+            bytes,
+            layers,
+            ingress_port,
+        }
+    }
+
+    /// Re-run the parser after an action rewrote the frame.
+    pub fn reparse(&mut self) {
+        self.layers = classify_layers(&self.bytes);
+    }
+
+    /// A checked MMT header view, if the frame carries MMT.
+    pub fn mmt(&self) -> Option<CoreHeader<&[u8]>> {
+        let off = self.layers.mmt_offset()?;
+        CoreHeader::new_checked(&self.bytes[off..]).ok()
+    }
+
+    /// The parsed owned MMT header, if present and valid.
+    pub fn mmt_repr(&self) -> Option<MmtRepr> {
+        let off = self.layers.mmt_offset()?;
+        MmtRepr::parse(&self.bytes[off..]).ok()
+    }
+
+    /// Replace the MMT header with `new_repr`, preserving the payload and
+    /// any outer encapsulation (fixing the IPv4 length/checksum when the
+    /// header above is IPv4). This is the frame surgery a mode-transition
+    /// element performs.
+    pub fn rewrite_mmt(&mut self, new_repr: &MmtRepr) -> bool {
+        let Some(mmt_off) = self.layers.mmt_offset() else {
+            return false;
+        };
+        let Ok(old) = MmtRepr::parse(&self.bytes[mmt_off..]) else {
+            return false;
+        };
+        let old_hdr_len = old.header_len();
+        let payload_start = mmt_off + old_hdr_len;
+        let new_hdr_len = new_repr.header_len();
+        let mut out = Vec::with_capacity(mmt_off + new_hdr_len + self.bytes.len() - payload_start);
+        out.extend_from_slice(&self.bytes[..mmt_off]);
+        out.resize(mmt_off + new_hdr_len, 0);
+        if new_repr.emit(&mut out[mmt_off..]).is_err() {
+            return false;
+        }
+        out.extend_from_slice(&self.bytes[payload_start..]);
+        self.bytes = out;
+        // Fix outer UDP and IPv4 lengths + checksums if present.
+        if let Some(udp_off) = self.layers.udp_offset() {
+            let udp_total = self.bytes.len() - udp_off;
+            if udp_total <= usize::from(u16::MAX) {
+                let mut udp = mmt_wire::udp::Datagram::new_unchecked(&mut self.bytes[udp_off..]);
+                udp.set_len(udp_total as u16);
+                // Tunnel checksum left at zero (legal for UDP over IPv4);
+                // the inner MMT header is integrity-checked end to end.
+            }
+        }
+        if let Some(ip_off) = self.layers.ip_offset() {
+            let total = self.bytes.len() - ip_off;
+            if total <= usize::from(u16::MAX) {
+                let mut ip = Ipv4Packet::new_unchecked(&mut self.bytes[ip_off..]);
+                ip.set_total_len(total as u16);
+                ip.fill_checksum();
+            }
+        }
+        self.reparse();
+        true
+    }
+}
+
+fn classify_layers(bytes: &[u8]) -> PacketLayers {
+    let Ok(frame) = Frame::new_checked(bytes) else {
+        return PacketLayers::Malformed;
+    };
+    match frame.ethertype() {
+        EtherType::Mmt => {
+            let off = ethernet::HEADER_LEN;
+            if CoreHeader::new_checked(&bytes[off..]).is_ok() {
+                PacketLayers::EthernetMmt { mmt_offset: off }
+            } else {
+                PacketLayers::Malformed
+            }
+        }
+        EtherType::Ipv4 => {
+            let ip_off = ethernet::HEADER_LEN;
+            let Ok(ip) = Ipv4Packet::new_checked(&bytes[ip_off..]) else {
+                return PacketLayers::Malformed;
+            };
+            if ip.protocol() == Protocol::Mmt {
+                let mmt_off = ip_off + ip.header_len();
+                if CoreHeader::new_checked(&bytes[mmt_off..]).is_ok() {
+                    PacketLayers::EthernetIpv4Mmt {
+                        ip_offset: ip_off,
+                        mmt_offset: mmt_off,
+                    }
+                } else {
+                    PacketLayers::Malformed
+                }
+            } else if ip.protocol() == Protocol::Udp {
+                // MMT-over-UDP tunnel?
+                let udp_off = ip_off + ip.header_len();
+                match mmt_wire::udp::Datagram::new_checked(&bytes[udp_off..]) {
+                    Ok(udp) if udp.dst_port() == mmt_wire::udp::MMT_TUNNEL_PORT => {
+                        let mmt_off = udp_off + mmt_wire::udp::HEADER_LEN;
+                        if CoreHeader::new_checked(&bytes[mmt_off..]).is_ok() {
+                            PacketLayers::EthernetIpv4UdpMmt {
+                                ip_offset: ip_off,
+                                udp_offset: udp_off,
+                                mmt_offset: mmt_off,
+                            }
+                        } else {
+                            PacketLayers::Malformed
+                        }
+                    }
+                    _ => PacketLayers::EthernetIpv4,
+                }
+            } else {
+                PacketLayers::EthernetIpv4
+            }
+        }
+        EtherType::Unknown(_) => PacketLayers::EthernetOnly,
+    }
+}
+
+/// Build an Ethernet+MMT frame (DAQ-network framing).
+pub fn build_eth_mmt_frame(
+    src: mmt_wire::EthernetAddress,
+    dst: mmt_wire::EthernetAddress,
+    mmt: &MmtRepr,
+    payload: &[u8],
+) -> Vec<u8> {
+    let eth = mmt_wire::ethernet::EthernetRepr {
+        dst,
+        src,
+        ethertype: EtherType::Mmt,
+    };
+    let inner = mmt.emit_with_payload(payload);
+    mmt_wire::ethernet::build_frame(&eth, &inner)
+}
+
+/// Build an Ethernet+IPv4+MMT frame (WAN framing).
+pub fn build_ip_mmt_frame(
+    eth_src: mmt_wire::EthernetAddress,
+    eth_dst: mmt_wire::EthernetAddress,
+    ip_src: mmt_wire::Ipv4Address,
+    ip_dst: mmt_wire::Ipv4Address,
+    mmt: &MmtRepr,
+    payload: &[u8],
+) -> Vec<u8> {
+    let inner = mmt.emit_with_payload(payload);
+    let ip = ipv4::Ipv4Repr {
+        src: ip_src,
+        dst: ip_dst,
+        protocol: Protocol::Mmt,
+        payload_len: inner.len(),
+        ttl: 64,
+        dscp: 0,
+    };
+    let mut ip_pkt = vec![0u8; ip.total_len()];
+    ip.emit(&mut ip_pkt).expect("sized above");
+    ip_pkt[ipv4::HEADER_LEN..].copy_from_slice(&inner);
+    let eth = mmt_wire::ethernet::EthernetRepr {
+        dst: eth_dst,
+        src: eth_src,
+        ethertype: EtherType::Ipv4,
+    };
+    mmt_wire::ethernet::build_frame(&eth, &ip_pkt)
+}
+
+/// Build an Ethernet+IPv4+UDP-tunnel+MMT frame (for networks that drop
+/// unknown IP protocols; the tunnel uses
+/// [`mmt_wire::udp::MMT_TUNNEL_PORT`]).
+pub fn build_udp_tunnel_frame(
+    eth_src: mmt_wire::EthernetAddress,
+    eth_dst: mmt_wire::EthernetAddress,
+    ip_src: mmt_wire::Ipv4Address,
+    ip_dst: mmt_wire::Ipv4Address,
+    mmt: &MmtRepr,
+    payload: &[u8],
+) -> Vec<u8> {
+    let inner = mmt.emit_with_payload(payload);
+    let udp = mmt_wire::udp::UdpRepr {
+        src_port: mmt_wire::udp::MMT_TUNNEL_PORT,
+        dst_port: mmt_wire::udp::MMT_TUNNEL_PORT,
+        payload_len: inner.len(),
+    };
+    let mut udp_pkt = vec![0u8; udp.total_len()];
+    udp.emit(&mut udp_pkt).expect("sized above");
+    udp_pkt[mmt_wire::udp::HEADER_LEN..].copy_from_slice(&inner);
+    let ip = ipv4::Ipv4Repr {
+        src: ip_src,
+        dst: ip_dst,
+        protocol: Protocol::Udp,
+        payload_len: udp_pkt.len(),
+        ttl: 64,
+        dscp: 0,
+    };
+    let mut ip_pkt = vec![0u8; ip.total_len()];
+    ip.emit(&mut ip_pkt).expect("sized above");
+    ip_pkt[ipv4::HEADER_LEN..].copy_from_slice(&udp_pkt);
+    let eth = mmt_wire::ethernet::EthernetRepr {
+        dst: eth_dst,
+        src: eth_src,
+        ethertype: EtherType::Ipv4,
+    };
+    mmt_wire::ethernet::build_frame(&eth, &ip_pkt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_wire::mmt::{ExperimentId, Features};
+    use mmt_wire::{EthernetAddress, Ipv4Address};
+
+    fn macs() -> (EthernetAddress, EthernetAddress) {
+        (
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+        )
+    }
+
+    #[test]
+    fn parses_eth_mmt() {
+        let (s, d) = macs();
+        let mmt = MmtRepr::data(ExperimentId::new(2, 0));
+        let frame = build_eth_mmt_frame(s, d, &mmt, b"payload");
+        let p = ParsedPacket::parse(frame, 0);
+        assert_eq!(
+            p.layers,
+            PacketLayers::EthernetMmt {
+                mmt_offset: ethernet::HEADER_LEN
+            }
+        );
+        assert_eq!(p.mmt_repr().unwrap().experiment, ExperimentId::new(2, 0));
+        assert_eq!(p.mmt().unwrap().payload(), b"payload");
+    }
+
+    #[test]
+    fn parses_eth_ipv4_mmt() {
+        let (s, d) = macs();
+        let mmt = MmtRepr::data(ExperimentId::new(2, 0)).with_sequence(9);
+        let frame = build_ip_mmt_frame(
+            s,
+            d,
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            &mmt,
+            b"xyz",
+        );
+        let p = ParsedPacket::parse(frame, 3);
+        assert!(matches!(p.layers, PacketLayers::EthernetIpv4Mmt { .. }));
+        assert_eq!(p.ingress_port, 3);
+        assert_eq!(p.mmt_repr().unwrap().sequence(), Some(9));
+    }
+
+    #[test]
+    fn non_mmt_traffic_classified() {
+        let (s, d) = macs();
+        // Unknown ethertype.
+        let eth = mmt_wire::ethernet::EthernetRepr {
+            dst: d,
+            src: s,
+            ethertype: EtherType::Unknown(0x86DD),
+        };
+        let frame = mmt_wire::ethernet::build_frame(&eth, &[0u8; 40]);
+        assert_eq!(
+            ParsedPacket::parse(frame, 0).layers,
+            PacketLayers::EthernetOnly
+        );
+        // IPv4 but UDP payload.
+        let ip = ipv4::Ipv4Repr {
+            src: Ipv4Address::new(1, 1, 1, 1),
+            dst: Ipv4Address::new(2, 2, 2, 2),
+            protocol: Protocol::Udp,
+            payload_len: 8,
+            ttl: 64,
+            dscp: 0,
+        };
+        let mut ip_pkt = vec![0u8; ip.total_len()];
+        ip.emit(&mut ip_pkt).unwrap();
+        let eth = mmt_wire::ethernet::EthernetRepr {
+            dst: d,
+            src: s,
+            ethertype: EtherType::Ipv4,
+        };
+        let frame = mmt_wire::ethernet::build_frame(&eth, &ip_pkt);
+        assert_eq!(
+            ParsedPacket::parse(frame, 0).layers,
+            PacketLayers::EthernetIpv4
+        );
+    }
+
+    #[test]
+    fn malformed_frames_classified() {
+        assert_eq!(
+            ParsedPacket::parse(vec![0u8; 5], 0).layers,
+            PacketLayers::Malformed
+        );
+        // MMT ethertype but truncated MMT header.
+        let (s, d) = macs();
+        let eth = mmt_wire::ethernet::EthernetRepr {
+            dst: d,
+            src: s,
+            ethertype: EtherType::Mmt,
+        };
+        let frame = mmt_wire::ethernet::build_frame(&eth, &[0u8; 4]);
+        assert_eq!(ParsedPacket::parse(frame, 0).layers, PacketLayers::Malformed);
+    }
+
+    #[test]
+    fn rewrite_mmt_grows_header_and_fixes_ip() {
+        let (s, d) = macs();
+        let mmt = MmtRepr::data(ExperimentId::new(2, 0));
+        let frame = build_ip_mmt_frame(
+            s,
+            d,
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            &mmt,
+            b"record",
+        );
+        let mut p = ParsedPacket::parse(frame, 0);
+        let upgraded = p
+            .mmt_repr()
+            .unwrap()
+            .with_sequence(1)
+            .with_age(0, false)
+            .with_flags(Features::ACK_NAK);
+        assert!(p.rewrite_mmt(&upgraded));
+        // Frame reparses cleanly with the new header.
+        let repr = p.mmt_repr().unwrap();
+        assert_eq!(repr.sequence(), Some(1));
+        assert!(repr.features.contains(Features::ACK_NAK));
+        assert_eq!(p.mmt().unwrap().payload(), b"record");
+        // Outer IPv4 is still checksum-valid with the right length.
+        let ip_off = p.layers.ip_offset().unwrap();
+        let ip = Ipv4Packet::new_checked(&p.bytes[ip_off..]).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip_off + ip.total_len() as usize, p.bytes.len());
+    }
+
+    #[test]
+    fn rewrite_mmt_shrinks_header() {
+        let (s, d) = macs();
+        let mmt = MmtRepr::data(ExperimentId::new(2, 0))
+            .with_sequence(5)
+            .with_age(100, false);
+        let frame = build_eth_mmt_frame(s, d, &mmt, b"abc");
+        let mut p = ParsedPacket::parse(frame, 0);
+        let before = p.bytes.len();
+        let downgraded = p.mmt_repr().unwrap().without(Features::AGE);
+        assert!(p.rewrite_mmt(&downgraded));
+        assert_eq!(p.bytes.len(), before - 8);
+        assert_eq!(p.mmt().unwrap().payload(), b"abc");
+    }
+
+    #[test]
+    fn parses_udp_tunnel_and_rewrites_through_it() {
+        let (s, d) = macs();
+        let mmt = MmtRepr::data(ExperimentId::new(2, 0));
+        let frame = build_udp_tunnel_frame(
+            s,
+            d,
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            &mmt,
+            b"tunnelled",
+        );
+        let mut p = ParsedPacket::parse(frame, 0);
+        assert!(matches!(p.layers, PacketLayers::EthernetIpv4UdpMmt { .. }));
+        assert!(p.layers.udp_offset().is_some());
+        assert_eq!(p.mmt().unwrap().payload(), b"tunnelled");
+        // A mode upgrade through the tunnel keeps both outer headers sane.
+        let up = p.mmt_repr().unwrap().with_sequence(3).with_age(1, false);
+        assert!(p.rewrite_mmt(&up));
+        assert!(matches!(p.layers, PacketLayers::EthernetIpv4UdpMmt { .. }));
+        assert_eq!(p.mmt_repr().unwrap().sequence(), Some(3));
+        assert_eq!(p.mmt().unwrap().payload(), b"tunnelled");
+        let ip_off = p.layers.ip_offset().unwrap();
+        let ip = Ipv4Packet::new_checked(&p.bytes[ip_off..]).unwrap();
+        assert!(ip.verify_checksum());
+        let udp_off = p.layers.udp_offset().unwrap();
+        let udp = mmt_wire::udp::Datagram::new_checked(&p.bytes[udp_off..]).unwrap();
+        assert_eq!(udp_off + udp.len() as usize, p.bytes.len());
+    }
+
+    #[test]
+    fn udp_on_other_ports_is_not_mmt() {
+        let (s, d) = macs();
+        let ip = ipv4::Ipv4Repr {
+            src: Ipv4Address::new(1, 1, 1, 1),
+            dst: Ipv4Address::new(2, 2, 2, 2),
+            protocol: Protocol::Udp,
+            payload_len: 16,
+            ttl: 64,
+            dscp: 0,
+        };
+        let mut ip_pkt = vec![0u8; ip.total_len()];
+        ip.emit(&mut ip_pkt).unwrap();
+        let udp = mmt_wire::udp::UdpRepr {
+            src_port: 1234,
+            dst_port: 5678,
+            payload_len: 8,
+        };
+        udp.emit(&mut ip_pkt[ipv4::HEADER_LEN..]).unwrap();
+        let eth = mmt_wire::ethernet::EthernetRepr {
+            dst: d,
+            src: s,
+            ethertype: EtherType::Ipv4,
+        };
+        let frame = mmt_wire::ethernet::build_frame(&eth, &ip_pkt);
+        assert_eq!(
+            ParsedPacket::parse(frame, 0).layers,
+            PacketLayers::EthernetIpv4
+        );
+    }
+
+    #[test]
+    fn rewrite_fails_without_mmt() {
+        let mut p = ParsedPacket::parse(vec![0u8; 20], 0);
+        assert!(!p.rewrite_mmt(&MmtRepr::data(ExperimentId::new(1, 0))));
+    }
+}

@@ -1,0 +1,120 @@
+//! Hardware resource budgets.
+//!
+//! The paper restricts in-network support to "features that existing P4
+//! hardware supports well" (§5). Experiment E8 checks that every
+//! mode-transition program in this repository fits a Tofino2-flavoured
+//! budget — the numbers below are order-of-magnitude public figures, not
+//! vendor specifications, and are deliberately conservative.
+
+/// What a pipeline consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Number of match-action tables (≈ logical stages when dependent).
+    pub tables: usize,
+    /// Total installed entries.
+    pub entries: usize,
+    /// Total key fields across tables (crossbar pressure proxy).
+    pub key_fields: usize,
+    /// Registers used.
+    pub registers: usize,
+}
+
+/// What the target offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Maximum dependent tables in one pass (Tofino2: 20 MAU stages,
+    /// several tables can share a stage; we budget one table per stage to
+    /// stay conservative).
+    pub max_tables: usize,
+    /// Maximum total entries (SRAM/TCAM capacity proxy).
+    pub max_entries: usize,
+    /// Maximum key fields across the program.
+    pub max_key_fields: usize,
+    /// Maximum registers.
+    pub max_registers: usize,
+}
+
+impl ResourceBudget {
+    /// A conservative Tofino2-class switch budget.
+    pub fn tofino2() -> ResourceBudget {
+        ResourceBudget {
+            max_tables: 20,
+            max_entries: 100_000,
+            max_key_fields: 64,
+            max_registers: 4_096,
+        }
+    }
+
+    /// A smaller Alveo smartNIC-class budget (header processing in FPGA
+    /// lookaside logic; fewer parallel tables, more registers).
+    pub fn alveo_smartnic() -> ResourceBudget {
+        ResourceBudget {
+            max_tables: 8,
+            max_entries: 16_384,
+            max_key_fields: 24,
+            max_registers: 65_536,
+        }
+    }
+
+    /// Does `usage` fit?
+    pub fn admits(&self, usage: &ResourceUsage) -> bool {
+        usage.tables <= self.max_tables
+            && usage.entries <= self.max_entries
+            && usage.key_fields <= self.max_key_fields
+            && usage.registers <= self.max_registers
+    }
+
+    /// Fraction of the binding constraint consumed (1.0 = exactly full).
+    pub fn pressure(&self, usage: &ResourceUsage) -> f64 {
+        [
+            usage.tables as f64 / self.max_tables as f64,
+            usage.entries as f64 / self.max_entries as f64,
+            usage.key_fields as f64 / self.max_key_fields as f64,
+            usage.registers as f64 / self.max_registers as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_within_budget() {
+        let b = ResourceBudget::tofino2();
+        let u = ResourceUsage {
+            tables: 4,
+            entries: 100,
+            key_fields: 8,
+            registers: 16,
+        };
+        assert!(b.admits(&u));
+        assert!(b.pressure(&u) < 0.25);
+    }
+
+    #[test]
+    fn rejects_over_budget() {
+        let b = ResourceBudget::alveo_smartnic();
+        let u = ResourceUsage {
+            tables: 9,
+            ..ResourceUsage::default()
+        };
+        assert!(!b.admits(&u));
+        assert!(b.pressure(&u) > 1.0);
+    }
+
+    #[test]
+    fn pressure_tracks_binding_constraint() {
+        let b = ResourceBudget::tofino2();
+        let u = ResourceUsage {
+            tables: 20,
+            entries: 1,
+            key_fields: 1,
+            registers: 1,
+        };
+        assert!((b.pressure(&u) - 1.0).abs() < 1e-12);
+        assert!(b.admits(&u));
+    }
+}

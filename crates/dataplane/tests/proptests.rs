@@ -1,0 +1,154 @@
+//! Property tests for the dataplane: parser robustness and the
+//! mode-transition programs' invariants under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use mmt_dataplane::action::Intrinsics;
+use mmt_dataplane::parser::{build_eth_mmt_frame, build_ip_mmt_frame, ParsedPacket};
+use mmt_dataplane::programs::{self, BorderConfig};
+use mmt_wire::mmt::{ExperimentId, Features, MmtRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+
+fn arb_experiment() -> impl Strategy<Value = ExperimentId> {
+    (0u32..(1 << 24), any::<u8>()).prop_map(|(e, s)| ExperimentId::new(e, s))
+}
+
+fn border() -> mmt_dataplane::Pipeline {
+    programs::daq_to_wan_border(BorderConfig {
+        daq_port: 0,
+        wan_port: 1,
+        retransmit_source: (Ipv4Address::new(10, 0, 0, 5), 47_000),
+        deadline_budget_ns: 1_000_000,
+        notify_addr: Ipv4Address::new(10, 0, 0, 9),
+        priority_class: None,
+    })
+}
+
+proptest! {
+    /// The parser never panics on arbitrary bytes, and a parse that finds
+    /// MMT always exposes a valid header view.
+    #[test]
+    fn parser_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256), port in 0usize..8) {
+        let pkt = ParsedPacket::parse(bytes, port);
+        if pkt.layers.mmt_offset().is_some() {
+            prop_assert!(pkt.mmt().is_some());
+        }
+    }
+
+    /// The border upgrade preserves experiment identity and payload for
+    /// any experiment/slice and payload, and stamps strictly increasing
+    /// sequence numbers.
+    #[test]
+    fn border_upgrade_preserves_identity(
+        exp in arb_experiment(),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..16),
+    ) {
+        let mut pipeline = border();
+        let mut last_seq = None;
+        for payload in &payloads {
+            let frame = build_eth_mmt_frame(
+                EthernetAddress([2, 0, 0, 0, 0, 1]),
+                EthernetAddress([2, 0, 0, 0, 0, 2]),
+                &MmtRepr::data(exp),
+                payload,
+            );
+            let mut pkt = ParsedPacket::parse(frame, 0);
+            let disp = pipeline.process(&mut pkt, Intrinsics { now_ns: 50, created_at_ns: 10 });
+            prop_assert_eq!(disp.egress, Some(1));
+            let repr = pkt.mmt_repr().unwrap();
+            prop_assert_eq!(repr.experiment, exp);
+            let view = pkt.mmt().unwrap();
+            prop_assert_eq!(view.payload(), &payload[..]);
+            let seq = repr.sequence().unwrap();
+            if let Some(prev) = last_seq {
+                prop_assert_eq!(seq, prev + 1);
+            }
+            last_seq = Some(seq);
+        }
+    }
+
+    /// Upgrade-then-downgrade over any feature subset returns to a header
+    /// that parses cleanly and still carries the payload.
+    #[test]
+    fn upgrade_downgrade_roundtrip(
+        exp in arb_experiment(),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        strip_bits in 0u32..(1 << 10),
+    ) {
+        let strip = Features::from_bits_truncate(strip_bits);
+        let mut up = border();
+        let mut down = programs::downgrade_border(0, 1, strip);
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+            &MmtRepr::data(exp),
+            &payload,
+        );
+        let mut pkt = ParsedPacket::parse(frame, 0);
+        up.process(&mut pkt, Intrinsics { now_ns: 5, created_at_ns: 1 });
+        pkt.ingress_port = 0;
+        down.process(&mut pkt, Intrinsics { now_ns: 9, created_at_ns: 1 });
+        let repr = pkt.mmt_repr().expect("still a valid header");
+        prop_assert!(!repr.features.intersects(strip));
+        let view = pkt.mmt().unwrap();
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    /// IPv4-encapsulated rewrites keep the outer header checksum-valid
+    /// for arbitrary payloads.
+    #[test]
+    fn ip_rewrite_keeps_checksum(
+        exp in arb_experiment(),
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        seq in any::<u64>(),
+    ) {
+        let frame = build_ip_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            &MmtRepr::data(exp),
+            &payload,
+        );
+        let mut pkt = ParsedPacket::parse(frame, 0);
+        let upgraded = pkt.mmt_repr().unwrap().with_sequence(seq).with_age(7, false);
+        prop_assert!(pkt.rewrite_mmt(&upgraded));
+        let ip_off = pkt.layers.ip_offset().unwrap();
+        let ip = mmt_wire::ipv4::Packet::new_checked(&pkt.bytes[ip_off..]).unwrap();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(pkt.mmt_repr().unwrap().sequence(), Some(seq));
+    }
+
+    /// Age updates through the transit program are monotone in time and
+    /// the aged flag latches.
+    #[test]
+    fn transit_age_monotone(
+        times in proptest::collection::vec(1_000u64..1_000_000_000, 2..12),
+        max_age in 1_000u64..100_000_000,
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut transit = programs::wan_transit(0, 1, max_age);
+        let frame = build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 1]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+            &MmtRepr::data(ExperimentId::new(2, 0)).with_age(0, false),
+            b"payload!",
+        );
+        let mut pkt = ParsedPacket::parse(frame, 0);
+        let mut last_age = 0;
+        let mut was_aged = false;
+        for &now in &sorted {
+            pkt.ingress_port = 0;
+            transit.process(&mut pkt, Intrinsics { now_ns: now, created_at_ns: 0 });
+            let age = pkt.mmt_repr().unwrap().age().unwrap();
+            prop_assert!(age.age_ns >= last_age);
+            prop_assert_eq!(age.age_ns, now);
+            if was_aged {
+                prop_assert!(age.aged, "aged flag must latch");
+            }
+            was_aged = age.aged;
+            last_age = age.age_ns;
+        }
+    }
+}

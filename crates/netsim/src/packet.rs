@@ -1,0 +1,75 @@
+//! Simulated packets.
+
+use crate::time::Time;
+
+/// Bookkeeping metadata carried alongside packet bytes.
+///
+/// The metadata is simulator-side only — it never appears "on the wire" —
+/// and exists so experiments can measure per-packet latency and attribute
+/// packets to flows without parsing headers at every hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketMeta {
+    /// Unique id assigned at injection (0 until injected).
+    pub id: u64,
+    /// Virtual time the packet was created by its source.
+    pub created_at: Time,
+    /// Experiment-assigned flow label (not on the wire; analysis only).
+    pub flow: u64,
+}
+
+/// A packet: owned bytes plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The wire bytes (headers + payload).
+    pub bytes: Vec<u8>,
+    /// Simulator-side metadata.
+    pub meta: PacketMeta,
+}
+
+impl Packet {
+    /// Create a packet from wire bytes.
+    pub fn new(bytes: Vec<u8>) -> Packet {
+        Packet {
+            bytes,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Create a packet with a flow label.
+    pub fn with_flow(bytes: Vec<u8>, flow: u64) -> Packet {
+        Packet {
+            bytes,
+            meta: PacketMeta {
+                flow,
+                ..PacketMeta::default()
+            },
+        }
+    }
+
+    /// Wire length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the packet has no bytes (never true for real traffic; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let p = Packet::new(vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.meta.id, 0);
+        let q = Packet::with_flow(vec![], 9);
+        assert!(q.is_empty());
+        assert_eq!(q.meta.flow, 9);
+    }
+}

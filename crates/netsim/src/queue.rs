@@ -1,0 +1,301 @@
+//! Output queues feeding link transmitters.
+//!
+//! Three disciplines cover the paper's needs:
+//!
+//! * [`QueueSpec::DropTailFifo`] — the commodity default.
+//! * [`QueueSpec::StrictPriority`] — age-sensitive data "prioritize[d] ...
+//!   as it travels" (§5.3); the MMT priority class selects the band.
+//! * [`QueueSpec::DeadlineAware`] — an AQM that consults the MMT age/
+//!   timeliness extensions: packets whose aged flag is already set are shed
+//!   *first* under pressure, because their information value has expired
+//!   ("the aging of transported data follows a pre-determined policy",
+//!   Fig. 2) — this realizes the paper's "explicit transport deadlines
+//!   [are] an input to active queue management".
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Number of priority bands for the strict-priority discipline.
+pub const PRIORITY_BANDS: usize = 4;
+
+/// Queue discipline and sizing for one link transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueSpec {
+    /// Single FIFO with a byte capacity; arrivals beyond capacity are
+    /// dropped (drop-tail).
+    DropTailFifo {
+        /// Queue capacity in bytes.
+        capacity_bytes: usize,
+    },
+    /// `PRIORITY_BANDS` FIFOs served highest-band-first, each with a byte
+    /// capacity. The classifier maps a packet to a band.
+    StrictPriority {
+        /// Per-band capacity in bytes.
+        capacity_bytes: usize,
+    },
+    /// FIFO that, when full, prefers shedding packets already marked aged
+    /// (classifier band 255 = "aged") before dropping the arrival.
+    DeadlineAware {
+        /// Queue capacity in bytes.
+        capacity_bytes: usize,
+    },
+}
+
+impl QueueSpec {
+    /// A generously sized FIFO for capacity-planned segments.
+    pub fn default_fifo() -> QueueSpec {
+        QueueSpec::DropTailFifo {
+            capacity_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// A packet classifier: returns the priority band (0 = lowest) or the
+/// special value 255 meaning "aged, shed first". Installed per link by the
+/// topology builder; the MMT-aware classifier lives in `mmt-dataplane`.
+pub type Classifier = fn(&Packet) -> u8;
+
+fn default_classifier(_: &Packet) -> u8 {
+    0
+}
+
+/// The runtime state of an output queue.
+#[derive(Debug)]
+pub struct TransmitQueue {
+    spec: QueueSpec,
+    classifier: Classifier,
+    bands: Vec<VecDeque<Packet>>,
+    bytes: usize,
+    dropped: u64,
+    shed_aged: u64,
+}
+
+impl TransmitQueue {
+    /// Create a queue with the default (constant-0) classifier.
+    pub fn new(spec: QueueSpec) -> TransmitQueue {
+        Self::with_classifier(spec, default_classifier)
+    }
+
+    /// Create a queue with a custom classifier.
+    pub fn with_classifier(spec: QueueSpec, classifier: Classifier) -> TransmitQueue {
+        let bands = match spec {
+            QueueSpec::StrictPriority { .. } => PRIORITY_BANDS,
+            _ => 1,
+        };
+        TransmitQueue {
+            spec,
+            classifier,
+            bands: (0..bands).map(|_| VecDeque::new()).collect(),
+            bytes: 0,
+            dropped: 0,
+            shed_aged: 0,
+        }
+    }
+
+    /// Bytes currently queued.
+    pub fn occupancy_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Packets currently queued.
+    pub fn occupancy_packets(&self) -> usize {
+        self.bands.iter().map(VecDeque::len).sum()
+    }
+
+    /// Packets dropped by this queue so far (tail drops + sheds).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Of the drops, how many were aged packets shed by the deadline-aware
+    /// discipline.
+    pub fn shed_aged(&self) -> u64 {
+        self.shed_aged
+    }
+
+    /// Whether the queue holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.bands.iter().all(VecDeque::is_empty)
+    }
+
+    /// Offer a packet. Returns `true` if enqueued, `false` if dropped.
+    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+        match self.spec {
+            QueueSpec::DropTailFifo { capacity_bytes } => {
+                if self.bytes + pkt.len() > capacity_bytes {
+                    self.dropped += 1;
+                    return false;
+                }
+                self.bytes += pkt.len();
+                self.bands[0].push_back(pkt);
+                true
+            }
+            QueueSpec::StrictPriority { capacity_bytes } => {
+                let band = usize::from((self.classifier)(&pkt)).min(PRIORITY_BANDS - 1);
+                let band_bytes: usize = self.bands[band].iter().map(Packet::len).sum();
+                if band_bytes + pkt.len() > capacity_bytes {
+                    self.dropped += 1;
+                    return false;
+                }
+                self.bytes += pkt.len();
+                self.bands[band].push_back(pkt);
+                true
+            }
+            QueueSpec::DeadlineAware { capacity_bytes } => {
+                let needed = pkt.len();
+                // Shed aged packets (classifier band 255) from the front
+                // until the arrival fits.
+                while self.bytes + needed > capacity_bytes {
+                    let Some(pos) = self.bands[0]
+                        .iter()
+                        .position(|p| (self.classifier)(p) == 255)
+                    else {
+                        break;
+                    };
+                    let removed = self.bands[0].remove(pos).expect("position valid");
+                    self.bytes -= removed.len();
+                    self.dropped += 1;
+                    self.shed_aged += 1;
+                }
+                if self.bytes + needed > capacity_bytes {
+                    self.dropped += 1;
+                    return false;
+                }
+                self.bytes += needed;
+                self.bands[0].push_back(pkt);
+                true
+            }
+        }
+    }
+
+    /// Take the next packet to transmit (highest priority band first).
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        for band in (0..self.bands.len()).rev() {
+            if let Some(pkt) = self.bands[band].pop_front() {
+                self.bytes -= pkt.len();
+                return Some(pkt);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(n: usize) -> Packet {
+        Packet::new(vec![0u8; n])
+    }
+
+    #[test]
+    fn fifo_order_and_occupancy() {
+        let mut q = TransmitQueue::new(QueueSpec::DropTailFifo { capacity_bytes: 100 });
+        assert!(q.enqueue(Packet::new(vec![1; 10])));
+        assert!(q.enqueue(Packet::new(vec![2; 20])));
+        assert_eq!(q.occupancy_bytes(), 30);
+        assert_eq!(q.occupancy_packets(), 2);
+        assert_eq!(q.dequeue().unwrap().bytes[0], 1);
+        assert_eq!(q.dequeue().unwrap().bytes[0], 2);
+        assert!(q.dequeue().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_tail_at_capacity() {
+        let mut q = TransmitQueue::new(QueueSpec::DropTailFifo { capacity_bytes: 25 });
+        assert!(q.enqueue(pkt(10)));
+        assert!(q.enqueue(pkt(10)));
+        assert!(!q.enqueue(pkt(10))); // would exceed 25
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.occupancy_bytes(), 20);
+    }
+
+    #[test]
+    fn strict_priority_serves_high_band_first() {
+        fn by_first_byte(p: &Packet) -> u8 {
+            p.bytes[0]
+        }
+        let mut q = TransmitQueue::with_classifier(
+            QueueSpec::StrictPriority { capacity_bytes: 1000 },
+            by_first_byte,
+        );
+        assert!(q.enqueue(Packet::new(vec![0, 0])));
+        assert!(q.enqueue(Packet::new(vec![3, 0]))); // high priority
+        assert!(q.enqueue(Packet::new(vec![1, 0])));
+        assert_eq!(q.dequeue().unwrap().bytes[0], 3);
+        assert_eq!(q.dequeue().unwrap().bytes[0], 1);
+        assert_eq!(q.dequeue().unwrap().bytes[0], 0);
+    }
+
+    #[test]
+    fn strict_priority_band_isolation() {
+        fn by_first_byte(p: &Packet) -> u8 {
+            p.bytes[0]
+        }
+        let mut q = TransmitQueue::with_classifier(
+            QueueSpec::StrictPriority { capacity_bytes: 4 },
+            by_first_byte,
+        );
+        // Fill band 0.
+        assert!(q.enqueue(Packet::new(vec![0, 0])));
+        assert!(q.enqueue(Packet::new(vec![0, 0])));
+        assert!(!q.enqueue(Packet::new(vec![0, 0]))); // band 0 full
+        // Band 3 still has room.
+        assert!(q.enqueue(Packet::new(vec![3, 0])));
+    }
+
+    #[test]
+    fn band_index_clamped() {
+        fn always_200(_: &Packet) -> u8 {
+            200
+        }
+        let mut q = TransmitQueue::with_classifier(
+            QueueSpec::StrictPriority { capacity_bytes: 100 },
+            always_200,
+        );
+        assert!(q.enqueue(pkt(4)));
+        assert!(q.dequeue().is_some());
+    }
+
+    #[test]
+    fn deadline_aware_sheds_aged_first() {
+        // Classifier: byte 0 == 0xA9 means "aged".
+        fn aged_marker(p: &Packet) -> u8 {
+            if p.bytes[0] == 0xA9 {
+                255
+            } else {
+                0
+            }
+        }
+        let mut q = TransmitQueue::with_classifier(
+            QueueSpec::DeadlineAware { capacity_bytes: 30 },
+            aged_marker,
+        );
+        assert!(q.enqueue(Packet::new(vec![0xA9; 10]))); // aged
+        assert!(q.enqueue(Packet::new(vec![0x01; 10]))); // fresh
+        assert!(q.enqueue(Packet::new(vec![0x02; 10]))); // fresh
+        // Full. A fresh arrival displaces the aged packet.
+        assert!(q.enqueue(Packet::new(vec![0x03; 10])));
+        assert_eq!(q.shed_aged(), 1);
+        assert_eq!(q.dropped(), 1);
+        let order: Vec<u8> = std::iter::from_fn(|| q.dequeue().map(|p| p.bytes[0])).collect();
+        assert_eq!(order, vec![0x01, 0x02, 0x03]);
+    }
+
+    #[test]
+    fn deadline_aware_drops_arrival_when_no_aged_to_shed() {
+        fn never_aged(_: &Packet) -> u8 {
+            0
+        }
+        let mut q = TransmitQueue::with_classifier(
+            QueueSpec::DeadlineAware { capacity_bytes: 20 },
+            never_aged,
+        );
+        assert!(q.enqueue(pkt(10)));
+        assert!(q.enqueue(pkt(10)));
+        assert!(!q.enqueue(pkt(10)));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.shed_aged(), 0);
+    }
+}

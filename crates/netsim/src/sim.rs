@@ -1,0 +1,726 @@
+//! The simulator event loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{Link, LinkId, LinkSpec, LinkStats};
+use crate::node::{Action, Context, Node, NodeId, PortId, TimerToken};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::Time;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+#[derive(Debug)]
+enum EventKind {
+    /// A packet arrives at a node's port (propagation finished).
+    Arrive { node: usize, port: PortId, pkt: Packet },
+    /// A link transmitter finished serializing; it may start the next packet.
+    TxComplete { link: usize },
+    /// A node timer fires.
+    Timer { node: usize, token: TimerToken },
+}
+
+struct Event {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeEntry {
+    name: String,
+    behavior: Box<dyn Node>,
+    /// Outgoing link attached to each port.
+    ports: Vec<Option<usize>>,
+    /// Packets the node handed to its local application.
+    local: Vec<(Time, Packet)>,
+    /// Packets sent out of ports with no attached link.
+    unrouted_drops: u64,
+}
+
+/// The discrete-event network simulator.
+///
+/// Deterministic given its seed and the order of construction: nodes and
+/// links are identified by insertion order, event ties are broken by a
+/// global sequence number.
+pub struct Simulator {
+    now: Time,
+    seq: u64,
+    next_packet_id: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    nodes: Vec<NodeEntry>,
+    links: Vec<Link>,
+    rng: SimRng,
+    started: bool,
+    trace: Trace,
+    actions: Vec<Action>,
+}
+
+impl Simulator {
+    /// Create a simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now: Time::ZERO,
+            seq: 0,
+            next_packet_id: 1,
+            events: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            rng: SimRng::new(seed),
+            started: false,
+            trace: Trace::disabled(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Enable packet tracing (records per-packet events for debugging and
+    /// fine-grained assertions; costs memory).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Add a node; returns its id. Order of addition fixes ids.
+    pub fn add_node(&mut self, name: &str, behavior: Box<dyn Node>) -> NodeId {
+        self.nodes.push(NodeEntry {
+            name: name.to_string(),
+            behavior,
+            ports: Vec::new(),
+            local: Vec::new(),
+            unrouted_drops: 0,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The name a node was registered with.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Connect `a`'s `a_port` to `b`'s `b_port` with a *bidirectional*
+    /// link (two unidirectional links sharing the spec). Returns the two
+    /// link ids (a→b, b→a).
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        a_port: PortId,
+        b: NodeId,
+        b_port: PortId,
+        spec: LinkSpec,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_oneway(a, a_port, b, b_port, spec);
+        let ba = self.add_oneway(b, b_port, a, a_port, spec);
+        (ab, ba)
+    }
+
+    /// Add a single unidirectional link from `src`'s `src_port` to `dst`'s
+    /// `dst_port`.
+    pub fn add_oneway(
+        &mut self,
+        src: NodeId,
+        src_port: PortId,
+        dst: NodeId,
+        dst_port: PortId,
+        spec: LinkSpec,
+    ) -> LinkId {
+        let link_idx = self.links.len();
+        let rng = self.rng.fork(link_idx as u64 + 0x1000);
+        self.links.push(Link::new(spec, dst.0, dst_port, rng));
+        let ports = &mut self.nodes[src.0].ports;
+        if ports.len() <= src_port {
+            ports.resize(src_port + 1, None);
+        }
+        assert!(
+            ports[src_port].is_none(),
+            "port {src_port} of node {} already connected",
+            self.nodes[src.0].name
+        );
+        ports[src_port] = Some(link_idx);
+        LinkId(link_idx)
+    }
+
+    /// Mutable access to a link (to install classifiers, inspect specs).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// A link's statistics.
+    pub fn link_stats(&self, id: LinkId) -> &LinkStats {
+        &self.links[id.0].stats
+    }
+
+    /// Inject a packet so it *arrives at* `node`'s `port` at time `at`
+    /// (used by workload drivers standing in for upstream hardware).
+    pub fn inject(&mut self, at: Time, node: NodeId, port: PortId, mut pkt: Packet) {
+        assert!(at >= self.now, "cannot inject into the past");
+        if pkt.meta.id == 0 {
+            pkt.meta.id = self.next_packet_id;
+            self.next_packet_id += 1;
+        }
+        if pkt.meta.created_at == Time::ZERO {
+            pkt.meta.created_at = at;
+        }
+        self.push_event(
+            at,
+            EventKind::Arrive {
+                node: node.0,
+                port,
+                pkt,
+            },
+        );
+    }
+
+    /// Schedule a timer for a node from outside a callback.
+    pub fn schedule_timer(&mut self, at: Time, node: NodeId, token: TimerToken) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.push_event(
+            at,
+            EventKind::Timer {
+                node: node.0,
+                token,
+            },
+        );
+    }
+
+    /// Packets delivered to `node`'s local application so far.
+    pub fn local_deliveries(&self, node: NodeId) -> &[(Time, Packet)] {
+        &self.nodes[node.0].local
+    }
+
+    /// Take (drain) the local deliveries of a node.
+    pub fn take_local_deliveries(&mut self, node: NodeId) -> Vec<(Time, Packet)> {
+        std::mem::take(&mut self.nodes[node.0].local)
+    }
+
+    /// Packets a node sent to unconnected ports.
+    pub fn unrouted_drops(&self, node: NodeId) -> u64 {
+        self.nodes[node.0].unrouted_drops
+    }
+
+    /// Downcast a node's behaviour to its concrete type.
+    pub fn node_as<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.nodes[node.0].behavior.as_any().downcast_ref::<T>()
+    }
+
+    /// Downcast a node's behaviour mutably.
+    pub fn node_as_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.nodes[node.0]
+            .behavior
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    fn push_event(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            self.call_node(idx, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Run a node callback and apply the actions it produced.
+    fn call_node<F>(&mut self, idx: usize, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context<'_>),
+    {
+        debug_assert!(self.actions.is_empty());
+        let mut actions = std::mem::take(&mut self.actions);
+        {
+            let entry = &mut self.nodes[idx];
+            let mut ctx = Context {
+                now: self.now,
+                node: NodeId(idx),
+                rng: &mut self.rng,
+                actions: &mut actions,
+            };
+            f(entry.behavior.as_mut(), &mut ctx);
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { port, pkt } => self.handle_send(idx, port, pkt),
+                Action::Timer { delay, token } => {
+                    let at = self.now + delay;
+                    self.push_event(at, EventKind::Timer { node: idx, token });
+                }
+                Action::DeliverLocal { pkt } => {
+                    self.trace.record(TraceEvent {
+                        time: self.now,
+                        kind: TraceKind::LocalDeliver,
+                        node: Some(idx),
+                        link: None,
+                        packet_id: pkt.meta.id,
+                        len: pkt.len(),
+                    });
+                    self.nodes[idx].local.push((self.now, pkt));
+                }
+            }
+        }
+        self.actions = actions;
+    }
+
+    fn handle_send(&mut self, node_idx: usize, port: PortId, mut pkt: Packet) {
+        if pkt.meta.id == 0 {
+            pkt.meta.id = self.next_packet_id;
+            self.next_packet_id += 1;
+        }
+        if pkt.meta.created_at == Time::ZERO {
+            pkt.meta.created_at = self.now;
+        }
+        let Some(&Some(link_idx)) = self.nodes[node_idx].ports.get(port) else {
+            self.nodes[node_idx].unrouted_drops += 1;
+            return;
+        };
+        let link = &mut self.links[link_idx];
+        link.stats.offered_packets += 1;
+        link.stats.offered_bytes += pkt.len() as u64;
+        if pkt.len() > link.spec.mtu {
+            link.stats.mtu_drops += 1;
+            self.trace.record(TraceEvent {
+                time: self.now,
+                kind: TraceKind::MtuDrop,
+                node: Some(node_idx),
+                link: Some(link_idx),
+                packet_id: pkt.meta.id,
+                len: pkt.len(),
+            });
+            return;
+        }
+        let pkt_id = pkt.meta.id;
+        let len = pkt.len();
+        if !link.queue.enqueue(pkt) {
+            link.stats.queue_drops += 1;
+            self.trace.record(TraceEvent {
+                time: self.now,
+                kind: TraceKind::QueueDrop,
+                node: Some(node_idx),
+                link: Some(link_idx),
+                packet_id: pkt_id,
+                len,
+            });
+            return;
+        }
+        self.trace.record(TraceEvent {
+            time: self.now,
+            kind: TraceKind::Enqueue,
+            node: Some(node_idx),
+            link: Some(link_idx),
+            packet_id: pkt_id,
+            len,
+        });
+        if !self.links[link_idx].busy {
+            self.start_tx(link_idx);
+        }
+    }
+
+    /// Begin serializing the next queued packet on a link.
+    fn start_tx(&mut self, link_idx: usize) {
+        let link = &mut self.links[link_idx];
+        let Some(pkt) = link.queue.dequeue() else {
+            return;
+        };
+        link.busy = true;
+        let tx = link.spec.bandwidth.tx_time(pkt.len());
+        link.stats.busy_ns += tx.as_nanos();
+        link.stats.tx_packets += 1;
+        link.stats.tx_bytes += pkt.len() as u64;
+        let lost = link
+            .spec
+            .loss
+            .lose(&mut link.rng, pkt.len(), &mut link.loss_state);
+        let arrive_at = self.now + tx + link.spec.propagation;
+        let tx_done = self.now + tx;
+        let (dst_node, dst_port) = (link.dst_node, link.dst_port);
+        let pkt_id = pkt.meta.id;
+        let len = pkt.len();
+        if lost {
+            link.stats.corruption_losses += 1;
+            self.trace.record(TraceEvent {
+                time: self.now,
+                kind: TraceKind::CorruptionLoss,
+                node: None,
+                link: Some(link_idx),
+                packet_id: pkt_id,
+                len,
+            });
+        } else {
+            link.stats.delivered_packets += 1;
+            self.push_event(
+                arrive_at,
+                EventKind::Arrive {
+                    node: dst_node,
+                    port: dst_port,
+                    pkt,
+                },
+            );
+        }
+        self.push_event(tx_done, EventKind::TxComplete { link: link_idx });
+    }
+
+    /// Process a single event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(Reverse(event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        match event.kind {
+            EventKind::Arrive { node, port, pkt } => {
+                self.trace.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::Arrive,
+                    node: Some(node),
+                    link: None,
+                    packet_id: pkt.meta.id,
+                    len: pkt.len(),
+                });
+                self.call_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
+            }
+            EventKind::TxComplete { link } => {
+                self.links[link].busy = false;
+                self.start_tx(link);
+            }
+            EventKind::Timer { node, token } => {
+                self.call_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.ensure_started();
+        loop {
+            let Some(Reverse(head)) = self.events.peek() else {
+                break;
+            };
+            if head.at > deadline {
+                self.now = deadline;
+                break;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LossModel;
+    use crate::queue::QueueSpec;
+    use crate::time::Bandwidth;
+
+    /// Sink that counts arrivals.
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+            ctx.deliver_local(pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Forwarder that relays everything from port 0 to port 1.
+    struct Forward;
+    impl Node for Forward {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+            if port == 0 {
+                ctx.send(1, pkt);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Source that emits `n` packets at start, then one per timer tick.
+    struct Burst {
+        n: usize,
+        size: usize,
+    }
+    impl Node for Burst {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _pkt: Packet) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                ctx.send(0, Packet::new(vec![0u8; self.size]));
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn gbit_link(ms: u64) -> LinkSpec {
+        LinkSpec::new(Bandwidth::gbps(1), Time::from_millis(ms))
+    }
+
+    #[test]
+    fn delivery_latency_is_tx_plus_propagation() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::new(Sink));
+        let b = sim.add_node("b", Box::new(Forward));
+        sim.connect(b, 1, a, 0, gbit_link(10));
+        // b forwards injections from port 0 out of port 1 to a.
+        sim.inject(Time::ZERO, b, 0, Packet::new(vec![0u8; 1500]));
+        sim.run();
+        let got = sim.local_deliveries(a);
+        assert_eq!(got.len(), 1);
+        // 1500B at 1 Gb/s = 12 µs; +10 ms propagation.
+        assert_eq!(got[0].0, Time::from_micros(12) + Time::from_millis(10));
+    }
+
+    #[test]
+    fn serialization_spaces_back_to_back_packets() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst { n: 3, size: 1500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+        sim.run();
+        let got = sim.local_deliveries(dst);
+        assert_eq!(got.len(), 3);
+        // Arrivals at 12, 24, 36 µs: queueing + serialization.
+        assert_eq!(got[0].0, Time::from_micros(12));
+        assert_eq!(got[1].0, Time::from_micros(24));
+        assert_eq!(got[2].0, Time::from_micros(36));
+    }
+
+    #[test]
+    fn corruption_loss_drops_packets_deterministically() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let src = sim.add_node("src", Box::new(Burst { n: 1000, size: 1000 }));
+            let dst = sim.add_node("dst", Box::new(Sink));
+            sim.add_oneway(
+                src,
+                0,
+                dst,
+                0,
+                gbit_link(0).with_loss(LossModel::Random(0.1)),
+            );
+            sim.run();
+            sim.local_deliveries(dst).len()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same outcome");
+        assert!((850..=950).contains(&a), "≈10% loss, got {}", 1000 - a);
+    }
+
+    #[test]
+    fn queue_overflow_counted() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst { n: 100, size: 1000 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        let link = sim.add_oneway(
+            src,
+            0,
+            dst,
+            0,
+            gbit_link(0).with_queue(QueueSpec::DropTailFifo {
+                capacity_bytes: 10_000,
+            }),
+        );
+        sim.run();
+        let stats = sim.link_stats(link);
+        // 1 in flight + 10 queued = 11 delivered, rest dropped.
+        assert_eq!(stats.queue_drops, 89);
+        assert_eq!(sim.local_deliveries(dst).len(), 11);
+        assert_eq!(stats.offered_packets, 100);
+    }
+
+    #[test]
+    fn mtu_drops_counted() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst { n: 1, size: 9500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        let link = sim.add_oneway(src, 0, dst, 0, gbit_link(0).with_mtu(9018));
+        sim.run();
+        assert_eq!(sim.link_stats(link).mtu_drops, 1);
+        assert!(sim.local_deliveries(dst).is_empty());
+    }
+
+    #[test]
+    fn unrouted_port_counts_drop() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst { n: 2, size: 100 }));
+        sim.run();
+        assert_eq!(sim.unrouted_drops(src), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst { n: 5, size: 1500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+        sim.run_until(Time::from_micros(25));
+        assert_eq!(sim.local_deliveries(dst).len(), 2); // 12µs, 24µs
+        assert_eq!(sim.now(), Time::from_micros(25));
+        sim.run();
+        assert_eq!(sim.local_deliveries(dst).len(), 5);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Time::from_millis(2), 2);
+                ctx.set_timer(Time::from_millis(1), 1);
+                ctx.set_timer(Time::from_millis(3), 3);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, token: TimerToken) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("t", Box::new(TimerNode { fired: vec![] }));
+        sim.run();
+        assert_eq!(sim.node_as::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn external_timer_scheduling() {
+        struct T {
+            hits: u64,
+        }
+        impl Node for T {
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {
+                self.hits += 1;
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("t", Box::new(T { hits: 0 }));
+        sim.schedule_timer(Time::from_secs(1), n, 0);
+        sim.run();
+        assert_eq!(sim.node_as::<T>(n).unwrap().hits, 1);
+        assert_eq!(sim.now(), Time::from_secs(1));
+    }
+
+    #[test]
+    fn packet_ids_assigned_uniquely() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst { n: 3, size: 100 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+        sim.inject(Time::ZERO, dst, 5, Packet::new(vec![0u8; 10]));
+        sim.run();
+        let mut ids: Vec<u64> = sim
+            .local_deliveries(dst)
+            .iter()
+            .map(|(_, p)| p.meta.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "ids must be unique");
+        assert!(ids.iter().all(|&i| i != 0));
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let mut sim = Simulator::new(1);
+        sim.enable_trace();
+        let src = sim.add_node("src", Box::new(Burst { n: 1, size: 100 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(1));
+        sim.run();
+        let kinds: Vec<TraceKind> = sim.trace().events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TraceKind::Enqueue, TraceKind::Arrive, TraceKind::LocalDeliver]
+        );
+    }
+
+    #[test]
+    fn node_metadata_accessors() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("alpha", Box::new(Sink));
+        assert_eq!(sim.node_name(a), "alpha");
+        assert_eq!(sim.node_count(), 1);
+        assert!(sim.node_as::<Sink>(a).is_some());
+        assert!(sim.node_as::<Forward>(a).is_none());
+        assert!(sim.node_as_mut::<Sink>(a).is_some());
+        let drained = sim.take_local_deliveries(a);
+        assert!(drained.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::new(Sink));
+        let b = sim.add_node("b", Box::new(Sink));
+        sim.add_oneway(a, 0, b, 0, gbit_link(0));
+        sim.add_oneway(a, 0, b, 1, gbit_link(0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Measurement helpers: latency histograms and online summary statistics.
+
+use crate::time::Time;
+
+/// A sample-keeping latency recorder with quantile queries.
+///
+/// Simulations produce at most millions of samples, so keeping them all and
+/// sorting on demand is both exact and fast enough; no approximate sketch
+/// is needed.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record a latency.
+    pub fn record(&mut self, latency: Time) {
+        self.samples_ns.push(latency.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0–1.0) by nearest-rank, or `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<Time> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples_ns.len() as f64 - 1.0) * q).round() as usize;
+        Some(Time::from_nanos(self.samples_ns[rank]))
+    }
+
+    /// Median latency.
+    pub fn median(&mut self) -> Option<Time> {
+        self.quantile(0.5)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Option<Time> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&v| u128::from(v)).sum();
+        Some(Time::from_nanos((sum / self.samples_ns.len() as u128) as u64))
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> Option<Time> {
+        self.samples_ns.iter().min().map(|&v| Time::from_nanos(v))
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> Option<Time> {
+        self.samples_ns.iter().max().map(|&v| Time::from_nanos(v))
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.sorted = false;
+    }
+}
+
+/// Online mean/variance (Welford) for unbounded streams of f64 metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats::default()
+    }
+
+    /// Add a sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with <2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for ms in 1..=100u64 {
+            h.record(Time::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        // Nearest-rank on an even count lands on the upper middle sample.
+        assert_eq!(h.median().unwrap().as_millis(), 51);
+        assert_eq!(h.quantile(0.0).unwrap().as_millis(), 1);
+        assert_eq!(h.quantile(1.0).unwrap().as_millis(), 100);
+        assert_eq!(h.quantile(0.99).unwrap().as_millis(), 99);
+        assert_eq!(h.min().unwrap().as_millis(), 1);
+        assert_eq!(h.max().unwrap().as_millis(), 100);
+        assert_eq!(h.mean().unwrap().as_micros(), 50_500);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Time::from_millis(1));
+        b.record(Time::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max().unwrap().as_millis(), 3);
+    }
+
+    #[test]
+    fn quantile_clamps_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Time::from_nanos(5));
+        assert_eq!(h.quantile(-1.0).unwrap().as_nanos(), 5);
+        assert_eq!(h.quantile(2.0).unwrap().as_nanos(), 5);
+    }
+
+    #[test]
+    fn online_stats() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+}

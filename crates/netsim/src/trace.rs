@@ -1,0 +1,122 @@
+//! Per-packet event tracing (optional; for debugging and fine assertions).
+
+use crate::time::Time;
+
+/// What happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Accepted into a link's output queue.
+    Enqueue,
+    /// Dropped by the output queue.
+    QueueDrop,
+    /// Dropped for exceeding the link MTU.
+    MtuDrop,
+    /// Lost to corruption in flight.
+    CorruptionLoss,
+    /// Arrived at a node.
+    Arrive,
+    /// Handed to a node's local application.
+    LocalDeliver,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: Time,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Node involved (if any).
+    pub node: Option<usize>,
+    /// Link involved (if any).
+    pub link: Option<usize>,
+    /// The packet's simulator id.
+    pub packet_id: u64,
+    /// The packet's wire length.
+    pub len: usize,
+}
+
+/// A packet-event recorder.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A recorder that discards everything (zero cost).
+    pub fn disabled() -> Trace {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// A recorder that keeps every event.
+    pub fn enabled() -> Trace {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events concerning one packet.
+    pub fn for_packet(&self, packet_id: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.packet_id == packet_id)
+            .collect()
+    }
+
+    /// Count events of a given kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, packet_id: u64) -> TraceEvent {
+        TraceEvent {
+            time: Time::ZERO,
+            kind,
+            node: None,
+            link: None,
+            packet_id,
+            len: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_discards() {
+        let mut t = Trace::disabled();
+        t.record(ev(TraceKind::Arrive, 1));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_and_filters() {
+        let mut t = Trace::enabled();
+        t.record(ev(TraceKind::Enqueue, 1));
+        t.record(ev(TraceKind::Arrive, 1));
+        t.record(ev(TraceKind::Arrive, 2));
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.for_packet(1).len(), 2);
+        assert_eq!(t.count(TraceKind::Arrive), 2);
+        assert_eq!(t.count(TraceKind::QueueDrop), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the simulator core: determinism, conservation, and
+//! timing laws that every experiment implicitly relies on.
+
+use proptest::prelude::*;
+
+use mmt_netsim::{
+    Bandwidth, Context, LinkSpec, LossModel, Node, Packet, PortId, QueueSpec, SimRng, Simulator,
+    Time,
+};
+
+struct Sink;
+impl Node for Sink {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _: PortId, pkt: Packet) {
+        ctx.deliver_local(pkt);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Burst {
+    sizes: Vec<usize>,
+}
+impl Node for Burst {
+    fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for &s in &self.sizes {
+            ctx.send(0, Packet::new(vec![0u8; s]));
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn run_once(
+    seed: u64,
+    sizes: &[usize],
+    loss: f64,
+    rate_gbps: u64,
+    prop_us: u64,
+) -> (usize, Vec<u64>, Time) {
+    let mut sim = Simulator::new(seed);
+    let src = sim.add_node("src", Box::new(Burst { sizes: sizes.to_vec() }));
+    let dst = sim.add_node("dst", Box::new(Sink));
+    sim.add_oneway(
+        src,
+        0,
+        dst,
+        0,
+        LinkSpec::new(Bandwidth::gbps(rate_gbps), Time::from_micros(prop_us))
+            .with_loss(LossModel::Random(loss)),
+    );
+    sim.run();
+    let arrivals: Vec<u64> = sim
+        .local_deliveries(dst)
+        .iter()
+        .map(|(t, _)| t.as_nanos())
+        .collect();
+    (sim.local_deliveries(dst).len(), arrivals, sim.now())
+}
+
+proptest! {
+    /// Identical seeds yield byte-identical outcomes (the reproducibility
+    /// every EXPERIMENTS.md number rests on).
+    #[test]
+    fn simulation_is_deterministic(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(64usize..9000, 1..60),
+        loss in 0.0f64..0.5,
+    ) {
+        let a = run_once(seed, &sizes, loss, 10, 50);
+        let b = run_once(seed, &sizes, loss, 10, 50);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Conservation: delivered + corruption losses + queue drops + MTU
+    /// drops == offered, on every link.
+    #[test]
+    fn link_conserves_packets(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(64usize..12_000, 1..80),
+        loss in 0.0f64..0.3,
+        cap_kb in 1usize..64,
+    ) {
+        let mut sim = Simulator::new(seed);
+        let src = sim.add_node("src", Box::new(Burst { sizes: sizes.clone() }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        let link = sim.add_oneway(
+            src,
+            0,
+            dst,
+            0,
+            LinkSpec::new(Bandwidth::gbps(1), Time::from_micros(10))
+                .with_loss(LossModel::Random(loss))
+                .with_queue(QueueSpec::DropTailFifo { capacity_bytes: cap_kb * 1024 }),
+        );
+        sim.run();
+        let s = *sim.link_stats(link);
+        prop_assert_eq!(s.offered_packets, sizes.len() as u64);
+        prop_assert_eq!(
+            s.delivered_packets + s.corruption_losses + s.queue_drops + s.mtu_drops,
+            s.offered_packets
+        );
+        prop_assert_eq!(sim.local_deliveries(dst).len() as u64, s.delivered_packets);
+    }
+
+    /// Timing law: every arrival is ≥ serialization + propagation after
+    /// its send, and arrivals preserve FIFO order on one link.
+    #[test]
+    fn arrivals_respect_physics(
+        sizes in proptest::collection::vec(64usize..9000, 1..40),
+        rate_gbps in 1u64..100,
+        prop_us in 1u64..1000,
+    ) {
+        let (_, arrivals, _) = run_once(1, &sizes, 0.0, rate_gbps, prop_us);
+        prop_assert_eq!(arrivals.len(), sizes.len());
+        let bw = Bandwidth::gbps(rate_gbps);
+        let prop_ns = prop_us * 1_000;
+        // FIFO order and a physical lower bound per packet.
+        let mut cursor = 0u64; // serialization completion time
+        for (i, &at) in arrivals.iter().enumerate() {
+            cursor += bw.tx_time(sizes[i]).as_nanos();
+            prop_assert_eq!(at, cursor + prop_ns, "packet {} timing", i);
+        }
+    }
+
+    /// The Gilbert–Elliott model's long-run loss matches its configured
+    /// average across seeds.
+    #[test]
+    fn bursty_loss_average_holds(seed in any::<u64>(), avg in 0.005f64..0.05) {
+        let model = LossModel::bursty(avg, 10.0);
+        let mut rng = SimRng::new(seed);
+        let mut state = mmt_netsim::LossState::default();
+        let n = 300_000u32;
+        let losses = (0..n).filter(|_| model.lose(&mut rng, 1500, &mut state)).count();
+        let measured = losses as f64 / n as f64;
+        prop_assert!(
+            (measured - avg).abs() < avg * 0.5 + 0.002,
+            "configured {avg}, measured {measured}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! **E7** — the no-congestion-control hypothesis and backpressure.
+//!
+//! §5.3: "We hypothesize that this transport does not require
+//! sophisticated congestion control, since data transfers across
+//! scientific networks are usually capacity-planned and scheduled."
+//! §5.1: when an element does see downstream pressure, "it can relay a
+//! back-pressure signal to the sender ①".
+//!
+//! Three conditions over the pilot topology:
+//! 1. capacity-planned (offered < capacity): nothing needed — zero drops;
+//! 2. overcommitted without backpressure: queue drops and a NAK storm;
+//! 3. overcommitted with credit backpressure: the sender is paced to the
+//!    bottleneck and drops vanish.
+
+use crate::topology::{Pilot, PilotConfig};
+use mmt_core::buffer::CreditConfig;
+use mmt_netsim::{Bandwidth, LossModel, Time};
+
+/// One row of the E7 table.
+#[derive(Debug, Clone, Copy)]
+pub struct BackpressureResult {
+    /// Condition name.
+    pub condition: &'static str,
+    /// Offered load at the sensor.
+    pub offered: Bandwidth,
+    /// Bottleneck (WAN) capacity.
+    pub capacity: Bandwidth,
+    /// Packets dropped at the overcommitted queue.
+    pub queue_drops: u64,
+    /// NAKs the receiver sent.
+    pub naks: u64,
+    /// Sequences abandoned as lost.
+    pub lost: u64,
+    /// Messages delivered (of those sent).
+    pub delivered: u64,
+    /// Messages the sensor actually emitted.
+    pub sent: u64,
+}
+
+fn base_config(offered: Bandwidth, capacity: Bandwidth, messages: usize) -> PilotConfig {
+    let mut cfg = PilotConfig::default_run();
+    cfg.message_count = messages;
+    cfg.message_len = 8192;
+    cfg.message_gap = offered.tx_time(cfg.message_len);
+    // The DAQ link is fat; the WAN is the bottleneck.
+    cfg.daq_bandwidth = Bandwidth::gbps(100);
+    cfg.wan_bandwidth = capacity;
+    cfg.wan_rtt = Time::from_millis(10);
+    cfg.wan_loss = LossModel::None;
+    cfg.deadline_budget = Time::from_secs(10);
+    cfg.max_age = Time::from_secs(10);
+    cfg.receiver_give_up = Time::from_millis(500);
+    cfg.receiver_nak_interval = Time::from_millis(25);
+    cfg
+}
+
+fn run_one(
+    condition: &'static str,
+    offered: Bandwidth,
+    capacity: Bandwidth,
+    credit: Option<CreditConfig>,
+    messages: usize,
+) -> BackpressureResult {
+    let mut cfg = base_config(offered, capacity, messages);
+    cfg.credit = credit;
+    cfg.respect_backpressure = credit.is_some();
+    let mut pilot = Pilot::build(cfg);
+    pilot.run(Time::from_secs(120));
+    let r = pilot.report();
+    BackpressureResult {
+        condition,
+        offered,
+        capacity,
+        queue_drops: r.wan_queue_drops + r.dtn1_egress_queue_drops,
+        naks: r.receiver.naks_sent,
+        lost: r.receiver.lost,
+        delivered: r.receiver.delivered,
+        sent: r.sender.sent,
+    }
+}
+
+/// Run the three conditions.
+pub fn run_all(messages: usize) -> Vec<BackpressureResult> {
+    let capacity = Bandwidth::gbps(10);
+    vec![
+        run_one(
+            "capacity-planned",
+            Bandwidth::gbps(8),
+            capacity,
+            None,
+            messages,
+        ),
+        run_one(
+            "overcommitted, no backpressure",
+            Bandwidth::gbps(20),
+            capacity,
+            None,
+            messages,
+        ),
+        run_one(
+            "overcommitted, credit backpressure",
+            Bandwidth::gbps(20),
+            capacity,
+            Some(CreditConfig {
+                // 10 Gb/s of 8 KiB messages ≈ 152 msg/ms; grant per ms.
+                grant: 150,
+                interval: Time::from_millis(1),
+            }),
+            messages,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_planning_needs_no_congestion_control() {
+        let rows = run_all(5_000);
+        let planned = &rows[0];
+        assert_eq!(planned.queue_drops, 0, "{planned:?}");
+        assert_eq!(planned.naks, 0);
+        assert_eq!(planned.lost, 0);
+        assert_eq!(planned.delivered, planned.sent);
+    }
+
+    #[test]
+    fn overcommit_without_backpressure_drops_and_storms() {
+        let rows = run_all(5_000);
+        let over = &rows[1];
+        assert!(over.queue_drops > 0, "{over:?}");
+        assert!(over.naks > 0, "receiver must try to recover");
+    }
+
+    #[test]
+    fn credits_tame_the_overcommit() {
+        let rows = run_all(5_000);
+        let over = &rows[1];
+        let credited = &rows[2];
+        assert!(
+            credited.queue_drops * 10 < over.queue_drops.max(10),
+            "credits should kill ≥90% of drops: {} vs {}",
+            credited.queue_drops,
+            over.queue_drops
+        );
+        assert!(credited.lost <= over.lost);
+        assert_eq!(credited.delivered, credited.sent, "everything sent arrives");
+    }
+}

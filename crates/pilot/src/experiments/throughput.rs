@@ -1,0 +1,169 @@
+//! **E3** — single-stream goodput vs link rate.
+//!
+//! §4.1: tuned TCP reaches ~30 Gb/s single-stream in production \[46\]
+//! (55 Gb/s in testbeds \[66\]) while "modern DTNs are being installed with
+//! 400GbE NICs" — the gap MMT's simplicity is meant to close (Req 2:
+//! line-rate transfers). The MMT datapath is header-only and
+//! hardware-offloadable, so its modelled host cost is the NIC-DMA floor
+//! (≈120 ns/message, i.e. ≈550 Gb/s at 8 KiB) rather than a
+//! protocol-stack cost.
+
+use mmt_core::receiver::{MmtReceiver, ReceiverConfig};
+use mmt_core::sender::{MmtSender, SenderConfig};
+use mmt_netsim::{Bandwidth, LinkSpec, Simulator, Time};
+use mmt_transport::{CcProfile, TcpReceiver, TcpSender};
+use mmt_wire::mmt::ExperimentId;
+use mmt_wire::Ipv4Address;
+
+const MSG: usize = 8192;
+/// Modelled per-message host cost for the MMT endpoint (NIC-DMA floor).
+const MMT_HOST_NS: u64 = 120;
+
+/// One goodput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Link rate.
+    pub link: Bandwidth,
+    /// Transport variant name.
+    pub variant: &'static str,
+    /// Achieved goodput, bits per second.
+    pub goodput_bps: f64,
+}
+
+impl ThroughputResult {
+    /// Goodput in Gb/s.
+    pub fn goodput_gbps(&self) -> f64 {
+        self.goodput_bps / 1e9
+    }
+}
+
+/// Measure one TCP profile on one link rate (10 ms WAN RTT, no loss).
+pub fn run_tcp(link: Bandwidth, profile: CcProfile, transfer_bytes: u64) -> ThroughputResult {
+    let mut sim = Simulator::new(31);
+    let snd = sim.add_node(
+        "snd",
+        Box::new(TcpSender::bulk(profile, 1, transfer_bytes, MSG)),
+    );
+    let rcv = sim.add_node(
+        "rcv",
+        Box::new(TcpReceiver::new(1, MSG, profile.max_window_bytes)),
+    );
+    sim.connect(snd, 0, rcv, 0, LinkSpec::new(link, Time::from_millis(5)));
+    sim.run_until(Time::from_secs(600));
+    let s = sim.node_as::<TcpSender>(snd).unwrap();
+    let goodput_bps = match s.stats.completed_at {
+        Some(fct) => transfer_bytes as f64 * 8.0 / fct.as_secs_f64(),
+        None => s.stats.bytes_acked as f64 * 8.0 / 600.0,
+    };
+    ThroughputResult {
+        link,
+        variant: profile.name,
+        goodput_bps,
+    }
+}
+
+/// Measure MMT on one link rate: the sensor paces at the minimum of line
+/// rate and its (NIC-floor) host ceiling.
+pub fn run_mmt(link: Bandwidth, transfer_bytes: u64) -> ThroughputResult {
+    let exp = ExperimentId::new(2, 0);
+    let mut sim = Simulator::new(31);
+    let count = (transfer_bytes as usize).div_ceil(MSG);
+    // Pace: whichever is slower, the wire or the host floor.
+    let wire_gap = link.tx_time(MSG + 50);
+    let gap = wire_gap.max(Time::from_nanos(MMT_HOST_NS));
+    let snd = sim.add_node(
+        "sensor",
+        Box::new(MmtSender::new(SenderConfig::regular(exp, MSG, gap, count))),
+    );
+    let mut rcfg = ReceiverConfig::wan_defaults(exp, Ipv4Address::new(10, 0, 0, 8));
+    rcfg.expect_messages = Some(count as u64);
+    let rcv = sim.add_node("receiver", Box::new(MmtReceiver::new(rcfg)));
+    sim.connect(snd, 0, rcv, 0, LinkSpec::new(link, Time::from_millis(5)));
+    sim.run_until(Time::from_secs(600));
+    let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+    let goodput_bps = match r.stats.completed_at {
+        Some(fct) => (count * MSG) as f64 * 8.0 / fct.as_secs_f64(),
+        None => (r.stats.delivered * MSG as u64) as f64 * 8.0 / 600.0,
+    };
+    ThroughputResult {
+        link,
+        variant: "MMT",
+        goodput_bps,
+    }
+}
+
+/// The full E3 sweep: 10/40/100/400 GbE × {untuned, tuned, tuned-2024,
+/// MMT}. `transfer_scale` multiplies the per-rate transfer volume (1.0 =
+/// the full-size run used for the published table).
+pub fn sweep(transfer_scale: f64) -> Vec<ThroughputResult> {
+    let mut out = Vec::new();
+    for gbps in [10u64, 40, 100, 400] {
+        let link = Bandwidth::gbps(gbps);
+        // Size transfers so each run covers seconds of stream time.
+        let bytes = ((gbps as f64) * 1e9 / 8.0 * 0.5 * transfer_scale) as u64;
+        out.push(run_tcp(link, CcProfile::untuned(), bytes.min(100_000_000)));
+        out.push(run_tcp(link, CcProfile::tuned_dtn(), bytes));
+        out.push(run_tcp(link, CcProfile::tuned_dtn_2024(), bytes));
+        out.push(run_mmt(link, bytes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_shape_matches_paper_claims() {
+        // 100 GbE: tuned TCP ≈ 30 Gb/s, 2024 kernel ≈ 55, MMT ≈ line rate.
+        let link = Bandwidth::gbps(100);
+        let tuned = run_tcp(link, CcProfile::tuned_dtn(), 1_500_000_000);
+        // The 2024 profile ramps to a ~69 MB window; amortize slow start
+        // over a longer transfer, as the testbed measurements do [66].
+        let tuned24 = run_tcp(link, CcProfile::tuned_dtn_2024(), 4_000_000_000);
+        let mmt = run_mmt(link, 1_500_000_000);
+        assert!(
+            (22.0..32.0).contains(&tuned.goodput_gbps()),
+            "tuned {:.1}",
+            tuned.goodput_gbps()
+        );
+        assert!(
+            (40.0..58.0).contains(&tuned24.goodput_gbps()),
+            "tuned-2024 {:.1}",
+            tuned24.goodput_gbps()
+        );
+        assert!(
+            mmt.goodput_gbps() > 90.0,
+            "MMT near line rate: {:.1}",
+            mmt.goodput_gbps()
+        );
+    }
+
+    #[test]
+    fn on_slow_links_everyone_fills_the_pipe() {
+        // A long transfer amortizes the slow-start overshoot cycle that a
+        // 10 GbE bottleneck inflicts on a window-unlimited tuned stack.
+        let link = Bandwidth::gbps(10);
+        let tuned = run_tcp(link, CcProfile::tuned_dtn(), 1_000_000_000);
+        let mmt = run_mmt(link, 200_000_000);
+        assert!(tuned.goodput_gbps() > 5.0, "{:.1}", tuned.goodput_gbps());
+        assert!(mmt.goodput_gbps() > 9.0, "{:.1}", mmt.goodput_gbps());
+        assert!(mmt.goodput_gbps() > tuned.goodput_gbps());
+    }
+
+    #[test]
+    fn untuned_stack_is_window_starved_on_fat_links() {
+        let r = run_tcp(Bandwidth::gbps(100), CcProfile::untuned(), 50_000_000);
+        assert!(r.goodput_gbps() < 6.0, "{:.1}", r.goodput_gbps());
+    }
+
+    #[test]
+    fn mmt_crosses_400gbe_where_tcp_cannot() {
+        let link = Bandwidth::gbps(400);
+        let bytes = 2_000_000_000;
+        let mmt = run_mmt(link, bytes);
+        let tcp = run_tcp(link, CcProfile::tuned_dtn_2024(), bytes);
+        assert!(mmt.goodput_gbps() > 300.0, "{:.1}", mmt.goodput_gbps());
+        assert!(tcp.goodput_gbps() < 60.0, "{:.1}", tcp.goodput_gbps());
+    }
+}

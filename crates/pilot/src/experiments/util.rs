@@ -1,0 +1,35 @@
+//! Small shared helpers for experiment topologies.
+
+use mmt_netsim::{Context, Node, Packet, PortId};
+
+/// A terminal node that hands every arrival to its local application.
+pub struct Sink;
+
+impl Node for Sink {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+        ctx.deliver_local(pkt);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_netsim::{Simulator, Time};
+
+    #[test]
+    fn sink_records_deliveries() {
+        let mut sim = Simulator::new(1);
+        let s = sim.add_node("s", Box::new(Sink));
+        sim.inject(Time::ZERO, s, 0, Packet::new(vec![1, 2, 3]));
+        sim.run();
+        assert_eq!(sim.local_deliveries(s).len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # `mmt-pilot` — the pilot study (Fig. 4) and the experiment suite
+//!
+//! This crate assembles the pieces — detector workloads (`mmt-daq`),
+//! programmable elements (`mmt-dataplane`), MMT endpoints (`mmt-core`),
+//! and the TCP/UDP baselines (`mmt-transport`) — into runnable
+//! experiments over the simulator (`mmt-netsim`).
+//!
+//! [`topology`] builds the pilot chain of Fig. 4:
+//!
+//! ```text
+//! detector ──DAQ net──▶ DTN 1 ──▶ Tofino2 ══WAN══▶ DTN 2 switch ──▶ DTN 2 host
+//! (sensor)             (Alveo:              (age    (Alveo: deadline   (receiver,
+//!  mode 0/1)            border upgrade       update) check, mode 3)     NAKs)
+//!                       + retransmit buffer)
+//! ```
+//!
+//! [`experiments`] hosts one module per experiment in DESIGN.md's
+//! per-experiment index (T1, F2/F3/F4, E1–E11, A1–A2); each returns a plain
+//! result struct that `mmt-bench`'s `tables` binary formats into the
+//! rows/series the paper's evaluation would report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod topology;
+
+pub use topology::{Pilot, PilotConfig, PilotReport};

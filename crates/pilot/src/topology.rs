@@ -1,0 +1,379 @@
+//! The Fig. 4 pilot topology.
+
+use mmt_core::buffer::{RetransmitBuffer, PORT_DAQ, PORT_WAN};
+use mmt_core::receiver::{MmtReceiver, ReceiverConfig, ReceiverStats};
+use mmt_core::sender::{MmtSender, SenderConfig, SenderStats};
+use mmt_core::buffer::{CreditConfig, RetransmitBufferStats};
+use mmt_dataplane::programs::{self, BorderConfig};
+use mmt_dataplane::{DataplaneElement, ElementStats};
+use mmt_netsim::stats::LatencyHistogram;
+use mmt_netsim::{Bandwidth, LinkId, LinkSpec, LossModel, NodeId, Simulator, Time};
+use mmt_wire::mmt::ExperimentId;
+
+/// Configuration for a pilot run.
+#[derive(Debug, Clone)]
+pub struct PilotConfig {
+    /// Experiment identity (defaults to DUNE, experiment 2).
+    pub experiment: ExperimentId,
+    /// Message payload size, bytes.
+    pub message_len: usize,
+    /// Number of messages to stream.
+    pub message_count: usize,
+    /// Gap between message creations at the sensor.
+    pub message_gap: Time,
+    /// DAQ-network link rate (sensor → DTN 1).
+    pub daq_bandwidth: Bandwidth,
+    /// WAN link rate.
+    pub wan_bandwidth: Bandwidth,
+    /// WAN round-trip time (propagation split evenly per direction).
+    pub wan_rtt: Time,
+    /// WAN loss model (corruption; §4).
+    pub wan_loss: LossModel,
+    /// Delivery budget from creation (the mode-2 deadline).
+    pub deadline_budget: Time,
+    /// Age threshold for the aged flag.
+    pub max_age: Time,
+    /// Enable backpressure credits from DTN 1 to the sensor.
+    pub credit: Option<CreditConfig>,
+    /// Whether the sensor honours credits.
+    pub respect_backpressure: bool,
+    /// Receiver loss-recovery tuning.
+    pub receiver_nak_interval: Time,
+    /// Give-up horizon for unrecoverable gaps.
+    pub receiver_give_up: Time,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl PilotConfig {
+    /// Defaults matching the pilot: DUNE data, 8 KiB messages, 100 GbE
+    /// everywhere, 10 ms WAN RTT, mild corruption loss.
+    pub fn default_run() -> PilotConfig {
+        PilotConfig {
+            experiment: ExperimentId::new(2, 0),
+            message_len: 8192,
+            message_count: 2_000,
+            message_gap: Time::from_micros(1),
+            daq_bandwidth: Bandwidth::gbps(100),
+            wan_bandwidth: Bandwidth::gbps(100),
+            wan_rtt: Time::from_millis(10),
+            wan_loss: LossModel::Random(1e-3),
+            deadline_budget: Time::from_millis(50),
+            max_age: Time::from_millis(40),
+            credit: None,
+            respect_backpressure: false,
+            receiver_nak_interval: Time::from_millis(12),
+            receiver_give_up: Time::from_secs(5),
+            seed: 7,
+        }
+    }
+}
+
+/// Addresses used by the pilot nodes.
+pub mod addrs {
+    use mmt_wire::Ipv4Address;
+    /// The sensor / detector readout host.
+    pub const SENSOR: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    /// DTN 1 (buffer + border).
+    pub const DTN1: Ipv4Address = Ipv4Address::new(10, 0, 0, 5);
+    /// DTN 2 (receiving host).
+    pub const DTN2: Ipv4Address = Ipv4Address::new(10, 0, 0, 8);
+}
+
+/// A built pilot: the simulator plus the node handles experiments poke.
+pub struct Pilot {
+    /// The simulator (run it, inspect it).
+    pub sim: Simulator,
+    /// The detector / sensor node.
+    pub sensor: NodeId,
+    /// DTN 1: border + retransmission buffer.
+    pub dtn1: NodeId,
+    /// The Tofino2-like WAN transit element.
+    pub tofino: NodeId,
+    /// The DTN 2-side programmable NIC (deadline check).
+    pub dtn2_switch: NodeId,
+    /// The receiving host.
+    pub receiver: NodeId,
+    /// The WAN link (tofino → dtn2 switch) for stats.
+    pub wan_link: LinkId,
+    /// DTN 1's WAN-facing egress link (dtn1 → tofino) — where drops land
+    /// when the sensor overcommits the WAN (experiment E7).
+    pub dtn1_egress: LinkId,
+    config: PilotConfig,
+}
+
+impl Pilot {
+    /// Build the Fig. 4 chain.
+    pub fn build(config: PilotConfig) -> Pilot {
+        let mut sim = Simulator::new(config.seed);
+
+        // --- nodes ---
+        let mut sender_cfg = SenderConfig::regular(
+            config.experiment,
+            config.message_len,
+            config.message_gap,
+            config.message_count,
+        );
+        sender_cfg.respect_backpressure = config.respect_backpressure;
+        let sensor = sim.add_node("sensor", Box::new(MmtSender::new(sender_cfg)));
+
+        let border = BorderConfig {
+            daq_port: PORT_DAQ,
+            wan_port: PORT_WAN,
+            retransmit_source: (addrs::DTN1, 47_000),
+            deadline_budget_ns: config.deadline_budget.as_nanos(),
+            notify_addr: addrs::SENSOR,
+            priority_class: None,
+        };
+        let dtn1 = sim.add_node(
+            "dtn1",
+            Box::new(RetransmitBuffer::new(
+                config.experiment,
+                border,
+                256 * 1024 * 1024,
+                config.credit,
+            )),
+        );
+
+        let tofino = sim.add_node(
+            "tofino2",
+            Box::new(DataplaneElement::new(programs::wan_transit(
+                0,
+                1,
+                config.max_age.as_nanos(),
+            ))),
+        );
+
+        let dtn2_switch = sim.add_node(
+            "dtn2-nic",
+            Box::new(DataplaneElement::new(programs::destination_check(0, 1, 0))),
+        );
+
+        let mut rcv_cfg = ReceiverConfig::wan_defaults(config.experiment, addrs::DTN2);
+        rcv_cfg.nak_interval = config.receiver_nak_interval;
+        rcv_cfg.give_up_after = config.receiver_give_up;
+        rcv_cfg.expect_messages = Some(config.message_count as u64);
+        let receiver = sim.add_node("dtn2-host", Box::new(MmtReceiver::new(rcv_cfg)));
+
+        // --- links ---
+        let short = Time::from_micros(1);
+        // DAQ network: capacity-planned, lossless.
+        sim.connect(
+            sensor,
+            0,
+            dtn1,
+            PORT_DAQ,
+            LinkSpec::new(config.daq_bandwidth, Time::from_micros(5)),
+        );
+        // DTN1 ↔ Tofino2 (same facility). This link runs at WAN rate, so
+        // it is the first overcommit bottleneck.
+        let (dtn1_egress, _) = sim.connect(
+            dtn1,
+            PORT_WAN,
+            tofino,
+            0,
+            LinkSpec::new(config.wan_bandwidth, short),
+        );
+        // The WAN crossing: loss lives here.
+        let (wan_link, _) = sim.connect(
+            tofino,
+            1,
+            dtn2_switch,
+            0,
+            LinkSpec::new(config.wan_bandwidth, config.wan_rtt / 2)
+                .with_loss(config.wan_loss),
+        );
+        // DTN2 NIC ↔ host.
+        sim.connect(
+            dtn2_switch,
+            1,
+            receiver,
+            0,
+            LinkSpec::new(config.wan_bandwidth, short),
+        );
+
+        Pilot {
+            sim,
+            sensor,
+            dtn1,
+            tofino,
+            dtn2_switch,
+            receiver,
+            wan_link,
+            dtn1_egress,
+            config,
+        }
+    }
+
+    /// Run until the stream completes (or `horizon` elapses).
+    pub fn run(&mut self, horizon: Time) {
+        self.sim.run_until(horizon);
+    }
+
+    /// Whether the receiver saw every message.
+    pub fn is_complete(&self) -> bool {
+        self.sim
+            .node_as::<MmtReceiver>(self.receiver)
+            .expect("receiver type")
+            .is_complete()
+    }
+
+    /// Collect the run's report.
+    pub fn report(&self) -> PilotReport {
+        let sender: SenderStats = self.sim.node_as::<MmtSender>(self.sensor).unwrap().stats;
+        let buffer: RetransmitBufferStats =
+            self.sim.node_as::<RetransmitBuffer>(self.dtn1).unwrap().stats;
+        let tofino: ElementStats = *self
+            .sim
+            .node_as::<DataplaneElement>(self.tofino)
+            .unwrap()
+            .stats();
+        let dtn2: ElementStats = *self
+            .sim
+            .node_as::<DataplaneElement>(self.dtn2_switch)
+            .unwrap()
+            .stats();
+        let rcv = self.sim.node_as::<MmtReceiver>(self.receiver).unwrap();
+        let receiver: ReceiverStats = rcv.stats;
+        let mut latency = LatencyHistogram::new();
+        for m in rcv.log() {
+            latency.record(m.arrived_at.saturating_sub(m.created_at));
+        }
+        let wan = *self.sim.link_stats(self.wan_link);
+        let dtn1_egress = *self.sim.link_stats(self.dtn1_egress);
+        let elapsed = self.sim.now();
+        PilotReport {
+            sender,
+            buffer,
+            tofino,
+            dtn2_switch: dtn2,
+            receiver,
+            completed_at: receiver.completed_at,
+            latency,
+            wan_corruption_losses: wan.corruption_losses,
+            wan_queue_drops: wan.queue_drops,
+            wan_tx_bytes: wan.tx_bytes,
+            dtn1_egress_queue_drops: dtn1_egress.queue_drops,
+            goodput_bps: {
+                let bytes =
+                    receiver.delivered.saturating_sub(receiver.duplicates) * self.config.message_len as u64;
+                if elapsed == Time::ZERO {
+                    0.0
+                } else {
+                    bytes as f64 * 8.0 / elapsed.as_secs_f64()
+                }
+            },
+            elapsed,
+        }
+    }
+}
+
+/// Everything a pilot run measured.
+#[derive(Debug, Clone)]
+pub struct PilotReport {
+    /// Sensor-side counters.
+    pub sender: SenderStats,
+    /// DTN 1 counters.
+    pub buffer: RetransmitBufferStats,
+    /// Tofino2 element counters.
+    pub tofino: ElementStats,
+    /// DTN 2 NIC counters.
+    pub dtn2_switch: ElementStats,
+    /// Receiver counters.
+    pub receiver: ReceiverStats,
+    /// When the stream completed at the receiver.
+    pub completed_at: Option<Time>,
+    /// Per-message creation→delivery latency.
+    pub latency: LatencyHistogram,
+    /// Packets the WAN link corrupted.
+    pub wan_corruption_losses: u64,
+    /// Packets dropped by the WAN egress queue.
+    pub wan_queue_drops: u64,
+    /// Bytes the WAN link carried.
+    pub wan_tx_bytes: u64,
+    /// Packets dropped at DTN 1's WAN-facing egress queue.
+    pub dtn1_egress_queue_drops: u64,
+    /// Receiver goodput over the whole run.
+    pub goodput_bps: f64,
+    /// Virtual time the run covered.
+    pub elapsed: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_pilot_delivers_everything_without_recovery() {
+        let mut cfg = PilotConfig::default_run();
+        cfg.wan_loss = LossModel::None;
+        cfg.message_count = 500;
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(10));
+        assert!(pilot.is_complete());
+        let r = pilot.report();
+        assert_eq!(r.receiver.delivered, 500);
+        assert_eq!(r.receiver.naks_sent, 0);
+        assert_eq!(r.receiver.lost, 0);
+        assert_eq!(r.sender.sent, 500);
+        assert_eq!(r.buffer.forwarded, 500);
+        assert_eq!(r.tofino.forwarded, 500);
+        assert_eq!(r.wan_corruption_losses, 0);
+        // End-to-end latency ≈ WAN one-way (5 ms) + serialization/hops.
+        let mut lat = r.latency.clone();
+        let p50 = lat.median().unwrap();
+        assert!(p50 >= Time::from_millis(5), "{p50}");
+        assert!(p50 < Time::from_millis(6), "{p50}");
+    }
+
+    #[test]
+    fn lossy_pilot_recovers_from_dtn1() {
+        let mut cfg = PilotConfig::default_run();
+        cfg.wan_loss = LossModel::Random(5e-3);
+        cfg.message_count = 2_000;
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(30));
+        let r = pilot.report();
+        assert!(r.wan_corruption_losses > 0, "loss model must bite");
+        assert!(pilot.is_complete(), "NAK recovery must fill every gap");
+        assert!(r.receiver.naks_sent > 0);
+        assert!(r.receiver.recovered > 0);
+        assert_eq!(r.receiver.lost, 0);
+        assert!(r.buffer.retransmitted >= r.receiver.recovered);
+        // Age was tracked on the WAN.
+        assert!(r.latency.count() > 0);
+    }
+
+    #[test]
+    fn deadline_misses_notify_the_source() {
+        let mut cfg = PilotConfig::default_run();
+        cfg.wan_loss = LossModel::None;
+        cfg.message_count = 100;
+        // Impossible budget: 1 ms against a 5 ms one-way WAN.
+        cfg.deadline_budget = Time::from_millis(1);
+        cfg.max_age = Time::from_millis(1);
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(5));
+        let r = pilot.report();
+        assert!(pilot.is_complete(), "late data still delivered");
+        assert_eq!(
+            r.sender.deadline_notifications, 100,
+            "every message misses the 1 ms budget and the sensor hears it"
+        );
+        assert_eq!(r.receiver.aged_deliveries, 100, "all marked aged");
+    }
+
+    #[test]
+    fn generous_deadline_produces_no_notifications() {
+        let mut cfg = PilotConfig::default_run();
+        cfg.wan_loss = LossModel::None;
+        cfg.message_count = 100;
+        cfg.deadline_budget = Time::from_secs(1);
+        cfg.max_age = Time::from_secs(1);
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(5));
+        let r = pilot.report();
+        assert_eq!(r.sender.deadline_notifications, 0);
+        assert_eq!(r.receiver.aged_deliveries, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # `mmt-transport` — baseline transports: modelled TCP and UDP
+//!
+//! §4 of the paper describes how DAQ data is moved *today*: UDP (or raw
+//! Ethernet) inside the DAQ network, then heavily tuned TCP across the WAN
+//! and to campuses, with termination and buffering at each stage. Every
+//! quantitative claim the paper makes is relative to that baseline, so
+//! this crate implements it over the same simulator the MMT endpoints use:
+//!
+//! * [`tcp`] — a message-level TCP model: cumulative ACKs, slow start and
+//!   AIMD congestion avoidance, fast retransmit on triple duplicate ACKs,
+//!   RTO with exponential backoff, receiver reassembly with in-order
+//!   delivery, and **message delineation in the bytestream** — which is
+//!   what lets experiments measure the head-of-line blocking of §4.1
+//!   directly. Host profiles ([`tcp::CcProfile`]) model the end-system
+//!   ceiling: an untuned stack, the heavily tuned DTN stack (the
+//!   ~30 Gbps single-stream operating point of \[46\], ~55 Gbps with recent
+//!   kernels \[66\]), and an idealized unlimited host.
+//! * [`udp`] — fire-and-forget datagram endpoints (today's DAQ-network
+//!   transport; DUNE uses UDP, §4).
+//! * [`relay`] — a store-and-forward relay node standing in for the
+//!   TCP-terminating DTN stages of Fig. 2 (and a plain wire forwarder).
+//!
+//! The TCP model is *not* a full RFC 9293 implementation — no urgent
+//! data and no window-scaling negotiation (windows are plain byte counts)
+//! — but it does implement the mechanisms that decide long-fat-network
+//! behaviour: SACK-based loss recovery with RFC 6675-style pipe gating,
+//! CUBIC (RFC 8312) with HyStart delay-based slow-start exit, sch_fq-style
+//! rate pacing, NewReno partial-ack retransmission, and RFC 6298 RTO
+//! management. Those dynamics (window growth, recovery latency, HOL
+//! blocking) are exactly what the experiments measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod relay;
+pub mod segment;
+pub mod tcp;
+pub mod udp;
+
+pub use relay::Relay;
+pub use segment::{Segment, SegmentFlags};
+pub use tcp::{CcProfile, TcpReceiver, TcpSender, TcpSenderStats};
+pub use udp::{UdpReceiver, UdpSender};

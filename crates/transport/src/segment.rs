@@ -1,0 +1,204 @@
+//! The simulated TCP segment wire format.
+//!
+//! A compact fixed header carried directly in Ethernet frames (the
+//! simulator routes by topology, so IP addressing is unnecessary):
+//! flow id (8) + seq (8) + ack (8) + flags (1) + SACK count (1) +
+//! reserved (2) + window (4) + payload length (4) + 3 × SACK block
+//! (first u64 + last u64) = 84 bytes, followed by `len` payload bytes
+//! (zeros — content is irrelevant to transport dynamics). SACK blocks
+//! let the tuned baseline recover burst losses in one RTT, as real DTN
+//! stacks do.
+
+/// Segment header length.
+pub const HEADER_LEN: usize = 84;
+
+/// Maximum SACK blocks carried per segment.
+pub const MAX_SACK: usize = 3;
+
+/// Segment flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentFlags {
+    /// Connection-opening segment.
+    pub syn: bool,
+    /// Carries a valid ack number.
+    pub ack: bool,
+    /// Sender finished.
+    pub fin: bool,
+}
+
+impl SegmentFlags {
+    const SYN: u8 = 0x01;
+    const ACK: u8 = 0x02;
+    const FIN: u8 = 0x04;
+
+    fn to_u8(self) -> u8 {
+        (u8::from(self.syn) * Self::SYN)
+            | (u8::from(self.ack) * Self::ACK)
+            | (u8::from(self.fin) * Self::FIN)
+    }
+
+    fn from_u8(v: u8) -> SegmentFlags {
+        SegmentFlags {
+            syn: v & Self::SYN != 0,
+            ack: v & Self::ACK != 0,
+            fin: v & Self::FIN != 0,
+        }
+    }
+}
+
+/// A parsed (or to-be-emitted) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Flow identifier (one per connection).
+    pub flow: u64,
+    /// First payload byte's stream offset.
+    pub seq: u64,
+    /// Cumulative acknowledgement (next expected byte).
+    pub ack: u64,
+    /// Flags.
+    pub flags: SegmentFlags,
+    /// Advertised receive window, bytes.
+    pub window: u32,
+    /// Payload length, bytes.
+    pub len: u32,
+    /// SACK blocks: received byte ranges `[start, end)` above `ack`.
+    /// Zero-length blocks are absent.
+    pub sack: [(u64, u64); MAX_SACK],
+}
+
+impl Segment {
+    /// A data segment.
+    pub fn data(flow: u64, seq: u64, len: u32) -> Segment {
+        Segment {
+            flow,
+            seq,
+            ack: 0,
+            flags: SegmentFlags { syn: false, ack: false, fin: false },
+            window: 0,
+            len,
+            sack: [(0, 0); MAX_SACK],
+        }
+    }
+
+    /// A pure ACK.
+    pub fn pure_ack(flow: u64, ack: u64, window: u32) -> Segment {
+        Segment {
+            flow,
+            seq: 0,
+            ack,
+            flags: SegmentFlags { syn: false, ack: true, fin: false },
+            window,
+            len: 0,
+            sack: [(0, 0); MAX_SACK],
+        }
+    }
+
+    /// The SACK blocks actually present (non-empty ranges).
+    pub fn sack_blocks(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.sack.iter().copied().filter(|&(s, e)| e > s)
+    }
+
+    /// Total frame payload length (header + data bytes).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.len as usize
+    }
+
+    /// Encode into bytes (payload zero-filled).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.wire_len()];
+        out[0..8].copy_from_slice(&self.flow.to_be_bytes());
+        out[8..16].copy_from_slice(&self.seq.to_be_bytes());
+        out[16..24].copy_from_slice(&self.ack.to_be_bytes());
+        out[24] = self.flags.to_u8();
+        out[25] = self.sack_blocks().count() as u8;
+        out[28..32].copy_from_slice(&self.window.to_be_bytes());
+        out[32..36].copy_from_slice(&self.len.to_be_bytes());
+        for (i, (s, e)) in self.sack.iter().enumerate() {
+            let off = 36 + i * 16;
+            out[off..off + 8].copy_from_slice(&s.to_be_bytes());
+            out[off + 8..off + 16].copy_from_slice(&e.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes (length-checked).
+    pub fn decode(buf: &[u8]) -> Option<Segment> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        let mut sack = [(0u64, 0u64); MAX_SACK];
+        for (i, block) in sack.iter_mut().enumerate() {
+            let off = 36 + i * 16;
+            *block = (
+                u64::from_be_bytes(buf[off..off + 8].try_into().unwrap()),
+                u64::from_be_bytes(buf[off + 8..off + 16].try_into().unwrap()),
+            );
+        }
+        let seg = Segment {
+            flow: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            seq: u64::from_be_bytes(buf[8..16].try_into().unwrap()),
+            ack: u64::from_be_bytes(buf[16..24].try_into().unwrap()),
+            flags: SegmentFlags::from_u8(buf[24]),
+            window: u32::from_be_bytes(buf[28..32].try_into().unwrap()),
+            len: u32::from_be_bytes(buf[32..36].try_into().unwrap()),
+            sack,
+        };
+        if buf.len() < seg.wire_len() {
+            return None;
+        }
+        Some(seg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let seg = Segment {
+            flow: 7,
+            seq: 1_000_000,
+            ack: 42,
+            flags: SegmentFlags { syn: true, ack: true, fin: false },
+            window: 1 << 20,
+            len: 1448,
+            sack: [(100, 200), (300, 400), (0, 0)],
+        };
+        let bytes = seg.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + 1448);
+        assert_eq!(Segment::decode(&bytes), Some(seg));
+        assert_eq!(seg.sack_blocks().count(), 2);
+    }
+
+    #[test]
+    fn constructors() {
+        let d = Segment::data(1, 100, 500);
+        assert!(!d.flags.ack);
+        assert_eq!(d.wire_len(), HEADER_LEN + 500);
+        let a = Segment::pure_ack(1, 600, 4096);
+        assert!(a.flags.ack);
+        assert_eq!(a.len, 0);
+        assert_eq!(a.wire_len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let seg = Segment::data(1, 0, 100);
+        let bytes = seg.encode();
+        assert!(Segment::decode(&bytes[..HEADER_LEN - 1]).is_none());
+        assert!(Segment::decode(&bytes[..HEADER_LEN + 50]).is_none());
+    }
+
+    #[test]
+    fn flag_bits_roundtrip() {
+        for syn in [false, true] {
+            for ack in [false, true] {
+                for fin in [false, true] {
+                    let f = SegmentFlags { syn, ack, fin };
+                    assert_eq!(SegmentFlags::from_u8(f.to_u8()), f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The message-level TCP model.
+//!
+//! See the crate docs for scope. The split:
+//!
+//! * [`CcProfile`] — congestion-control and host-stack parameters,
+//!   including the per-segment host overhead that creates the single-
+//!   stream throughput ceilings the paper cites (§4.1: ~30 Gbps tuned
+//!   \[46\], 55 Gbps on a testbed with recent kernels \[66\]).
+//! * [`TcpSender`] — window-based sender: slow start with HyStart exit,
+//!   Reno or CUBIC congestion avoidance, fast retransmit, SACK-driven
+//!   recovery, rate pacing, and RTO backoff.
+//! * [`TcpReceiver`] — reassembly, cumulative ACKs with SACK blocks, and
+//!   message delineation so experiments can observe head-of-line
+//!   blocking.
+
+mod profile;
+mod receiver;
+mod sender;
+
+pub use profile::CcProfile;
+pub use receiver::{DeliveredMessage, TcpReceiver};
+pub use sender::{TcpSender, TcpSenderStats};

@@ -1,0 +1,161 @@
+//! Host and congestion-control profiles.
+
+use mmt_netsim::Bandwidth;
+
+/// Window-growth algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAlgo {
+    /// Classic AIMD (RFC 5681): +1 MSS per RTT in congestion avoidance.
+    /// Known to starve on long fat networks — the reason tuned stacks
+    /// moved on.
+    Reno,
+    /// CUBIC (RFC 8312): cubic window regrowth around the last loss
+    /// point, RTT-independent — what tuned DTN kernels actually run.
+    Cubic,
+}
+
+/// Parameters describing one TCP deployment flavour.
+///
+/// The `per_segment_overhead_ns` term models the end-system cost per
+/// segment (syscalls, copies, interrupts, protocol processing) that caps
+/// single-stream throughput no matter how fat the pipe — the effect §4.1
+/// attributes to "processing overhead for concurrent TCP streams" and the
+/// reason DTN operators tune so aggressively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcProfile {
+    /// Human-readable profile name.
+    pub name: &'static str,
+    /// Maximum segment size, bytes (payload per segment).
+    pub mss: usize,
+    /// Initial congestion window, segments.
+    pub init_cwnd_segments: u32,
+    /// Receive-window / buffer limit, bytes (the tuning knob of
+    /// fasterdata-style guides \[22, 43\]).
+    pub max_window_bytes: u64,
+    /// Host processing cost per segment, nanoseconds.
+    pub per_segment_overhead_ns: u64,
+    /// Window-growth algorithm.
+    pub cc: CcAlgo,
+}
+
+impl CcProfile {
+    /// Default, untuned stack: standard MTU, modest buffers. Over a
+    /// 100 ms WAN this window caps a stream at ~0.5 Gb/s — the familiar
+    /// "why is my transfer slow" configuration.
+    pub fn untuned() -> CcProfile {
+        CcProfile {
+            name: "untuned",
+            mss: 1448,
+            init_cwnd_segments: 10,
+            max_window_bytes: 6 * 1024 * 1024,
+            per_segment_overhead_ns: 2_000,
+            cc: CcAlgo::Reno,
+        }
+    }
+
+    /// A heavily tuned DTN stack (jumbo frames, huge buffers): the
+    /// ~30 Gb/s single-stream operating point reported for production
+    /// DTNs \[46\].
+    pub fn tuned_dtn() -> CcProfile {
+        CcProfile {
+            name: "tuned-dtn",
+            mss: 8900,
+            init_cwnd_segments: 10,
+            max_window_bytes: 2 * 1024 * 1024 * 1024,
+            per_segment_overhead_ns: 2_300,
+            cc: CcAlgo::Cubic,
+        }
+    }
+
+    /// A tuned stack on a recent kernel with the 2024 improvements \[66\]:
+    /// ~55 Gb/s single stream in testbeds.
+    pub fn tuned_dtn_2024() -> CcProfile {
+        CcProfile {
+            name: "tuned-dtn-2024",
+            mss: 8900,
+            init_cwnd_segments: 10,
+            max_window_bytes: 4 * 1024 * 1024 * 1024,
+            per_segment_overhead_ns: 1_300,
+            cc: CcAlgo::Cubic,
+        }
+    }
+
+    /// An idealized host with no processing ceiling (isolates protocol
+    /// dynamics from host limits in ablations).
+    pub fn ideal() -> CcProfile {
+        CcProfile {
+            name: "ideal",
+            mss: 8900,
+            init_cwnd_segments: 10,
+            max_window_bytes: u64::MAX / 4,
+            per_segment_overhead_ns: 0,
+            cc: CcAlgo::Cubic,
+        }
+    }
+
+    /// A copy of this profile with a large initial window — models a
+    /// long-lived elephant stream that finished its ramp long ago (DAQ
+    /// streams run for hours; slow start is a negligible prefix).
+    #[must_use]
+    pub fn warmed(mut self, init_segments: u32) -> CcProfile {
+        self.init_cwnd_segments = init_segments;
+        self
+    }
+
+    /// The throughput ceiling imposed by host overhead alone.
+    pub fn host_ceiling(&self) -> Bandwidth {
+        if self.per_segment_overhead_ns == 0 {
+            return Bandwidth::bps(u64::MAX);
+        }
+        let bits = (self.mss as u64) * 8;
+        Bandwidth::bps(bits * 1_000_000_000 / self.per_segment_overhead_ns)
+    }
+
+    /// The throughput ceiling imposed by the window over a given RTT.
+    pub fn window_ceiling(&self, rtt: mmt_netsim::Time) -> Bandwidth {
+        if rtt == mmt_netsim::Time::ZERO {
+            return Bandwidth::bps(u64::MAX);
+        }
+        let bits = (self.max_window_bytes as u128) * 8 * 1_000_000_000;
+        Bandwidth::bps((bits / rtt.as_nanos() as u128).min(u64::MAX as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_netsim::Time;
+
+    #[test]
+    fn host_ceilings_match_cited_operating_points() {
+        // Tuned DTN ≈ 31 Gb/s (the ~30 Gb/s of [46]).
+        let g = CcProfile::tuned_dtn().host_ceiling().as_gbps_f64();
+        assert!((29.0..33.0).contains(&g), "{g}");
+        // 2024 kernel ≈ 55 Gb/s [66].
+        let g = CcProfile::tuned_dtn_2024().host_ceiling().as_gbps_f64();
+        assert!((52.0..58.0).contains(&g), "{g}");
+        // Untuned ≈ 5.8 Gb/s host-side even before window limits.
+        let g = CcProfile::untuned().host_ceiling().as_gbps_f64();
+        assert!((5.0..7.0).contains(&g), "{g}");
+        assert!(CcProfile::ideal().host_ceiling().as_bps() == u64::MAX);
+    }
+
+    #[test]
+    fn window_ceiling_over_wan() {
+        // Untuned 6 MiB window over 100 ms: ~0.5 Gb/s.
+        let g = CcProfile::untuned()
+            .window_ceiling(Time::from_millis(100))
+            .as_gbps_f64();
+        assert!((0.4..0.6).contains(&g), "{g}");
+        // Tuned 2 GiB window over 100 ms: ~172 Gb/s (not binding next to
+        // the 31 Gb/s host ceiling).
+        let g = CcProfile::tuned_dtn()
+            .window_ceiling(Time::from_millis(100))
+            .as_gbps_f64();
+        assert!(g > 100.0, "{g}");
+        assert_eq!(
+            CcProfile::untuned().window_ceiling(Time::ZERO).as_bps(),
+            u64::MAX
+        );
+    }
+}

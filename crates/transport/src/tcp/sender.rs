@@ -1,0 +1,635 @@
+//! The TCP sender state machine.
+
+use super::profile::CcProfile;
+use crate::segment::{Segment, SegmentFlags};
+use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
+use std::collections::BTreeMap;
+
+const TOKEN_RTO: TimerToken = 1;
+const TOKEN_SEND: TimerToken = 2;
+
+/// Counters and timings exposed after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TcpSenderStats {
+    /// Data segments sent (including retransmissions).
+    pub segments_sent: u64,
+    /// Fast retransmissions triggered.
+    pub fast_retransmits: u64,
+    /// RTO retransmissions triggered.
+    pub rto_retransmits: u64,
+    /// Bytes acknowledged.
+    pub bytes_acked: u64,
+    /// When the last byte was acknowledged (flow-completion time).
+    pub completed_at: Option<Time>,
+    /// Smoothed RTT estimate at completion, ns.
+    pub srtt_ns: u64,
+}
+
+/// A TCP sender transmitting a stream of application messages.
+///
+/// Messages become available at their scheduled creation times; the stream
+/// is their concatenation (message delineation lives at the receiver,
+/// §4.1 point 1a). For a bulk transfer, schedule every message at time
+/// zero.
+pub struct TcpSender {
+    profile: CcProfile,
+    flow: u64,
+    message_len: usize,
+    /// Creation time of each message, non-decreasing.
+    schedule: Vec<Time>,
+    total_bytes: u64,
+
+    // Connection state.
+    established: bool,
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    peer_window: u64,
+    dup_acks: u32,
+    /// Fast-recovery guard: ignore further dupack halvings until
+    /// `snd_una` passes this point.
+    recovery_until: u64,
+
+    // CUBIC state (RFC 8312): window at the last loss, the epoch, and
+    // the plateau time K (0 when slow start exited without loss).
+    cubic_wmax: f64,
+    cubic_epoch: Option<Time>,
+    cubic_k: f64,
+
+    // RTT estimation / RTO.
+    srtt_ns: f64,
+    rttvar_ns: f64,
+    /// Minimum RTT observed (HyStart baseline).
+    min_rtt_ns: f64,
+    rto: Time,
+    rto_deadline: Option<Time>,
+    /// Send time of in-flight segments (seq → (sent_at, was_retransmitted)).
+    sent_times: BTreeMap<u64, (Time, bool)>,
+    /// SACK scoreboard: received ranges above `snd_una` reported by the
+    /// receiver (start → end, merged).
+    sacked: BTreeMap<u64, u64>,
+    /// Segments already retransmitted in the current recovery epoch.
+    hole_retx: std::collections::HashSet<u64>,
+
+    // Host pacing.
+    next_send_at: Time,
+    send_timer_armed: bool,
+
+    /// Index of the next message not yet fully enqueued (for wake-ups).
+    next_msg: usize,
+
+    /// Counters.
+    pub stats: TcpSenderStats,
+}
+
+impl TcpSender {
+    /// A sender for `message_count` messages of `message_len` bytes, each
+    /// created at the given schedule time. Use [`TcpSender::bulk`] for a
+    /// one-shot transfer.
+    pub fn new(
+        profile: CcProfile,
+        flow: u64,
+        message_len: usize,
+        schedule: Vec<Time>,
+    ) -> TcpSender {
+        assert!(message_len > 0 && !schedule.is_empty());
+        assert!(
+            schedule.windows(2).all(|w| w[1] >= w[0]),
+            "schedule must be non-decreasing"
+        );
+        let total_bytes = (message_len as u64) * (schedule.len() as u64);
+        let cwnd = (profile.mss as f64) * f64::from(profile.init_cwnd_segments);
+        TcpSender {
+            profile,
+            flow,
+            message_len,
+            schedule,
+            total_bytes,
+            established: false,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd,
+            ssthresh: f64::MAX / 4.0,
+            peer_window: profile.max_window_bytes,
+            dup_acks: 0,
+            recovery_until: 0,
+            cubic_wmax: 0.0,
+            cubic_epoch: None,
+            cubic_k: 0.0,
+            srtt_ns: 0.0,
+            rttvar_ns: 0.0,
+            min_rtt_ns: f64::MAX,
+            rto: Time::from_millis(200),
+            rto_deadline: None,
+            sent_times: BTreeMap::new(),
+            sacked: BTreeMap::new(),
+            hole_retx: std::collections::HashSet::new(),
+            next_send_at: Time::ZERO,
+            send_timer_armed: false,
+            next_msg: 0,
+            stats: TcpSenderStats::default(),
+        }
+    }
+
+    /// A bulk transfer of `total_bytes` (rounded up to whole messages of
+    /// `message_len`), all available at time zero.
+    pub fn bulk(profile: CcProfile, flow: u64, total_bytes: u64, message_len: usize) -> TcpSender {
+        let messages = total_bytes.div_ceil(message_len as u64) as usize;
+        TcpSender::new(profile, flow, message_len, vec![Time::ZERO; messages])
+    }
+
+    /// Whether every byte has been acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.stats.completed_at.is_some()
+    }
+
+    /// Bytes of application data available for sending at `now`.
+    fn available_bytes(&self, now: Time) -> u64 {
+        // Messages with creation time <= now. The schedule is sorted, so
+        // scan from the cursor.
+        let mut n = self.next_msg;
+        while n < self.schedule.len() && self.schedule[n] <= now {
+            n += 1;
+        }
+        (n as u64) * (self.message_len as u64)
+    }
+
+    fn effective_window(&self) -> u64 {
+        (self.cwnd as u64)
+            .min(self.peer_window)
+            .min(self.profile.max_window_bytes)
+    }
+
+    /// Bytes the SACK scoreboard says have left the network.
+    fn sacked_bytes(&self) -> u64 {
+        self.sacked.iter().map(|(&s, &e)| e - s).sum()
+    }
+
+    /// RFC 6675-style pipe estimate during recovery: bytes still believed
+    /// in flight = data above the SACK high-water mark plus this epoch's
+    /// retransmissions. UnSACKed holes below the mark count as lost, not
+    /// in flight.
+    fn pipe_estimate(&self) -> u64 {
+        let high = self
+            .sacked
+            .iter()
+            .next_back()
+            .map(|(_, &e)| e)
+            .unwrap_or(self.snd_una)
+            .max(self.snd_una);
+        let tail = self.snd_nxt.saturating_sub(high);
+        tail + (self.hole_retx.len() as u64) * (self.profile.mss as u64)
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Context<'_>) {
+        let deadline = ctx.now() + self.rto;
+        self.rto_deadline = Some(deadline);
+        ctx.set_timer(self.rto, TOKEN_RTO);
+    }
+
+    fn send_segment(&mut self, ctx: &mut Context<'_>, seq: u64, len: u32, retransmit: bool) {
+        let seg = Segment::data(self.flow, seq, len);
+        ctx.send(0, Packet::with_flow(seg.encode(), self.flow));
+        self.stats.segments_sent += 1;
+        self.sent_times
+            .entry(seq)
+            .and_modify(|e| *e = (ctx.now(), true))
+            .or_insert((ctx.now(), retransmit));
+        if self.rto_deadline.is_none() {
+            self.arm_rto(ctx);
+        }
+    }
+
+    /// Send as much new data as the window, pacing, and available bytes
+    /// allow.
+    fn try_send(&mut self, ctx: &mut Context<'_>) {
+        if !self.established {
+            return;
+        }
+        let now = ctx.now();
+        let available = self.available_bytes(now);
+        // Advance the message cursor for wake-up scheduling.
+        while self.next_msg < self.schedule.len() && self.schedule[self.next_msg] <= now {
+            self.next_msg += 1;
+        }
+        loop {
+            // In recovery the RFC 6675 pipe governs; otherwise plain
+            // outstanding bytes.
+            let inflight = if self.snd_una < self.recovery_until {
+                self.pipe_estimate()
+            } else {
+                (self.snd_nxt - self.snd_una).saturating_sub(self.sacked_bytes())
+            };
+            if inflight >= self.effective_window() {
+                break;
+            }
+            if self.snd_nxt >= available {
+                // Nothing to send yet; wake when the next message arrives.
+                if self.next_msg < self.schedule.len() {
+                    let wake = self.schedule[self.next_msg];
+                    if wake > now {
+                        ctx.set_timer(wake - now, TOKEN_SEND);
+                        self.send_timer_armed = true;
+                    }
+                }
+                break;
+            }
+            // Host pacing: one segment per overhead interval.
+            if self.next_send_at > now {
+                if !self.send_timer_armed {
+                    ctx.set_timer(self.next_send_at - now, TOKEN_SEND);
+                    self.send_timer_armed = true;
+                }
+                break;
+            }
+            let window_room = self.effective_window() - inflight;
+            let len = (self.profile.mss as u64)
+                .min(available - self.snd_nxt)
+                .min(window_room) as u32;
+            if len == 0 {
+                break;
+            }
+            let seq = self.snd_nxt;
+            self.snd_nxt += u64::from(len);
+            self.send_segment(ctx, seq, len, false);
+            // Pacing: host cost per segment, plus (once an RTT estimate
+            // exists) a Linux-sch_fq-style rate cap of 2·cwnd/srtt in slow
+            // start and 1.2·cwnd/srtt afterwards, which keeps window
+            // growth from dumping multi-megabyte bursts into drop-tail
+            // queues.
+            let mut gap_ns = self.profile.per_segment_overhead_ns;
+            if self.srtt_ns > 0.0 {
+                let factor = if self.cwnd < self.ssthresh { 2.0 } else { 1.2 };
+                let rate_bps = factor * self.cwnd * 8.0 / (self.srtt_ns / 1e9);
+                let pace_ns = (u64::from(len) * 8) as f64 * 1e9 / rate_bps;
+                gap_ns = gap_ns.max(pace_ns as u64);
+            }
+            self.next_send_at = now.max(self.next_send_at) + Time::from_nanos(gap_ns);
+        }
+    }
+
+    /// Congestion-avoidance growth after `newly` acked bytes.
+    fn grow_window(&mut self, now: Time, newly: u64) {
+        let mss = self.profile.mss as f64;
+        if self.cwnd < self.ssthresh {
+            self.cwnd += newly as f64; // slow start (ABC-style)
+            return;
+        }
+        match self.profile.cc {
+            super::profile::CcAlgo::Reno => {
+                self.cwnd += mss * mss / self.cwnd * (newly as f64 / mss);
+            }
+            super::profile::CcAlgo::Cubic => {
+                // W(t) = C(t-K)^3 + Wmax, windows in MSS, t in seconds.
+                const C: f64 = 0.4;
+                if self.cubic_wmax <= 0.0 {
+                    // Slow start exited without a loss (HyStart): there is
+                    // no plateau to approach — start convex growth from
+                    // here immediately (K = 0, RFC 8312 §4.8 behaviour).
+                    self.cubic_wmax = self.cwnd;
+                    self.cubic_epoch = Some(now);
+                    self.cubic_k = 0.0;
+                }
+                let epoch = *self.cubic_epoch.get_or_insert(now);
+                let wmax_mss = self.cubic_wmax / mss;
+                let t = (now - epoch).as_secs_f64();
+                let target_mss = C * (t - self.cubic_k).powi(3) + wmax_mss;
+                let target = (target_mss * mss).max(2.0 * mss);
+                // Never shrink here and never more than double per update.
+                self.cwnd = self.cwnd.max(target.min(self.cwnd * 2.0));
+            }
+        }
+    }
+
+    /// Multiplicative decrease on loss detection.
+    fn on_loss_event(&mut self, now: Time, flight: f64) {
+        let mss = self.profile.mss as f64;
+        match self.profile.cc {
+            super::profile::CcAlgo::Reno => {
+                self.ssthresh = (flight / 2.0).max(2.0 * mss);
+            }
+            super::profile::CcAlgo::Cubic => {
+                const C: f64 = 0.4;
+                const BETA: f64 = 0.7;
+                // W_max = congestion window at loss detection (RFC 8312).
+                let _ = flight;
+                self.cubic_wmax = self.cwnd.max(2.0 * mss);
+                self.cubic_epoch = Some(now);
+                self.cubic_k = (self.cubic_wmax / mss * (1.0 - BETA) / C).cbrt();
+                self.ssthresh = (self.cubic_wmax * BETA).max(2.0 * mss);
+            }
+        }
+        self.cwnd = self.ssthresh;
+    }
+
+    /// The un-backed-off RTO from current estimates (RFC 6298).
+    fn base_rto(&self) -> Time {
+        if self.srtt_ns == 0.0 {
+            return Time::from_millis(200);
+        }
+        let rto_ns = (self.srtt_ns + 4.0 * self.rttvar_ns).max(1e6);
+        Time::from_nanos(rto_ns as u64)
+    }
+
+    fn update_rtt(&mut self, sample: Time) {
+        let s = sample.as_nanos() as f64;
+        self.min_rtt_ns = self.min_rtt_ns.min(s);
+        // HyStart-style delay-based slow-start exit (what CUBIC kernels
+        // ship): once queueing delay builds visibly above the propagation
+        // floor, stop doubling — long before the drop-tail queue
+        // overflows catastrophically.
+        if self.cwnd < self.ssthresh
+            && self.min_rtt_ns < f64::MAX
+            && s > self.min_rtt_ns * 1.25 + 4e6
+        {
+            self.ssthresh = self.cwnd;
+        }
+        if self.srtt_ns == 0.0 {
+            self.srtt_ns = s;
+            self.rttvar_ns = s / 2.0;
+        } else {
+            let err = (s - self.srtt_ns).abs();
+            self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * err;
+            self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * s;
+        }
+        let rto_ns = (self.srtt_ns + 4.0 * self.rttvar_ns).max(1e6); // ≥1 ms
+        self.rto = Time::from_nanos(rto_ns as u64);
+    }
+
+    /// Merge a SACK block into the scoreboard.
+    fn merge_sack(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let mut start = start;
+        let mut end = end;
+        // Absorb overlapping/adjacent ranges.
+        let overlapping: Vec<u64> = self
+            .sacked
+            .range(..=end)
+            .filter(|&(&_s, &e)| e >= start)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.sacked.remove(&s).expect("key just listed");
+            start = start.min(s);
+            end = end.max(e);
+        }
+        self.sacked.insert(start, end);
+    }
+
+    fn is_sacked(&self, seq: u64) -> bool {
+        self.sacked
+            .range(..=seq)
+            .next_back()
+            .is_some_and(|(&s, &e)| seq >= s && seq < e)
+    }
+
+    /// Retransmit every known hole (unSACKed in-flight segment below the
+    /// highest SACKed byte) that has not been retransmitted this epoch.
+    fn retransmit_holes(&mut self, ctx: &mut Context<'_>) {
+        let Some((_, &max_sacked)) = self.sacked.iter().next_back() else {
+            return;
+        };
+        // Self-clocked recovery: only retransmit while the pipe estimate
+        // leaves window room, so recovery never re-floods the queue that
+        // just overflowed. Incoming SACKs shrink the pipe and release the
+        // next batch.
+        let mss = self.profile.mss as u64;
+        let room = self.effective_window().saturating_sub(self.pipe_estimate());
+        let budget = ((room / mss) as usize).min(64);
+        if budget == 0 {
+            return;
+        }
+        let holes: Vec<u64> = self
+            .sent_times
+            .range(self.snd_una..max_sacked)
+            .map(|(&seq, _)| seq)
+            .filter(|&seq| !self.is_sacked(seq) && !self.hole_retx.contains(&seq))
+            .take(budget)
+            .collect();
+        for seq in holes {
+            let len = (self.profile.mss as u64).min(self.total_bytes - seq) as u32;
+            self.send_segment(ctx, seq, len, true);
+            self.hole_retx.insert(seq);
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context<'_>, seg: Segment) {
+        self.peer_window = u64::from(seg.window).max(1);
+        let blocks: Vec<(u64, u64)> = seg.sack_blocks().collect();
+        for (s, e) in blocks {
+            self.merge_sack(s, e);
+        }
+        // Retransmissions confirmed delivered (SACKed or cum-acked) leave
+        // the pipe; forgetting them here keeps the pipe estimate honest.
+        let snd_una = self.snd_una.max(seg.ack);
+        let mut hr = std::mem::take(&mut self.hole_retx);
+        hr.retain(|&s| s >= snd_una && !self.is_sacked(s));
+        self.hole_retx = hr;
+        if seg.ack > self.snd_una {
+            // New data acknowledged.
+            let newly = seg.ack - self.snd_una;
+            // RTT sample from the oldest segment this ack covers (skip
+            // retransmitted segments — Karn's algorithm).
+            if let Some((&seq, &(sent_at, retx))) = self.sent_times.iter().next() {
+                if seq < seg.ack && !retx {
+                    self.update_rtt(ctx.now() - sent_at);
+                }
+            }
+            let acked_keys: Vec<u64> = self
+                .sent_times
+                .range(..seg.ack)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in acked_keys {
+                self.sent_times.remove(&k);
+            }
+            self.snd_una = seg.ack;
+            self.stats.bytes_acked = self.snd_una;
+            self.dup_acks = 0;
+            // Progress resumed: RTO backoff resets (RFC 6298 §5.7).
+            self.rto = self.base_rto();
+            // Drop scoreboard state below the cumulative ack.
+            let stale: Vec<u64> = self
+                .sacked
+                .iter()
+                .filter(|&(_, &e)| e <= self.snd_una)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in stale {
+                self.sacked.remove(&s);
+            }
+            if self.snd_una < self.recovery_until {
+                // Still in recovery. After an RTO the window restarts from
+                // one segment and must slow-start back up or recovery
+                // crawls at one segment per RTT; the multiplicative part
+                // of congestion avoidance stays frozen.
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly as f64;
+                }
+                // Retransmit the holes the scoreboard exposes (SACK-based),
+                // plus the cumulative hole itself if unSACKed (NewReno
+                // partial ack).
+                if !self.is_sacked(self.snd_una) && !self.hole_retx.contains(&self.snd_una) {
+                    let len = (self.profile.mss as u64)
+                        .min(self.total_bytes - self.snd_una) as u32;
+                    let seq = self.snd_una;
+                    self.send_segment(ctx, seq, len, true);
+                    self.hole_retx.insert(seq);
+                }
+                self.retransmit_holes(ctx);
+                self.arm_rto(ctx);
+            } else {
+                self.hole_retx.clear();
+                self.grow_window(ctx.now(), newly);
+            }
+            // Completion?
+            if self.snd_una >= self.total_bytes && self.stats.completed_at.is_none() {
+                self.stats.completed_at = Some(ctx.now());
+                self.stats.srtt_ns = self.srtt_ns as u64;
+                self.rto_deadline = None;
+                return;
+            }
+            // Re-arm RTO for remaining in-flight data.
+            if self.snd_una < self.snd_nxt {
+                self.arm_rto(ctx);
+            } else {
+                self.rto_deadline = None;
+            }
+        } else if seg.ack == self.snd_una && self.snd_una < self.snd_nxt {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && self.snd_una >= self.recovery_until {
+                // Fast retransmit + multiplicative decrease.
+                let flight = (self.snd_nxt - self.snd_una) as f64;
+                self.on_loss_event(ctx.now(), flight);
+                self.recovery_until = self.snd_nxt;
+                self.stats.fast_retransmits += 1;
+                self.hole_retx.clear();
+                let len = (self.profile.mss as u64)
+                    .min(self.total_bytes - self.snd_una) as u32;
+                let seq = self.snd_una;
+                self.send_segment(ctx, seq, len, true);
+                self.hole_retx.insert(seq);
+                // SACK-based recovery of the rest of the burst.
+                self.retransmit_holes(ctx);
+            } else if self.dup_acks > 3 && self.snd_una < self.recovery_until {
+                // Fresh SACK information keeps arriving on duplicate ACKs;
+                // keep draining newly exposed holes.
+                self.retransmit_holes(ctx);
+            }
+        }
+        self.try_send(ctx);
+    }
+}
+
+impl Node for TcpSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Handshake: SYN, wait for SYN-ACK.
+        let syn = Segment {
+            flow: self.flow,
+            seq: 0,
+            ack: 0,
+            flags: SegmentFlags { syn: true, ack: false, fin: false },
+            window: 0,
+            len: 0,
+            sack: [(0, 0); crate::segment::MAX_SACK],
+        };
+        ctx.send(0, Packet::with_flow(syn.encode(), self.flow));
+        self.arm_rto(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+        let Some(seg) = Segment::decode(&pkt.bytes) else {
+            return;
+        };
+        if seg.flow != self.flow {
+            return;
+        }
+        if seg.flags.syn && seg.flags.ack {
+            if !self.established {
+                self.established = true;
+                self.rto_deadline = None;
+                self.try_send(ctx);
+            }
+            return;
+        }
+        if seg.flags.ack {
+            self.on_ack(ctx, seg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        match token {
+            TOKEN_SEND => {
+                self.send_timer_armed = false;
+                self.try_send(ctx);
+            }
+            TOKEN_RTO => {
+                let Some(deadline) = self.rto_deadline else {
+                    return;
+                };
+                if ctx.now() < deadline {
+                    return; // stale timer
+                }
+                if !self.established {
+                    // Re-send SYN.
+                    let syn = Segment {
+                        flow: self.flow,
+                        seq: 0,
+                        ack: 0,
+                        flags: SegmentFlags { syn: true, ack: false, fin: false },
+                        window: 0,
+                        len: 0,
+                        sack: [(0, 0); crate::segment::MAX_SACK],
+                    };
+                    ctx.send(0, Packet::with_flow(syn.encode(), self.flow));
+                    self.rto = self.rto * 2;
+                    self.arm_rto(ctx);
+                    return;
+                }
+                if self.snd_una < self.snd_nxt {
+                    // Timeout: retransmit the first unacked segment and
+                    // collapse the window. Only a *fresh* congestion event
+                    // (outside the current recovery epoch) resets the
+                    // CUBIC anchor — an RTO while already recovering must
+                    // not ratchet W_max down again.
+                    let mss = self.profile.mss as f64;
+                    let flight = (self.snd_nxt - self.snd_una) as f64;
+                    if self.snd_una >= self.recovery_until {
+                        self.on_loss_event(ctx.now(), flight);
+                    }
+                    self.cwnd = mss;
+                    self.dup_acks = 0;
+                    self.recovery_until = self.snd_nxt;
+                    self.stats.rto_retransmits += 1;
+                    // The timeout is evidence that earlier retransmissions
+                    // were lost too: reset the epoch so holes are eligible
+                    // for retransmission again.
+                    self.hole_retx.clear();
+                    let len = (self.profile.mss as u64)
+                        .min(self.total_bytes - self.snd_una) as u32;
+                    let seq = self.snd_una;
+                    self.send_segment(ctx, seq, len, true);
+                    self.hole_retx.insert(seq);
+                    self.retransmit_holes(ctx);
+                    self.rto = self.rto * 2;
+                    self.arm_rto(ctx);
+                } else {
+                    self.rto_deadline = None;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

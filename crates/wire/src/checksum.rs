@@ -1,0 +1,83 @@
+//! RFC 1071 Internet checksum, used by IPv4 and UDP.
+
+/// Compute the ones-complement sum over `data`, folding carries.
+///
+/// Returns the *unfinalised* sum; call [`finish`] (or use [`checksum`]) to
+/// obtain the checksum field value.
+pub fn sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold carries and complement: finalize an accumulated [`sum`].
+pub fn finish(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Compute the Internet checksum of `data` in one call.
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(0, data))
+}
+
+/// The IPv4 pseudo-header contribution used by UDP (and TCP) checksums.
+pub fn pseudo_header(src: &crate::Ipv4Address, dst: &crate::Ipv4Address, protocol: u8, length: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = sum(acc, src.as_bytes());
+    acc = sum(acc, dst.as_bytes());
+    acc += u32::from(protocol);
+    acc += u32::from(length);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ipv4Address;
+
+    #[test]
+    fn rfc1071_reference_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let acc = sum(0, &data);
+        assert_eq!(acc, 0x2_ddf0);
+        assert_eq!(finish(acc), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn checksum_of_valid_header_is_zero_sum() {
+        // A header with a correct checksum re-sums to 0xffff before complement.
+        let mut hdr = vec![
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let csum = checksum(&hdr);
+        hdr[10] = (csum >> 8) as u8;
+        hdr[11] = csum as u8;
+        assert_eq!(checksum(&hdr), 0);
+    }
+
+    #[test]
+    fn pseudo_header_commutes_with_payload_sum() {
+        let src = Ipv4Address::new(10, 0, 0, 1);
+        let dst = Ipv4Address::new(10, 0, 0, 2);
+        let payload = [1u8, 2, 3, 4];
+        let a = finish(sum(pseudo_header(&src, &dst, 17, 4), &payload));
+        // Changing any pseudo-header input changes the checksum.
+        let b = finish(sum(pseudo_header(&src, &dst, 6, 4), &payload));
+        assert_ne!(a, b);
+    }
+}

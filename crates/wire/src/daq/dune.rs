@@ -1,0 +1,104 @@
+//! DUNE-style detector sub-header.
+//!
+//! Modelled on the DUNE Ethernet readout (\[68\]): each Warm Interface Board
+//! (WIB) link is identified by crate / slot / link, and a record covers a
+//! contiguous span of electronics channels.
+
+use crate::error::{check_emit_len, check_len};
+use crate::field::{read_u16, write_u16};
+use crate::Result;
+
+/// DUNE sub-header: crate (1) + slot (1) + link (1) + reserved (1) +
+/// first channel (2) + last channel (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DuneSubHeader {
+    /// WIB crate number.
+    pub crate_no: u8,
+    /// Slot within the crate.
+    pub slot: u8,
+    /// Fibre link within the slot.
+    pub link: u8,
+    /// First electronics channel covered by this record.
+    pub first_channel: u16,
+    /// Last electronics channel covered (inclusive).
+    pub last_channel: u16,
+}
+
+impl DuneSubHeader {
+    /// Wire length of this sub-header.
+    pub const LEN: usize = 8;
+
+    /// Number of channels this record covers.
+    pub fn channel_count(&self) -> u16 {
+        self.last_channel.saturating_sub(self.first_channel) + 1
+    }
+
+    /// Parse from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<DuneSubHeader> {
+        check_len(buf, Self::LEN)?;
+        Ok(DuneSubHeader {
+            crate_no: buf[0],
+            slot: buf[1],
+            link: buf[2],
+            first_channel: read_u16(buf, 4),
+            last_channel: read_u16(buf, 6),
+        })
+    }
+
+    /// Emit into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, Self::LEN)?;
+        buf[0] = self.crate_no;
+        buf[1] = self.slot;
+        buf[2] = self.link;
+        buf[3] = 0;
+        write_u16(buf, 4, self.first_channel);
+        write_u16(buf, 6, self.last_channel);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = DuneSubHeader {
+            crate_no: 3,
+            slot: 5,
+            link: 1,
+            first_channel: 256,
+            last_channel: 511,
+        };
+        let mut buf = [0u8; DuneSubHeader::LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(DuneSubHeader::parse(&buf).unwrap(), h);
+        assert_eq!(h.channel_count(), 256);
+    }
+
+    #[test]
+    fn single_channel_record() {
+        let h = DuneSubHeader {
+            crate_no: 0,
+            slot: 0,
+            link: 0,
+            first_channel: 7,
+            last_channel: 7,
+        };
+        assert_eq!(h.channel_count(), 1);
+    }
+
+    #[test]
+    fn short_buffer() {
+        assert!(DuneSubHeader::parse(&[0u8; 7]).is_err());
+        let h = DuneSubHeader {
+            crate_no: 0,
+            slot: 0,
+            link: 0,
+            first_channel: 0,
+            last_channel: 0,
+        };
+        assert!(h.emit(&mut [0u8; 7]).is_err());
+    }
+}

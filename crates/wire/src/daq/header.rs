@@ -1,0 +1,155 @@
+//! The shared top-level DAQ header.
+
+use crate::error::{check_emit_len, check_len};
+use crate::field::{read_u16, read_u32, read_u64, write_u16, write_u32, write_u64};
+use crate::{Error, Result};
+
+/// Length of the top-level DAQ header.
+///
+/// Layout: version (1) + detector (1) + sub-header length (2) + run (4) +
+/// trigger/event number (8) + timestamp_ns (8) + payload length (4).
+pub const TOP_HEADER_LEN: usize = 28;
+
+/// Which detector (or detector family) produced a record.
+///
+/// DUNE's far detector has four modules, each with its own sub-header
+/// format but sharing the top-level header (Req 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// A generic detector with no sub-header.
+    Generic,
+    /// A DUNE far-detector module (1–4).
+    DuneFarDetector(u8),
+    /// The Mu2e tracker/calorimeter readout.
+    Mu2e,
+    /// Unknown detector code (forward compatibility).
+    Unknown(u8),
+}
+
+impl DetectorKind {
+    /// Raw wire code.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            DetectorKind::Generic => 0,
+            DetectorKind::DuneFarDetector(module) => {
+                debug_assert!((1..=4).contains(module));
+                *module
+            }
+            DetectorKind::Mu2e => 16,
+            DetectorKind::Unknown(v) => *v,
+        }
+    }
+
+    /// Parse a raw wire code.
+    pub fn from_u8(v: u8) -> DetectorKind {
+        match v {
+            0 => DetectorKind::Generic,
+            1..=4 => DetectorKind::DuneFarDetector(v),
+            16 => DetectorKind::Mu2e,
+            other => DetectorKind::Unknown(other),
+        }
+    }
+}
+
+/// The shared top-level DAQ header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopHeader {
+    /// Format version (currently 0).
+    pub version: u8,
+    /// Which detector produced this record.
+    pub detector: DetectorKind,
+    /// Length of the detector-specific sub-header that follows.
+    pub subheader_len: u16,
+    /// Run number.
+    pub run: u32,
+    /// Trigger / event number within the run.
+    pub event: u64,
+    /// Timestamp of the observation, nanoseconds of experiment time.
+    pub timestamp_ns: u64,
+    /// Length of the ADC payload after the sub-header.
+    pub payload_len: u32,
+}
+
+impl TopHeader {
+    /// Parse from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<TopHeader> {
+        check_len(buf, TOP_HEADER_LEN)?;
+        let version = buf[0];
+        if version != 0 {
+            return Err(Error::UnknownVersion(version));
+        }
+        Ok(TopHeader {
+            version,
+            detector: DetectorKind::from_u8(buf[1]),
+            subheader_len: read_u16(buf, 2),
+            run: read_u32(buf, 4),
+            event: read_u64(buf, 8),
+            timestamp_ns: read_u64(buf, 16),
+            payload_len: read_u32(buf, 24),
+        })
+    }
+
+    /// Emit into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, TOP_HEADER_LEN)?;
+        buf[0] = self.version;
+        buf[1] = self.detector.as_u8();
+        write_u16(buf, 2, self.subheader_len);
+        write_u32(buf, 4, self.run);
+        write_u64(buf, 8, self.event);
+        write_u64(buf, 16, self.timestamp_ns);
+        write_u32(buf, 24, self.payload_len);
+        Ok(())
+    }
+
+    /// Total record length: top header + sub-header + payload.
+    pub fn record_len(&self) -> usize {
+        TOP_HEADER_LEN + usize::from(self.subheader_len) + self.payload_len as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = TopHeader {
+            version: 0,
+            detector: DetectorKind::DuneFarDetector(2),
+            subheader_len: 8,
+            run: 1234,
+            event: 567_890,
+            timestamp_ns: 9_876_543_210,
+            payload_len: 4096,
+        };
+        let mut buf = vec![0u8; TOP_HEADER_LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(TopHeader::parse(&buf).unwrap(), h);
+        assert_eq!(h.record_len(), 28 + 8 + 4096);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = vec![0u8; TOP_HEADER_LEN];
+        buf[0] = 3;
+        assert_eq!(TopHeader::parse(&buf), Err(Error::UnknownVersion(3)));
+    }
+
+    #[test]
+    fn detector_kind_codes() {
+        assert_eq!(DetectorKind::from_u8(0), DetectorKind::Generic);
+        for m in 1..=4 {
+            assert_eq!(DetectorKind::from_u8(m), DetectorKind::DuneFarDetector(m));
+            assert_eq!(DetectorKind::DuneFarDetector(m).as_u8(), m);
+        }
+        assert_eq!(DetectorKind::from_u8(16), DetectorKind::Mu2e);
+        assert_eq!(DetectorKind::from_u8(99), DetectorKind::Unknown(99));
+        assert_eq!(DetectorKind::Unknown(99).as_u8(), 99);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(TopHeader::parse(&[0u8; TOP_HEADER_LEN - 1]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! DAQ payload formats.
+//!
+//! "Large instruments can also require reusability across their
+//! components — for example, DUNE's four detectors each have specific
+//! headers but they all share a top-level DAQ header" (Req 9, §3). This
+//! module models exactly that structure:
+//!
+//! * [`TopHeader`] — the shared top-level DAQ header every detector
+//!   emits: detector kind, run number, trigger/event number, and the
+//!   timestamp that makes DAQ data "discrete, time-stamped messages with
+//!   well-defined boundaries" (§4.1).
+//! * [`DuneSubHeader`] / [`Mu2eSubHeader`] — detector-specific sub-headers
+//!   modelled on the DUNE WIB readout (\[68\]) and the Mu2e DTC packet
+//!   format (\[29\]).
+//! * [`TriggerRecord`] — an owned record (top header + sub-header + ADC
+//!   payload) with encode/decode to the MMT payload area.
+
+mod dune;
+mod header;
+mod mu2e;
+mod record;
+
+pub use dune::DuneSubHeader;
+pub use header::{DetectorKind, TopHeader, TOP_HEADER_LEN};
+pub use mu2e::Mu2eSubHeader;
+pub use record::{SubHeader, TriggerRecord};

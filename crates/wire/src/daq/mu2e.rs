@@ -1,0 +1,90 @@
+//! Mu2e-style detector sub-header.
+//!
+//! Modelled on the Mu2e DAQ (\[29\]): readout is organized around Data
+//! Transfer Controllers (DTCs) that aggregate Readout Controllers (ROCs),
+//! and Mu2e carries DAQ data directly over Ethernet frames (paper §4) —
+//! which is why MMT must run at layer 2 (Req 1).
+
+use crate::error::{check_emit_len, check_len};
+use crate::field::{read_u16, write_u16};
+use crate::Result;
+
+/// Mu2e sub-header: DTC id (1) + ROC id (1) + packet type (1) + reserved
+/// (1) + subsystem (2) + reserved (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mu2eSubHeader {
+    /// Data Transfer Controller id.
+    pub dtc_id: u8,
+    /// Readout Controller id under that DTC.
+    pub roc_id: u8,
+    /// DTC packet type (data request / data reply / ...).
+    pub packet_type: u8,
+    /// Subsystem (tracker, calorimeter, ...).
+    pub subsystem: u16,
+}
+
+impl Mu2eSubHeader {
+    /// Wire length of this sub-header.
+    pub const LEN: usize = 8;
+
+    /// Parse from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Mu2eSubHeader> {
+        check_len(buf, Self::LEN)?;
+        Ok(Mu2eSubHeader {
+            dtc_id: buf[0],
+            roc_id: buf[1],
+            packet_type: buf[2],
+            subsystem: read_u16(buf, 4),
+        })
+    }
+
+    /// Emit into the front of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, Self::LEN)?;
+        buf[0] = self.dtc_id;
+        buf[1] = self.roc_id;
+        buf[2] = self.packet_type;
+        buf[3] = 0;
+        write_u16(buf, 4, self.subsystem);
+        write_u16(buf, 6, 0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Mu2eSubHeader {
+            dtc_id: 2,
+            roc_id: 9,
+            packet_type: 1,
+            subsystem: 3,
+        };
+        let mut buf = [0u8; Mu2eSubHeader::LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(Mu2eSubHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn reserved_bytes_zeroed() {
+        let h = Mu2eSubHeader {
+            dtc_id: 1,
+            roc_id: 1,
+            packet_type: 1,
+            subsystem: 1,
+        };
+        let mut buf = [0xffu8; Mu2eSubHeader::LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(buf[3], 0);
+        assert_eq!(buf[6], 0);
+        assert_eq!(buf[7], 0);
+    }
+
+    #[test]
+    fn short_buffer() {
+        assert!(Mu2eSubHeader::parse(&[0u8; 3]).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Owned trigger records: the discrete, time-stamped messages MMT carries.
+
+use super::dune::DuneSubHeader;
+use super::header::{DetectorKind, TopHeader, TOP_HEADER_LEN};
+use super::mu2e::Mu2eSubHeader;
+use crate::{Error, Result};
+
+/// Detector-specific sub-header, selected by [`DetectorKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubHeader {
+    /// No sub-header (generic detectors).
+    None,
+    /// DUNE WIB sub-header.
+    Dune(DuneSubHeader),
+    /// Mu2e DTC sub-header.
+    Mu2e(Mu2eSubHeader),
+}
+
+impl SubHeader {
+    /// Wire length of this sub-header.
+    pub fn len(&self) -> usize {
+        match self {
+            SubHeader::None => 0,
+            SubHeader::Dune(_) => DuneSubHeader::LEN,
+            SubHeader::Mu2e(_) => Mu2eSubHeader::LEN,
+        }
+    }
+
+    /// Whether there is no sub-header.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, SubHeader::None)
+    }
+}
+
+/// A complete DAQ trigger record: top header, sub-header, and the raw ADC
+/// payload. This is the unit of transfer — one record maps to one or more
+/// MMT datagrams (Req 7: message-based abstraction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerRecord {
+    /// Run number.
+    pub run: u32,
+    /// Trigger / event number within the run.
+    pub event: u64,
+    /// Observation timestamp, nanoseconds of experiment time.
+    pub timestamp_ns: u64,
+    /// Detector-specific sub-header.
+    pub sub: SubHeader,
+    /// Raw digitized payload (ADC samples, packed externally).
+    pub payload: Vec<u8>,
+}
+
+impl TriggerRecord {
+    /// The detector kind implied by the sub-header. DUNE module defaults
+    /// to 1 when only the sub-header is known.
+    fn detector(&self) -> DetectorKind {
+        match self.sub {
+            SubHeader::None => DetectorKind::Generic,
+            SubHeader::Dune(_) => DetectorKind::DuneFarDetector(1),
+            SubHeader::Mu2e(_) => DetectorKind::Mu2e,
+        }
+    }
+
+    /// Total encoded length.
+    pub fn encoded_len(&self) -> usize {
+        TOP_HEADER_LEN + self.sub.len() + self.payload.len()
+    }
+
+    /// Encode into a fresh buffer (the MMT payload).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        if self.payload.len() > u32::MAX as usize {
+            return Err(Error::ValueOutOfRange("DAQ payload length"));
+        }
+        let top = TopHeader {
+            version: 0,
+            detector: self.detector(),
+            subheader_len: self.sub.len() as u16,
+            run: self.run,
+            event: self.event,
+            timestamp_ns: self.timestamp_ns,
+            payload_len: self.payload.len() as u32,
+        };
+        let mut buf = vec![0u8; self.encoded_len()];
+        top.emit(&mut buf)?;
+        match &self.sub {
+            SubHeader::None => {}
+            SubHeader::Dune(h) => h.emit(&mut buf[TOP_HEADER_LEN..])?,
+            SubHeader::Mu2e(h) => h.emit(&mut buf[TOP_HEADER_LEN..])?,
+        }
+        let off = TOP_HEADER_LEN + self.sub.len();
+        buf[off..].copy_from_slice(&self.payload);
+        Ok(buf)
+    }
+
+    /// Decode a record from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<TriggerRecord> {
+        let top = TopHeader::parse(buf)?;
+        let total = top.record_len();
+        crate::error::check_len(buf, total)?;
+        let sub_buf = &buf[TOP_HEADER_LEN..TOP_HEADER_LEN + usize::from(top.subheader_len)];
+        let sub = match top.detector {
+            DetectorKind::Generic => {
+                if top.subheader_len != 0 {
+                    return Err(Error::Malformed("generic detector with sub-header"));
+                }
+                SubHeader::None
+            }
+            DetectorKind::DuneFarDetector(_) => {
+                if usize::from(top.subheader_len) != DuneSubHeader::LEN {
+                    return Err(Error::Malformed("bad DUNE sub-header length"));
+                }
+                SubHeader::Dune(DuneSubHeader::parse(sub_buf)?)
+            }
+            DetectorKind::Mu2e => {
+                if usize::from(top.subheader_len) != Mu2eSubHeader::LEN {
+                    return Err(Error::Malformed("bad Mu2e sub-header length"));
+                }
+                SubHeader::Mu2e(Mu2eSubHeader::parse(sub_buf)?)
+            }
+            DetectorKind::Unknown(_) => return Err(Error::Malformed("unknown detector kind")),
+        };
+        let off = TOP_HEADER_LEN + usize::from(top.subheader_len);
+        Ok(TriggerRecord {
+            run: top.run,
+            event: top.event,
+            timestamp_ns: top.timestamp_ns,
+            sub,
+            payload: buf[off..total].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dune_record() -> TriggerRecord {
+        TriggerRecord {
+            run: 42,
+            event: 1_000_001,
+            timestamp_ns: 5_000_000_000,
+            sub: SubHeader::Dune(DuneSubHeader {
+                crate_no: 1,
+                slot: 2,
+                link: 3,
+                first_channel: 0,
+                last_channel: 63,
+            }),
+            payload: (0..128u8).collect(),
+        }
+    }
+
+    #[test]
+    fn dune_roundtrip() {
+        let rec = dune_record();
+        let buf = rec.encode().unwrap();
+        assert_eq!(buf.len(), rec.encoded_len());
+        assert_eq!(TriggerRecord::decode(&buf).unwrap(), rec);
+    }
+
+    #[test]
+    fn mu2e_roundtrip() {
+        let rec = TriggerRecord {
+            run: 7,
+            event: 9,
+            timestamp_ns: 11,
+            sub: SubHeader::Mu2e(Mu2eSubHeader {
+                dtc_id: 1,
+                roc_id: 2,
+                packet_type: 3,
+                subsystem: 4,
+            }),
+            payload: vec![0xAB; 16],
+        };
+        let buf = rec.encode().unwrap();
+        assert_eq!(TriggerRecord::decode(&buf).unwrap(), rec);
+    }
+
+    #[test]
+    fn generic_roundtrip_empty_payload() {
+        let rec = TriggerRecord {
+            run: 1,
+            event: 2,
+            timestamp_ns: 3,
+            sub: SubHeader::None,
+            payload: vec![],
+        };
+        let buf = rec.encode().unwrap();
+        assert_eq!(buf.len(), TOP_HEADER_LEN);
+        assert_eq!(TriggerRecord::decode(&buf).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let buf = dune_record().encode().unwrap();
+        assert!(TriggerRecord::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn mismatched_subheader_length_rejected() {
+        let mut buf = dune_record().encode().unwrap();
+        buf[3] = 4; // subheader_len low byte: 4 instead of 8
+        assert!(matches!(
+            TriggerRecord::decode(&buf),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_detector_rejected() {
+        let mut buf = dune_record().encode().unwrap();
+        buf[1] = 99;
+        assert!(matches!(
+            TriggerRecord::decode(&buf),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn subheader_len_accessors() {
+        assert_eq!(SubHeader::None.len(), 0);
+        assert!(SubHeader::None.is_empty());
+        assert!(!SubHeader::Mu2e(Mu2eSubHeader {
+            dtc_id: 0,
+            roc_id: 0,
+            packet_type: 0,
+            subsystem: 0
+        })
+        .is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types shared by all wire formats.
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short for the header (or for the extensions the
+    /// header's feature bits declare).
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A field holds a value that is structurally invalid (bad version
+    /// nibble, zero IHL, reserved feature bit set, ...).
+    Malformed(&'static str),
+    /// A checksum did not verify.
+    BadChecksum,
+    /// The configuration id (MMT) or version (IPv4) is not one this
+    /// implementation understands.
+    UnknownVersion(u8),
+    /// The buffer provided to `emit` is too small.
+    BufferTooSmall {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A value does not fit the wire field it is being emitted into
+    /// (e.g. a payload longer than 64 KiB for a 16-bit length field).
+    ValueOutOfRange(&'static str),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Truncated { needed, got } => {
+                write!(f, "truncated packet: need {needed} bytes, got {got}")
+            }
+            Error::Malformed(what) => write!(f, "malformed packet: {what}"),
+            Error::BadChecksum => write!(f, "checksum verification failed"),
+            Error::UnknownVersion(v) => write!(f, "unknown protocol version/config id {v}"),
+            Error::BufferTooSmall { needed, got } => {
+                write!(f, "emit buffer too small: need {needed} bytes, got {got}")
+            }
+            Error::ValueOutOfRange(what) => write!(f, "value out of range for field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the wire crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Check that `buf` holds at least `needed` bytes, reporting a
+/// [`Error::Truncated`] otherwise.
+pub fn check_len(buf: &[u8], needed: usize) -> Result<()> {
+    if buf.len() < needed {
+        Err(Error::Truncated {
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Check that an emit target holds at least `needed` bytes, reporting a
+/// [`Error::BufferTooSmall`] otherwise.
+pub fn check_emit_len(buf: &[u8], needed: usize) -> Result<()> {
+    if buf.len() < needed {
+        Err(Error::BufferTooSmall {
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::Truncated { needed: 8, got: 3 };
+        assert!(e.to_string().contains("need 8"));
+        assert!(Error::BadChecksum.to_string().contains("checksum"));
+        assert!(Error::UnknownVersion(9).to_string().contains('9'));
+        let e = Error::BufferTooSmall { needed: 4, got: 0 };
+        assert!(e.to_string().contains("emit"));
+        assert!(Error::Malformed("zero ihl").to_string().contains("zero ihl"));
+        assert!(Error::ValueOutOfRange("len").to_string().contains("len"));
+    }
+
+    #[test]
+    fn check_len_boundaries() {
+        assert!(check_len(&[0; 4], 4).is_ok());
+        assert_eq!(
+            check_len(&[0; 3], 4),
+            Err(Error::Truncated { needed: 4, got: 3 })
+        );
+        assert!(check_emit_len(&[0; 4], 4).is_ok());
+        assert_eq!(
+            check_emit_len(&[0; 3], 4),
+            Err(Error::BufferTooSmall { needed: 4, got: 3 })
+        );
+    }
+}

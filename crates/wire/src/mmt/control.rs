@@ -1,0 +1,380 @@
+//! MMT control messages.
+//!
+//! Control messages are MMT packets whose config id is
+//! [`super::CONFIG_CONTROL_V0`]; the config-data field carries the message
+//! type and the payload carries the typed body. Three messages realize the
+//! paper's control signalling:
+//!
+//! * **NAK** — sent by a receiver to the retransmission source named in the
+//!   data header, listing lost sequence ranges (§5.4: "DTN 2 then uses this
+//!   information to detect loss, and to prepare a NAK to restore the missing
+//!   packets").
+//! * **Deadline exceeded** — sent to the timeliness notify address when a
+//!   packet's deadline passes (§5.3: "providing an IP address to which
+//!   'deadline exceeded' messages are sent, to alert the source").
+//! * **Backpressure** — relayed upstream toward the sender when an element
+//!   observes downstream congestion or loss (§5.1).
+
+use super::{ExperimentId, MmtRepr};
+use crate::error::{check_emit_len, check_len};
+use crate::field::{read_u16, read_u32, read_u64, write_u16, write_u32, write_u64};
+use crate::{Error, Ipv4Address, Result};
+
+/// Control message types (carried in the low byte of config data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ControlType {
+    /// Negative acknowledgement requesting retransmission of lost ranges.
+    Nak = 1,
+    /// A packet missed its delivery deadline.
+    DeadlineExceeded = 2,
+    /// Downstream congestion/loss backpressure signal.
+    Backpressure = 3,
+}
+
+impl ControlType {
+    /// Parse a raw control type.
+    pub fn from_u8(v: u8) -> Result<ControlType> {
+        match v {
+            1 => Ok(ControlType::Nak),
+            2 => Ok(ControlType::DeadlineExceeded),
+            3 => Ok(ControlType::Backpressure),
+            _ => Err(Error::Malformed("unknown control message type")),
+        }
+    }
+}
+
+/// An inclusive range of lost sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NakRange {
+    /// First missing sequence number.
+    pub first: u64,
+    /// Last missing sequence number (inclusive).
+    pub last: u64,
+}
+
+impl NakRange {
+    /// Number of sequence numbers covered.
+    pub fn len(&self) -> u64 {
+        self.last.saturating_sub(self.first) + 1
+    }
+
+    /// Always false: a range covers at least one sequence number.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// NAK body: who is asking, and which ranges are missing.
+///
+/// Wire layout: requester IPv4 (4) + requester port (2) + range count (2) +
+/// count × (first u64 + last u64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NakRepr {
+    /// Address the retransmissions should be sent to.
+    pub requester: Ipv4Address,
+    /// Port on the requester.
+    pub requester_port: u16,
+    /// Missing sequence ranges (each inclusive).
+    pub ranges: Vec<NakRange>,
+}
+
+impl NakRepr {
+    const FIXED: usize = 8;
+
+    /// Body length in bytes.
+    pub fn body_len(&self) -> usize {
+        Self::FIXED + self.ranges.len() * 16
+    }
+
+    /// Total number of sequence numbers requested.
+    pub fn requested_count(&self) -> u64 {
+        self.ranges.iter().map(NakRange::len).sum()
+    }
+
+    /// Parse a NAK body.
+    pub fn parse(buf: &[u8]) -> Result<NakRepr> {
+        check_len(buf, Self::FIXED)?;
+        let requester = Ipv4Address::from_bytes(&buf[0..4]);
+        let requester_port = read_u16(buf, 4);
+        let count = read_u16(buf, 6) as usize;
+        check_len(buf, Self::FIXED + count * 16)?;
+        let mut ranges = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = Self::FIXED + i * 16;
+            let first = read_u64(buf, off);
+            let last = read_u64(buf, off + 8);
+            if last < first {
+                return Err(Error::Malformed("NAK range with last < first"));
+            }
+            ranges.push(NakRange { first, last });
+        }
+        Ok(NakRepr {
+            requester,
+            requester_port,
+            ranges,
+        })
+    }
+
+    /// Emit the body into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, self.body_len())?;
+        if self.ranges.len() > usize::from(u16::MAX) {
+            return Err(Error::ValueOutOfRange("too many NAK ranges"));
+        }
+        buf[0..4].copy_from_slice(self.requester.as_bytes());
+        write_u16(buf, 4, self.requester_port);
+        write_u16(buf, 6, self.ranges.len() as u16);
+        for (i, r) in self.ranges.iter().enumerate() {
+            let off = Self::FIXED + i * 16;
+            write_u64(buf, off, r.first);
+            write_u64(buf, off + 8, r.last);
+        }
+        Ok(())
+    }
+}
+
+/// Deadline-exceeded body: which packet, by how much, observed where.
+///
+/// Wire layout: sequence u64 + deadline_ns u64 + observed_age_ns u64 +
+/// reporter IPv4 (4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceededRepr {
+    /// Sequence number of the late packet (0 if the stream is unsequenced).
+    pub sequence: u64,
+    /// The deadline that was missed.
+    pub deadline_ns: u64,
+    /// The age observed when the miss was detected.
+    pub observed_age_ns: u64,
+    /// The network element that detected the miss.
+    pub reporter: Ipv4Address,
+}
+
+impl DeadlineExceededRepr {
+    /// Body length in bytes.
+    pub const BODY_LEN: usize = 28;
+
+    /// Parse a deadline-exceeded body.
+    pub fn parse(buf: &[u8]) -> Result<DeadlineExceededRepr> {
+        check_len(buf, Self::BODY_LEN)?;
+        Ok(DeadlineExceededRepr {
+            sequence: read_u64(buf, 0),
+            deadline_ns: read_u64(buf, 8),
+            observed_age_ns: read_u64(buf, 16),
+            reporter: Ipv4Address::from_bytes(&buf[24..28]),
+        })
+    }
+
+    /// Emit the body into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, Self::BODY_LEN)?;
+        write_u64(buf, 0, self.sequence);
+        write_u64(buf, 8, self.deadline_ns);
+        write_u64(buf, 16, self.observed_age_ns);
+        buf[24..28].copy_from_slice(self.reporter.as_bytes());
+        Ok(())
+    }
+}
+
+/// Backpressure body: severity and the granted window.
+///
+/// Wire layout: level u8 + 3 reserved + window u32 + origin IPv4 (4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackpressureRepr {
+    /// Severity: 0 = cleared, higher = more urgent.
+    pub level: u8,
+    /// Messages-in-flight window the sender should respect.
+    pub window: u32,
+    /// Element that originated the signal.
+    pub origin: Ipv4Address,
+}
+
+impl BackpressureRepr {
+    /// Body length in bytes.
+    pub const BODY_LEN: usize = 12;
+
+    /// Parse a backpressure body.
+    pub fn parse(buf: &[u8]) -> Result<BackpressureRepr> {
+        check_len(buf, Self::BODY_LEN)?;
+        Ok(BackpressureRepr {
+            level: buf[0],
+            window: read_u32(buf, 4),
+            origin: Ipv4Address::from_bytes(&buf[8..12]),
+        })
+    }
+
+    /// Emit the body into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, Self::BODY_LEN)?;
+        buf[0] = self.level;
+        buf[1] = 0;
+        buf[2] = 0;
+        buf[3] = 0;
+        write_u32(buf, 4, self.window);
+        buf[8..12].copy_from_slice(self.origin.as_bytes());
+        Ok(())
+    }
+}
+
+/// A parsed control message (header + typed body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlRepr {
+    /// Retransmission request.
+    Nak(NakRepr),
+    /// Deadline-miss notification.
+    DeadlineExceeded(DeadlineExceededRepr),
+    /// Backpressure signal.
+    Backpressure(BackpressureRepr),
+}
+
+impl ControlRepr {
+    /// The control type tag for this message.
+    pub fn control_type(&self) -> ControlType {
+        match self {
+            ControlRepr::Nak(_) => ControlType::Nak,
+            ControlRepr::DeadlineExceeded(_) => ControlType::DeadlineExceeded,
+            ControlRepr::Backpressure(_) => ControlType::Backpressure,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn body_len(&self) -> usize {
+        match self {
+            ControlRepr::Nak(n) => n.body_len(),
+            ControlRepr::DeadlineExceeded(_) => DeadlineExceededRepr::BODY_LEN,
+            ControlRepr::Backpressure(_) => BackpressureRepr::BODY_LEN,
+        }
+    }
+
+    /// Parse a full control packet (MMT header + body).
+    pub fn parse_packet(buf: &[u8]) -> Result<(ExperimentId, ControlRepr)> {
+        let hdr = MmtRepr::parse(buf)?;
+        let Some(raw_type) = hdr.control_type() else {
+            return Err(Error::Malformed("not a control packet"));
+        };
+        let body = &buf[hdr.header_len()..];
+        let repr = match ControlType::from_u8(raw_type)? {
+            ControlType::Nak => ControlRepr::Nak(NakRepr::parse(body)?),
+            ControlType::DeadlineExceeded => {
+                ControlRepr::DeadlineExceeded(DeadlineExceededRepr::parse(body)?)
+            }
+            ControlType::Backpressure => ControlRepr::Backpressure(BackpressureRepr::parse(body)?),
+        };
+        Ok((hdr.experiment, repr))
+    }
+
+    /// Emit a full control packet (MMT header + body) for `experiment`.
+    pub fn emit_packet(&self, experiment: ExperimentId) -> Vec<u8> {
+        let hdr = MmtRepr::control(experiment, self.control_type() as u8);
+        let hlen = hdr.header_len();
+        let mut buf = vec![0u8; hlen + self.body_len()];
+        hdr.emit(&mut buf).expect("sized above");
+        match self {
+            ControlRepr::Nak(n) => n.emit(&mut buf[hlen..]).expect("sized above"),
+            ControlRepr::DeadlineExceeded(d) => d.emit(&mut buf[hlen..]).expect("sized above"),
+            ControlRepr::Backpressure(b) => b.emit(&mut buf[hlen..]).expect("sized above"),
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nak_roundtrip() {
+        let nak = NakRepr {
+            requester: Ipv4Address::new(10, 0, 0, 8),
+            requester_port: 47_000,
+            ranges: vec![
+                NakRange { first: 5, last: 5 },
+                NakRange { first: 9, last: 20 },
+            ],
+        };
+        assert_eq!(nak.requested_count(), 1 + 12);
+        let exp = ExperimentId::new(2, 0);
+        let pkt = ControlRepr::Nak(nak.clone()).emit_packet(exp);
+        let (got_exp, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(got_exp, exp);
+        assert_eq!(parsed, ControlRepr::Nak(nak));
+    }
+
+    #[test]
+    fn nak_rejects_inverted_range() {
+        let nak = NakRepr {
+            requester: Ipv4Address::UNSPECIFIED,
+            requester_port: 0,
+            ranges: vec![NakRange { first: 10, last: 2 }],
+        };
+        let pkt = ControlRepr::Nak(nak).emit_packet(ExperimentId::new(1, 0));
+        assert!(matches!(
+            ControlRepr::parse_packet(&pkt),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn deadline_exceeded_roundtrip() {
+        let d = DeadlineExceededRepr {
+            sequence: 42,
+            deadline_ns: 1_000_000,
+            observed_age_ns: 1_400_000,
+            reporter: Ipv4Address::new(10, 1, 0, 1),
+        };
+        let pkt = ControlRepr::DeadlineExceeded(d).emit_packet(ExperimentId::new(3, 1));
+        let (exp, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(exp, ExperimentId::new(3, 1));
+        assert_eq!(parsed, ControlRepr::DeadlineExceeded(d));
+    }
+
+    #[test]
+    fn backpressure_roundtrip() {
+        let b = BackpressureRepr {
+            level: 2,
+            window: 16,
+            origin: Ipv4Address::new(10, 2, 0, 1),
+        };
+        let pkt = ControlRepr::Backpressure(b).emit_packet(ExperimentId::new(1, 0));
+        let (_, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(parsed, ControlRepr::Backpressure(b));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let b = BackpressureRepr {
+            level: 1,
+            window: 1,
+            origin: Ipv4Address::UNSPECIFIED,
+        };
+        let pkt = ControlRepr::Backpressure(b).emit_packet(ExperimentId::new(1, 0));
+        assert!(ControlRepr::parse_packet(&pkt[..pkt.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn data_packet_is_not_control() {
+        let data = MmtRepr::data(ExperimentId::new(1, 0)).emit_with_payload(b"x");
+        assert!(matches!(
+            ControlRepr::parse_packet(&data),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_control_type_rejected() {
+        let hdr = MmtRepr::control(ExperimentId::new(1, 0), 200);
+        let mut buf = vec![0u8; hdr.header_len() + 4];
+        hdr.emit(&mut buf).unwrap();
+        assert!(matches!(
+            ControlRepr::parse_packet(&buf),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn nak_range_len() {
+        assert_eq!(NakRange { first: 3, last: 3 }.len(), 1);
+        assert_eq!(NakRange { first: 0, last: 9 }.len(), 10);
+        assert!(!NakRange { first: 0, last: 0 }.is_empty());
+    }
+}

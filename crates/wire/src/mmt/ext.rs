@@ -1,0 +1,200 @@
+//! Extension-field layout.
+//!
+//! "After the core header, there is a variable number of fixed-size,
+//! optional fields (in a fixed order) that depend on the activated features
+//! (configuration bits)" (§5.2). The order is feature-bit order; each
+//! feature that carries configuration values has a fixed-size slot:
+//!
+//! | feature        | size | contents                                        |
+//! |----------------|------|-------------------------------------------------|
+//! | `SEQUENCE`     | 8    | u64 sequence number                             |
+//! | `RETRANSMIT`   | 6    | IPv4 retransmission source + u16 port           |
+//! | `TIMELINESS`   | 12   | u64 delivery deadline (ns) + IPv4 notify addr   |
+//! | `AGE`          | 8    | u56 accumulated age (ns) + u8 flags (bit0=aged) |
+//! | `PACING`       | 4    | u32 pacing rate (Mbit/s)                        |
+//! | `BACKPRESSURE` | 4    | u32 granted window (messages in flight)         |
+//! | `PRIORITY`     | 4    | u8 class + 3 reserved bytes                     |
+//!
+//! `DUPLICATED`, `ENCRYPTED` and `ACK_NAK` are pure flags with no slot.
+
+use super::features::Features;
+use crate::Ipv4Address;
+
+/// Extension sizes, in feature-bit order. `None` = flag-only feature.
+const SLOTS: [(Features, usize); 10] = [
+    (Features::SEQUENCE, 8),
+    (Features::RETRANSMIT, 6),
+    (Features::TIMELINESS, 12),
+    (Features::AGE, 8),
+    (Features::PACING, 4),
+    (Features::BACKPRESSURE, 4),
+    (Features::DUPLICATED, 0),
+    (Features::ENCRYPTED, 0),
+    (Features::ACK_NAK, 0),
+    (Features::PRIORITY, 4),
+];
+
+/// Byte offsets (relative to the end of the core header) of each present
+/// extension, computed from a feature set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtLayout {
+    /// Offset of the sequence-number slot, if present.
+    pub sequence: Option<usize>,
+    /// Offset of the retransmission-source slot, if present.
+    pub retransmit: Option<usize>,
+    /// Offset of the timeliness slot, if present.
+    pub timeliness: Option<usize>,
+    /// Offset of the age slot, if present.
+    pub age: Option<usize>,
+    /// Offset of the pacing slot, if present.
+    pub pacing: Option<usize>,
+    /// Offset of the backpressure slot, if present.
+    pub backpressure: Option<usize>,
+    /// Offset of the priority slot, if present.
+    pub priority: Option<usize>,
+    /// Total bytes of extensions.
+    pub total: usize,
+}
+
+impl ExtLayout {
+    /// Compute the layout implied by `features`.
+    pub fn of(features: Features) -> ExtLayout {
+        let mut layout = ExtLayout::default();
+        let mut off = 0usize;
+        for (bit, size) in SLOTS {
+            if !features.contains(bit) {
+                continue;
+            }
+            match bit {
+                b if b == Features::SEQUENCE => layout.sequence = Some(off),
+                b if b == Features::RETRANSMIT => layout.retransmit = Some(off),
+                b if b == Features::TIMELINESS => layout.timeliness = Some(off),
+                b if b == Features::AGE => layout.age = Some(off),
+                b if b == Features::PACING => layout.pacing = Some(off),
+                b if b == Features::BACKPRESSURE => layout.backpressure = Some(off),
+                b if b == Features::PRIORITY => layout.priority = Some(off),
+                _ => {}
+            }
+            off += size;
+        }
+        layout.total = off;
+        layout
+    }
+}
+
+/// The retransmission-source extension: where to send a NAK to recover lost
+/// packets. "If the mode supports retransmission then there is a field that
+/// specifies the IP address where to send request for retransmission"
+/// (§5.2). This is what makes recovery *hop-by-hop*: the address names the
+/// nearest upstream buffer (e.g. DTN 1), not the original source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetransmitExt {
+    /// IPv4 address of the retransmission buffer.
+    pub source: Ipv4Address,
+    /// UDP/MMT port on that buffer.
+    pub port: u16,
+}
+
+/// The timeliness extension: "a field that specifies the delivery deadline
+/// and where (IP address) to send a notification if that deadline is
+/// exceeded" (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimelinessExt {
+    /// Absolute delivery deadline, in nanoseconds of experiment time.
+    pub deadline_ns: u64,
+    /// Where to send the deadline-exceeded notification.
+    pub notify: Ipv4Address,
+}
+
+/// The age extension: accumulated in-network age plus the "aged" flag.
+/// "An element updates an 'age' field, and it additionally updates an
+/// 'aged' flag if a maximum age threshold was exceeded by the time the
+/// packet reached that network element" (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AgeExt {
+    /// Accumulated age in nanoseconds (56-bit wire field: ≈2.3 years).
+    pub age_ns: u64,
+    /// Set once the packet exceeded the maximum-age threshold.
+    pub aged: bool,
+}
+
+impl AgeExt {
+    /// Maximum value the 56-bit wire field can carry.
+    pub const MAX_AGE_NS: u64 = (1 << 56) - 1;
+
+    /// Add `delta_ns` to the age, saturating at the wire maximum.
+    #[must_use]
+    pub fn aged_by(&self, delta_ns: u64) -> AgeExt {
+        AgeExt {
+            age_ns: self.age_ns.saturating_add(delta_ns).min(Self::MAX_AGE_NS),
+            aged: self.aged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_layout_is_zero() {
+        let l = ExtLayout::of(Features::EMPTY);
+        assert_eq!(l.total, 0);
+        assert_eq!(l.sequence, None);
+        assert_eq!(l.age, None);
+    }
+
+    #[test]
+    fn single_feature_offsets() {
+        let l = ExtLayout::of(Features::AGE);
+        assert_eq!(l.age, Some(0));
+        assert_eq!(l.total, 8);
+    }
+
+    #[test]
+    fn fixed_order_is_bit_order() {
+        // Age (bit 3) always comes after retransmit (bit 1) regardless of
+        // how the set was assembled.
+        let l = ExtLayout::of(Features::AGE | Features::RETRANSMIT);
+        assert_eq!(l.retransmit, Some(0));
+        assert_eq!(l.age, Some(6));
+        assert_eq!(l.total, 14);
+    }
+
+    #[test]
+    fn full_wan_mode_layout() {
+        let mode = Features::SEQUENCE
+            | Features::RETRANSMIT
+            | Features::TIMELINESS
+            | Features::AGE
+            | Features::ACK_NAK;
+        let l = ExtLayout::of(mode);
+        assert_eq!(l.sequence, Some(0));
+        assert_eq!(l.retransmit, Some(8));
+        assert_eq!(l.timeliness, Some(14));
+        assert_eq!(l.age, Some(26));
+        assert_eq!(l.total, 34);
+        // Flag-only ACK_NAK adds no bytes.
+        let without = ExtLayout::of(mode - Features::ACK_NAK);
+        assert_eq!(without.total, l.total);
+    }
+
+    #[test]
+    fn all_features_layout() {
+        let l = ExtLayout::of(Features::ALL_KNOWN);
+        assert_eq!(l.total, 8 + 6 + 12 + 8 + 4 + 4 + 4);
+        assert_eq!(l.priority, Some(42));
+    }
+
+    #[test]
+    fn age_saturates() {
+        let a = AgeExt {
+            age_ns: AgeExt::MAX_AGE_NS - 1,
+            aged: false,
+        };
+        assert_eq!(a.aged_by(100).age_ns, AgeExt::MAX_AGE_NS);
+        let b = AgeExt::default().aged_by(250);
+        assert_eq!(b.age_ns, 250);
+        assert!(!b.aged);
+    }
+}

@@ -1,0 +1,246 @@
+//! The 24-bit feature bitmap carried in the configuration-data field.
+//!
+//! "The configuration data bits activate protocol features such as flow or
+//! congestion control, or describe the acknowledgement scheme — if any —
+//! used in a network segment" (§5.2). The combination of config id and these
+//! bits *is* the transport's mode.
+
+use crate::{Error, Result};
+
+/// Feature bits active on the current network segment.
+///
+/// Feature bits both activate behaviour and, for some features, imply a
+/// fixed-size extension field after the core header (in bit order — the
+/// paper's "fixed order"). A hand-rolled bitflags type keeps us free of
+/// extra dependencies and lets us enforce the 24-bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Features(u32);
+
+impl Features {
+    /// No features: mode 0, pure experiment identification (§5.3).
+    pub const EMPTY: Features = Features(0);
+
+    /// Packets carry a 64-bit sequence number (extension: 8 bytes).
+    /// "Network elements add a sequence number to loss-recoverable
+    /// streams" (§5.4).
+    pub const SEQUENCE: Features = Features(1 << 0);
+
+    /// Loss is recoverable: the header names the address to request
+    /// retransmission from (extension: 6 bytes, IPv4 + port). The
+    /// hop-by-hop generalization of X.25 behaviour (§5.3).
+    pub const RETRANSMIT: Features = Features(1 << 1);
+
+    /// Delivery deadline plus notification address for "deadline exceeded"
+    /// messages (extension: 12 bytes) — Req 3 timeliness.
+    pub const TIMELINESS: Features = Features(1 << 2);
+
+    /// Age tracking: accumulated in-network age and an "aged" flag updated
+    /// by network elements (extension: 8 bytes) — §5.4 age-sensitivity.
+    pub const AGE: Features = Features(1 << 3);
+
+    /// Sender pacing rate hint (extension: 4 bytes, Mbit/s).
+    pub const PACING: Features = Features(1 << 4);
+
+    /// Backpressure-responsive: carries the downstream-granted window
+    /// (extension: 4 bytes, messages in flight) — §5.1 back-pressure signal
+    /// support.
+    pub const BACKPRESSURE: Features = Features(1 << 5);
+
+    /// Stream was duplicated in-network to reach additional consumers
+    /// (no extension) — §5.1 stream duplication.
+    pub const DUPLICATED: Features = Features(1 << 6);
+
+    /// Payload is encrypted by third-party software/hardware (no
+    /// extension) — Req 5.
+    pub const ENCRYPTED: Features = Features(1 << 7);
+
+    /// The acknowledgement scheme of this segment is NAK-based (no
+    /// extension; NAKs go to the retransmit source).
+    pub const ACK_NAK: Features = Features(1 << 8);
+
+    /// Priority class for age-sensitive data (extension: 4 bytes:
+    /// class byte + 3 reserved).
+    pub const PRIORITY: Features = Features(1 << 9);
+
+    /// Mask of all currently defined bits.
+    pub const ALL_KNOWN: Features = Features(0x3ff);
+
+    /// Mask of the full 24-bit field.
+    pub const WIRE_MASK: u32 = 0x00ff_ffff;
+
+    /// Construct from raw bits, rejecting reserved or out-of-range bits.
+    pub fn from_bits(bits: u32) -> Result<Features> {
+        if bits & !Self::WIRE_MASK != 0 {
+            return Err(Error::Malformed("feature bits beyond 24-bit field"));
+        }
+        if bits & !Self::ALL_KNOWN.0 != 0 {
+            return Err(Error::Malformed("reserved feature bit set"));
+        }
+        Ok(Features(bits))
+    }
+
+    /// Construct from raw bits, keeping only known bits (lenient parse used
+    /// by forwarding elements that must not drop packets with features from
+    /// newer deployments).
+    pub fn from_bits_truncate(bits: u32) -> Features {
+        Features(bits & Self::ALL_KNOWN.0)
+    }
+
+    /// The raw 24-bit value.
+    pub const fn bits(&self) -> u32 {
+        self.0
+    }
+
+    /// Whether every bit in `other` is set in `self`.
+    pub const fn contains(&self, other: Features) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any bit in `other` is set in `self`.
+    pub const fn intersects(&self, other: Features) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether no features are active (mode 0).
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    #[must_use]
+    pub const fn union(&self, other: Features) -> Features {
+        Features(self.0 | other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub const fn difference(&self, other: Features) -> Features {
+        Features(self.0 & !other.0)
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub const fn intersection(&self, other: Features) -> Features {
+        Features(self.0 & other.0)
+    }
+}
+
+impl core::ops::BitOr for Features {
+    type Output = Features;
+    fn bitor(self, rhs: Features) -> Features {
+        self.union(rhs)
+    }
+}
+
+impl core::ops::BitOrAssign for Features {
+    fn bitor_assign(&mut self, rhs: Features) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl core::ops::BitAnd for Features {
+    type Output = Features;
+    fn bitand(self, rhs: Features) -> Features {
+        self.intersection(rhs)
+    }
+}
+
+impl core::ops::Sub for Features {
+    type Output = Features;
+    fn sub(self, rhs: Features) -> Features {
+        self.difference(rhs)
+    }
+}
+
+impl core::fmt::Display for Features {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "none");
+        }
+        let names = [
+            (Features::SEQUENCE, "seq"),
+            (Features::RETRANSMIT, "rtx"),
+            (Features::TIMELINESS, "deadline"),
+            (Features::AGE, "age"),
+            (Features::PACING, "pacing"),
+            (Features::BACKPRESSURE, "bp"),
+            (Features::DUPLICATED, "dup"),
+            (Features::ENCRYPTED, "enc"),
+            (Features::ACK_NAK, "nak"),
+            (Features::PRIORITY, "prio"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "+")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let a = Features::SEQUENCE | Features::AGE;
+        assert!(a.contains(Features::SEQUENCE));
+        assert!(a.contains(Features::AGE));
+        assert!(!a.contains(Features::SEQUENCE | Features::RETRANSMIT));
+        assert!(a.intersects(Features::SEQUENCE | Features::RETRANSMIT));
+        assert_eq!(a - Features::AGE, Features::SEQUENCE);
+        assert_eq!(a & Features::AGE, Features::AGE);
+        assert!(Features::EMPTY.is_empty());
+        let mut b = Features::EMPTY;
+        b |= Features::PRIORITY;
+        assert!(b.contains(Features::PRIORITY));
+    }
+
+    #[test]
+    fn from_bits_validation() {
+        assert_eq!(
+            Features::from_bits(0b11).unwrap(),
+            Features::SEQUENCE | Features::RETRANSMIT
+        );
+        // Reserved bit 10 rejected strictly, kept off leniently.
+        assert!(Features::from_bits(1 << 10).is_err());
+        assert_eq!(Features::from_bits_truncate(1 << 10), Features::EMPTY);
+        // Beyond 24 bits always rejected.
+        assert!(Features::from_bits(1 << 24).is_err());
+        assert_eq!(
+            Features::from_bits_truncate((1 << 0) | (1 << 23)),
+            Features::SEQUENCE
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Features::EMPTY.to_string(), "none");
+        let m = Features::SEQUENCE | Features::RETRANSMIT | Features::AGE | Features::ACK_NAK;
+        assert_eq!(m.to_string(), "seq+rtx+age+nak");
+    }
+
+    #[test]
+    fn all_known_covers_each_flag() {
+        for bit in [
+            Features::SEQUENCE,
+            Features::RETRANSMIT,
+            Features::TIMELINESS,
+            Features::AGE,
+            Features::PACING,
+            Features::BACKPRESSURE,
+            Features::DUPLICATED,
+            Features::ENCRYPTED,
+            Features::ACK_NAK,
+            Features::PRIORITY,
+        ] {
+            assert!(Features::ALL_KNOWN.contains(bit));
+        }
+    }
+}

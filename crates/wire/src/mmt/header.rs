@@ -1,0 +1,426 @@
+//! The zero-copy MMT header view.
+
+use super::ext::{AgeExt, ExtLayout, RetransmitExt, TimelinessExt};
+use super::features::Features;
+use super::ExperimentId;
+use crate::error::check_len;
+use crate::field::{read_u24, read_u32, read_u56, read_u64, write_u24, write_u32, write_u56, write_u64};
+use crate::field::{read_u16, write_u16};
+use crate::{Ipv4Address, Result};
+
+/// Length of the fixed core header: config id (1) + config data (3) +
+/// experiment id (4).
+pub const CORE_HEADER_LEN: usize = 8;
+
+mod field {
+    use crate::field::Field;
+    pub const CONFIG_ID: usize = 0;
+    pub const CONFIG_DATA: Field = 1..4;
+    pub const EXPERIMENT: Field = 4..8;
+    pub const EXT: usize = 8;
+}
+
+/// A read/write view of an MMT packet (core header + extensions + payload).
+///
+/// The view supports the in-place header updates that on-path programmable
+/// elements perform: updating age, setting the aged flag, writing sequence
+/// numbers into an already-present slot, rewriting the retransmission
+/// source. *Adding* a feature changes the header length and therefore
+/// requires re-emitting via [`super::MmtRepr`] — exactly the operation a
+/// mode-transition element performs.
+#[derive(Debug, Clone)]
+pub struct CoreHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> CoreHeader<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> CoreHeader<T> {
+        CoreHeader { buffer }
+    }
+
+    /// Wrap a buffer, validating that the core header and all extensions
+    /// declared by its feature bits are present.
+    pub fn new_checked(buffer: T) -> Result<CoreHeader<T>> {
+        let hdr = CoreHeader { buffer };
+        hdr.check()?;
+        Ok(hdr)
+    }
+
+    fn check(&self) -> Result<()> {
+        let buf = self.buffer.as_ref();
+        check_len(buf, CORE_HEADER_LEN)?;
+        check_len(buf, CORE_HEADER_LEN + self.layout().total)?;
+        Ok(())
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The configuration id.
+    pub fn config_id(&self) -> u8 {
+        self.buffer.as_ref()[field::CONFIG_ID]
+    }
+
+    /// The raw 24-bit configuration data.
+    pub fn config_data(&self) -> u32 {
+        read_u24(self.buffer.as_ref(), field::CONFIG_DATA.start)
+    }
+
+    /// The feature set (lenient: unknown bits ignored, as a forwarding
+    /// element must tolerate newer deployments).
+    ///
+    /// Control packets repurpose the config-data field for the message
+    /// type, so they report an empty feature set — their header is just the
+    /// fixed core header.
+    pub fn features(&self) -> Features {
+        if self.config_id() == super::CONFIG_DATA_V0 {
+            Features::from_bits_truncate(self.config_data())
+        } else {
+            Features::EMPTY
+        }
+    }
+
+    /// The experiment id.
+    pub fn experiment(&self) -> ExperimentId {
+        ExperimentId::from_raw(read_u32(self.buffer.as_ref(), field::EXPERIMENT.start))
+    }
+
+    /// The extension layout implied by the feature bits.
+    pub fn layout(&self) -> ExtLayout {
+        ExtLayout::of(self.features())
+    }
+
+    /// Total header length (core + extensions).
+    pub fn header_len(&self) -> usize {
+        CORE_HEADER_LEN + self.layout().total
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    fn ext_off(&self, slot: Option<usize>) -> Option<usize> {
+        slot.map(|o| field::EXT + o)
+    }
+
+    /// Sequence number, if the `SEQUENCE` feature is active.
+    pub fn sequence(&self) -> Option<u64> {
+        self.ext_off(self.layout().sequence)
+            .map(|o| read_u64(self.buffer.as_ref(), o))
+    }
+
+    /// Retransmission source, if the `RETRANSMIT` feature is active.
+    pub fn retransmit(&self) -> Option<RetransmitExt> {
+        self.ext_off(self.layout().retransmit).map(|o| {
+            let buf = self.buffer.as_ref();
+            RetransmitExt {
+                source: Ipv4Address::from_bytes(&buf[o..o + 4]),
+                port: read_u16(buf, o + 4),
+            }
+        })
+    }
+
+    /// Timeliness configuration, if the `TIMELINESS` feature is active.
+    pub fn timeliness(&self) -> Option<TimelinessExt> {
+        self.ext_off(self.layout().timeliness).map(|o| {
+            let buf = self.buffer.as_ref();
+            TimelinessExt {
+                deadline_ns: read_u64(buf, o),
+                notify: Ipv4Address::from_bytes(&buf[o + 8..o + 12]),
+            }
+        })
+    }
+
+    /// Age state, if the `AGE` feature is active.
+    pub fn age(&self) -> Option<AgeExt> {
+        self.ext_off(self.layout().age).map(|o| {
+            let buf = self.buffer.as_ref();
+            AgeExt {
+                age_ns: read_u56(buf, o),
+                aged: buf[o + 7] & 0x01 != 0,
+            }
+        })
+    }
+
+    /// Pacing rate in Mbit/s, if the `PACING` feature is active.
+    pub fn pacing_mbps(&self) -> Option<u32> {
+        self.ext_off(self.layout().pacing)
+            .map(|o| read_u32(self.buffer.as_ref(), o))
+    }
+
+    /// Granted backpressure window, if the `BACKPRESSURE` feature is active.
+    pub fn backpressure_window(&self) -> Option<u32> {
+        self.ext_off(self.layout().backpressure)
+            .map(|o| read_u32(self.buffer.as_ref(), o))
+    }
+
+    /// Priority class, if the `PRIORITY` feature is active.
+    pub fn priority_class(&self) -> Option<u8> {
+        self.ext_off(self.layout().priority)
+            .map(|o| self.buffer.as_ref()[o])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> CoreHeader<T> {
+    /// Set the configuration id.
+    pub fn set_config_id(&mut self, v: u8) {
+        self.buffer.as_mut()[field::CONFIG_ID] = v;
+    }
+
+    /// Set the raw configuration data. **Note**: changing feature bits in
+    /// place does not move extension bytes; use [`super::MmtRepr`] to change
+    /// modes. This accessor exists for flag-only bits (e.g. `DUPLICATED`).
+    pub fn set_config_data(&mut self, v: u32) {
+        write_u24(self.buffer.as_mut(), field::CONFIG_DATA.start, v);
+    }
+
+    /// Set a flag-only feature bit in place (panics in debug builds if the
+    /// bit carries an extension slot, which would desynchronize the layout).
+    pub fn set_flag(&mut self, flag: Features) {
+        debug_assert_eq!(
+            ExtLayout::of(flag).total,
+            0,
+            "in-place set_flag only valid for flag-only features"
+        );
+        let bits = self.config_data() | flag.bits();
+        self.set_config_data(bits);
+    }
+
+    /// Set the experiment id.
+    pub fn set_experiment(&mut self, id: ExperimentId) {
+        write_u32(self.buffer.as_mut(), field::EXPERIMENT.start, id.raw());
+    }
+
+    /// Write the sequence number. Returns `false` if the slot is absent.
+    pub fn set_sequence(&mut self, seq: u64) -> bool {
+        match self.ext_off(self.layout().sequence) {
+            Some(o) => {
+                write_u64(self.buffer.as_mut(), o, seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write the retransmission source. Returns `false` if absent.
+    pub fn set_retransmit(&mut self, ext: RetransmitExt) -> bool {
+        match self.ext_off(self.layout().retransmit) {
+            Some(o) => {
+                let buf = self.buffer.as_mut();
+                buf[o..o + 4].copy_from_slice(ext.source.as_bytes());
+                write_u16(buf, o + 4, ext.port);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write the timeliness configuration. Returns `false` if absent.
+    pub fn set_timeliness(&mut self, ext: TimelinessExt) -> bool {
+        match self.ext_off(self.layout().timeliness) {
+            Some(o) => {
+                let buf = self.buffer.as_mut();
+                write_u64(buf, o, ext.deadline_ns);
+                buf[o + 8..o + 12].copy_from_slice(ext.notify.as_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write the age state. Returns `false` if absent.
+    pub fn set_age(&mut self, ext: AgeExt) -> bool {
+        match self.ext_off(self.layout().age) {
+            Some(o) => {
+                let buf = self.buffer.as_mut();
+                write_u56(buf, o, ext.age_ns.min(AgeExt::MAX_AGE_NS));
+                buf[o + 7] = (buf[o + 7] & !0x01) | u8::from(ext.aged);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The in-place age update a network element performs (§5.4): add
+    /// `delta_ns` to the age and set the aged flag if the new age exceeds
+    /// `max_age_ns`. Returns the updated state, or `None` if the feature is
+    /// inactive.
+    pub fn update_age(&mut self, delta_ns: u64, max_age_ns: u64) -> Option<AgeExt> {
+        let current = self.age()?;
+        let mut next = current.aged_by(delta_ns);
+        if next.age_ns > max_age_ns {
+            next.aged = true;
+        }
+        self.set_age(next);
+        Some(next)
+    }
+
+    /// Write the pacing rate. Returns `false` if absent.
+    pub fn set_pacing_mbps(&mut self, rate: u32) -> bool {
+        match self.ext_off(self.layout().pacing) {
+            Some(o) => {
+                write_u32(self.buffer.as_mut(), o, rate);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write the backpressure window. Returns `false` if absent.
+    pub fn set_backpressure_window(&mut self, window: u32) -> bool {
+        match self.ext_off(self.layout().backpressure) {
+            Some(o) => {
+                write_u32(self.buffer.as_mut(), o, window);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write the priority class. Returns `false` if absent.
+    pub fn set_priority_class(&mut self, class: u8) -> bool {
+        match self.ext_off(self.layout().priority) {
+            Some(o) => {
+                let buf = self.buffer.as_mut();
+                buf[o] = class;
+                buf[o + 1] = 0;
+                buf[o + 2] = 0;
+                buf[o + 3] = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{MmtRepr, CONFIG_DATA_V0};
+    use super::*;
+
+    fn wan_packet() -> Vec<u8> {
+        let repr = MmtRepr::data(ExperimentId::new(2, 1))
+            .with_sequence(7)
+            .with_retransmit(Ipv4Address::new(10, 0, 0, 5), 47_000)
+            .with_timeliness(1_000_000, Ipv4Address::new(10, 0, 0, 9))
+            .with_age(500, false)
+            .with_flags(Features::ACK_NAK);
+        let mut buf = vec![0u8; repr.header_len() + 4];
+        repr.emit(&mut buf).unwrap();
+        buf[repr.header_len()..].copy_from_slice(&[9, 9, 9, 9]);
+        buf
+    }
+
+    #[test]
+    fn view_reads_all_fields() {
+        let buf = wan_packet();
+        let hdr = CoreHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(hdr.config_id(), CONFIG_DATA_V0);
+        assert_eq!(hdr.experiment(), ExperimentId::new(2, 1));
+        assert_eq!(hdr.sequence(), Some(7));
+        assert_eq!(
+            hdr.retransmit(),
+            Some(RetransmitExt {
+                source: Ipv4Address::new(10, 0, 0, 5),
+                port: 47_000
+            })
+        );
+        assert_eq!(
+            hdr.timeliness(),
+            Some(TimelinessExt {
+                deadline_ns: 1_000_000,
+                notify: Ipv4Address::new(10, 0, 0, 9)
+            })
+        );
+        assert_eq!(hdr.age(), Some(AgeExt { age_ns: 500, aged: false }));
+        assert_eq!(hdr.payload(), &[9, 9, 9, 9]);
+        assert!(hdr.features().contains(Features::ACK_NAK));
+        assert_eq!(hdr.pacing_mbps(), None);
+    }
+
+    #[test]
+    fn truncated_extension_rejected() {
+        let buf = wan_packet();
+        let hdr_len = CoreHeader::new_checked(&buf[..]).unwrap().header_len();
+        // Cut inside the extension area.
+        assert!(CoreHeader::new_checked(&buf[..hdr_len - 2]).is_err());
+        // Core-only truncation also rejected.
+        assert!(CoreHeader::new_checked(&buf[..4]).is_err());
+    }
+
+    #[test]
+    fn in_place_age_update() {
+        let mut buf = wan_packet();
+        let mut hdr = CoreHeader::new_checked(&mut buf[..]).unwrap();
+        let updated = hdr.update_age(1_000, 10_000).unwrap();
+        assert_eq!(updated.age_ns, 1_500);
+        assert!(!updated.aged);
+        // Exceed the threshold: aged flag latches.
+        let updated = hdr.update_age(20_000, 10_000).unwrap();
+        assert!(updated.aged);
+        assert_eq!(hdr.age().unwrap().aged, true);
+        // Aged flag stays set even when later elements see slack.
+        let updated = hdr.update_age(1, u64::MAX).unwrap();
+        assert!(updated.aged);
+    }
+
+    #[test]
+    fn setters_fail_for_absent_slots() {
+        let repr = MmtRepr::data(ExperimentId::new(1, 0));
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        let mut hdr = CoreHeader::new_checked(&mut buf[..]).unwrap();
+        assert!(!hdr.set_sequence(1));
+        assert!(!hdr.set_age(AgeExt::default()));
+        assert!(!hdr.set_pacing_mbps(100));
+        assert!(!hdr.set_backpressure_window(10));
+        assert!(!hdr.set_priority_class(1));
+        assert!(!hdr.set_retransmit(RetransmitExt {
+            source: Ipv4Address::UNSPECIFIED,
+            port: 0
+        }));
+        assert!(!hdr.set_timeliness(TimelinessExt {
+            deadline_ns: 0,
+            notify: Ipv4Address::UNSPECIFIED
+        }));
+        assert_eq!(hdr.sequence(), None);
+    }
+
+    #[test]
+    fn flag_only_feature_set_in_place() {
+        let mut buf = wan_packet();
+        let before_len = CoreHeader::new_checked(&buf[..]).unwrap().header_len();
+        let mut hdr = CoreHeader::new_unchecked(&mut buf[..]);
+        hdr.set_flag(Features::DUPLICATED);
+        assert!(hdr.features().contains(Features::DUPLICATED));
+        assert_eq!(hdr.header_len(), before_len);
+        // Payload is unchanged.
+        assert_eq!(hdr.payload(), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn payload_mut_writes_through() {
+        let mut buf = wan_packet();
+        let mut hdr = CoreHeader::new_checked(&mut buf[..]).unwrap();
+        hdr.payload_mut()[0] = 0x42;
+        assert_eq!(hdr.payload()[0], 0x42);
+    }
+
+    #[test]
+    fn sequence_rewrite_in_place() {
+        let mut buf = wan_packet();
+        let mut hdr = CoreHeader::new_checked(&mut buf[..]).unwrap();
+        assert!(hdr.set_sequence(u64::MAX));
+        assert_eq!(hdr.sequence(), Some(u64::MAX));
+    }
+}

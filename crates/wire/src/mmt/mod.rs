@@ -1,0 +1,132 @@
+//! The Multi-Modal Transport (MMT) protocol wire format (paper §5.2).
+//!
+//! The core header is deliberately tiny — instrument sensors emit it directly
+//! (§5.2: "We envision instrument sensors supporting this protocol from
+//! source, therefore the core header is kept very simple"):
+//!
+//! ```text
+//!  0               1               2               3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |   config id   |           configuration data (24 bits)       |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                      experiment id (32 bits)                  |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |        optional extension fields, fixed size, fixed order     |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+//!
+//! * **config id** — "essentially a version field for interpreting the
+//!   values of the next field". Config id [`CONFIG_DATA_V0`] marks data
+//!   packets; [`CONFIG_CONTROL_V0`] marks control messages (NAK,
+//!   deadline-exceeded, backpressure).
+//! * **configuration data** — for data packets, a 24-bit feature bitmap (the
+//!   transport *mode*): which features are active on the current network
+//!   segment. See [`Features`].
+//! * **experiment id** — identifies the experiment; the top byte carries the
+//!   instrument *slice* for partitioned detectors (Req 8). See
+//!   [`ExperimentId`].
+//!
+//! After the core header comes "a variable number of fixed-size, optional
+//! fields (in a fixed order) that depend on the activated features". The
+//! order is the feature-bit order; layouts live in the `ext` module.
+//!
+//! The protocol transports discrete datagrams, not bytestreams (Req 7), and
+//! on-path programmable elements may rewrite the header — activate features,
+//! update the age field, add sequence numbers — which is exactly the
+//! "pragmatic layering violation" the paper proposes.
+
+mod control;
+mod ext;
+mod features;
+mod header;
+mod repr;
+
+pub use control::{BackpressureRepr, ControlRepr, ControlType, DeadlineExceededRepr, NakRange, NakRepr};
+pub use ext::{AgeExt, ExtLayout, RetransmitExt, TimelinessExt};
+pub use features::Features;
+pub use header::{CoreHeader, CORE_HEADER_LEN};
+pub use repr::MmtRepr;
+
+/// Config id for data packets, profile version 0.
+pub const CONFIG_DATA_V0: u8 = 0;
+
+/// Config id for control messages, profile version 0.
+pub const CONFIG_CONTROL_V0: u8 = 1;
+
+/// The experiment id field: 24-bit experiment number plus an 8-bit
+/// instrument-slice id in the top byte (Req 8: "the protocol must indicate
+/// which 'slice' of the instrument produced the data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExperimentId(u32);
+
+impl ExperimentId {
+    /// Build from an experiment number (low 24 bits) and slice id.
+    ///
+    /// # Panics
+    /// Panics if `experiment` does not fit in 24 bits.
+    pub fn new(experiment: u32, slice: u8) -> ExperimentId {
+        assert!(experiment < (1 << 24), "experiment number must fit 24 bits");
+        ExperimentId((u32::from(slice) << 24) | experiment)
+    }
+
+    /// Reconstruct from the raw 32-bit wire value.
+    pub const fn from_raw(raw: u32) -> ExperimentId {
+        ExperimentId(raw)
+    }
+
+    /// The raw 32-bit wire value.
+    pub const fn raw(&self) -> u32 {
+        self.0
+    }
+
+    /// The 24-bit experiment number.
+    pub const fn experiment(&self) -> u32 {
+        self.0 & 0x00ff_ffff
+    }
+
+    /// The 8-bit instrument slice.
+    pub const fn slice(&self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+
+    /// The same experiment on a different slice.
+    pub fn with_slice(&self, slice: u8) -> ExperimentId {
+        ExperimentId::new(self.experiment(), slice)
+    }
+}
+
+impl core::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "exp:{}/slice:{}", self.experiment(), self.slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_id_packing() {
+        let id = ExperimentId::new(0x00_1234, 7);
+        assert_eq!(id.experiment(), 0x1234);
+        assert_eq!(id.slice(), 7);
+        assert_eq!(id.raw(), 0x0700_1234);
+        assert_eq!(ExperimentId::from_raw(id.raw()), id);
+        assert_eq!(id.to_string(), "exp:4660/slice:7");
+    }
+
+    #[test]
+    fn with_slice_preserves_experiment() {
+        let id = ExperimentId::new(99, 0);
+        let sliced = id.with_slice(3);
+        assert_eq!(sliced.experiment(), 99);
+        assert_eq!(sliced.slice(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn oversized_experiment_panics() {
+        let _ = ExperimentId::new(1 << 24, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for wire-format invariants.
+//!
+//! Three classes of invariant are exercised:
+//! 1. **Roundtrip**: `parse(emit(repr)) == repr` for arbitrary valid reprs.
+//! 2. **No panic on garbage**: parsers return `Err`, never panic, on
+//!    arbitrary byte soup (the property a border element needs to survive
+//!    hostile campus traffic).
+//! 3. **Semantic invariants**: age saturates and the aged flag latches;
+//!    extension layout is monotone in the feature set.
+
+use proptest::prelude::*;
+
+use mmt_wire::daq::{DuneSubHeader, Mu2eSubHeader, SubHeader, TriggerRecord};
+use mmt_wire::ethernet::{build_frame, EtherType, EthernetRepr, Frame};
+use mmt_wire::ipv4::{Ipv4Repr, Packet as Ipv4Packet, Protocol};
+use mmt_wire::mmt::{
+    ControlRepr, CoreHeader, ExperimentId, Features, MmtRepr, NakRange, NakRepr,
+};
+use mmt_wire::udp::{Datagram, UdpRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Address> {
+    any::<[u8; 4]>().prop_map(Ipv4Address::from)
+}
+
+fn arb_experiment() -> impl Strategy<Value = ExperimentId> {
+    (0u32..(1 << 24), any::<u8>()).prop_map(|(e, s)| ExperimentId::new(e, s))
+}
+
+prop_compose! {
+    fn arb_mmt_repr()(
+        experiment in arb_experiment(),
+        seq in proptest::option::of(any::<u64>()),
+        rtx in proptest::option::of((arb_ipv4(), any::<u16>())),
+        timeliness in proptest::option::of((any::<u64>(), arb_ipv4())),
+        age in proptest::option::of((0u64..(1 << 56), any::<bool>())),
+        pacing in proptest::option::of(any::<u32>()),
+        bp in proptest::option::of(any::<u32>()),
+        prio in proptest::option::of(any::<u8>()),
+        dup in any::<bool>(),
+        enc in any::<bool>(),
+        nak in any::<bool>(),
+    ) -> MmtRepr {
+        let mut r = MmtRepr::data(experiment);
+        if let Some(s) = seq { r = r.with_sequence(s); }
+        if let Some((a, p)) = rtx { r = r.with_retransmit(a, p); }
+        if let Some((d, n)) = timeliness { r = r.with_timeliness(d, n); }
+        if let Some((a, f)) = age { r = r.with_age(a, f); }
+        if let Some(p) = pacing { r = r.with_pacing(p); }
+        if let Some(w) = bp { r = r.with_backpressure(w); }
+        if let Some(c) = prio { r = r.with_priority(c); }
+        if dup { r = r.with_flags(Features::DUPLICATED); }
+        if enc { r = r.with_flags(Features::ENCRYPTED); }
+        if nak { r = r.with_flags(Features::ACK_NAK); }
+        r
+    }
+}
+
+proptest! {
+    #[test]
+    fn mmt_repr_roundtrip(repr in arb_mmt_repr()) {
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        let parsed = MmtRepr::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn mmt_view_agrees_with_repr(repr in arb_mmt_repr(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let buf = repr.emit_with_payload(&payload);
+        let view = CoreHeader::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(view.features(), repr.features);
+        prop_assert_eq!(view.experiment(), repr.experiment);
+        prop_assert_eq!(view.sequence(), repr.sequence());
+        prop_assert_eq!(view.age(), repr.age());
+        prop_assert_eq!(view.retransmit(), repr.retransmit());
+        prop_assert_eq!(view.timeliness(), repr.timeliness());
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn mmt_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = MmtRepr::parse(&bytes);
+        let _ = CoreHeader::new_checked(&bytes[..]);
+        let _ = ControlRepr::parse_packet(&bytes);
+    }
+
+    #[test]
+    fn header_len_monotone_in_features(repr in arb_mmt_repr()) {
+        // Removing any feature never grows the header.
+        for f in [Features::SEQUENCE, Features::RETRANSMIT, Features::TIMELINESS,
+                  Features::AGE, Features::PACING, Features::BACKPRESSURE, Features::PRIORITY] {
+            let smaller = repr.without(f);
+            prop_assert!(smaller.header_len() <= repr.header_len());
+        }
+    }
+
+    #[test]
+    fn age_update_latches(initial in 0u64..(1 << 50), delta in 0u64..(1 << 50), max in 0u64..(1 << 50)) {
+        let repr = MmtRepr::data(ExperimentId::new(1, 0)).with_age(initial, false);
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        let mut hdr = CoreHeader::new_unchecked(&mut buf[..]);
+        let next = hdr.update_age(delta, max).unwrap();
+        prop_assert_eq!(next.age_ns, initial + delta);
+        prop_assert_eq!(next.aged, initial + delta > max);
+        // A second update can only keep or set the flag, never clear it.
+        let again = hdr.update_age(0, u64::MAX).unwrap();
+        prop_assert!(again.aged == next.aged);
+    }
+
+    #[test]
+    fn nak_roundtrip(
+        requester in arb_ipv4(),
+        port in any::<u16>(),
+        raw_ranges in proptest::collection::vec((any::<u64>(), 0u64..1024), 0..32),
+    ) {
+        let ranges: Vec<NakRange> = raw_ranges
+            .into_iter()
+            .map(|(first, span)| NakRange { first, last: first.saturating_add(span) })
+            .collect();
+        let nak = NakRepr { requester, requester_port: port, ranges };
+        let pkt = ControlRepr::Nak(nak.clone()).emit_packet(ExperimentId::new(5, 0));
+        let (_, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        prop_assert_eq!(parsed, ControlRepr::Nak(nak));
+    }
+
+    #[test]
+    fn ethernet_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), et in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let repr = EthernetRepr {
+            dst: EthernetAddress(dst),
+            src: EthernetAddress(src),
+            ethertype: EtherType::from_u16(et),
+        };
+        let buf = build_frame(&repr, &payload);
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(EthernetRepr::parse(&frame).unwrap(), repr);
+        prop_assert_eq!(frame.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in arb_ipv4(), dst in arb_ipv4(), ttl in any::<u8>(), dscp in 0u8..64, len in 0usize..1024) {
+        let repr = Ipv4Repr { src, dst, protocol: Protocol::Mmt, payload_len: len, ttl, dscp };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(pkt.verify_checksum());
+        prop_assert_eq!(Ipv4Repr::parse(&pkt).unwrap(), repr);
+    }
+
+    #[test]
+    fn ipv4_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Packet::new_checked(&bytes[..]);
+    }
+
+    #[test]
+    fn udp_checksum_detects_single_bit_flips(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_bit in 0usize..8,
+    ) {
+        let repr = UdpRepr { src_port: sport, dst_port: dport, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[8..].copy_from_slice(&payload);
+        {
+            let mut d = Datagram::new_checked(&mut buf[..]).unwrap();
+            d.fill_checksum(&src, &dst);
+        }
+        let flip_byte = 8 + (payload.len() - 1);
+        buf[flip_byte] ^= 1 << flip_bit;
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        prop_assert!(!d.verify_checksum(&src, &dst));
+    }
+
+    #[test]
+    fn trigger_record_roundtrip(
+        run in any::<u32>(),
+        event in any::<u64>(),
+        ts in any::<u64>(),
+        kind in 0u8..3,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let sub = match kind {
+            0 => SubHeader::None,
+            1 => SubHeader::Dune(DuneSubHeader {
+                crate_no: 1, slot: 2, link: 3, first_channel: 0, last_channel: 63,
+            }),
+            _ => SubHeader::Mu2e(Mu2eSubHeader {
+                dtc_id: 1, roc_id: 2, packet_type: 3, subsystem: 4,
+            }),
+        };
+        let rec = TriggerRecord { run, event, timestamp_ns: ts, sub, payload };
+        let buf = rec.encode().unwrap();
+        prop_assert_eq!(TriggerRecord::decode(&buf).unwrap(), rec);
+    }
+
+    #[test]
+    fn trigger_record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TriggerRecord::decode(&bytes);
+    }
+}

@@ -1,0 +1,90 @@
+//! Watch a single datagram change shape as it crosses the network — the
+//! "shape-shifting" of the title, at header level.
+//!
+//! A mode-0 sensor datagram is passed through each mode-transition
+//! program in turn (DAQ→WAN border, WAN transit, destination check,
+//! campus downgrade) and its header is printed after every hop.
+//!
+//! ```sh
+//! cargo run --release --example mode_transitions
+//! ```
+
+use mmt::dataplane::action::Intrinsics;
+use mmt::dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
+use mmt::dataplane::programs::{self, BorderConfig};
+use mmt::wire::mmt::{ExperimentId, Features, MmtRepr};
+use mmt::wire::{EthernetAddress, Ipv4Address};
+
+fn show(stage: &str, pkt: &ParsedPacket) {
+    let repr = pkt.mmt_repr().expect("valid MMT frame");
+    println!("{stage:<28} header {:>3} B  features [{}]", repr.header_len(), repr.features);
+    if let Some(seq) = repr.sequence() {
+        print!("{:28} seq={seq}", "");
+        if let Some(r) = repr.retransmit() {
+            print!("  retransmit from {}:{}", r.source, r.port);
+        }
+        if let Some(t) = repr.timeliness() {
+            print!("  deadline={}ns -> notify {}", t.deadline_ns, t.notify);
+        }
+        if let Some(a) = repr.age() {
+            print!("  age={}ns aged={}", a.age_ns, a.aged);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("=== one datagram, four networks, four shapes ===\n");
+    let exp = ExperimentId::new(2, 1); // DUNE, slice 1
+    let sensor_frame = build_eth_mmt_frame(
+        EthernetAddress([2, 0, 0, 0, 0, 1]),
+        EthernetAddress([2, 0, 0, 0, 0, 2]),
+        &MmtRepr::data(exp),
+        b"one trigger record's worth of ADC samples...",
+    );
+    let mut pkt = ParsedPacket::parse(sensor_frame, 0);
+    show("at the sensor (mode 0/1)", &pkt);
+
+    // DAQ -> WAN border: the mode-2 upgrade.
+    let mut border = programs::daq_to_wan_border(BorderConfig {
+        daq_port: 0,
+        wan_port: 1,
+        retransmit_source: (Ipv4Address::new(10, 0, 0, 5), 47_000),
+        deadline_budget_ns: 50_000_000,
+        notify_addr: Ipv4Address::new(10, 0, 0, 1),
+        priority_class: Some(2),
+    });
+    let t0 = 1_000_000; // packet created at t0, processed 40 µs later
+    border.process(&mut pkt, Intrinsics { now_ns: t0 + 40_000, created_at_ns: t0 });
+    show("after DTN 1 (mode 2, WAN)", &pkt);
+
+    // Mid-WAN transit: age update 10 ms later.
+    let mut transit = programs::wan_transit(0, 1, 30_000_000);
+    transit.process(&mut pkt, Intrinsics { now_ns: t0 + 10_040_000, created_at_ns: t0 });
+    show("after Tofino2 (age updated)", &pkt);
+
+    // Destination: timeliness check (on time here).
+    let mut check = programs::destination_check(0, 1, 2);
+    let d = check.process(&mut pkt, Intrinsics { now_ns: t0 + 20_040_000, created_at_ns: t0 });
+    show("after DTN 2 NIC (mode 3)", &pkt);
+    println!(
+        "{:28} deadline notifications emitted: {}",
+        "",
+        d.emitted.len()
+    );
+
+    // Campus: strip the WAN-only gear.
+    let mut down = programs::downgrade_border(
+        0,
+        1,
+        Features::RETRANSMIT | Features::TIMELINESS | Features::ACK_NAK,
+    );
+    pkt.ingress_port = 0;
+    down.process(&mut pkt, Intrinsics { now_ns: t0 + 20_080_000, created_at_ns: t0 });
+    show("after campus edge (downgrade)", &pkt);
+
+    println!("\npayload survived every transition: {:?}", {
+        let view = pkt.mmt().unwrap();
+        String::from_utf8_lossy(view.payload()).into_owned()
+    });
+}

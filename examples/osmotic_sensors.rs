@@ -1,0 +1,41 @@
+//! Osmotic sensors (§6, challenge 3): a 200-station GPS-scintillation
+//! array trickling readings over lossy cell backhaul, integrated into the
+//! research WAN through the same MMT border machinery the big
+//! instruments use.
+//!
+//! ```sh
+//! cargo run --release --example osmotic_sensors
+//! ```
+
+use mmt::daq::osmotic::SensorField;
+use mmt::netsim::Time;
+use mmt::pilot::experiments::osmotic;
+use mmt::wire::mmt::ExperimentId;
+
+fn main() {
+    println!("=== osmotic sensors -> research infrastructure (E10) ===\n");
+    let field = SensorField::scintillation_array(ExperimentId::new(6, 0));
+    println!(
+        "field: {} sensors x {} B every {}  (aggregate {:.2} Mb/s — ten orders below DUNE)",
+        field.sensors,
+        field.reading_bytes,
+        field.report_interval,
+        field.offered_bps() / 1e6
+    );
+
+    let r = osmotic::run(Time::from_secs(30), 5);
+    println!("\nreadings produced            : {}", r.produced);
+    println!(
+        "lost on cell backhaul        : {} (mode 0: sensors do not buffer)",
+        r.lost_on_backhaul
+    );
+    println!("entered the WAN (mode 2)     : {}", r.entered_wan);
+    println!("recovered by NAK on the WAN  : {}", r.recovered_on_wan);
+    println!("delivered to the archive     : {}", r.delivered);
+    println!(
+        "WAN delivery ratio           : {:.2}% — the gateway border makes the\n\
+         trickles exactly as reliable as the 100 Tb/s instruments' streams",
+        r.wan_delivery_ratio * 100.0
+    );
+    assert!((r.wan_delivery_ratio - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,47 @@
+//! The multi-domain supernova early warning: DUNE → Vera Rubin (Req 10,
+//! experiment E6).
+//!
+//! A core-collapse supernova floods DUNE with neutrinos minutes-to-days
+//! before the photons reach any telescope. This example runs the whole
+//! chain: synthetic LArTPC burst → sliding-window trigger → pointing
+//! alert across two WAN hops — and checks the alert beats the photons by
+//! a wide margin.
+//!
+//! ```sh
+//! cargo run --release --example supernova_multidomain
+//! ```
+
+use mmt::daq::supernova::Progenitor;
+use mmt::pilot::experiments::supernova;
+
+fn main() {
+    println!("=== DUNE -> Vera Rubin supernova early warning (E6) ===\n");
+    let result = supernova::run(2026);
+
+    println!("burst onset (experiment time) : {}", result.burst_start);
+    println!(
+        "DUNE trigger fired            : {} (+{} after onset)",
+        result.detected_at,
+        result.detected_at - result.burst_start
+    );
+    println!("delivery budget (1% of lag)   : {}", result.budget);
+    println!();
+    println!(
+        "MMT alert (in-network dup)    : {}  -> within budget: {}",
+        result.mmt_alert_latency, result.mmt_within_budget
+    );
+    println!(
+        "staged path (TCP + DTN store) : {}  -> within budget: {}",
+        result.staged_alert_latency, result.staged_within_budget
+    );
+    println!();
+    println!("photon-lag context (Kistler et al. [36]):");
+    for p in [
+        Progenitor::CompactBlueSupergiant,
+        Progenitor::RedSupergiant,
+        Progenitor::ExtendedEnvelope,
+    ] {
+        println!("  {:?}: photons arrive ~{} after the neutrinos", p, p.photon_lag());
+    }
+    assert!(result.mmt_within_budget);
+}

@@ -1,0 +1,158 @@
+//! `mmt-sim` — run pilot-style scenarios from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin mmt-sim -- pilot --rtt-ms 50 --loss 1e-3 --messages 5000
+//! cargo run --release --bin mmt-sim -- fct --loss 1e-3 --mb 50
+//! cargo run --release --bin mmt-sim -- hol --loss 5e-3
+//! cargo run --release --bin mmt-sim -- --help
+//! ```
+//!
+//! A thin front-end over `mmt::pilot`: the same experiment code the test
+//! suite and the `tables` harness run, with the knobs exposed. (Argument
+//! parsing is hand-rolled to keep the dependency set at the workspace
+//! baseline.)
+
+use mmt::netsim::{Bandwidth, LossModel, Time};
+use mmt::pilot::experiments::{fct, hol};
+use mmt::pilot::{Pilot, PilotConfig};
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mmt-sim <command> [--key value ...]\n\
+         \n\
+         commands:\n\
+         \x20 pilot   run the Fig. 4 pilot      [--rtt-ms N] [--loss P] [--messages N]\n\
+         \x20         [--gbps N] [--deadline-ms N] [--seed N]\n\
+         \x20 fct     E1 flow-completion sweep  [--loss P] [--mb N] [--rtt1-ms N] [--rtt2-ms N] [--seed N]\n\
+         \x20 hol     E2 head-of-line compare   [--loss P] [--rtt-ms N] [--messages N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches("--").to_string();
+        if !args[i].starts_with("--") || i + 1 >= args.len() {
+            eprintln!("bad flag syntax near {:?}", args[i]);
+            usage();
+        }
+        flags.insert(key, args[i + 1].clone());
+        i += 2;
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("could not parse --{key} {raw}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn cmd_pilot(flags: HashMap<String, String>) {
+    let mut cfg = PilotConfig::default_run();
+    cfg.wan_rtt = Time::from_millis(get(&flags, "rtt-ms", 10u64));
+    cfg.wan_loss = LossModel::Random(get(&flags, "loss", 1e-3f64));
+    cfg.message_count = get(&flags, "messages", 2_000usize);
+    cfg.wan_bandwidth = Bandwidth::gbps(get(&flags, "gbps", 100u64));
+    cfg.deadline_budget = Time::from_millis(get(&flags, "deadline-ms", 50u64));
+    cfg.max_age = cfg.deadline_budget;
+    cfg.seed = get(&flags, "seed", 7u64);
+    println!(
+        "pilot: {} msgs, {} WAN, rtt {}, loss {:?}, deadline {}",
+        cfg.message_count, cfg.wan_bandwidth, cfg.wan_rtt, cfg.wan_loss, cfg.deadline_budget
+    );
+    let mut pilot = Pilot::build(cfg);
+    pilot.run(Time::from_secs(300));
+    let mut r = pilot.report();
+    println!(
+        "delivered {}/{}  naks {}  recovered {}  lost {}  aged {}  notify {}",
+        r.receiver.delivered,
+        r.sender.sent,
+        r.receiver.naks_sent,
+        r.receiver.recovered,
+        r.receiver.lost,
+        r.receiver.aged_deliveries,
+        r.sender.deadline_notifications,
+    );
+    if let (Some(p50), Some(p99)) = (r.latency.median(), r.latency.quantile(0.99)) {
+        println!("latency p50 {p50}  p99 {p99}");
+    }
+    match r.completed_at {
+        Some(t) => println!("completed at {t}"),
+        None => println!("INCOMPLETE within horizon"),
+    }
+}
+
+fn cmd_fct(flags: HashMap<String, String>) {
+    let params = fct::FctParams {
+        rtt1: Time::from_millis(get(&flags, "rtt1-ms", 40u64)),
+        rtt2: Time::from_millis(get(&flags, "rtt2-ms", 20u64)),
+        loss: get(&flags, "loss", 1e-3f64),
+        transfer_bytes: get(&flags, "mb", 100u64) * 1_000_000,
+        bandwidth: Bandwidth::gbps(get(&flags, "gbps", 100u64)),
+        seed: get(&flags, "seed", 11u64),
+    };
+    println!(
+        "E1: {} MB over {}+{} WAN, loss {} on far hop",
+        params.transfer_bytes / 1_000_000,
+        params.rtt1,
+        params.rtt2,
+        params.loss
+    );
+    for r in fct::run_all(&params) {
+        println!(
+            "{:<26} FCT {:<12} retx {:<6} losses {:<6} complete {}",
+            r.variant.name(),
+            r.fct.to_string(),
+            r.retransmissions,
+            r.wire_losses,
+            r.completed
+        );
+    }
+}
+
+fn cmd_hol(flags: HashMap<String, String>) {
+    let params = hol::HolParams {
+        rtt: Time::from_millis(get(&flags, "rtt-ms", 20u64)),
+        loss: get(&flags, "loss", 5e-3f64),
+        messages: get(&flags, "messages", 20_000usize),
+        gap: Time::from_micros(10),
+        seed: get(&flags, "seed", 21u64),
+    };
+    println!(
+        "E2: {} messages, rtt {}, loss {}",
+        params.messages, params.rtt, params.loss
+    );
+    for mut r in hol::run_all(&params) {
+        println!(
+            "{:<18} p50 {:<12} p99 {:<12} impacted {:.2}%  delivered {}",
+            r.variant,
+            r.latency.median().map(|t| t.to_string()).unwrap_or_default(),
+            r.latency
+                .quantile(0.99)
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+            r.impacted_fraction * 100.0,
+            r.delivered
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "pilot" => cmd_pilot(flags),
+        "fct" => cmd_fct(flags),
+        "hol" => cmd_hol(flags),
+        _ => usage(),
+    }
+}
