@@ -1,11 +1,17 @@
-//! M1 — Criterion micro-benchmarks: the software packet-processing costs.
+//! M1 — micro-benchmarks: the software packet-processing costs.
 //!
 //! These measure the costs the paper argues must be small for line-rate
 //! operation (Req 2): header parse/emit, the match-action pipeline per
 //! packet, mode-upgrade frame surgery, detector waveform synthesis, and
 //! raw simulator event throughput.
+//!
+//! The harness is self-contained (`harness = false`, plain `main`): each
+//! benchmark auto-calibrates an iteration count to a target measurement
+//! window, times it with `std::time::Instant`, and prints ns/op — no
+//! external benchmarking crates.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use mmt_dataplane::action::Intrinsics;
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
@@ -14,6 +20,60 @@ use mmt_netsim::{Bandwidth, LinkSpec, Simulator, Time};
 use mmt_wire::daq::{DuneSubHeader, SubHeader, TriggerRecord};
 use mmt_wire::mmt::{CoreHeader, ExperimentId, Features, MmtRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
+
+const WARMUP: Duration = Duration::from_millis(100);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Calibrate an iteration count for the warmup window, then time the
+/// measurement window and report mean ns per call of `f`.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= WARMUP || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+    let t = Instant::now();
+    let mut done: u64 = 0;
+    while t.elapsed() < MEASURE {
+        for _ in 0..iters.clamp(1, 4096) {
+            f();
+        }
+        done += iters.clamp(1, 4096);
+    }
+    let per = t.elapsed().as_nanos() as f64 / done as f64;
+    println!("{group}/{name:<32} {per:>12.1} ns/op   ({done} iters)");
+}
+
+/// Like [`bench`] but each timed call consumes a fresh input built by
+/// `setup` outside the timed region (Criterion's `iter_batched`).
+fn bench_batched<T>(group: &str, name: &str, mut setup: impl FnMut() -> T, mut f: impl FnMut(T)) {
+    const BATCH: usize = 128;
+    let mut inputs: Vec<T> = Vec::with_capacity(BATCH);
+    let mut timed = Duration::ZERO;
+    let mut done: u64 = 0;
+    // Warmup batch.
+    inputs.extend((0..BATCH).map(|_| setup()));
+    for input in inputs.drain(..) {
+        f(input);
+    }
+    while timed < MEASURE {
+        inputs.extend((0..BATCH).map(|_| setup()));
+        let t = Instant::now();
+        for input in inputs.drain(..) {
+            f(input);
+        }
+        timed += t.elapsed();
+        done += BATCH as u64;
+    }
+    let per = timed.as_nanos() as f64 / done as f64;
+    println!("{group}/{name:<32} {per:>12.1} ns/op   ({done} iters)");
+}
 
 fn wan_repr() -> MmtRepr {
     MmtRepr::data(ExperimentId::new(2, 0))
@@ -24,25 +84,20 @@ fn wan_repr() -> MmtRepr {
         .with_flags(Features::ACK_NAK)
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
-    group.throughput(Throughput::Elements(1));
-
+fn bench_wire() {
     let repr = wan_repr();
     let mut buf = vec![0u8; repr.header_len()];
-    group.bench_function("mmt_emit_mode2", |b| {
-        b.iter(|| repr.emit(std::hint::black_box(&mut buf)).unwrap())
+    bench("wire", "mmt_emit_mode2", || {
+        repr.emit(black_box(&mut buf)).unwrap();
     });
     repr.emit(&mut buf).unwrap();
-    group.bench_function("mmt_parse_mode2", |b| {
-        b.iter(|| MmtRepr::parse(std::hint::black_box(&buf)).unwrap())
+    bench("wire", "mmt_parse_mode2", || {
+        black_box(MmtRepr::parse(black_box(&buf)).unwrap());
     });
-    group.bench_function("mmt_view_age_update", |b| {
-        let mut frame = repr.emit_with_payload(&[0u8; 64]);
-        b.iter(|| {
-            let mut hdr = CoreHeader::new_unchecked(std::hint::black_box(&mut frame[..]));
-            hdr.update_age(100, 1_000_000)
-        })
+    let mut frame = repr.emit_with_payload(&[0u8; 64]);
+    bench("wire", "mmt_view_age_update", || {
+        let mut hdr = CoreHeader::new_unchecked(black_box(&mut frame[..]));
+        black_box(hdr.update_age(100, 1_000_000).unwrap());
     });
 
     let record = TriggerRecord {
@@ -58,21 +113,16 @@ fn bench_wire(c: &mut Criterion) {
         }),
         payload: vec![0xAB; 12_288],
     };
-    group.throughput(Throughput::Bytes(record.encoded_len() as u64));
-    group.bench_function("trigger_record_encode_12k", |b| {
-        b.iter(|| record.encode().unwrap())
+    bench("wire", "trigger_record_encode_12k", || {
+        black_box(record.encode().unwrap());
     });
     let encoded = record.encode().unwrap();
-    group.bench_function("trigger_record_decode_12k", |b| {
-        b.iter(|| TriggerRecord::decode(std::hint::black_box(&encoded)).unwrap())
+    bench("wire", "trigger_record_decode_12k", || {
+        black_box(TriggerRecord::decode(black_box(&encoded)).unwrap());
     });
-    group.finish();
 }
 
-fn bench_dataplane(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataplane");
-    group.throughput(Throughput::Elements(1));
-
+fn bench_dataplane() {
     let border_cfg = BorderConfig {
         daq_port: 0,
         wan_port: 1,
@@ -87,17 +137,22 @@ fn bench_dataplane(c: &mut Criterion) {
         &MmtRepr::data(ExperimentId::new(2, 0)),
         &[0u8; 8192],
     );
-    group.bench_function("border_upgrade_8k_frame", |b| {
-        let mut pipeline = programs::daq_to_wan_border(border_cfg);
-        b.iter_batched(
-            || ParsedPacket::parse(sensor_frame.clone(), 0),
-            |mut pkt| {
-                pipeline.process(&mut pkt, Intrinsics { now_ns: 100, created_at_ns: 0 });
-                pkt
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    let mut border = programs::daq_to_wan_border(border_cfg);
+    bench_batched(
+        "dataplane",
+        "border_upgrade_8k_frame",
+        || ParsedPacket::parse(sensor_frame.clone(), 0),
+        |mut pkt| {
+            border.process(
+                &mut pkt,
+                Intrinsics {
+                    now_ns: 100,
+                    created_at_ns: 0,
+                },
+            );
+            black_box(pkt);
+        },
+    );
 
     let wan_frame = build_eth_mmt_frame(
         EthernetAddress([2, 0, 0, 0, 0, 1]),
@@ -105,41 +160,41 @@ fn bench_dataplane(c: &mut Criterion) {
         &wan_repr(),
         &[0u8; 8192],
     );
-    group.bench_function("transit_age_update_8k_frame", |b| {
-        let mut pipeline = programs::wan_transit(0, 1, 40_000_000);
-        b.iter_batched(
-            || ParsedPacket::parse(wan_frame.clone(), 0),
-            |mut pkt| {
-                pipeline.process(&mut pkt, Intrinsics { now_ns: 100, created_at_ns: 0 });
-                pkt
-            },
-            BatchSize::SmallInput,
-        )
+    let mut transit = programs::wan_transit(0, 1, 40_000_000);
+    bench_batched(
+        "dataplane",
+        "transit_age_update_8k_frame",
+        || ParsedPacket::parse(wan_frame.clone(), 0),
+        |mut pkt| {
+            transit.process(
+                &mut pkt,
+                Intrinsics {
+                    now_ns: 100,
+                    created_at_ns: 0,
+                },
+            );
+            black_box(pkt);
+        },
+    );
+    bench("dataplane", "parse_classify_only", || {
+        black_box(ParsedPacket::parse(black_box(wan_frame.clone()), 0));
     });
-    group.bench_function("parse_classify_only", |b| {
-        b.iter(|| ParsedPacket::parse(std::hint::black_box(wan_frame.clone()), 0))
-    });
-    group.finish();
 }
 
-fn bench_daq(c: &mut Criterion) {
+fn bench_daq() {
     use mmt_daq::lartpc::{pack_samples, LArTpc, LArTpcConfig};
-    let mut group = c.benchmark_group("daq");
-
     let mut detector = LArTpc::new(LArTpcConfig::iceberg(), 1);
-    group.throughput(Throughput::Elements(2048));
-    group.bench_function("waveform_2048_samples", |b| {
-        b.iter(|| detector.waveform(0, 2048, &[]))
+    bench("daq", "waveform_2048_samples", || {
+        black_box(detector.waveform(0, 2048, &[]));
     });
+    let mut detector = LArTpc::new(LArTpcConfig::iceberg(), 1);
     let wf = detector.waveform(0, 2048, &[]);
-    group.throughput(Throughput::Bytes(2048 * 2));
-    group.bench_function("pack_2048_samples", |b| {
-        b.iter(|| pack_samples(std::hint::black_box(&wf)))
+    bench("daq", "pack_2048_samples", || {
+        black_box(pack_samples(black_box(&wf)));
     });
-    group.finish();
 }
 
-fn bench_netsim(c: &mut Criterion) {
+fn bench_netsim() {
     use mmt_netsim::{Context, Node, Packet, PortId};
     struct Sink;
     impl Node for Sink {
@@ -166,63 +221,46 @@ fn bench_netsim(c: &mut Criterion) {
             self
         }
     }
-    let mut group = c.benchmark_group("netsim");
     const N: usize = 10_000;
-    group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("sim_10k_packets_one_link", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(1);
-            let src = sim.add_node("src", Box::new(Burst(N)));
-            let dst = sim.add_node("dst", Box::new(Sink));
-            sim.add_oneway(
-                src,
-                0,
-                dst,
-                0,
-                LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(1)),
-            );
-            sim.run();
-            sim.now()
-        })
+    bench("netsim", "sim_10k_packets_one_link", || {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(Burst(N)));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(
+            src,
+            0,
+            dst,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(1)),
+        );
+        sim.run();
+        black_box(sim.now());
     });
-    group.finish();
 }
 
-fn bench_seqtrack(c: &mut Criterion) {
+fn bench_seqtrack() {
     use mmt_core::SeqTracker;
-    let mut group = c.benchmark_group("seqtrack");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("record_10k_in_order", |b| {
-        b.iter(|| {
-            let mut t = SeqTracker::new();
-            for s in 0..10_000u64 {
-                t.record(s);
-            }
-            t.received_count()
-        })
+    bench("seqtrack", "record_10k_in_order", || {
+        let mut t = SeqTracker::new();
+        for s in 0..10_000u64 {
+            t.record(s);
+        }
+        black_box(t.received_count());
     });
-    group.bench_function("record_10k_with_gaps", |b| {
-        b.iter(|| {
-            let mut t = SeqTracker::new();
-            for s in (0..20_000u64).step_by(2) {
-                t.record(s);
-            }
-            t.missing_ranges(32).len()
-        })
+    bench("seqtrack", "record_10k_with_gaps", || {
+        let mut t = SeqTracker::new();
+        for s in (0..20_000u64).step_by(2) {
+            t.record(s);
+        }
+        black_box(t.missing_ranges(32).len());
     });
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    println!("M1 micro-benchmarks (self-contained harness; mean over a {MEASURE:?} window)\n");
+    bench_wire();
+    bench_dataplane();
+    bench_daq();
+    bench_netsim();
+    bench_seqtrack();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_wire, bench_dataplane, bench_daq, bench_netsim, bench_seqtrack
-}
-criterion_main!(benches);

@@ -60,7 +60,15 @@ fn want(opts: &Opts, id: &str) -> bool {
 fn t1(opts: &Opts) {
     let mut t = TextTable::new(
         "T1 — Table 1: DAQ rates of large instruments (paper vs regenerated)",
-        &["experiment", "paper rate", "generated (Gb/s)", "rel. err", "record B", "records/s", "lanes"],
+        &[
+            "experiment",
+            "paper rate",
+            "generated (Gb/s)",
+            "rel. err",
+            "record B",
+            "records/s",
+            "lanes",
+        ],
     );
     for row in rates::table1() {
         t.row(vec![
@@ -80,7 +88,10 @@ fn f2_f3(opts: &Opts) {
     let seed = 3;
     for result in [today::run_today(seed), today::run_mmt(seed)] {
         let mut t = TextTable::new(
-            format!("{} — 40 MB batch through the 3-segment pipeline", result.pipeline),
+            format!(
+                "{} — 40 MB batch through the 3-segment pipeline",
+                result.pipeline
+            ),
             &["segment", "transport", "active features", "stage time"],
         );
         for seg in &result.segments {
@@ -121,23 +132,52 @@ fn p1(opts: &Opts) {
         &["metric", "value"],
     );
     let rows: Vec<(&str, String)> = vec![
-        ("messages sent (mode 0 at sensor)", r.sender.sent.to_string()),
-        ("upgraded to mode 2 at DTN 1", r.buffer.forwarded.to_string()),
+        (
+            "messages sent (mode 0 at sensor)",
+            r.sender.sent.to_string(),
+        ),
+        (
+            "upgraded to mode 2 at DTN 1",
+            r.buffer.forwarded.to_string(),
+        ),
         ("age-updated at Tofino2", r.tofino.forwarded.to_string()),
-        ("mode-3 checked at DTN 2 NIC", r.dtn2_switch.forwarded.to_string()),
+        (
+            "mode-3 checked at DTN 2 NIC",
+            r.dtn2_switch.forwarded.to_string(),
+        ),
         ("WAN corruption losses", r.wan_corruption_losses.to_string()),
         ("NAKs sent by receiver", r.receiver.naks_sent.to_string()),
-        ("retransmitted from DTN 1 buffer", r.buffer.retransmitted.to_string()),
+        (
+            "retransmitted from DTN 1 buffer",
+            r.buffer.retransmitted.to_string(),
+        ),
         ("sequences recovered", r.receiver.recovered.to_string()),
         ("sequences lost", r.receiver.lost.to_string()),
         ("delivered", format!("{} / {}", r.receiver.delivered, count)),
-        ("latency p50", r.latency.median().map(|t| t.to_string()).unwrap_or_default()),
-        ("latency p99", r.latency.quantile(0.99).map(|t| t.to_string()).unwrap_or_default()),
+        (
+            "latency p50",
+            r.latency
+                .median()
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+        ),
+        (
+            "latency p99",
+            r.latency
+                .quantile(0.99)
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+        ),
         ("aged deliveries", r.receiver.aged_deliveries.to_string()),
-        ("deadline notifications at source", r.sender.deadline_notifications.to_string()),
+        (
+            "deadline notifications at source",
+            r.sender.deadline_notifications.to_string(),
+        ),
         (
             "stream completion",
-            r.completed_at.map(|t| t.to_string()).unwrap_or("INCOMPLETE".into()),
+            r.completed_at
+                .map(|t| t.to_string())
+                .unwrap_or("INCOMPLETE".into()),
         ),
     ];
     for (k, v) in rows {
@@ -178,7 +218,15 @@ fn e2(opts: &Opts) {
     }
     let mut t = TextTable::new(
         "E2 — head-of-line blocking: per-message latency over a lossy 20 ms WAN",
-        &["variant", "loss p", "p50", "p99", "max", "impacted", "delivered"],
+        &[
+            "variant",
+            "loss p",
+            "p50",
+            "p99",
+            "max",
+            "impacted",
+            "delivered",
+        ],
     );
     for loss in [0.0, 1e-3, 5e-3] {
         params.loss = loss;
@@ -186,8 +234,14 @@ fn e2(opts: &Opts) {
             t.row(vec![
                 r.variant.to_string(),
                 format!("{loss:.0e}"),
-                r.latency.median().map(|t| t.to_string()).unwrap_or_default(),
-                r.latency.quantile(0.99).map(|t| t.to_string()).unwrap_or_default(),
+                r.latency
+                    .median()
+                    .map(|t| t.to_string())
+                    .unwrap_or_default(),
+                r.latency
+                    .quantile(0.99)
+                    .map(|t| t.to_string())
+                    .unwrap_or_default(),
                 r.latency.max().map(|t| t.to_string()).unwrap_or_default(),
                 pct(r.impacted_fraction),
                 r.delivered.to_string(),
@@ -255,10 +309,16 @@ fn e6(opts: &Opts) {
     for (k, v) in [
         ("burst onset", r.burst_start.to_string()),
         ("trigger fired", r.detected_at.to_string()),
-        ("delivery budget (1% of min photon lag)", r.budget.to_string()),
+        (
+            "delivery budget (1% of min photon lag)",
+            r.budget.to_string(),
+        ),
         ("MMT alert latency", r.mmt_alert_latency.to_string()),
         ("MMT within budget", r.mmt_within_budget.to_string()),
-        ("staged-path alert latency", r.staged_alert_latency.to_string()),
+        (
+            "staged-path alert latency",
+            r.staged_alert_latency.to_string(),
+        ),
         ("staged within budget", r.staged_within_budget.to_string()),
     ] {
         t.row(vec![k.to_string(), v]);
@@ -270,7 +330,14 @@ fn e7(opts: &Opts) {
     let messages = if opts.quick { 2_000 } else { 5_000 };
     let mut t = TextTable::new(
         "E7 — capacity planning vs backpressure (10 Gb/s WAN bottleneck)",
-        &["condition", "offered", "queue drops", "NAKs", "lost", "delivered/sent"],
+        &[
+            "condition",
+            "offered",
+            "queue drops",
+            "NAKs",
+            "lost",
+            "delivered/sent",
+        ],
     );
     for r in backpressure::run_all(messages) {
         t.row(vec![
@@ -302,8 +369,14 @@ fn e8(opts: &Opts) {
                 priority_class: Some(1),
             }),
         ),
-        ("WAN transit (age update)", programs::wan_transit(0, 1, 40_000_000)),
-        ("destination check (mode 3)", programs::destination_check(0, 1, 2)),
+        (
+            "WAN transit (age update)",
+            programs::wan_transit(0, 1, 40_000_000),
+        ),
+        (
+            "destination check (mode 3)",
+            programs::destination_check(0, 1, 2),
+        ),
         (
             "alert duplicator (8 subscribers)",
             programs::alert_duplicator(0, 1, 5, &[2, 3, 4, 5, 6, 7, 8, 9]),
@@ -317,7 +390,16 @@ fn e8(opts: &Opts) {
     let alveo = ResourceBudget::alveo_smartnic();
     let mut t = TextTable::new(
         "E8 — mode-transition programs vs hardware resource budgets",
-        &["program", "tables", "entries", "key fields", "registers", "fits Tofino2", "fits Alveo", "pressure"],
+        &[
+            "program",
+            "tables",
+            "entries",
+            "key fields",
+            "registers",
+            "fits Tofino2",
+            "fits Alveo",
+            "pressure",
+        ],
     );
     for (name, p) in programs {
         let u = p.resource_usage();
@@ -342,10 +424,19 @@ fn e9(opts: &Opts) {
         &["metric", "value"],
     );
     for (k, v) in [
-        ("per-slice deliveries", format!("{:?}", r.per_slice_delivered)),
+        (
+            "per-slice deliveries",
+            format!("{:?}", r.per_slice_delivered),
+        ),
         ("cross-slice deliveries", r.cross_deliveries.to_string()),
-        ("DUNE records round-tripped", format!("{}/50", r.dune_records_ok)),
-        ("Mu2e records round-tripped", format!("{}/50", r.mu2e_records_ok)),
+        (
+            "DUNE records round-tripped",
+            format!("{}/50", r.dune_records_ok),
+        ),
+        (
+            "Mu2e records round-tripped",
+            format!("{}/50", r.mu2e_records_ok),
+        ),
     ] {
         t.row(vec![k.to_string(), v]);
     }
@@ -361,7 +452,10 @@ fn e10(opts: &Opts) {
     );
     for (k, v) in [
         ("readings produced", r.produced.to_string()),
-        ("lost on backhaul (mode 0, unrecoverable)", r.lost_on_backhaul.to_string()),
+        (
+            "lost on backhaul (mode 0, unrecoverable)",
+            r.lost_on_backhaul.to_string(),
+        ),
         ("entered WAN (mode 2)", r.entered_wan.to_string()),
         ("recovered by NAK on WAN", r.recovered_on_wan.to_string()),
         ("delivered to archive", r.delivered.to_string()),
@@ -382,11 +476,20 @@ fn e11(opts: &Opts) {
     for (k, v) in [
         ("records streamed", r.records.to_string()),
         ("containers written at archive", r.containers.to_string()),
-        ("records packed into containers", r.records_stored.to_string()),
+        (
+            "records packed into containers",
+            r.records_stored.to_string(),
+        ),
         ("burst detected in-path (FNAL)", fmt(r.inpath_detected_at)),
-        ("burst detected at end host (archive)", fmt(r.endhost_detected_at)),
+        (
+            "burst detected at end host (archive)",
+            fmt(r.endhost_detected_at),
+        ),
         ("alert at telescope, in-path", fmt(r.inpath_alert_at)),
-        ("alert at telescope, end-host baseline", fmt(r.endhost_alert_at)),
+        (
+            "alert at telescope, end-host baseline",
+            fmt(r.endhost_alert_at),
+        ),
     ] {
         t.row(vec![k.to_string(), v]);
     }

@@ -2,21 +2,23 @@
 //!
 //! The `tables` binary (`cargo run -p mmt-bench --release --bin tables`)
 //! re-runs every experiment in DESIGN.md's per-experiment index and prints
-//! the rows/series the paper's evaluation reports; Criterion benches
-//! (`cargo bench`) measure the software packet-processing costs (M1).
+//! the rows/series the paper's evaluation reports; the `microbench` bench
+//! (`cargo bench -p mmt-bench`) measures the software packet-processing
+//! costs (M1) with a self-contained harness.
 //!
 //! This library hosts the small shared pieces: an aligned-text table
-//! printer and JSON result records for EXPERIMENTS.md bookkeeping.
+//! printer and JSON result records (serialized with `mmt-telemetry`'s
+//! dependency-free JSON writer) for EXPERIMENTS.md bookkeeping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use mmt_telemetry::json::{self, JsonObject};
 use std::io::Write;
 use std::path::Path;
 
 /// A rendered table: title, column headers, and stringified rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TextTable {
     /// Table title (e.g. "E1 — flow-completion time").
     pub title: String,
@@ -85,13 +87,36 @@ impl TextTable {
         print!("{}", self.render());
     }
 
+    /// Render as a JSON object (`title`, `columns`, `rows`).
+    pub fn to_json(&self) -> String {
+        let quote = |s: &str| format!("\"{}\"", json::escape(s));
+        let columns = json::array(self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>());
+        let rows = json::array(
+            self.rows
+                .iter()
+                .map(|row| json::array(row.iter().map(|c| quote(c)).collect::<Vec<_>>()))
+                .collect::<Vec<_>>(),
+        );
+        JsonObject::new()
+            .str("title", &self.title)
+            .raw("columns", &columns)
+            .raw("rows", &rows)
+            .finish()
+    }
+
     /// Also persist as JSON under `dir/<slug>.json` (slug from the title).
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -99,7 +124,7 @@ impl TextTable {
             .join("_");
         let path = dir.join(format!("{slug}.json"));
         let mut f = std::fs::File::create(path)?;
-        writeln!(f, "{}", serde_json::to_string_pretty(self)?)?;
+        writeln!(f, "{}", self.to_json())?;
         Ok(())
     }
 }
@@ -137,6 +162,16 @@ mod tests {
     fn arity_checked() {
         let mut t = TextTable::new("demo", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let mut t = TextTable::new("t\"x", &["a"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"t\\\"x\",\"columns\":[\"a\"],\"rows\":[[\"1\"]]}"
+        );
     }
 
     #[test]

@@ -125,10 +125,68 @@ impl RetransmitBuffer {
         self.store.len()
     }
 
+    /// Export the buffer's counters (and its border pipeline's per-table
+    /// hit/miss counters) into a metric registry, labeled by `node`.
+    pub fn export_metrics(&self, node: &str, reg: &mut mmt_telemetry::MetricRegistry) {
+        let labels = [("node", node)];
+        for (name, help, value) in [
+            (
+                "mmt_buffer_forwarded_total",
+                "Data packets upgraded and forwarded to the WAN.",
+                self.stats.forwarded,
+            ),
+            (
+                "mmt_buffer_evicted_total",
+                "Packets evicted to honour the capacity bound.",
+                self.stats.evicted,
+            ),
+            (
+                "mmt_buffer_naks_received_total",
+                "NAK messages served.",
+                self.stats.naks_received,
+            ),
+            (
+                "mmt_buffer_retransmitted_total",
+                "Packets re-sent in response to NAKs.",
+                self.stats.retransmitted,
+            ),
+            (
+                "mmt_buffer_nak_misses_total",
+                "NAKed sequences no longer in the buffer (evicted before recovery).",
+                self.stats.nak_misses,
+            ),
+            (
+                "mmt_buffer_credits_sent_total",
+                "Backpressure grants sent upstream.",
+                self.stats.credits_sent,
+            ),
+        ] {
+            reg.describe(name, help);
+            reg.counter_add(name, &labels, value);
+        }
+        reg.describe(
+            "mmt_buffer_stored_packets",
+            "Packets currently retained for retransmission.",
+        );
+        reg.gauge_set(
+            "mmt_buffer_stored_packets",
+            &labels,
+            self.store.len() as f64,
+        );
+        reg.describe(
+            "mmt_buffer_stored_bytes",
+            "Bytes currently retained for retransmission.",
+        );
+        reg.gauge_set("mmt_buffer_stored_bytes", &labels, self.store_bytes as f64);
+        self.pipeline.export_metrics(node, reg);
+    }
+
     fn retain(&mut self, seq: u64, pkt: Packet) {
         let len = pkt.len();
         while self.store_bytes + len > self.capacity_bytes {
-            let Some(old) = self.ring.pop_front() else { break };
+            let Some(old) = self.ring.pop_front() else {
+                break;
+            };
             if let Some(old_pkt) = self.store.remove(&old) {
                 self.store_bytes -= old_pkt.len();
                 self.stats.evicted += 1;
@@ -142,7 +200,12 @@ impl RetransmitBuffer {
         self.stats.stored = self.store.len() as u64;
     }
 
-    fn serve_nak(&mut self, ctx: &mut Context<'_>, nak: &mmt_wire::mmt::NakRepr, from_port: PortId) {
+    fn serve_nak(
+        &mut self,
+        ctx: &mut Context<'_>,
+        nak: &mmt_wire::mmt::NakRepr,
+        from_port: PortId,
+    ) {
         self.stats.naks_received += 1;
         for range in &nak.ranges {
             for seq in range.first..=range.last {
@@ -202,17 +265,21 @@ impl Node for RetransmitBuffer {
             created_at_ns: meta.created_at.as_nanos(),
         };
         let disp = self.pipeline.process(&mut parsed, intr);
-        // Forward + retain upgraded data packets.
+        // Forward + retain upgraded data packets. The border pipeline just
+        // stamped the sequence; mirror it (and the config id) into the
+        // simulator metadata so WAN-side trace events carry it.
         if let Some(egress) = disp.egress {
+            let mut meta = meta;
+            if let Some(hdr) = parsed.mmt() {
+                meta.seq = hdr.sequence();
+                meta.config = Some(u64::from(hdr.config_id()));
+            }
             let out = Packet {
                 bytes: parsed.bytes,
                 meta,
             };
             if egress == PORT_WAN {
-                if let Some(seq) = ParsedPacket::parse(out.bytes.clone(), port)
-                    .mmt_repr()
-                    .and_then(|r| r.sequence())
-                {
+                if let Some(seq) = meta.seq {
                     self.retain(seq, out.clone());
                 }
                 self.stats.forwarded += 1;
@@ -305,7 +372,13 @@ mod tests {
             )),
         );
         let wan = sim.add_node("wan", Box::new(Sink));
-        sim.add_oneway(buf, PORT_WAN, wan, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.add_oneway(
+            buf,
+            PORT_WAN,
+            wan,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
         (sim, buf, wan)
     }
 
@@ -313,13 +386,15 @@ mod tests {
     fn upgrades_and_stores_data_packets() {
         let (mut sim, buf, wan) = setup(1 << 20);
         for i in 0..5 {
-            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i as u64));
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i));
         }
         sim.run();
         let got = sim.local_deliveries(wan);
         assert_eq!(got.len(), 5);
         for (i, (_, pkt)) in got.iter().enumerate() {
-            let repr = ParsedPacket::parse(pkt.bytes.clone(), 0).mmt_repr().unwrap();
+            let repr = ParsedPacket::parse(pkt.bytes.clone(), 0)
+                .mmt_repr()
+                .unwrap();
             assert_eq!(repr.sequence(), Some(i as u64));
             assert!(repr.features.contains(Features::RETRANSMIT));
             assert_eq!(
@@ -336,7 +411,7 @@ mod tests {
     fn serves_naks_from_store() {
         let (mut sim, buf, wan) = setup(1 << 20);
         for i in 0..10 {
-            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i as u64));
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i));
         }
         sim.run();
         let before = sim.local_deliveries(wan).len();
@@ -377,14 +452,19 @@ mod tests {
         // Each upgraded frame is ~300+ bytes; capacity for ~3.
         let (mut sim, buf, _) = setup(1_000);
         for i in 0..10 {
-            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i as u64));
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i));
         }
         sim.run();
         let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
         assert!(b.stored_count() <= 3, "{}", b.stored_count());
         assert!(b.stats.evicted >= 7);
         // NAK for an evicted seq is a miss.
-        sim.inject(sim.now(), buf, PORT_WAN, nak_frame(vec![NakRange { first: 0, last: 0 }]));
+        sim.inject(
+            sim.now(),
+            buf,
+            PORT_WAN,
+            nak_frame(vec![NakRange { first: 0, last: 0 }]),
+        );
         sim.run();
         let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
         assert_eq!(b.stats.nak_misses, 1);
@@ -413,7 +493,13 @@ mod tests {
             )),
         );
         let sensor_side = sim.add_node("sensor", Box::new(Sink));
-        sim.add_oneway(buf, PORT_DAQ, sensor_side, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.add_oneway(
+            buf,
+            PORT_DAQ,
+            sensor_side,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
         // Run past t = 5 ms so the grant emitted at 5 ms finishes its
         // (nanoseconds of) link serialization and arrives.
         sim.run_until(Time::from_micros(5_500));

@@ -151,7 +151,10 @@ mod tests {
         let up = m2.as_upgrade(Some(0));
         assert_eq!(up.sequence_from_register, Some(0));
         assert_eq!(up.retransmit_source, Some(src));
-        assert_eq!(up.deadline_budget_ns, Some((2_000, Ipv4Address::new(10, 0, 0, 9))));
+        assert_eq!(
+            up.deadline_budget_ns,
+            Some((2_000, Ipv4Address::new(10, 0, 0, 9)))
+        );
         assert!(up.init_age);
         assert!(up.set_flags.contains(Features::ACK_NAK));
         // Mode 0 upgrades to nothing.

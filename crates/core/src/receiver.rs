@@ -141,6 +141,71 @@ impl MmtReceiver {
         self.stats.completed_at.is_some()
     }
 
+    /// Export the receiver's counters — and the end-to-end latency and
+    /// in-network age distributions over everything delivered so far —
+    /// into a metric registry, labeled by `node`.
+    pub fn export_metrics(&self, node: &str, reg: &mut mmt_telemetry::MetricRegistry) {
+        let labels = [("node", node)];
+        for (name, help, value) in [
+            (
+                "mmt_receiver_delivered_total",
+                "Messages delivered (deduplicated).",
+                self.stats.delivered,
+            ),
+            (
+                "mmt_receiver_duplicates_total",
+                "Duplicate packets suppressed.",
+                self.stats.duplicates,
+            ),
+            (
+                "mmt_receiver_naks_sent_total",
+                "NAK messages sent.",
+                self.stats.naks_sent,
+            ),
+            (
+                "mmt_receiver_recovered_total",
+                "Sequences recovered via NAK.",
+                self.stats.recovered,
+            ),
+            (
+                "mmt_receiver_lost_total",
+                "Sequences abandoned as lost.",
+                self.stats.lost,
+            ),
+            (
+                "mmt_receiver_deadline_notifications_total",
+                "Deadline-exceeded notifications received.",
+                self.stats.deadline_notifications,
+            ),
+            (
+                "mmt_receiver_aged_deliveries_total",
+                "Packets delivered with the aged flag set.",
+                self.stats.aged_deliveries,
+            ),
+        ] {
+            reg.describe(name, help);
+            reg.counter_add(name, &labels, value);
+        }
+        let mut e2e = mmt_telemetry::NsHistogram::new();
+        let mut age = mmt_telemetry::NsHistogram::new();
+        for m in &self.log {
+            e2e.record(m.arrived_at.saturating_sub(m.created_at).as_nanos());
+            if let Some(a) = m.age_ns {
+                age.record(a);
+            }
+        }
+        reg.describe(
+            "mmt_receiver_e2e_latency_ns",
+            "Source-creation to delivery latency per message, nanoseconds.",
+        );
+        reg.observe_histogram("mmt_receiver_e2e_latency_ns", &labels, &e2e);
+        reg.describe(
+            "mmt_receiver_age_ns",
+            "In-network age carried by delivered headers, nanoseconds.",
+        );
+        reg.observe_histogram("mmt_receiver_age_ns", &labels, &age);
+    }
+
     fn arm_nak_timer(&mut self, ctx: &mut Context<'_>, delay: Time) {
         if !self.nak_timer_armed {
             self.nak_timer_armed = true;
@@ -319,11 +384,9 @@ impl Node for MmtReceiver {
         }
         // Stay armed while anything is (or may become) outstanding: gaps
         // under recovery, or a pending tail waiting out the quiet period.
-        let tail_pending = self
-            .config
-            .expect_messages
-            .is_some_and(|expect| self.tracker.received_count() > 0
-                && self.tracker.received_count() < expect);
+        let tail_pending = self.config.expect_messages.is_some_and(|expect| {
+            self.tracker.received_count() > 0 && self.tracker.received_count() < expect
+        });
         if outstanding || tail_pending {
             self.arm_nak_timer(ctx, self.config.nak_interval);
         }
@@ -387,7 +450,13 @@ mod tests {
             ))),
         );
         let net = sim.add_node("net", Box::new(Sink));
-        sim.add_oneway(rcv, 0, net, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.add_oneway(
+            rcv,
+            0,
+            net,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
         (sim, rcv, net)
     }
 
@@ -459,7 +528,13 @@ mod tests {
         cfg.nak_interval = Time::from_millis(10);
         let rcv = sim.add_node("dtn2", Box::new(MmtReceiver::new(cfg)));
         let net = sim.add_node("net", Box::new(Sink));
-        sim.add_oneway(rcv, 0, net, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+        sim.add_oneway(
+            rcv,
+            0,
+            net,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
         sim.inject(Time::ZERO, rcv, 0, wan_frame(0, 0, false));
         sim.inject(Time::from_micros(1), rcv, 0, wan_frame(3, 3, false));
         sim.run_until(Time::from_secs(1));

@@ -237,8 +237,16 @@ mod tests {
     #[test]
     fn nearest_buffer_prefers_low_rtt() {
         let mut map = ResourceMap::new();
-        map.advertise(buffer_entry(Ipv4Address::new(10, 0, 0, 5), "esnet", 1_000_000));
-        map.advertise(buffer_entry(Ipv4Address::new(10, 1, 0, 5), "geant", 50_000_000));
+        map.advertise(buffer_entry(
+            Ipv4Address::new(10, 0, 0, 5),
+            "esnet",
+            1_000_000,
+        ));
+        map.advertise(buffer_entry(
+            Ipv4Address::new(10, 1, 0, 5),
+            "geant",
+            50_000_000,
+        ));
         let near = map.nearest_buffer(0).unwrap();
         assert_eq!(near.addr, Ipv4Address::new(10, 0, 0, 5));
         // Constrained to beyond 10 ms: the farther one.
@@ -265,7 +273,9 @@ mod tests {
             .plan(
                 &[
                     Segment::DaqNetwork,
-                    Segment::Wan { one_way_ns: 25_000_000 },
+                    Segment::Wan {
+                        one_way_ns: 25_000_000,
+                    },
                     Segment::Campus,
                 ],
                 1_000_000_000,

@@ -126,6 +126,37 @@ impl MmtSender {
         self.stats.finished_at.is_some()
     }
 
+    /// Export the sender's counters into a metric registry, labeled by
+    /// `node` (the endpoint's name in the topology).
+    pub fn export_metrics(&self, node: &str, reg: &mut mmt_telemetry::MetricRegistry) {
+        let labels = [("node", node)];
+        for (name, help, value) in [
+            (
+                "mmt_sender_sent_total",
+                "Datagrams emitted by the source endpoint.",
+                self.stats.sent,
+            ),
+            (
+                "mmt_sender_backpressure_signals_total",
+                "Backpressure signals received by the source endpoint.",
+                self.stats.backpressure_signals,
+            ),
+            (
+                "mmt_sender_deadline_notifications_total",
+                "Deadline-exceeded notifications received by the source endpoint.",
+                self.stats.deadline_notifications,
+            ),
+            (
+                "mmt_sender_credit_stalls_total",
+                "Messages delayed by lack of backpressure credits.",
+                self.stats.credit_stalls,
+            ),
+        ] {
+            reg.describe(name, help);
+            reg.counter_add(name, &labels, value);
+        }
+    }
+
     fn pump(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
         while self.next < self.config.schedule.len() && self.config.schedule[self.next] <= now {
@@ -169,6 +200,10 @@ impl MmtSender {
             };
             let mut pkt = Packet::with_flow(frame, u64::from(self.config.experiment.raw()));
             pkt.meta.created_at = self.config.schedule[self.next];
+            // Mirror the header identity into simulator metadata so trace
+            // events correlate from the very first hop.
+            pkt.meta.seq = repr.sequence();
+            pkt.meta.config = Some(u64::from(repr.config_id));
             ctx.send(0, pkt);
             self.stats.sent += 1;
             self.next += 1;

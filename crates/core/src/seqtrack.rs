@@ -26,16 +26,8 @@ impl SeqTracker {
         if self.contains(seq) {
             return false;
         }
-        let prev = self
-            .ranges
-            .range(..=seq)
-            .next_back()
-            .map(|(&s, &e)| (s, e));
-        let next = self
-            .ranges
-            .range(seq + 1..)
-            .next()
-            .map(|(&s, &e)| (s, e));
+        let prev = self.ranges.range(..=seq).next_back().map(|(&s, &e)| (s, e));
+        let next = self.ranges.range(seq + 1..).next().map(|(&s, &e)| (s, e));
         let joins_prev = prev.is_some_and(|(_, e)| e == seq);
         let joins_next = next.is_some_and(|(s, _)| s == seq + 1);
         match (joins_prev, joins_next) {
@@ -186,17 +178,11 @@ mod tests {
         t.record(8);
         t.record(9); // joins both neighbours
         assert_eq!(t.gap_count(), 1, "leading gap [0,7] counts");
-        assert_eq!(
-            t.missing_ranges(16),
-            vec![NakRange { first: 0, last: 7 }]
-        );
+        assert_eq!(t.missing_ranges(16), vec![NakRange { first: 0, last: 7 }]);
         assert_eq!(t.received_count(), 3);
         assert_eq!(t.highest(), Some(10));
         t.record(0);
-        assert_eq!(
-            t.missing_ranges(16),
-            vec![NakRange { first: 1, last: 7 }]
-        );
+        assert_eq!(t.missing_ranges(16), vec![NakRange { first: 1, last: 7 }]);
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl TransitBuffer {
     fn retain(&mut self, seq: u64, pkt: Packet) {
         let len = pkt.len();
         while self.store_bytes + len > self.capacity_bytes {
-            let Some(old) = self.ring.pop_front() else { break };
+            let Some(old) = self.ring.pop_front() else {
+                break;
+            };
             if let Some(old_pkt) = self.store.remove(&old) {
                 self.store_bytes -= old_pkt.len();
                 self.stats.evicted += 1;
@@ -102,7 +104,12 @@ impl TransitBuffer {
         }
     }
 
-    fn handle_nak(&mut self, ctx: &mut Context<'_>, nak: NakRepr, experiment: mmt_wire::mmt::ExperimentId) {
+    fn handle_nak(
+        &mut self,
+        ctx: &mut Context<'_>,
+        nak: NakRepr,
+        experiment: mmt_wire::mmt::ExperimentId,
+    ) {
         self.stats.naks_received += 1;
         let mut unserved: Vec<u64> = Vec::new();
         for range in &nak.ranges {
@@ -264,8 +271,11 @@ mod tests {
 
     #[test]
     fn repoints_retransmit_source_and_stores() {
-        let (mut sim, mid, _, down) =
-            setup(TransitBuffer::new(Ipv4Address::new(10, 0, 0, 7), 47_001, 1 << 20));
+        let (mut sim, mid, _, down) = setup(TransitBuffer::new(
+            Ipv4Address::new(10, 0, 0, 7),
+            47_001,
+            1 << 20,
+        ));
         for s in 0..5u64 {
             sim.inject(Time::from_micros(s), mid, PORT_UP, wan_frame(s));
         }
@@ -273,7 +283,9 @@ mod tests {
         let got = sim.local_deliveries(down);
         assert_eq!(got.len(), 5);
         for (_, pkt) in got {
-            let repr = ParsedPacket::parse(pkt.bytes.clone(), 0).mmt_repr().unwrap();
+            let repr = ParsedPacket::parse(pkt.bytes.clone(), 0)
+                .mmt_repr()
+                .unwrap();
             assert_eq!(
                 repr.retransmit().unwrap(),
                 RetransmitExt {
@@ -289,8 +301,11 @@ mod tests {
 
     #[test]
     fn serves_naks_locally_and_renaks_missing_upstream() {
-        let (mut sim, mid, up, down) =
-            setup(TransitBuffer::new(Ipv4Address::new(10, 0, 0, 7), 47_001, 1 << 20));
+        let (mut sim, mid, up, down) = setup(TransitBuffer::new(
+            Ipv4Address::new(10, 0, 0, 7),
+            47_001,
+            1 << 20,
+        ));
         for s in 2..6u64 {
             sim.inject(Time::from_micros(s), mid, PORT_UP, wan_frame(s));
         }
@@ -325,7 +340,9 @@ mod tests {
         sim.run();
         let got = sim.local_deliveries(down);
         assert_eq!(got.len(), 1);
-        let repr = ParsedPacket::parse(got[0].1.bytes.clone(), 0).mmt_repr().unwrap();
+        let repr = ParsedPacket::parse(got[0].1.bytes.clone(), 0)
+            .mmt_repr()
+            .unwrap();
         assert_eq!(
             repr.retransmit().unwrap().source,
             Ipv4Address::new(10, 0, 0, 5),
@@ -343,8 +360,11 @@ mod tests {
 
     #[test]
     fn non_mmt_traffic_forwards_transparently() {
-        let (mut sim, mid, up, down) =
-            setup(TransitBuffer::new(Ipv4Address::new(10, 0, 0, 7), 1, 1 << 20));
+        let (mut sim, mid, up, down) = setup(TransitBuffer::new(
+            Ipv4Address::new(10, 0, 0, 7),
+            1,
+            1 << 20,
+        ));
         sim.inject(Time::ZERO, mid, PORT_UP, Packet::new(vec![0u8; 64]));
         sim.inject(Time::ZERO, mid, PORT_DOWN, Packet::new(vec![0u8; 64]));
         sim.run();
@@ -354,8 +374,7 @@ mod tests {
 
     #[test]
     fn store_respects_capacity() {
-        let (mut sim, mid, _, _) =
-            setup(TransitBuffer::new(Ipv4Address::new(10, 0, 0, 7), 1, 300));
+        let (mut sim, mid, _, _) = setup(TransitBuffer::new(Ipv4Address::new(10, 0, 0, 7), 1, 300));
         for s in 0..10u64 {
             sim.inject(Time::from_micros(s), mid, PORT_UP, wan_frame(s));
         }

@@ -1,27 +1,29 @@
-//! Property tests for the protocol core: sequence-tracker correctness
-//! against a naive model, and buffer/receiver behaviour under arbitrary
-//! arrival patterns.
-
-use proptest::prelude::*;
+//! Seeded randomized tests for the protocol core: sequence-tracker
+//! correctness against a naive model, and buffer/receiver behaviour under
+//! arbitrary arrival patterns. Cases replay exactly from the fixed seeds.
 
 use mmt_core::SeqTracker;
+use mmt_netsim::SimRng;
 use std::collections::BTreeSet;
 
-proptest! {
-    /// The interval-based tracker agrees with a naive set model on every
-    /// query, for arbitrary insertion orders with duplicates.
-    #[test]
-    fn seqtracker_matches_naive_model(seqs in proptest::collection::vec(0u64..500, 0..400)) {
+/// The interval-based tracker agrees with a naive set model on every
+/// query, for arbitrary insertion orders with duplicates.
+#[test]
+fn seqtracker_matches_naive_model() {
+    let mut rng = SimRng::new(0xC04E_0001);
+    for _ in 0..100 {
+        let n = rng.next_bounded(400) as usize;
+        let seqs: Vec<u64> = (0..n).map(|_| rng.next_bounded(500)).collect();
         let mut tracker = SeqTracker::new();
         let mut model: BTreeSet<u64> = BTreeSet::new();
         for s in seqs {
             let fresh = tracker.record(s);
-            prop_assert_eq!(fresh, model.insert(s), "record({}) freshness", s);
+            assert_eq!(fresh, model.insert(s), "record({s}) freshness");
         }
-        prop_assert_eq!(tracker.received_count(), model.len() as u64);
-        prop_assert_eq!(tracker.highest(), model.iter().next_back().copied());
+        assert_eq!(tracker.received_count(), model.len() as u64);
+        assert_eq!(tracker.highest(), model.iter().next_back().copied());
         for probe in 0..500u64 {
-            prop_assert_eq!(tracker.contains(probe), model.contains(&probe));
+            assert_eq!(tracker.contains(probe), model.contains(&probe));
         }
         // Missing ranges cover exactly the model's holes below the max.
         if let Some(&max) = model.iter().next_back() {
@@ -31,20 +33,24 @@ proptest! {
                 .into_iter()
                 .flat_map(|r| r.first..=r.last)
                 .collect();
-            prop_assert_eq!(reported, holes);
+            assert_eq!(reported, holes);
         } else {
-            prop_assert!(tracker.missing_ranges(usize::MAX).is_empty());
+            assert!(tracker.missing_ranges(usize::MAX).is_empty());
         }
     }
+}
 
-    /// Gap count equals the number of maximal missing runs.
-    #[test]
-    fn gap_count_consistent(seqs in proptest::collection::vec(0u64..200, 1..150)) {
+/// Gap count equals the number of maximal missing runs.
+#[test]
+fn gap_count_consistent() {
+    let mut rng = SimRng::new(0xC04E_0002);
+    for _ in 0..100 {
+        let n = 1 + rng.next_bounded(149) as usize;
         let mut tracker = SeqTracker::new();
-        for &s in &seqs {
-            tracker.record(s);
+        for _ in 0..n {
+            tracker.record(rng.next_bounded(200));
         }
-        prop_assert_eq!(
+        assert_eq!(
             tracker.gap_count(),
             tracker.missing_ranges(usize::MAX).len()
         );
@@ -52,10 +58,9 @@ proptest! {
 }
 
 mod buffer_props {
-    use super::*;
     use mmt_core::buffer::{RetransmitBuffer, PORT_DAQ, PORT_WAN};
     use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
-    use mmt_netsim::{Bandwidth, Context, LinkSpec, Node, Packet, PortId, Simulator, Time};
+    use mmt_netsim::{Bandwidth, Context, LinkSpec, Node, Packet, PortId, SimRng, Simulator, Time};
     use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr, NakRange, NakRepr};
     use mmt_wire::{EthernetAddress, Ipv4Address};
 
@@ -76,14 +81,18 @@ mod buffer_props {
         ExperimentId::new(2, 0)
     }
 
-    proptest! {
-        /// For any NAK ranges, the buffer's response = (packets it holds)
-        /// and misses = (packets it does not), exactly.
-        #[test]
-        fn nak_service_is_exact(
-            stored in 1usize..40,
-            raw_ranges in proptest::collection::vec((0u64..60, 0u64..5), 1..6),
-        ) {
+    /// For any NAK ranges, the buffer's response = (packets it holds)
+    /// and misses = (packets it does not), exactly.
+    #[test]
+    fn nak_service_is_exact() {
+        let mut rng = SimRng::new(0xC04E_0003);
+        for _ in 0..40 {
+            let stored = 1 + rng.next_bounded(39) as usize;
+            let n_ranges = 1 + rng.next_bounded(5) as usize;
+            let raw_ranges: Vec<(u64, u64)> = (0..n_ranges)
+                .map(|_| (rng.next_bounded(60), rng.next_bounded(5)))
+                .collect();
+
             let mut sim = Simulator::new(1);
             let buf = sim.add_node(
                 "dtn1",
@@ -95,7 +104,13 @@ mod buffer_props {
                 )),
             );
             let wan = sim.add_node("wan", Box::new(Sink));
-            sim.add_oneway(buf, PORT_WAN, wan, 0, LinkSpec::new(Bandwidth::gbps(100), Time::ZERO));
+            sim.add_oneway(
+                buf,
+                PORT_WAN,
+                wan,
+                0,
+                LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+            );
             // Feed `stored` sensor messages; seqs 0..stored get retained.
             for i in 0..stored {
                 let mut payload = vec![0u8; 64];
@@ -106,20 +121,24 @@ mod buffer_props {
                     &MmtRepr::data(exp()),
                     &payload,
                 );
-                sim.inject(Time::from_micros(i as u64), buf, PORT_DAQ, Packet::new(frame));
+                sim.inject(
+                    Time::from_micros(i as u64),
+                    buf,
+                    PORT_DAQ,
+                    Packet::new(frame),
+                );
             }
             sim.run();
             let forwarded = sim.local_deliveries(wan).len();
-            prop_assert_eq!(forwarded, stored);
+            assert_eq!(forwarded, stored);
 
             let ranges: Vec<NakRange> = raw_ranges
                 .iter()
-                .map(|&(first, span)| NakRange { first, last: first + span })
+                .map(|&(first, span)| NakRange {
+                    first,
+                    last: first + span,
+                })
                 .collect();
-            let mut requested: Vec<u64> =
-                ranges.iter().flat_map(|r| r.first..=r.last).collect();
-            requested.sort_unstable();
-            requested.dedup();
             // NAK ranges may overlap; the buffer serves per listed seq.
             let expect_hits: u64 = ranges
                 .iter()
@@ -147,10 +166,10 @@ mod buffer_props {
             sim.inject(sim.now(), buf, PORT_WAN, Packet::new(frame));
             sim.run();
             let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
-            prop_assert_eq!(b.stats.retransmitted, expect_hits);
-            prop_assert_eq!(b.stats.nak_misses, expect_misses);
+            assert_eq!(b.stats.retransmitted, expect_hits);
+            assert_eq!(b.stats.nak_misses, expect_misses);
             // Retransmitted copies really went out the WAN port.
-            prop_assert_eq!(
+            assert_eq!(
                 sim.local_deliveries(wan).len(),
                 stored + expect_hits as usize
             );
@@ -161,7 +180,7 @@ mod buffer_props {
                     .unwrap()
                     .sequence()
                     .unwrap();
-                prop_assert!(seq < stored as u64);
+                assert!(seq < stored as u64);
             }
         }
     }

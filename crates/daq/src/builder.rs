@@ -229,9 +229,24 @@ mod tests {
         let mut b = builder(false);
         // Hits on channels 10 and 20 (link 0) and channel 130 (link 2).
         let ev = event(vec![
-            Hit { channel: 10, time_sample: 5, amplitude: 100, duration_samples: 4 },
-            Hit { channel: 20, time_sample: 9, amplitude: 100, duration_samples: 4 },
-            Hit { channel: 130, time_sample: 5, amplitude: 100, duration_samples: 4 },
+            Hit {
+                channel: 10,
+                time_sample: 5,
+                amplitude: 100,
+                duration_samples: 4,
+            },
+            Hit {
+                channel: 20,
+                time_sample: 9,
+                amplitude: 100,
+                duration_samples: 4,
+            },
+            Hit {
+                channel: 130,
+                time_sample: 5,
+                amplitude: 100,
+                duration_samples: 4,
+            },
         ]);
         let records = b.build(&ev);
         assert_eq!(records.len(), 2);
@@ -248,7 +263,12 @@ mod tests {
         // Timestamps carry the event time; event numbers are sequential.
         assert!(records.iter().all(|(r, _)| r.timestamp_ns == 5_000_000));
         assert!(records.iter().all(|(r, _)| r.event == 1));
-        let ev2 = event(vec![Hit { channel: 400, time_sample: 0, amplitude: 50, duration_samples: 4 }]);
+        let ev2 = event(vec![Hit {
+            channel: 400,
+            time_sample: 0,
+            amplitude: 50,
+            duration_samples: 4,
+        }]);
         let records2 = b.build(&ev2);
         assert_eq!(records2[0].0.event, 2);
         assert_eq!(records2[0].1, 1, "channel 400 lives in slice 1");
@@ -257,7 +277,12 @@ mod tests {
     #[test]
     fn payload_size_is_fixed_and_predicted() {
         let mut b = builder(false);
-        let ev = event(vec![Hit { channel: 3, time_sample: 0, amplitude: 80, duration_samples: 4 }]);
+        let ev = event(vec![Hit {
+            channel: 3,
+            time_sample: 0,
+            amplitude: 80,
+            duration_samples: 4,
+        }]);
         let records = b.build(&ev);
         assert_eq!(records[0].0.payload.len(), b.record_payload_len());
         // 64 channels × 128 samples = 8192 samples → 12288 packed bytes.
@@ -267,7 +292,12 @@ mod tests {
     #[test]
     fn synthesized_payload_contains_the_pulse() {
         let mut b = builder(true);
-        let ev = event(vec![Hit { channel: 3, time_sample: 20, amplitude: 600, duration_samples: 10 }]);
+        let ev = event(vec![Hit {
+            channel: 3,
+            time_sample: 20,
+            amplitude: 600,
+            duration_samples: 10,
+        }]);
         let records = b.build(&ev);
         let payload = &records[0].0.payload;
         assert_eq!(payload.len(), b.record_payload_len());
@@ -285,7 +315,12 @@ mod tests {
     #[test]
     fn records_decode_with_wire_crate() {
         let mut b = builder(true);
-        let ev = event(vec![Hit { channel: 0, time_sample: 5, amplitude: 90, duration_samples: 4 }]);
+        let ev = event(vec![Hit {
+            channel: 0,
+            time_sample: 5,
+            amplitude: 90,
+            duration_samples: 4,
+        }]);
         let (record, _) = b.build(&ev).remove(0);
         let encoded = record.encode().unwrap();
         assert_eq!(TriggerRecord::decode(&encoded).unwrap(), record);

@@ -113,7 +113,9 @@ pub const RUBIN_NIGHTLY_BYTES: u64 = 30_000_000_000_000;
 
 /// Look up an experiment by its MMT experiment number.
 pub fn by_number(experiment_no: u32) -> Option<&'static Experiment> {
-    EXPERIMENTS.iter().find(|e| e.experiment_no == experiment_no)
+    EXPERIMENTS
+        .iter()
+        .find(|e| e.experiment_no == experiment_no)
 }
 
 #[cfg(test)]

@@ -246,7 +246,10 @@ mod tests {
             .iter()
             .filter(|e| e.kind == EventKind::Radiological)
             .count();
-        let cosmic = events.iter().filter(|e| e.kind == EventKind::Cosmic).count();
+        let cosmic = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Cosmic)
+            .count();
         // 100 Hz vs 10 Hz over 20 s: ~2000 vs ~200.
         assert!((1700..2300).contains(&radiological), "{radiological}");
         assert!((120..280).contains(&cosmic), "{cosmic}");

@@ -4,9 +4,9 @@
 //! particles ionize argon, the freed electrons drift to anode wires, and
 //! each wire's induced current is digitized (~2 MHz, 12-bit ADC). The
 //! model below synthesizes exactly that signal chain: per-channel pedestal
-//! + Gaussian noise, plus triangular unipolar pulses where particle "hits"
-//! deposit charge, then a threshold-based trigger-primitive finder of the
-//! kind DUNE runs in its readout firmware.
+//! and Gaussian noise, plus triangular unipolar pulses where particle
+//! "hits" deposit charge, then a threshold-based trigger-primitive finder
+//! of the kind DUNE runs in its readout firmware.
 
 use crate::events::Hit;
 use mmt_netsim::SimRng;
@@ -97,7 +97,9 @@ impl LArTpc {
             let dur = hit.duration_samples.max(2) as usize;
             let half = dur / 2;
             for i in 0..dur {
-                let Some(slot) = wf.get_mut(start + i) else { break };
+                let Some(slot) = wf.get_mut(start + i) else {
+                    break;
+                };
                 // Triangular pulse: rise to peak at `half`, fall after.
                 let frac = if i <= half {
                     i as f64 / half.max(1) as f64

@@ -78,8 +78,7 @@ impl SensorField {
 
     /// Aggregate offered load in bits per second.
     pub fn offered_bps(&self) -> f64 {
-        self.sensors as f64 * self.reading_bytes as f64 * 8.0
-            / self.report_interval.as_secs_f64()
+        self.sensors as f64 * self.reading_bytes as f64 * 8.0 / self.report_interval.as_secs_f64()
     }
 }
 
@@ -95,7 +94,11 @@ mod tests {
     fn trickle_rates_are_tiny_next_to_table1() {
         let f = field();
         // 200 × 512 B/s ≈ 0.8 Mb/s — ten orders below DUNE.
-        assert!((0.7e6..0.9e6).contains(&f.offered_bps()), "{}", f.offered_bps());
+        assert!(
+            (0.7e6..0.9e6).contains(&f.offered_bps()),
+            "{}",
+            f.offered_bps()
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
         f.sensors = 1;
         let msgs = f.readings_until(Time::from_secs(5), 3);
         assert!(msgs.len() >= 4);
-        let gaps: Vec<u64> = msgs.windows(2).map(|w| (w[1].at - w[0].at).as_nanos()).collect();
+        let gaps: Vec<u64> = msgs
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_nanos())
+            .collect();
         assert!(gaps.iter().all(|&g| g == gaps[0]));
     }
 }

@@ -85,8 +85,9 @@ impl ContainerWriter {
     /// Serialize the container.
     pub fn finish(self) -> Vec<u8> {
         let index_offset = (HEADER_LEN + self.records.len()) as u64;
-        let mut out =
-            Vec::with_capacity(HEADER_LEN + self.records.len() + self.index.len() * INDEX_ENTRY_LEN);
+        let mut out = Vec::with_capacity(
+            HEADER_LEN + self.records.len() + self.index.len() * INDEX_ENTRY_LEN,
+        );
         out.extend_from_slice(MAGIC);
         out.push(1); // version
         out.extend_from_slice(&[0; 3]);

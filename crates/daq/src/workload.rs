@@ -229,12 +229,7 @@ mod tests {
 
     #[test]
     fn regular_flow_has_constant_shape() {
-        let mut flow = RegularFlow::new(
-            catalog::DUNE.id(0),
-            8192,
-            Bandwidth::gbps(10),
-            Time::ZERO,
-        );
+        let mut flow = RegularFlow::new(catalog::DUNE.id(0), 8192, Bandwidth::gbps(10), Time::ZERO);
         let msgs = flow.take_until(Time::from_millis(1));
         // 8192 B at 10 Gb/s = 6.5536 µs per message → ~152 in 1 ms.
         assert!((150..=154).contains(&msgs.len()), "{}", msgs.len());
@@ -280,10 +275,7 @@ mod tests {
         }
         // Roughly: 10 ms at 5 Gb/s = 6.25 MB / 8 KiB ≈ 763 msgs per burst,
         // 4 burst starts in [0, 3] (t=0,1,2,3 — t=3 contributes 1 message).
-        let per_burst = msgs
-            .iter()
-            .filter(|m| m.at < Time::from_millis(10))
-            .count();
+        let per_burst = msgs.iter().filter(|m| m.at < Time::from_millis(10)).count();
         assert!((700..830).contains(&per_burst), "{per_burst}");
     }
 
@@ -301,7 +293,9 @@ mod tests {
         // And silence until the next exposure at t = 34 s.
         let mut flow2 = BurstFlow::vera_rubin_alerts(Time::ZERO);
         let more = flow2.take_until(Time::from_secs(33));
-        assert!(more.iter().all(|m| m.at <= Time::from_secs(1) + Time::from_nanos(1)));
+        assert!(more
+            .iter()
+            .all(|m| m.at <= Time::from_secs(1) + Time::from_nanos(1)));
     }
 
     #[test]

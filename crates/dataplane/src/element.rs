@@ -60,6 +60,49 @@ impl DataplaneElement {
         &mut self.pipeline
     }
 
+    /// Export the element's counters (and its pipeline's per-table
+    /// hit/miss counters) into a metric registry. `element` becomes the
+    /// `element` label on every series.
+    pub fn export_metrics(&self, element: &str, reg: &mut mmt_telemetry::MetricRegistry) {
+        let labels = [("element", element)];
+        for (name, help, value) in [
+            (
+                "mmt_element_processed_total",
+                "Frames handed to the pipeline.",
+                self.stats.processed,
+            ),
+            (
+                "mmt_element_forwarded_total",
+                "Frames forwarded out an egress port.",
+                self.stats.forwarded,
+            ),
+            (
+                "mmt_element_dropped_total",
+                "Frames dropped by pipeline actions.",
+                self.stats.dropped,
+            ),
+            (
+                "mmt_element_mirrored_total",
+                "Duplicate copies created by mirror actions.",
+                self.stats.mirrored,
+            ),
+            (
+                "mmt_element_controls_emitted_total",
+                "Control packets (NAK/deadline/backpressure) generated.",
+                self.stats.controls_emitted,
+            ),
+            (
+                "mmt_element_malformed_total",
+                "Frames that failed to parse.",
+                self.stats.malformed,
+            ),
+        ] {
+            reg.describe(name, help);
+            reg.counter_add(name, &labels, value);
+        }
+        self.pipeline.export_metrics(element, reg);
+    }
+
     fn dispatch(&mut self, ctx: &mut Context<'_>, sends: Vec<(PortId, Packet)>) {
         let latency = Time::from_nanos(self.pipeline.latency_ns);
         if latency == Time::ZERO {
@@ -78,7 +121,7 @@ impl DataplaneElement {
 impl Node for DataplaneElement {
     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
         self.stats.processed += 1;
-        let meta = pkt.meta;
+        let mut meta = pkt.meta;
         let mut parsed = ParsedPacket::parse(pkt.bytes, port);
         if parsed.layers == crate::parser::PacketLayers::Malformed {
             self.stats.malformed += 1;
@@ -89,6 +132,13 @@ impl Node for DataplaneElement {
             created_at_ns: meta.created_at.as_nanos(),
         };
         let disp = self.pipeline.process(&mut parsed, intr);
+        // Mirror the (possibly just-stamped) MMT sequence and config id
+        // into the simulator metadata so downstream trace events correlate
+        // to the flow without re-parsing at every hop.
+        if let Some(hdr) = parsed.mmt() {
+            meta.seq = hdr.sequence();
+            meta.config = Some(u64::from(hdr.config_id()));
+        }
         let mut sends: Vec<(PortId, Packet)> = Vec::new();
         if let Some(egress) = disp.egress {
             self.stats.forwarded += 1;
@@ -103,8 +153,8 @@ impl Node for DataplaneElement {
             self.stats.dropped += 1;
         }
         for (eport, bytes) in disp.emitted {
-            // Mirror copies keep the original creation time/flow; control
-            // messages are fresh packets born now.
+            // Mirror copies keep the original creation time/flow/identity;
+            // control messages are fresh packets born now.
             let is_mirror = disp.mirrors.contains(&eport);
             if is_mirror {
                 self.stats.mirrored += 1;
@@ -112,11 +162,7 @@ impl Node for DataplaneElement {
                 self.stats.controls_emitted += 1;
             }
             let pmeta = if is_mirror {
-                PacketMeta {
-                    id: 0,
-                    created_at: meta.created_at,
-                    flow: meta.flow,
-                }
+                PacketMeta { id: 0, ..meta }
             } else {
                 PacketMeta::default()
             };
@@ -180,7 +226,10 @@ mod tests {
     fn forwarding_pipeline(latency_ns: u64) -> Pipeline {
         let route = Table::new("route", vec![MatchField::IsMmt])
             .with_default(vec![Action::Forward { port: 1 }]);
-        PipelineBuilder::new().table(route).latency_ns(latency_ns).build()
+        PipelineBuilder::new()
+            .table(route)
+            .latency_ns(latency_ns)
+            .build()
     }
 
     fn two_node_setup(pipeline: Pipeline) -> (Simulator, NodeId, NodeId) {
@@ -302,7 +351,15 @@ mod tests {
         let orig = ParsedPacket::parse(sim.local_deliveries(d1)[0].1.bytes.clone(), 0);
         let copy = ParsedPacket::parse(sim.local_deliveries(d2)[0].1.bytes.clone(), 0);
         use mmt_wire::mmt::Features;
-        assert!(!orig.mmt_repr().unwrap().features.contains(Features::DUPLICATED));
-        assert!(copy.mmt_repr().unwrap().features.contains(Features::DUPLICATED));
+        assert!(!orig
+            .mmt_repr()
+            .unwrap()
+            .features
+            .contains(Features::DUPLICATED));
+        assert!(copy
+            .mmt_repr()
+            .unwrap()
+            .features
+            .contains(Features::DUPLICATED));
     }
 }

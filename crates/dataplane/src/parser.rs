@@ -392,7 +392,10 @@ mod tests {
             ethertype: EtherType::Mmt,
         };
         let frame = mmt_wire::ethernet::build_frame(&eth, &[0u8; 4]);
-        assert_eq!(ParsedPacket::parse(frame, 0).layers, PacketLayers::Malformed);
+        assert_eq!(
+            ParsedPacket::parse(frame, 0).layers,
+            PacketLayers::Malformed
+        );
     }
 
     #[test]

@@ -55,6 +55,33 @@ impl Pipeline {
         &mut self.tables[idx]
     }
 
+    /// Per-stage (table) lookup statistics, in execution order:
+    /// `(table name, hits, misses)`.
+    pub fn stage_stats(&self) -> Vec<(&str, u64, u64)> {
+        self.tables
+            .iter()
+            .map(|t| (t.name.as_str(), t.hits, t.misses))
+            .collect()
+    }
+
+    /// Export per-table hit/miss counters into a metric registry, labeled
+    /// by owning `element` and `table` name.
+    pub fn export_metrics(&self, element: &str, reg: &mut mmt_telemetry::MetricRegistry) {
+        reg.describe(
+            "mmt_table_hits_total",
+            "Match-action table lookups that hit an entry.",
+        );
+        reg.describe(
+            "mmt_table_misses_total",
+            "Match-action table lookups that fell to the default action.",
+        );
+        for (name, hits, misses) in self.stage_stats() {
+            let labels = [("element", element), ("table", name)];
+            reg.counter_add("mmt_table_hits_total", &labels, hits);
+            reg.counter_add("mmt_table_misses_total", &labels, misses);
+        }
+    }
+
     /// Resource usage of this pipeline (for budget checks, experiment E8).
     pub fn resource_usage(&self) -> ResourceUsage {
         ResourceUsage {
@@ -177,9 +204,15 @@ mod tests {
             priority: 0,
             actions: vec![Action::Drop],
         });
-        let count = Table::new("count", vec![MatchField::IsMmt])
-            .with_default(vec![Action::Count { register: 0 }, Action::Forward { port: 0 }]);
-        let mut pl = PipelineBuilder::new().table(acl).table(count).registers(1).build();
+        let count = Table::new("count", vec![MatchField::IsMmt]).with_default(vec![
+            Action::Count { register: 0 },
+            Action::Forward { port: 0 },
+        ]);
+        let mut pl = PipelineBuilder::new()
+            .table(acl)
+            .table(count)
+            .registers(1)
+            .build();
         let mut blocked = pkt(9);
         let d = pl.process(&mut blocked, intr());
         assert!(d.dropped);
@@ -214,7 +247,11 @@ mod tests {
             actions: vec![],
         });
         let t2 = Table::new("b", vec![MatchField::IngressPort]);
-        let pl = PipelineBuilder::new().table(t1).table(t2).registers(3).build();
+        let pl = PipelineBuilder::new()
+            .table(t1)
+            .table(t2)
+            .registers(3)
+            .build();
         let u = pl.resource_usage();
         assert_eq!(u.tables, 2);
         assert_eq!(u.entries, 1);

@@ -54,7 +54,11 @@ pub fn daq_to_wan_border(cfg: BorderConfig) -> Pipeline {
     // Table 1: classify control vs data by config id.
     let mut classify = Table::new(
         "classify",
-        vec![MatchField::IsMmt, MatchField::MmtConfigId, MatchField::IngressPort],
+        vec![
+            MatchField::IsMmt,
+            MatchField::MmtConfigId,
+            MatchField::IngressPort,
+        ],
     );
     // Control from the WAN heads upstream to the retransmission buffer.
     classify.insert(TableEntry {
@@ -65,7 +69,9 @@ pub fn daq_to_wan_border(cfg: BorderConfig) -> Pipeline {
         ],
         priority: 10,
         actions: vec![
-            Action::Count { register: regs::CONTROL_COUNT },
+            Action::Count {
+                register: regs::CONTROL_COUNT,
+            },
             Action::Forward { port: cfg.daq_port },
         ],
     });
@@ -77,7 +83,9 @@ pub fn daq_to_wan_border(cfg: BorderConfig) -> Pipeline {
             FieldValue::Exact(cfg.daq_port as u64),
         ],
         priority: 5,
-        actions: vec![Action::Count { register: regs::DATA_COUNT }],
+        actions: vec![Action::Count {
+            register: regs::DATA_COUNT,
+        }],
     });
 
     // Table 2: the mode upgrade + forward for DAQ-side data.
@@ -100,7 +108,10 @@ pub fn daq_to_wan_border(cfg: BorderConfig) -> Pipeline {
             FieldValue::Exact(cfg.daq_port as u64),
         ],
         priority: 0,
-        actions: vec![Action::Upgrade(upgrade), Action::Forward { port: cfg.wan_port }],
+        actions: vec![
+            Action::Upgrade(upgrade),
+            Action::Forward { port: cfg.wan_port },
+        ],
     });
 
     PipelineBuilder::new()
@@ -117,7 +128,11 @@ pub fn daq_to_wan_border(cfg: BorderConfig) -> Pipeline {
 pub fn wan_transit(up_port: usize, down_port: usize, max_age_ns: u64) -> Pipeline {
     let mut tbl = Table::new(
         "transit",
-        vec![MatchField::IsMmt, MatchField::MmtConfigId, MatchField::IngressPort],
+        vec![
+            MatchField::IsMmt,
+            MatchField::MmtConfigId,
+            MatchField::IngressPort,
+        ],
     );
     tbl.insert(TableEntry {
         key: vec![
@@ -127,7 +142,9 @@ pub fn wan_transit(up_port: usize, down_port: usize, max_age_ns: u64) -> Pipelin
         ],
         priority: 5,
         actions: vec![
-            Action::Count { register: regs::DATA_COUNT },
+            Action::Count {
+                register: regs::DATA_COUNT,
+            },
             Action::UpdateAge { max_age_ns },
             Action::Forward { port: down_port },
         ],
@@ -140,7 +157,9 @@ pub fn wan_transit(up_port: usize, down_port: usize, max_age_ns: u64) -> Pipelin
         ],
         priority: 5,
         actions: vec![
-            Action::Count { register: regs::CONTROL_COUNT },
+            Action::Count {
+                register: regs::CONTROL_COUNT,
+            },
             Action::Forward { port: up_port },
         ],
     });
@@ -157,7 +176,11 @@ pub fn wan_transit(up_port: usize, down_port: usize, max_age_ns: u64) -> Pipelin
 pub fn destination_check(wan_port: usize, host_port: usize, notify_port: usize) -> Pipeline {
     let mut tbl = Table::new(
         "timeliness",
-        vec![MatchField::IsMmt, MatchField::MmtConfigId, MatchField::IngressPort],
+        vec![
+            MatchField::IsMmt,
+            MatchField::MmtConfigId,
+            MatchField::IngressPort,
+        ],
     );
     tbl.insert(TableEntry {
         key: vec![
@@ -167,7 +190,9 @@ pub fn destination_check(wan_port: usize, host_port: usize, notify_port: usize) 
         ],
         priority: 0,
         actions: vec![
-            Action::Count { register: regs::DATA_COUNT },
+            Action::Count {
+                register: regs::DATA_COUNT,
+            },
             Action::CheckDeadline { notify_port },
             Action::Forward { port: host_port },
         ],
@@ -181,7 +206,9 @@ pub fn destination_check(wan_port: usize, host_port: usize, notify_port: usize) 
         ],
         priority: 0,
         actions: vec![
-            Action::Count { register: regs::CONTROL_COUNT },
+            Action::Count {
+                register: regs::CONTROL_COUNT,
+            },
             Action::Forward { port: wan_port },
         ],
     });
@@ -204,7 +231,11 @@ pub fn alert_duplicator(
 ) -> Pipeline {
     let mut tbl = Table::new(
         "duplicate",
-        vec![MatchField::MmtConfigId, MatchField::MmtExperiment, MatchField::IngressPort],
+        vec![
+            MatchField::MmtConfigId,
+            MatchField::MmtExperiment,
+            MatchField::IngressPort,
+        ],
     );
     let mut actions: Vec<Action> = subscriber_ports
         .iter()
@@ -222,7 +253,11 @@ pub fn alert_duplicator(
     });
     // Everything else follows the primary path.
     tbl.insert(TableEntry {
-        key: vec![FieldValue::Any, FieldValue::Any, FieldValue::Exact(in_port as u64)],
+        key: vec![
+            FieldValue::Any,
+            FieldValue::Any,
+            FieldValue::Exact(in_port as u64),
+        ],
         priority: 0,
         actions: vec![Action::Forward { port: primary_port }],
     });
@@ -247,7 +282,10 @@ pub fn downgrade_border(in_port: usize, out_port: usize, remove: Features) -> Pi
             FieldValue::Exact(in_port as u64),
         ],
         priority: 0,
-        actions: vec![Action::Downgrade { remove }, Action::Forward { port: out_port }],
+        actions: vec![
+            Action::Downgrade { remove },
+            Action::Forward { port: out_port },
+        ],
     });
     PipelineBuilder::new()
         .table(tbl)
@@ -291,7 +329,10 @@ mod tests {
     }
 
     fn intr(now: u64, created: u64) -> Intrinsics {
-        Intrinsics { now_ns: now, created_at_ns: created }
+        Intrinsics {
+            now_ns: now,
+            created_at_ns: created,
+        }
     }
 
     fn border() -> Pipeline {
@@ -447,8 +488,14 @@ mod tests {
             ("downgrade", downgrade_border(0, 1, Features::RETRANSMIT)),
         ] {
             let usage = pl.resource_usage();
-            assert!(tofino.admits(&usage), "{name} exceeds Tofino2 budget: {usage:?}");
-            assert!(alveo.admits(&usage), "{name} exceeds Alveo budget: {usage:?}");
+            assert!(
+                tofino.admits(&usage),
+                "{name} exceeds Tofino2 budget: {usage:?}"
+            );
+            assert!(
+                alveo.admits(&usage),
+                "{name} exceeds Alveo budget: {usage:?}"
+            );
         }
     }
 }

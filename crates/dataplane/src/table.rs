@@ -33,11 +33,9 @@ pub enum MatchField {
 pub fn extract(field: MatchField, pkt: &ParsedPacket) -> u64 {
     match field {
         MatchField::IngressPort => pkt.ingress_port as u64,
-        MatchField::EtherType => {
-            mmt_wire::ethernet::Frame::new_checked(&pkt.bytes[..])
-                .map(|f| u64::from(f.ethertype().as_u16()))
-                .unwrap_or(0)
-        }
+        MatchField::EtherType => mmt_wire::ethernet::Frame::new_checked(&pkt.bytes[..])
+            .map(|f| u64::from(f.ethertype().as_u16()))
+            .unwrap_or(0),
         MatchField::IsMmt => u64::from(pkt.layers.mmt_offset().is_some()),
         MatchField::MmtConfigId => pkt.mmt().map(|h| u64::from(h.config_id())).unwrap_or(0),
         MatchField::MmtConfigData => pkt.mmt().map(|h| u64::from(h.config_data())).unwrap_or(0),
@@ -206,11 +204,7 @@ impl Table {
     /// Look up the packet; returns the matching actions (entry or default)
     /// and records hit/miss counters.
     pub fn lookup(&mut self, pkt: &ParsedPacket) -> &[Action] {
-        let observed: Vec<u64> = self
-            .key_fields
-            .iter()
-            .map(|&f| extract(f, pkt))
-            .collect();
+        let observed: Vec<u64> = self.key_fields.iter().map(|&f| extract(f, pkt)).collect();
         let mut best: Option<(i32, u32, usize)> = None;
         for (idx, entry) in self.entries.iter().enumerate() {
             let matches = entry
@@ -223,7 +217,7 @@ impl Table {
             }
             let spec: u32 = entry.key.iter().map(FieldValue::specificity).sum();
             let candidate = (entry.priority, spec, usize::MAX - idx);
-            if best.map_or(true, |b| candidate > (b.0, b.1, b.2)) {
+            if best.is_none_or(|b| candidate > (b.0, b.1, b.2)) {
                 best = Some(candidate);
             }
         }
@@ -275,10 +269,16 @@ mod tests {
         assert!(FieldValue::Exact(5).matches(5));
         assert!(!FieldValue::Exact(5).matches(6));
         assert!(FieldValue::Any.matches(u64::MAX));
-        let t = FieldValue::Ternary { value: 0b1010, mask: 0b1110 };
+        let t = FieldValue::Ternary {
+            value: 0b1010,
+            mask: 0b1110,
+        };
         assert!(t.matches(0b1011)); // low bit ignored
         assert!(!t.matches(0b0011));
-        let p = FieldValue::Prefix { value: 0x0A000000, len: 8 }; // 10.0.0.0/8
+        let p = FieldValue::Prefix {
+            value: 0x0A000000,
+            len: 8,
+        }; // 10.0.0.0/8
         assert!(p.matches(u64::from(0x0A010203u32)));
         assert!(!p.matches(u64::from(0x0B010203u32)));
         assert!(FieldValue::Prefix { value: 0, len: 0 }.matches(12345));
@@ -286,8 +286,8 @@ mod tests {
 
     #[test]
     fn lookup_prefers_priority_then_specificity() {
-        let mut table = Table::new("t", vec![MatchField::MmtExperiment])
-            .with_default(vec![Action::Drop]);
+        let mut table =
+            Table::new("t", vec![MatchField::MmtExperiment]).with_default(vec![Action::Drop]);
         table.insert(TableEntry {
             key: vec![FieldValue::Any],
             priority: 0,
@@ -318,8 +318,8 @@ mod tests {
 
     #[test]
     fn default_action_on_miss() {
-        let mut table = Table::new("t", vec![MatchField::MmtExperiment])
-            .with_default(vec![Action::Drop]);
+        let mut table =
+            Table::new("t", vec![MatchField::MmtExperiment]).with_default(vec![Action::Drop]);
         table.insert(TableEntry {
             key: vec![FieldValue::Exact(1)],
             priority: 0,

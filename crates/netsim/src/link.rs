@@ -206,6 +206,8 @@ impl LinkStats {
 pub struct Link {
     /// Static parameters.
     pub spec: LinkSpec,
+    /// Source node index (for telemetry labels).
+    pub src_node: usize,
     /// Destination node index.
     pub dst_node: usize,
     /// Destination port on that node.
@@ -224,10 +226,17 @@ pub struct Link {
 
 impl Link {
     /// Create the runtime state for a link.
-    pub fn new(spec: LinkSpec, dst_node: usize, dst_port: usize, rng: SimRng) -> Link {
+    pub fn new(
+        spec: LinkSpec,
+        src_node: usize,
+        dst_node: usize,
+        dst_port: usize,
+        rng: SimRng,
+    ) -> Link {
         Link {
             queue: TransmitQueue::new(spec.queue),
             spec,
+            src_node,
             dst_node,
             dst_port,
             busy: false,
@@ -314,7 +323,9 @@ mod tests {
         let spec = LinkSpec::new(Bandwidth::gbps(100), Time::from_millis(10))
             .with_loss(LossModel::Random(0.1))
             .with_mtu(1500)
-            .with_queue(QueueSpec::DropTailFifo { capacity_bytes: 1000 });
+            .with_queue(QueueSpec::DropTailFifo {
+                capacity_bytes: 1000,
+            });
         assert_eq!(spec.mtu, 1500);
         assert_eq!(spec.loss, LossModel::Random(0.1));
     }

@@ -15,6 +15,11 @@ pub struct PacketMeta {
     pub created_at: Time,
     /// Experiment-assigned flow label (not on the wire; analysis only).
     pub flow: u64,
+    /// MMT sequence number, mirrored from the header by instrumented
+    /// elements so traces correlate without re-parsing at every hop.
+    pub seq: Option<u64>,
+    /// MMT config (mode) id, mirrored like `seq`.
+    pub config: Option<u64>,
 }
 
 /// A packet: owned bytes plus metadata.

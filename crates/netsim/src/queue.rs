@@ -190,7 +190,9 @@ mod tests {
 
     #[test]
     fn fifo_order_and_occupancy() {
-        let mut q = TransmitQueue::new(QueueSpec::DropTailFifo { capacity_bytes: 100 });
+        let mut q = TransmitQueue::new(QueueSpec::DropTailFifo {
+            capacity_bytes: 100,
+        });
         assert!(q.enqueue(Packet::new(vec![1; 10])));
         assert!(q.enqueue(Packet::new(vec![2; 20])));
         assert_eq!(q.occupancy_bytes(), 30);
@@ -217,7 +219,9 @@ mod tests {
             p.bytes[0]
         }
         let mut q = TransmitQueue::with_classifier(
-            QueueSpec::StrictPriority { capacity_bytes: 1000 },
+            QueueSpec::StrictPriority {
+                capacity_bytes: 1000,
+            },
             by_first_byte,
         );
         assert!(q.enqueue(Packet::new(vec![0, 0])));
@@ -241,7 +245,7 @@ mod tests {
         assert!(q.enqueue(Packet::new(vec![0, 0])));
         assert!(q.enqueue(Packet::new(vec![0, 0])));
         assert!(!q.enqueue(Packet::new(vec![0, 0]))); // band 0 full
-        // Band 3 still has room.
+                                                      // Band 3 still has room.
         assert!(q.enqueue(Packet::new(vec![3, 0])));
     }
 
@@ -251,7 +255,9 @@ mod tests {
             200
         }
         let mut q = TransmitQueue::with_classifier(
-            QueueSpec::StrictPriority { capacity_bytes: 100 },
+            QueueSpec::StrictPriority {
+                capacity_bytes: 100,
+            },
             always_200,
         );
         assert!(q.enqueue(pkt(4)));
@@ -275,7 +281,7 @@ mod tests {
         assert!(q.enqueue(Packet::new(vec![0xA9; 10]))); // aged
         assert!(q.enqueue(Packet::new(vec![0x01; 10]))); // fresh
         assert!(q.enqueue(Packet::new(vec![0x02; 10]))); // fresh
-        // Full. A fresh arrival displaces the aged packet.
+                                                         // Full. A fresh arrival displaces the aged packet.
         assert!(q.enqueue(Packet::new(vec![0x03; 10])));
         assert_eq!(q.shed_aged(), 1);
         assert_eq!(q.dropped(), 1);

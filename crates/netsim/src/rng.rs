@@ -1,10 +1,9 @@
 //! Deterministic PRNG for simulations.
 //!
 //! SplitMix64: tiny, fast, and identical output on every platform, which
-//! keeps whole-simulation results reproducible from a single seed. (The
-//! `rand` crate is used elsewhere in the workspace for workload synthesis;
-//! the simulator core uses this self-contained generator so its behaviour
-//! can never drift with a dependency upgrade.)
+//! keeps whole-simulation results reproducible from a single seed. The
+//! workspace is dependency-free by design; this self-contained generator
+//! means simulator behaviour can never drift with a dependency upgrade.
 
 /// A SplitMix64 pseudo-random number generator.
 #[derive(Debug, Clone)]

@@ -13,7 +13,11 @@ use crate::trace::{Trace, TraceEvent, TraceKind};
 #[derive(Debug)]
 enum EventKind {
     /// A packet arrives at a node's port (propagation finished).
-    Arrive { node: usize, port: PortId, pkt: Packet },
+    Arrive {
+        node: usize,
+        port: PortId,
+        pkt: Packet,
+    },
     /// A link transmitter finished serializing; it may start the next packet.
     TxComplete { link: usize },
     /// A node timer fires.
@@ -70,6 +74,7 @@ pub struct Simulator {
     started: bool,
     trace: Trace,
     actions: Vec<Action>,
+    events_processed: u64,
 }
 
 impl Simulator {
@@ -86,6 +91,7 @@ impl Simulator {
             started: false,
             trace: Trace::disabled(),
             actions: Vec::new(),
+            events_processed: 0,
         }
     }
 
@@ -95,9 +101,170 @@ impl Simulator {
         self.trace = Trace::enabled();
     }
 
+    /// Enable packet tracing with a bounded ring buffer: only the most
+    /// recent `capacity` events are retained (see [`Trace::with_capacity`]
+    /// for the drop semantics).
+    pub fn enable_trace_bounded(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The retained trace as exporter-ready flow-correlated records
+    /// (node names resolved, virtual time flattened to `u64` ns).
+    pub fn trace_records(&self) -> Vec<mmt_telemetry::TraceRecord> {
+        self.trace
+            .events()
+            .iter()
+            .map(|e| mmt_telemetry::TraceRecord {
+                ts_ns: e.time.as_nanos(),
+                kind: e.kind.as_str().to_string(),
+                node: e.node.map(|n| n as u64),
+                node_name: e.node.map(|n| self.nodes[n].name.clone()),
+                link: e.link.map(|l| l as u64),
+                packet_id: e.packet_id,
+                flow: e.flow,
+                seq: e.seq,
+                config: e.config,
+                len_bytes: e.len as u64,
+            })
+            .collect()
+    }
+
+    /// Export simulator-level metrics into a registry: per-link counters,
+    /// throughput/utilization/occupancy, per-node unrouted drops, and
+    /// event-loop totals. Link series are labeled `link` (index), `src`,
+    /// and `dst` (node names); everything is a snapshot at `now`.
+    pub fn export_metrics(&self, reg: &mut mmt_telemetry::MetricRegistry) {
+        use crate::time::Time;
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.describe("mmt_sim_now_ns", "current virtual time");
+        reg.gauge_set("mmt_sim_now_ns", &[], self.now.as_nanos() as f64);
+        reg.describe("mmt_sim_events_total", "simulator events processed");
+        reg.counter_add("mmt_sim_events_total", &[], self.events_processed);
+        reg.describe(
+            "mmt_sim_trace_dropped_total",
+            "trace events evicted by the bounded ring buffer",
+        );
+        reg.counter_add("mmt_sim_trace_dropped_total", &[], self.trace.dropped());
+        reg.describe(
+            "mmt_node_unrouted_drops_total",
+            "packets sent out of unconnected ports",
+        );
+        reg.describe(
+            "mmt_node_local_deliveries_total",
+            "packets handed to the local app",
+        );
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let idx_s = idx.to_string();
+            let labels = [("node", idx_s.as_str()), ("name", node.name.as_str())];
+            reg.counter_add(
+                "mmt_node_unrouted_drops_total",
+                &labels,
+                node.unrouted_drops,
+            );
+            reg.counter_add(
+                "mmt_node_local_deliveries_total",
+                &labels,
+                node.local.len() as u64,
+            );
+        }
+        reg.describe(
+            "mmt_link_offered_packets_total",
+            "packets handed to the link",
+        );
+        reg.describe("mmt_link_offered_bytes_total", "bytes handed to the link");
+        reg.describe("mmt_link_tx_packets_total", "packets fully serialized");
+        reg.describe("mmt_link_tx_bytes_total", "bytes fully serialized");
+        reg.describe(
+            "mmt_link_delivered_packets_total",
+            "packets delivered to the far end",
+        );
+        reg.describe(
+            "mmt_link_mtu_drops_total",
+            "packets dropped for exceeding the MTU",
+        );
+        reg.describe(
+            "mmt_link_queue_drops_total",
+            "packets dropped by the output queue",
+        );
+        reg.describe(
+            "mmt_link_corruption_losses_total",
+            "packets lost to corruption",
+        );
+        reg.describe(
+            "mmt_link_queue_shed_aged_total",
+            "aged packets shed by the deadline-aware queue",
+        );
+        reg.describe(
+            "mmt_link_utilization",
+            "transmitter busy fraction since t=0",
+        );
+        reg.describe("mmt_link_throughput_bps", "achieved throughput since t=0");
+        reg.describe(
+            "mmt_link_queue_occupancy_bytes",
+            "bytes queued at export time",
+        );
+        reg.describe(
+            "mmt_link_queue_occupancy_packets",
+            "packets queued at export time",
+        );
+        let elapsed = if self.now == Time::ZERO {
+            Time::from_nanos(1)
+        } else {
+            self.now
+        };
+        for (idx, link) in self.links.iter().enumerate() {
+            let idx_s = idx.to_string();
+            let labels = [
+                ("link", idx_s.as_str()),
+                ("src", self.nodes[link.src_node].name.as_str()),
+                ("dst", self.nodes[link.dst_node].name.as_str()),
+            ];
+            let s = &link.stats;
+            reg.counter_add("mmt_link_offered_packets_total", &labels, s.offered_packets);
+            reg.counter_add("mmt_link_offered_bytes_total", &labels, s.offered_bytes);
+            reg.counter_add("mmt_link_tx_packets_total", &labels, s.tx_packets);
+            reg.counter_add("mmt_link_tx_bytes_total", &labels, s.tx_bytes);
+            reg.counter_add(
+                "mmt_link_delivered_packets_total",
+                &labels,
+                s.delivered_packets,
+            );
+            reg.counter_add("mmt_link_mtu_drops_total", &labels, s.mtu_drops);
+            reg.counter_add("mmt_link_queue_drops_total", &labels, s.queue_drops);
+            reg.counter_add(
+                "mmt_link_corruption_losses_total",
+                &labels,
+                s.corruption_losses,
+            );
+            reg.counter_add(
+                "mmt_link_queue_shed_aged_total",
+                &labels,
+                link.queue.shed_aged(),
+            );
+            reg.gauge_set("mmt_link_utilization", &labels, s.utilization(elapsed));
+            reg.gauge_set(
+                "mmt_link_throughput_bps",
+                &labels,
+                s.throughput_bps(elapsed),
+            );
+            reg.gauge_set(
+                "mmt_link_queue_occupancy_bytes",
+                &labels,
+                link.queue.occupancy_bytes() as f64,
+            );
+            reg.gauge_set(
+                "mmt_link_queue_occupancy_packets",
+                &labels,
+                link.queue.occupancy_packets() as f64,
+            );
+        }
     }
 
     /// Current virtual time.
@@ -155,7 +322,8 @@ impl Simulator {
     ) -> LinkId {
         let link_idx = self.links.len();
         let rng = self.rng.fork(link_idx as u64 + 0x1000);
-        self.links.push(Link::new(spec, dst.0, dst_port, rng));
+        self.links
+            .push(Link::new(spec, src.0, dst.0, dst_port, rng));
         let ports = &mut self.nodes[src.0].ports;
         if ports.len() <= src_port {
             ports.resize(src_port + 1, None);
@@ -234,10 +402,7 @@ impl Simulator {
 
     /// Downcast a node's behaviour mutably.
     pub fn node_as_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
-        self.nodes[node.0]
-            .behavior
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.nodes[node.0].behavior.as_any_mut().downcast_mut::<T>()
     }
 
     fn push_event(&mut self, at: Time, kind: EventKind) {
@@ -288,6 +453,9 @@ impl Simulator {
                         link: None,
                         packet_id: pkt.meta.id,
                         len: pkt.len(),
+                        flow: pkt.meta.flow,
+                        seq: pkt.meta.seq,
+                        config: pkt.meta.config,
                     });
                     self.nodes[idx].local.push((self.now, pkt));
                 }
@@ -320,10 +488,13 @@ impl Simulator {
                 link: Some(link_idx),
                 packet_id: pkt.meta.id,
                 len: pkt.len(),
+                flow: pkt.meta.flow,
+                seq: pkt.meta.seq,
+                config: pkt.meta.config,
             });
             return;
         }
-        let pkt_id = pkt.meta.id;
+        let meta = pkt.meta;
         let len = pkt.len();
         if !link.queue.enqueue(pkt) {
             link.stats.queue_drops += 1;
@@ -332,8 +503,11 @@ impl Simulator {
                 kind: TraceKind::QueueDrop,
                 node: Some(node_idx),
                 link: Some(link_idx),
-                packet_id: pkt_id,
+                packet_id: meta.id,
                 len,
+                flow: meta.flow,
+                seq: meta.seq,
+                config: meta.config,
             });
             return;
         }
@@ -342,8 +516,11 @@ impl Simulator {
             kind: TraceKind::Enqueue,
             node: Some(node_idx),
             link: Some(link_idx),
-            packet_id: pkt_id,
+            packet_id: meta.id,
             len,
+            flow: meta.flow,
+            seq: meta.seq,
+            config: meta.config,
         });
         if !self.links[link_idx].busy {
             self.start_tx(link_idx);
@@ -368,7 +545,7 @@ impl Simulator {
         let arrive_at = self.now + tx + link.spec.propagation;
         let tx_done = self.now + tx;
         let (dst_node, dst_port) = (link.dst_node, link.dst_port);
-        let pkt_id = pkt.meta.id;
+        let meta = pkt.meta;
         let len = pkt.len();
         if lost {
             link.stats.corruption_losses += 1;
@@ -377,8 +554,11 @@ impl Simulator {
                 kind: TraceKind::CorruptionLoss,
                 node: None,
                 link: Some(link_idx),
-                packet_id: pkt_id,
+                packet_id: meta.id,
                 len,
+                flow: meta.flow,
+                seq: meta.seq,
+                config: meta.config,
             });
         } else {
             link.stats.delivered_packets += 1;
@@ -402,6 +582,7 @@ impl Simulator {
         };
         debug_assert!(event.at >= self.now, "time went backwards");
         self.now = event.at;
+        self.events_processed += 1;
         match event.kind {
             EventKind::Arrive { node, port, pkt } => {
                 self.trace.record(TraceEvent {
@@ -411,6 +592,9 @@ impl Simulator {
                     link: None,
                     packet_id: pkt.meta.id,
                     len: pkt.len(),
+                    flow: pkt.meta.flow,
+                    seq: pkt.meta.seq,
+                    config: pkt.meta.config,
                 });
                 self.call_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
             }
@@ -434,10 +618,7 @@ impl Simulator {
     /// `deadline` are processed) or the queue drains.
     pub fn run_until(&mut self, deadline: Time) {
         self.ensure_started();
-        loop {
-            let Some(Reverse(head)) = self.events.peek() else {
-                break;
-            };
+        while let Some(Reverse(head)) = self.events.peek() {
             if head.at > deadline {
                 self.now = deadline;
                 break;
@@ -542,7 +723,13 @@ mod tests {
     fn corruption_loss_drops_packets_deterministically() {
         let run = |seed| {
             let mut sim = Simulator::new(seed);
-            let src = sim.add_node("src", Box::new(Burst { n: 1000, size: 1000 }));
+            let src = sim.add_node(
+                "src",
+                Box::new(Burst {
+                    n: 1000,
+                    size: 1000,
+                }),
+            );
             let dst = sim.add_node("dst", Box::new(Sink));
             sim.add_oneway(
                 src,
@@ -697,7 +884,11 @@ mod tests {
         let kinds: Vec<TraceKind> = sim.trace().events().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
-            vec![TraceKind::Enqueue, TraceKind::Arrive, TraceKind::LocalDeliver]
+            vec![
+                TraceKind::Enqueue,
+                TraceKind::Arrive,
+                TraceKind::LocalDeliver
+            ]
         );
     }
 

@@ -7,6 +7,12 @@ use crate::time::Time;
 /// Simulations produce at most millions of samples, so keeping them all and
 /// sorting on demand is both exact and fast enough; no approximate sketch
 /// is needed.
+///
+/// Quantiles use the **nearest-rank** definition: for `n` samples the
+/// `q`-quantile is the sample at sorted index `round((n − 1) · q)`. So
+/// with one sample every quantile is that sample; with two samples every
+/// `q < 0.5` returns the lower and every `q ≥ 0.5` the upper; `q = 0` and
+/// `q = 1` are always the exact min and max.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     samples_ns: Vec<u64>,
@@ -58,13 +64,26 @@ impl LatencyHistogram {
         self.quantile(0.5)
     }
 
+    /// The 99th-percentile latency.
+    pub fn p99(&mut self) -> Option<Time> {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th-percentile latency (the tail the paper's deadline
+    /// arguments care about).
+    pub fn p999(&mut self) -> Option<Time> {
+        self.quantile(0.999)
+    }
+
     /// Mean latency.
     pub fn mean(&self) -> Option<Time> {
         if self.samples_ns.is_empty() {
             return None;
         }
         let sum: u128 = self.samples_ns.iter().map(|&v| u128::from(v)).sum();
-        Some(Time::from_nanos((sum / self.samples_ns.len() as u128) as u64))
+        Some(Time::from_nanos(
+            (sum / self.samples_ns.len() as u128) as u64,
+        ))
     }
 
     /// Minimum.
@@ -77,10 +96,40 @@ impl LatencyHistogram {
         self.samples_ns.iter().max().map(|&v| Time::from_nanos(v))
     }
 
+    /// Population standard deviation in nanoseconds (0.0 with fewer than
+    /// two samples).
+    pub fn stddev_ns(&self) -> f64 {
+        let n = self.samples_ns.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&v| u128::from(v)).sum();
+        let mean = sum as f64 / n as f64;
+        let var = self
+            .samples_ns
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         self.samples_ns.extend_from_slice(&other.samples_ns);
         self.sorted = false;
+    }
+
+    /// Copy the samples into a telemetry histogram (for registry export).
+    pub fn to_ns_histogram(&self) -> mmt_telemetry::NsHistogram {
+        let mut h = mmt_telemetry::NsHistogram::new();
+        for &v in &self.samples_ns {
+            h.record(v);
+        }
+        h
     }
 }
 
@@ -163,6 +212,60 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max().unwrap().as_millis(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_edges() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.stddev_ns(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Time::from_nanos(7));
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q).unwrap().as_nanos(), 7);
+        }
+        assert_eq!(h.p999().unwrap().as_nanos(), 7);
+        assert_eq!(h.mean().unwrap().as_nanos(), 7);
+        assert_eq!(h.stddev_ns(), 0.0);
+    }
+
+    #[test]
+    fn two_sample_edges() {
+        let mut h = LatencyHistogram::new();
+        h.record(Time::from_nanos(10));
+        h.record(Time::from_nanos(20));
+        // Nearest rank: round((2−1)·q) picks index 0 below 0.5, 1 at ≥0.5.
+        assert_eq!(h.quantile(0.49).unwrap().as_nanos(), 10);
+        assert_eq!(h.quantile(0.5).unwrap().as_nanos(), 20);
+        assert_eq!(h.p99().unwrap().as_nanos(), 20);
+        assert_eq!(h.p999().unwrap().as_nanos(), 20);
+        assert_eq!(h.mean().unwrap().as_nanos(), 15);
+        assert!((h.stddev_ns() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p999_separates_tail() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(Time::from_nanos(v));
+        }
+        // Nearest rank: round(9999·0.99) = 9899 → sample 9900, and
+        // round(9999·0.999) = 9989 → sample 9990.
+        assert_eq!(h.p99().unwrap().as_nanos(), 9_900);
+        assert_eq!(h.p999().unwrap().as_nanos(), 9_990);
+        let t = h.to_ns_histogram();
+        assert_eq!(t.count(), 10_000);
+        assert_eq!(t.max(), Some(10_000));
     }
 
     #[test]

@@ -211,7 +211,10 @@ mod tests {
         assert_eq!((t - Time::from_millis(5)).as_millis(), 10);
         assert_eq!((t * 2).as_millis(), 30);
         assert_eq!((t / 3).as_millis(), 5);
-        assert_eq!(Time::from_millis(1).saturating_sub(Time::from_millis(2)), Time::ZERO);
+        assert_eq!(
+            Time::from_millis(1).saturating_sub(Time::from_millis(2)),
+            Time::ZERO
+        );
         let mut u = Time::ZERO;
         u += Time::from_nanos(7);
         assert_eq!(u.as_nanos(), 7);
@@ -237,7 +240,10 @@ mod tests {
         // 9000-byte jumbo at 100 Gb/s = 720 ns.
         assert_eq!(Bandwidth::gbps(100).tx_time(9000), Time::from_nanos(720));
         // Rounds up: 1 byte at 3 bps = ceil(8e9/3) ns.
-        assert_eq!(Bandwidth::bps(3).tx_time(1), Time::from_nanos(2_666_666_667));
+        assert_eq!(
+            Bandwidth::bps(3).tx_time(1),
+            Time::from_nanos(2_666_666_667)
+        );
     }
 
     #[test]
@@ -247,7 +253,7 @@ mod tests {
         let bytes = bw.bytes_in(t);
         // tx_time rounds up to a whole nanosecond; at 100 Gb/s one
         // nanosecond carries 12.5 bytes, so allow that much slack.
-        assert!(bytes >= 123_456 && bytes <= 123_456 + 13, "{bytes}");
+        assert!((123_456..=123_456 + 13).contains(&bytes), "{bytes}");
     }
 
     #[test]

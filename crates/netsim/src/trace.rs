@@ -1,6 +1,8 @@
-//! Per-packet event tracing (optional; for debugging and fine assertions).
+//! Per-packet event tracing (optional; for debugging, fine assertions,
+//! and machine-readable export via `mmt-telemetry`).
 
 use crate::time::Time;
+use std::collections::VecDeque;
 
 /// What happened to a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +21,20 @@ pub enum TraceKind {
     LocalDeliver,
 }
 
+impl TraceKind {
+    /// Stable snake_case name used by every exporter.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Enqueue => "enqueue",
+            TraceKind::QueueDrop => "queue_drop",
+            TraceKind::MtuDrop => "mtu_drop",
+            TraceKind::CorruptionLoss => "corruption_loss",
+            TraceKind::Arrive => "arrive",
+            TraceKind::LocalDeliver => "local_deliver",
+        }
+    }
+}
+
 /// One trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -34,13 +50,29 @@ pub struct TraceEvent {
     pub packet_id: u64,
     /// The packet's wire length.
     pub len: usize,
+    /// The packet's flow label (from [`crate::PacketMeta`]).
+    pub flow: u64,
+    /// MMT sequence number, when an instrumented element stamped one.
+    pub seq: Option<u64>,
+    /// MMT config (mode) id, when known.
+    pub config: Option<u64>,
 }
 
 /// A packet-event recorder.
+///
+/// Three capacity modes:
+/// * [`Trace::disabled`] — discards everything (zero cost).
+/// * [`Trace::enabled`] — keeps every event (unbounded memory).
+/// * [`Trace::with_capacity`] — bounded ring buffer: once full, each new
+///   event evicts the **oldest** one (keep-last semantics, so the tail of
+///   the run — usually where the interesting failure is — survives), and
+///   [`Trace::dropped`] counts the evictions.
 #[derive(Debug)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    capacity: Option<usize>,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
 }
 
 impl Trace {
@@ -48,7 +80,9 @@ impl Trace {
     pub fn disabled() -> Trace {
         Trace {
             enabled: false,
-            events: Vec::new(),
+            capacity: None,
+            events: VecDeque::new(),
+            dropped: 0,
         }
     }
 
@@ -56,20 +90,54 @@ impl Trace {
     pub fn enabled() -> Trace {
         Trace {
             enabled: true,
-            events: Vec::new(),
+            capacity: None,
+            events: VecDeque::new(),
+            dropped: 0,
         }
+    }
+
+    /// A recorder that keeps the most recent `capacity` events; older
+    /// events are evicted FIFO and counted in [`Trace::dropped`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            enabled: true,
+            capacity: Some(capacity),
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     /// Record an event (no-op when disabled).
     pub fn record(&mut self, event: TraceEvent) {
-        if self.enabled {
-            self.events.push(event);
+        if !self.enabled {
+            return;
         }
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
     }
 
-    /// All recorded events, in order.
-    pub fn events(&self) -> &[TraceEvent] {
+    /// All retained events, in order (oldest first).
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
+    }
+
+    /// How many events the ring buffer evicted (0 in unbounded mode).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Events concerning one packet.
@@ -98,6 +166,9 @@ mod tests {
             link: None,
             packet_id,
             len: 0,
+            flow: 0,
+            seq: None,
+            config: None,
         }
     }
 
@@ -106,6 +177,7 @@ mod tests {
         let mut t = Trace::disabled();
         t.record(ev(TraceKind::Arrive, 1));
         assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
     }
 
     #[test]
@@ -118,5 +190,23 @@ mod tests {
         assert_eq!(t.for_packet(1).len(), 2);
         assert_eq!(t.count(TraceKind::Arrive), 2);
         assert_eq!(t.count(TraceKind::QueueDrop), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_last_n() {
+        let mut t = Trace::with_capacity(3);
+        for id in 1..=5 {
+            t.record(ev(TraceKind::Arrive, id));
+        }
+        let ids: Vec<u64> = t.events().iter().map(|e| e.packet_id).collect();
+        assert_eq!(ids, vec![3, 4, 5], "oldest events evicted first");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        Trace::with_capacity(0);
     }
 }

@@ -1,7 +1,7 @@
-//! Property tests for the simulator core: determinism, conservation, and
-//! timing laws that every experiment implicitly relies on.
-
-use proptest::prelude::*;
+//! Seeded randomized tests for the simulator core: determinism,
+//! conservation, and timing laws that every experiment implicitly relies
+//! on. Cases are generated with the simulator's own `SimRng`, so every
+//! failure replays exactly from the constants below.
 
 use mmt_netsim::{
     Bandwidth, Context, LinkSpec, LossModel, Node, Packet, PortId, QueueSpec, SimRng, Simulator,
@@ -39,6 +39,13 @@ impl Node for Burst {
     }
 }
 
+fn gen_sizes(rng: &mut SimRng, min: usize, max: usize, count_max: u64) -> Vec<usize> {
+    let n = 1 + rng.next_bounded(count_max) as usize;
+    (0..n)
+        .map(|_| min + rng.next_bounded((max - min) as u64) as usize)
+        .collect()
+}
+
 fn run_once(
     seed: u64,
     sizes: &[usize],
@@ -47,7 +54,12 @@ fn run_once(
     prop_us: u64,
 ) -> (usize, Vec<u64>, Time) {
     let mut sim = Simulator::new(seed);
-    let src = sim.add_node("src", Box::new(Burst { sizes: sizes.to_vec() }));
+    let src = sim.add_node(
+        "src",
+        Box::new(Burst {
+            sizes: sizes.to_vec(),
+        }),
+    );
     let dst = sim.add_node("dst", Box::new(Sink));
     sim.add_oneway(
         src,
@@ -66,31 +78,38 @@ fn run_once(
     (sim.local_deliveries(dst).len(), arrivals, sim.now())
 }
 
-proptest! {
-    /// Identical seeds yield byte-identical outcomes (the reproducibility
-    /// every EXPERIMENTS.md number rests on).
-    #[test]
-    fn simulation_is_deterministic(
-        seed in any::<u64>(),
-        sizes in proptest::collection::vec(64usize..9000, 1..60),
-        loss in 0.0f64..0.5,
-    ) {
+/// Identical seeds yield byte-identical outcomes (the reproducibility
+/// every EXPERIMENTS.md number rests on).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SimRng::new(0x5EED_0001);
+    for _ in 0..30 {
+        let seed = rng.next_u64();
+        let sizes = gen_sizes(&mut rng, 64, 9000, 59);
+        let loss = rng.next_f64() * 0.5;
         let a = run_once(seed, &sizes, loss, 10, 50);
         let b = run_once(seed, &sizes, loss, 10, 50);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Conservation: delivered + corruption losses + queue drops + MTU
-    /// drops == offered, on every link.
-    #[test]
-    fn link_conserves_packets(
-        seed in any::<u64>(),
-        sizes in proptest::collection::vec(64usize..12_000, 1..80),
-        loss in 0.0f64..0.3,
-        cap_kb in 1usize..64,
-    ) {
+/// Conservation: delivered + corruption losses + queue drops + MTU
+/// drops == offered, on every link.
+#[test]
+fn link_conserves_packets() {
+    let mut rng = SimRng::new(0x5EED_0002);
+    for _ in 0..30 {
+        let seed = rng.next_u64();
+        let sizes = gen_sizes(&mut rng, 64, 12_000, 79);
+        let loss = rng.next_f64() * 0.3;
+        let cap_kb = 1 + rng.next_bounded(63) as usize;
         let mut sim = Simulator::new(seed);
-        let src = sim.add_node("src", Box::new(Burst { sizes: sizes.clone() }));
+        let src = sim.add_node(
+            "src",
+            Box::new(Burst {
+                sizes: sizes.clone(),
+            }),
+        );
         let dst = sim.add_node("dst", Box::new(Sink));
         let link = sim.add_oneway(
             src,
@@ -99,49 +118,60 @@ proptest! {
             0,
             LinkSpec::new(Bandwidth::gbps(1), Time::from_micros(10))
                 .with_loss(LossModel::Random(loss))
-                .with_queue(QueueSpec::DropTailFifo { capacity_bytes: cap_kb * 1024 }),
+                .with_queue(QueueSpec::DropTailFifo {
+                    capacity_bytes: cap_kb * 1024,
+                }),
         );
         sim.run();
         let s = *sim.link_stats(link);
-        prop_assert_eq!(s.offered_packets, sizes.len() as u64);
-        prop_assert_eq!(
+        assert_eq!(s.offered_packets, sizes.len() as u64);
+        assert_eq!(
             s.delivered_packets + s.corruption_losses + s.queue_drops + s.mtu_drops,
             s.offered_packets
         );
-        prop_assert_eq!(sim.local_deliveries(dst).len() as u64, s.delivered_packets);
+        assert_eq!(sim.local_deliveries(dst).len() as u64, s.delivered_packets);
     }
+}
 
-    /// Timing law: every arrival is ≥ serialization + propagation after
-    /// its send, and arrivals preserve FIFO order on one link.
-    #[test]
-    fn arrivals_respect_physics(
-        sizes in proptest::collection::vec(64usize..9000, 1..40),
-        rate_gbps in 1u64..100,
-        prop_us in 1u64..1000,
-    ) {
+/// Timing law: every arrival is ≥ serialization + propagation after
+/// its send, and arrivals preserve FIFO order on one link.
+#[test]
+fn arrivals_respect_physics() {
+    let mut rng = SimRng::new(0x5EED_0003);
+    for _ in 0..30 {
+        let sizes = gen_sizes(&mut rng, 64, 9000, 39);
+        let rate_gbps = 1 + rng.next_bounded(99);
+        let prop_us = 1 + rng.next_bounded(999);
         let (_, arrivals, _) = run_once(1, &sizes, 0.0, rate_gbps, prop_us);
-        prop_assert_eq!(arrivals.len(), sizes.len());
+        assert_eq!(arrivals.len(), sizes.len());
         let bw = Bandwidth::gbps(rate_gbps);
         let prop_ns = prop_us * 1_000;
         // FIFO order and a physical lower bound per packet.
         let mut cursor = 0u64; // serialization completion time
         for (i, &at) in arrivals.iter().enumerate() {
             cursor += bw.tx_time(sizes[i]).as_nanos();
-            prop_assert_eq!(at, cursor + prop_ns, "packet {} timing", i);
+            assert_eq!(at, cursor + prop_ns, "packet {i} timing");
         }
     }
+}
 
-    /// The Gilbert–Elliott model's long-run loss matches its configured
-    /// average across seeds.
-    #[test]
-    fn bursty_loss_average_holds(seed in any::<u64>(), avg in 0.005f64..0.05) {
+/// The Gilbert–Elliott model's long-run loss matches its configured
+/// average across seeds.
+#[test]
+fn bursty_loss_average_holds() {
+    let mut rng = SimRng::new(0x5EED_0004);
+    for _ in 0..8 {
+        let seed = rng.next_u64();
+        let avg = 0.005 + rng.next_f64() * 0.045;
         let model = LossModel::bursty(avg, 10.0);
-        let mut rng = SimRng::new(seed);
+        let mut loss_rng = SimRng::new(seed);
         let mut state = mmt_netsim::LossState::default();
         let n = 300_000u32;
-        let losses = (0..n).filter(|_| model.lose(&mut rng, 1500, &mut state)).count();
+        let losses = (0..n)
+            .filter(|_| model.lose(&mut loss_rng, 1500, &mut state))
+            .count();
         let measured = losses as f64 / n as f64;
-        prop_assert!(
+        assert!(
             (measured - avg).abs() < avg * 0.5 + 0.002,
             "configured {avg}, measured {measured}"
         );

@@ -85,7 +85,12 @@ impl Node for UnicastFanout {
 }
 
 fn sender(exp: ExperimentId) -> MmtSender {
-    MmtSender::new(SenderConfig::regular(exp, ALERT_BYTES, Time::from_micros(1), 1))
+    MmtSender::new(SenderConfig::regular(
+        exp,
+        ALERT_BYTES,
+        Time::from_micros(1),
+        1,
+    ))
 }
 
 fn subscriber_link() -> LinkSpec {
@@ -127,7 +132,13 @@ pub fn run_mmt(subscribers: usize) -> AlertResult {
         0,
         LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(5)),
     );
-    sim.connect(dup, 1, archive, 0, LinkSpec::new(Bandwidth::gbps(100), Time::from_millis(5)));
+    sim.connect(
+        dup,
+        1,
+        archive,
+        0,
+        LinkSpec::new(Bandwidth::gbps(100), Time::from_millis(5)),
+    );
     let subs: Vec<NodeId> = (0..subscribers)
         .map(|i| {
             let n = sim.add_node(&format!("researcher-{i}"), Box::new(Sink));

@@ -84,15 +84,24 @@ pub fn run_aqm(deadline_aware: bool, packets_per_kind: usize, seed: u64) -> AqmR
             self
         }
     }
-    let src = sim.add_node("src", Box::new(Blast { n: packets_per_kind }));
+    let src = sim.add_node(
+        "src",
+        Box::new(Blast {
+            n: packets_per_kind,
+        }),
+    );
     let dst = sim.add_node("dst", Box::new(Sink));
     // A queue that can hold all the fresh packets (with headroom) but
     // not the aged ones too: shedding policy decides who survives.
     let capacity = packets_per_kind * 2100 * 12 / 10;
     let queue = if deadline_aware {
-        QueueSpec::DeadlineAware { capacity_bytes: capacity }
+        QueueSpec::DeadlineAware {
+            capacity_bytes: capacity,
+        }
     } else {
-        QueueSpec::DropTailFifo { capacity_bytes: capacity }
+        QueueSpec::DropTailFifo {
+            capacity_bytes: capacity,
+        }
     };
     let link = sim.add_oneway(
         src,
@@ -102,7 +111,8 @@ pub fn run_aqm(deadline_aware: bool, packets_per_kind: usize, seed: u64) -> AqmR
         LinkSpec::new(Bandwidth::gbps(1), Time::from_micros(10)).with_queue(queue),
     );
     if deadline_aware {
-        sim.link_mut(link).set_classifier(classify::aged_shed_classifier);
+        sim.link_mut(link)
+            .set_classifier(classify::aged_shed_classifier);
     }
     sim.run();
     let fresh = count_kind(&sim, dst, false);
@@ -112,7 +122,11 @@ pub fn run_aqm(deadline_aware: bool, packets_per_kind: usize, seed: u64) -> AqmR
     // alone would miss it).
     let drops = sim.link_mut(link).queue.dropped();
     AqmResult {
-        queue: if deadline_aware { "deadline-aware" } else { "drop-tail" },
+        queue: if deadline_aware {
+            "deadline-aware"
+        } else {
+            "drop-tail"
+        },
         fresh_delivery_ratio: fresh as f64 / packets_per_kind as f64,
         aged_delivery_ratio: aged as f64 / packets_per_kind as f64,
         drops,
@@ -180,9 +194,13 @@ pub fn run_priority(strict_priority: bool, seed: u64) -> PriorityResult {
     let src = sim.add_node("src", Box::new(Mix));
     let dst = sim.add_node("dst", Box::new(Sink));
     let queue = if strict_priority {
-        QueueSpec::StrictPriority { capacity_bytes: 64 * 1024 * 1024 }
+        QueueSpec::StrictPriority {
+            capacity_bytes: 64 * 1024 * 1024,
+        }
     } else {
-        QueueSpec::DropTailFifo { capacity_bytes: 64 * 1024 * 1024 }
+        QueueSpec::DropTailFifo {
+            capacity_bytes: 64 * 1024 * 1024,
+        }
     };
     let link = sim.add_oneway(
         src,
@@ -206,7 +224,11 @@ pub fn run_priority(strict_priority: bool, seed: u64) -> PriorityResult {
         }
     }
     PriorityResult {
-        queue: if strict_priority { "strict-priority" } else { "drop-tail FIFO" },
+        queue: if strict_priority {
+            "strict-priority"
+        } else {
+            "drop-tail FIFO"
+        },
         alert_max_latency: worst,
         alerts_delivered: alerts,
     }

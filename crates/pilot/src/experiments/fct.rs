@@ -15,7 +15,7 @@
 //!   path: source retransmission *plus* a congestion-window collapse per
 //!   loss.
 
-use mmt_core::buffer::{RetransmitBuffer, CreditConfig, PORT_DAQ, PORT_WAN};
+use mmt_core::buffer::{CreditConfig, RetransmitBuffer, PORT_DAQ, PORT_WAN};
 use mmt_core::receiver::{MmtReceiver, ReceiverConfig};
 use mmt_core::sender::{MmtSender, SenderConfig};
 use mmt_core::transit::TransitBuffer;
@@ -115,7 +115,12 @@ fn run_mmt(p: &FctParams, nearest: bool) -> FctResult {
     let count = message_count(p);
     let sensor = sim.add_node(
         "sensor",
-        Box::new(MmtSender::new(SenderConfig::regular(exp, MSG, gap(p), count))),
+        Box::new(MmtSender::new(SenderConfig::regular(
+            exp,
+            MSG,
+            gap(p),
+            count,
+        ))),
     );
     let dtn1_addr = Ipv4Address::new(10, 0, 0, 5);
     let dtn1 = sim.add_node(
@@ -158,10 +163,15 @@ fn run_mmt(p: &FctParams, nearest: bool) -> FctResult {
     sim.connect(sensor, 0, dtn1, PORT_DAQ, short);
     let wan1 = LinkSpec::new(p.bandwidth, p.rtt1 / 2);
     sim.connect(dtn1, PORT_WAN, mid, 0, wan1);
-    let wan2 =
-        LinkSpec::new(p.bandwidth, p.rtt2 / 2).with_loss(LossModel::Random(p.loss));
+    let wan2 = LinkSpec::new(p.bandwidth, p.rtt2 / 2).with_loss(LossModel::Random(p.loss));
     let (wan2_fwd, _) = sim.connect(mid, 1, check, 0, wan2);
-    sim.connect(check, 1, receiver, 0, LinkSpec::new(p.bandwidth, Time::from_micros(1)));
+    sim.connect(
+        check,
+        1,
+        receiver,
+        0,
+        LinkSpec::new(p.bandwidth, Time::from_micros(1)),
+    );
 
     let horizon = Time::from_secs(600);
     sim.run_until(horizon);
@@ -172,7 +182,10 @@ fn run_mmt(p: &FctParams, nearest: bool) -> FctResult {
         let m = sim.node_as::<TransitBuffer>(mid).unwrap();
         m.stats.served + m.stats.renaked
     } else {
-        sim.node_as::<RetransmitBuffer>(dtn1).unwrap().stats.retransmitted
+        sim.node_as::<RetransmitBuffer>(dtn1)
+            .unwrap()
+            .stats
+            .retransmitted
     };
     FctResult {
         variant: if nearest {
@@ -199,10 +212,15 @@ fn run_tcp(p: &FctParams) -> FctResult {
         "rcv",
         Box::new(TcpReceiver::new(1, MSG, profile.max_window_bytes)),
     );
-    sim.connect(snd, 0, r1, 0, LinkSpec::new(p.bandwidth, Time::from_micros(5)));
+    sim.connect(
+        snd,
+        0,
+        r1,
+        0,
+        LinkSpec::new(p.bandwidth, Time::from_micros(5)),
+    );
     sim.connect(r1, 1, r2, 0, LinkSpec::new(p.bandwidth, p.rtt1 / 2));
-    let wan2 =
-        LinkSpec::new(p.bandwidth, p.rtt2 / 2).with_loss(LossModel::Random(p.loss));
+    let wan2 = LinkSpec::new(p.bandwidth, p.rtt2 / 2).with_loss(LossModel::Random(p.loss));
     let (wan2_fwd, _) = sim.connect(r2, 1, rcv, 0, wan2);
     let horizon = Time::from_secs(600);
     sim.run_until(horizon);
@@ -284,7 +302,10 @@ mod tests {
     fn lossless_path_needs_no_retransmissions() {
         let mut p = small();
         p.loss = 0.0;
-        for v in [FctVariant::MmtNearestBuffer, FctVariant::MmtSourceRetransmit] {
+        for v in [
+            FctVariant::MmtNearestBuffer,
+            FctVariant::MmtSourceRetransmit,
+        ] {
             let r = run(&p, v);
             assert!(r.completed);
             assert_eq!(r.retransmissions, 0);

@@ -232,10 +232,7 @@ mod tests {
         );
         assert!(tcp_p50 >= mmt_p50, "p50: tcp {tcp_p50} mmt {mmt_p50}");
         // TCP's p99 blows up relative to MMT's (HOL + window collapse).
-        assert!(
-            tcp_p99 > mmt_p99 * 2,
-            "p99: tcp {tcp_p99} vs mmt {mmt_p99}"
-        );
+        assert!(tcp_p99 > mmt_p99 * 2, "p99: tcp {tcp_p99} vs mmt {mmt_p99}");
     }
 
     #[test]

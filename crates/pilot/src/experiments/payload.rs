@@ -19,9 +19,7 @@ use super::util::Sink;
 use mmt_daq::storage::ContainerWriter;
 use mmt_daq::supernova::BurstDetector;
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
-use mmt_netsim::{
-    Bandwidth, Context, LinkSpec, Node, Packet, PortId, Simulator, Time, TimerToken,
-};
+use mmt_netsim::{Bandwidth, Context, LinkSpec, Node, Packet, PortId, Simulator, Time, TimerToken};
 use mmt_wire::daq::{DuneSubHeader, SubHeader, TriggerRecord};
 use mmt_wire::mmt::{ExperimentId, MmtRepr};
 use mmt_wire::EthernetAddress;
@@ -147,7 +145,9 @@ impl Node for StorageGateway {
         let Some(off) = parsed.layers.mmt_offset() else {
             return;
         };
-        let Some(repr) = parsed.mmt_repr() else { return };
+        let Some(repr) = parsed.mmt_repr() else {
+            return;
+        };
         let payload = &parsed.bytes[off + repr.header_len()..];
         match TriggerRecord::decode(payload) {
             Ok(record) => {
@@ -216,8 +216,7 @@ impl Node for InPathAlertMonitor {
                         self.detected_at = Some(t);
                         // Emit the multi-domain alert with priority.
                         let mut rng = mmt_netsim::SimRng::new(ctx.now().as_nanos());
-                        let alert =
-                            mmt_daq::supernova::SupernovaAlert::from_detection(t, &mut rng);
+                        let alert = mmt_daq::supernova::SupernovaAlert::from_detection(t, &mut rng);
                         let repr = MmtRepr::data(self.experiment).with_priority(3);
                         let frame = build_eth_mmt_frame(
                             EthernetAddress([2, 0, 0, 0, 0, 0xF0]),
@@ -324,9 +323,7 @@ pub fn run(seed: u64) -> PayloadResult {
     let inpath_alert_at = sim.local_deliveries(rubin).first().map(|(t, _)| *t);
     // Baseline: the archive detects, then the alert must travel archive →
     // FNAL → telescope.
-    let endhost_alert_at = arch
-        .detected_at
-        .map(|t| t + FNAL_ARCHIVE + FNAL_RUBIN);
+    let endhost_alert_at = arch.detected_at.map(|t| t + FNAL_ARCHIVE + FNAL_RUBIN);
     PayloadResult {
         records,
         records_stored: arch.records_stored() as u64,

@@ -83,7 +83,13 @@ mod tests {
         let names: Vec<&str> = table1().iter().map(|r| r.name).collect();
         assert_eq!(
             names,
-            vec!["CMS L1 Trigger", "DUNE", "ECCE detector", "Mu2e", "Vera Rubin"]
+            vec![
+                "CMS L1 Trigger",
+                "DUNE",
+                "ECCE detector",
+                "Mu2e",
+                "Vera Rubin"
+            ]
         );
     }
 

@@ -38,7 +38,9 @@ fn slice_demux(slices: u8) -> mmt_dataplane::Pipeline {
         tbl.insert(TableEntry {
             key: vec![FieldValue::Exact(u64::from(s))],
             priority: 0,
-            actions: vec![Action::Forward { port: 1 + s as usize }],
+            actions: vec![Action::Forward {
+                port: 1 + s as usize,
+            }],
         });
     }
     PipelineBuilder::new().table(tbl).latency_ns(400).build()
@@ -49,7 +51,10 @@ fn slice_demux(slices: u8) -> mmt_dataplane::Pipeline {
 /// formats.
 pub fn run(slices: u8, messages_per_slice: usize, seed: u64) -> SliceResult {
     let mut sim = Simulator::new(seed);
-    let switch = sim.add_node("demux", Box::new(DataplaneElement::new(slice_demux(slices))));
+    let switch = sim.add_node(
+        "demux",
+        Box::new(DataplaneElement::new(slice_demux(slices))),
+    );
     let mut receivers: Vec<NodeId> = Vec::new();
     let spec = LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(1));
     for s in 0..slices {
@@ -62,7 +67,10 @@ pub fn run(slices: u8, messages_per_slice: usize, seed: u64) -> SliceResult {
     for s in 0..slices {
         let exp = ExperimentId::new(2, s);
         let sender_cfg = SenderConfig::regular(exp, 512, Time::from_micros(2), messages_per_slice);
-        let tx = sim.add_node(&format!("slice-{s}-tx"), Box::new(MmtSender::new(sender_cfg)));
+        let tx = sim.add_node(
+            &format!("slice-{s}-tx"),
+            Box::new(MmtSender::new(sender_cfg)),
+        );
         // Each sender gets its own ingress port ≥ 1+slices on the switch.
         sim.add_oneway(tx, 0, switch, 0, spec);
         // NOTE: multiple links landing on the same (node, port) pair is
@@ -78,7 +86,10 @@ pub fn run(slices: u8, messages_per_slice: usize, seed: u64) -> SliceResult {
     for (s, &r) in receivers.iter().enumerate() {
         for (_, pkt) in sim.local_deliveries(r) {
             let parsed = mmt_dataplane::parser::ParsedPacket::parse(pkt.bytes.clone(), 0);
-            let slice = parsed.mmt_repr().map(|m| m.experiment.slice()).unwrap_or(255);
+            let slice = parsed
+                .mmt_repr()
+                .map(|m| m.experiment.slice())
+                .unwrap_or(255);
             if usize::from(slice) != s {
                 cross += 1;
             }

@@ -106,7 +106,13 @@ fn mmt_latency(seed: u64) -> Time {
     let archive = sim.add_node("fnal-archive", Box::new(Sink));
     let rubin = sim.add_node("rubin", Box::new(Sink));
     sim.connect(dune, 0, fnal, 0, LinkSpec::new(Bandwidth::gbps(100), HOP1));
-    sim.connect(fnal, 1, archive, 0, LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(5)));
+    sim.connect(
+        fnal,
+        1,
+        archive,
+        0,
+        LinkSpec::new(Bandwidth::gbps(100), Time::from_micros(5)),
+    );
     sim.connect(fnal, 2, rubin, 0, LinkSpec::new(Bandwidth::gbps(100), HOP2));
     sim.run();
     sim.local_deliveries(rubin)
@@ -174,7 +180,11 @@ mod tests {
         // MMT: two propagation hops ≈ 83 ms, well under the 600 ms budget.
         assert_eq!(r.budget, Time::from_millis(600));
         assert!(r.mmt_within_budget);
-        assert!(r.mmt_alert_latency < Time::from_millis(90), "{}", r.mmt_alert_latency);
+        assert!(
+            r.mmt_alert_latency < Time::from_millis(90),
+            "{}",
+            r.mmt_alert_latency
+        );
         // Staged path still arrives (600 ms is generous) but ~50 ms later.
         assert!(r.staged_alert_latency > r.mmt_alert_latency + Time::from_millis(45));
     }

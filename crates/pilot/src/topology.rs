@@ -1,9 +1,9 @@
 //! The Fig. 4 pilot topology.
 
+use mmt_core::buffer::{CreditConfig, RetransmitBufferStats};
 use mmt_core::buffer::{RetransmitBuffer, PORT_DAQ, PORT_WAN};
 use mmt_core::receiver::{MmtReceiver, ReceiverConfig, ReceiverStats};
 use mmt_core::sender::{MmtSender, SenderConfig, SenderStats};
-use mmt_core::buffer::{CreditConfig, RetransmitBufferStats};
 use mmt_dataplane::programs::{self, BorderConfig};
 use mmt_dataplane::{DataplaneElement, ElementStats};
 use mmt_netsim::stats::LatencyHistogram;
@@ -180,8 +180,7 @@ impl Pilot {
             1,
             dtn2_switch,
             0,
-            LinkSpec::new(config.wan_bandwidth, config.wan_rtt / 2)
-                .with_loss(config.wan_loss),
+            LinkSpec::new(config.wan_bandwidth, config.wan_rtt / 2).with_loss(config.wan_loss),
         );
         // DTN2 NIC ↔ host.
         sim.connect(
@@ -210,6 +209,52 @@ impl Pilot {
         self.sim.run_until(horizon);
     }
 
+    /// Record every packet event (unbounded memory; see
+    /// [`Pilot::enable_trace_bounded`] for long runs).
+    pub fn enable_trace(&mut self) {
+        self.sim.enable_trace();
+    }
+
+    /// Record packet events into a ring of the most recent `capacity`.
+    pub fn enable_trace_bounded(&mut self, capacity: usize) {
+        self.sim.enable_trace_bounded(capacity);
+    }
+
+    /// The run's trace as exporter-ready records (empty unless tracing
+    /// was enabled before the run).
+    pub fn trace_records(&self) -> Vec<mmt_telemetry::TraceRecord> {
+        self.sim.trace_records()
+    }
+
+    /// Snapshot every layer's counters into one registry: simulator/link
+    /// state, both programmable elements, the DTN 1 buffer, and both
+    /// endpoints. Deterministic: same seed + config ⇒ identical registry.
+    pub fn metrics(&self) -> mmt_telemetry::MetricRegistry {
+        let mut reg = mmt_telemetry::MetricRegistry::new();
+        self.sim.export_metrics(&mut reg);
+        self.sim
+            .node_as::<MmtSender>(self.sensor)
+            .expect("sensor type")
+            .export_metrics(self.sim.node_name(self.sensor), &mut reg);
+        self.sim
+            .node_as::<RetransmitBuffer>(self.dtn1)
+            .expect("dtn1 type")
+            .export_metrics(self.sim.node_name(self.dtn1), &mut reg);
+        self.sim
+            .node_as::<DataplaneElement>(self.tofino)
+            .expect("tofino type")
+            .export_metrics(self.sim.node_name(self.tofino), &mut reg);
+        self.sim
+            .node_as::<DataplaneElement>(self.dtn2_switch)
+            .expect("dtn2 switch type")
+            .export_metrics(self.sim.node_name(self.dtn2_switch), &mut reg);
+        self.sim
+            .node_as::<MmtReceiver>(self.receiver)
+            .expect("receiver type")
+            .export_metrics(self.sim.node_name(self.receiver), &mut reg);
+        reg
+    }
+
     /// Whether the receiver saw every message.
     pub fn is_complete(&self) -> bool {
         self.sim
@@ -221,8 +266,11 @@ impl Pilot {
     /// Collect the run's report.
     pub fn report(&self) -> PilotReport {
         let sender: SenderStats = self.sim.node_as::<MmtSender>(self.sensor).unwrap().stats;
-        let buffer: RetransmitBufferStats =
-            self.sim.node_as::<RetransmitBuffer>(self.dtn1).unwrap().stats;
+        let buffer: RetransmitBufferStats = self
+            .sim
+            .node_as::<RetransmitBuffer>(self.dtn1)
+            .unwrap()
+            .stats;
         let tofino: ElementStats = *self
             .sim
             .node_as::<DataplaneElement>(self.tofino)
@@ -255,8 +303,8 @@ impl Pilot {
             wan_tx_bytes: wan.tx_bytes,
             dtn1_egress_queue_drops: dtn1_egress.queue_drops,
             goodput_bps: {
-                let bytes =
-                    receiver.delivered.saturating_sub(receiver.duplicates) * self.config.message_len as u64;
+                let bytes = receiver.delivered.saturating_sub(receiver.duplicates)
+                    * self.config.message_len as u64;
                 if elapsed == Time::ZERO {
                     0.0
                 } else {

@@ -1,0 +1,166 @@
+//! Exact nanosecond histograms for virtual-time latencies.
+
+/// A sample-keeping histogram over `u64` nanosecond values.
+///
+/// Simulations produce at most millions of samples, so keeping them all
+/// and sorting on demand is both exact and fast enough; no approximate
+/// sketch is needed. Quantiles use the **nearest-rank** definition: for
+/// `n` samples the `q`-quantile is the sample at sorted index
+/// `round((n − 1) · q)` — with one sample every quantile is that sample,
+/// and `q = 0` / `q = 1` are the exact min / max.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NsHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl NsHistogram {
+    /// An empty histogram.
+    pub fn new() -> NsHistogram {
+        NsHistogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.samples.iter().map(|&v| u128::from(v)).sum()
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Mean, or `None` if empty (truncated to whole nanoseconds).
+    pub fn mean(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some((self.sum() / self.samples.len() as u128) as u64)
+    }
+
+    /// Population standard deviation (0.0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.sum() as f64 / n as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (clamped to 0.0–1.0) by nearest rank, or `None`
+    /// if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.samples[rank])
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &NsHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let mut h = NsHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = NsHistogram::new();
+        h.record(7);
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(7));
+        }
+        assert_eq!(h.mean(), Some(7));
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn two_samples() {
+        let mut h = NsHistogram::new();
+        h.record(10);
+        h.record(20);
+        // Nearest rank: round((2−1)·q) picks index 0 below 0.5, 1 at ≥0.5.
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.49), Some(10));
+        assert_eq!(h.quantile(0.5), Some(20));
+        assert_eq!(h.quantile(1.0), Some(20));
+        assert_eq!(h.mean(), Some(15));
+        assert!((h.stddev() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut a = NsHistogram::new();
+        let mut b = NsHistogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.quantile(0.0), Some(1));
+        assert_eq!(a.quantile(1.0), Some(100));
+        assert_eq!(a.quantile(0.99), Some(99));
+        assert_eq!(a.sum(), 5050);
+        assert_eq!(a.mean(), Some(50));
+    }
+}

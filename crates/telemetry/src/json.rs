@@ -1,0 +1,160 @@
+//! A minimal deterministic JSON writer.
+//!
+//! Library crates must stay dependency-free, so exports are built by hand:
+//! fields are written in call order, floats use Rust's shortest-roundtrip
+//! formatting, and strings are escaped per RFC 8259. Output for the same
+//! inputs is byte-for-byte identical across runs.
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (no NaN/Inf — those become `null`).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Ensure integral floats still read as numbers with a decimal
+        // point is unnecessary in JSON; shortest-roundtrip is fine.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one JSON object, fields in call order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an object.
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::new() }
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.sep();
+        self.buf
+            .push_str(&format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObject {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObject {
+        self.sep();
+        self.buf
+            .push_str(&format!("\"{}\":{}", escape(key), number(value)));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, `null`, …).
+    pub fn raw(mut self, key: &str, value: &str) -> JsonObject {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Add a field only when the value is present.
+    pub fn opt_u64(self, key: &str, value: Option<u64>) -> JsonObject {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self,
+        }
+    }
+
+    /// Finish: the rendered `{...}`.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_field_order_and_types() {
+        let s = JsonObject::new()
+            .str("name", "x")
+            .u64("n", 3)
+            .f64("f", 0.5)
+            .bool("ok", true)
+            .raw("arr", "[1,2]")
+            .opt_u64("absent", None)
+            .opt_u64("present", Some(9))
+            .finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"x\",\"n\":3,\"f\":0.5,\"ok\":true,\"arr\":[1,2],\"present\":9}"
+        );
+    }
+
+    #[test]
+    fn array_rendering() {
+        assert_eq!(array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(2.0), "2");
+    }
+}

@@ -1,0 +1,301 @@
+//! The labeled metric registry.
+
+use crate::histogram::NsHistogram;
+use std::collections::BTreeMap;
+
+/// A metric's identity: name plus sorted label pairs.
+///
+/// Ordering (name, then labels) fixes the iteration order of the whole
+/// registry, which makes every export deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-style, e.g. `mmt_link_tx_packets_total`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key from a name and unsorted label pairs.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Point-in-time gauge.
+    Gauge(f64),
+    /// Latency histogram (nanosecond samples).
+    Histogram(NsHistogram),
+}
+
+/// A registry of named, labeled metrics with deterministic iteration.
+///
+/// Disabled registries drop every write at a single branch, so
+/// instrumented code paths cost one predictable-taken compare when
+/// telemetry is off.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    enabled: bool,
+    metrics: BTreeMap<MetricKey, MetricValue>,
+    /// HELP strings, keyed by metric name.
+    help: BTreeMap<String, String>,
+}
+
+impl MetricRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> MetricRegistry {
+        MetricRegistry {
+            enabled: true,
+            ..MetricRegistry::default()
+        }
+    }
+
+    /// A registry that silently discards every write (zero cost).
+    pub fn disabled() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    /// Whether writes are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Attach a HELP description to a metric name (shown by the
+    /// Prometheus exporter).
+    pub fn describe(&mut self, name: &str, help: &str) {
+        if self.enabled {
+            self.help.insert(name.to_string(), help.to_string());
+        }
+    }
+
+    /// The HELP description for a name, if any.
+    pub fn help(&self, name: &str) -> Option<&str> {
+        self.help.get(name).map(String::as_str)
+    }
+
+    /// Add `delta` to a counter (creating it at zero first).
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Counter(0));
+        match entry {
+            MetricValue::Counter(v) => *v += delta,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Increment a counter by one.
+    pub fn counter_inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Set a gauge to a value.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics
+            .insert(MetricKey::new(name, labels), MetricValue::Gauge(value));
+    }
+
+    /// Record one nanosecond observation into a histogram.
+    pub fn observe_ns(&mut self, name: &str, labels: &[(&str, &str)], ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(NsHistogram::new()));
+        match entry {
+            MetricValue::Histogram(h) => h.record(ns),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Merge a whole histogram into a metric.
+    pub fn observe_histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &NsHistogram) {
+        if !self.enabled {
+            return;
+        }
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(NsHistogram::new()));
+        match entry {
+            MetricValue::Histogram(h) => h.merge(hist),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Read a counter (0 when absent) — mainly for tests and reports.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Read a gauge, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Read a histogram, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&NsHistogram> {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct (name, labels) series.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterate series in deterministic (name, labels) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.metrics.iter()
+    }
+
+    /// Merge every series from `other` into this registry (counters add,
+    /// gauges overwrite, histograms merge).
+    pub fn absorb(&mut self, other: &MetricRegistry) {
+        if !self.enabled {
+            return;
+        }
+        for (key, value) in other.iter() {
+            let labels: Vec<(&str, &str)> = key
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match value {
+                MetricValue::Counter(v) => self.counter_add(&key.name, &labels, *v),
+                MetricValue::Gauge(v) => self.gauge_set(&key.name, &labels, *v),
+                MetricValue::Histogram(h) => self.observe_histogram(&key.name, &labels, h),
+            }
+        }
+        for (name, help) in &other.help {
+            self.help
+                .entry(name.clone())
+                .or_insert_with(|| help.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = MetricRegistry::disabled();
+        reg.counter_inc("c", &[]);
+        reg.gauge_set("g", &[], 1.0);
+        reg.observe_ns("h", &[], 5);
+        reg.describe("c", "help");
+        assert!(reg.is_empty());
+        assert!(!reg.is_enabled());
+        assert_eq!(reg.counter("c", &[]), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut reg = MetricRegistry::new();
+        reg.counter_add("tx", &[("link", "0")], 2);
+        reg.counter_inc("tx", &[("link", "0")]);
+        reg.counter_inc("tx", &[("link", "1")]);
+        assert_eq!(reg.counter("tx", &[("link", "0")]), 3);
+        assert_eq!(reg.counter("tx", &[("link", "1")]), 1);
+        assert_eq!(reg.counter("tx", &[("link", "9")]), 0);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut reg = MetricRegistry::new();
+        reg.counter_inc("m", &[("a", "1"), ("b", "2")]);
+        reg.counter_inc("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(reg.counter("m", &[("a", "1"), ("b", "2")]), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite_histograms_accumulate() {
+        let mut reg = MetricRegistry::new();
+        reg.gauge_set("g", &[], 1.0);
+        reg.gauge_set("g", &[], 2.5);
+        assert_eq!(reg.gauge("g", &[]), Some(2.5));
+        reg.observe_ns("h", &[], 10);
+        reg.observe_ns("h", &[], 20);
+        let h = reg.histogram("h", &[]).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(10));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut reg = MetricRegistry::new();
+        reg.counter_inc("zz", &[]);
+        reg.counter_inc("aa", &[("x", "2")]);
+        reg.counter_inc("aa", &[("x", "1")]);
+        let names: Vec<String> = reg
+            .iter()
+            .map(|(k, _)| format!("{}{:?}", k.name, k.labels))
+            .collect();
+        assert!(names[0].starts_with("aa") && names[0].contains('1'));
+        assert!(names[1].starts_with("aa") && names[1].contains('2'));
+        assert!(names[2].starts_with("zz"));
+    }
+
+    #[test]
+    fn absorb_merges_all_kinds() {
+        let mut a = MetricRegistry::new();
+        let mut b = MetricRegistry::new();
+        a.counter_add("c", &[], 1);
+        b.counter_add("c", &[], 2);
+        b.gauge_set("g", &[], 9.0);
+        b.observe_ns("h", &[], 7);
+        b.describe("c", "a counter");
+        a.absorb(&b);
+        assert_eq!(a.counter("c", &[]), 3);
+        assert_eq!(a.gauge("g", &[]), Some(9.0));
+        assert_eq!(a.histogram("h", &[]).unwrap().count(), 1);
+        assert_eq!(a.help("c"), Some("a counter"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = MetricRegistry::new();
+        reg.gauge_set("m", &[], 1.0);
+        reg.counter_inc("m", &[]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Flow-correlated trace records and their exporters.
+//!
+//! A [`TraceRecord`] is the exporter-facing form of a simulator trace
+//! event: virtual-time stamp, event kind, topology location (node and/or
+//! link), and flow correlation (packet id, flow id, MMT sequence number,
+//! MMT config id). Two exporters are provided:
+//!
+//! * [`to_jsonl`] — one JSON object per line, stable field order, easy to
+//!   grep and to load into dataframes.
+//! * [`to_chrome_trace`] — Chrome Trace Event Format (the JSON array
+//!   flavour wrapped in `{"traceEvents": [...]}`), loadable in
+//!   `chrome://tracing` or Perfetto. Virtual nanoseconds are rendered as
+//!   fractional microseconds with integer math so output is
+//!   byte-for-byte deterministic.
+
+use crate::json::{self, JsonObject};
+use std::collections::BTreeMap;
+
+/// Synthetic Chrome-trace tid base for events that carry a link but no
+/// node (e.g. loss on the wire).
+pub const LINK_TID_BASE: u64 = 1000;
+
+/// One flow-correlated trace event, stamped with virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time in nanoseconds.
+    pub ts_ns: u64,
+    /// Event kind (e.g. `enqueue`, `arrive`, `queue_drop`).
+    pub kind: String,
+    /// Node index where the event happened, if node-local.
+    pub node: Option<u64>,
+    /// Human-readable node name, if known.
+    pub node_name: Option<String>,
+    /// Link id involved, if any.
+    pub link: Option<u64>,
+    /// Simulator-assigned packet id.
+    pub packet_id: u64,
+    /// Flow id (experiment/config discriminator at the netsim layer).
+    pub flow: u64,
+    /// MMT sequence number, when the packet carried a parsed MMT header.
+    pub seq: Option<u64>,
+    /// MMT config id, when known.
+    pub config: Option<u64>,
+    /// Wire length of the packet in bytes.
+    pub len_bytes: u64,
+}
+
+impl TraceRecord {
+    /// Render this record as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .u64("ts_ns", self.ts_ns)
+            .str("kind", &self.kind)
+            .opt_u64("node", self.node);
+        if let Some(name) = &self.node_name {
+            obj = obj.str("node_name", name);
+        }
+        obj.opt_u64("link", self.link)
+            .u64("packet_id", self.packet_id)
+            .u64("flow", self.flow)
+            .opt_u64("seq", self.seq)
+            .opt_u64("config", self.config)
+            .u64("len_bytes", self.len_bytes)
+            .finish()
+    }
+
+    /// The Chrome-trace thread id for this record: the node index when
+    /// node-local, otherwise [`LINK_TID_BASE`]` + link` for on-wire
+    /// events, and 0 as a last resort.
+    pub fn chrome_tid(&self) -> u64 {
+        match (self.node, self.link) {
+            (Some(n), _) => n,
+            (None, Some(l)) => LINK_TID_BASE + l,
+            (None, None) => 0,
+        }
+    }
+}
+
+/// Format virtual nanoseconds as Chrome-trace microseconds with
+/// sub-microsecond precision, using only integer math (`1500` ns →
+/// `"1.500"`).
+pub fn ns_to_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Export records as JSON Lines: one object per event, in input order,
+/// each line terminated with `\n`.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Export records in Chrome Trace Event Format.
+///
+/// Each event becomes an instant event (`ph: "i"`, thread scope) on a
+/// pid/tid lane: pid 1, tid = node index (or `LINK_TID_BASE + link` for
+/// on-wire events). A `thread_name` metadata event labels each lane using
+/// the first node name seen for that tid.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    // First node/link name seen per tid labels that lane.
+    let mut lanes: BTreeMap<u64, String> = BTreeMap::new();
+    for r in records {
+        let tid = r.chrome_tid();
+        lanes
+            .entry(tid)
+            .or_insert_with(|| match (&r.node_name, r.node, r.link) {
+                (Some(name), _, _) => name.clone(),
+                (None, Some(n), _) => format!("node{n}"),
+                (None, None, Some(l)) => format!("link{l}"),
+                (None, None, None) => "sim".to_string(),
+            });
+    }
+    let mut events: Vec<String> = Vec::with_capacity(lanes.len() + records.len());
+    for (tid, name) in &lanes {
+        events.push(
+            JsonObject::new()
+                .str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", 1)
+                .u64("tid", *tid)
+                .raw("args", &JsonObject::new().str("name", name).finish())
+                .finish(),
+        );
+    }
+    for r in records {
+        let mut args = JsonObject::new()
+            .u64("packet_id", r.packet_id)
+            .u64("flow", r.flow)
+            .opt_u64("seq", r.seq)
+            .opt_u64("config", r.config)
+            .u64("len_bytes", r.len_bytes)
+            .opt_u64("link", r.link);
+        if let Some(name) = &r.node_name {
+            args = args.str("node_name", name);
+        }
+        events.push(
+            JsonObject::new()
+                .str("name", &r.kind)
+                .str("ph", "i")
+                .str("s", "t")
+                .raw("ts", &ns_to_us(r.ts_ns))
+                .u64("pid", 1)
+                .u64("tid", r.chrome_tid())
+                .raw("args", &args.finish())
+                .finish(),
+        );
+    }
+    format!(
+        "{{\"traceEvents\":{},\"displayTimeUnit\":\"ns\"}}",
+        json::array(events)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, kind: &str, node: Option<u64>, link: Option<u64>) -> TraceRecord {
+        TraceRecord {
+            ts_ns: ts,
+            kind: kind.to_string(),
+            node,
+            node_name: node.map(|n| format!("n{n}")),
+            link,
+            packet_id: 1,
+            flow: 7,
+            seq: Some(3),
+            config: Some(1),
+            len_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let out = to_jsonl(&[
+            rec(5, "enqueue", Some(0), Some(2)),
+            rec(9, "arrive", Some(1), None),
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_ns\":5,\"kind\":\"enqueue\""));
+        assert!(lines[0].contains("\"node\":0"));
+        assert!(lines[0].contains("\"node_name\":\"n0\""));
+        assert!(lines[0].contains("\"seq\":3"));
+        assert!(lines[1].contains("\"kind\":\"arrive\""));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn optional_fields_omitted() {
+        let mut r = rec(1, "loss", None, Some(4));
+        r.seq = None;
+        r.config = None;
+        let line = r.to_json();
+        assert!(!line.contains("\"node\""));
+        assert!(!line.contains("\"seq\""));
+        assert!(!line.contains("\"config\""));
+        assert!(line.contains("\"link\":4"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let out = to_chrome_trace(&[rec(1_500, "enqueue", Some(0), Some(2)), {
+            let mut r = rec(2_000, "corruption_loss", None, Some(2));
+            r.node_name = None;
+            r
+        }]);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.ends_with("\"displayTimeUnit\":\"ns\"}"));
+        // Lane metadata for node 0 and link lane 1002.
+        assert!(out.contains("\"thread_name\""));
+        assert!(out.contains("\"tid\":0"));
+        assert!(out.contains("\"tid\":1002"));
+        assert!(out.contains("\"name\":\"link2\""));
+        // Instant event with integer-math microsecond timestamp.
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"ts\":1.500"));
+        assert!(out.contains("\"ts\":2.000"));
+    }
+
+    #[test]
+    fn ns_to_us_integer_math() {
+        assert_eq!(ns_to_us(0), "0.000");
+        assert_eq!(ns_to_us(999), "0.999");
+        assert_eq!(ns_to_us(1_000), "1.000");
+        assert_eq!(ns_to_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn tid_assignment() {
+        assert_eq!(rec(0, "x", Some(3), Some(9)).chrome_tid(), 3);
+        assert_eq!(rec(0, "x", None, Some(9)).chrome_tid(), 1009);
+        assert_eq!(rec(0, "x", None, None).chrome_tid(), 0);
+    }
+}

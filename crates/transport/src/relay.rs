@@ -136,13 +136,22 @@ mod tests {
             Box::new(StoreAndForwardRelay::new(Time::from_millis(2))),
         );
         let b = sim.add_node("b", Box::new(Sink));
-        sim.add_oneway(stage, 1, b, 0, LinkSpec::new(Bandwidth::gbps(10), Time::ZERO));
+        sim.add_oneway(
+            stage,
+            1,
+            b,
+            0,
+            LinkSpec::new(Bandwidth::gbps(10), Time::ZERO),
+        );
         sim.inject(Time::ZERO, stage, 0, Packet::new(vec![0u8; 1000]));
         sim.run();
         let got = sim.local_deliveries(b);
         assert_eq!(got.len(), 1);
         let tx = Bandwidth::gbps(10).tx_time(1000);
         assert_eq!(got[0].0, Time::from_millis(2) + tx);
-        assert_eq!(sim.node_as::<StoreAndForwardRelay>(stage).unwrap().staged, 1);
+        assert_eq!(
+            sim.node_as::<StoreAndForwardRelay>(stage).unwrap().staged,
+            1
+        );
     }
 }

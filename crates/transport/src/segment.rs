@@ -73,7 +73,11 @@ impl Segment {
             flow,
             seq,
             ack: 0,
-            flags: SegmentFlags { syn: false, ack: false, fin: false },
+            flags: SegmentFlags {
+                syn: false,
+                ack: false,
+                fin: false,
+            },
             window: 0,
             len,
             sack: [(0, 0); MAX_SACK],
@@ -86,7 +90,11 @@ impl Segment {
             flow,
             seq: 0,
             ack,
-            flags: SegmentFlags { syn: false, ack: true, fin: false },
+            flags: SegmentFlags {
+                syn: false,
+                ack: true,
+                fin: false,
+            },
             window,
             len: 0,
             sack: [(0, 0); MAX_SACK],
@@ -160,7 +168,11 @@ mod tests {
             flow: 7,
             seq: 1_000_000,
             ack: 42,
-            flags: SegmentFlags { syn: true, ack: true, fin: false },
+            flags: SegmentFlags {
+                syn: true,
+                ack: true,
+                fin: false,
+            },
             window: 1 << 20,
             len: 1448,
             sack: [(100, 200), (300, 400), (0, 0)],

@@ -172,7 +172,11 @@ impl Node for TcpReceiver {
                 flow: self.flow,
                 seq: 0,
                 ack: 0,
-                flags: SegmentFlags { syn: true, ack: true, fin: false },
+                flags: SegmentFlags {
+                    syn: true,
+                    ack: true,
+                    fin: false,
+                },
                 window: self.window,
                 len: 0,
                 sack: [(0, 0); crate::segment::MAX_SACK],

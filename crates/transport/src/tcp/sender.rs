@@ -438,11 +438,7 @@ impl TcpSender {
                     self.update_rtt(ctx.now() - sent_at);
                 }
             }
-            let acked_keys: Vec<u64> = self
-                .sent_times
-                .range(..seg.ack)
-                .map(|(&k, _)| k)
-                .collect();
+            let acked_keys: Vec<u64> = self.sent_times.range(..seg.ack).map(|(&k, _)| k).collect();
             for k in acked_keys {
                 self.sent_times.remove(&k);
             }
@@ -473,8 +469,7 @@ impl TcpSender {
                 // plus the cumulative hole itself if unSACKed (NewReno
                 // partial ack).
                 if !self.is_sacked(self.snd_una) && !self.hole_retx.contains(&self.snd_una) {
-                    let len = (self.profile.mss as u64)
-                        .min(self.total_bytes - self.snd_una) as u32;
+                    let len = (self.profile.mss as u64).min(self.total_bytes - self.snd_una) as u32;
                     let seq = self.snd_una;
                     self.send_segment(ctx, seq, len, true);
                     self.hole_retx.insert(seq);
@@ -508,8 +503,7 @@ impl TcpSender {
                 self.recovery_until = self.snd_nxt;
                 self.stats.fast_retransmits += 1;
                 self.hole_retx.clear();
-                let len = (self.profile.mss as u64)
-                    .min(self.total_bytes - self.snd_una) as u32;
+                let len = (self.profile.mss as u64).min(self.total_bytes - self.snd_una) as u32;
                 let seq = self.snd_una;
                 self.send_segment(ctx, seq, len, true);
                 self.hole_retx.insert(seq);
@@ -532,7 +526,11 @@ impl Node for TcpSender {
             flow: self.flow,
             seq: 0,
             ack: 0,
-            flags: SegmentFlags { syn: true, ack: false, fin: false },
+            flags: SegmentFlags {
+                syn: true,
+                ack: false,
+                fin: false,
+            },
             window: 0,
             len: 0,
             sack: [(0, 0); crate::segment::MAX_SACK],
@@ -580,7 +578,11 @@ impl Node for TcpSender {
                         flow: self.flow,
                         seq: 0,
                         ack: 0,
-                        flags: SegmentFlags { syn: true, ack: false, fin: false },
+                        flags: SegmentFlags {
+                            syn: true,
+                            ack: false,
+                            fin: false,
+                        },
                         window: 0,
                         len: 0,
                         sack: [(0, 0); crate::segment::MAX_SACK],
@@ -609,8 +611,7 @@ impl Node for TcpSender {
                     // were lost too: reset the epoch so holes are eligible
                     // for retransmission again.
                     self.hole_retx.clear();
-                    let len = (self.profile.mss as u64)
-                        .min(self.total_bytes - self.snd_una) as u32;
+                    let len = (self.profile.mss as u64).min(self.total_bytes - self.snd_una) as u32;
                     let seq = self.snd_una;
                     self.send_segment(ctx, seq, len, true);
                     self.hole_retx.insert(seq);

@@ -139,7 +139,13 @@ mod tests {
         let schedule: Vec<Time> = (0..50).map(|i| Time::from_micros(i * 10)).collect();
         let s = sim.add_node("s", Box::new(UdpSender::new(1, 1000, schedule)));
         let r = sim.add_node("r", Box::new(UdpReceiver::new(1)));
-        sim.add_oneway(s, 0, r, 0, LinkSpec::new(Bandwidth::gbps(10), Time::from_micros(5)));
+        sim.add_oneway(
+            s,
+            0,
+            r,
+            0,
+            LinkSpec::new(Bandwidth::gbps(10), Time::from_micros(5)),
+        );
         sim.run();
         let rx = sim.node_as::<UdpReceiver>(r).unwrap();
         assert_eq!(rx.count(), 50);
@@ -151,7 +157,7 @@ mod tests {
     #[test]
     fn loss_is_silent_and_detected_by_gap() {
         let mut sim = Simulator::new(3);
-        let schedule: Vec<Time> = (0..1000).map(|i| Time::from_micros(i)).collect();
+        let schedule: Vec<Time> = (0..1000).map(Time::from_micros).collect();
         let s = sim.add_node("s", Box::new(UdpSender::new(1, 1000, schedule)));
         let r = sim.add_node("r", Box::new(UdpReceiver::new(1)));
         sim.add_oneway(

@@ -141,10 +141,7 @@ fn no_loss_means_no_head_of_line_blocking() {
     sim.run();
     assert!(sim.node_as::<TcpSender>(snd).unwrap().is_complete());
     let r = sim.node_as::<TcpReceiver>(rcv).unwrap();
-    assert!(r
-        .delivered()
-        .iter()
-        .all(|d| d.delivered_at == d.arrived_at));
+    assert!(r.delivered().iter().all(|d| d.delivered_at == d.arrived_at));
     assert_eq!(r.duplicate_bytes, 0);
 }
 
@@ -179,10 +176,7 @@ fn streaming_schedule_paces_the_sender() {
         "snd",
         Box::new(TcpSender::new(CcProfile::tuned_dtn(), 1, MSG, schedule)),
     );
-    let rcv = sim.add_node(
-        "rcv",
-        Box::new(TcpReceiver::new(1, MSG, u64::MAX / 4)),
-    );
+    let rcv = sim.add_node("rcv", Box::new(TcpReceiver::new(1, MSG, u64::MAX / 4)));
     sim.connect(
         snd,
         0,

@@ -29,7 +29,12 @@ pub fn checksum(data: &[u8]) -> u16 {
 }
 
 /// The IPv4 pseudo-header contribution used by UDP (and TCP) checksums.
-pub fn pseudo_header(src: &crate::Ipv4Address, dst: &crate::Ipv4Address, protocol: u8, length: u16) -> u32 {
+pub fn pseudo_header(
+    src: &crate::Ipv4Address,
+    dst: &crate::Ipv4Address,
+    protocol: u8,
+    length: u16,
+) -> u32 {
     let mut acc = 0u32;
     acc = sum(acc, src.as_bytes());
     acc = sum(acc, dst.as_bytes());

@@ -91,7 +91,9 @@ mod tests {
         assert!(Error::UnknownVersion(9).to_string().contains('9'));
         let e = Error::BufferTooSmall { needed: 4, got: 0 };
         assert!(e.to_string().contains("emit"));
-        assert!(Error::Malformed("zero ihl").to_string().contains("zero ihl"));
+        assert!(Error::Malformed("zero ihl")
+            .to_string()
+            .contains("zero ihl"));
         assert!(Error::ValueOutOfRange("len").to_string().contains("len"));
     }
 

@@ -8,7 +8,7 @@
 
 use crate::error::{check_emit_len, check_len};
 use crate::field::{read_u16, write_u16};
-use crate::{EthernetAddress, Error, Result};
+use crate::{Error, EthernetAddress, Result};
 
 /// EtherType values used by this system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -223,7 +223,10 @@ mod tests {
     fn short_buffer_rejected() {
         assert!(matches!(
             Frame::new_checked(&[0u8; 13][..]),
-            Err(Error::Truncated { needed: 14, got: 13 })
+            Err(Error::Truncated {
+                needed: 14,
+                got: 13
+            })
         ));
     }
 

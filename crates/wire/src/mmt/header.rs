@@ -4,8 +4,10 @@ use super::ext::{AgeExt, ExtLayout, RetransmitExt, TimelinessExt};
 use super::features::Features;
 use super::ExperimentId;
 use crate::error::check_len;
-use crate::field::{read_u24, read_u32, read_u56, read_u64, write_u24, write_u32, write_u56, write_u64};
 use crate::field::{read_u16, write_u16};
+use crate::field::{
+    read_u24, read_u32, read_u56, read_u64, write_u24, write_u32, write_u56, write_u64,
+};
 use crate::{Ipv4Address, Result};
 
 /// Length of the fixed core header: config id (1) + config data (3) +
@@ -342,7 +344,13 @@ mod tests {
                 notify: Ipv4Address::new(10, 0, 0, 9)
             })
         );
-        assert_eq!(hdr.age(), Some(AgeExt { age_ns: 500, aged: false }));
+        assert_eq!(
+            hdr.age(),
+            Some(AgeExt {
+                age_ns: 500,
+                aged: false
+            })
+        );
         assert_eq!(hdr.payload(), &[9, 9, 9, 9]);
         assert!(hdr.features().contains(Features::ACK_NAK));
         assert_eq!(hdr.pacing_mbps(), None);
@@ -368,7 +376,7 @@ mod tests {
         // Exceed the threshold: aged flag latches.
         let updated = hdr.update_age(20_000, 10_000).unwrap();
         assert!(updated.aged);
-        assert_eq!(hdr.age().unwrap().aged, true);
+        assert!(hdr.age().unwrap().aged);
         // Aged flag stays set even when later elements see slack.
         let updated = hdr.update_age(1, u64::MAX).unwrap();
         assert!(updated.aged);

@@ -42,7 +42,9 @@ mod features;
 mod header;
 mod repr;
 
-pub use control::{BackpressureRepr, ControlRepr, ControlType, DeadlineExceededRepr, NakRange, NakRepr};
+pub use control::{
+    BackpressureRepr, ControlRepr, ControlType, DeadlineExceededRepr, NakRange, NakRepr,
+};
 pub use ext::{AgeExt, ExtLayout, RetransmitExt, TimelinessExt};
 pub use features::Features;
 pub use header::{CoreHeader, CORE_HEADER_LEN};

@@ -91,7 +91,10 @@ impl MmtRepr {
     #[must_use]
     pub fn with_timeliness(mut self, deadline_ns: u64, notify: Ipv4Address) -> MmtRepr {
         self.features |= Features::TIMELINESS;
-        self.timeliness = Some(TimelinessExt { deadline_ns, notify });
+        self.timeliness = Some(TimelinessExt {
+            deadline_ns,
+            notify,
+        });
         self
     }
 

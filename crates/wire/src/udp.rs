@@ -178,7 +178,7 @@ impl UdpRepr {
         d.set_src_port(self.src_port);
         d.set_dst_port(self.dst_port);
         d.set_len(total as u16);
-        write_u16(d.buffer.as_mut(), field::CHECKSUM.start, 0);
+        write_u16(d.buffer, field::CHECKSUM.start, 0);
         Ok(())
     }
 }
@@ -237,10 +237,7 @@ mod tests {
         let buf = sample();
         let d = Datagram::new_checked(&buf[..]).unwrap();
         assert_eq!(d.checksum_field(), 0);
-        assert!(d.verify_checksum(
-            &Ipv4Address::new(1, 2, 3, 4),
-            &Ipv4Address::new(5, 6, 7, 8)
-        ));
+        assert!(d.verify_checksum(&Ipv4Address::new(1, 2, 3, 4), &Ipv4Address::new(5, 6, 7, 8)));
     }
 
     #[test]

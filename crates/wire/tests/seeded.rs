@@ -1,0 +1,325 @@
+//! Seeded randomized tests for wire-format invariants.
+//!
+//! Three classes of invariant are exercised, each over a few hundred
+//! deterministic SplitMix64-generated cases (no external PRNG crates, so
+//! failures replay exactly):
+//! 1. **Roundtrip**: `parse(emit(repr)) == repr` for arbitrary valid reprs.
+//! 2. **No panic on garbage**: parsers return `Err`, never panic, on
+//!    arbitrary byte soup (the property a border element needs to survive
+//!    hostile campus traffic).
+//! 3. **Semantic invariants**: age saturates and the aged flag latches;
+//!    extension layout is monotone in the feature set.
+
+use mmt_wire::daq::{DuneSubHeader, Mu2eSubHeader, SubHeader, TriggerRecord};
+use mmt_wire::ethernet::{build_frame, EtherType, EthernetRepr, Frame};
+use mmt_wire::ipv4::{Ipv4Repr, Packet as Ipv4Packet, Protocol};
+use mmt_wire::mmt::{ControlRepr, CoreHeader, ExperimentId, Features, MmtRepr, NakRange, NakRepr};
+use mmt_wire::udp::{Datagram, UdpRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
+
+/// SplitMix64 — the same generator the simulator uses, inlined because
+/// `mmt-wire` sits below `mmt-netsim` in the dependency graph.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len + 1) as usize;
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+fn gen_ipv4(rng: &mut Rng) -> Ipv4Address {
+    let b = rng.next_u64().to_be_bytes();
+    Ipv4Address::from([b[0], b[1], b[2], b[3]])
+}
+
+fn gen_experiment(rng: &mut Rng) -> ExperimentId {
+    ExperimentId::new(rng.below(1 << 24) as u32, rng.next_u64() as u8)
+}
+
+fn gen_mmt_repr(rng: &mut Rng) -> MmtRepr {
+    let mut r = MmtRepr::data(gen_experiment(rng));
+    if rng.flag() {
+        r = r.with_sequence(rng.next_u64());
+    }
+    if rng.flag() {
+        r = r.with_retransmit(gen_ipv4(rng), rng.next_u64() as u16);
+    }
+    if rng.flag() {
+        r = r.with_timeliness(rng.next_u64(), gen_ipv4(rng));
+    }
+    if rng.flag() {
+        r = r.with_age(rng.below(1 << 56), rng.flag());
+    }
+    if rng.flag() {
+        r = r.with_pacing(rng.next_u64() as u32);
+    }
+    if rng.flag() {
+        r = r.with_backpressure(rng.next_u64() as u32);
+    }
+    if rng.flag() {
+        r = r.with_priority(rng.next_u64() as u8);
+    }
+    if rng.flag() {
+        r = r.with_flags(Features::DUPLICATED);
+    }
+    if rng.flag() {
+        r = r.with_flags(Features::ENCRYPTED);
+    }
+    if rng.flag() {
+        r = r.with_flags(Features::ACK_NAK);
+    }
+    r
+}
+
+#[test]
+fn mmt_repr_roundtrip() {
+    let mut rng = Rng::new(0xA11C_E001);
+    for _ in 0..500 {
+        let repr = gen_mmt_repr(&mut rng);
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        let parsed = MmtRepr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+    }
+}
+
+#[test]
+fn mmt_view_agrees_with_repr() {
+    let mut rng = Rng::new(0xA11C_E002);
+    for _ in 0..500 {
+        let repr = gen_mmt_repr(&mut rng);
+        let payload = rng.bytes(63);
+        let buf = repr.emit_with_payload(&payload);
+        let view = CoreHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(view.features(), repr.features);
+        assert_eq!(view.experiment(), repr.experiment);
+        assert_eq!(view.sequence(), repr.sequence());
+        assert_eq!(view.age(), repr.age());
+        assert_eq!(view.retransmit(), repr.retransmit());
+        assert_eq!(view.timeliness(), repr.timeliness());
+        assert_eq!(view.payload(), &payload[..]);
+    }
+}
+
+#[test]
+fn mmt_parse_never_panics() {
+    let mut rng = Rng::new(0xA11C_E003);
+    for _ in 0..2000 {
+        let bytes = rng.bytes(127);
+        let _ = MmtRepr::parse(&bytes);
+        let _ = CoreHeader::new_checked(&bytes[..]);
+        let _ = ControlRepr::parse_packet(&bytes);
+    }
+}
+
+#[test]
+fn header_len_monotone_in_features() {
+    let mut rng = Rng::new(0xA11C_E004);
+    for _ in 0..500 {
+        let repr = gen_mmt_repr(&mut rng);
+        // Removing any feature never grows the header.
+        for f in [
+            Features::SEQUENCE,
+            Features::RETRANSMIT,
+            Features::TIMELINESS,
+            Features::AGE,
+            Features::PACING,
+            Features::BACKPRESSURE,
+            Features::PRIORITY,
+        ] {
+            let smaller = repr.without(f);
+            assert!(smaller.header_len() <= repr.header_len());
+        }
+    }
+}
+
+#[test]
+fn age_update_latches() {
+    let mut rng = Rng::new(0xA11C_E005);
+    for _ in 0..500 {
+        let initial = rng.below(1 << 50);
+        let delta = rng.below(1 << 50);
+        let max = rng.below(1 << 50);
+        let repr = MmtRepr::data(ExperimentId::new(1, 0)).with_age(initial, false);
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        let mut hdr = CoreHeader::new_unchecked(&mut buf[..]);
+        let next = hdr.update_age(delta, max).unwrap();
+        assert_eq!(next.age_ns, initial + delta);
+        assert_eq!(next.aged, initial + delta > max);
+        // A second update can only keep or set the flag, never clear it.
+        let again = hdr.update_age(0, u64::MAX).unwrap();
+        assert_eq!(again.aged, next.aged);
+    }
+}
+
+#[test]
+fn nak_roundtrip() {
+    let mut rng = Rng::new(0xA11C_E006);
+    for _ in 0..300 {
+        let requester = gen_ipv4(&mut rng);
+        let port = rng.next_u64() as u16;
+        let n_ranges = rng.below(32) as usize;
+        let ranges: Vec<NakRange> = (0..n_ranges)
+            .map(|_| {
+                let first = rng.next_u64();
+                let span = rng.below(1024);
+                NakRange {
+                    first,
+                    last: first.saturating_add(span),
+                }
+            })
+            .collect();
+        let nak = NakRepr {
+            requester,
+            requester_port: port,
+            ranges,
+        };
+        let pkt = ControlRepr::Nak(nak.clone()).emit_packet(ExperimentId::new(5, 0));
+        let (_, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(parsed, ControlRepr::Nak(nak));
+    }
+}
+
+#[test]
+fn ethernet_roundtrip() {
+    let mut rng = Rng::new(0xA11C_E007);
+    for _ in 0..300 {
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        for b in dst.iter_mut().chain(src.iter_mut()) {
+            *b = rng.next_u64() as u8;
+        }
+        let repr = EthernetRepr {
+            dst: EthernetAddress(dst),
+            src: EthernetAddress(src),
+            ethertype: EtherType::from_u16(rng.next_u64() as u16),
+        };
+        let payload = rng.bytes(255);
+        let buf = build_frame(&repr, &payload);
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(EthernetRepr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.payload(), &payload[..]);
+    }
+}
+
+#[test]
+fn ipv4_roundtrip() {
+    let mut rng = Rng::new(0xA11C_E008);
+    for _ in 0..300 {
+        let repr = Ipv4Repr {
+            src: gen_ipv4(&mut rng),
+            dst: gen_ipv4(&mut rng),
+            protocol: Protocol::Mmt,
+            payload_len: rng.below(1024) as usize,
+            ttl: rng.next_u64() as u8,
+            dscp: rng.below(64) as u8,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.verify_checksum());
+        assert_eq!(Ipv4Repr::parse(&pkt).unwrap(), repr);
+    }
+}
+
+#[test]
+fn ipv4_parse_never_panics() {
+    let mut rng = Rng::new(0xA11C_E009);
+    for _ in 0..2000 {
+        let bytes = rng.bytes(63);
+        let _ = Ipv4Packet::new_checked(&bytes[..]);
+    }
+}
+
+#[test]
+fn udp_checksum_detects_single_bit_flips() {
+    let mut rng = Rng::new(0xA11C_E00A);
+    for _ in 0..300 {
+        let src = gen_ipv4(&mut rng);
+        let dst = gen_ipv4(&mut rng);
+        let sport = rng.next_u64() as u16;
+        let dport = rng.next_u64() as u16;
+        let payload_len = 1 + rng.below(127) as usize;
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.next_u64() as u8).collect();
+        let flip_bit = rng.below(8) as usize;
+        let repr = UdpRepr {
+            src_port: sport,
+            dst_port: dport,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[8..].copy_from_slice(&payload);
+        {
+            let mut d = Datagram::new_checked(&mut buf[..]).unwrap();
+            d.fill_checksum(&src, &dst);
+        }
+        let flip_byte = 8 + (payload.len() - 1);
+        buf[flip_byte] ^= 1 << flip_bit;
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(&src, &dst));
+    }
+}
+
+#[test]
+fn trigger_record_roundtrip() {
+    let mut rng = Rng::new(0xA11C_E00B);
+    for _ in 0..300 {
+        let sub = match rng.below(3) {
+            0 => SubHeader::None,
+            1 => SubHeader::Dune(DuneSubHeader {
+                crate_no: 1,
+                slot: 2,
+                link: 3,
+                first_channel: 0,
+                last_channel: 63,
+            }),
+            _ => SubHeader::Mu2e(Mu2eSubHeader {
+                dtc_id: 1,
+                roc_id: 2,
+                packet_type: 3,
+                subsystem: 4,
+            }),
+        };
+        let rec = TriggerRecord {
+            run: rng.next_u64() as u32,
+            event: rng.next_u64(),
+            timestamp_ns: rng.next_u64(),
+            sub,
+            payload: rng.bytes(511),
+        };
+        let buf = rec.encode().unwrap();
+        assert_eq!(TriggerRecord::decode(&buf).unwrap(), rec);
+    }
+}
+
+#[test]
+fn trigger_record_decode_never_panics() {
+    let mut rng = Rng::new(0xA11C_E00C);
+    for _ in 0..2000 {
+        let bytes = rng.bytes(255);
+        let _ = TriggerRecord::decode(&bytes);
+    }
+}

@@ -17,7 +17,11 @@ use mmt::wire::{EthernetAddress, Ipv4Address};
 
 fn show(stage: &str, pkt: &ParsedPacket) {
     let repr = pkt.mmt_repr().expect("valid MMT frame");
-    println!("{stage:<28} header {:>3} B  features [{}]", repr.header_len(), repr.features);
+    println!(
+        "{stage:<28} header {:>3} B  features [{}]",
+        repr.header_len(),
+        repr.features
+    );
     if let Some(seq) = repr.sequence() {
         print!("{:28} seq={seq}", "");
         if let Some(r) = repr.retransmit() {
@@ -55,17 +59,35 @@ fn main() {
         priority_class: Some(2),
     });
     let t0 = 1_000_000; // packet created at t0, processed 40 µs later
-    border.process(&mut pkt, Intrinsics { now_ns: t0 + 40_000, created_at_ns: t0 });
+    border.process(
+        &mut pkt,
+        Intrinsics {
+            now_ns: t0 + 40_000,
+            created_at_ns: t0,
+        },
+    );
     show("after DTN 1 (mode 2, WAN)", &pkt);
 
     // Mid-WAN transit: age update 10 ms later.
     let mut transit = programs::wan_transit(0, 1, 30_000_000);
-    transit.process(&mut pkt, Intrinsics { now_ns: t0 + 10_040_000, created_at_ns: t0 });
+    transit.process(
+        &mut pkt,
+        Intrinsics {
+            now_ns: t0 + 10_040_000,
+            created_at_ns: t0,
+        },
+    );
     show("after Tofino2 (age updated)", &pkt);
 
     // Destination: timeliness check (on time here).
     let mut check = programs::destination_check(0, 1, 2);
-    let d = check.process(&mut pkt, Intrinsics { now_ns: t0 + 20_040_000, created_at_ns: t0 });
+    let d = check.process(
+        &mut pkt,
+        Intrinsics {
+            now_ns: t0 + 20_040_000,
+            created_at_ns: t0,
+        },
+    );
     show("after DTN 2 NIC (mode 3)", &pkt);
     println!(
         "{:28} deadline notifications emitted: {}",
@@ -80,7 +102,13 @@ fn main() {
         Features::RETRANSMIT | Features::TIMELINESS | Features::ACK_NAK,
     );
     pkt.ingress_port = 0;
-    down.process(&mut pkt, Intrinsics { now_ns: t0 + 20_080_000, created_at_ns: t0 });
+    down.process(
+        &mut pkt,
+        Intrinsics {
+            now_ns: t0 + 20_080_000,
+            created_at_ns: t0,
+        },
+    );
     show("after campus edge (downgrade)", &pkt);
 
     println!("\npayload survived every transition: {:?}", {

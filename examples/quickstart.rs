@@ -56,9 +56,7 @@ fn main() {
     println!("\n--- delivery ---");
     println!(
         "delivered {} / {} messages ({} duplicates suppressed)",
-        report.receiver.delivered,
-        report.sender.sent,
-        report.receiver.duplicates
+        report.receiver.delivered, report.sender.sent, report.receiver.duplicates
     );
     if let (Some(p50), Some(p99)) = (report.latency.median(), report.latency.quantile(0.99)) {
         println!("latency p50 {p50}  p99 {p99}");

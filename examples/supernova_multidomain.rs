@@ -41,7 +41,11 @@ fn main() {
         Progenitor::RedSupergiant,
         Progenitor::ExtendedEnvelope,
     ] {
-        println!("  {:?}: photons arrive ~{} after the neutrinos", p, p.photon_lag());
+        println!(
+            "  {:?}: photons arrive ~{} after the neutrinos",
+            p,
+            p.photon_lag()
+        );
     }
     assert!(result.mmt_within_budget);
 }

@@ -24,6 +24,10 @@ fn usage() -> ! {
          commands:\n\
          \x20 pilot   run the Fig. 4 pilot      [--rtt-ms N] [--loss P] [--messages N]\n\
          \x20         [--gbps N] [--deadline-ms N] [--seed N]\n\
+         \x20         [--metrics-out FILE]      Prometheus text exposition of every counter\n\
+         \x20         [--trace-out FILE]        per-packet event trace\n\
+         \x20         [--trace-format F]        chrome (default; chrome://tracing / Perfetto) or jsonl\n\
+         \x20         [--trace-cap N]           keep only the last N trace events (ring buffer)\n\
          \x20 fct     E1 flow-completion sweep  [--loss P] [--mb N] [--rtt1-ms N] [--rtt2-ms N] [--seed N]\n\
          \x20 hol     E2 head-of-line compare   [--loss P] [--rtt-ms N] [--messages N] [--seed N]"
     );
@@ -68,7 +72,33 @@ fn cmd_pilot(flags: HashMap<String, String>) {
         "pilot: {} msgs, {} WAN, rtt {}, loss {:?}, deadline {}",
         cfg.message_count, cfg.wan_bandwidth, cfg.wan_rtt, cfg.wan_loss, cfg.deadline_budget
     );
+    let metrics_out = flags.get("metrics-out").cloned();
+    let trace_out = flags.get("trace-out").cloned();
+    let trace_format = flags
+        .get("trace-format")
+        .map_or("chrome", String::as_str)
+        .to_string();
+    if !matches!(trace_format.as_str(), "chrome" | "jsonl") {
+        eprintln!("--trace-format must be chrome or jsonl, got {trace_format}");
+        std::process::exit(2);
+    }
     let mut pilot = Pilot::build(cfg);
+    if trace_out.is_some() {
+        match flags.get("trace-cap") {
+            Some(raw) => {
+                let cap: usize = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("could not parse --trace-cap {raw}");
+                    std::process::exit(2);
+                });
+                if cap == 0 {
+                    eprintln!("--trace-cap must be at least 1");
+                    std::process::exit(2);
+                }
+                pilot.enable_trace_bounded(cap);
+            }
+            None => pilot.enable_trace(),
+        }
+    }
     pilot.run(Time::from_secs(300));
     let mut r = pilot.report();
     println!(
@@ -87,6 +117,29 @@ fn cmd_pilot(flags: HashMap<String, String>) {
     match r.completed_at {
         Some(t) => println!("completed at {t}"),
         None => println!("INCOMPLETE within horizon"),
+    }
+    if let Some(path) = metrics_out {
+        let text = mmt::telemetry::prometheus::render(&pilot.metrics());
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let records = pilot.trace_records();
+        let text = match trace_format.as_str() {
+            "chrome" => mmt::telemetry::trace::to_chrome_trace(&records),
+            _ => mmt::telemetry::trace::to_jsonl(&records),
+        };
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace ({} events, {trace_format}) written to {path}",
+            records.len()
+        );
     }
 }
 
@@ -134,7 +187,10 @@ fn cmd_hol(flags: HashMap<String, String>) {
         println!(
             "{:<18} p50 {:<12} p99 {:<12} impacted {:.2}%  delivered {}",
             r.variant,
-            r.latency.median().map(|t| t.to_string()).unwrap_or_default(),
+            r.latency
+                .median()
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
             r.latency
                 .quantile(0.99)
                 .map(|t| t.to_string())

@@ -19,6 +19,7 @@
 //! | [`transport`] | `mmt-transport` | tuned-TCP and UDP baselines |
 //! | [`protocol`] | `mmt-core` | MMT endpoints, buffers, mode planner |
 //! | [`pilot`] | `mmt-pilot` | the Fig. 4 pilot and the experiment suite |
+//! | [`telemetry`] | `mmt-telemetry` | metric registry, flow-correlated tracing, exporters |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use mmt_daq as daq;
 pub use mmt_dataplane as dataplane;
 pub use mmt_netsim as netsim;
 pub use mmt_pilot as pilot;
+pub use mmt_telemetry as telemetry;
 pub use mmt_transport as transport;
 pub use mmt_wire as wire;
 

@@ -60,7 +60,10 @@ fn delivered_frames_carry_the_upgraded_mode() {
         assert!(m.age_ns.is_some(), "age tracked in-network");
     }
     // The sensor really did emit mode 0.
-    let sender = pilot.sim.node_as::<MmtSender>(pilot.sensor).expect("sender");
+    let sender = pilot
+        .sim
+        .node_as::<MmtSender>(pilot.sensor)
+        .expect("sender");
     assert_eq!(sender.stats.sent, 50);
     // And the buffer retained the upgraded stream for recovery.
     let buffer = pilot
@@ -109,10 +112,8 @@ fn features_compose_across_the_whole_stack() {
     );
     let mut pipeline = mmt::dataplane::PipelineBuilder::new()
         .table({
-            let mut t = mmt::dataplane::Table::new(
-                "upgrade",
-                vec![mmt::dataplane::MatchField::IsMmt],
-            );
+            let mut t =
+                mmt::dataplane::Table::new("upgrade", vec![mmt::dataplane::MatchField::IsMmt]);
             t.insert(mmt::dataplane::TableEntry {
                 key: vec![mmt::dataplane::FieldValue::Exact(1)],
                 priority: 0,
@@ -132,7 +133,13 @@ fn features_compose_across_the_whole_stack() {
         b"payload",
     );
     let mut pkt = ParsedPacket::parse(frame, 0);
-    pipeline.process(&mut pkt, Intrinsics { now_ns: 100, created_at_ns: 0 });
+    pipeline.process(
+        &mut pkt,
+        Intrinsics {
+            now_ns: 100,
+            created_at_ns: 0,
+        },
+    );
     let repr = pkt.mmt_repr().unwrap();
     assert_eq!(repr.features, mode.features);
     assert!(repr.features.contains(Features::ACK_NAK));

@@ -1,24 +1,21 @@
-//! Property-based integration tests: system invariants under randomized
-//! conditions.
+//! Seeded randomized integration tests: system invariants under
+//! randomized conditions. Simulations are heavyweight, so each property
+//! runs a handful of deterministic cases — plenty when each case streams
+//! hundreds of messages, and every failure replays from the fixed seeds.
 
-use mmt::netsim::{LossModel, Time};
+use mmt::netsim::{LossModel, SimRng, Time};
 use mmt::pilot::{Pilot, PilotConfig};
-use proptest::prelude::*;
 
-proptest! {
-    // Simulations are heavyweight; a handful of random cases per property
-    // is plenty when each case streams hundreds of messages.
-    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
-
-    /// Conservation law: delivered + lost == sent, for any loss rate,
-    /// RTT, and message count.
-    #[test]
-    fn pilot_conserves_messages(
-        loss in 0.0f64..0.05,
-        rtt_ms in 1u64..100,
-        messages in 50usize..400,
-        seed in 0u64..1000,
-    ) {
+/// Conservation law: delivered + lost == sent, for any loss rate,
+/// RTT, and message count.
+#[test]
+fn pilot_conserves_messages() {
+    let mut rng = SimRng::new(0x1217_0001);
+    for _ in 0..8 {
+        let loss = rng.next_f64() * 0.05;
+        let rtt_ms = 1 + rng.next_bounded(99);
+        let messages = 50 + rng.next_bounded(350) as usize;
+        let seed = rng.next_bounded(1000);
         let mut cfg = PilotConfig::default_run();
         cfg.wan_loss = LossModel::Random(loss);
         cfg.wan_rtt = Time::from_millis(rtt_ms);
@@ -29,24 +26,27 @@ proptest! {
         let mut pilot = Pilot::build(cfg);
         pilot.run(Time::from_secs(60));
         let r = pilot.report();
-        prop_assert_eq!(r.sender.sent, messages as u64);
-        prop_assert_eq!(
-            r.receiver.delivered + r.receiver.lost,
-            r.sender.sent
-        );
+        assert_eq!(r.sender.sent, messages as u64);
+        assert_eq!(r.receiver.delivered + r.receiver.lost, r.sender.sent);
         // No duplicates ever reach the application.
         let mut seen = std::collections::HashSet::new();
-        let receiver = pilot.sim
+        let receiver = pilot
+            .sim
             .node_as::<mmt::protocol::MmtReceiver>(pilot.receiver)
             .unwrap();
         for m in receiver.log() {
-            prop_assert!(seen.insert(m.msg_index), "duplicate delivery");
+            assert!(seen.insert(m.msg_index), "duplicate delivery");
         }
     }
+}
 
-    /// Latency floor: nothing arrives faster than the propagation path.
-    #[test]
-    fn latency_never_beats_light(rtt_ms in 2u64..80, seed in 0u64..100) {
+/// Latency floor: nothing arrives faster than the propagation path.
+#[test]
+fn latency_never_beats_light() {
+    let mut rng = SimRng::new(0x1217_0002);
+    for _ in 0..8 {
+        let rtt_ms = 2 + rng.next_bounded(78);
+        let seed = rng.next_bounded(100);
         let mut cfg = PilotConfig::default_run();
         cfg.wan_loss = LossModel::None;
         cfg.wan_rtt = Time::from_millis(rtt_ms);
@@ -54,20 +54,26 @@ proptest! {
         cfg.seed = seed;
         let mut pilot = Pilot::build(cfg);
         pilot.run(Time::from_secs(30));
-        let receiver = pilot.sim
+        let receiver = pilot
+            .sim
             .node_as::<mmt::protocol::MmtReceiver>(pilot.receiver)
             .unwrap();
         let floor = Time::from_millis(rtt_ms) / 2;
         for m in receiver.log() {
-            prop_assert!(m.arrived_at - m.created_at >= floor);
+            assert!(m.arrived_at - m.created_at >= floor);
         }
     }
+}
 
-    /// The aged flag is exactly the predicate "age exceeded the budget":
-    /// with deadline == max_age, flagged messages are precisely the late
-    /// ones.
-    #[test]
-    fn aged_flag_matches_lateness(budget_ms in 1u64..20, seed in 0u64..100) {
+/// The aged flag is exactly the predicate "age exceeded the budget":
+/// with deadline == max_age, flagged messages are precisely the late
+/// ones.
+#[test]
+fn aged_flag_matches_lateness() {
+    let mut rng = SimRng::new(0x1217_0003);
+    for _ in 0..8 {
+        let budget_ms = 1 + rng.next_bounded(19);
+        let seed = rng.next_bounded(100);
         let mut cfg = PilotConfig::default_run();
         cfg.wan_loss = LossModel::None;
         cfg.wan_rtt = Time::from_millis(10);
@@ -78,7 +84,8 @@ proptest! {
         let max_age = cfg.max_age;
         let mut pilot = Pilot::build(cfg);
         pilot.run(Time::from_secs(30));
-        let receiver = pilot.sim
+        let receiver = pilot
+            .sim
             .node_as::<mmt::protocol::MmtReceiver>(pilot.receiver)
             .unwrap();
         // The age *value* is stamped at the Tofino element; the aged *flag*
@@ -89,12 +96,12 @@ proptest! {
         for m in receiver.log() {
             let arrival_age = m.arrived_at - m.created_at;
             if m.aged {
-                prop_assert!(
+                assert!(
                     arrival_age + slack > max_age,
                     "flagged but on time: age={arrival_age} budget={max_age}"
                 );
             } else {
-                prop_assert!(
+                assert!(
                     arrival_age < max_age + slack,
                     "late but unflagged: age={arrival_age} budget={max_age}"
                 );
