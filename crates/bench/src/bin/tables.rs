@@ -13,8 +13,8 @@
 use mmt_bench::{gbps, pct, TextTable};
 use mmt_netsim::{Bandwidth, LossModel, Time};
 use mmt_pilot::experiments::{
-    alerts, aqm, backpressure, fct, hol, osmotic, payload, rates, slices, supernova, throughput,
-    timeliness, today,
+    alerts, aqm, backpressure, faults, fct, hol, osmotic, payload, rates, slices, supernova,
+    throughput, timeliness, today,
 };
 use mmt_pilot::{Pilot, PilotConfig};
 use std::path::PathBuf;
@@ -496,6 +496,43 @@ fn e11(opts: &Opts) {
     emit(t, opts);
 }
 
+fn e12(opts: &Opts) {
+    let mut p = faults::FaultParams::default_run();
+    if opts.quick {
+        p.messages = 300;
+    }
+    let mut t = TextTable::new(
+        "E12 — fault sweep: NAK recovery under composed WAN faults (reorder/dup/jitter/flap/NAK loss)",
+        &[
+            "scenario",
+            "complete",
+            "delivered",
+            "dups seen",
+            "naks",
+            "recovered",
+            "lost",
+            "flap drops",
+            "ctrl drops",
+            "completed at",
+        ],
+    );
+    for r in faults::run_all(&p) {
+        t.row(vec![
+            r.name.to_string(),
+            if r.complete { "yes" } else { "NO" }.to_string(),
+            r.delivered.to_string(),
+            r.duplicates.to_string(),
+            r.naks_sent.to_string(),
+            r.recovered.to_string(),
+            r.lost.to_string(),
+            r.flap_drops.to_string(),
+            r.control_drops.to_string(),
+            r.completed_at.map(|t| t.to_string()).unwrap_or("—".into()),
+        ]);
+    }
+    emit(t, opts);
+}
+
 fn a1_a2(opts: &Opts) {
     let mut t = TextTable::new(
         "A1 — deadline-aware AQM vs drop-tail under 2x overload (50/50 aged/fresh)",
@@ -530,7 +567,7 @@ fn main() {
     let opts = parse_args();
     println!("# Shape-shifting Elephants — regenerated tables and figures");
     println!(
-        "# mode: {}  (ids: t1 f2 f3 p1 e1..e11 a1 a2; --quick for reduced scale)",
+        "# mode: {}  (ids: t1 f2 f3 p1 e1..e12 a1 a2; --quick for reduced scale)",
         if opts.quick { "quick" } else { "full" }
     );
     let _ = (Bandwidth::gbps(1), LossModel::None); // re-exports sanity
@@ -575,6 +612,9 @@ fn main() {
     }
     if want(&opts, "e11") {
         e11(&opts);
+    }
+    if want(&opts, "e12") {
+        e12(&opts);
     }
     if want(&opts, "a1") || want(&opts, "a2") {
         a1_a2(&opts);

@@ -55,6 +55,10 @@ pub struct RetransmitBufferStats {
     pub retransmitted: u64,
     /// NAKed sequences no longer in the buffer (evicted before recovery).
     pub nak_misses: u64,
+    /// Retransmissions suppressed by the holdoff window (NAK-storm
+    /// protection: the same sequence re-requested before the previous
+    /// copy could plausibly have arrived).
+    pub retx_suppressed: u64,
     /// Backpressure grants sent upstream.
     pub credits_sent: u64,
 }
@@ -69,6 +73,11 @@ pub struct RetransmitBuffer {
     ring: VecDeque<u64>,
     store: HashMap<u64, Packet>,
     credit: Option<CreditConfig>,
+    /// Minimum spacing between retransmissions of the same sequence
+    /// (`Time::ZERO` = no holdoff, every NAK is served).
+    retx_holdoff: Time,
+    /// When each sequence was last retransmitted.
+    last_retx: HashMap<u64, Time>,
     /// Counters.
     pub stats: RetransmitBufferStats,
 }
@@ -93,8 +102,20 @@ impl RetransmitBuffer {
             ring: VecDeque::new(),
             store: HashMap::new(),
             credit,
+            retx_holdoff: Time::ZERO,
+            last_retx: HashMap::new(),
             stats: RetransmitBufferStats::default(),
         }
+    }
+
+    /// Set the per-sequence retransmission holdoff: NAKs for a sequence
+    /// retransmitted less than `holdoff` ago are suppressed (counted in
+    /// `retx_suppressed`) instead of amplifying a NAK storm. Pick a value
+    /// below the receiver's NAK retry interval so legitimate retries are
+    /// still served.
+    pub fn with_retx_holdoff(mut self, holdoff: Time) -> RetransmitBuffer {
+        self.retx_holdoff = holdoff;
+        self
     }
 
     /// Convenience: a buffer whose border names this node as the
@@ -156,6 +177,11 @@ impl RetransmitBuffer {
                 self.stats.nak_misses,
             ),
             (
+                "mmt_buffer_retx_suppressed_total",
+                "Retransmissions suppressed by the per-sequence holdoff window.",
+                self.stats.retx_suppressed,
+            ),
+            (
                 "mmt_buffer_credits_sent_total",
                 "Backpressure grants sent upstream.",
                 self.stats.credits_sent,
@@ -190,6 +216,7 @@ impl RetransmitBuffer {
             if let Some(old_pkt) = self.store.remove(&old) {
                 self.store_bytes -= old_pkt.len();
                 self.stats.evicted += 1;
+                self.last_retx.remove(&old);
             }
         }
         if len <= self.capacity_bytes {
@@ -207,11 +234,21 @@ impl RetransmitBuffer {
         from_port: PortId,
     ) {
         self.stats.naks_received += 1;
+        let now = ctx.now();
         for range in &nak.ranges {
             for seq in range.first..=range.last {
                 match self.store.get(&seq) {
                     Some(pkt) => {
+                        if self.retx_holdoff > Time::ZERO {
+                            if let Some(&last) = self.last_retx.get(&seq) {
+                                if now.saturating_sub(last) < self.retx_holdoff {
+                                    self.stats.retx_suppressed += 1;
+                                    continue;
+                                }
+                            }
+                        }
                         ctx.send(from_port, pkt.clone());
+                        self.last_retx.insert(seq, now);
                         self.stats.retransmitted += 1;
                     }
                     None => self.stats.nak_misses += 1,
@@ -234,7 +271,9 @@ impl RetransmitBuffer {
             &repr,
             &ctrl[repr.header_len()..],
         );
-        ctx.send(PORT_DAQ, Packet::new(frame));
+        let mut pkt = Packet::new(frame);
+        pkt.meta.control = true;
+        ctx.send(PORT_DAQ, pkt);
         self.stats.credits_sent += 1;
     }
 }
@@ -287,7 +326,11 @@ impl Node for RetransmitBuffer {
             ctx.send(egress, out);
         }
         for (eport, bytes) in disp.emitted {
-            ctx.send(eport, Packet::new(bytes));
+            // Pipeline-emitted frames are control plane (deadline
+            // notifications and the like).
+            let mut out = Packet::new(bytes);
+            out.meta.control = true;
+            ctx.send(eport, out);
         }
     }
 
@@ -468,6 +511,96 @@ mod tests {
         sim.run();
         let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
         assert_eq!(b.stats.nak_misses, 1);
+    }
+
+    #[test]
+    fn retx_holdoff_suppresses_nak_storm() {
+        let mut sim = Simulator::new(1);
+        let buf = sim.add_node(
+            "dtn1",
+            Box::new(
+                RetransmitBuffer::with_defaults(
+                    exp(),
+                    Ipv4Address::new(10, 0, 0, 5),
+                    1_000_000_000,
+                    1 << 20,
+                )
+                .with_retx_holdoff(Time::from_millis(2)),
+            ),
+        );
+        let wan = sim.add_node("wan", Box::new(Sink));
+        sim.add_oneway(
+            buf,
+            PORT_WAN,
+            wan,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
+        for i in 0..5 {
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i));
+        }
+        sim.run();
+        let before = sim.local_deliveries(wan).len();
+        // A storm: the same NAK three times within the holdoff window,
+        // then once after it expires.
+        for t_us in [100u64, 200, 300] {
+            sim.inject(
+                Time::from_micros(t_us),
+                buf,
+                PORT_WAN,
+                nak_frame(vec![NakRange { first: 2, last: 3 }]),
+            );
+        }
+        sim.inject(
+            Time::from_millis(5),
+            buf,
+            PORT_WAN,
+            nak_frame(vec![NakRange { first: 2, last: 3 }]),
+        );
+        sim.run();
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert_eq!(b.stats.naks_received, 4);
+        assert_eq!(b.stats.retransmitted, 4, "first burst + post-holdoff retry");
+        assert_eq!(b.stats.retx_suppressed, 4, "two storm repeats suppressed");
+        assert_eq!(sim.local_deliveries(wan).len(), before + 4);
+    }
+
+    #[test]
+    fn credits_are_stamped_control_plane() {
+        let mut sim = Simulator::new(1);
+        let buf = sim.add_node(
+            "dtn1",
+            Box::new(RetransmitBuffer::new(
+                exp(),
+                BorderConfig {
+                    daq_port: PORT_DAQ,
+                    wan_port: PORT_WAN,
+                    retransmit_source: (Ipv4Address::new(10, 0, 0, 5), 47_000),
+                    deadline_budget_ns: 1_000_000,
+                    notify_addr: Ipv4Address::new(10, 0, 0, 5),
+                    priority_class: None,
+                },
+                1 << 20,
+                Some(CreditConfig {
+                    grant: 16,
+                    interval: Time::from_millis(1),
+                }),
+            )),
+        );
+        let sensor_side = sim.add_node("sensor", Box::new(Sink));
+        sim.add_oneway(
+            buf,
+            PORT_DAQ,
+            sensor_side,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
+        sim.run_until(Time::from_micros(500));
+        let got = sim.local_deliveries(sensor_side);
+        assert!(!got.is_empty());
+        for (_, pkt) in got {
+            assert!(pkt.meta.control, "credits must carry the control flag");
+        }
     }
 
     #[test]

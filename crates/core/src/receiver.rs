@@ -9,7 +9,7 @@
 use crate::seqtrack::SeqTracker;
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
 use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
-use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr, NakRepr};
+use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr, NakRange, NakRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
 use std::collections::HashMap;
 
@@ -27,6 +27,16 @@ pub struct ReceiverConfig {
     pub reorder_delay: Time,
     /// Interval between NAK retries for unrecovered gaps.
     pub nak_interval: Time,
+    /// Ceiling for the backed-off NAK retry interval. Each retry round
+    /// that makes no recovery progress doubles the interval (exponential
+    /// backoff, so NAK storms decay instead of hammering a lossy reverse
+    /// path); any recovery resets it to `nak_interval`.
+    pub nak_interval_max: Time,
+    /// Per-sequence NAK retry budget. A sequence NAKed this many times
+    /// without recovery is abandoned as lost even before the time-based
+    /// give-up fires. Keep high (default 64) so `give_up_after` governs
+    /// in ordinary runs.
+    pub max_nak_retries: u32,
     /// Give up on a gap after this long and count it lost.
     pub give_up_after: Time,
     /// Maximum ranges per NAK message.
@@ -43,6 +53,8 @@ impl ReceiverConfig {
             own_addr,
             reorder_delay: Time::from_micros(200),
             nak_interval: Time::from_millis(30),
+            nak_interval_max: Time::from_millis(240),
+            max_nak_retries: 64,
             give_up_after: Time::from_secs(2),
             max_ranges_per_nak: 32,
             expect_messages: None,
@@ -87,6 +99,13 @@ pub struct ReceiverStats {
     /// Deadline-exceeded notifications received (when this node is the
     /// notify target).
     pub deadline_notifications: u64,
+    /// Sequences abandoned because their per-sequence NAK retry budget
+    /// ran out (subset of `lost`).
+    pub nak_retries_exhausted: u64,
+    /// Duplicate copies of sequences that had already been recovered via
+    /// NAK (late original vs. retransmission races; subset of
+    /// `duplicates`).
+    pub dup_after_recovery: u64,
     /// Packets delivered with the aged flag set.
     pub aged_deliveries: u64,
     /// When the expected message count was reached.
@@ -101,6 +120,13 @@ pub struct MmtReceiver {
     gap_first_seen: HashMap<u64, Time>,
     /// Seqs we have NAKed at least once (to label recoveries).
     naked: std::collections::HashSet<u64>,
+    /// Seqs that arrived via NAK recovery (to label late duplicates).
+    recovered_seqs: std::collections::HashSet<u64>,
+    /// NAK retry count per outstanding sequence.
+    nak_counts: HashMap<u64, u32>,
+    /// Consecutive NAK rounds without any recovery progress (drives the
+    /// exponential retry backoff).
+    barren_rounds: u32,
     /// Retransmit source seen on the most recent sequenced packet.
     retransmit_source: Option<(Ipv4Address, u16)>,
     /// When the most recent sequenced packet arrived.
@@ -122,6 +148,9 @@ impl MmtReceiver {
             tracker: SeqTracker::new(),
             gap_first_seen: HashMap::new(),
             naked: std::collections::HashSet::new(),
+            recovered_seqs: std::collections::HashSet::new(),
+            nak_counts: HashMap::new(),
+            barren_rounds: 0,
             retransmit_source: None,
             last_arrival: Time::ZERO,
             nak_timer_armed: false,
@@ -182,6 +211,16 @@ impl MmtReceiver {
                 "Packets delivered with the aged flag set.",
                 self.stats.aged_deliveries,
             ),
+            (
+                "mmt_receiver_nak_retries_exhausted_total",
+                "Sequences abandoned after exhausting the NAK retry budget.",
+                self.stats.nak_retries_exhausted,
+            ),
+            (
+                "mmt_receiver_dup_after_recovery_total",
+                "Duplicate copies of already-recovered sequences suppressed.",
+                self.stats.dup_after_recovery,
+            ),
         ] {
             reg.describe(name, help);
             reg.counter_add(name, &labels, value);
@@ -239,23 +278,58 @@ impl MmtReceiver {
         missing
     }
 
-    fn send_nak(&mut self, ctx: &mut Context<'_>) {
+    /// Retry interval after `barren_rounds` unproductive NAK rounds:
+    /// exponential backoff from `nak_interval`, capped at
+    /// `nak_interval_max`.
+    fn backoff_interval(&self) -> Time {
+        let shift = self.barren_rounds.saturating_sub(1).min(16);
+        let scaled = self.config.nak_interval * (1u64 << shift);
+        scaled
+            .min(self.config.nak_interval_max)
+            .max(self.config.nak_interval)
+    }
+
+    /// Send a NAK for outstanding gaps, charging each sequence's retry
+    /// budget; sequences whose budget is exhausted are abandoned as lost
+    /// instead. Returns whether a NAK went out.
+    fn send_nak(&mut self, ctx: &mut Context<'_>) -> bool {
         let missing = self.outstanding_ranges(self.config.max_ranges_per_nak, ctx.now());
         if missing.is_empty() {
-            return;
+            return false;
         }
         let Some((_, port)) = self.retransmit_source else {
-            return;
+            return false;
         };
+        // Charge the per-sequence retry budget, rebuilding merged ranges
+        // from the sequences still worth asking for.
+        let mut ranges: Vec<NakRange> = Vec::new();
         for r in &missing {
             for s in r.first..=r.last {
+                let count = self.nak_counts.entry(s).or_insert(0);
+                if *count >= self.config.max_nak_retries {
+                    if self.tracker.record(s) {
+                        // Pseudo-fill so this sequence stops being a gap.
+                        self.stats.lost += 1;
+                        self.stats.nak_retries_exhausted += 1;
+                    }
+                    self.nak_counts.remove(&s);
+                    continue;
+                }
+                *count += 1;
                 self.naked.insert(s);
+                match ranges.last_mut() {
+                    Some(r) if r.last + 1 == s => r.last = s,
+                    _ => ranges.push(NakRange { first: s, last: s }),
+                }
             }
+        }
+        if ranges.is_empty() {
+            return false;
         }
         let nak = NakRepr {
             requester: self.config.own_addr,
             requester_port: port,
-            ranges: missing,
+            ranges,
         };
         let ctrl = ControlRepr::Nak(nak).emit_packet(self.config.experiment);
         let repr = MmtRepr::parse(&ctrl).expect("just built");
@@ -265,8 +339,11 @@ impl MmtReceiver {
             &repr,
             &ctrl[repr.header_len()..],
         );
-        ctx.send(0, Packet::new(frame));
+        let mut pkt = Packet::new(frame);
+        pkt.meta.control = true;
+        ctx.send(0, pkt);
         self.stats.naks_sent += 1;
+        true
     }
 
     /// Abandon gaps older than the give-up horizon; returns whether any
@@ -280,6 +357,7 @@ impl MmtReceiver {
                 for s in r.first..=r.last {
                     self.tracker.record(s); // pseudo-fill: stop NAKing
                     self.stats.lost += 1;
+                    self.nak_counts.remove(&s);
                 }
                 self.gap_first_seen.remove(&r.first);
             } else {
@@ -335,11 +413,18 @@ impl Node for MmtReceiver {
             }
             if !self.tracker.record(s) {
                 self.stats.duplicates += 1;
+                if self.recovered_seqs.contains(&s) {
+                    self.stats.dup_after_recovery += 1;
+                }
                 return;
             }
             if self.naked.remove(&s) {
                 recovered = true;
                 self.stats.recovered += 1;
+                self.recovered_seqs.insert(s);
+                self.nak_counts.remove(&s);
+                // Progress: reset the retry backoff.
+                self.barren_rounds = 0;
             }
             // Gap filled? Clean up its first-seen entry lazily (handled in
             // age_out_gaps). New gaps — or a known stream length with
@@ -379,8 +464,8 @@ impl Node for MmtReceiver {
         self.nak_timer_armed = false;
         let now = ctx.now();
         let outstanding = self.age_out_gaps(now);
-        if outstanding {
-            self.send_nak(ctx);
+        if outstanding && self.send_nak(ctx) {
+            self.barren_rounds = self.barren_rounds.saturating_add(1);
         }
         // Stay armed while anything is (or may become) outstanding: gaps
         // under recovery, or a pending tail waiting out the quiet period.
@@ -388,7 +473,7 @@ impl Node for MmtReceiver {
             self.tracker.received_count() > 0 && self.tracker.received_count() < expect
         });
         if outstanding || tail_pending {
-            self.arm_nak_timer(ctx, self.config.nak_interval);
+            self.arm_nak_timer(ctx, self.backoff_interval());
         }
     }
 
@@ -546,6 +631,97 @@ mod tests {
         let quiet_after = sim.local_deliveries(net).len();
         sim.run_until(Time::from_secs(2));
         assert_eq!(sim.local_deliveries(net).len(), quiet_after);
+    }
+
+    fn persistent_gap_run(
+        nak_interval_max: Time,
+        max_nak_retries: u32,
+        give_up_after: Time,
+    ) -> (ReceiverStats, usize) {
+        let mut sim = Simulator::new(1);
+        let mut cfg = ReceiverConfig::wan_defaults(exp(), Ipv4Address::new(10, 0, 0, 8));
+        cfg.nak_interval = Time::from_millis(10);
+        cfg.nak_interval_max = nak_interval_max;
+        cfg.max_nak_retries = max_nak_retries;
+        cfg.give_up_after = give_up_after;
+        let rcv = sim.add_node("dtn2", Box::new(MmtReceiver::new(cfg)));
+        let net = sim.add_node("net", Box::new(Sink));
+        sim.add_oneway(
+            rcv,
+            0,
+            net,
+            0,
+            LinkSpec::new(Bandwidth::gbps(100), Time::ZERO),
+        );
+        sim.inject(Time::ZERO, rcv, 0, wan_frame(0, 0, false));
+        sim.inject(Time::from_micros(1), rcv, 0, wan_frame(3, 3, false));
+        sim.run_until(Time::from_secs(10));
+        let stats = sim.node_as::<MmtReceiver>(rcv).unwrap().stats;
+        (stats, sim.local_deliveries(net).len())
+    }
+
+    #[test]
+    fn nak_retry_budget_bounds_naks() {
+        // Time-based give-up is far away; the per-sequence budget (3)
+        // must cut the storm off on its own.
+        let (stats, naks) = persistent_gap_run(Time::from_millis(10), 3, Time::from_secs(60));
+        assert_eq!(naks, 3, "exactly the budgeted retries");
+        assert_eq!(stats.lost, 2, "seqs 1-2 abandoned");
+        assert_eq!(stats.nak_retries_exhausted, 2);
+    }
+
+    #[test]
+    fn backoff_slows_nak_retries() {
+        // Flat retries (cap == interval) vs. exponential backoff capped
+        // at 16x: same give-up horizon, far fewer NAKs with backoff.
+        let (flat_stats, flat_naks) =
+            persistent_gap_run(Time::from_millis(10), u32::MAX, Time::from_millis(500));
+        let (bo_stats, bo_naks) =
+            persistent_gap_run(Time::from_millis(160), u32::MAX, Time::from_millis(500));
+        assert_eq!(flat_stats.lost, 2);
+        assert_eq!(bo_stats.lost, 2);
+        assert!(
+            bo_naks * 2 < flat_naks,
+            "backoff {bo_naks} should be well under flat {flat_naks}"
+        );
+        assert_eq!(
+            bo_stats.nak_retries_exhausted, 0,
+            "time-based give-up governed"
+        );
+    }
+
+    #[test]
+    fn late_duplicate_of_recovered_seq_counted() {
+        let (mut sim, rcv, _) = setup();
+        for (t, s) in [(0u64, 0u64), (1, 1), (2, 4)] {
+            sim.inject(Time::from_micros(t), rcv, 0, wan_frame(s, s, false));
+        }
+        // Retransmissions fill the gap...
+        sim.inject(Time::from_millis(2), rcv, 0, wan_frame(2, 2, false));
+        sim.inject(Time::from_millis(2), rcv, 0, wan_frame(3, 3, false));
+        // ...then the delayed originals finally show up.
+        sim.inject(Time::from_millis(5), rcv, 0, wan_frame(2, 2, false));
+        sim.inject(Time::from_millis(5), rcv, 0, wan_frame(3, 3, false));
+        sim.run_until(Time::from_secs(1));
+        let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+        assert_eq!(r.stats.recovered, 2);
+        assert_eq!(r.stats.duplicates, 2);
+        assert_eq!(r.stats.dup_after_recovery, 2);
+        assert_eq!(r.stats.delivered, 5);
+    }
+
+    #[test]
+    fn naks_are_stamped_control_plane() {
+        let (mut sim, rcv, net) = setup();
+        for (t, s) in [(0u64, 0u64), (1, 3)] {
+            sim.inject(Time::from_micros(t), rcv, 0, wan_frame(s, s, false));
+        }
+        sim.run_until(Time::from_millis(1));
+        let naks = sim.local_deliveries(net);
+        assert!(!naks.is_empty());
+        for (_, pkt) in naks {
+            assert!(pkt.meta.control, "NAKs must carry the control flag");
+        }
     }
 
     #[test]

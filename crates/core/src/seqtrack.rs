@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 pub struct SeqTracker {
     /// Merged received ranges: start → end (exclusive).
     ranges: BTreeMap<u64, u64>,
+    /// How many `record` calls hit an already-received sequence.
+    duplicate_hits: u64,
 }
 
 impl SeqTracker {
@@ -24,6 +26,7 @@ impl SeqTracker {
     pub fn record(&mut self, seq: u64) -> bool {
         // Find a range containing or adjacent to seq.
         if self.contains(seq) {
+            self.duplicate_hits += 1;
             return false;
         }
         let prev = self.ranges.range(..=seq).next_back().map(|(&s, &e)| (s, e));
@@ -69,6 +72,12 @@ impl SeqTracker {
     /// Count of distinct sequence numbers received.
     pub fn received_count(&self) -> u64 {
         self.ranges.iter().map(|(&s, &e)| e - s).sum()
+    }
+
+    /// How many `record` calls were suppressed as duplicates (fault
+    /// injection can multiply these; the tracker is the dedup authority).
+    pub fn duplicate_hits(&self) -> u64 {
+        self.duplicate_hits
     }
 
     /// Number of gaps (missing ranges at or below the highest received
@@ -128,6 +137,9 @@ mod tests {
         assert!(t.contains(5));
         assert!(!t.contains(4));
         assert_eq!(t.received_count(), 1);
+        assert_eq!(t.duplicate_hits(), 1);
+        assert!(!t.record(5));
+        assert_eq!(t.duplicate_hits(), 2);
     }
 
     #[test]

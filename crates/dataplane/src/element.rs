@@ -164,7 +164,12 @@ impl Node for DataplaneElement {
             let pmeta = if is_mirror {
                 PacketMeta { id: 0, ..meta }
             } else {
-                PacketMeta::default()
+                // Fresh control-plane message (deadline notification etc.);
+                // flag it so fault injection can target control loss.
+                PacketMeta {
+                    control: true,
+                    ..PacketMeta::default()
+                }
             };
             sends.push((eport, Packet { bytes, meta: pmeta }));
         }

@@ -1,0 +1,422 @@
+//! Composable, seeded fault injection for links.
+//!
+//! The paper's recovery machinery — NAK-from-nearest-buffer (§5.4), age
+//! and deadline tracking (§5.3) — exists precisely because research WANs
+//! misbehave in ways beyond clean corruption loss: optical links flap,
+//! ECMP reshuffles reorder packets, middleboxes duplicate frames, and the
+//! control packets carrying NAKs cross the same unreliable segments as the
+//! data they protect. A [`FaultSpec`] attaches those pathologies to any
+//! [`crate::LinkSpec`], deterministically from the simulation seed:
+//!
+//! * **Reordering** — each packet is independently held back by a bounded
+//!   extra delay, so later packets can overtake it (bounded displacement).
+//! * **Duplication** — a delivered packet is cloned and the copy arrives
+//!   shortly after the original.
+//! * **Jitter** — uniform extra per-packet latency, the substrate that
+//!   turns fixed-interval senders into reordering victims.
+//! * **Link flaps** — scheduled (periodic) and random (burst) outage
+//!   windows during which every transmission is lost.
+//! * **Selective control-plane loss** — drops MMT control packets (NAKs,
+//!   deadline notifications, credits) at a configurable rate *independent
+//!   of* data loss, exercising recovery when the recovery channel itself
+//!   is lossy.
+//!
+//! Faults draw from their own forked RNG stream, so attaching a
+//! [`FaultSpec`] never perturbs the link's corruption-loss sequence: a run
+//! with `FaultSpec::none()` is byte-identical to one built before this
+//! module existed.
+
+use crate::rng::SimRng;
+use crate::time::Time;
+
+/// A periodic, scheduled outage: down for `down_for` out of every
+/// `period`, starting at `first_down`. Models maintenance windows and
+/// deterministic flap reproductions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicOutage {
+    /// When the first outage begins.
+    pub first_down: Time,
+    /// Length of each outage window.
+    pub down_for: Time,
+    /// Distance between outage starts (must exceed `down_for`).
+    pub period: Time,
+}
+
+impl PeriodicOutage {
+    /// Whether the link is down at `now`.
+    pub fn is_down(&self, now: Time) -> bool {
+        if now < self.first_down || self.period == Time::ZERO {
+            return false;
+        }
+        let since = (now - self.first_down).as_nanos() % self.period.as_nanos();
+        since < self.down_for.as_nanos()
+    }
+}
+
+/// Random burst downtime: alternating up/down dwell times drawn from
+/// exponential distributions (memoryless, like real optical glitches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomOutage {
+    /// Mean time between outages.
+    pub mean_up: Time,
+    /// Mean outage length.
+    pub mean_down: Time,
+}
+
+/// Faults attached to one link direction. `Default` is fault-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Per-packet probability of being held back for reordering.
+    pub reorder: f64,
+    /// Maximum extra delay of a held-back packet (uniform in `(0, max]`);
+    /// bounds the displacement a reordered packet can suffer.
+    pub reorder_delay: Time,
+    /// Per-delivered-packet duplication probability.
+    pub duplicate: f64,
+    /// How long after the original the duplicate copy arrives.
+    pub duplicate_delay: Time,
+    /// Uniform per-packet jitter in `[0, jitter]` added to every delivery.
+    pub jitter: Time,
+    /// Scheduled outage windows.
+    pub scheduled_outage: Option<PeriodicOutage>,
+    /// Random burst downtime.
+    pub random_outage: Option<RandomOutage>,
+    /// Drop probability applied only to control-plane packets
+    /// ([`crate::PacketMeta::control`]), on top of the link loss model.
+    pub control_loss: f64,
+}
+
+impl FaultSpec {
+    /// No faults (the default).
+    pub fn none() -> FaultSpec {
+        FaultSpec::default()
+    }
+
+    /// Whether this spec injects nothing (the fast path skips all fault
+    /// bookkeeping when true).
+    pub fn is_none(&self) -> bool {
+        self.reorder <= 0.0
+            && self.duplicate <= 0.0
+            && self.jitter == Time::ZERO
+            && self.scheduled_outage.is_none()
+            && self.random_outage.is_none()
+            && self.control_loss <= 0.0
+    }
+
+    /// Hold back packets with probability `p` by up to `max_delay`.
+    #[must_use]
+    pub fn with_reorder(mut self, p: f64, max_delay: Time) -> FaultSpec {
+        self.reorder = p;
+        self.reorder_delay = max_delay;
+        self
+    }
+
+    /// Duplicate delivered packets with probability `p`; the copy lands
+    /// `delay` after the original.
+    #[must_use]
+    pub fn with_duplication(mut self, p: f64, delay: Time) -> FaultSpec {
+        self.duplicate = p;
+        self.duplicate_delay = delay;
+        self
+    }
+
+    /// Add uniform `[0, max]` per-packet jitter.
+    #[must_use]
+    pub fn with_jitter(mut self, max: Time) -> FaultSpec {
+        self.jitter = max;
+        self
+    }
+
+    /// Add a periodic scheduled outage.
+    #[must_use]
+    pub fn with_scheduled_outage(mut self, outage: PeriodicOutage) -> FaultSpec {
+        self.scheduled_outage = Some(outage);
+        self
+    }
+
+    /// Add random burst downtime.
+    #[must_use]
+    pub fn with_random_outage(mut self, mean_up: Time, mean_down: Time) -> FaultSpec {
+        self.random_outage = Some(RandomOutage { mean_up, mean_down });
+        self
+    }
+
+    /// Drop control-plane packets with probability `p` (independent of the
+    /// data loss model).
+    #[must_use]
+    pub fn with_control_loss(mut self, p: f64) -> FaultSpec {
+        self.control_loss = p;
+        self
+    }
+}
+
+/// What the fault layer decided for one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver with `extra_delay` beyond nominal latency; when
+    /// `duplicate_after` is set, also deliver a copy that much later than
+    /// the original.
+    Deliver {
+        /// Extra latency (jitter + reordering hold-back).
+        extra_delay: Time,
+        /// Lag of the injected duplicate copy, if one was rolled.
+        duplicate_after: Option<Time>,
+        /// Whether the extra delay includes a reordering hold-back.
+        reordered: bool,
+    },
+    /// Lost to a link outage (flap).
+    FlapDrop,
+    /// A control-plane packet dropped by selective control loss.
+    ControlDrop,
+}
+
+/// Mutable per-link fault state: the dedicated RNG stream and the lazily
+/// generated random-outage window chain.
+#[derive(Debug)]
+pub struct FaultState {
+    rng: SimRng,
+    /// Current random-outage window: down at `down_at`, back up at `up_at`.
+    down_at: Time,
+    up_at: Time,
+    initialized: bool,
+}
+
+impl FaultState {
+    /// Fresh state over a dedicated RNG stream.
+    pub fn new(rng: SimRng) -> FaultState {
+        FaultState {
+            rng,
+            down_at: Time::ZERO,
+            up_at: Time::ZERO,
+            initialized: false,
+        }
+    }
+
+    fn exp_time(rng: &mut SimRng, mean: Time) -> Time {
+        let ns = rng.exponential(mean.as_nanos() as f64).max(1.0);
+        // Cap at ~292 years of virtual time to avoid overflow on extremes.
+        Time::from_nanos(ns.min(9.2e18) as u64)
+    }
+
+    /// Whether the random-outage chain has the link down at `now`.
+    /// Windows are generated from the fault RNG on demand; the chain
+    /// depends only on the seed, never on traffic timing... provided
+    /// queries are made with non-decreasing `now`, which the event loop
+    /// guarantees.
+    fn random_down(&mut self, spec: &RandomOutage, now: Time) -> bool {
+        if !self.initialized {
+            self.initialized = true;
+            self.down_at = Self::exp_time(&mut self.rng, spec.mean_up);
+            self.up_at = self.down_at + Self::exp_time(&mut self.rng, spec.mean_down);
+        }
+        while now >= self.up_at {
+            self.down_at = self.up_at + Self::exp_time(&mut self.rng, spec.mean_up);
+            self.up_at = self.down_at + Self::exp_time(&mut self.rng, spec.mean_down);
+        }
+        now >= self.down_at
+    }
+
+    /// Decide the fate of a packet transmitted at `now`. `is_control`
+    /// selects the control-plane loss arm.
+    pub fn apply(&mut self, spec: &FaultSpec, now: Time, is_control: bool) -> FaultVerdict {
+        if let Some(outage) = &spec.scheduled_outage {
+            if outage.is_down(now) {
+                return FaultVerdict::FlapDrop;
+            }
+        }
+        if let Some(outage) = spec.random_outage {
+            if self.random_down(&outage, now) {
+                return FaultVerdict::FlapDrop;
+            }
+        }
+        if is_control && spec.control_loss > 0.0 && self.rng.chance(spec.control_loss) {
+            return FaultVerdict::ControlDrop;
+        }
+        let mut extra = Time::ZERO;
+        if spec.jitter > Time::ZERO {
+            extra += Time::from_nanos(self.rng.next_bounded(spec.jitter.as_nanos() + 1));
+        }
+        let mut reordered = false;
+        if spec.reorder > 0.0 && spec.reorder_delay > Time::ZERO && self.rng.chance(spec.reorder) {
+            reordered = true;
+            extra += Time::from_nanos(1 + self.rng.next_bounded(spec.reorder_delay.as_nanos()));
+        }
+        let duplicate_after = if spec.duplicate > 0.0 && self.rng.chance(spec.duplicate) {
+            Some(spec.duplicate_delay.max(Time::from_nanos(1)))
+        } else {
+            None
+        };
+        FaultVerdict::Deliver {
+            extra_delay: extra,
+            duplicate_after,
+            reordered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(seed: u64) -> FaultState {
+        FaultState::new(SimRng::new(seed))
+    }
+
+    #[test]
+    fn default_spec_is_transparent() {
+        let spec = FaultSpec::none();
+        assert!(spec.is_none());
+        let mut st = state(1);
+        for t in 0..100u64 {
+            match st.apply(&spec, Time::from_micros(t), t % 2 == 0) {
+                FaultVerdict::Deliver {
+                    extra_delay,
+                    duplicate_after,
+                    reordered,
+                } => {
+                    assert_eq!(extra_delay, Time::ZERO);
+                    assert_eq!(duplicate_after, None);
+                    assert!(!reordered);
+                }
+                other => panic!("faultless spec produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builders_compose_and_unset_is_none() {
+        let spec = FaultSpec::none()
+            .with_reorder(0.1, Time::from_micros(50))
+            .with_duplication(0.05, Time::from_micros(10))
+            .with_jitter(Time::from_micros(5))
+            .with_control_loss(0.2)
+            .with_random_outage(Time::from_millis(100), Time::from_millis(1))
+            .with_scheduled_outage(PeriodicOutage {
+                first_down: Time::from_millis(10),
+                down_for: Time::from_millis(1),
+                period: Time::from_millis(50),
+            });
+        assert!(!spec.is_none());
+        assert_eq!(spec.reorder, 0.1);
+        assert_eq!(spec.control_loss, 0.2);
+    }
+
+    #[test]
+    fn periodic_outage_windows() {
+        let o = PeriodicOutage {
+            first_down: Time::from_millis(10),
+            down_for: Time::from_millis(2),
+            period: Time::from_millis(10),
+        };
+        assert!(!o.is_down(Time::from_millis(5)));
+        assert!(o.is_down(Time::from_millis(10)));
+        assert!(o.is_down(Time::from_millis(11)));
+        assert!(!o.is_down(Time::from_millis(12)));
+        assert!(o.is_down(Time::from_millis(20)));
+        assert!(!o.is_down(Time::from_millis(29)));
+        // Degenerate period never downs.
+        let z = PeriodicOutage {
+            first_down: Time::ZERO,
+            down_for: Time::ZERO,
+            period: Time::ZERO,
+        };
+        assert!(!z.is_down(Time::from_secs(1)));
+    }
+
+    #[test]
+    fn reorder_rate_and_bound_respected() {
+        let spec = FaultSpec::none().with_reorder(0.3, Time::from_micros(100));
+        let mut st = state(7);
+        let mut reorders = 0;
+        for t in 0..10_000u64 {
+            if let FaultVerdict::Deliver {
+                extra_delay,
+                reordered,
+                ..
+            } = st.apply(&spec, Time::from_micros(t), false)
+            {
+                if reordered {
+                    reorders += 1;
+                    assert!(extra_delay > Time::ZERO);
+                    assert!(extra_delay <= Time::from_micros(100));
+                } else {
+                    assert_eq!(extra_delay, Time::ZERO);
+                }
+            }
+        }
+        assert!((2_500..3_500).contains(&reorders), "{reorders}");
+    }
+
+    #[test]
+    fn duplication_rate_respected() {
+        let spec = FaultSpec::none().with_duplication(0.1, Time::from_micros(3));
+        let mut st = state(8);
+        let dups = (0..10_000u64)
+            .filter(|&t| {
+                matches!(
+                    st.apply(&spec, Time::from_micros(t), false),
+                    FaultVerdict::Deliver {
+                        duplicate_after: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!((800..1_200).contains(&dups), "{dups}");
+    }
+
+    #[test]
+    fn control_loss_only_hits_control_packets() {
+        let spec = FaultSpec::none().with_control_loss(0.5);
+        let mut st = state(9);
+        let mut control_drops = 0;
+        for t in 0..2_000u64 {
+            match st.apply(&spec, Time::from_micros(t), t % 2 == 0) {
+                FaultVerdict::ControlDrop => {
+                    assert_eq!(t % 2, 0, "data packet hit by control loss");
+                    control_drops += 1;
+                }
+                FaultVerdict::Deliver { .. } => {}
+                FaultVerdict::FlapDrop => panic!("no outage configured"),
+            }
+        }
+        assert!((350..650).contains(&control_drops), "{control_drops}");
+    }
+
+    #[test]
+    fn random_outage_downtime_fraction_tracks_means() {
+        let spec = FaultSpec::none().with_random_outage(Time::from_millis(9), Time::from_millis(1));
+        let mut st = state(10);
+        // Sample the chain every 10 µs over 10 virtual seconds.
+        let mut down = 0u64;
+        let n = 1_000_000u64;
+        for i in 0..n {
+            if matches!(
+                st.apply(&spec, Time::from_micros(i * 10), false),
+                FaultVerdict::FlapDrop
+            ) {
+                down += 1;
+            }
+        }
+        let frac = down as f64 / n as f64;
+        assert!((0.05..0.2).contains(&frac), "downtime fraction {frac}");
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let spec = FaultSpec::none()
+            .with_reorder(0.2, Time::from_micros(40))
+            .with_duplication(0.1, Time::from_micros(5))
+            .with_jitter(Time::from_micros(2))
+            .with_control_loss(0.3)
+            .with_random_outage(Time::from_millis(5), Time::from_millis(1));
+        let run = |seed| {
+            let mut st = state(seed);
+            (0..500u64)
+                .map(|t| st.apply(&spec, Time::from_micros(t * 7), t % 3 == 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

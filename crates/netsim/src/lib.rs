@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod link;
 mod node;
 mod packet;
@@ -73,6 +74,7 @@ pub mod stats;
 mod time;
 mod trace;
 
+pub use fault::{FaultSpec, FaultState, FaultVerdict, PeriodicOutage, RandomOutage};
 pub use link::{Link, LinkId, LinkSpec, LossModel, LossState};
 pub use node::{Context, Node, NodeId, PortId, TimerToken};
 pub use packet::{Packet, PacketMeta};

@@ -1,5 +1,6 @@
 //! Unidirectional links: queue → serializer → propagation → loss.
 
+use crate::fault::{FaultSpec, FaultState};
 use crate::queue::{Classifier, QueueSpec, TransmitQueue};
 use crate::rng::SimRng;
 use crate::time::{Bandwidth, Time};
@@ -122,6 +123,8 @@ pub struct LinkSpec {
     pub loss: LossModel,
     /// Output queue discipline.
     pub queue: QueueSpec,
+    /// Fault injection attached to this direction (default: none).
+    pub fault: FaultSpec,
 }
 
 impl LinkSpec {
@@ -133,6 +136,7 @@ impl LinkSpec {
             mtu: 9018, // jumbo payload + Ethernet header
             loss: LossModel::None,
             queue: QueueSpec::default_fifo(),
+            fault: FaultSpec::none(),
         }
     }
 
@@ -156,6 +160,13 @@ impl LinkSpec {
         self.queue = queue;
         self
     }
+
+    /// Attach a fault-injection spec.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> LinkSpec {
+        self.fault = fault;
+        self
+    }
 }
 
 /// Per-link statistics.
@@ -177,6 +188,14 @@ pub struct LinkStats {
     pub queue_drops: u64,
     /// Packets lost to corruption in flight.
     pub corruption_losses: u64,
+    /// Packets lost to link outages (fault injection).
+    pub flap_drops: u64,
+    /// Control-plane packets dropped by selective control loss.
+    pub control_drops: u64,
+    /// Duplicate copies injected by the fault layer.
+    pub dup_injected: u64,
+    /// Packets held back for reordering by the fault layer.
+    pub reordered: u64,
     /// Nanoseconds the transmitter spent busy (for utilization).
     pub busy_ns: u64,
 }
@@ -220,6 +239,8 @@ pub struct Link {
     pub rng: SimRng,
     /// State for stateful loss models.
     pub loss_state: LossState,
+    /// Fault-injection state (independent RNG stream, outage chain).
+    pub fault_state: FaultState,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -232,6 +253,7 @@ impl Link {
         dst_node: usize,
         dst_port: usize,
         rng: SimRng,
+        fault_rng: SimRng,
     ) -> Link {
         Link {
             queue: TransmitQueue::new(spec.queue),
@@ -242,6 +264,7 @@ impl Link {
             busy: false,
             rng,
             loss_state: LossState::default(),
+            fault_state: FaultState::new(fault_rng),
             stats: LinkStats::default(),
         }
     }

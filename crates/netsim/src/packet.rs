@@ -20,6 +20,10 @@ pub struct PacketMeta {
     pub seq: Option<u64>,
     /// MMT config (mode) id, mirrored like `seq`.
     pub config: Option<u64>,
+    /// Whether this is a control-plane packet (NAK, deadline notification,
+    /// backpressure credit). Stamped at the emitting node so the fault
+    /// layer can target control loss without parsing headers.
+    pub control: bool,
 }
 
 /// A packet: owned bytes plus metadata.

@@ -59,6 +59,20 @@ impl SimRng {
         SimRng::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
     }
 
+    /// Fork an independent stream WITHOUT advancing this generator, so
+    /// introducing a new derived stream never perturbs streams forked
+    /// after it. The derivation scrambles the current state through one
+    /// SplitMix64 round keyed by `stream`.
+    pub fn fork_frozen(&self, stream: u64) -> SimRng {
+        let mut z = self
+            .state
+            .wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::new(z ^ (z >> 31))
+    }
+
     /// Sample an exponential inter-arrival time with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         let u = self.next_f64().max(f64::MIN_POSITIVE);

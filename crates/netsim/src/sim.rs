@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::FaultVerdict;
 use crate::link::{Link, LinkId, LinkSpec, LinkStats};
 use crate::node::{Action, Context, Node, NodeId, PortId, TimerToken};
 use crate::packet::Packet;
@@ -202,6 +203,22 @@ impl Simulator {
             "aged packets shed by the deadline-aware queue",
         );
         reg.describe(
+            "mmt_link_flap_drops_total",
+            "packets lost to injected link outages",
+        );
+        reg.describe(
+            "mmt_link_control_drops_total",
+            "control-plane packets dropped by selective control loss",
+        );
+        reg.describe(
+            "mmt_link_dup_injected_total",
+            "duplicate packet copies injected by the fault layer",
+        );
+        reg.describe(
+            "mmt_link_reordered_total",
+            "packets delayed for reordering by the fault layer",
+        );
+        reg.describe(
             "mmt_link_utilization",
             "transmitter busy fraction since t=0",
         );
@@ -248,6 +265,10 @@ impl Simulator {
                 &labels,
                 link.queue.shed_aged(),
             );
+            reg.counter_add("mmt_link_flap_drops_total", &labels, s.flap_drops);
+            reg.counter_add("mmt_link_control_drops_total", &labels, s.control_drops);
+            reg.counter_add("mmt_link_dup_injected_total", &labels, s.dup_injected);
+            reg.counter_add("mmt_link_reordered_total", &labels, s.reordered);
             reg.gauge_set("mmt_link_utilization", &labels, s.utilization(elapsed));
             reg.gauge_set(
                 "mmt_link_throughput_bps",
@@ -321,9 +342,13 @@ impl Simulator {
         spec: LinkSpec,
     ) -> LinkId {
         let link_idx = self.links.len();
+        // The fault stream is frozen-forked BEFORE the loss fork advances
+        // the parent, so pre-fault seeds reproduce their exact loss
+        // sequences on every link.
+        let fault_rng = self.rng.fork_frozen(link_idx as u64 + 0xFA17_0000);
         let rng = self.rng.fork(link_idx as u64 + 0x1000);
         self.links
-            .push(Link::new(spec, src.0, dst.0, dst_port, rng));
+            .push(Link::new(spec, src.0, dst.0, dst_port, rng, fault_rng));
         let ports = &mut self.nodes[src.0].ports;
         if ports.len() <= src_port {
             ports.resize(src_port + 1, None);
@@ -547,6 +572,29 @@ impl Simulator {
         let (dst_node, dst_port) = (link.dst_node, link.dst_port);
         let meta = pkt.meta;
         let len = pkt.len();
+        // The fault layer only sees packets the loss model spared; its
+        // verdict is drawn from a dedicated RNG stream.
+        let verdict = if lost || link.spec.fault.is_none() {
+            FaultVerdict::Deliver {
+                extra_delay: Time::ZERO,
+                duplicate_after: None,
+                reordered: false,
+            }
+        } else {
+            let fault = link.spec.fault;
+            link.fault_state.apply(&fault, self.now, meta.control)
+        };
+        let fault_trace = |kind: TraceKind| TraceEvent {
+            time: tx_done,
+            kind,
+            node: None,
+            link: Some(link_idx),
+            packet_id: meta.id,
+            len,
+            flow: meta.flow,
+            seq: meta.seq,
+            config: meta.config,
+        };
         if lost {
             link.stats.corruption_losses += 1;
             self.trace.record(TraceEvent {
@@ -561,15 +609,48 @@ impl Simulator {
                 config: meta.config,
             });
         } else {
-            link.stats.delivered_packets += 1;
-            self.push_event(
-                arrive_at,
-                EventKind::Arrive {
-                    node: dst_node,
-                    port: dst_port,
-                    pkt,
-                },
-            );
+            match verdict {
+                FaultVerdict::FlapDrop => {
+                    link.stats.flap_drops += 1;
+                    self.trace.record(fault_trace(TraceKind::FlapDrop));
+                }
+                FaultVerdict::ControlDrop => {
+                    link.stats.control_drops += 1;
+                    self.trace.record(fault_trace(TraceKind::ControlDrop));
+                }
+                FaultVerdict::Deliver {
+                    extra_delay,
+                    duplicate_after,
+                    reordered,
+                } => {
+                    link.stats.delivered_packets += 1;
+                    if reordered {
+                        link.stats.reordered += 1;
+                    }
+                    if let Some(lag) = duplicate_after {
+                        link.stats.delivered_packets += 1;
+                        link.stats.dup_injected += 1;
+                        let copy = pkt.clone();
+                        self.trace.record(fault_trace(TraceKind::DupInject));
+                        self.push_event(
+                            arrive_at + extra_delay + lag,
+                            EventKind::Arrive {
+                                node: dst_node,
+                                port: dst_port,
+                                pkt: copy,
+                            },
+                        );
+                    }
+                    self.push_event(
+                        arrive_at + extra_delay,
+                        EventKind::Arrive {
+                            node: dst_node,
+                            port: dst_port,
+                            pkt,
+                        },
+                    );
+                }
+            }
         }
         self.push_event(tx_done, EventKind::TxComplete { link: link_idx });
     }

@@ -15,6 +15,13 @@ pub enum TraceKind {
     MtuDrop,
     /// Lost to corruption in flight.
     CorruptionLoss,
+    /// Lost to a link outage (fault injection).
+    FlapDrop,
+    /// Control-plane packet dropped by selective control loss (fault
+    /// injection).
+    ControlDrop,
+    /// A fault-injected duplicate copy was scheduled for delivery.
+    DupInject,
     /// Arrived at a node.
     Arrive,
     /// Handed to a node's local application.
@@ -29,6 +36,9 @@ impl TraceKind {
             TraceKind::QueueDrop => "queue_drop",
             TraceKind::MtuDrop => "mtu_drop",
             TraceKind::CorruptionLoss => "corruption_loss",
+            TraceKind::FlapDrop => "flap_drop",
+            TraceKind::ControlDrop => "control_drop",
+            TraceKind::DupInject => "dup_inject",
             TraceKind::Arrive => "arrive",
             TraceKind::LocalDeliver => "local_deliver",
         }

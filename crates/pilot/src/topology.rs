@@ -7,7 +7,7 @@ use mmt_core::sender::{MmtSender, SenderConfig, SenderStats};
 use mmt_dataplane::programs::{self, BorderConfig};
 use mmt_dataplane::{DataplaneElement, ElementStats};
 use mmt_netsim::stats::LatencyHistogram;
-use mmt_netsim::{Bandwidth, LinkId, LinkSpec, LossModel, NodeId, Simulator, Time};
+use mmt_netsim::{Bandwidth, FaultSpec, LinkId, LinkSpec, LossModel, NodeId, Simulator, Time};
 use mmt_wire::mmt::ExperimentId;
 
 /// Configuration for a pilot run.
@@ -29,6 +29,12 @@ pub struct PilotConfig {
     pub wan_rtt: Time,
     /// WAN loss model (corruption; §4).
     pub wan_loss: LossModel,
+    /// Fault injection on the WAN crossing (both directions, so the NAK
+    /// reverse path suffers the same reordering/outages as data).
+    pub wan_fault: FaultSpec,
+    /// DTN 1 per-sequence retransmission holdoff (`Time::ZERO` = serve
+    /// every NAK; see `RetransmitBuffer::with_retx_holdoff`).
+    pub retx_holdoff: Time,
     /// Delivery budget from creation (the mode-2 deadline).
     pub deadline_budget: Time,
     /// Age threshold for the aged flag.
@@ -58,6 +64,8 @@ impl PilotConfig {
             wan_bandwidth: Bandwidth::gbps(100),
             wan_rtt: Time::from_millis(10),
             wan_loss: LossModel::Random(1e-3),
+            wan_fault: FaultSpec::none(),
+            retx_holdoff: Time::ZERO,
             deadline_budget: Time::from_millis(50),
             max_age: Time::from_millis(40),
             credit: None,
@@ -96,6 +104,9 @@ pub struct Pilot {
     pub receiver: NodeId,
     /// The WAN link (tofino → dtn2 switch) for stats.
     pub wan_link: LinkId,
+    /// The reverse WAN link (dtn2 switch → tofino) — the NAK path, where
+    /// selective control loss bites.
+    pub wan_link_rev: LinkId,
     /// DTN 1's WAN-facing egress link (dtn1 → tofino) — where drops land
     /// when the sensor overcommits the WAN (experiment E7).
     pub dtn1_egress: LinkId,
@@ -127,12 +138,10 @@ impl Pilot {
         };
         let dtn1 = sim.add_node(
             "dtn1",
-            Box::new(RetransmitBuffer::new(
-                config.experiment,
-                border,
-                256 * 1024 * 1024,
-                config.credit,
-            )),
+            Box::new(
+                RetransmitBuffer::new(config.experiment, border, 256 * 1024 * 1024, config.credit)
+                    .with_retx_holdoff(config.retx_holdoff),
+            ),
         );
 
         let tofino = sim.add_node(
@@ -175,12 +184,14 @@ impl Pilot {
             LinkSpec::new(config.wan_bandwidth, short),
         );
         // The WAN crossing: loss lives here.
-        let (wan_link, _) = sim.connect(
+        let (wan_link, wan_link_rev) = sim.connect(
             tofino,
             1,
             dtn2_switch,
             0,
-            LinkSpec::new(config.wan_bandwidth, config.wan_rtt / 2).with_loss(config.wan_loss),
+            LinkSpec::new(config.wan_bandwidth, config.wan_rtt / 2)
+                .with_loss(config.wan_loss)
+                .with_fault(config.wan_fault),
         );
         // DTN2 NIC ↔ host.
         sim.connect(
@@ -199,6 +210,7 @@ impl Pilot {
             dtn2_switch,
             receiver,
             wan_link,
+            wan_link_rev,
             dtn1_egress,
             config,
         }
@@ -288,6 +300,7 @@ impl Pilot {
             latency.record(m.arrived_at.saturating_sub(m.created_at));
         }
         let wan = *self.sim.link_stats(self.wan_link);
+        let wan_rev = *self.sim.link_stats(self.wan_link_rev);
         let dtn1_egress = *self.sim.link_stats(self.dtn1_egress);
         let elapsed = self.sim.now();
         PilotReport {
@@ -301,6 +314,12 @@ impl Pilot {
             wan_corruption_losses: wan.corruption_losses,
             wan_queue_drops: wan.queue_drops,
             wan_tx_bytes: wan.tx_bytes,
+            wan_flap_drops: wan.flap_drops,
+            wan_control_drops: wan.control_drops,
+            wan_dup_injected: wan.dup_injected,
+            wan_reordered: wan.reordered,
+            wan_rev_control_drops: wan_rev.control_drops,
+            wan_rev_flap_drops: wan_rev.flap_drops,
             dtn1_egress_queue_drops: dtn1_egress.queue_drops,
             goodput_bps: {
                 let bytes = receiver.delivered.saturating_sub(receiver.duplicates)
@@ -339,6 +358,19 @@ pub struct PilotReport {
     pub wan_queue_drops: u64,
     /// Bytes the WAN link carried.
     pub wan_tx_bytes: u64,
+    /// Packets lost to injected WAN outages (forward direction).
+    pub wan_flap_drops: u64,
+    /// Control packets dropped by selective control loss (forward
+    /// direction; NAKs travel the reverse link).
+    pub wan_control_drops: u64,
+    /// Duplicate copies the fault layer injected on the forward WAN.
+    pub wan_dup_injected: u64,
+    /// Packets the fault layer delayed for reordering on the forward WAN.
+    pub wan_reordered: u64,
+    /// NAKs (and other control) dropped on the reverse WAN path.
+    pub wan_rev_control_drops: u64,
+    /// Packets lost to injected outages on the reverse WAN path.
+    pub wan_rev_flap_drops: u64,
     /// Packets dropped at DTN 1's WAN-facing egress queue.
     pub dtn1_egress_queue_drops: u64,
     /// Receiver goodput over the whole run.
@@ -390,6 +422,27 @@ mod tests {
         assert!(r.buffer.retransmitted >= r.receiver.recovered);
         // Age was tracked on the WAN.
         assert!(r.latency.count() > 0);
+    }
+
+    #[test]
+    fn faulted_pilot_recovers_and_dedups() {
+        let mut cfg = PilotConfig::default_run();
+        cfg.message_count = 500;
+        cfg.wan_fault = FaultSpec::none()
+            .with_reorder(0.05, Time::from_micros(500))
+            .with_duplication(0.05, Time::from_micros(50))
+            .with_jitter(Time::from_micros(100));
+        cfg.retx_holdoff = Time::from_millis(2);
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(30));
+        assert!(pilot.is_complete(), "faults must not break completeness");
+        let r = pilot.report();
+        assert_eq!(r.receiver.lost, 0);
+        assert!(
+            r.receiver.duplicates > 0,
+            "injected duplicates must reach (and be suppressed by) the receiver"
+        );
+        assert_eq!(r.receiver.delivered, 500);
     }
 
     #[test]

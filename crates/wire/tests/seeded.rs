@@ -323,3 +323,242 @@ fn trigger_record_decode_never_panics() {
         let _ = TriggerRecord::decode(&bytes);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mutation tests: start from a VALID frame, then truncate it or flip bits.
+// Unlike the byte-soup tests above, these reach the deep parser paths (the
+// valid prefix steers parsing into extension walks and body reads before the
+// mutation bites). Invariants: parsers reject cleanly — truncation is always
+// an `Err`, a flip is either an `Err` or a self-consistent repr — and never
+// panic.
+// ---------------------------------------------------------------------------
+
+/// Every proper prefix of a valid MMT header must be rejected: the feature
+/// bits declare the extension layout, so a short buffer is detectable.
+#[test]
+fn mmt_truncated_headers_reject_cleanly() {
+    let mut rng = Rng::new(0xA11C_E00D);
+    for _ in 0..300 {
+        let repr = gen_mmt_repr(&mut rng);
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                MmtRepr::parse(&buf[..cut]).is_err(),
+                "prefix of {cut}/{} bytes accepted",
+                buf.len()
+            );
+            assert!(CoreHeader::new_checked(&buf[..cut]).is_err());
+        }
+    }
+}
+
+/// Bit flips in a valid MMT header either fail parsing or yield a repr that
+/// is itself stable under emit/parse. Never a panic, never an inconsistent
+/// half-parse.
+#[test]
+fn mmt_bit_flips_parse_cleanly_or_self_consistently() {
+    let mut rng = Rng::new(0xA11C_E00E);
+    for _ in 0..500 {
+        let repr = gen_mmt_repr(&mut rng);
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf).unwrap();
+        let flips = 1 + rng.below(4);
+        for _ in 0..flips {
+            let byte = rng.below(buf.len() as u64) as usize;
+            buf[byte] ^= 1 << rng.below(8);
+        }
+        if let Ok(mutant) = MmtRepr::parse(&buf) {
+            let mut out = vec![0u8; mutant.header_len()];
+            mutant.emit(&mut out).unwrap();
+            assert_eq!(MmtRepr::parse(&out).unwrap(), mutant);
+        }
+    }
+}
+
+/// Every proper prefix of a valid control packet (header + NAK body) must be
+/// rejected: the core header declares its extensions, the NAK body declares
+/// its range count.
+#[test]
+fn control_truncation_rejects_cleanly() {
+    let mut rng = Rng::new(0xA11C_E00F);
+    for _ in 0..100 {
+        let n_ranges = 1 + rng.below(8) as usize;
+        let ranges: Vec<NakRange> = (0..n_ranges)
+            .map(|_| {
+                let first = rng.next_u64();
+                NakRange {
+                    first,
+                    last: first.saturating_add(rng.below(64)),
+                }
+            })
+            .collect();
+        let nak = NakRepr {
+            requester: gen_ipv4(&mut rng),
+            requester_port: rng.next_u64() as u16,
+            ranges,
+        };
+        let pkt = ControlRepr::Nak(nak).emit_packet(gen_experiment(&mut rng));
+        for cut in 0..pkt.len() {
+            assert!(
+                ControlRepr::parse_packet(&pkt[..cut]).is_err(),
+                "control prefix of {cut}/{} bytes accepted",
+                pkt.len()
+            );
+        }
+    }
+}
+
+/// Bit flips in a valid control packet never panic, and any flip that still
+/// parses yields a packet that re-emits and re-parses to itself.
+#[test]
+fn control_bit_flips_never_panic() {
+    let mut rng = Rng::new(0xA11C_E010);
+    for _ in 0..500 {
+        let nak = NakRepr {
+            requester: gen_ipv4(&mut rng),
+            requester_port: rng.next_u64() as u16,
+            ranges: vec![NakRange {
+                first: 10,
+                last: 20,
+            }],
+        };
+        let mut pkt = ControlRepr::Nak(nak).emit_packet(gen_experiment(&mut rng));
+        let byte = rng.below(pkt.len() as u64) as usize;
+        pkt[byte] ^= 1 << rng.below(8);
+        if let Ok((exp, mutant)) = ControlRepr::parse_packet(&pkt) {
+            let out = mutant.clone().emit_packet(exp);
+            let (exp2, again) = ControlRepr::parse_packet(&out).unwrap();
+            assert_eq!(exp2, exp);
+            assert_eq!(again, mutant);
+        }
+    }
+}
+
+/// A truncated Ethernet frame (shorter than the 14-byte header) is rejected.
+#[test]
+fn ethernet_truncated_frames_reject_cleanly() {
+    let mut rng = Rng::new(0xA11C_E011);
+    for _ in 0..100 {
+        let repr = EthernetRepr {
+            dst: EthernetAddress([rng.next_u64() as u8; 6]),
+            src: EthernetAddress([rng.next_u64() as u8; 6]),
+            ethertype: EtherType::Ipv4,
+        };
+        let buf = build_frame(&repr, &rng.bytes(63));
+        for cut in 0..14.min(buf.len()) {
+            assert!(Frame::new_checked(&buf[..cut]).is_err());
+        }
+    }
+}
+
+/// Any single-bit flip inside the IPv4 header of a valid packet is caught —
+/// by a structural check or, failing that, by the header checksum. (Ones'
+/// complement cannot alias a ±2^k perturbation of one header word.)
+#[test]
+fn ipv4_header_bit_flips_rejected() {
+    let mut rng = Rng::new(0xA11C_E012);
+    for _ in 0..500 {
+        let repr = Ipv4Repr {
+            src: gen_ipv4(&mut rng),
+            dst: gen_ipv4(&mut rng),
+            protocol: Protocol::Mmt,
+            payload_len: rng.below(256) as usize,
+            ttl: rng.next_u64() as u8,
+            dscp: rng.below(64) as u8,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        let byte = rng.below(20) as usize;
+        buf[byte] ^= 1 << rng.below(8);
+        let rejected = match Ipv4Packet::new_checked(&buf[..]) {
+            Err(_) => true,
+            Ok(pkt) => Ipv4Repr::parse(&pkt).is_err(),
+        };
+        assert!(
+            rejected,
+            "bit flip in IPv4 header byte {byte} went unnoticed"
+        );
+    }
+}
+
+/// A UDP datagram truncated below its declared length is rejected.
+#[test]
+fn udp_truncated_datagrams_reject_cleanly() {
+    let mut rng = Rng::new(0xA11C_E013);
+    for _ in 0..100 {
+        let payload_len = 1 + rng.below(64) as usize;
+        let repr = UdpRepr {
+            src_port: rng.next_u64() as u16,
+            dst_port: rng.next_u64() as u16,
+            payload_len,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                Datagram::new_checked(&buf[..cut]).is_err(),
+                "UDP prefix of {cut}/{} bytes accepted",
+                buf.len()
+            );
+        }
+    }
+}
+
+/// Every proper prefix of an encoded trigger record is rejected: the top
+/// header declares the full record length.
+#[test]
+fn trigger_record_truncation_rejects_cleanly() {
+    let mut rng = Rng::new(0xA11C_E014);
+    for _ in 0..100 {
+        let rec = TriggerRecord {
+            run: rng.next_u64() as u32,
+            event: rng.next_u64(),
+            timestamp_ns: rng.next_u64(),
+            sub: SubHeader::Dune(DuneSubHeader {
+                crate_no: 1,
+                slot: 2,
+                link: 3,
+                first_channel: 0,
+                last_channel: 63,
+            }),
+            payload: rng.bytes(127),
+        };
+        let buf = rec.encode().unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                TriggerRecord::decode(&buf[..cut]).is_err(),
+                "record prefix of {cut}/{} bytes accepted",
+                buf.len()
+            );
+        }
+    }
+}
+
+/// Bit flips in a valid encoded trigger record never panic; surviving
+/// mutants are stable under encode/decode.
+#[test]
+fn trigger_record_bit_flips_never_panic() {
+    let mut rng = Rng::new(0xA11C_E015);
+    for _ in 0..500 {
+        let rec = TriggerRecord {
+            run: rng.next_u64() as u32,
+            event: rng.next_u64(),
+            timestamp_ns: rng.next_u64(),
+            sub: SubHeader::Mu2e(Mu2eSubHeader {
+                dtc_id: 1,
+                roc_id: 2,
+                packet_type: 3,
+                subsystem: 4,
+            }),
+            payload: rng.bytes(127),
+        };
+        let mut buf = rec.encode().unwrap();
+        let byte = rng.below(buf.len() as u64) as usize;
+        buf[byte] ^= 1 << rng.below(8);
+        if let Ok(mutant) = TriggerRecord::decode(&buf) {
+            let out = mutant.encode().unwrap();
+            assert_eq!(TriggerRecord::decode(&out).unwrap(), mutant);
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! parsing is hand-rolled to keep the dependency set at the workspace
 //! baseline.)
 
-use mmt::netsim::{Bandwidth, LossModel, Time};
+use mmt::netsim::{Bandwidth, FaultSpec, LossModel, PeriodicOutage, Time};
 use mmt::pilot::experiments::{fct, hol};
 use mmt::pilot::{Pilot, PilotConfig};
 use std::collections::HashMap;
@@ -28,6 +28,15 @@ fn usage() -> ! {
          \x20         [--trace-out FILE]        per-packet event trace\n\
          \x20         [--trace-format F]        chrome (default; chrome://tracing / Perfetto) or jsonl\n\
          \x20         [--trace-cap N]           keep only the last N trace events (ring buffer)\n\
+         \x20         fault injection on the WAN crossing (both directions):\n\
+         \x20         [--reorder P]             reorder probability in [0,1]\n\
+         \x20         [--reorder-delay-us N]    max extra delay for reordered packets\n\
+         \x20         [--dup P]                 duplication probability in [0,1]\n\
+         \x20         [--dup-delay-us N]        lag before the duplicate copy\n\
+         \x20         [--jitter-us N]           uniform per-packet jitter bound\n\
+         \x20         [--flap-period-ms N]      scheduled outage period (with --flap-down-ms)\n\
+         \x20         [--flap-down-ms N]        outage length per period\n\
+         \x20         [--nak-loss P]            control-plane (NAK/notify) loss in [0,1]\n\
          \x20 fct     E1 flow-completion sweep  [--loss P] [--mb N] [--rtt1-ms N] [--rtt2-ms N] [--seed N]\n\
          \x20 hol     E2 head-of-line compare   [--loss P] [--rtt-ms N] [--messages N] [--seed N]"
     );
@@ -59,6 +68,60 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
     }
 }
 
+/// Parse a probability flag, insisting on a finite value in [0, 1].
+fn get_prob(flags: &HashMap<String, String>, key: &str) -> f64 {
+    let p: f64 = get(flags, key, 0.0);
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        eprintln!("--{key} must be a probability in [0, 1], got {p}");
+        std::process::exit(2);
+    }
+    p
+}
+
+/// Assemble the WAN fault spec from the pilot fault flags.
+fn parse_fault(flags: &HashMap<String, String>) -> FaultSpec {
+    let mut fault = FaultSpec::none();
+    let reorder = get_prob(flags, "reorder");
+    if reorder > 0.0 {
+        fault = fault.with_reorder(
+            reorder,
+            Time::from_micros(get(flags, "reorder-delay-us", 500u64)),
+        );
+    }
+    let dup = get_prob(flags, "dup");
+    if dup > 0.0 {
+        fault = fault.with_duplication(dup, Time::from_micros(get(flags, "dup-delay-us", 50u64)));
+    }
+    let jitter = get(flags, "jitter-us", 0u64);
+    if jitter > 0 {
+        fault = fault.with_jitter(Time::from_micros(jitter));
+    }
+    let flap_period = get(flags, "flap-period-ms", 0u64);
+    let flap_down = get(flags, "flap-down-ms", 0u64);
+    if (flap_period == 0) != (flap_down == 0) {
+        eprintln!("--flap-period-ms and --flap-down-ms must be given together");
+        std::process::exit(2);
+    }
+    if flap_period > 0 {
+        if flap_down >= flap_period {
+            eprintln!(
+                "--flap-down-ms ({flap_down}) must be shorter than --flap-period-ms ({flap_period})"
+            );
+            std::process::exit(2);
+        }
+        fault = fault.with_scheduled_outage(PeriodicOutage {
+            first_down: Time::from_millis(flap_period - flap_down),
+            down_for: Time::from_millis(flap_down),
+            period: Time::from_millis(flap_period),
+        });
+    }
+    let nak_loss = get_prob(flags, "nak-loss");
+    if nak_loss > 0.0 {
+        fault = fault.with_control_loss(nak_loss);
+    }
+    fault
+}
+
 fn cmd_pilot(flags: HashMap<String, String>) {
     let mut cfg = PilotConfig::default_run();
     cfg.wan_rtt = Time::from_millis(get(&flags, "rtt-ms", 10u64));
@@ -68,10 +131,20 @@ fn cmd_pilot(flags: HashMap<String, String>) {
     cfg.deadline_budget = Time::from_millis(get(&flags, "deadline-ms", 50u64));
     cfg.max_age = cfg.deadline_budget;
     cfg.seed = get(&flags, "seed", 7u64);
+    cfg.wan_fault = parse_fault(&flags);
+    if !cfg.wan_fault.is_none() {
+        // Defensive defaults under injected faults: space out retransmits
+        // of the same sequence (below the NAK retry interval).
+        cfg.retx_holdoff = Time::from_millis(2);
+    }
     println!(
         "pilot: {} msgs, {} WAN, rtt {}, loss {:?}, deadline {}",
         cfg.message_count, cfg.wan_bandwidth, cfg.wan_rtt, cfg.wan_loss, cfg.deadline_budget
     );
+    let cfg_fault_none = cfg.wan_fault.is_none();
+    if !cfg_fault_none {
+        println!("faults: {:?}", cfg.wan_fault);
+    }
     let metrics_out = flags.get("metrics-out").cloned();
     let trace_out = flags.get("trace-out").cloned();
     let trace_format = flags
@@ -82,20 +155,22 @@ fn cmd_pilot(flags: HashMap<String, String>) {
         eprintln!("--trace-format must be chrome or jsonl, got {trace_format}");
         std::process::exit(2);
     }
+    // Validate eagerly so a bad cap errors even without --trace-out.
+    let trace_cap = flags.get("trace-cap").map(|raw| {
+        let cap: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("could not parse --trace-cap {raw}");
+            std::process::exit(2);
+        });
+        if cap == 0 {
+            eprintln!("--trace-cap must be at least 1");
+            std::process::exit(2);
+        }
+        cap
+    });
     let mut pilot = Pilot::build(cfg);
     if trace_out.is_some() {
-        match flags.get("trace-cap") {
-            Some(raw) => {
-                let cap: usize = raw.parse().unwrap_or_else(|_| {
-                    eprintln!("could not parse --trace-cap {raw}");
-                    std::process::exit(2);
-                });
-                if cap == 0 {
-                    eprintln!("--trace-cap must be at least 1");
-                    std::process::exit(2);
-                }
-                pilot.enable_trace_bounded(cap);
-            }
+        match trace_cap {
+            Some(cap) => pilot.enable_trace_bounded(cap),
             None => pilot.enable_trace(),
         }
     }
@@ -111,6 +186,16 @@ fn cmd_pilot(flags: HashMap<String, String>) {
         r.receiver.aged_deliveries,
         r.sender.deadline_notifications,
     );
+    if !cfg_fault_none {
+        println!(
+            "fault hits: flap {}+{}  ctrl-drop {}  dup {}  reorder {}",
+            r.wan_flap_drops,
+            r.wan_rev_flap_drops,
+            r.wan_rev_control_drops,
+            r.wan_dup_injected,
+            r.wan_reordered,
+        );
+    }
     if let (Some(p50), Some(p99)) = (r.latency.median(), r.latency.quantile(0.99)) {
         println!("latency p50 {p50}  p99 {p99}");
     }

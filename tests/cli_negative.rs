@@ -1,0 +1,163 @@
+//! Negative-path CLI tests: bad flags must produce a clean usage error
+//! (exit code 2 and a pointed message on stderr), never a panic and never
+//! a silently-ignored value. A process-level panic would show up as an
+//! abort signal / exit 101, which every assertion here would catch.
+
+use std::process::{Command, Output};
+
+fn mmt_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mmt-sim"))
+        .args(args)
+        .output()
+        .expect("spawn mmt-sim")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Exit code 2, no panic, and the given needle on stderr.
+fn assert_clean_usage_error(args: &[&str], needle: &str) {
+    let out = mmt_sim(args);
+    let stderr = stderr_of(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains(needle),
+        "{args:?}: stderr missing {needle:?}\nstderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?}: the CLI panicked\nstderr: {stderr}"
+    );
+}
+
+#[test]
+fn no_command_prints_usage() {
+    assert_clean_usage_error(&[], "usage: mmt-sim");
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    assert_clean_usage_error(&["frobnicate"], "usage: mmt-sim");
+}
+
+#[test]
+fn positional_argument_is_a_syntax_error() {
+    assert_clean_usage_error(&["pilot", "extra"], "bad flag syntax");
+}
+
+#[test]
+fn dangling_flag_is_a_syntax_error() {
+    assert_clean_usage_error(&["pilot", "--seed"], "bad flag syntax");
+}
+
+#[test]
+fn reorder_probability_above_one_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--reorder", "1.5"],
+        "--reorder must be a probability in [0, 1]",
+    );
+}
+
+#[test]
+fn reorder_probability_non_numeric_rejected() {
+    assert_clean_usage_error(&["pilot", "--reorder", "abc"], "could not parse --reorder");
+}
+
+#[test]
+fn dup_probability_negative_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--dup", "-0.1"],
+        "--dup must be a probability in [0, 1]",
+    );
+}
+
+#[test]
+fn nak_loss_infinite_rejected() {
+    // "inf" parses as a float, so it must be caught by the finiteness
+    // check rather than the parse.
+    assert_clean_usage_error(
+        &["pilot", "--nak-loss", "inf"],
+        "--nak-loss must be a probability in [0, 1]",
+    );
+}
+
+#[test]
+fn lone_flap_period_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--flap-period-ms", "50"],
+        "--flap-period-ms and --flap-down-ms must be given together",
+    );
+}
+
+#[test]
+fn lone_flap_down_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--flap-down-ms", "2"],
+        "--flap-period-ms and --flap-down-ms must be given together",
+    );
+}
+
+#[test]
+fn flap_down_covering_whole_period_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--flap-period-ms", "50", "--flap-down-ms", "50"],
+        "must be shorter than",
+    );
+}
+
+#[test]
+fn bad_trace_format_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--trace-format", "xml"],
+        "--trace-format must be chrome or jsonl",
+    );
+}
+
+#[test]
+fn zero_trace_cap_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--trace-cap", "0"],
+        "--trace-cap must be at least 1",
+    );
+}
+
+#[test]
+fn non_numeric_message_count_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--messages", "lots"],
+        "could not parse --messages",
+    );
+}
+
+/// Sanity: the fault flags that SHOULD work do work end-to-end through the
+/// binary, and the run reports its fault hits.
+#[test]
+fn valid_fault_flags_run_clean() {
+    let out = mmt_sim(&[
+        "pilot",
+        "--messages",
+        "100",
+        "--reorder",
+        "0.05",
+        "--dup",
+        "0.02",
+        "--nak-loss",
+        "0.1",
+        "--seed",
+        "7",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "faulted pilot run failed\nstderr: {}",
+        stderr_of(&out)
+    );
+    assert!(stdout.contains("fault hits:"), "stdout: {stdout}");
+}

@@ -3,17 +3,26 @@
 //! that makes the telemetry layer usable for golden-file comparisons and
 //! cross-machine debugging (same binary + seed ⇒ same bytes anywhere).
 
-use mmt::netsim::Time;
+use mmt::netsim::{FaultSpec, LossModel, PeriodicOutage, Time};
 use mmt::pilot::{Pilot, PilotConfig};
 use mmt::telemetry::{prometheus, trace};
 
 fn run_once(seed: u64) -> (String, String, String) {
+    run_with_fault(seed, FaultSpec::none())
+}
+
+fn run_with_fault(seed: u64, fault: FaultSpec) -> (String, String, String) {
     let mut cfg = PilotConfig::default_run();
     cfg.message_count = 400;
     cfg.seed = seed;
+    if !fault.is_none() {
+        cfg.wan_loss = LossModel::Random(1e-3);
+        cfg.wan_fault = fault;
+        cfg.retx_holdoff = Time::from_millis(2);
+    }
     let mut pilot = Pilot::build(cfg);
     pilot.enable_trace();
-    pilot.run(Time::from_secs(30));
+    pilot.run(Time::from_secs(120));
     assert!(pilot.is_complete());
     let prom = prometheus::render(&pilot.metrics());
     let records = pilot.trace_records();
@@ -22,6 +31,21 @@ fn run_once(seed: u64) -> (String, String, String) {
         trace::to_jsonl(&records),
         trace::to_chrome_trace(&records),
     )
+}
+
+/// A fault mix covering every injector: reorder, duplication, jitter,
+/// flap, and control-plane loss, layered over 10⁻³ corruption loss.
+fn chaos_fault() -> FaultSpec {
+    FaultSpec::none()
+        .with_reorder(0.05, Time::from_micros(500))
+        .with_duplication(0.02, Time::from_micros(50))
+        .with_jitter(Time::from_micros(100))
+        .with_scheduled_outage(PeriodicOutage {
+            first_down: Time::from_micros(200),
+            down_for: Time::from_millis(2),
+            period: Time::from_millis(50),
+        })
+        .with_control_loss(0.2)
 }
 
 #[test]
@@ -41,6 +65,51 @@ fn different_seed_different_trace() {
     let (_, jsonl_a, _) = run_once(1);
     let (_, jsonl_b, _) = run_once(2);
     assert_ne!(jsonl_a, jsonl_b, "seed must influence the run");
+}
+
+/// The determinism property must survive the fault layer: injected
+/// reordering, duplication, flaps, and control loss all draw from seeded
+/// streams, so two identical faulted runs export byte-identical telemetry.
+#[test]
+fn same_seed_same_bytes_under_faults() {
+    let (prom_a, jsonl_a, chrome_a) = run_with_fault(42, chaos_fault());
+    let (prom_b, jsonl_b, chrome_b) = run_with_fault(42, chaos_fault());
+    assert!(!prom_a.is_empty() && !jsonl_a.is_empty());
+    assert_eq!(
+        prom_a, prom_b,
+        "faulted Prometheus export must be byte-identical"
+    );
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "faulted JSONL trace must be byte-identical"
+    );
+    assert_eq!(
+        chrome_a, chrome_b,
+        "faulted Chrome trace must be byte-identical"
+    );
+}
+
+/// Faulted runs surface the fault and recovery-hardening counters in the
+/// Prometheus export, and the fault events appear in the JSONL trace.
+#[test]
+fn faulted_exports_carry_fault_series() {
+    let (prom, jsonl, _) = run_with_fault(7, chaos_fault());
+    for needle in [
+        "mmt_link_flap_drops_total",
+        "mmt_link_control_drops_total",
+        "mmt_link_dup_injected_total",
+        "mmt_link_reordered_total",
+        "mmt_receiver_nak_retries_exhausted_total",
+        "mmt_receiver_dup_after_recovery_total",
+        "mmt_buffer_retx_suppressed_total",
+    ] {
+        assert!(prom.contains(needle), "missing {needle}");
+    }
+    // At least one fault class must actually have fired in the trace.
+    assert!(
+        jsonl.contains("\"flap_drop\"") || jsonl.contains("\"dup_inject\""),
+        "faulted trace carries no fault events"
+    );
 }
 
 #[test]
