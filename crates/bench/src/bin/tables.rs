@@ -10,6 +10,8 @@
 //! Experiment ids follow DESIGN.md's per-experiment index: `t1`, `f2`,
 //! `f3`, `p1`, `e1`–`e9`.
 
+#![forbid(unsafe_code)]
+
 use mmt_bench::{gbps, pct, TextTable};
 use mmt_netsim::{Bandwidth, LossModel, Time};
 use mmt_pilot::experiments::{

@@ -22,7 +22,7 @@ use mmt_dataplane::programs::{self, BorderConfig};
 use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
 use mmt_wire::mmt::{BackpressureRepr, ControlRepr, ExperimentId, MmtRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 const TOKEN_CREDIT: TimerToken = 0x42;
 
@@ -71,13 +71,13 @@ pub struct RetransmitBuffer {
     store_bytes: usize,
     /// Ring of stored packets, oldest first.
     ring: VecDeque<u64>,
-    store: HashMap<u64, Packet>,
+    store: BTreeMap<u64, Packet>,
     credit: Option<CreditConfig>,
     /// Minimum spacing between retransmissions of the same sequence
     /// (`Time::ZERO` = no holdoff, every NAK is served).
     retx_holdoff: Time,
     /// When each sequence was last retransmitted.
-    last_retx: HashMap<u64, Time>,
+    last_retx: BTreeMap<u64, Time>,
     /// Counters.
     pub stats: RetransmitBufferStats,
 }
@@ -100,10 +100,10 @@ impl RetransmitBuffer {
             capacity_bytes,
             store_bytes: 0,
             ring: VecDeque::new(),
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             credit,
             retx_holdoff: Time::ZERO,
-            last_retx: HashMap::new(),
+            last_retx: BTreeMap::new(),
             stats: RetransmitBufferStats::default(),
         }
     }
@@ -204,7 +204,31 @@ impl RetransmitBuffer {
             "Bytes currently retained for retransmission.",
         );
         reg.gauge_set("mmt_buffer_stored_bytes", &labels, self.store_bytes as f64);
+        // Order-sensitive digest: folds the store's iteration order into
+        // an exported value, so a regression to a nondeterministically
+        // ordered map shows up as byte-diverging telemetry
+        // (tests/telemetry_determinism.rs).
+        let digest = self
+            .store
+            .keys()
+            .fold(0u64, |h, &s| h.wrapping_mul(31).wrapping_add(s));
+        reg.describe(
+            "mmt_buffer_stored_seq_digest",
+            "Order-sensitive digest of retained sequence numbers.",
+        );
+        reg.gauge_set(
+            "mmt_buffer_stored_seq_digest",
+            &labels,
+            (digest & 0xFFFF_FFFF) as f64,
+        );
         self.pipeline.export_metrics(node, reg);
+    }
+
+    /// Sequence numbers currently retained, in map-iteration order. The
+    /// order itself is part of the determinism contract — see
+    /// `mmt_buffer_stored_seq_digest`.
+    pub fn stored_seqs(&self) -> Vec<u64> {
+        self.store.keys().copied().collect()
     }
 
     fn retain(&mut self, seq: u64, pkt: Packet) {
@@ -264,6 +288,7 @@ impl RetransmitBuffer {
             origin: Ipv4Address::UNSPECIFIED,
         })
         .emit_packet(self.experiment);
+        // mmt-lint: allow(P1, "parsing bytes emitted one line above; emit/parse are inverses")
         let repr = MmtRepr::parse(&ctrl).expect("just built");
         let frame = build_eth_mmt_frame(
             EthernetAddress([0x02, 0, 0, 0, 0, 0x10]),

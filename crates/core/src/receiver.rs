@@ -11,7 +11,7 @@ use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
 use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
 use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr, NakRange, NakRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const TOKEN_NAK: TimerToken = 0x17;
 
@@ -117,13 +117,13 @@ pub struct MmtReceiver {
     config: ReceiverConfig,
     tracker: SeqTracker,
     /// First-detected time per gap start (for give-up accounting).
-    gap_first_seen: HashMap<u64, Time>,
+    gap_first_seen: BTreeMap<u64, Time>,
     /// Seqs we have NAKed at least once (to label recoveries).
-    naked: std::collections::HashSet<u64>,
+    naked: std::collections::BTreeSet<u64>,
     /// Seqs that arrived via NAK recovery (to label late duplicates).
-    recovered_seqs: std::collections::HashSet<u64>,
+    recovered_seqs: std::collections::BTreeSet<u64>,
     /// NAK retry count per outstanding sequence.
-    nak_counts: HashMap<u64, u32>,
+    nak_counts: BTreeMap<u64, u32>,
     /// Consecutive NAK rounds without any recovery progress (drives the
     /// exponential retry backoff).
     barren_rounds: u32,
@@ -135,7 +135,7 @@ pub struct MmtReceiver {
     /// Delivered messages, in arrival order.
     log: Vec<ReceivedMessage>,
     /// Distinct message indices delivered.
-    distinct: std::collections::HashSet<u64>,
+    distinct: std::collections::BTreeSet<u64>,
     /// Counters.
     pub stats: ReceiverStats,
 }
@@ -146,16 +146,16 @@ impl MmtReceiver {
         MmtReceiver {
             config,
             tracker: SeqTracker::new(),
-            gap_first_seen: HashMap::new(),
-            naked: std::collections::HashSet::new(),
-            recovered_seqs: std::collections::HashSet::new(),
-            nak_counts: HashMap::new(),
+            gap_first_seen: BTreeMap::new(),
+            naked: std::collections::BTreeSet::new(),
+            recovered_seqs: std::collections::BTreeSet::new(),
+            nak_counts: BTreeMap::new(),
             barren_rounds: 0,
             retransmit_source: None,
             last_arrival: Time::ZERO,
             nak_timer_armed: false,
             log: Vec::new(),
-            distinct: std::collections::HashSet::new(),
+            distinct: std::collections::BTreeSet::new(),
             stats: ReceiverStats::default(),
         }
     }
@@ -332,6 +332,7 @@ impl MmtReceiver {
             ranges,
         };
         let ctrl = ControlRepr::Nak(nak).emit_packet(self.config.experiment);
+        // mmt-lint: allow(P1, "parsing bytes emitted one line above; emit/parse are inverses")
         let repr = MmtRepr::parse(&ctrl).expect("just built");
         let frame = build_eth_mmt_frame(
             EthernetAddress([0x02, 0, 0, 0, 0, 0x20]),
@@ -443,7 +444,10 @@ impl Node for MmtReceiver {
         if payload.len() < 8 {
             return;
         }
-        let msg_index = u64::from_be_bytes(payload[..8].try_into().expect("checked"));
+        let Ok(prefix) = payload[..8].try_into() else {
+            return; // unreachable: length checked above
+        };
+        let msg_index = u64::from_be_bytes(prefix);
         let msg = ReceivedMessage {
             msg_index,
             seq,

@@ -29,28 +29,36 @@ impl SeqTracker {
             self.duplicate_hits += 1;
             return false;
         }
-        let prev = self.ranges.range(..=seq).next_back().map(|(&s, &e)| (s, e));
-        let next = self.ranges.range(seq + 1..).next().map(|(&s, &e)| (s, e));
-        let joins_prev = prev.is_some_and(|(_, e)| e == seq);
-        let joins_next = next.is_some_and(|(s, _)| s == seq + 1);
-        match (joins_prev, joins_next) {
-            (true, true) => {
-                let (ps, _) = prev.unwrap();
-                let (ns, ne) = next.unwrap();
+        // End-exclusive bound. Sequence space is allocated from a
+        // 0-based counter, so `seq` never reaches u64::MAX in practice;
+        // saturating keeps the interval invariants intact if it did.
+        let seq_end = seq.saturating_add(1);
+        let prev = self
+            .ranges
+            .range(..=seq)
+            .next_back()
+            .map(|(&s, &e)| (s, e))
+            .filter(|&(_, e)| e == seq);
+        let next = self
+            .ranges
+            .range(seq_end..)
+            .next()
+            .map(|(&s, &e)| (s, e))
+            .filter(|&(s, _)| s == seq_end);
+        match (prev, next) {
+            (Some((ps, _)), Some((ns, ne))) => {
                 self.ranges.remove(&ns);
                 self.ranges.insert(ps, ne);
             }
-            (true, false) => {
-                let (ps, _) = prev.unwrap();
-                self.ranges.insert(ps, seq + 1);
+            (Some((ps, _)), None) => {
+                self.ranges.insert(ps, seq_end);
             }
-            (false, true) => {
-                let (ns, ne) = next.unwrap();
+            (None, Some((ns, ne))) => {
                 self.ranges.remove(&ns);
                 self.ranges.insert(seq, ne);
             }
-            (false, false) => {
-                self.ranges.insert(seq, seq + 1);
+            (None, None) => {
+                self.ranges.insert(seq, seq_end);
             }
         }
         true

@@ -18,7 +18,7 @@ use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
 use mmt_netsim::{Context, Node, Packet, PortId};
 use mmt_wire::mmt::{ControlRepr, CoreHeader, MmtRepr, NakRange, NakRepr, RetransmitExt};
 use mmt_wire::{EthernetAddress, Ipv4Address};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Port facing the source.
 pub const PORT_UP: PortId = 0;
@@ -53,7 +53,7 @@ pub struct TransitBuffer {
     pub repoint: bool,
     store_bytes: usize,
     ring: VecDeque<u64>,
-    store: HashMap<u64, Packet>,
+    store: BTreeMap<u64, Packet>,
     /// Counters.
     pub stats: TransitBufferStats,
 }
@@ -68,7 +68,7 @@ impl TransitBuffer {
             repoint: true,
             store_bytes: 0,
             ring: VecDeque::new(),
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             stats: TransitBufferStats::default(),
         }
     }
@@ -142,6 +142,7 @@ impl TransitBuffer {
             ranges,
         };
         let ctrl = ControlRepr::Nak(upstream_nak).emit_packet(experiment);
+        // mmt-lint: allow(P1, "parsing bytes emitted one line above; emit/parse are inverses")
         let repr = MmtRepr::parse(&ctrl).expect("just built");
         let frame = build_eth_mmt_frame(
             EthernetAddress([0x02, 0, 0, 0, 0, 0x30]),

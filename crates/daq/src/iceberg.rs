@@ -39,6 +39,7 @@ impl IcebergSample {
         let records = builder
             .build_all(&events)
             .into_iter()
+            // mmt-lint: allow(P1, "encoding a record the builder itself produced; infallible")
             .map(|(at, rec, _)| (at, rec.encode().expect("valid record")))
             .collect();
         IcebergSample { records }
@@ -53,6 +54,7 @@ impl IcebergSample {
     pub fn decode_all(&self) -> Vec<(Time, TriggerRecord)> {
         self.records
             .iter()
+            // mmt-lint: allow(P1, "decoding bytes this sample encoded itself; inverse pair")
             .map(|(at, bytes)| (*at, TriggerRecord::decode(bytes).expect("valid record")))
             .collect()
     }

@@ -104,6 +104,15 @@ impl ContainerWriter {
     }
 }
 
+/// Read `N` big-endian bytes starting at `off`, failing gracefully on
+/// truncated input instead of panicking.
+fn be_bytes<const N: usize>(b: &[u8], off: usize) -> Result<[u8; N], StorageError> {
+    off.checked_add(N)
+        .and_then(|end| b.get(off..end))
+        .and_then(|s| s.try_into().ok())
+        .ok_or(StorageError::Corrupt("truncated field"))
+}
+
 /// Random-access reader over a serialized container.
 #[derive(Debug)]
 pub struct ContainerReader<'a> {
@@ -118,8 +127,8 @@ impl<'a> ContainerReader<'a> {
         if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC || bytes[8] != 1 {
             return Err(StorageError::NotAContainer);
         }
-        let count = u32::from_be_bytes(bytes[12..16].try_into().unwrap()) as usize;
-        let index_offset = u64::from_be_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let count = u32::from_be_bytes(be_bytes(bytes, 12)?) as usize;
+        let index_offset = u64::from_be_bytes(be_bytes(bytes, 16)?) as usize;
         let expected_len = index_offset + count * INDEX_ENTRY_LEN;
         if index_offset < HEADER_LEN || bytes.len() != expected_len {
             return Err(StorageError::Corrupt("length/index mismatch"));
@@ -147,10 +156,10 @@ impl<'a> ContainerReader<'a> {
         }
         let off = self.index_offset + i * INDEX_ENTRY_LEN;
         let b = &self.bytes[off..off + INDEX_ENTRY_LEN];
-        let rec_off = u64::from_be_bytes(b[0..8].try_into().unwrap()) as usize;
-        let rec_len = u32::from_be_bytes(b[8..12].try_into().unwrap()) as usize;
-        let event = u64::from_be_bytes(b[12..20].try_into().unwrap());
-        let ts = u64::from_be_bytes(b[20..28].try_into().unwrap());
+        let rec_off = u64::from_be_bytes(be_bytes(b, 0)?) as usize;
+        let rec_len = u32::from_be_bytes(be_bytes(b, 8)?) as usize;
+        let event = u64::from_be_bytes(be_bytes(b, 12)?);
+        let ts = u64::from_be_bytes(be_bytes(b, 20)?);
         if rec_off + rec_len > self.index_offset {
             return Err(StorageError::Corrupt("record overlaps index"));
         }

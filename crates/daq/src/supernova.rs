@@ -146,8 +146,8 @@ impl SupernovaAlert {
         if buf.len() < 40 {
             return None;
         }
-        let u64at = |o: usize| u64::from_be_bytes(buf[o..o + 8].try_into().unwrap());
-        let f64at = |o: usize| f64::from_be_bytes(buf[o..o + 8].try_into().unwrap());
+        let u64at = |o: usize| u64::from_be_bytes(buf[o..o + 8].try_into().unwrap()); // mmt-lint: allow(P1, "fixed offsets 0..40; length checked above")
+        let f64at = |o: usize| f64::from_be_bytes(buf[o..o + 8].try_into().unwrap()); // mmt-lint: allow(P1, "fixed offsets 0..40; length checked above")
         Some(SupernovaAlert {
             detected_at: Time::from_nanos(u64at(0)),
             ra_deg: f64at(8),

@@ -4,7 +4,7 @@ use crate::action::Intrinsics;
 use crate::parser::ParsedPacket;
 use crate::pipeline::Pipeline;
 use mmt_netsim::{Context, Node, Packet, PacketMeta, PortId, Time, TimerToken};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters exposed by a [`DataplaneElement`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,7 +30,7 @@ pub struct DataplaneElement {
     pipeline: Pipeline,
     stats: ElementStats,
     /// Packets waiting out the processing latency, keyed by timer token.
-    pending: HashMap<TimerToken, Vec<(PortId, Packet)>>,
+    pending: BTreeMap<TimerToken, Vec<(PortId, Packet)>>,
     next_token: TimerToken,
 }
 
@@ -40,7 +40,7 @@ impl DataplaneElement {
         DataplaneElement {
             pipeline,
             stats: ElementStats::default(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_token: 1,
         }
     }

@@ -245,7 +245,7 @@ pub fn build_ip_mmt_frame(
         dscp: 0,
     };
     let mut ip_pkt = vec![0u8; ip.total_len()];
-    ip.emit(&mut ip_pkt).expect("sized above");
+    ip.emit(&mut ip_pkt).expect("sized above"); // mmt-lint: allow(P1, "buffer sized with total_len one line above")
     ip_pkt[ipv4::HEADER_LEN..].copy_from_slice(&inner);
     let eth = mmt_wire::ethernet::EthernetRepr {
         dst: eth_dst,
@@ -273,7 +273,7 @@ pub fn build_udp_tunnel_frame(
         payload_len: inner.len(),
     };
     let mut udp_pkt = vec![0u8; udp.total_len()];
-    udp.emit(&mut udp_pkt).expect("sized above");
+    udp.emit(&mut udp_pkt).expect("sized above"); // mmt-lint: allow(P1, "buffer sized with total_len one line above")
     udp_pkt[mmt_wire::udp::HEADER_LEN..].copy_from_slice(&inner);
     let ip = ipv4::Ipv4Repr {
         src: ip_src,
@@ -284,7 +284,7 @@ pub fn build_udp_tunnel_frame(
         dscp: 0,
     };
     let mut ip_pkt = vec![0u8; ip.total_len()];
-    ip.emit(&mut ip_pkt).expect("sized above");
+    ip.emit(&mut ip_pkt).expect("sized above"); // mmt-lint: allow(P1, "buffer sized with total_len one line above")
     ip_pkt[ipv4::HEADER_LEN..].copy_from_slice(&udp_pkt);
     let eth = mmt_wire::ethernet::EthernetRepr {
         dst: eth_dst,

@@ -1,0 +1,441 @@
+//! A minimal Rust lexer: just enough structure for rule checks.
+//!
+//! Produces a token stream (identifiers, numbers, punctuation) with line
+//! numbers, plus the line comments (for escape parsing). String
+//! literals, raw strings, byte strings, char literals, lifetimes, and
+//! nested block comments are consumed without producing tokens, so a
+//! `"HashMap"` inside a string can never trip a rule.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident(String),
+    /// A numeric literal (value not needed by any rule).
+    Num,
+    /// A single punctuation character (`.`, `+`, `#`, `[`, ...).
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token kind.
+    pub kind: TokKind,
+}
+
+/// A `//` comment (escape comments ride on these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Text after the `//`.
+    pub text: String,
+    /// True when nothing but whitespace precedes the comment on its line
+    /// (a standalone comment also escapes the *next* line).
+    pub standalone: bool,
+}
+
+/// Lexer output.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub toks: Vec<Tok>,
+    /// All `//` comments, in source order.
+    pub comments: Vec<LineComment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unrecognizable bytes become punctuation,
+/// and unterminated literals simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether any non-whitespace, non-comment content appeared on the
+    // current line before position `i` (drives `standalone`).
+    let mut line_has_code = false;
+
+    let at = |idx: usize| chars.get(idx).copied();
+
+    while let Some(c) = at(i) {
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if at(i + 1) == Some('/') => {
+                let start = i + 2;
+                let mut j = start;
+                while let Some(cc) = at(j) {
+                    if cc == '\n' {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text: String = chars.get(start..j).unwrap_or_default().iter().collect();
+                out.comments.push(LineComment {
+                    line,
+                    text,
+                    standalone: !line_has_code,
+                });
+                i = j; // the '\n' (or EOF) is handled by the loop
+            }
+            '/' if at(i + 1) == Some('*') => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while let Some(cc) = at(j) {
+                    if cc == '\n' {
+                        line += 1;
+                        line_has_code = false;
+                        j += 1;
+                    } else if cc == '/' && at(j + 1) == Some('*') {
+                        depth += 1;
+                        j += 2;
+                    } else if cc == '*' && at(j + 1) == Some('/') {
+                        depth -= 1;
+                        j += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                line_has_code = true;
+            }
+            '\'' => {
+                i = skip_char_or_lifetime(&chars, i, &mut line);
+                line_has_code = true;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while at(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                let ident: String = chars.get(start..j).unwrap_or_default().iter().collect();
+                line_has_code = true;
+                // String-literal prefixes: r"", r#""#, b"", br"", and the
+                // raw-identifier form r#name.
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && matches!(at(j), Some('"') | Some('#')) {
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while at(k) == Some('#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if at(k) == Some('"') {
+                        // Raw (or byte) string literal.
+                        i = skip_raw_string(&chars, k + 1, hashes, &mut line);
+                        continue;
+                    }
+                    if ident == "r" && hashes == 1 && at(k).is_some_and(is_ident_start) {
+                        // Raw identifier r#name: lex the name itself.
+                        let rstart = k;
+                        let mut m = k;
+                        while at(m).is_some_and(is_ident_continue) {
+                            m += 1;
+                        }
+                        let name: String =
+                            chars.get(rstart..m).unwrap_or_default().iter().collect();
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Ident(name),
+                        });
+                        i = m;
+                        continue;
+                    }
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(ident),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while at(j).is_some_and(is_ident_continue)
+                    || (at(j) == Some('.') && at(j + 1).is_some_and(|cc| cc.is_ascii_digit()))
+                {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                });
+                line_has_code = true;
+                i = j;
+            }
+            other => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(other),
+                });
+                line_has_code = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a normal `"..."` string starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(chars: &[char], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while let Some(c) = chars.get(j).copied() {
+        match c {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string body starting just past the opening quote; the
+/// string ends at `"` followed by `hashes` `#`s.
+fn skip_raw_string(chars: &[char], body: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut j = body;
+    while let Some(c) = chars.get(j).copied() {
+        if c == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if c == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Disambiguate a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+/// Returns the index just past the construct.
+fn skip_char_or_lifetime(chars: &[char], open: usize, line: &mut u32) -> usize {
+    match chars.get(open + 1).copied() {
+        Some('\\') => {
+            // Escaped char literal: skip to the closing quote.
+            let mut j = open + 2;
+            while let Some(c) = chars.get(j).copied() {
+                if c == '\\' {
+                    j += 2;
+                } else if c == '\'' {
+                    return j + 1;
+                } else {
+                    if c == '\n' {
+                        *line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            j
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be 'a' (char) or 'a (lifetime) or 'static.
+            let mut j = open + 1;
+            while chars.get(j).copied().is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'\'') {
+                j + 1 // char literal like 'x'
+            } else {
+                j // lifetime: leave following tokens alone
+            }
+        }
+        Some(_) => {
+            // Char literal of punctuation/digit, e.g. '(' or '7'.
+            if chars.get(open + 2) == Some(&'\'') {
+                open + 3
+            } else {
+                open + 2
+            }
+        }
+        None => open + 1,
+    }
+}
+
+/// A well-formed escape comment: `mmt-lint: allow(RULE, "justification")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escape {
+    /// Line the escape comment is on.
+    pub line: u32,
+    /// The rule id it suppresses.
+    pub rule: String,
+    /// Whether the comment stands alone on its line (then it also covers
+    /// the next line).
+    pub standalone: bool,
+}
+
+/// Escape comments parsed from a file, plus any malformed ones.
+#[derive(Debug, Default)]
+pub struct Escapes {
+    /// Valid escapes.
+    pub valid: Vec<Escape>,
+    /// Lines carrying a `mmt-lint:` marker that failed to parse (missing
+    /// rule or justification).
+    pub malformed: Vec<u32>,
+}
+
+const MARKER: &str = "mmt-lint:";
+
+/// Parse escapes out of the lexed comments. Doc comments (`///`,
+/// `//!`) are documentation, not escape carriers — they may mention the
+/// marker freely.
+pub fn parse_escapes(comments: &[LineComment]) -> Escapes {
+    let mut out = Escapes::default();
+    for c in comments {
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = c.text.get(pos + MARKER.len()..).unwrap_or("").trim_start();
+        match parse_allow(rest) {
+            Some(rule) => out.valid.push(Escape {
+                line: c.line,
+                rule,
+                standalone: c.standalone,
+            }),
+            None => out.malformed.push(c.line),
+        }
+    }
+    out
+}
+
+/// Parse `allow(RULE, "justification")`; returns the rule id.
+fn parse_allow(s: &str) -> Option<String> {
+    let s = s.strip_prefix("allow")?.trim_start();
+    let s = s.strip_prefix('(')?;
+    let comma = s.find(',')?;
+    let rule = s.get(..comma)?.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return None;
+    }
+    let rest = s.get(comma + 1..)?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let endq = rest.find('"')?;
+    let justification = rest.get(..endq)?;
+    if justification.trim().is_empty() {
+        return None;
+    }
+    let tail = rest.get(endq + 1..)?.trim_start();
+    tail.strip_prefix(')')?;
+    Some(rule.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_idents() {
+        let src = r##"
+let a = "HashMap inside string";
+// HashMap inside line comment
+/* HashMap inside /* nested */ block */
+let b = r#"HashMap raw"#;
+let c = b"HashMap bytes";
+let real = HashMap::new();
+"##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let e = '\"'; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // Lifetime name must not leak as an identifier token.
+        assert!(!ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let s = \"two\nlines\";\nlet x = HashMap::new();";
+        let lexed = lex(src);
+        let hm = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("HashMap".into()))
+            .expect("HashMap token");
+        assert_eq!(hm.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_lexes_inner_name() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn escape_parsing_round_trips() {
+        let src = r#"
+let a = 1; // mmt-lint: allow(P1, "reason here")
+// mmt-lint: allow(D1, "standalone reason")
+let b = 2;
+// mmt-lint: allow(D1)
+// mmt-lint: allow(D1, "")
+"#;
+        let lexed = lex(src);
+        let esc = parse_escapes(&lexed.comments);
+        assert_eq!(esc.valid.len(), 2);
+        assert_eq!(esc.valid[0].rule, "P1");
+        assert!(!esc.valid[0].standalone);
+        assert_eq!(esc.valid[1].rule, "D1");
+        assert!(esc.valid[1].standalone);
+        assert_eq!(esc.malformed, vec![5, 6]);
+    }
+
+    #[test]
+    fn standalone_detection_depends_on_preceding_code() {
+        let lexed = lex("let x = 1; // trailing\n// alone\n");
+        assert!(!lexed.comments[0].standalone);
+        assert!(lexed.comments[1].standalone);
+    }
+}

@@ -1,0 +1,42 @@
+//! `mmt-lint` — a zero-dependency static analyzer enforcing the
+//! workspace's determinism and panic-freedom contract.
+//!
+//! The whole value of the MMT reproduction rests on runs being
+//! byte-deterministic and replayable from a seed (the telemetry
+//! determinism regression and the chaos harness's replay-by-seed
+//! contract). This crate machine-checks the coding rules that guarantee
+//! it, instead of leaving them as tribal knowledge:
+//!
+//! | Rule | What it forbids |
+//! |------|-----------------|
+//! | `D1` | `HashMap`/`HashSet` in sim-critical crates (nondeterministic iteration order) |
+//! | `D2` | Ambient nondeterminism (`Instant`, `SystemTime`, `std::env`) outside `SimRng`/sim-clock modules |
+//! | `P1` | `unwrap()`/`expect()`/`panic!`/`unimplemented!`/`todo!` in non-test library code |
+//! | `U1` | Crate roots without `#![forbid(unsafe_code)]` |
+//! | `S1` | Bare `+`/`-` on sequence-number identifiers (use the wrapping/saturating helpers) |
+//! | `ESC` | Malformed escape comments |
+//!
+//! Per-line escapes carry a mandatory justification:
+//!
+//! ```text
+//! // mmt-lint: allow(P1, "buffer sized two lines above; emit cannot fail")
+//! ```
+//!
+//! An escape suppresses its rule on its own line, and — when the comment
+//! stands alone on its line — on the following line as well.
+//!
+//! There is deliberately no full Rust parse here (per the workspace's
+//! offline-build policy: no `syn`, no clippy plugins). A hand-rolled
+//! lexer that understands strings, raw strings, char literals, nested
+//! block comments, and attributes is enough to make every rule
+//! token-accurate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::Violation;
+pub use scan::{run, Report};

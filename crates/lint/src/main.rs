@@ -1,0 +1,73 @@
+//! `mmt-lint` CLI.
+//!
+//! ```text
+//! mmt-lint [--format text|json] [--assume-crate NAME] [PATH ...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mmt-lint [--format text|json] [--assume-crate NAME] [PATH ...]
+  PATH            files or directories to scan (default: current directory)
+  --format FMT    output format: text (default) or json
+  --assume-crate  force crate classification (fixture testing)
+exit codes: 0 clean, 1 violations, 2 usage/IO error";
+
+fn main() -> ExitCode {
+    let mut format = String::from("text");
+    let mut assume: Option<String> = None;
+    let mut roots: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage_error("--format requires `text` or `json`"),
+            },
+            "--assume-crate" => match args.next() {
+                Some(n) if !n.is_empty() => assume = Some(n),
+                _ => return usage_error("--assume-crate requires a crate name"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{flag}`"));
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        roots.push(PathBuf::from("."));
+    }
+
+    let report = match mmt_lint::run(&roots, assume.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mmt-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("mmt-lint: error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,440 @@
+//! Rule checks over the token stream of one file.
+
+use crate::lexer::{lex, parse_escapes, Tok, TokKind};
+
+/// Crates whose behavior feeds the deterministic simulation; D1/D2/S1
+/// apply only here.
+pub const SIM_CRITICAL: &[&str] = &[
+    "netsim",
+    "core",
+    "dataplane",
+    "wire",
+    "transport",
+    "telemetry",
+];
+
+/// How a file is classified for rule scoping.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Workspace crate the file belongs to (`core`, `netsim`, `mmt`, ...).
+    pub crate_name: String,
+    /// True when the crate is in [`SIM_CRITICAL`].
+    pub sim_critical: bool,
+    /// True for test/bench/example code (path-based).
+    pub is_test: bool,
+    /// True for binary entry points (`src/main.rs`, `src/bin/*`).
+    pub is_bin: bool,
+    /// True for crate roots, which must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// True for the sim-clock / seeded-RNG modules that D2 exempts.
+    pub d2_exempt: bool,
+}
+
+/// Classify a file by its (normalized, `/`-separated) path. When
+/// `assume_crate` is set, the crate name is forced and the path-based
+/// test/bin exemptions are bypassed (fixture files live under `tests/`
+/// but must lint as library code); `#[cfg(test)]` regions are still
+/// honored.
+pub fn classify(path: &str, assume_crate: Option<&str>) -> FileClass {
+    let norm = path.replace('\\', "/");
+    let crate_name = match assume_crate {
+        Some(n) => n.to_string(),
+        None => crate_from_path(&norm),
+    };
+    let forced = assume_crate.is_some();
+    let is_test = !forced
+        && (norm.contains("/tests/")
+            || norm.starts_with("tests/")
+            || norm.contains("/benches/")
+            || norm.contains("/examples/"));
+    let is_bin = !forced && (norm.contains("src/bin/") || norm.ends_with("src/main.rs"));
+    let is_crate_root =
+        norm.ends_with("src/lib.rs") || norm.ends_with("src/main.rs") || norm.contains("src/bin/");
+    let d2_exempt = norm.ends_with("src/rng.rs") || norm.ends_with("src/time.rs");
+    FileClass {
+        sim_critical: SIM_CRITICAL.contains(&crate_name.as_str()),
+        crate_name,
+        is_test,
+        is_bin,
+        is_crate_root,
+        d2_exempt,
+    }
+}
+
+fn crate_from_path(norm: &str) -> String {
+    if let Some(idx) = norm.find("crates/") {
+        let rest = norm.get(idx + "crates/".len()..).unwrap_or("");
+        if let Some(end) = rest.find('/') {
+            return rest.get(..end).unwrap_or("").to_string();
+        }
+    }
+    // Root facade package (`src/`, `tests/`, `src/bin/mmt-sim.rs`).
+    "mmt".to_string()
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Display path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (`D1`, `D2`, `P1`, `U1`, `S1`, `ESC`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Compute `(start_line, end_line)` regions covered by a `#[test]` /
+/// `#[cfg(test)]`-gated item (function or `mod tests { ... }` body).
+pub fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_attr_start(toks, i) {
+            i += 1;
+            continue;
+        }
+        let start_line = toks.get(i).map(|t| t.line).unwrap_or(1);
+        let (after, idents) = consume_attr(toks, i);
+        let is_test_attr = idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not");
+        if !is_test_attr {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = after;
+        while is_attr_start(toks, j) {
+            let (next, _) = consume_attr(toks, j);
+            j = next;
+        }
+        let end_line = item_end_line(toks, j);
+        regions.push((start_line, end_line));
+        i = j;
+    }
+    regions
+}
+
+fn is_attr_start(toks: &[Tok], i: usize) -> bool {
+    matches!(toks.get(i), Some(t) if t.kind == TokKind::Punct('#'))
+        && (matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('['))
+            || (matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('!'))
+                && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Punct('['))))
+}
+
+/// Consume an attribute starting at `i`; returns (index past `]`,
+/// idents seen inside).
+fn consume_attr(toks: &[Tok], i: usize) -> (usize, Vec<String>) {
+    let mut j = i;
+    // Skip '#' and optional '!'.
+    while matches!(
+        toks.get(j),
+        Some(t) if matches!(t.kind, TokKind::Punct('#') | TokKind::Punct('!'))
+    ) {
+        j += 1;
+    }
+    let mut idents = Vec::new();
+    if !matches!(toks.get(j), Some(t) if t.kind == TokKind::Punct('[')) {
+        return (j, idents);
+    }
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(j) {
+        match &t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, idents);
+                }
+            }
+            TokKind::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, idents)
+}
+
+/// Line on which the item starting at token `i` ends: the matching `}`
+/// of its first depth-0 brace, or a depth-0 `;`, or the last token.
+fn item_end_line(toks: &[Tok], i: usize) -> u32 {
+    let mut depth = 0i32;
+    let mut j = i;
+    let mut in_body = false;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => {
+                if t.kind == TokKind::Punct('{') && depth == 0 {
+                    in_body = true;
+                }
+                depth += 1;
+            }
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if in_body && depth == 0 {
+                    return t.line;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return t.line,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.last().map(|t| t.line).unwrap_or(1)
+}
+
+/// Run every rule over one file's source; returns escape-filtered,
+/// line-ordered violations.
+pub fn check_file(display_path: &str, class: &FileClass, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let escapes = parse_escapes(&lexed.comments);
+    let regions = test_regions(&lexed.toks);
+    let in_test =
+        |line: u32| class.is_test || regions.iter().any(|(a, b)| line >= *a && line <= *b);
+    let suppressed = |rule: &str, line: u32| {
+        escapes
+            .valid
+            .iter()
+            .any(|e| e.rule == rule && (e.line == line || (e.standalone && e.line + 1 == line)))
+    };
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        raw.push(Violation {
+            path: display_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    // ESC: malformed escape comments are always reported.
+    for &line in &escapes.malformed {
+        push(
+            "ESC",
+            line,
+            "malformed escape; use `// mmt-lint: allow(RULE, \"justification\")`".to_string(),
+        );
+    }
+
+    // U1: crate roots must forbid unsafe code.
+    if class.is_crate_root && !has_forbid_unsafe(&lexed.toks) {
+        push(
+            "U1",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+
+    let lib_code = !class.is_test && !class.is_bin;
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Ident(id) = &t.kind else {
+            continue;
+        };
+        // D1 — nondeterministic-iteration collections in sim-critical crates.
+        if class.sim_critical
+            && lib_code
+            && !in_test(t.line)
+            && (id == "HashMap" || id == "HashSet")
+        {
+            let alt = if id == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            push(
+                "D1",
+                t.line,
+                format!("`{id}` has nondeterministic iteration order; use `{alt}`"),
+            );
+        }
+        // D2 — ambient nondeterminism outside the sim clock / seeded RNG.
+        if class.sim_critical && lib_code && !class.d2_exempt && !in_test(t.line) {
+            if id == "Instant" || id == "SystemTime" {
+                push(
+                    "D2",
+                    t.line,
+                    format!("`{id}` reads wall-clock time; use the sim clock"),
+                );
+            }
+            if id == "std"
+                && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct(':'))
+                && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Punct(':'))
+                && matches!(toks.get(i + 3), Some(t) if t.kind == TokKind::Ident("env".into()))
+            {
+                push(
+                    "D2",
+                    t.line,
+                    "`std::env` makes behavior environment-dependent; plumb config explicitly"
+                        .to_string(),
+                );
+            }
+        }
+        // P1 — panics in non-test library code.
+        if lib_code && !in_test(t.line) {
+            let called = (id == "unwrap" || id == "expect")
+                && matches!(toks.get(i.wrapping_sub(1)), Some(t) if t.kind == TokKind::Punct('.'))
+                && i > 0
+                && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('('));
+            if called {
+                push(
+                    "P1",
+                    t.line,
+                    format!("`{id}()` can panic; return a typed error or justify with an escape"),
+                );
+            }
+            let macro_panic = matches!(id.as_str(), "panic" | "unimplemented" | "todo")
+                && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('!'));
+            if macro_panic {
+                push(
+                    "P1",
+                    t.line,
+                    format!(
+                        "`{id}!` in library code; return a typed error or justify with an escape"
+                    ),
+                );
+            }
+        }
+        // S1 — bare arithmetic on sequence numbers.
+        if class.sim_critical && lib_code && !in_test(t.line) && seq_like(id) {
+            if let Some(next) = toks.get(i + 1) {
+                let minus_arrow = next.kind == TokKind::Punct('-')
+                    && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Punct('>'));
+                if matches!(next.kind, TokKind::Punct('+') | TokKind::Punct('-')) && !minus_arrow {
+                    push(
+                        "S1",
+                        t.line,
+                        format!(
+                            "bare arithmetic on sequence number `{id}`; use wrapping_/saturating_ helpers"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| v.rule == "ESC" || !suppressed(v.rule, v.line))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn seq_like(id: &str) -> bool {
+    id == "seq" || id == "sequence" || id.ends_with("_seq")
+}
+
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        matches!(&w[0].kind, TokKind::Punct('#'))
+            && matches!(&w[1].kind, TokKind::Punct('!'))
+            && matches!(&w[2].kind, TokKind::Punct('['))
+            && matches!(&w[3].kind, TokKind::Ident(s) if s == "forbid")
+            && matches!(&w[4].kind, TokKind::Punct('('))
+            && matches!(&w[5].kind, TokKind::Ident(s) if s == "unsafe_code")
+            && matches!(&w[6].kind, TokKind::Punct(')'))
+            && matches!(&w[7].kind, TokKind::Punct(']'))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_sim() -> FileClass {
+        classify("crates/core/src/x.rs", None)
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/netsim/src/link.rs", None);
+        assert!(c.sim_critical && !c.is_test && !c.is_bin && !c.is_crate_root);
+        let c = classify("crates/pilot/src/lib.rs", None);
+        assert!(!c.sim_critical && c.is_crate_root);
+        let c = classify("src/bin/mmt-sim.rs", None);
+        assert!(c.is_bin && c.is_crate_root && c.crate_name == "mmt");
+        let c = classify("crates/core/tests/roundtrip.rs", None);
+        assert!(c.is_test);
+        let c = classify("crates/lint/tests/fixtures/p1/src/code.rs", Some("core"));
+        assert!(c.sim_critical && !c.is_test && !c.is_bin);
+    }
+
+    #[test]
+    fn d1_flags_and_escapes() {
+        let src = "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() } // mmt-lint: allow(D1, \"test helper\")\n";
+        let v = check_file("x.rs", &class_sim(), src);
+        // Line 1 flagged; line 2 escaped (both occurrences on that line).
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("D1", 1));
+    }
+
+    #[test]
+    fn cfg_test_region_exempts_p1() {
+        let src = "\
+pub fn lib_code(x: Option<u32>) -> u32 { x.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok() {
+        let y: Option<u32> = Some(1);
+        assert_eq!(y.unwrap(), 1);
+    }
+}
+";
+        let v = check_file("crates/core/src/x.rs", &class_sim(), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("P1", 1));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = check_file("crates/core/src/x.rs", &class_sim(), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "P1");
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(check_file("crates/core/src/x.rs", &class_sim(), src).is_empty());
+    }
+
+    #[test]
+    fn s1_arrow_is_not_subtraction() {
+        let src = "fn next_seq(x: u32) -> u32 { x.wrapping_add(1) }\n";
+        assert!(check_file("crates/core/src/x.rs", &class_sim(), src).is_empty());
+        let bad = "fn f(seq: u64) -> u64 { seq + 1 }\n";
+        let v = check_file("crates/core/src/x.rs", &class_sim(), bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "S1");
+    }
+
+    #[test]
+    fn standalone_escape_covers_next_line() {
+        let src = "// mmt-lint: allow(P1, \"infallible by construction\")\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(check_file("crates/core/src/x.rs", &class_sim(), src).is_empty());
+    }
+
+    #[test]
+    fn u1_missing_forbid() {
+        let c = classify("crates/foo/src/lib.rs", None);
+        let v = check_file("crates/foo/src/lib.rs", &c, "pub fn x() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("U1", 1));
+        let ok = "#![forbid(unsafe_code)]\npub fn x() {}\n";
+        assert!(check_file("crates/foo/src/lib.rs", &c, ok).is_empty());
+    }
+
+    #[test]
+    fn esc_reported_for_malformed() {
+        let src = "fn f() {} // mmt-lint: allow(P1)\n";
+        let v = check_file("crates/core/src/x.rs", &class_sim(), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "ESC");
+    }
+}

@@ -1,0 +1,157 @@
+//! Directory walking, file classification, and report rendering.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, classify, Violation};
+
+/// Directories never descended into during a scan.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures"];
+
+/// The outcome of a scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// How many `.rs` files were checked.
+    pub files_scanned: usize,
+    /// All diagnostics, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable rendering, one diagnostic per line plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.path, v.line, v.rule, v.message
+            ));
+        }
+        out.push_str(&format!(
+            "mmt-lint: {} file(s) scanned, {} violation(s)\n",
+            self.files_scanned,
+            self.violations.len()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering for `--format json`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        out.push('\n');
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Scan the given roots (files or directories). Directories are walked
+/// recursively in sorted order (deterministic output), skipping
+/// `target`, `.git`, `results`, and fixture trees; explicitly named
+/// files are always scanned, whatever their location.
+pub fn run(roots: &[PathBuf], assume_crate: Option<&str>) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in roots {
+        let meta = fs::metadata(root)?;
+        if meta.is_dir() {
+            collect(root, &mut files)?;
+        } else {
+            files.push(root.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let display = path.to_string_lossy().replace('\\', "/");
+        let class = classify(&display, assume_crate);
+        report.violations.extend(check_file(&display, &class, &src));
+        report.files_scanned += 1;
+    }
+    report.violations.sort();
+    Ok(report)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_renders_counts() {
+        let r = Report {
+            files_scanned: 3,
+            violations: vec![],
+        };
+        assert!(r.is_clean());
+        assert!(r
+            .render_text()
+            .contains("3 file(s) scanned, 0 violation(s)"));
+        assert!(r.render_json().contains("\"files_scanned\":3"));
+    }
+}

@@ -1,0 +1,12 @@
+//! D1 fixture: hash collections in a sim-critical crate.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn counts() -> BTreeMap<u32, u32> {
+    let set: std::collections::HashSet<u32> = Default::default();
+    let _ = set;
+    // mmt-lint: allow(D1, "fixture: justified use")
+    let _m: HashMap<u32, u32> = HashMap::new();
+    BTreeMap::new()
+}

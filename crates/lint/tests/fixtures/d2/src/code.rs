@@ -1,0 +1,10 @@
+//! D2 fixture: ambient nondeterminism in a sim-critical crate.
+
+pub fn now_wall() -> u64 {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    let _v = std::env::var("HOME");
+    // mmt-lint: allow(D2, "fixture: justified clock use")
+    let _ok = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,8 @@
+//! ESC fixture: malformed escape comments.
+
+pub fn f() {
+    let x = 1; // mmt-lint: allow(P1)
+    let y = 2; // mmt-lint: allow(P1, "")
+    let z = 3; // mmt-lint: suppress everything
+    let _ = (x, y, z);
+}

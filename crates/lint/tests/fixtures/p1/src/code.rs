@@ -1,0 +1,30 @@
+//! P1 fixture: panics in library code.
+
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad2(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn bad3() {
+    panic!("no");
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(7)
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    x.unwrap() // mmt-lint: allow(P1, "fixture: checked by caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! S1 fixture: bare sequence-number arithmetic.
+
+pub fn advance(seq: u64) -> u64 {
+    seq + 1
+}
+
+pub fn safe(seq: u64) -> u64 {
+    seq.wrapping_add(1)
+}
+
+pub fn justified(next_seq: u64) -> u64 {
+    // mmt-lint: allow(S1, "fixture: wraparound impossible here")
+    next_seq - 1
+}

@@ -1,0 +1,3 @@
+//! U1 fixture: crate root missing the forbid attribute.
+
+pub fn x() {}

@@ -1,0 +1,5 @@
+//! U1 fixture: crate root carrying the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn x() {}

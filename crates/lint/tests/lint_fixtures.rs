@@ -1,0 +1,169 @@
+//! End-to-end tests of the `mmt-lint` binary: one fixture per rule
+//! (positive + negative + escaped), exact rule/path/line assertions,
+//! the exit-code contract, JSON output, and the workspace-clean gate.
+
+use std::process::Command;
+
+/// Run the built binary from the lint crate directory; returns
+/// (exit code, stdout, stderr).
+fn lint(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmt-lint"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(args)
+        .output()
+        .expect("spawn mmt-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+fn assert_has(out: &str, needle: &str) {
+    assert!(out.contains(needle), "expected {needle:?} in:\n{out}");
+}
+
+#[test]
+fn d1_fixture_exact_diagnostics() {
+    let (code, out, _) = lint(&["--assume-crate", "core", "tests/fixtures/d1"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "tests/fixtures/d1/src/code.rs:4: [D1]");
+    assert_has(&out, "tests/fixtures/d1/src/code.rs:7: [D1]");
+    assert_has(&out, "use `BTreeMap`");
+    assert_has(&out, "use `BTreeSet`");
+    assert_has(&out, "2 violation(s)");
+}
+
+#[test]
+fn d2_fixture_exact_diagnostics() {
+    let (code, out, _) = lint(&["--assume-crate", "netsim", "tests/fixtures/d2"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "tests/fixtures/d2/src/code.rs:4: [D2]");
+    assert_has(&out, "tests/fixtures/d2/src/code.rs:5: [D2]");
+    assert_has(&out, "tests/fixtures/d2/src/code.rs:6: [D2]");
+    assert_has(&out, "`Instant`");
+    assert_has(&out, "`SystemTime`");
+    assert_has(&out, "`std::env`");
+    assert_has(&out, "3 violation(s)");
+}
+
+#[test]
+fn p1_fixture_exact_diagnostics() {
+    let (code, out, _) = lint(&["--assume-crate", "core", "tests/fixtures/p1"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "tests/fixtures/p1/src/code.rs:4: [P1]");
+    assert_has(&out, "tests/fixtures/p1/src/code.rs:8: [P1]");
+    assert_has(&out, "tests/fixtures/p1/src/code.rs:12: [P1]");
+    // `unwrap_or` (line 16), the escaped unwrap (line 20), and the
+    // #[cfg(test)] region must all be exempt.
+    assert_has(&out, "3 violation(s)");
+}
+
+#[test]
+fn p1_applies_outside_sim_critical_crates_too() {
+    let (code, out, _) = lint(&["--assume-crate", "pilot", "tests/fixtures/p1"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "3 violation(s)");
+}
+
+#[test]
+fn s1_fixture_exact_diagnostics() {
+    let (code, out, _) = lint(&["--assume-crate", "transport", "tests/fixtures/s1"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "tests/fixtures/s1/src/code.rs:4: [S1]");
+    assert_has(&out, "sequence number `seq`");
+    assert_has(&out, "1 violation(s)");
+}
+
+#[test]
+fn s1_is_scoped_to_sim_critical_crates() {
+    let (code, out, _) = lint(&["--assume-crate", "pilot", "tests/fixtures/s1"]);
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn u1_fixture_positive_and_negative() {
+    let (code, out, _) = lint(&["--assume-crate", "daq", "tests/fixtures/u1/bad"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "tests/fixtures/u1/bad/src/lib.rs:1: [U1]");
+    assert_has(&out, "#![forbid(unsafe_code)]");
+    let (code, out, _) = lint(&["--assume-crate", "daq", "tests/fixtures/u1/good"]);
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn esc_fixture_reports_malformed_escapes() {
+    let (code, out, _) = lint(&["--assume-crate", "core", "tests/fixtures/esc"]);
+    assert_eq!(code, 1);
+    assert_has(&out, "tests/fixtures/esc/src/code.rs:4: [ESC]");
+    assert_has(&out, "tests/fixtures/esc/src/code.rs:5: [ESC]");
+    assert_has(&out, "tests/fixtures/esc/src/code.rs:6: [ESC]");
+    assert_has(&out, "3 violation(s)");
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let (code, out, _) = lint(&["--assume-crate", "core", "tests/fixtures/clean"]);
+    assert_eq!(code, 0, "{out}");
+    assert_has(&out, "1 file(s) scanned, 0 violation(s)");
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let (code, out, _) = lint(&[
+        "--format",
+        "json",
+        "--assume-crate",
+        "core",
+        "tests/fixtures/d1",
+    ]);
+    assert_eq!(code, 1);
+    assert_has(&out, "\"files_scanned\":1");
+    assert_has(&out, "\"rule\":\"D1\"");
+    assert_has(&out, "\"path\":\"tests/fixtures/d1/src/code.rs\"");
+    assert_has(&out, "\"line\":4");
+    assert_has(&out, "\"line\":7");
+    // Whole payload is a single JSON object on one line.
+    assert!(out.trim_start().starts_with('{') && out.trim_end().ends_with('}'));
+    assert_eq!(out.trim_end().lines().count(), 1);
+}
+
+#[test]
+fn exit_code_contract_usage_errors() {
+    let (code, _, err) = lint(&["--bogus-flag"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage"), "{err}");
+    let (code, _, err) = lint(&["tests/fixtures/does-not-exist"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("error"), "{err}");
+    let (code, _, _) = lint(&["--format", "yaml"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = lint(&["--assume-crate"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn help_exits_zero() {
+    let (code, out, _) = lint(&["--help"]);
+    assert_eq!(code, 0);
+    assert_has(&out, "usage: mmt-lint");
+}
+
+/// The acceptance gate: the workspace itself must lint clean. Run from
+/// the repository root so the scan covers every crate plus the facade.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_mmt-lint"))
+        .current_dir(root)
+        .arg(".")
+        .output()
+        .expect("spawn mmt-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace has lint violations:\n{stdout}"
+    );
+    assert!(stdout.contains(", 0 violation(s)"), "{stdout}");
+}

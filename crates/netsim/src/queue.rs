@@ -152,7 +152,9 @@ impl TransmitQueue {
                     else {
                         break;
                     };
-                    let removed = self.bands[0].remove(pos).expect("position valid");
+                    let Some(removed) = self.bands[0].remove(pos) else {
+                        break; // unreachable: pos came from position() above
+                    };
                     self.bytes -= removed.len();
                     self.dropped += 1;
                     self.shed_aged += 1;

@@ -432,7 +432,7 @@ impl Simulator {
 
     fn push_event(&mut self, at: Time, kind: EventKind) {
         let seq = self.seq;
-        self.seq += 1;
+        self.seq = self.seq.wrapping_add(1);
         self.events.push(Reverse(Event { at, seq, kind }));
     }
 

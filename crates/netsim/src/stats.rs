@@ -54,9 +54,12 @@ impl LatencyHistogram {
             return None;
         }
         self.ensure_sorted();
-        let q = q.clamp(0.0, 1.0);
+        // NaN would otherwise survive clamp (clamp propagates NaN) and
+        // faulted telemetry can compute q from poisoned ratios.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((self.samples_ns.len() as f64 - 1.0) * q).round() as usize;
-        Some(Time::from_nanos(self.samples_ns[rank]))
+        let rank = rank.min(self.samples_ns.len() - 1);
+        self.samples_ns.get(rank).copied().map(Time::from_nanos)
     }
 
     /// Median latency.
@@ -274,6 +277,19 @@ mod tests {
         h.record(Time::from_nanos(5));
         assert_eq!(h.quantile(-1.0).unwrap().as_nanos(), 5);
         assert_eq!(h.quantile(2.0).unwrap().as_nanos(), 5);
+    }
+
+    #[test]
+    fn quantile_survives_nan_and_infinite_q() {
+        // Regression: faulted telemetry can feed a quantile computed from
+        // poisoned ratios (0/0 → NaN); must degrade, not panic.
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(Time::from_nanos(v));
+        }
+        assert_eq!(h.quantile(f64::NAN).unwrap().as_nanos(), 10);
+        assert_eq!(h.quantile(f64::INFINITY).unwrap().as_nanos(), 30);
+        assert_eq!(h.quantile(f64::NEG_INFINITY).unwrap().as_nanos(), 10);
     }
 
     #[test]

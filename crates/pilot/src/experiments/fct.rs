@@ -175,15 +175,15 @@ fn run_mmt(p: &FctParams, nearest: bool) -> FctResult {
 
     let horizon = Time::from_secs(600);
     sim.run_until(horizon);
-    let rcv = sim.node_as::<MmtReceiver>(receiver).unwrap();
+    let rcv = sim.node_as::<MmtReceiver>(receiver).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let completed = rcv.is_complete();
     let fct = rcv.stats.completed_at.unwrap_or(horizon);
     let retransmissions = if nearest {
-        let m = sim.node_as::<TransitBuffer>(mid).unwrap();
+        let m = sim.node_as::<TransitBuffer>(mid).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
         m.stats.served + m.stats.renaked
     } else {
         sim.node_as::<RetransmitBuffer>(dtn1)
-            .unwrap()
+            .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
             .stats
             .retransmitted
     };
@@ -224,7 +224,7 @@ fn run_tcp(p: &FctParams) -> FctResult {
     let (wan2_fwd, _) = sim.connect(r2, 1, rcv, 0, wan2);
     let horizon = Time::from_secs(600);
     sim.run_until(horizon);
-    let receiver = sim.node_as::<TcpReceiver>(rcv).unwrap();
+    let receiver = sim.node_as::<TcpReceiver>(rcv).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let completed = receiver.delivered().len() >= count;
     let fct = receiver
         .delivered()
@@ -232,7 +232,7 @@ fn run_tcp(p: &FctParams) -> FctResult {
         .map(|d| d.delivered_at)
         .filter(|_| completed)
         .unwrap_or(horizon);
-    let s = sim.node_as::<TcpSender>(snd).unwrap();
+    let s = sim.node_as::<TcpSender>(snd).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     FctResult {
         variant: FctVariant::TcpTuned,
         fct,

@@ -86,7 +86,7 @@ pub fn run_tcp(p: &HolParams) -> HolResult {
         LinkSpec::new(Bandwidth::gbps(100), p.rtt / 2).with_loss(LossModel::Random(p.loss)),
     );
     sim.run_until(Time::from_secs(300));
-    let receiver = sim.node_as::<TcpReceiver>(rcv).unwrap();
+    let receiver = sim.node_as::<TcpReceiver>(rcv).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let mut latency = LatencyHistogram::new();
     let baseline = p.rtt / 2;
     let mut impacted = 0usize;
@@ -155,7 +155,7 @@ pub fn run_mmt(p: &HolParams) -> HolResult {
         LinkSpec::new(Bandwidth::gbps(100), p.rtt / 2).with_loss(LossModel::Random(p.loss)),
     );
     sim.run_until(Time::from_secs(300));
-    let receiver = sim.node_as::<MmtReceiver>(rcv).unwrap();
+    let receiver = sim.node_as::<MmtReceiver>(rcv).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let mut latency = LatencyHistogram::new();
     let baseline = p.rtt / 2;
     let mut impacted = 0usize;

@@ -101,8 +101,8 @@ pub fn run(duration: Time, seed: u64) -> OsmoticResult {
     );
     sim.run_until(duration + Time::from_secs(20));
 
-    let gw = sim.node_as::<RetransmitBuffer>(gateway).unwrap();
-    let rx = sim.node_as::<MmtReceiver>(archive).unwrap();
+    let gw = sim.node_as::<RetransmitBuffer>(gateway).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+    let rx = sim.node_as::<MmtReceiver>(archive).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let entered_wan = gw.stats.forwarded;
     let lost_on_backhaul = sim.link_stats(backhaul).corruption_losses;
     let delivered = rx.stats.delivered;

@@ -67,7 +67,7 @@ impl RecordSender {
                 EthernetAddress([2, 0, 0, 0, 0, 1]),
                 EthernetAddress([2, 0, 0, 0, 0, 2]),
                 &MmtRepr::data(self.experiment),
-                &record.encode().expect("valid record"),
+                &record.encode().expect("valid record"), // mmt-lint: allow(P1, "encode/decode of a record this experiment just built; inverse pair")
             );
             let mut pkt = Packet::with_flow(frame, u64::from(self.experiment.raw()));
             pkt.meta.created_at = self.schedule[self.next];
@@ -157,7 +157,7 @@ impl Node for StorageGateway {
                         self.detected_at = Some(t);
                     }
                 }
-                self.writer.push(&record).expect("just decoded");
+                self.writer.push(&record).expect("just decoded"); // mmt-lint: allow(P1, "encode/decode of a record this experiment just built; inverse pair")
                 if self.writer.len() >= self.batch {
                     let full = std::mem::take(&mut self.writer);
                     self.containers.push(full.finish());
@@ -318,8 +318,8 @@ pub fn run(seed: u64) -> PayloadResult {
     );
     sim.run();
 
-    let mon = sim.node_as::<InPathAlertMonitor>(monitor).unwrap();
-    let arch = sim.node_as::<StorageGateway>(archive).unwrap();
+    let mon = sim.node_as::<InPathAlertMonitor>(monitor).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+    let arch = sim.node_as::<StorageGateway>(archive).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let inpath_alert_at = sim.local_deliveries(rubin).first().map(|(t, _)| *t);
     // Baseline: the archive detects, then the alert must travel archive →
     // FNAL → telescope.

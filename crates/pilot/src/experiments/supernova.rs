@@ -74,7 +74,7 @@ pub fn detect(seed: u64) -> (Time, Time, SupernovaAlert) {
             break;
         }
     }
-    let detected_at = detected.expect("a real burst must fire the trigger");
+    let detected_at = detected.expect("a real burst must fire the trigger"); // mmt-lint: allow(P1, "experiment invariant; a failure here is a harness bug and must be loud")
     let mut rng = mmt_netsim::SimRng::new(seed);
     let alert = SupernovaAlert::from_detection(detected_at, &mut rng);
     (burst_start, detected_at, alert)
@@ -118,7 +118,7 @@ fn mmt_latency(seed: u64) -> Time {
     sim.local_deliveries(rubin)
         .first()
         .map(|(t, _)| *t)
-        .expect("alert must arrive")
+        .expect("alert must arrive") // mmt-lint: allow(P1, "experiment invariant; a failure here is a harness bug and must be loud")
 }
 
 /// Ship the alert over today's staged path: TCP termination and
@@ -147,7 +147,7 @@ fn staged_latency(seed: u64) -> Time {
     sim.local_deliveries(rubin)
         .first()
         .map(|(t, _)| *t)
-        .expect("alert must arrive")
+        .expect("alert must arrive") // mmt-lint: allow(P1, "experiment invariant; a failure here is a harness bug and must be loud")
 }
 
 /// Run the full scenario.

@@ -50,7 +50,7 @@ pub fn run_tcp(link: Bandwidth, profile: CcProfile, transfer_bytes: u64) -> Thro
     );
     sim.connect(snd, 0, rcv, 0, LinkSpec::new(link, Time::from_millis(5)));
     sim.run_until(Time::from_secs(600));
-    let s = sim.node_as::<TcpSender>(snd).unwrap();
+    let s = sim.node_as::<TcpSender>(snd).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let goodput_bps = match s.stats.completed_at {
         Some(fct) => transfer_bytes as f64 * 8.0 / fct.as_secs_f64(),
         None => s.stats.bytes_acked as f64 * 8.0 / 600.0,
@@ -80,7 +80,7 @@ pub fn run_mmt(link: Bandwidth, transfer_bytes: u64) -> ThroughputResult {
     let rcv = sim.add_node("receiver", Box::new(MmtReceiver::new(rcfg)));
     sim.connect(snd, 0, rcv, 0, LinkSpec::new(link, Time::from_millis(5)));
     sim.run_until(Time::from_secs(600));
-    let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
+    let r = sim.node_as::<MmtReceiver>(rcv).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
     let goodput_bps = match r.stats.completed_at {
         Some(fct) => (count * MSG) as f64 * 8.0 / fct.as_secs_f64(),
         None => (r.stats.delivered * MSG as u64) as f64 * 8.0 / 600.0,

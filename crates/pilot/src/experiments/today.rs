@@ -70,11 +70,11 @@ fn udp_stage_time(seed: u64) -> Time {
     );
     sim.run();
     sim.node_as::<UdpReceiver>(r)
-        .unwrap()
+        .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
         .received
         .last()
         .map(|&(_, t)| t)
-        .expect("batch must arrive")
+        .expect("batch must arrive") // mmt-lint: allow(P1, "experiment invariant; a failure here is a harness bug and must be loud")
 }
 
 fn tcp_stage_time(rtt: Time, loss: f64, profile: CcProfile, seed: u64) -> Time {
@@ -93,11 +93,11 @@ fn tcp_stage_time(rtt: Time, loss: f64, profile: CcProfile, seed: u64) -> Time {
     );
     sim.run_until(Time::from_secs(600));
     sim.node_as::<TcpReceiver>(rcv)
-        .unwrap()
+        .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
         .delivered()
         .last()
         .map(|d| d.delivered_at)
-        .expect("batch must arrive")
+        .expect("batch must arrive") // mmt-lint: allow(P1, "experiment invariant; a failure here is a harness bug and must be loud")
 }
 
 /// Measure today's pipeline (Fig. 2).
@@ -200,10 +200,10 @@ pub fn run_mmt(seed: u64) -> PipelineResult {
         LinkSpec::new(Bandwidth::gbps(100), Time::from_millis(10)),
     );
     sim.run_until(Time::from_secs(600));
-    let r = sim.node_as::<MmtReceiver>(rcv).unwrap();
-    let batch_total = r.stats.completed_at.expect("stream must complete");
-    // Urgent message: pure propagation + switch work — the stream is
-    // never terminated, so first-byte latency is the path latency.
+    let r = sim.node_as::<MmtReceiver>(rcv).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+    let batch_total = r.stats.completed_at.expect("stream must complete"); // mmt-lint: allow(P1, "experiment invariant; a failure here is a harness bug and must be loud")
+                                                                           // Urgent message: pure propagation + switch work — the stream is
+                                                                           // never terminated, so first-byte latency is the path latency.
     let urgent = Time::from_micros(5) + Time::from_millis(25) + Time::from_millis(10);
     let segments = vec![
         SegmentRow {

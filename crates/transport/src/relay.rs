@@ -7,7 +7,7 @@
 //! rapid inter-instrument coordination (§4.1 point 2).
 
 use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Transparent bidirectional forwarder between port 0 and port 1.
 pub struct Relay {
@@ -50,7 +50,7 @@ impl Node for Relay {
 /// connection and opens the next (Fig. 2 ②/④).
 pub struct StoreAndForwardRelay {
     staging_delay: Time,
-    pending: HashMap<TimerToken, (PortId, Packet)>,
+    pending: BTreeMap<TimerToken, (PortId, Packet)>,
     next_token: TimerToken,
     /// Packets staged.
     pub staged: u64,
@@ -61,7 +61,7 @@ impl StoreAndForwardRelay {
     pub fn new(staging_delay: Time) -> StoreAndForwardRelay {
         StoreAndForwardRelay {
             staging_delay,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_token: 1,
             staged: 0,
         }

@@ -134,21 +134,24 @@ impl Segment {
         if buf.len() < HEADER_LEN {
             return None;
         }
+        let be_u64 = |off: usize| -> Option<u64> {
+            Some(u64::from_be_bytes(buf.get(off..off + 8)?.try_into().ok()?))
+        };
+        let be_u32 = |off: usize| -> Option<u32> {
+            Some(u32::from_be_bytes(buf.get(off..off + 4)?.try_into().ok()?))
+        };
         let mut sack = [(0u64, 0u64); MAX_SACK];
         for (i, block) in sack.iter_mut().enumerate() {
             let off = 36 + i * 16;
-            *block = (
-                u64::from_be_bytes(buf[off..off + 8].try_into().unwrap()),
-                u64::from_be_bytes(buf[off + 8..off + 16].try_into().unwrap()),
-            );
+            *block = (be_u64(off)?, be_u64(off + 8)?);
         }
         let seg = Segment {
-            flow: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
-            seq: u64::from_be_bytes(buf[8..16].try_into().unwrap()),
-            ack: u64::from_be_bytes(buf[16..24].try_into().unwrap()),
+            flow: be_u64(0)?,
+            seq: be_u64(8)?,
+            ack: be_u64(16)?,
             flags: SegmentFlags::from_u8(buf[24]),
-            window: u32::from_be_bytes(buf[28..32].try_into().unwrap()),
-            len: u32::from_be_bytes(buf[32..36].try_into().unwrap()),
+            window: be_u32(28)?,
+            len: be_u32(32)?,
             sack,
         };
         if buf.len() < seg.wire_len() {

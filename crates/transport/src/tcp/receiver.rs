@@ -148,7 +148,9 @@ impl TcpReceiver {
             if m_end > self.rcv_nxt {
                 break; // bytes arrived but stream not contiguous yet
             }
-            let arrived_at = self.arrived.remove(&m).expect("checked");
+            let Some(arrived_at) = self.arrived.remove(&m) else {
+                break; // unreachable: contains_key checked above
+            };
             self.delivered.push(DeliveredMessage {
                 index: m,
                 arrived_at,
@@ -189,7 +191,7 @@ impl Node for TcpReceiver {
         }
         let now = ctx.now();
         let start = seg.seq;
-        let end = seg.seq + u64::from(seg.len);
+        let end = seg.seq.saturating_add(u64::from(seg.len));
         let new_parts = self.insert_range(start, end);
         let new_bytes: u64 = new_parts.iter().map(|&(s, e)| e - s).sum();
         self.duplicate_bytes += (end - start) - new_bytes;

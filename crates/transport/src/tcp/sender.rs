@@ -70,7 +70,7 @@ pub struct TcpSender {
     /// receiver (start → end, merged).
     sacked: BTreeMap<u64, u64>,
     /// Segments already retransmitted in the current recovery epoch.
-    hole_retx: std::collections::HashSet<u64>,
+    hole_retx: std::collections::BTreeSet<u64>,
 
     // Host pacing.
     next_send_at: Time,
@@ -124,7 +124,7 @@ impl TcpSender {
             rto_deadline: None,
             sent_times: BTreeMap::new(),
             sacked: BTreeMap::new(),
-            hole_retx: std::collections::HashSet::new(),
+            hole_retx: std::collections::BTreeSet::new(),
             next_send_at: Time::ZERO,
             send_timer_armed: false,
             next_msg: 0,
@@ -372,7 +372,9 @@ impl TcpSender {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
-            let e = self.sacked.remove(&s).expect("key just listed");
+            let Some(e) = self.sacked.remove(&s) else {
+                continue; // unreachable: keys collected from the map above
+            };
             start = start.min(s);
             end = end.max(e);
         }

@@ -114,7 +114,10 @@ impl Node for UdpReceiver {
         if pkt.meta.flow != self.flow || pkt.bytes.len() < 8 {
             return;
         }
-        let idx = u64::from_be_bytes(pkt.bytes[..8].try_into().unwrap());
+        let Ok(prefix) = pkt.bytes[..8].try_into() else {
+            return; // unreachable: length checked above
+        };
+        let idx = u64::from_be_bytes(prefix);
         self.received.push((idx, ctx.now()));
         self.highest_seen = self.highest_seen.max(idx + 1);
     }

@@ -171,7 +171,7 @@ impl EthernetRepr {
 /// Build a complete frame: header followed by `payload`.
 pub fn build_frame(repr: &EthernetRepr, payload: &[u8]) -> Vec<u8> {
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-    repr.emit(&mut buf).expect("sized above");
+    repr.emit(&mut buf).expect("sized above"); // mmt-lint: allow(P1, "buffer sized with HEADER_LEN one line above")
     buf[HEADER_LEN..].copy_from_slice(payload);
     buf
 }

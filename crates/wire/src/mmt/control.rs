@@ -268,11 +268,11 @@ impl ControlRepr {
         let hdr = MmtRepr::control(experiment, self.control_type() as u8);
         let hlen = hdr.header_len();
         let mut buf = vec![0u8; hlen + self.body_len()];
-        hdr.emit(&mut buf).expect("sized above");
+        hdr.emit(&mut buf).expect("sized above"); // mmt-lint: allow(P1, "buffer sized with header_len + body_len above")
         match self {
-            ControlRepr::Nak(n) => n.emit(&mut buf[hlen..]).expect("sized above"),
-            ControlRepr::DeadlineExceeded(d) => d.emit(&mut buf[hlen..]).expect("sized above"),
-            ControlRepr::Backpressure(b) => b.emit(&mut buf[hlen..]).expect("sized above"),
+            ControlRepr::Nak(n) => n.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
+            ControlRepr::DeadlineExceeded(d) => d.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
+            ControlRepr::Backpressure(b) => b.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
         }
         buf
     }

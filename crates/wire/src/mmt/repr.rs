@@ -283,7 +283,7 @@ impl MmtRepr {
     pub fn emit_with_payload(&self, payload: &[u8]) -> Vec<u8> {
         let hlen = self.header_len();
         let mut buf = vec![0u8; hlen + payload.len()];
-        self.emit(&mut buf).expect("sized above");
+        self.emit(&mut buf).expect("sized above"); // mmt-lint: allow(P1, "buffer sized with header_len one line above")
         buf[hlen..].copy_from_slice(payload);
         buf
     }

@@ -12,6 +12,8 @@
 //! parsing is hand-rolled to keep the dependency set at the workspace
 //! baseline.)
 
+#![forbid(unsafe_code)]
+
 use mmt::netsim::{Bandwidth, FaultSpec, LossModel, PeriodicOutage, Time};
 use mmt::pilot::experiments::{fct, hol};
 use mmt::pilot::{Pilot, PilotConfig};

@@ -112,6 +112,44 @@ fn faulted_exports_carry_fault_series() {
     );
 }
 
+/// Regression for the D1 bug class (mmt-lint): the retransmit buffer,
+/// receiver gap/NAK books, and relay/element pending tables are ordered
+/// maps, so iterating them — as `export_metrics` now does for the
+/// order-sensitive `mmt_buffer_stored_seq_digest` gauge — must yield
+/// byte-identical output across two in-process runs. With a hash map a
+/// per-instance `RandomState` would scramble the fold below even within
+/// one process.
+#[test]
+fn map_iteration_order_is_deterministic_across_runs() {
+    let observe = || {
+        let mut cfg = PilotConfig::default_run();
+        cfg.message_count = 400;
+        cfg.seed = 42;
+        cfg.wan_loss = LossModel::Random(5e-3);
+        cfg.wan_fault = chaos_fault();
+        cfg.retx_holdoff = Time::from_millis(2);
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(120));
+        assert!(pilot.is_complete());
+        let stored = pilot
+            .sim
+            .node_as::<mmt::protocol::RetransmitBuffer>(pilot.dtn1)
+            .expect("dtn1 is the retransmit buffer")
+            .stored_seqs();
+        (prometheus::render(&pilot.metrics()), stored)
+    };
+    let (prom_a, stored_a) = observe();
+    let (prom_b, stored_b) = observe();
+    // The loss layer forces retransmission state, so the digest reflects
+    // a non-trivial iteration.
+    assert!(prom_a.contains("mmt_buffer_stored_seq_digest"));
+    assert_eq!(prom_a, prom_b, "map-derived export must be byte-identical");
+    assert_eq!(stored_a, stored_b, "map iteration order must be stable");
+    let mut sorted = stored_a.clone();
+    sorted.sort_unstable();
+    assert_eq!(stored_a, sorted, "ordered map iterates in key order");
+}
+
 #[test]
 fn exports_are_well_formed() {
     let (prom, jsonl, chrome) = run_once(7);
