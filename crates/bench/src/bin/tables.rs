@@ -15,8 +15,8 @@
 use mmt_bench::{gbps, pct, TextTable};
 use mmt_netsim::{Bandwidth, LossModel, Time};
 use mmt_pilot::experiments::{
-    alerts, aqm, backpressure, faults, fct, hol, osmotic, payload, rates, slices, supernova,
-    throughput, timeliness, today,
+    alerts, aqm, backpressure, failover, faults, fct, hol, osmotic, payload, rates, slices,
+    supernova, throughput, timeliness, today,
 };
 use mmt_pilot::{Pilot, PilotConfig};
 use std::path::PathBuf;
@@ -535,6 +535,46 @@ fn e12(opts: &Opts) {
     emit(t, opts);
 }
 
+fn e13(opts: &Opts) {
+    let mut p = failover::FailoverParams::default_run();
+    if opts.quick {
+        p.messages = 400;
+        p.loss = 1e-2;
+    }
+    let mut t = TextTable::new(
+        "E13 — DTN 1 crash at 6 ms: closed-loop re-homed recovery vs no adaptation",
+        &[
+            "arm",
+            "complete",
+            "delivered",
+            "lost",
+            "retries exhausted",
+            "rehomed",
+            "standby served",
+            "transitions",
+            "recovery latency",
+            "goodput",
+        ],
+    );
+    for r in failover::run_all(&p) {
+        t.row(vec![
+            r.name.to_string(),
+            if r.complete { "yes" } else { "NO" }.to_string(),
+            r.delivered.to_string(),
+            r.lost.to_string(),
+            r.nak_retries_exhausted.to_string(),
+            if r.rehomed { "yes" } else { "no" }.to_string(),
+            r.standby_served.to_string(),
+            r.transitions.to_string(),
+            r.recovery_latency
+                .map(|t| t.to_string())
+                .unwrap_or("—".into()),
+            gbps(r.goodput_bps),
+        ]);
+    }
+    emit(t, opts);
+}
+
 fn a1_a2(opts: &Opts) {
     let mut t = TextTable::new(
         "A1 — deadline-aware AQM vs drop-tail under 2x overload (50/50 aged/fresh)",
@@ -569,7 +609,7 @@ fn main() {
     let opts = parse_args();
     println!("# Shape-shifting Elephants — regenerated tables and figures");
     println!(
-        "# mode: {}  (ids: t1 f2 f3 p1 e1..e12 a1 a2; --quick for reduced scale)",
+        "# mode: {}  (ids: t1 f2 f3 p1 e1..e13 a1 a2; --quick for reduced scale)",
         if opts.quick { "quick" } else { "full" }
     );
     let _ = (Bandwidth::gbps(1), LossModel::None); // re-exports sanity
@@ -617,6 +657,9 @@ fn main() {
     }
     if want(&opts, "e12") {
         e12(&opts);
+    }
+    if want(&opts, "e13") {
+        e13(&opts);
     }
     if want(&opts, "a1") || want(&opts, "a2") {
         a1_a2(&opts);

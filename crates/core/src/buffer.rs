@@ -19,8 +19,8 @@ use mmt_dataplane::action::Intrinsics;
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
 use mmt_dataplane::pipeline::Pipeline;
 use mmt_dataplane::programs::{self, BorderConfig};
-use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
-use mmt_wire::mmt::{BackpressureRepr, ControlRepr, ExperimentId, MmtRepr};
+use mmt_netsim::{Context, Node, Packet, PacketMeta, PortId, Time, TimerToken};
+use mmt_wire::mmt::{BackpressureRepr, ControlRepr, ExperimentId, MmtRepr, ModeChangeRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -61,6 +61,13 @@ pub struct RetransmitBufferStats {
     pub retx_suppressed: u64,
     /// Backpressure grants sent upstream.
     pub credits_sent: u64,
+    /// Highest store occupancy ever reached (bytes) — the shed
+    /// controller's high-watermark evidence.
+    pub occupancy_highwater_bytes: u64,
+    /// Mode-change control messages applied to the border pipeline.
+    pub mode_changes: u64,
+    /// Mirror copies emitted while in a DUPLICATED mode.
+    pub mirrored: u64,
 }
 
 /// The buffer node.
@@ -78,6 +85,9 @@ pub struct RetransmitBuffer {
     retx_holdoff: Time,
     /// When each sequence was last retransmitted.
     last_retx: BTreeMap<u64, Time>,
+    /// Bumped on every crash so credit timers armed before the crash are
+    /// recognisably stale after restart (no double credit chains).
+    credit_epoch: u64,
     /// Counters.
     pub stats: RetransmitBufferStats,
 }
@@ -104,6 +114,7 @@ impl RetransmitBuffer {
             credit,
             retx_holdoff: Time::ZERO,
             last_retx: BTreeMap::new(),
+            credit_epoch: 0,
             stats: RetransmitBufferStats::default(),
         }
     }
@@ -146,6 +157,12 @@ impl RetransmitBuffer {
         self.store.len()
     }
 
+    /// Bytes currently retained (the occupancy the shed controller
+    /// watches).
+    pub fn stored_bytes(&self) -> usize {
+        self.store_bytes
+    }
+
     /// Export the buffer's counters (and its border pipeline's per-table
     /// hit/miss counters) into a metric registry, labeled by `node`.
     pub fn export_metrics(&self, node: &str, reg: &mut mmt_telemetry::MetricRegistry) {
@@ -186,6 +203,16 @@ impl RetransmitBuffer {
                 "Backpressure grants sent upstream.",
                 self.stats.credits_sent,
             ),
+            (
+                "mmt_buffer_mode_changes_total",
+                "Mode-change control messages applied to the border pipeline.",
+                self.stats.mode_changes,
+            ),
+            (
+                "mmt_buffer_mirrored_total",
+                "Mirror copies emitted while in a DUPLICATED mode.",
+                self.stats.mirrored,
+            ),
         ] {
             reg.describe(name, help);
             reg.counter_add(name, &labels, value);
@@ -204,6 +231,15 @@ impl RetransmitBuffer {
             "Bytes currently retained for retransmission.",
         );
         reg.gauge_set("mmt_buffer_stored_bytes", &labels, self.store_bytes as f64);
+        reg.describe(
+            "mmt_buffer_occupancy_highwater",
+            "Highest retransmission-store occupancy reached, bytes.",
+        );
+        reg.gauge_set(
+            "mmt_buffer_occupancy_highwater",
+            &labels,
+            self.stats.occupancy_highwater_bytes as f64,
+        );
         // Order-sensitive digest: folds the store's iteration order into
         // an exported value, so a regression to a nondeterministically
         // ordered map shows up as byte-diverging telemetry
@@ -249,6 +285,33 @@ impl RetransmitBuffer {
             self.store.insert(seq, pkt);
         }
         self.stats.stored = self.store.len() as u64;
+        self.stats.occupancy_highwater_bytes = self
+            .stats
+            .occupancy_highwater_bytes
+            .max(self.store_bytes as u64);
+    }
+
+    /// Apply a [`ModeChangeRepr`] to the border pipeline: rewrite the
+    /// retransmit source (when named), toggle DUPLICATED mirroring, and
+    /// set or clear the stamped backpressure window.
+    fn apply_mode_change(&mut self, mc: &ModeChangeRepr) {
+        let source = if mc.retransmit_source.is_unspecified() {
+            None
+        } else {
+            Some((mc.retransmit_source, mc.retransmit_port))
+        };
+        let window = if mc.window == 0 {
+            None
+        } else {
+            Some(mc.window)
+        };
+        if programs::apply_mode_change(&mut self.pipeline, PORT_WAN, mc.features, source, window) {
+            self.stats.mode_changes += 1;
+        }
+    }
+
+    fn credit_token(&self) -> TimerToken {
+        TOKEN_CREDIT | (self.credit_epoch << 8)
     }
 
     fn serve_nak(
@@ -307,7 +370,7 @@ impl Node for RetransmitBuffer {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         if let Some(credit) = self.credit {
             self.send_credit(ctx, credit.grant);
-            ctx.set_timer(credit.interval, TOKEN_CREDIT);
+            ctx.set_timer(credit.interval, self.credit_token());
         }
     }
 
@@ -317,10 +380,18 @@ impl Node for RetransmitBuffer {
         let Some(off) = parsed0.layers.mmt_offset() else {
             return;
         };
-        // NAKs addressed to this buffer are served locally, not piped.
-        if let Ok((_, ControlRepr::Nak(nak))) = ControlRepr::parse_packet(&parsed0.bytes[off..]) {
-            self.serve_nak(ctx, &nak, port);
-            return;
+        // NAKs are served locally; mode changes reconfigure the border
+        // pipeline. Other control messages run through the pipeline.
+        match ControlRepr::parse_packet(&parsed0.bytes[off..]) {
+            Ok((_, ControlRepr::Nak(nak))) => {
+                self.serve_nak(ctx, &nak, port);
+                return;
+            }
+            Ok((_, ControlRepr::ModeChange(mc))) => {
+                self.apply_mode_change(&mc);
+                return;
+            }
+            _ => {}
         }
         // Everything else runs the border pipeline.
         let mut parsed = parsed0;
@@ -332,12 +403,12 @@ impl Node for RetransmitBuffer {
         // Forward + retain upgraded data packets. The border pipeline just
         // stamped the sequence; mirror it (and the config id) into the
         // simulator metadata so WAN-side trace events carry it.
+        let mut meta = meta;
+        if let Some(hdr) = parsed.mmt() {
+            meta.seq = hdr.sequence();
+            meta.config = Some(u64::from(hdr.config_id()));
+        }
         if let Some(egress) = disp.egress {
-            let mut meta = meta;
-            if let Some(hdr) = parsed.mmt() {
-                meta.seq = hdr.sequence();
-                meta.config = Some(u64::from(hdr.config_id()));
-            }
             let out = Packet {
                 bytes: parsed.bytes,
                 meta,
@@ -351,20 +422,55 @@ impl Node for RetransmitBuffer {
             ctx.send(egress, out);
         }
         for (eport, bytes) in disp.emitted {
-            // Pipeline-emitted frames are control plane (deadline
+            // Mirror copies (DUPLICATED mode) are data: they keep the
+            // original packet's identity so the receiver's sequence
+            // tracker absorbs whichever twin arrives second. Everything
+            // else the pipeline emits is control plane (deadline
             // notifications and the like).
-            let mut out = Packet::new(bytes);
-            out.meta.control = true;
-            ctx.send(eport, out);
+            let is_mirror = disp.mirrors.contains(&eport);
+            let pmeta = if is_mirror {
+                self.stats.mirrored += 1;
+                PacketMeta { id: 0, ..meta }
+            } else {
+                PacketMeta {
+                    control: true,
+                    ..PacketMeta::default()
+                }
+            };
+            ctx.send(eport, Packet { bytes, meta: pmeta });
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-        if token == TOKEN_CREDIT {
+        if token == self.credit_token() {
             if let Some(credit) = self.credit {
                 self.send_credit(ctx, credit.grant);
-                ctx.set_timer(credit.interval, TOKEN_CREDIT);
+                ctx.set_timer(credit.interval, self.credit_token());
             }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // A power loss destroys the DRAM retransmission store: every
+        // retained packet, the eviction ring, and the holdoff history.
+        // The border pipeline's registers (the sequence cursor) survive —
+        // in deployment they live in the switch ASIC and are restored by
+        // the control plane; wiping the cursor would re-issue already-used
+        // sequence numbers and break exactly-once delivery downstream.
+        self.store.clear();
+        self.ring.clear();
+        self.store_bytes = 0;
+        self.last_retx.clear();
+        self.stats.stored = 0;
+        // Invalidate any credit timer armed before the crash so restart
+        // starts exactly one fresh chain.
+        self.credit_epoch += 1;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        if let Some(credit) = self.credit {
+            self.send_credit(ctx, credit.grant);
+            ctx.set_timer(credit.interval, self.credit_token());
         }
     }
 
@@ -588,6 +694,116 @@ mod tests {
         assert_eq!(b.stats.retransmitted, 4, "first burst + post-holdoff retry");
         assert_eq!(b.stats.retx_suppressed, 4, "two storm repeats suppressed");
         assert_eq!(sim.local_deliveries(wan).len(), before + 4);
+    }
+
+    fn mode_change_frame(mc: ModeChangeRepr) -> Packet {
+        let ctrl = ControlRepr::ModeChange(mc).emit_packet(exp());
+        let repr = MmtRepr::parse(&ctrl).unwrap();
+        let mut pkt = Packet::new(build_eth_mmt_frame(
+            EthernetAddress([2, 0, 0, 0, 0, 9]),
+            EthernetAddress([2, 0, 0, 0, 0, 2]),
+            &repr,
+            &ctrl[repr.header_len()..],
+        ));
+        pkt.meta.control = true;
+        pkt
+    }
+
+    #[test]
+    fn crash_loses_store_and_restart_resumes_sequencing() {
+        let (mut sim, buf, wan) = setup(1 << 20);
+        for i in 0..5 {
+            sim.inject(Time::from_micros(i), buf, PORT_DAQ, sensor_frame(i));
+        }
+        sim.schedule_crash(buf, Time::from_micros(100), Some(Time::from_micros(200)));
+        // Post-restart traffic.
+        for i in 5..8 {
+            sim.inject(Time::from_micros(300 + i), buf, PORT_DAQ, sensor_frame(i));
+        }
+        // NAK for a pre-crash sequence arrives after the restart: the
+        // store is gone, so it must be a miss, not a retransmission.
+        sim.inject(
+            Time::from_micros(400),
+            buf,
+            PORT_WAN,
+            nak_frame(vec![NakRange { first: 2, last: 2 }]),
+        );
+        sim.run();
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert_eq!(b.stats.nak_misses, 1);
+        assert_eq!(b.stats.retransmitted, 0);
+        assert_eq!(b.stored_count(), 3, "only post-restart packets retained");
+        // The sequence cursor survives the crash: post-restart packets
+        // continue 5, 6, 7 — no reuse of already-issued numbers.
+        let seqs: Vec<u64> = sim
+            .local_deliveries(wan)
+            .iter()
+            .map(|(_, p)| {
+                ParsedPacket::parse(p.bytes.clone(), 0)
+                    .mmt_repr()
+                    .unwrap()
+                    .sequence()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Highwater was reached just before the crash: all 5 pre-crash
+        // upgraded frames resident at once.
+        let per = sim.local_deliveries(wan)[0].1.len() as u64;
+        assert_eq!(b.stats.occupancy_highwater_bytes, 5 * per);
+    }
+
+    #[test]
+    fn mode_change_engages_duplication_and_rehomes_source() {
+        let (mut sim, buf, wan) = setup(1 << 20);
+        sim.inject(Time::from_micros(1), buf, PORT_DAQ, sensor_frame(0));
+        let base = Features::SEQUENCE
+            | Features::RETRANSMIT
+            | Features::TIMELINESS
+            | Features::AGE
+            | Features::ACK_NAK;
+        sim.inject(
+            Time::from_micros(10),
+            buf,
+            PORT_WAN,
+            mode_change_frame(ModeChangeRepr {
+                config_id: 1,
+                features: base | Features::DUPLICATED,
+                retransmit_source: Ipv4Address::new(10, 0, 0, 6),
+                retransmit_port: 47_001,
+                window: 0,
+            }),
+        );
+        sim.inject(Time::from_micros(20), buf, PORT_DAQ, sensor_frame(1));
+        sim.run();
+        let got = sim.local_deliveries(wan);
+        // Packet 0 arrives singly; packet 1 arrives twice (mirror copy).
+        assert_eq!(got.len(), 3);
+        let reprs: Vec<_> = got
+            .iter()
+            .map(|(_, p)| ParsedPacket::parse(p.bytes.clone(), 0).mmt_repr().unwrap())
+            .collect();
+        assert_eq!(reprs[0].sequence(), Some(0));
+        assert_eq!(
+            reprs[0].retransmit().unwrap().source,
+            Ipv4Address::new(10, 0, 0, 5)
+        );
+        // Both twins of packet 1 carry the re-homed source and the
+        // DUPLICATED mode bit (the bit marks the stream's mode, not which
+        // copy is the mirror); packet 0 predates the change.
+        assert!(!reprs[0].features.contains(Features::DUPLICATED));
+        assert_eq!(reprs[1].sequence(), Some(1));
+        assert_eq!(reprs[2].sequence(), Some(1));
+        for r in &reprs[1..] {
+            assert_eq!(
+                r.retransmit().unwrap().source,
+                Ipv4Address::new(10, 0, 0, 6)
+            );
+            assert!(r.features.contains(Features::DUPLICATED));
+        }
+        let b = sim.node_as::<RetransmitBuffer>(buf).unwrap();
+        assert_eq!(b.stats.mode_changes, 1);
+        assert_eq!(b.stats.mirrored, 1);
     }
 
     #[test]

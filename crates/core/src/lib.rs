@@ -22,6 +22,9 @@
 //!   packet header*, delivers datagrams immediately (no head-of-line
 //!   blocking), and accounts ages/deadlines.
 //! * [`seqtrack`] — sequence-space bookkeeping (gap detection, dedup).
+//! * [`controller`] — the closed-loop adaptation state machine: consumes
+//!   per-segment health observations and emits hysteresis-damped mode
+//!   transitions (degrade/recover/re-home/shed).
 //! * [`resourcemap`] — the §6 future-work sketch: a shared map of
 //!   in-network programmable resources and a mode planner that assigns
 //!   per-segment modes from it, plus a gossip-style map exchange.
@@ -30,17 +33,23 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod controller;
 pub mod mode;
 pub mod receiver;
 pub mod resourcemap;
 pub mod sender;
 pub mod seqtrack;
+pub mod standby;
 pub mod transit;
 
 pub use buffer::{RetransmitBuffer, RetransmitBufferStats};
+pub use controller::{
+    ControllerConfig, ControllerStats, HealthSample, ModeController, ModeTransition,
+};
 pub use mode::{Mode, ModeParams};
 pub use receiver::{MmtReceiver, ReceivedMessage, ReceiverConfig, ReceiverStats};
 pub use resourcemap::{Capability, ModePlanner, ResourceMap};
 pub use sender::{Framing, MmtSender, SenderConfig, SenderStats};
 pub use seqtrack::SeqTracker;
+pub use standby::{StandbyBuffer, StandbyBufferStats};
 pub use transit::{TransitBuffer, TransitBufferStats};

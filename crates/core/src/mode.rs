@@ -85,6 +85,34 @@ impl Mode {
         }
     }
 
+    /// Degraded mode 2: mode 2 plus DUPLICATED mirroring — what the border
+    /// element shifts a flow into when the WAN segment is flapping and
+    /// recoverable loss alone no longer meets the deadline budget. Same
+    /// parameters as [`Mode::mode2_wan`]; the extra feature bit tells the
+    /// border to emit a mirror copy of every upgraded frame.
+    pub fn mode2_duplicated(
+        retransmit_source: (Ipv4Address, u16),
+        deadline_budget_ns: u64,
+        notify: Ipv4Address,
+        max_age_ns: u64,
+    ) -> Mode {
+        let base = Mode::mode2_wan(retransmit_source, deadline_budget_ns, notify, max_age_ns);
+        Mode {
+            name: "mode2-duplicated",
+            features: base.features | Features::DUPLICATED,
+            ..base
+        }
+    }
+
+    /// Add a BACKPRESSURE window to this mode (load-shedding engaged at a
+    /// retransmit-buffer occupancy high-watermark).
+    #[must_use]
+    pub fn with_backpressure(mut self, window: u32) -> Mode {
+        self.features |= Features::BACKPRESSURE;
+        self.params.backpressure_window = Some(window);
+        self
+    }
+
     /// Pilot mode 3: timeliness check at the destination (§5.4) — the
     /// same features as mode 2; the destination element additionally runs
     /// the deadline check.
@@ -142,6 +170,39 @@ mod tests {
         let m3 = Mode::mode3_delivery(src, 1, Ipv4Address::UNSPECIFIED, 1);
         assert_eq!(m3.features, m2.features);
         assert_eq!(m3.name, "mode3-delivery");
+    }
+
+    #[test]
+    fn degraded_mode_adds_duplication_only() {
+        let src = (Ipv4Address::new(10, 0, 0, 5), 47_000);
+        let m2 = Mode::mode2_wan(src, 1_000_000, Ipv4Address::new(10, 0, 0, 9), 500_000);
+        let dup = Mode::mode2_duplicated(src, 1_000_000, Ipv4Address::new(10, 0, 0, 9), 500_000);
+        assert_eq!(dup.name, "mode2-duplicated");
+        assert_eq!(dup.features, m2.features | Features::DUPLICATED);
+        assert_eq!(dup.params, m2.params);
+        // The upgrade descriptor carries the bit through to the wire.
+        assert!(dup
+            .as_upgrade(Some(0))
+            .set_flags
+            .contains(Features::DUPLICATED));
+        assert!(!m2
+            .as_upgrade(Some(0))
+            .set_flags
+            .contains(Features::DUPLICATED));
+    }
+
+    #[test]
+    fn with_backpressure_sets_feature_and_window() {
+        let src = (Ipv4Address::new(10, 0, 0, 5), 47_000);
+        let m2 = Mode::mode2_wan(src, 1_000_000, Ipv4Address::new(10, 0, 0, 9), 500_000);
+        assert!(!m2.features.contains(Features::BACKPRESSURE));
+        let shed = m2.with_backpressure(32);
+        assert!(shed.features.contains(Features::BACKPRESSURE));
+        assert_eq!(shed.params.backpressure_window, Some(32));
+        assert_eq!(shed.as_upgrade(Some(0)).backpressure_window, Some(32));
+        // Everything else untouched.
+        assert_eq!(shed.features - Features::BACKPRESSURE, m2.features);
+        assert_eq!(shed.params.retransmit_source, m2.params.retransmit_source);
     }
 
     #[test]

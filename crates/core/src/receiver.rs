@@ -170,6 +170,14 @@ impl MmtReceiver {
         self.stats.completed_at.is_some()
     }
 
+    /// The retransmit source named by the most recent sequenced packet —
+    /// where the next NAK will go. After a re-homing mode change this
+    /// flips to the standby buffer as soon as one re-stamped packet
+    /// arrives.
+    pub fn retransmit_source(&self) -> Option<(Ipv4Address, u16)> {
+        self.retransmit_source
+    }
+
     /// Export the receiver's counters — and the end-to-end latency and
     /// in-network age distributions over everything delivered so far —
     /// into a metric registry, labeled by `node`.

@@ -186,6 +186,13 @@ impl Node for DataplaneElement {
         }
     }
 
+    fn on_crash(&mut self) {
+        // Frames waiting out the processing latency live in switch SRAM;
+        // a power loss destroys them. Their latency timers will fire after
+        // restart and find nothing to send.
+        self.pending.clear();
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -55,6 +55,12 @@ impl Pipeline {
         &mut self.tables[idx]
     }
 
+    /// Mutable table access by name (control-plane entry updates when the
+    /// caller knows the program's table names, not its stage order).
+    pub fn table_mut_by_name(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
     /// Per-stage (table) lookup statistics, in execution order:
     /// `(table name, hits, misses)`.
     pub fn stage_stats(&self) -> Vec<(&str, u64, u64)> {

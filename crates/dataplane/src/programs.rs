@@ -122,6 +122,79 @@ pub fn daq_to_wan_border(cfg: BorderConfig) -> Pipeline {
         .build()
 }
 
+/// Apply a control-plane mode change to a border pipeline built by
+/// [`daq_to_wan_border`]: rewrite the `mode_upgrade` entry's `Upgrade`
+/// action **in place**, so in-flight traffic is re-stamped under the new
+/// shape while already-forwarded packets keep the old one (the receiver's
+/// sequence tracker absorbs the seam). Three knobs:
+///
+/// * `retransmit_source` — re-home NAK recovery to a live buffer (the
+///   failover transition); sticky until the next explicit change.
+/// * `Features::DUPLICATED` in `features` — mirror each upgraded data
+///   packet back out `wan_port` (the degrade transition for a flapping
+///   segment); clearing the bit removes the mirror.
+/// * `backpressure_window` — stamp the BACKPRESSURE extension when
+///   `features` carries that bit (the shed transition).
+///
+/// Returns `true` if an `Upgrade` action was found and rewritten.
+pub fn apply_mode_change(
+    pl: &mut Pipeline,
+    wan_port: usize,
+    features: Features,
+    retransmit_source: Option<(Ipv4Address, u16)>,
+    backpressure_window: Option<u32>,
+) -> bool {
+    let Some(table) = pl.table_mut_by_name("mode_upgrade") else {
+        return false;
+    };
+    let duplicate = features.contains(Features::DUPLICATED);
+    let mut rewritten = false;
+    for entry in table.entries_mut() {
+        let Some(pos) = entry
+            .actions
+            .iter()
+            .position(|a| matches!(a, Action::Upgrade(_)))
+        else {
+            continue;
+        };
+        if let Action::Upgrade(up) = &mut entry.actions[pos] {
+            if let Some(src) = retransmit_source {
+                up.retransmit_source = Some(src);
+            }
+            if duplicate {
+                up.set_flags |= Features::DUPLICATED;
+            } else {
+                up.set_flags = up.set_flags - Features::DUPLICATED;
+            }
+            if features.contains(Features::BACKPRESSURE) {
+                if let Some(w) = backpressure_window {
+                    up.backpressure_window = Some(w);
+                }
+            } else {
+                up.backpressure_window = None;
+            }
+            rewritten = true;
+        }
+        // Keep a Mirror action in lockstep with DUPLICATED, placed right
+        // after the Upgrade so the copy is cloned from the re-stamped
+        // header (and carries the new sequence number).
+        let mirror_at = entry
+            .actions
+            .iter()
+            .position(|a| matches!(a, Action::Mirror { .. }));
+        match (duplicate, mirror_at) {
+            (true, None) => entry
+                .actions
+                .insert(pos + 1, Action::Mirror { port: wan_port }),
+            (false, Some(i)) => {
+                entry.actions.remove(i);
+            }
+            _ => {}
+        }
+    }
+    rewritten
+}
+
 /// Build a WAN transit-element pipeline: update the age field on data
 /// packets travelling downstream (ingress `up_port` → egress `down_port`),
 /// pass control packets upstream, and forward everything else.
@@ -473,6 +546,93 @@ mod tests {
         assert!(!r.features.contains(Features::ACK_NAK));
         assert_eq!(r.sequence(), Some(4), "sequence survives");
         assert_eq!(r.age().unwrap().age_ns, 10, "age survives");
+    }
+
+    #[test]
+    fn mode_change_rewrites_upgrade_entry_in_flight() {
+        let mut pl = border();
+        // First packet under the base mode: no mirror, DTN 1 as source.
+        let mut p0 = ParsedPacket::parse(data_frame(2), 0);
+        let d0 = pl.process(&mut p0, intr(0, 0));
+        assert!(d0.mirrors.is_empty());
+        let r0 = p0.mmt_repr().unwrap();
+        assert_eq!(
+            r0.retransmit().unwrap().source,
+            Ipv4Address::new(10, 0, 0, 5)
+        );
+        assert_eq!(r0.sequence(), Some(0));
+
+        // Degrade + re-home: duplicate over the WAN, recover from 10.0.0.6.
+        let standby = (Ipv4Address::new(10, 0, 0, 6), 47_001);
+        assert!(apply_mode_change(
+            &mut pl,
+            1,
+            Features::DUPLICATED,
+            Some(standby),
+            None,
+        ));
+        let mut p1 = ParsedPacket::parse(data_frame(2), 0);
+        let d1 = pl.process(&mut p1, intr(0, 0));
+        assert_eq!(d1.mirrors, vec![1], "mirror copy toward the WAN");
+        assert_eq!(d1.emitted.len(), 1);
+        let r1 = p1.mmt_repr().unwrap();
+        assert_eq!(r1.retransmit().unwrap().source, standby.0);
+        assert_eq!(r1.retransmit().unwrap().port, standby.1);
+        assert!(r1.features.contains(Features::DUPLICATED));
+        assert_eq!(
+            r1.sequence(),
+            Some(1),
+            "sequence register survives the change"
+        );
+        // The mirror copy carries the re-stamped header too.
+        let copy = ParsedPacket::parse(d1.emitted[0].1.clone(), 0);
+        let rc = copy
+            .layers
+            .mmt_offset()
+            .map(|off| mmt_wire::mmt::MmtRepr::parse(&copy.bytes[off..]).unwrap());
+        let rc = rc.unwrap();
+        assert_eq!(rc.sequence(), Some(1));
+        assert_eq!(rc.retransmit().unwrap().source, standby.0);
+
+        // Recover: mirror removed; the re-home is sticky.
+        assert!(apply_mode_change(&mut pl, 1, Features::EMPTY, None, None));
+        let mut p2 = ParsedPacket::parse(data_frame(2), 0);
+        let d2 = pl.process(&mut p2, intr(0, 0));
+        assert!(d2.mirrors.is_empty());
+        let r2 = p2.mmt_repr().unwrap();
+        assert!(!r2.features.contains(Features::DUPLICATED));
+        assert_eq!(r2.retransmit().unwrap().source, standby.0, "re-home sticks");
+    }
+
+    #[test]
+    fn mode_change_engages_and_releases_backpressure_window() {
+        let mut pl = border();
+        assert!(apply_mode_change(
+            &mut pl,
+            1,
+            Features::BACKPRESSURE,
+            None,
+            Some(32),
+        ));
+        let mut p = ParsedPacket::parse(data_frame(2), 0);
+        pl.process(&mut p, intr(0, 0));
+        assert_eq!(p.mmt_repr().unwrap().backpressure_window(), Some(32));
+        assert!(apply_mode_change(&mut pl, 1, Features::EMPTY, None, None));
+        let mut p = ParsedPacket::parse(data_frame(2), 0);
+        pl.process(&mut p, intr(0, 0));
+        assert_eq!(p.mmt_repr().unwrap().backpressure_window(), None);
+    }
+
+    #[test]
+    fn mode_change_on_foreign_pipeline_is_a_no_op() {
+        let mut pl = wan_transit(0, 1, 1);
+        assert!(!apply_mode_change(
+            &mut pl,
+            1,
+            Features::DUPLICATED,
+            None,
+            None
+        ));
     }
 
     #[test]

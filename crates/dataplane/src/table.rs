@@ -201,6 +201,13 @@ impl Table {
         self.entries.is_empty()
     }
 
+    /// Mutable access to the installed entries — the control-plane
+    /// modify-entry path (P4Runtime `MODIFY`): rewrite action parameters
+    /// in place so in-flight traffic picks up the new mode.
+    pub fn entries_mut(&mut self) -> &mut [TableEntry] {
+        &mut self.entries
+    }
+
     /// Look up the packet; returns the matching actions (entry or default)
     /// and records hit/miss counters.
     pub fn lookup(&mut self, pkt: &ParsedPacket) -> &[Action] {

@@ -86,6 +86,19 @@ pub trait Node {
         let _ = ctx;
     }
 
+    /// The node crashed (scheduled via [`crate::Simulator::schedule_crash`]).
+    /// Implementations drop whatever soft state the failure model says a
+    /// power loss destroys (e.g. a retransmit store). No [`Context`] is
+    /// provided: a dead node cannot send, deliver, or arm timers.
+    fn on_crash(&mut self) {}
+
+    /// The node came back up after a crash. Unlike [`Node::on_start`] this
+    /// runs with the simulation already in flight; use it to re-arm
+    /// periodic timers. Default: no-op.
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
     /// Downcast support (`&dyn Any`).
     fn as_any(&self) -> &dyn std::any::Any;
 
@@ -148,6 +161,8 @@ mod tests {
             actions: &mut actions,
         };
         probe.on_timer(&mut ctx, 7); // default impl: no effect
+        probe.on_crash();
+        probe.on_restart(&mut ctx);
         probe.on_start(&mut ctx);
         assert!(actions.is_empty());
         assert!(probe.started);

@@ -23,6 +23,10 @@ enum EventKind {
     TxComplete { link: usize },
     /// A node timer fires.
     Timer { node: usize, token: TimerToken },
+    /// A scheduled node crash takes effect.
+    NodeCrash { node: usize },
+    /// A crashed node comes back up.
+    NodeRestart { node: usize },
 }
 
 struct Event {
@@ -57,6 +61,15 @@ struct NodeEntry {
     local: Vec<(Time, Packet)>,
     /// Packets sent out of ports with no attached link.
     unrouted_drops: u64,
+    /// Whether the node is currently crashed (scheduled fault).
+    crashed: bool,
+    /// Packets destroyed by crashes: arrivals swallowed while down plus
+    /// egress-queue contents flushed at crash time.
+    crashed_drops: u64,
+    /// How many times the node has crashed.
+    crashes: u64,
+    /// How many times the node has restarted after a crash.
+    restarts: u64,
 }
 
 /// The discrete-event network simulator.
@@ -161,6 +174,12 @@ impl Simulator {
             "mmt_node_local_deliveries_total",
             "packets handed to the local app",
         );
+        reg.describe(
+            "mmt_node_crashed_drops_total",
+            "packets destroyed by node crashes (swallowed arrivals + flushed egress queues)",
+        );
+        reg.describe("mmt_node_crashes_total", "scheduled node crashes");
+        reg.describe("mmt_node_restarts_total", "node restarts after a crash");
         for (idx, node) in self.nodes.iter().enumerate() {
             let idx_s = idx.to_string();
             let labels = [("node", idx_s.as_str()), ("name", node.name.as_str())];
@@ -174,6 +193,9 @@ impl Simulator {
                 &labels,
                 node.local.len() as u64,
             );
+            reg.counter_add("mmt_node_crashed_drops_total", &labels, node.crashed_drops);
+            reg.counter_add("mmt_node_crashes_total", &labels, node.crashes);
+            reg.counter_add("mmt_node_restarts_total", &labels, node.restarts);
         }
         reg.describe(
             "mmt_link_offered_packets_total",
@@ -301,6 +323,10 @@ impl Simulator {
             ports: Vec::new(),
             local: Vec::new(),
             unrouted_drops: 0,
+            crashed: false,
+            crashed_drops: 0,
+            crashes: 0,
+            restarts: 0,
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -403,6 +429,57 @@ impl Simulator {
                 token,
             },
         );
+    }
+
+    /// Schedule a node crash at `crash_at`, optionally followed by a
+    /// restart at `restart_at`. Like [`crate::PeriodicOutage`], the schedule
+    /// is purely time-driven — no randomness is consumed, so adding a crash
+    /// leaves every pre-existing seeded stream byte-identical.
+    ///
+    /// While crashed the node swallows every arriving packet and timer
+    /// (counted in [`Simulator::crashed_drops`]); at crash time its egress
+    /// queues are flushed and [`Node::on_crash`] runs so the behaviour can
+    /// drop its soft state. On restart [`Node::on_restart`] runs with a
+    /// live [`Context`] so periodic timers can be re-armed.
+    ///
+    /// # Panics
+    /// Panics if `crash_at` is in the past or `restart_at <= crash_at`.
+    pub fn schedule_crash(&mut self, node: NodeId, crash_at: Time, restart_at: Option<Time>) {
+        assert!(crash_at >= self.now, "cannot schedule a crash in the past");
+        if let Some(up_at) = restart_at {
+            assert!(up_at > crash_at, "restart must come after the crash");
+            self.push_event(up_at, EventKind::NodeRestart { node: node.0 });
+        }
+        self.push_event(crash_at, EventKind::NodeCrash { node: node.0 });
+    }
+
+    /// Whether a node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.0].crashed
+    }
+
+    /// Packets destroyed by crashes at this node (arrivals swallowed while
+    /// down plus egress-queue contents flushed at crash time).
+    pub fn crashed_drops(&self, node: NodeId) -> u64 {
+        self.nodes[node.0].crashed_drops
+    }
+
+    /// Record a mode transition in the trace. Nodes cannot write the trace
+    /// themselves, so control-plane drivers (the mode controller) call this
+    /// when they push a `ModeChange` at `node`; `features` is the new
+    /// feature bitmap, carried in the record's `config` field.
+    pub fn record_mode_change(&mut self, node: NodeId, features: u64) {
+        self.trace.record(TraceEvent {
+            time: self.now,
+            kind: TraceKind::ModeChange,
+            node: Some(node.0),
+            link: None,
+            packet_id: 0,
+            len: 0,
+            flow: 0,
+            seq: None,
+            config: Some(features),
+        });
     }
 
     /// Packets delivered to `node`'s local application so far.
@@ -655,6 +732,37 @@ impl Simulator {
         self.push_event(tx_done, EventKind::TxComplete { link: link_idx });
     }
 
+    /// Take a node down: flush its egress queues (the NIC loses power with
+    /// frames still buffered), let the behaviour drop its soft state, and
+    /// start swallowing arrivals/timers until restart.
+    fn crash_node(&mut self, idx: usize) {
+        let entry = &mut self.nodes[idx];
+        entry.crashed = true;
+        entry.crashes += 1;
+        entry.behavior.on_crash();
+        let mut flushed = 0u64;
+        for link in &mut self.links {
+            if link.src_node != idx {
+                continue;
+            }
+            while link.queue.dequeue().is_some() {
+                flushed += 1;
+            }
+        }
+        self.nodes[idx].crashed_drops += flushed;
+        self.trace.record(TraceEvent {
+            time: self.now,
+            kind: TraceKind::NodeCrash,
+            node: Some(idx),
+            link: None,
+            packet_id: 0,
+            len: flushed as usize,
+            flow: 0,
+            seq: None,
+            config: None,
+        });
+    }
+
     /// Process a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
@@ -666,6 +774,11 @@ impl Simulator {
         self.events_processed += 1;
         match event.kind {
             EventKind::Arrive { node, port, pkt } => {
+                if self.nodes[node].crashed {
+                    // A dead node's NIC swallows the frame silently.
+                    self.nodes[node].crashed_drops += 1;
+                    return true;
+                }
                 self.trace.record(TraceEvent {
                     time: self.now,
                     kind: TraceKind::Arrive,
@@ -684,7 +797,29 @@ impl Simulator {
                 self.start_tx(link);
             }
             EventKind::Timer { node, token } => {
+                if self.nodes[node].crashed {
+                    // Timers armed before the crash die with the process.
+                    return true;
+                }
                 self.call_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::NodeCrash { node } => self.crash_node(node),
+            EventKind::NodeRestart { node } => {
+                let entry = &mut self.nodes[node];
+                entry.crashed = false;
+                entry.restarts += 1;
+                self.trace.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::NodeRestart,
+                    node: Some(node),
+                    link: None,
+                    packet_id: 0,
+                    len: 0,
+                    flow: 0,
+                    seq: None,
+                    config: None,
+                });
+                self.call_node(node, |n, ctx| n.on_restart(ctx));
             }
         }
         true
@@ -984,6 +1119,163 @@ mod tests {
         assert!(sim.node_as_mut::<Sink>(a).is_some());
         let drained = sim.take_local_deliveries(a);
         assert!(drained.is_empty());
+    }
+
+    /// Sink that tracks the crash/restart hooks and drops a counter on
+    /// crash, like a retransmit buffer losing its store.
+    struct CrashProbe {
+        soft_state: u64,
+        crashes: u64,
+        restarts: u64,
+    }
+    impl Node for CrashProbe {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+            self.soft_state += 1;
+            ctx.deliver_local(pkt);
+        }
+        fn on_crash(&mut self) {
+            self.soft_state = 0;
+            self.crashes += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut Context<'_>) {
+            self.restarts += 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn crash_swallows_arrivals_until_restart() {
+        let mut sim = Simulator::new(1);
+        sim.enable_trace();
+        let n = sim.add_node(
+            "dtn",
+            Box::new(CrashProbe {
+                soft_state: 0,
+                crashes: 0,
+                restarts: 0,
+            }),
+        );
+        // Arrivals at 1, 3, 5 ms; down between 2 and 4 ms.
+        for ms in [1u64, 3, 5] {
+            sim.inject(Time::from_millis(ms), n, 0, Packet::new(vec![0u8; 64]));
+        }
+        sim.schedule_crash(n, Time::from_millis(2), Some(Time::from_millis(4)));
+        sim.run();
+        assert_eq!(sim.local_deliveries(n).len(), 2, "3 ms arrival swallowed");
+        assert_eq!(sim.crashed_drops(n), 1);
+        assert!(!sim.is_crashed(n));
+        let probe = sim.node_as::<CrashProbe>(n).unwrap();
+        assert_eq!(probe.crashes, 1);
+        assert_eq!(probe.restarts, 1);
+        assert_eq!(
+            probe.soft_state, 1,
+            "state cleared at crash, one arrival after"
+        );
+        assert_eq!(sim.trace().count(TraceKind::NodeCrash), 1);
+        assert_eq!(sim.trace().count(TraceKind::NodeRestart), 1);
+    }
+
+    #[test]
+    fn crash_without_restart_stays_down() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("dtn", Box::new(Sink));
+        sim.inject(Time::from_millis(3), n, 0, Packet::new(vec![0u8; 64]));
+        sim.schedule_crash(n, Time::from_millis(1), None);
+        sim.run();
+        assert!(sim.is_crashed(n));
+        assert!(sim.local_deliveries(n).is_empty());
+        assert_eq!(sim.crashed_drops(n), 1);
+    }
+
+    #[test]
+    fn crash_flushes_egress_queue_and_kills_timers() {
+        struct TickSource {
+            ticks: u64,
+        }
+        impl Node for TickSource {
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                // Queue a burst that outlasts the crash point.
+                for _ in 0..10 {
+                    ctx.send(0, Packet::new(vec![0u8; 1500]));
+                }
+                ctx.set_timer(Time::from_millis(5), 1);
+            }
+            fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {
+                self.ticks += 1;
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node("src", Box::new(TickSource { ticks: 0 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+        // 1500 B at 1 Gb/s = 12 µs each; crash at 30 µs: 2 delivered, 1 on
+        // the wire (survives), 7 flushed from the queue.
+        sim.schedule_crash(src, Time::from_micros(30), None);
+        sim.run();
+        assert_eq!(sim.local_deliveries(dst).len(), 3);
+        assert_eq!(sim.crashed_drops(src), 7);
+        assert_eq!(
+            sim.node_as::<TickSource>(src).unwrap().ticks,
+            0,
+            "pre-crash timer must not fire on a dead node"
+        );
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_and_consumes_no_randomness() {
+        let run = |crash: bool| {
+            let mut sim = Simulator::new(77);
+            let src = sim.add_node("src", Box::new(Burst { n: 500, size: 1000 }));
+            let dst = sim.add_node("dst", Box::new(Sink));
+            sim.add_oneway(
+                src,
+                0,
+                dst,
+                0,
+                gbit_link(0).with_loss(LossModel::Random(0.1)),
+            );
+            if crash {
+                sim.schedule_crash(dst, Time::from_secs(1), None);
+            }
+            sim.run();
+            sim.local_deliveries(dst).len()
+        };
+        // The crash fires after all traffic: identical delivery outcome,
+        // proving the schedule itself draws nothing from the RNG.
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(true), run(true));
+    }
+
+    #[test]
+    fn mode_change_recorded_in_trace() {
+        let mut sim = Simulator::new(1);
+        sim.enable_trace();
+        let n = sim.add_node("border", Box::new(Sink));
+        sim.record_mode_change(n, 0x47);
+        assert_eq!(sim.trace().count(TraceKind::ModeChange), 1);
+        let ev = sim.trace().events()[0];
+        assert_eq!(ev.node, Some(0));
+        assert_eq!(ev.config, Some(0x47));
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after")]
+    fn restart_before_crash_panics() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n", Box::new(Sink));
+        sim.schedule_crash(n, Time::from_millis(5), Some(Time::from_millis(5)));
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum TraceKind {
     Arrive,
     /// Handed to a node's local application.
     LocalDeliver,
+    /// A node crashed (scheduled fault): queued/arriving traffic is dropped
+    /// and the node's soft state is lost until restart.
+    NodeCrash,
+    /// A crashed node came back up with empty state.
+    NodeRestart,
+    /// The control plane changed a flow's transport mode (the `config`
+    /// field carries the new feature bitmap).
+    ModeChange,
 }
 
 impl TraceKind {
@@ -41,6 +49,9 @@ impl TraceKind {
             TraceKind::DupInject => "dup_inject",
             TraceKind::Arrive => "arrive",
             TraceKind::LocalDeliver => "local_deliver",
+            TraceKind::NodeCrash => "node_crash",
+            TraceKind::NodeRestart => "node_restart",
+            TraceKind::ModeChange => "mode_change",
         }
     }
 }

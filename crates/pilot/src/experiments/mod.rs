@@ -5,6 +5,7 @@
 pub mod alerts;
 pub mod aqm;
 pub mod backpressure;
+pub mod failover;
 pub mod faults;
 pub mod fct;
 pub mod hol;

@@ -2,13 +2,19 @@
 
 use mmt_core::buffer::{CreditConfig, RetransmitBufferStats};
 use mmt_core::buffer::{RetransmitBuffer, PORT_DAQ, PORT_WAN};
+use mmt_core::controller::{HealthSample, ModeController, ModeTransition};
 use mmt_core::receiver::{MmtReceiver, ReceiverConfig, ReceiverStats};
 use mmt_core::sender::{MmtSender, SenderConfig, SenderStats};
+use mmt_core::standby::{StandbyBuffer, StandbyBufferStats};
+use mmt_dataplane::parser::build_eth_mmt_frame;
 use mmt_dataplane::programs::{self, BorderConfig};
 use mmt_dataplane::{DataplaneElement, ElementStats};
 use mmt_netsim::stats::LatencyHistogram;
-use mmt_netsim::{Bandwidth, FaultSpec, LinkId, LinkSpec, LossModel, NodeId, Simulator, Time};
-use mmt_wire::mmt::ExperimentId;
+use mmt_netsim::{
+    Bandwidth, FaultSpec, LinkId, LinkSpec, LossModel, NodeId, Packet, Simulator, Time,
+};
+use mmt_wire::mmt::{ControlRepr, ExperimentId, Features, MmtRepr, ModeChangeRepr};
+use mmt_wire::{EthernetAddress, Ipv4Address};
 
 /// Configuration for a pilot run.
 #[derive(Debug, Clone)]
@@ -47,6 +53,18 @@ pub struct PilotConfig {
     pub receiver_nak_interval: Time,
     /// Give-up horizon for unrecoverable gaps.
     pub receiver_give_up: Time,
+    /// NAK retry budget per sequence (`None` = receiver default).
+    pub receiver_max_nak_retries: Option<u32>,
+    /// Insert the standby retransmission buffer between DTN 1 and the
+    /// Tofino (the re-homing target for failover runs).
+    pub standby: bool,
+    /// Name of a node to crash mid-run (`sensor`, `dtn1`, `standby`,
+    /// `tofino2`, `dtn2-nic`, `dtn2-host`).
+    pub crash_node: Option<String>,
+    /// When the crash fires (used only with `crash_node`).
+    pub crash_at: Time,
+    /// When (if ever) the crashed node comes back.
+    pub restart_at: Option<Time>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -72,6 +90,11 @@ impl PilotConfig {
             respect_backpressure: false,
             receiver_nak_interval: Time::from_millis(12),
             receiver_give_up: Time::from_secs(5),
+            receiver_max_nak_retries: None,
+            standby: false,
+            crash_node: None,
+            crash_at: Time::ZERO,
+            restart_at: None,
             seed: 7,
         }
     }
@@ -84,9 +107,16 @@ pub mod addrs {
     pub const SENSOR: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
     /// DTN 1 (buffer + border).
     pub const DTN1: Ipv4Address = Ipv4Address::new(10, 0, 0, 5);
+    /// The standby retransmission buffer (re-homing target).
+    pub const STANDBY: Ipv4Address = Ipv4Address::new(10, 0, 0, 6);
     /// DTN 2 (receiving host).
     pub const DTN2: Ipv4Address = Ipv4Address::new(10, 0, 0, 8);
 }
+
+/// NAK service port of the primary buffer (DTN 1).
+pub const DTN1_NAK_PORT: u16 = 47_000;
+/// NAK service port of the standby buffer.
+pub const STANDBY_NAK_PORT: u16 = 47_001;
 
 /// A built pilot: the simulator plus the node handles experiments poke.
 pub struct Pilot {
@@ -96,6 +126,8 @@ pub struct Pilot {
     pub sensor: NodeId,
     /// DTN 1: border + retransmission buffer.
     pub dtn1: NodeId,
+    /// The standby retransmission buffer, when the topology has one.
+    pub standby: Option<NodeId>,
     /// The Tofino2-like WAN transit element.
     pub tofino: NodeId,
     /// The DTN 2-side programmable NIC (deadline check).
@@ -144,6 +176,20 @@ impl Pilot {
             ),
         );
 
+        let standby = if config.standby {
+            Some(
+                sim.add_node(
+                    "standby",
+                    Box::new(
+                        StandbyBuffer::new(addrs::STANDBY, STANDBY_NAK_PORT, 256 * 1024 * 1024)
+                            .with_retx_holdoff(config.retx_holdoff),
+                    ),
+                ),
+            )
+        } else {
+            None
+        };
+
         let tofino = sim.add_node(
             "tofino2",
             Box::new(DataplaneElement::new(programs::wan_transit(
@@ -162,6 +208,9 @@ impl Pilot {
         rcv_cfg.nak_interval = config.receiver_nak_interval;
         rcv_cfg.give_up_after = config.receiver_give_up;
         rcv_cfg.expect_messages = Some(config.message_count as u64);
+        if let Some(retries) = config.receiver_max_nak_retries {
+            rcv_cfg.max_nak_retries = retries;
+        }
         let receiver = sim.add_node("dtn2-host", Box::new(MmtReceiver::new(rcv_cfg)));
 
         // --- links ---
@@ -175,14 +224,34 @@ impl Pilot {
             LinkSpec::new(config.daq_bandwidth, Time::from_micros(5)),
         );
         // DTN1 ↔ Tofino2 (same facility). This link runs at WAN rate, so
-        // it is the first overcommit bottleneck.
-        let (dtn1_egress, _) = sim.connect(
-            dtn1,
-            PORT_WAN,
-            tofino,
-            0,
-            LinkSpec::new(config.wan_bandwidth, short),
-        );
+        // it is the first overcommit bottleneck. With a standby the chain
+        // is DTN1 ↔ standby ↔ Tofino2; the standby taps in passing.
+        let dtn1_egress = if let Some(sb) = standby {
+            let (egress, _) = sim.connect(
+                dtn1,
+                PORT_WAN,
+                sb,
+                mmt_core::standby::PORT_UP,
+                LinkSpec::new(config.wan_bandwidth, short),
+            );
+            sim.connect(
+                sb,
+                mmt_core::standby::PORT_DOWN,
+                tofino,
+                0,
+                LinkSpec::new(config.wan_bandwidth, short),
+            );
+            egress
+        } else {
+            let (egress, _) = sim.connect(
+                dtn1,
+                PORT_WAN,
+                tofino,
+                0,
+                LinkSpec::new(config.wan_bandwidth, short),
+            );
+            egress
+        };
         // The WAN crossing: loss lives here.
         let (wan_link, wan_link_rev) = sim.connect(
             tofino,
@@ -202,10 +271,31 @@ impl Pilot {
             LinkSpec::new(config.wan_bandwidth, short),
         );
 
+        // --- scheduled failure ---
+        if let Some(name) = config.crash_node.as_deref() {
+            let node = match name {
+                "sensor" => Some(sensor),
+                "dtn1" => Some(dtn1),
+                "standby" => standby,
+                "tofino2" => Some(tofino),
+                "dtn2-nic" => Some(dtn2_switch),
+                "dtn2-host" => Some(receiver),
+                _ => None,
+            };
+            // The CLI validates names before building; reaching this with
+            // an unknown name (or `standby` without the standby topology)
+            // is a configuration bug.
+            assert!(node.is_some(), "unknown crash node '{name}'");
+            if let Some(node) = node {
+                sim.schedule_crash(node, config.crash_at, config.restart_at);
+            }
+        }
+
         Pilot {
             sim,
             sensor,
             dtn1,
+            standby,
             tofino,
             dtn2_switch,
             receiver,
@@ -219,6 +309,155 @@ impl Pilot {
     /// Run until the stream completes (or `horizon` elapses).
     pub fn run(&mut self, horizon: Time) {
         self.sim.run_until(horizon);
+    }
+
+    /// Run with the closed adaptation loop engaged: every `interval` the
+    /// controller observes the WAN segment's health (loss deltas, NAK
+    /// retry exhaustion, deadline misses, buffer occupancy, primary
+    /// liveness) and its transitions are pushed to the data plane as
+    /// mode-change control messages. Stops early once the stream
+    /// completes. Returns the number of transitions applied.
+    ///
+    /// Fully deterministic: sampling happens at fixed virtual times and
+    /// the controller consumes no randomness.
+    pub fn run_adaptive(
+        &mut self,
+        horizon: Time,
+        interval: Time,
+        controller: &mut ModeController,
+    ) -> u64 {
+        let mut prev_tx = 0u64;
+        let mut prev_lost = 0u64;
+        let mut prev_exhausted = 0u64;
+        let mut prev_aged = 0u64;
+        let mut applied = 0u64;
+        while self.sim.now() < horizon {
+            let t = (self.sim.now() + interval).min(horizon);
+            self.sim.run_until(t);
+            let wan = self.sim.link_stats(self.wan_link);
+            let tx = wan.tx_packets;
+            let lost = wan.corruption_losses + wan.flap_drops + wan.queue_drops;
+            let rcv_stats = self
+                .sim
+                .node_as::<MmtReceiver>(self.receiver)
+                .expect("receiver type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+                .stats;
+            let occupancy = self
+                .sim
+                .node_as::<RetransmitBuffer>(self.dtn1)
+                .expect("dtn1 type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+                .stored_bytes() as u64;
+            let sample = HealthSample {
+                wan_tx: tx.saturating_sub(prev_tx),
+                wan_lost: lost.saturating_sub(prev_lost),
+                nak_retries_exhausted: rcv_stats
+                    .nak_retries_exhausted
+                    .saturating_sub(prev_exhausted),
+                deadline_misses: rcv_stats.aged_deliveries.saturating_sub(prev_aged),
+                buffer_occupancy_bytes: occupancy,
+                primary_alive: !self.sim.is_crashed(self.dtn1),
+            };
+            prev_tx = tx;
+            prev_lost = lost;
+            prev_exhausted = rcv_stats.nak_retries_exhausted;
+            prev_aged = rcv_stats.aged_deliveries;
+            let transitions = controller.observe(&sample);
+            if !transitions.is_empty() {
+                applied += transitions.len() as u64;
+                self.apply_transitions(&transitions, controller);
+            }
+            if self.is_complete() {
+                break;
+            }
+            if self.sim.now() < t {
+                // The event queue drained before the sampling target: the
+                // run is over (complete or abandoned) and `run_until`
+                // cannot advance the clock further. An injected mode
+                // change could not change that — nothing is in flight.
+                break;
+            }
+        }
+        applied
+    }
+
+    /// Push the controller's decisions into the data plane. The desired
+    /// state is composed from the controller's *current* flags (not the
+    /// individual deltas), so one message carries the whole mode.
+    fn apply_transitions(&mut self, transitions: &[ModeTransition], controller: &ModeController) {
+        let mut features = Features::SEQUENCE
+            | Features::RETRANSMIT
+            | Features::TIMELINESS
+            | Features::AGE
+            | Features::ACK_NAK;
+        if controller.is_degraded() {
+            features |= Features::DUPLICATED;
+        }
+        if controller.is_shedding() {
+            features |= Features::BACKPRESSURE;
+        }
+        let window = if controller.is_shedding() {
+            controller.config().shed_window
+        } else {
+            0
+        };
+        let rehome = transitions.iter().find_map(|t| match t {
+            ModeTransition::ReHome { source, port } => Some((*source, *port)),
+            _ => None,
+        });
+        let (source, port) = rehome.unwrap_or((Ipv4Address::UNSPECIFIED, 0));
+        self.inject_mode_change(
+            self.dtn1,
+            PORT_WAN,
+            ModeChangeRepr {
+                config_id: 1,
+                features,
+                retransmit_source: source,
+                retransmit_port: port,
+                window,
+            },
+        );
+        for tr in transitions {
+            match tr {
+                ModeTransition::ReHome { source, port } => {
+                    if let Some(sb) = self.standby {
+                        self.inject_mode_change(
+                            sb,
+                            mmt_core::standby::PORT_DOWN,
+                            ModeChangeRepr {
+                                config_id: 1,
+                                features,
+                                retransmit_source: *source,
+                                retransmit_port: *port,
+                                window,
+                            },
+                        );
+                        self.sim.record_mode_change(sb, u64::from(features.bits()));
+                    } else {
+                        self.sim
+                            .record_mode_change(self.dtn1, u64::from(features.bits()));
+                    }
+                }
+                _ => self
+                    .sim
+                    .record_mode_change(self.dtn1, u64::from(features.bits())),
+            }
+        }
+    }
+
+    /// Deliver a mode-change control message to `node` at the current
+    /// virtual time — the out-of-band SDN control channel.
+    fn inject_mode_change(&mut self, node: NodeId, port: usize, mc: ModeChangeRepr) {
+        let ctrl = ControlRepr::ModeChange(mc).emit_packet(self.config.experiment);
+        // mmt-lint: allow(P1, "parsing bytes emitted one line above; emit/parse are inverses")
+        let repr = MmtRepr::parse(&ctrl).expect("just built");
+        let mut pkt = Packet::new(build_eth_mmt_frame(
+            EthernetAddress([0x02, 0, 0, 0, 0, 0xCC]),
+            EthernetAddress::BROADCAST,
+            &repr,
+            &ctrl[repr.header_len()..],
+        ));
+        pkt.meta.control = true;
+        self.sim.inject(self.sim.now(), node, port, pkt);
     }
 
     /// Record every packet event (unbounded memory; see
@@ -252,6 +491,12 @@ impl Pilot {
             .node_as::<RetransmitBuffer>(self.dtn1)
             .expect("dtn1 type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
             .export_metrics(self.sim.node_name(self.dtn1), &mut reg);
+        if let Some(sb) = self.standby {
+            self.sim
+                .node_as::<StandbyBuffer>(sb)
+                .expect("standby type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+                .export_metrics(self.sim.node_name(sb), &mut reg);
+        }
         self.sim
             .node_as::<DataplaneElement>(self.tofino)
             .expect("tofino type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
@@ -293,8 +538,12 @@ impl Pilot {
             .node_as::<DataplaneElement>(self.dtn2_switch)
             .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
             .stats();
+        let standby: Option<StandbyBufferStats> = self
+            .standby
+            .map(|sb| self.sim.node_as::<StandbyBuffer>(sb).unwrap().stats); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
         let rcv = self.sim.node_as::<MmtReceiver>(self.receiver).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
         let receiver: ReceiverStats = rcv.stats;
+        let receiver_retransmit_source = rcv.retransmit_source();
         let mut latency = LatencyHistogram::new();
         for m in rcv.log() {
             latency.record(m.arrived_at.saturating_sub(m.created_at));
@@ -306,9 +555,11 @@ impl Pilot {
         PilotReport {
             sender,
             buffer,
+            standby,
             tofino,
             dtn2_switch: dtn2,
             receiver,
+            receiver_retransmit_source,
             completed_at: receiver.completed_at,
             latency,
             wan_corruption_losses: wan.corruption_losses,
@@ -342,12 +593,17 @@ pub struct PilotReport {
     pub sender: SenderStats,
     /// DTN 1 counters.
     pub buffer: RetransmitBufferStats,
+    /// Standby buffer counters, when the topology has one.
+    pub standby: Option<StandbyBufferStats>,
     /// Tofino2 element counters.
     pub tofino: ElementStats,
     /// DTN 2 NIC counters.
     pub dtn2_switch: ElementStats,
     /// Receiver counters.
     pub receiver: ReceiverStats,
+    /// Where the receiver last learned to NAK — after a successful
+    /// re-homing this names the standby.
+    pub receiver_retransmit_source: Option<(Ipv4Address, u16)>,
     /// When the stream completed at the receiver.
     pub completed_at: Option<Time>,
     /// Per-message creation→delivery latency.
@@ -443,6 +699,31 @@ mod tests {
             "injected duplicates must reach (and be suppressed by) the receiver"
         );
         assert_eq!(r.receiver.delivered, 500);
+    }
+
+    #[test]
+    fn standby_passthrough_preserves_delivery_and_recovery() {
+        let mut cfg = PilotConfig::default_run();
+        cfg.wan_loss = LossModel::Random(5e-3);
+        cfg.message_count = 1_000;
+        cfg.standby = true;
+        let mut pilot = Pilot::build(cfg);
+        pilot.run(Time::from_secs(30));
+        assert!(pilot.is_complete(), "standby tap must be transparent");
+        let r = pilot.report();
+        assert_eq!(r.receiver.lost, 0);
+        let sb = r.standby.unwrap();
+        assert_eq!(sb.tapped, 1_000, "standby taps every first copy");
+        // Passive standby relays NAKs upstream and serves nothing.
+        assert!(sb.naks_seen > 0);
+        assert_eq!(sb.naks_forwarded, sb.naks_seen);
+        assert_eq!(sb.served, 0);
+        assert!(r.buffer.retransmitted > 0, "primary still serves NAKs");
+        // The receiver still names the primary.
+        assert_eq!(
+            r.receiver_retransmit_source,
+            Some((addrs::DTN1, DTN1_NAK_PORT))
+        );
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //!   'deadline exceeded' messages are sent, to alert the source").
 //! * **Backpressure** — relayed upstream toward the sender when an element
 //!   observes downstream congestion or loss (§5.1).
+//! * **Mode change** — pushed by the control plane to a border element when
+//!   the mode controller shifts a flow's shape mid-transfer (§4: "the
+//!   infrastructure adapts the transport modality to the conditions"); it
+//!   names the new feature bitmap and, for failover, the new retransmission
+//!   source so NAKs re-home to a live buffer.
 
-use super::{ExperimentId, MmtRepr};
+use super::{ExperimentId, Features, MmtRepr};
 use crate::error::{check_emit_len, check_len};
 use crate::field::{read_u16, read_u32, read_u64, write_u16, write_u32, write_u64};
 use crate::{Error, Ipv4Address, Result};
@@ -30,6 +35,8 @@ pub enum ControlType {
     DeadlineExceeded = 2,
     /// Downstream congestion/loss backpressure signal.
     Backpressure = 3,
+    /// Control-plane order to shift a flow's mode mid-transfer.
+    ModeChange = 4,
 }
 
 impl ControlType {
@@ -39,6 +46,7 @@ impl ControlType {
             1 => Ok(ControlType::Nak),
             2 => Ok(ControlType::DeadlineExceeded),
             3 => Ok(ControlType::Backpressure),
+            4 => Ok(ControlType::ModeChange),
             _ => Err(Error::Malformed("unknown control message type")),
         }
     }
@@ -216,6 +224,60 @@ impl BackpressureRepr {
     }
 }
 
+/// Mode-change body: the shape the flow should take from now on.
+///
+/// Wire layout mirrors the core header's config word: a u32 whose top byte
+/// is the new config id and whose low 24 bits are the new feature bitmap,
+/// followed by the new retransmission source IPv4 (4) + port (2), 2 reserved
+/// bytes (zeroed on emit, ignored on parse), and the backpressure window u32
+/// (0 = leave the window alone). Unknown feature bits are truncated on
+/// parse, so a bit-flipped-but-parsable packet is stable under emit/parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeChangeRepr {
+    /// Config id the rewritten data packets should carry.
+    pub config_id: u8,
+    /// The new feature bitmap (known bits only).
+    pub features: Features,
+    /// Where NAKs should be sent after the change.
+    pub retransmit_source: Ipv4Address,
+    /// Port on the retransmission source.
+    pub retransmit_port: u16,
+    /// Messages-in-flight window to engage when `features` includes
+    /// `BACKPRESSURE`; 0 means "unchanged".
+    pub window: u32,
+}
+
+impl ModeChangeRepr {
+    /// Body length in bytes.
+    pub const BODY_LEN: usize = 16;
+
+    /// Parse a mode-change body.
+    pub fn parse(buf: &[u8]) -> Result<ModeChangeRepr> {
+        check_len(buf, Self::BODY_LEN)?;
+        let word = read_u32(buf, 0);
+        Ok(ModeChangeRepr {
+            config_id: (word >> 24) as u8,
+            features: Features::from_bits_truncate(word & 0x00FF_FFFF),
+            retransmit_source: Ipv4Address::from_bytes(&buf[4..8]),
+            retransmit_port: read_u16(buf, 8),
+            window: read_u32(buf, 12),
+        })
+    }
+
+    /// Emit the body into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        check_emit_len(buf, Self::BODY_LEN)?;
+        let word = (u32::from(self.config_id) << 24) | (self.features.bits() & 0x00FF_FFFF);
+        write_u32(buf, 0, word);
+        buf[4..8].copy_from_slice(self.retransmit_source.as_bytes());
+        write_u16(buf, 8, self.retransmit_port);
+        buf[10] = 0;
+        buf[11] = 0;
+        write_u32(buf, 12, self.window);
+        Ok(())
+    }
+}
+
 /// A parsed control message (header + typed body).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlRepr {
@@ -225,6 +287,8 @@ pub enum ControlRepr {
     DeadlineExceeded(DeadlineExceededRepr),
     /// Backpressure signal.
     Backpressure(BackpressureRepr),
+    /// Mode-change order from the control plane.
+    ModeChange(ModeChangeRepr),
 }
 
 impl ControlRepr {
@@ -234,6 +298,7 @@ impl ControlRepr {
             ControlRepr::Nak(_) => ControlType::Nak,
             ControlRepr::DeadlineExceeded(_) => ControlType::DeadlineExceeded,
             ControlRepr::Backpressure(_) => ControlType::Backpressure,
+            ControlRepr::ModeChange(_) => ControlType::ModeChange,
         }
     }
 
@@ -243,6 +308,7 @@ impl ControlRepr {
             ControlRepr::Nak(n) => n.body_len(),
             ControlRepr::DeadlineExceeded(_) => DeadlineExceededRepr::BODY_LEN,
             ControlRepr::Backpressure(_) => BackpressureRepr::BODY_LEN,
+            ControlRepr::ModeChange(_) => ModeChangeRepr::BODY_LEN,
         }
     }
 
@@ -259,6 +325,7 @@ impl ControlRepr {
                 ControlRepr::DeadlineExceeded(DeadlineExceededRepr::parse(body)?)
             }
             ControlType::Backpressure => ControlRepr::Backpressure(BackpressureRepr::parse(body)?),
+            ControlType::ModeChange => ControlRepr::ModeChange(ModeChangeRepr::parse(body)?),
         };
         Ok((hdr.experiment, repr))
     }
@@ -273,6 +340,7 @@ impl ControlRepr {
             ControlRepr::Nak(n) => n.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
             ControlRepr::DeadlineExceeded(d) => d.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
             ControlRepr::Backpressure(b) => b.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
+            ControlRepr::ModeChange(m) => m.emit(&mut buf[hlen..]).expect("sized above"), // mmt-lint: allow(P1, "buffer sized with body_len above")
         }
         buf
     }
@@ -338,6 +406,59 @@ mod tests {
         let pkt = ControlRepr::Backpressure(b).emit_packet(ExperimentId::new(1, 0));
         let (_, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
         assert_eq!(parsed, ControlRepr::Backpressure(b));
+    }
+
+    #[test]
+    fn mode_change_roundtrip() {
+        let m = ModeChangeRepr {
+            config_id: 0,
+            features: Features::SEQUENCE
+                | Features::RETRANSMIT
+                | Features::ACK_NAK
+                | Features::DUPLICATED,
+            retransmit_source: Ipv4Address::new(10, 0, 0, 6),
+            retransmit_port: 47_001,
+            window: 32,
+        };
+        let pkt = ControlRepr::ModeChange(m).emit_packet(ExperimentId::new(2, 0));
+        let (exp, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(exp, ExperimentId::new(2, 0));
+        assert_eq!(parsed, ControlRepr::ModeChange(m));
+    }
+
+    #[test]
+    fn mode_change_truncated_body_rejected() {
+        let m = ModeChangeRepr {
+            config_id: 0,
+            features: Features::SEQUENCE,
+            retransmit_source: Ipv4Address::UNSPECIFIED,
+            retransmit_port: 0,
+            window: 0,
+        };
+        let pkt = ControlRepr::ModeChange(m).emit_packet(ExperimentId::new(1, 0));
+        for cut in 0..pkt.len() {
+            assert!(ControlRepr::parse_packet(&pkt[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn mode_change_masks_unknown_feature_bits() {
+        // Forge a body whose feature word has bits beyond ALL_KNOWN set; the
+        // parser truncates them, so re-emitting yields a stable packet.
+        let m = ModeChangeRepr {
+            config_id: 3,
+            features: Features::SEQUENCE,
+            retransmit_source: Ipv4Address::new(10, 0, 0, 6),
+            retransmit_port: 9,
+            window: 0,
+        };
+        let mut pkt = ControlRepr::ModeChange(m).emit_packet(ExperimentId::new(1, 0));
+        let body_at = pkt.len() - ModeChangeRepr::BODY_LEN;
+        pkt[body_at + 2] |= 0x80; // an unknown bit inside the 24-bit bitmap
+        let (exp, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(parsed, ControlRepr::ModeChange(m));
+        let again = parsed.emit_packet(exp);
+        assert_eq!(ControlRepr::parse_packet(&again).unwrap().1, parsed);
     }
 
     #[test]

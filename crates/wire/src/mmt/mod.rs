@@ -43,7 +43,8 @@ mod header;
 mod repr;
 
 pub use control::{
-    BackpressureRepr, ControlRepr, ControlType, DeadlineExceededRepr, NakRange, NakRepr,
+    BackpressureRepr, ControlRepr, ControlType, DeadlineExceededRepr, ModeChangeRepr, NakRange,
+    NakRepr,
 };
 pub use ext::{AgeExt, ExtLayout, RetransmitExt, TimelinessExt};
 pub use features::Features;

@@ -13,7 +13,9 @@
 use mmt_wire::daq::{DuneSubHeader, Mu2eSubHeader, SubHeader, TriggerRecord};
 use mmt_wire::ethernet::{build_frame, EtherType, EthernetRepr, Frame};
 use mmt_wire::ipv4::{Ipv4Repr, Packet as Ipv4Packet, Protocol};
-use mmt_wire::mmt::{ControlRepr, CoreHeader, ExperimentId, Features, MmtRepr, NakRange, NakRepr};
+use mmt_wire::mmt::{
+    ControlRepr, CoreHeader, ExperimentId, Features, MmtRepr, ModeChangeRepr, NakRange, NakRepr,
+};
 use mmt_wire::udp::{Datagram, UdpRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
 
@@ -426,6 +428,82 @@ fn control_bit_flips_never_panic() {
         let mut pkt = ControlRepr::Nak(nak).emit_packet(gen_experiment(&mut rng));
         let byte = rng.below(pkt.len() as u64) as usize;
         pkt[byte] ^= 1 << rng.below(8);
+        if let Ok((exp, mutant)) = ControlRepr::parse_packet(&pkt) {
+            let out = mutant.clone().emit_packet(exp);
+            let (exp2, again) = ControlRepr::parse_packet(&out).unwrap();
+            assert_eq!(exp2, exp);
+            assert_eq!(again, mutant);
+        }
+    }
+}
+
+fn gen_mode_change(rng: &mut Rng) -> ModeChangeRepr {
+    let mut features = Features::SEQUENCE;
+    for f in [
+        Features::RETRANSMIT,
+        Features::TIMELINESS,
+        Features::AGE,
+        Features::BACKPRESSURE,
+        Features::DUPLICATED,
+        Features::ACK_NAK,
+    ] {
+        if rng.flag() {
+            features |= f;
+        }
+    }
+    ModeChangeRepr {
+        config_id: rng.next_u64() as u8,
+        features,
+        retransmit_source: gen_ipv4(rng),
+        retransmit_port: rng.next_u64() as u16,
+        window: rng.next_u64() as u32,
+    }
+}
+
+/// Roundtrip for arbitrary valid mode-change packets.
+#[test]
+fn mode_change_roundtrip_seeded() {
+    let mut rng = Rng::new(0xA11C_E016);
+    for _ in 0..300 {
+        let mc = gen_mode_change(&mut rng);
+        let exp = gen_experiment(&mut rng);
+        let pkt = ControlRepr::ModeChange(mc).emit_packet(exp);
+        let (got_exp, parsed) = ControlRepr::parse_packet(&pkt).unwrap();
+        assert_eq!(got_exp, exp);
+        assert_eq!(parsed, ControlRepr::ModeChange(mc));
+    }
+}
+
+/// Every proper prefix of a valid mode-change packet is rejected.
+#[test]
+fn mode_change_truncation_rejects_cleanly() {
+    let mut rng = Rng::new(0xA11C_E017);
+    for _ in 0..100 {
+        let pkt = ControlRepr::ModeChange(gen_mode_change(&mut rng))
+            .emit_packet(gen_experiment(&mut rng));
+        for cut in 0..pkt.len() {
+            assert!(
+                ControlRepr::parse_packet(&pkt[..cut]).is_err(),
+                "mode-change prefix of {cut}/{} bytes accepted",
+                pkt.len()
+            );
+        }
+    }
+}
+
+/// Bit flips in a valid mode-change packet never panic; surviving mutants
+/// are stable under emit/parse (unknown feature bits are truncated away).
+#[test]
+fn mode_change_bit_flips_parse_self_consistently() {
+    let mut rng = Rng::new(0xA11C_E018);
+    for _ in 0..500 {
+        let mut pkt = ControlRepr::ModeChange(gen_mode_change(&mut rng))
+            .emit_packet(gen_experiment(&mut rng));
+        let flips = 1 + rng.below(4);
+        for _ in 0..flips {
+            let byte = rng.below(pkt.len() as u64) as usize;
+            pkt[byte] ^= 1 << rng.below(8);
+        }
         if let Ok((exp, mutant)) = ControlRepr::parse_packet(&pkt) {
             let out = mutant.clone().emit_packet(exp);
             let (exp2, again) = ControlRepr::parse_packet(&out).unwrap();

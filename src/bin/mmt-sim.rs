@@ -15,8 +15,9 @@
 #![forbid(unsafe_code)]
 
 use mmt::netsim::{Bandwidth, FaultSpec, LossModel, PeriodicOutage, Time};
-use mmt::pilot::experiments::{fct, hol};
+use mmt::pilot::experiments::{failover, fct, hol};
 use mmt::pilot::{Pilot, PilotConfig};
+use mmt::protocol::ModeController;
 use std::collections::HashMap;
 
 fn usage() -> ! {
@@ -39,8 +40,17 @@ fn usage() -> ! {
          \x20         [--flap-period-ms N]      scheduled outage period (with --flap-down-ms)\n\
          \x20         [--flap-down-ms N]        outage length per period\n\
          \x20         [--nak-loss P]            control-plane (NAK/notify) loss in [0,1]\n\
+         \x20         crash / failover (E13-style):\n\
+         \x20         [--crash-node NAME]       crash a node mid-run (sensor|dtn1|standby|\n\
+         \x20                                   tofino2|dtn2-nic|dtn2-host)\n\
+         \x20         [--crash-at MS]           crash time in ms (requires --crash-node)\n\
+         \x20         [--restart-at MS]         restart time in ms (must be > --crash-at)\n\
+         \x20         [--adapt 0|1]             closed-loop mode adaptation; adds the standby\n\
+         \x20                                   retransmission buffer to the topology\n\
          \x20 fct     E1 flow-completion sweep  [--loss P] [--mb N] [--rtt1-ms N] [--rtt2-ms N] [--seed N]\n\
-         \x20 hol     E2 head-of-line compare   [--loss P] [--rtt-ms N] [--messages N] [--seed N]"
+         \x20 hol     E2 head-of-line compare   [--loss P] [--rtt-ms N] [--messages N] [--seed N]\n\
+         \x20 failover E13 crash failover      [--loss P] [--messages N] [--seed N]\n\
+         \x20         [--crash-at MS] [--restart-at MS]"
     );
     std::process::exit(2);
 }
@@ -124,6 +134,71 @@ fn parse_fault(flags: &HashMap<String, String>) -> FaultSpec {
     fault
 }
 
+/// The pilot node names `--crash-node` accepts (`standby` only exists
+/// with `--adapt 1`).
+const CRASH_NODES: [&str; 6] = [
+    "sensor",
+    "dtn1",
+    "standby",
+    "tofino2",
+    "dtn2-nic",
+    "dtn2-host",
+];
+
+/// Parse and validate the crash / adaptation flags into `cfg`. Returns
+/// whether the closed-loop controller should drive the run.
+fn parse_crash(flags: &HashMap<String, String>, cfg: &mut PilotConfig) -> bool {
+    let adapt = match flags.get("adapt").map(String::as_str) {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(other) => {
+            eprintln!("--adapt must be 0 or 1, got {other}");
+            std::process::exit(2);
+        }
+    };
+    if adapt {
+        // The controller re-homes to the standby buffer; it must exist.
+        cfg.standby = true;
+    }
+    match flags.get("crash-node") {
+        Some(node) => {
+            if !CRASH_NODES.contains(&node.as_str()) {
+                eprintln!(
+                    "--crash-node {node} is not a pilot node (expected one of {})",
+                    CRASH_NODES.join("|")
+                );
+                std::process::exit(2);
+            }
+            if node == "standby" && !cfg.standby {
+                eprintln!("--crash-node standby requires --adapt 1 (no standby in the topology)");
+                std::process::exit(2);
+            }
+            let crash_ms: u64 = get(flags, "crash-at", 6u64);
+            let restart_ms: Option<u64> = flags
+                .get("restart-at")
+                .map(|_| get(flags, "restart-at", 0u64));
+            if let Some(r) = restart_ms {
+                if r <= crash_ms {
+                    eprintln!(
+                        "--restart-at ({r} ms) must be later than --crash-at ({crash_ms} ms)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            cfg.crash_node = Some(node.clone());
+            cfg.crash_at = Time::from_millis(crash_ms);
+            cfg.restart_at = restart_ms.map(Time::from_millis);
+        }
+        None => {
+            if flags.contains_key("crash-at") || flags.contains_key("restart-at") {
+                eprintln!("--crash-at/--restart-at require --crash-node");
+                std::process::exit(2);
+            }
+        }
+    }
+    adapt
+}
+
 fn cmd_pilot(flags: HashMap<String, String>) {
     let mut cfg = PilotConfig::default_run();
     cfg.wan_rtt = Time::from_millis(get(&flags, "rtt-ms", 10u64));
@@ -134,7 +209,8 @@ fn cmd_pilot(flags: HashMap<String, String>) {
     cfg.max_age = cfg.deadline_budget;
     cfg.seed = get(&flags, "seed", 7u64);
     cfg.wan_fault = parse_fault(&flags);
-    if !cfg.wan_fault.is_none() {
+    let adapt = parse_crash(&flags, &mut cfg);
+    if !cfg.wan_fault.is_none() || cfg.crash_node.is_some() {
         // Defensive defaults under injected faults: space out retransmits
         // of the same sequence (below the NAK retry interval).
         cfg.retx_holdoff = Time::from_millis(2);
@@ -146,6 +222,15 @@ fn cmd_pilot(flags: HashMap<String, String>) {
     let cfg_fault_none = cfg.wan_fault.is_none();
     if !cfg_fault_none {
         println!("faults: {:?}", cfg.wan_fault);
+    }
+    if let Some(node) = &cfg.crash_node {
+        match cfg.restart_at {
+            Some(r) => println!("crash: {node} down at {}, restarts at {r}", cfg.crash_at),
+            None => println!("crash: {node} down at {} (no restart)", cfg.crash_at),
+        }
+    }
+    if adapt {
+        println!("adaptation: closed-loop controller, standby buffer armed");
     }
     let metrics_out = flags.get("metrics-out").cloned();
     let trace_out = flags.get("trace-out").cloned();
@@ -176,7 +261,18 @@ fn cmd_pilot(flags: HashMap<String, String>) {
             None => pilot.enable_trace(),
         }
     }
-    pilot.run(Time::from_secs(300));
+    if adapt {
+        let mut controller = ModeController::new(failover::controller_config());
+        let applied =
+            pilot.run_adaptive(Time::from_secs(300), Time::from_millis(5), &mut controller);
+        let s = controller.stats();
+        println!(
+            "adaptation: {applied} transitions applied (degrade {}, recover {}, rehome {}, shed {}, unshed {})",
+            s.degrades, s.recovers, s.rehomes, s.sheds, s.unsheds
+        );
+    } else {
+        pilot.run(Time::from_secs(300));
+    }
     let mut r = pilot.report();
     println!(
         "delivered {}/{}  naks {}  recovered {}  lost {}  aged {}  notify {}",
@@ -197,6 +293,15 @@ fn cmd_pilot(flags: HashMap<String, String>) {
             r.wan_dup_injected,
             r.wan_reordered,
         );
+    }
+    if let Some(sb) = &r.standby {
+        println!(
+            "standby: tapped {}  naks seen {}  served {}  activations {}",
+            sb.tapped, sb.naks_seen, sb.served, sb.activations
+        );
+    }
+    if let Some((addr, port)) = r.receiver_retransmit_source {
+        println!("receiver retransmit source: {addr}:{port}");
     }
     if let (Some(p50), Some(p99)) = (r.latency.median(), r.latency.quantile(0.99)) {
         println!("latency p50 {p50}  p99 {p99}");
@@ -288,6 +393,44 @@ fn cmd_hol(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_failover(flags: HashMap<String, String>) {
+    let mut p = failover::FailoverParams::default_run();
+    p.messages = get(&flags, "messages", p.messages);
+    p.loss = get(&flags, "loss", p.loss);
+    p.seed = get(&flags, "seed", p.seed);
+    let crash_ms: u64 = get(&flags, "crash-at", 6u64);
+    p.crash_at = Time::from_millis(crash_ms);
+    if flags.contains_key("restart-at") {
+        let r: u64 = get(&flags, "restart-at", 0u64);
+        if r <= crash_ms {
+            eprintln!("--restart-at ({r} ms) must be later than --crash-at ({crash_ms} ms)");
+            std::process::exit(2);
+        }
+        p.restart_at = Some(Time::from_millis(r));
+    }
+    println!(
+        "E13: {} msgs, loss {}, dtn1 crash at {} (seed {})",
+        p.messages, p.loss, p.crash_at, p.seed
+    );
+    for r in failover::run_all(&p) {
+        println!(
+            "{:<10} complete {:<5} delivered {:<6} lost {:<4} exhausted {:<4} rehomed {:<5} \
+             standby-served {:<5} transitions {:<3} recovery {}",
+            r.name,
+            r.complete,
+            r.delivered,
+            r.lost,
+            r.nak_retries_exhausted,
+            r.rehomed,
+            r.standby_served,
+            r.transitions,
+            r.recovery_latency
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -296,6 +439,7 @@ fn main() {
         "pilot" => cmd_pilot(flags),
         "fct" => cmd_fct(flags),
         "hol" => cmd_hol(flags),
+        "failover" => cmd_failover(flags),
         _ => usage(),
     }
 }

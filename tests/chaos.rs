@@ -19,8 +19,10 @@
 //!    notifies for every message that crosses the WAN.
 
 use mmt::netsim::{FaultSpec, LossModel, PeriodicOutage, Time};
+use mmt::pilot::experiments::failover;
+use mmt::pilot::topology::{addrs, STANDBY_NAK_PORT};
 use mmt::pilot::{Pilot, PilotConfig, PilotReport};
-use mmt::protocol::MmtReceiver;
+use mmt::protocol::{MmtReceiver, ModeController};
 use std::collections::HashSet;
 
 /// The composed fault ladder. Outages start at 200 µs so the stream head
@@ -262,4 +264,150 @@ fn smoke_chaos_fixed_seed() {
     let r = assert_invariants(&pilot, 7, "smoke");
     assert!(pilot.is_complete(), "[seed 7] smoke incomplete");
     assert_eq!(r.receiver.lost, 0, "[seed 7]");
+}
+
+// ---------------------------------------------------------------------
+// Crash / failover chaos: DTN 1 dies mid-run.
+// ---------------------------------------------------------------------
+
+/// E13-shaped crash scenario: enough corruption loss that the dead
+/// retransmission store always matters, crash after the send burst but
+/// before the first NAKs land, standby tap in the chain.
+fn crash_config(seed: u64, messages: usize) -> PilotConfig {
+    let mut cfg = chaos_config(seed, messages, FaultSpec::none());
+    cfg.wan_loss = LossModel::Random(3e-2);
+    cfg.receiver_max_nak_retries = Some(6);
+    cfg.standby = true;
+    cfg.crash_node = Some("dtn1".to_string());
+    cfg.crash_at = Time::from_millis(6);
+    cfg.restart_at = None;
+    cfg
+}
+
+fn run_crash_adaptive(cfg: PilotConfig) -> (Pilot, ModeController) {
+    let mut pilot = Pilot::build(cfg);
+    let mut controller = ModeController::new(failover::controller_config());
+    pilot.run_adaptive(Time::from_secs(120), Time::from_millis(5), &mut controller);
+    (pilot, controller)
+}
+
+/// Acceptance headline for the self-healing PR: with closed-loop
+/// adaptation, a mid-transfer DTN 1 crash (its retransmission store dies
+/// with it, never to return) is survived exactly-once and
+/// conservation-clean via re-homed NAK recovery — across 8 seeds.
+#[test]
+fn chaos_crash_failover_adaptive_8_seeds() {
+    for seed in 0..8u64 {
+        let (pilot, controller) = run_crash_adaptive(crash_config(seed, 300));
+        let r = assert_invariants(&pilot, seed, "crash-adaptive");
+        assert!(
+            pilot.is_complete(),
+            "[seed {seed}] crash-adaptive: incomplete (delivered {}, lost {}, exhausted {})",
+            r.receiver.delivered,
+            r.receiver.lost,
+            r.receiver.nak_retries_exhausted,
+        );
+        assert_eq!(
+            r.receiver.lost, 0,
+            "[seed {seed}] crash-adaptive: re-homed recovery must fill every gap",
+        );
+        assert!(
+            r.receiver.recovered > 0,
+            "[seed {seed}] crash-adaptive: the crash must have left gaps to recover",
+        );
+        assert_eq!(
+            controller.stats().rehomes,
+            1,
+            "[seed {seed}] crash-adaptive: exactly one re-home",
+        );
+        assert_eq!(
+            r.receiver_retransmit_source,
+            Some((addrs::STANDBY, STANDBY_NAK_PORT)),
+            "[seed {seed}] crash-adaptive: receiver must end the run homed on the standby",
+        );
+        let sb = r.standby.expect("standby stats present");
+        // Every recovery came from the standby (the primary is dead); a
+        // retried NAK can be served twice, the duplicate deduped on
+        // arrival, so served can exceed recovered but never trail it.
+        assert!(
+            sb.served >= r.receiver.recovered && sb.served > 0,
+            "[seed {seed}] crash-adaptive: standby served {} vs recovered {}",
+            sb.served,
+            r.receiver.recovered,
+        );
+    }
+}
+
+/// The control arm: the same crash with adaptation disabled measurably
+/// degrades — NAK retries exhaust against the dead primary and the gap
+/// sequences are abandoned — while conservation and exactly-once still
+/// hold on every seed.
+#[test]
+fn chaos_crash_without_adaptation_degrades_8_seeds() {
+    for seed in 0..8u64 {
+        let pilot = run_chaos(crash_config(seed, 300));
+        let r = assert_invariants(&pilot, seed, "crash-static");
+        assert!(
+            r.receiver.nak_retries_exhausted > 0,
+            "[seed {seed}] crash-static: retries must exhaust against the dead primary",
+        );
+        assert!(
+            r.receiver.lost > 0,
+            "[seed {seed}] crash-static: the dead store must cost deliveries",
+        );
+        assert!(!pilot.is_complete(), "[seed {seed}] crash-static");
+    }
+}
+
+/// Crash *mid-send* with a later restart: packets arriving at the dead
+/// DTN are genuinely destroyed (no store, no standby tap), so some loss
+/// is unavoidable — but conservation and exactly-once must survive the
+/// crash/restart cycle, and the post-restart buffer must resume cleanly.
+#[test]
+fn chaos_crash_mid_send_with_restart_conserves() {
+    for seed in [1u64, 7, 23, 0xC0FFEE] {
+        let mut cfg = crash_config(seed, 300);
+        cfg.crash_at = Time::from_micros(200); // inside the send burst
+        cfg.restart_at = Some(Time::from_millis(5));
+        let (pilot, _controller) = run_crash_adaptive(cfg);
+        let r = assert_invariants(&pilot, seed, "crash-mid-send");
+        assert!(
+            r.receiver.delivered > 0,
+            "[seed {seed}] crash-mid-send: the restarted buffer must resume forwarding",
+        );
+    }
+}
+
+/// Hysteresis bound: a flapping WAN drives loss-rate spikes every flap
+/// period, but the controller's EWMA + clean-interval damping keeps the
+/// mode_change count bounded instead of toggling once per sample.
+#[test]
+fn chaos_flapping_wan_mode_changes_are_hysteresis_bounded() {
+    for seed in [7u64, 19] {
+        let mut cfg = chaos_config(seed, 2_000, FaultSpec::none());
+        cfg.wan_fault = FaultSpec::none().with_scheduled_outage(PeriodicOutage {
+            first_down: Time::from_micros(200),
+            down_for: Time::from_millis(2),
+            period: Time::from_millis(50),
+        });
+        cfg.standby = true;
+        let mut pilot = Pilot::build(cfg);
+        let mut controller = ModeController::new(failover::controller_config());
+        pilot.run_adaptive(Time::from_secs(120), Time::from_millis(5), &mut controller);
+        let r = assert_invariants(&pilot, seed, "flapping-adaptive");
+        assert!(pilot.is_complete(), "[seed {seed}] flapping-adaptive");
+        assert_eq!(r.receiver.lost, 0, "[seed {seed}] flapping-adaptive");
+        let s = controller.stats();
+        assert!(
+            s.transitions() >= 1,
+            "[seed {seed}] flapping-adaptive: the flap must trip at least one transition",
+        );
+        assert!(
+            s.transitions() <= 12,
+            "[seed {seed}] flapping-adaptive: hysteresis must bound flapping \
+             (got {} transitions over {} samples)",
+            s.transitions(),
+            s.samples,
+        );
+    }
 }

@@ -135,6 +135,92 @@ fn non_numeric_message_count_rejected() {
     );
 }
 
+#[test]
+fn crash_at_without_crash_node_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--crash-at", "6"],
+        "--crash-at/--restart-at require --crash-node",
+    );
+}
+
+#[test]
+fn restart_before_crash_rejected() {
+    assert_clean_usage_error(
+        &[
+            "pilot",
+            "--crash-node",
+            "dtn1",
+            "--crash-at",
+            "6",
+            "--restart-at",
+            "3",
+        ],
+        "must be later than --crash-at",
+    );
+}
+
+#[test]
+fn restart_equal_to_crash_rejected() {
+    assert_clean_usage_error(
+        &["failover", "--crash-at", "6", "--restart-at", "6"],
+        "must be later than --crash-at",
+    );
+}
+
+#[test]
+fn unknown_crash_node_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--crash-node", "router9"],
+        "--crash-node router9 is not a pilot node",
+    );
+}
+
+#[test]
+fn standby_crash_without_adapt_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--crash-node", "standby"],
+        "--crash-node standby requires --adapt 1",
+    );
+}
+
+#[test]
+fn bad_adapt_value_rejected() {
+    assert_clean_usage_error(&["pilot", "--adapt", "2"], "--adapt must be 0 or 1");
+}
+
+/// Sanity: a crash + adaptation run works end-to-end through the binary
+/// and reports the transition summary and the re-homed source.
+#[test]
+fn valid_crash_flags_run_clean() {
+    let out = mmt_sim(&[
+        "pilot",
+        "--messages",
+        "200",
+        "--loss",
+        "1e-2",
+        "--crash-node",
+        "dtn1",
+        "--crash-at",
+        "6",
+        "--adapt",
+        "1",
+        "--seed",
+        "7",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "crash/adapt pilot run failed\nstderr: {}",
+        stderr_of(&out)
+    );
+    assert!(stdout.contains("adaptation:"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("receiver retransmit source: 10.0.0.6:47001"),
+        "stdout: {stdout}"
+    );
+}
+
 /// Sanity: the fault flags that SHOULD work do work end-to-end through the
 /// binary, and the run reports its fault hits.
 #[test]

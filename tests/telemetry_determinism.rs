@@ -4,7 +4,9 @@
 //! cross-machine debugging (same binary + seed ⇒ same bytes anywhere).
 
 use mmt::netsim::{FaultSpec, LossModel, PeriodicOutage, Time};
+use mmt::pilot::experiments::failover;
 use mmt::pilot::{Pilot, PilotConfig};
+use mmt::protocol::ModeController;
 use mmt::telemetry::{prometheus, trace};
 
 fn run_once(seed: u64) -> (String, String, String) {
@@ -148,6 +150,66 @@ fn map_iteration_order_is_deterministic_across_runs() {
     let mut sorted = stored_a.clone();
     sorted.sort_unstable();
     assert_eq!(stored_a, sorted, "ordered map iterates in key order");
+}
+
+/// A crash + restart + closed-loop-adaptation run: the crash drops, the
+/// restart, and every controller-driven mode transition all land in the
+/// exports — byte-identically across two runs of the same seed.
+fn run_crash_adaptive(seed: u64) -> (String, String) {
+    let mut cfg = PilotConfig::default_run();
+    cfg.message_count = 400;
+    cfg.seed = seed;
+    cfg.wan_loss = LossModel::Random(1e-2);
+    cfg.retx_holdoff = Time::from_millis(2);
+    cfg.receiver_max_nak_retries = Some(6);
+    cfg.standby = true;
+    cfg.crash_node = Some("dtn1".to_string());
+    cfg.crash_at = Time::from_millis(6);
+    cfg.restart_at = Some(Time::from_millis(20));
+    let mut pilot = Pilot::build(cfg);
+    pilot.enable_trace();
+    let mut controller = ModeController::new(failover::controller_config());
+    pilot.run_adaptive(Time::from_secs(120), Time::from_millis(5), &mut controller);
+    assert!(pilot.is_complete());
+    let records = pilot.trace_records();
+    (
+        prometheus::render(&pilot.metrics()),
+        trace::to_jsonl(&records),
+    )
+}
+
+#[test]
+fn crash_failover_exports_byte_identical() {
+    let (prom_a, jsonl_a) = run_crash_adaptive(3);
+    let (prom_b, jsonl_b) = run_crash_adaptive(3);
+    assert_eq!(
+        prom_a, prom_b,
+        "crash/adaptation Prometheus export must be byte-identical"
+    );
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "crash/adaptation JSONL trace must be byte-identical"
+    );
+}
+
+/// The failover run surfaces the crash/restart/mode-change series in the
+/// Prometheus export and the matching event kinds in the trace.
+#[test]
+fn crash_failover_exports_carry_transition_series() {
+    let (prom, jsonl) = run_crash_adaptive(3);
+    for needle in [
+        "mmt_node_crashes_total",
+        "mmt_node_restarts_total",
+        "mmt_node_crashed_drops_total",
+        "mmt_buffer_occupancy_highwater",
+        "mmt_standby_served_total",
+        "mmt_standby_active",
+    ] {
+        assert!(prom.contains(needle), "missing {needle}");
+    }
+    for kind in ["\"node_crash\"", "\"node_restart\"", "\"mode_change\""] {
+        assert!(jsonl.contains(kind), "trace missing {kind} events");
+    }
 }
 
 #[test]
