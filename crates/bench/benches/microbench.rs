@@ -238,6 +238,48 @@ fn bench_netsim() {
     });
 }
 
+fn bench_arena() {
+    use mmt_netsim::{Packet, PacketArena};
+    // Pooled alloc/release cycle vs a fresh heap Vec per packet — the
+    // allocation the arena exists to eliminate.
+    let mut arena = PacketArena::with_capacity(64, 1500);
+    bench("arena", "pooled_packet_1500_cycle", || {
+        let pkt = arena.packet(1500, 7);
+        let pkt = black_box(pkt);
+        arena.recycle(pkt);
+    });
+    bench("arena", "fresh_vec_packet_1500", || {
+        black_box(Packet::new(vec![0u8; 1500]));
+    });
+    let mut arena = PacketArena::with_capacity(64, 1500);
+    bench("arena", "slot_alloc_release_1500", || {
+        let r = arena.alloc(1500);
+        black_box(arena.get(r));
+        arena.release(r);
+    });
+}
+
+fn bench_stats() {
+    use mmt_netsim::stats::{quantile_sorted, quantiles_sorted};
+    let mut rng = mmt_netsim::SimRng::new(7);
+    let samples: Vec<u64> = (0..100_000).map(|_| rng.next_bounded(1 << 30)).collect();
+    const QS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+    // The old shape: every quantile query clones and re-sorts the samples.
+    bench("stats", "quantiles_resort_per_call", || {
+        for q in QS {
+            let mut copy = samples.clone();
+            copy.sort_unstable();
+            black_box(quantile_sorted(&copy, q));
+        }
+    });
+    // The fixed shape: sort once, fan the queries out over the slice.
+    bench("stats", "quantiles_sort_once", || {
+        let mut copy = samples.clone();
+        copy.sort_unstable();
+        black_box(quantiles_sorted(&copy, &QS));
+    });
+}
+
 fn bench_seqtrack() {
     use mmt_core::SeqTracker;
     bench("seqtrack", "record_10k_in_order", || {
@@ -262,5 +304,7 @@ fn main() {
     bench_dataplane();
     bench_daq();
     bench_netsim();
+    bench_arena();
+    bench_stats();
     bench_seqtrack();
 }

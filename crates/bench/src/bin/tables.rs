@@ -8,14 +8,15 @@
 //! ```
 //!
 //! Experiment ids follow DESIGN.md's per-experiment index: `t1`, `f2`,
-//! `f3`, `p1`, `e1`–`e9`.
+//! `f3`, `p1`, `e1`–`e14`, `a1`, `a2`.
 
 #![forbid(unsafe_code)]
 
 use mmt_bench::{gbps, pct, TextTable};
+use mmt_netsim::stats::quantiles_sorted;
 use mmt_netsim::{Bandwidth, LossModel, Time};
 use mmt_pilot::experiments::{
-    alerts, aqm, backpressure, failover, faults, fct, hol, osmotic, payload, rates, slices,
+    alerts, aqm, backpressure, failover, faults, fct, hol, osmotic, payload, rates, scale, slices,
     supernova, throughput, timeliness, today,
 };
 use mmt_pilot::{Pilot, PilotConfig};
@@ -57,6 +58,12 @@ fn emit(table: TextTable, opts: &Opts) {
 
 fn want(opts: &Opts, id: &str) -> bool {
     opts.selected.is_empty() || opts.selected.iter().any(|s| s == id || s == "all")
+}
+
+/// Render a nanosecond quantile cell from [`quantiles_sorted`] output.
+fn fmt_ns(v: Option<u64>) -> String {
+    v.map(|ns| Time::from_nanos(ns).to_string())
+        .unwrap_or_default()
 }
 
 fn t1(opts: &Opts) {
@@ -129,6 +136,8 @@ fn p1(opts: &Opts) {
     let mut pilot = Pilot::build(cfg);
     pilot.run(Time::from_secs(60));
     let mut r = pilot.report();
+    // Sort once, query every percentile off the same sorted slice.
+    let lat = quantiles_sorted(r.latency.sorted_samples(), &[0.5, 0.99]);
     let mut t = TextTable::new(
         "P1/F4 — pilot study: three-mode run over the Fig. 4 topology",
         &["metric", "value"],
@@ -156,20 +165,8 @@ fn p1(opts: &Opts) {
         ("sequences recovered", r.receiver.recovered.to_string()),
         ("sequences lost", r.receiver.lost.to_string()),
         ("delivered", format!("{} / {}", r.receiver.delivered, count)),
-        (
-            "latency p50",
-            r.latency
-                .median()
-                .map(|t| t.to_string())
-                .unwrap_or_default(),
-        ),
-        (
-            "latency p99",
-            r.latency
-                .quantile(0.99)
-                .map(|t| t.to_string())
-                .unwrap_or_default(),
-        ),
+        ("latency p50", fmt_ns(lat[0])),
+        ("latency p99", fmt_ns(lat[1])),
         ("aged deliveries", r.receiver.aged_deliveries.to_string()),
         (
             "deadline notifications at source",
@@ -233,18 +230,14 @@ fn e2(opts: &Opts) {
     for loss in [0.0, 1e-3, 5e-3] {
         params.loss = loss;
         for mut r in hol::run_all(&params) {
+            // One sort serves p50, p99, and max.
+            let lat = quantiles_sorted(r.latency.sorted_samples(), &[0.5, 0.99, 1.0]);
             t.row(vec![
                 r.variant.to_string(),
                 format!("{loss:.0e}"),
-                r.latency
-                    .median()
-                    .map(|t| t.to_string())
-                    .unwrap_or_default(),
-                r.latency
-                    .quantile(0.99)
-                    .map(|t| t.to_string())
-                    .unwrap_or_default(),
-                r.latency.max().map(|t| t.to_string()).unwrap_or_default(),
+                fmt_ns(lat[0]),
+                fmt_ns(lat[1]),
+                fmt_ns(lat[2]),
                 pct(r.impacted_fraction),
                 r.delivered.to_string(),
             ]);
@@ -575,6 +568,48 @@ fn e13(opts: &Opts) {
     emit(t, opts);
 }
 
+fn e14(opts: &Opts) {
+    let rows = if opts.quick {
+        scale::quick(1)
+    } else {
+        scale::full(1)
+    };
+    let mut t = TextTable::new(
+        "E14 — many-flow scale-out: sharded fleet vs serial (byte-identical digests required)",
+        &[
+            "shards",
+            "sensors",
+            "DTN groups",
+            "delivered",
+            "events",
+            "digest",
+            "imbalance",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.shards.to_string(),
+            r.sensors.to_string(),
+            r.dtns.to_string(),
+            r.delivered.to_string(),
+            r.events.to_string(),
+            format!("{:016x}", r.digest),
+            format!("{:.3}", r.imbalance),
+        ]);
+    }
+    let deterministic = rows.windows(2).all(|w| w[0].digest == w[1].digest);
+    t.row(vec![
+        "DETERMINISTIC".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        if deterministic { "yes" } else { "NO" }.into(),
+        String::new(),
+    ]);
+    emit(t, opts);
+}
+
 fn a1_a2(opts: &Opts) {
     let mut t = TextTable::new(
         "A1 — deadline-aware AQM vs drop-tail under 2x overload (50/50 aged/fresh)",
@@ -609,7 +644,7 @@ fn main() {
     let opts = parse_args();
     println!("# Shape-shifting Elephants — regenerated tables and figures");
     println!(
-        "# mode: {}  (ids: t1 f2 f3 p1 e1..e13 a1 a2; --quick for reduced scale)",
+        "# mode: {}  (ids: t1 f2 f3 p1 e1..e14 a1 a2; --quick for reduced scale)",
         if opts.quick { "quick" } else { "full" }
     );
     let _ = (Bandwidth::gbps(1), LossModel::None); // re-exports sanity
@@ -660,6 +695,9 @@ fn main() {
     }
     if want(&opts, "e13") {
         e13(&opts);
+    }
+    if want(&opts, "e14") {
+        e14(&opts);
     }
     if want(&opts, "a1") || want(&opts, "a2") {
         a1_a2(&opts);

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scale;
+
 use mmt_telemetry::json::{self, JsonObject};
 use std::io::Write;
 use std::path::Path;

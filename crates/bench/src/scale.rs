@@ -1,0 +1,217 @@
+//! The many-flow scale bench: wall-clock throughput of the fleet under
+//! 1/2/4(/N) shards, emitted as `BENCH_scale.json`.
+//!
+//! The simulator side ([`mmt_pilot::manyflow`] over
+//! [`mmt_netsim::ShardedSim`]) is deliberately clock-free — the
+//! determinism lint bans wall time inside sim-critical crates — so this
+//! module owns every non-deterministic measurement: elapsed wall time,
+//! packets/sec, events/sec, and the peak-RSS proxy read from
+//! `/proc/self/status` (0 where unavailable).
+
+use std::time::Instant;
+
+use mmt_pilot::manyflow::{self, ManyFlowConfig};
+use mmt_telemetry::json::{self, JsonObject};
+
+/// Parameters of a scale bench run.
+#[derive(Debug, Clone)]
+pub struct ScaleBenchConfig {
+    /// Total sensors (K).
+    pub sensors: usize,
+    /// Packets each sensor emits.
+    pub packets_per_sensor: usize,
+    /// Shard counts to sweep; the first entry is the speedup baseline
+    /// (conventionally 1, the serial run).
+    pub shard_counts: Vec<usize>,
+    /// Root seed (shared by every sweep point so digests must agree).
+    pub seed: u64,
+}
+
+impl ScaleBenchConfig {
+    /// The acceptance shape: K = 10 000 sensors, serial vs 2 and 4 shards.
+    pub fn full() -> ScaleBenchConfig {
+        ScaleBenchConfig {
+            sensors: 10_000,
+            packets_per_sensor: 8,
+            shard_counts: vec![1, 2, 4],
+            seed: 1,
+        }
+    }
+
+    /// A seconds-fast variant for CI smoke.
+    pub fn quick() -> ScaleBenchConfig {
+        ScaleBenchConfig {
+            sensors: 256,
+            packets_per_sensor: 4,
+            shard_counts: vec![1, 2, 4],
+            seed: 1,
+        }
+    }
+}
+
+/// One sweep point: the fleet at a given shard count.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Shards used.
+    pub shards: usize,
+    /// Wall-clock nanoseconds for the whole fleet.
+    pub wall_ns: u64,
+    /// Packets delivered.
+    pub packets: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Delivered packets per wall-clock second.
+    pub packets_per_sec: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Speedup over the first (baseline) row.
+    pub speedup: f64,
+    /// Merged digest — equal across rows or the bench is invalid.
+    pub digest: u64,
+    /// Each shard's share of events (sums to 1).
+    pub shard_utilization: Vec<f64>,
+}
+
+/// The bench outcome: one row per shard count plus process-level context.
+#[derive(Debug, Clone)]
+pub struct ScaleBenchResult {
+    /// The configuration measured.
+    pub config: ScaleBenchConfig,
+    /// One row per entry of `config.shard_counts`.
+    pub rows: Vec<ScaleRow>,
+    /// Peak resident set (kB) after the sweep — a proxy, read once at the
+    /// end, so it reflects the largest configuration run.
+    pub peak_rss_kb: u64,
+    /// Cores available to this process. `ShardedSim` clamps its worker
+    /// threads to this, so speedup is bounded by `min(shards, host_cores)`
+    /// — a 1-core container reports ≈1× by construction.
+    pub host_cores: usize,
+}
+
+impl ScaleBenchResult {
+    /// Whether every row produced the same merged digest.
+    pub fn deterministic(&self) -> bool {
+        self.rows.windows(2).all(|w| w[0].digest == w[1].digest)
+    }
+
+    /// The best speedup over the baseline row.
+    pub fn best_speedup(&self) -> f64 {
+        self.rows.iter().map(|r| r.speedup).fold(0.0, f64::max)
+    }
+
+    /// Render as the `BENCH_scale.json` document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.iter().map(|r| {
+            JsonObject::new()
+                .u64("shards", r.shards as u64)
+                .u64("wall_ns", r.wall_ns)
+                .u64("packets", r.packets)
+                .u64("events", r.events)
+                .f64("packets_per_sec", r.packets_per_sec)
+                .f64("events_per_sec", r.events_per_sec)
+                .f64("speedup", r.speedup)
+                .str("digest", &format!("{:016x}", r.digest))
+                .raw(
+                    "shard_utilization",
+                    &json::array(r.shard_utilization.iter().map(|u| json::number(*u))),
+                )
+                .finish()
+        });
+        JsonObject::new()
+            .str("bench", "scale")
+            .u64("sensors", self.config.sensors as u64)
+            .u64("packets_per_sensor", self.config.packets_per_sensor as u64)
+            .u64("seed", self.config.seed)
+            .bool("deterministic", self.deterministic())
+            .f64("best_speedup", self.best_speedup())
+            .u64("peak_rss_kb", self.peak_rss_kb)
+            .u64("host_cores", self.host_cores as u64)
+            .raw("rows", &json::array(rows))
+            .finish()
+    }
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`);
+/// 0 when the file or field is unavailable (non-Linux).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let digits: String = rest.chars().filter(char::is_ascii_digit).collect();
+            return digits.parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Run the sweep. Each shard count runs the *same* fleet (same seed, same
+/// groups); only the thread layout differs, which is why the digests must
+/// match and wall time may not.
+pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
+    let mut rows = Vec::with_capacity(cfg.shard_counts.len());
+    let mut baseline_wall_ns = 0u64;
+    // Warm-up: run the full fleet once, unmeasured, so the first measured
+    // row doesn't pay the process's page faults and allocator growth for
+    // everyone (row order would otherwise masquerade as speedup).
+    {
+        let mut warm = ManyFlowConfig::fleet(cfg.sensors, 1, cfg.seed);
+        warm.packets_per_sensor = cfg.packets_per_sensor;
+        let _ = manyflow::run(&warm);
+    }
+    for &shards in &cfg.shard_counts {
+        let mut fleet = ManyFlowConfig::fleet(cfg.sensors, shards, cfg.seed);
+        fleet.packets_per_sensor = cfg.packets_per_sensor;
+        let start = Instant::now();
+        let report = manyflow::run(&fleet);
+        let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        if baseline_wall_ns == 0 {
+            baseline_wall_ns = wall_ns.max(1);
+        }
+        let secs = (wall_ns.max(1)) as f64 / 1e9;
+        rows.push(ScaleRow {
+            shards,
+            wall_ns,
+            packets: report.shard.packets,
+            events: report.shard.events,
+            packets_per_sec: report.shard.packets as f64 / secs,
+            events_per_sec: report.shard.events as f64 / secs,
+            speedup: baseline_wall_ns as f64 / wall_ns.max(1) as f64,
+            digest: report.shard.trace_digest,
+            shard_utilization: report.shard.shard_utilization(),
+        });
+    }
+    ScaleBenchResult {
+        config: cfg.clone(),
+        rows,
+        peak_rss_kb: peak_rss_kb(),
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_deterministic_and_well_formed() {
+        let result = run(&ScaleBenchConfig::quick());
+        assert_eq!(result.rows.len(), 3);
+        assert!(result.deterministic(), "digests diverged across shards");
+        assert!(result.rows.iter().all(|r| r.packets == 256 * 4));
+        assert!(result.rows.iter().all(|r| r.packets_per_sec > 0.0));
+        let json = result.to_json();
+        assert!(json.contains("\"bench\":\"scale\""));
+        assert!(json.contains("\"deterministic\":true"));
+        assert!(json.contains("\"rows\":["));
+    }
+
+    #[test]
+    fn rss_proxy_reports_on_linux() {
+        let rss = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+    }
+}

@@ -157,6 +157,20 @@ impl RetransmitBuffer {
         self.store.len()
     }
 
+    /// The border pipeline's sequence-stamping cursor: the next sequence
+    /// number it will stamp onto an upgraded data packet.
+    pub fn sequence_cursor(&self) -> u64 {
+        self.pipeline.register(programs::regs::SEQ_COUNTER)
+    }
+
+    /// Seed the sequence-stamping cursor. In deployment the control plane
+    /// restores the cursor across restarts (see `on_crash`); tests use
+    /// this to place the stream right before a numeric boundary (e.g.
+    /// `u32::MAX`) without feeding four billion packets first.
+    pub fn seed_sequence_cursor(&mut self, seq: u64) {
+        self.pipeline.set_register(programs::regs::SEQ_COUNTER, seq);
+    }
+
     /// Bytes currently retained (the occupancy the shed controller
     /// watches).
     pub fn stored_bytes(&self) -> usize {

@@ -63,23 +63,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod fault;
 mod link;
 mod node;
 mod packet;
 mod queue;
 mod rng;
+pub mod shard;
 mod sim;
 pub mod stats;
 mod time;
 mod trace;
 
+pub use arena::{ArenaStats, PacketArena, PacketRef};
 pub use fault::{FaultSpec, FaultState, FaultVerdict, PeriodicOutage, RandomOutage};
 pub use link::{Link, LinkId, LinkSpec, LossModel, LossState};
 pub use node::{Context, Node, NodeId, PortId, TimerToken};
 pub use packet::{Packet, PacketMeta};
 pub use queue::{QueueSpec, TransmitQueue};
 pub use rng::SimRng;
+pub use shard::{GroupResult, ShardLoad, ShardReport, ShardedSim};
 pub use sim::Simulator;
 pub use time::{Bandwidth, Time};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,428 @@
+//! Sharded simulation runner: scale-out across OS threads without giving
+//! up byte-identical determinism.
+//!
+//! ## Partitioning rule
+//!
+//! A workload is split into `G` independent **flow groups** (no links,
+//! packets, or RNG streams cross a group boundary — each group is its own
+//! [`crate::Simulator`]). Group `g` runs on shard `g % N`; each shard
+//! executes its groups in ascending group order on one `std::thread`.
+//!
+//! ## Why byte-equality holds
+//!
+//! Each group's seed is derived from `(root_seed, g)` with
+//! [`crate::SimRng::fork_frozen`] — a pure function of the root seed and
+//! the group id, never of the shard count or thread interleaving. A group
+//! therefore produces the same event sequence, telemetry, and trace no
+//! matter which shard (or how many shards) ran it. The merge step then
+//! folds per-group results in ascending **group** order — not completion
+//! order — so the merged registry and the combined digest are identical
+//! for 1, 2, 4, … shards and identical to a serial loop over the groups.
+//!
+//! Threads only change *wall-clock* time, which is exactly the quantity
+//! the bench layer measures (wall-clock never enters this crate; the
+//! determinism lint bans it here).
+
+use std::sync::mpsc;
+
+use crate::rng::SimRng;
+use mmt_telemetry::{MetricRegistry, TraceRecord};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher (dependency-free, platform-stable),
+/// used to fold traces and telemetry into comparable digests.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest a slice of flow-correlated trace records. Field order is fixed,
+/// so equal digests mean byte-identical traces (modulo 64-bit collisions).
+pub fn digest_trace(records: &[TraceRecord]) -> u64 {
+    let mut h = Fnv64::new();
+    for r in records {
+        h.write_u64(r.ts_ns);
+        h.write(r.kind.as_bytes());
+        h.write_u64(r.node.map_or(u64::MAX, |v| v));
+        h.write_u64(r.link.map_or(u64::MAX, |v| v));
+        h.write_u64(r.packet_id);
+        h.write_u64(r.flow);
+        h.write_u64(r.seq.map_or(u64::MAX, |v| v));
+        h.write_u64(r.config.map_or(u64::MAX, |v| v));
+        h.write_u64(r.len_bytes);
+    }
+    h.finish()
+}
+
+/// Digest a rendered string (e.g. a Prometheus exposition of a registry).
+pub fn digest_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// What one flow group produced: its telemetry, its trace digest, and the
+/// deterministic work counters the load report is built from.
+#[derive(Debug)]
+pub struct GroupResult {
+    /// Merged into the run's registry in ascending group order.
+    pub registry: MetricRegistry,
+    /// Digest of the group's trace (see [`digest_trace`]).
+    pub trace_digest: u64,
+    /// Simulator events the group processed.
+    pub events: u64,
+    /// Packets the group delivered.
+    pub packets: u64,
+}
+
+/// Deterministic per-shard load summary (virtual work, not wall time —
+/// wall time belongs to the bench layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Groups the shard executed.
+    pub groups: u64,
+    /// Events processed across those groups.
+    pub events: u64,
+    /// Packets delivered across those groups.
+    pub packets: u64,
+}
+
+/// The merged outcome of a sharded run. Byte-identical across shard
+/// counts for a fixed `(root_seed, groups, workload)`.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// All group registries absorbed in ascending group order.
+    pub registry: MetricRegistry,
+    /// Per-group trace digests folded in ascending group order.
+    pub trace_digest: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Total packets delivered.
+    pub packets: u64,
+    /// Deterministic load per shard (indexed by shard id).
+    pub shard_loads: Vec<ShardLoad>,
+}
+
+impl ShardReport {
+    /// Each shard's share of total events, in `[0, 1]` (the utilization
+    /// proxy the bench reports; 1/N everywhere means perfect balance).
+    pub fn shard_utilization(&self) -> Vec<f64> {
+        let total = self.events.max(1) as f64;
+        self.shard_loads
+            .iter()
+            .map(|l| l.events as f64 / total)
+            .collect()
+    }
+}
+
+/// Partitions independent flow groups across worker threads. See the
+/// module docs for the determinism argument.
+///
+/// **Logical shards vs worker threads.** The shard count defines the
+/// *partition* (group `g` belongs to shard `g % N`, and the load report
+/// has N entries); the number of OS threads actually spawned is clamped
+/// to the host's available parallelism, because running 4 threads on 1
+/// core only adds scheduler thrash. Outputs never depend on the worker
+/// count — only wall-clock time does — so the clamp is invisible to the
+/// determinism contract.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSim {
+    root_seed: u64,
+    shards: usize,
+    workers: Option<usize>,
+}
+
+impl ShardedSim {
+    /// A runner partitioned into `shards` logical shards (clamped to at
+    /// least 1), executed on up to that many worker threads.
+    pub fn new(root_seed: u64, shards: usize) -> ShardedSim {
+        ShardedSim {
+            root_seed,
+            shards: shards.max(1),
+            workers: None,
+        }
+    }
+
+    /// Force the worker-thread count (tests use this to exercise the
+    /// threaded path regardless of host core count).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> ShardedSim {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// OS threads the run will use: `min(shards, available cores)` unless
+    /// overridden by [`ShardedSim::with_workers`].
+    pub fn worker_count(&self) -> usize {
+        match self.workers {
+            Some(w) => w.min(self.shards),
+            None => {
+                let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+                self.shards.min(hw.max(1))
+            }
+        }
+    }
+
+    /// The seed group `g` runs with — a pure function of `(root_seed, g)`,
+    /// independent of the shard count, which is what makes sharded and
+    /// serial runs byte-identical.
+    pub fn group_seed(&self, group: usize) -> u64 {
+        SimRng::new(self.root_seed)
+            .fork_frozen(group as u64 ^ 0x5CA1_AB1E_0000_0000)
+            .next_u64()
+    }
+
+    /// Run `groups` flow groups through `run_group(group, group_seed)`,
+    /// merging results in ascending group order. With one worker the
+    /// groups run on the calling thread (the serial reference); with
+    /// more, worker `w` owns groups `g ≡ w (mod workers)` on its own
+    /// thread. Accounting always attributes group `g` to logical shard
+    /// `g % shards`, so load reports are identical at any worker count.
+    pub fn run<F>(&self, groups: usize, run_group: F) -> ShardReport
+    where
+        F: Fn(usize, u64) -> GroupResult + Send + Sync,
+    {
+        let workers = self.worker_count();
+        let mut slots: Vec<Option<(usize, GroupResult)>> = Vec::new();
+        slots.resize_with(groups, || None);
+        if workers == 1 {
+            for (g, slot) in slots.iter_mut().enumerate() {
+                *slot = Some((g % self.shards, run_group(g, self.group_seed(g))));
+            }
+        } else {
+            let (tx, rx) = mpsc::channel::<(usize, GroupResult)>();
+            let this = *self;
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    let tx = tx.clone();
+                    let run_group = &run_group;
+                    scope.spawn(move || {
+                        let mut g = worker;
+                        while g < groups {
+                            let result = run_group(g, this.group_seed(g));
+                            // The receiver outlives the scope; a send can
+                            // only fail if it was dropped early, in which
+                            // case losing the result is the right outcome.
+                            let _ = tx.send((g, result));
+                            g += workers;
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            for (g, result) in rx {
+                if let Some(slot) = slots.get_mut(g) {
+                    *slot = Some((g % self.shards, result));
+                }
+            }
+        }
+        self.merge(slots)
+    }
+
+    /// Fold per-group results in ascending group order (the order of the
+    /// `slots` vector), which is what keeps the merge independent of
+    /// completion order.
+    fn merge(&self, slots: Vec<Option<(usize, GroupResult)>>) -> ShardReport {
+        let mut registry = MetricRegistry::new();
+        let mut digest = Fnv64::new();
+        let mut events = 0u64;
+        let mut packets = 0u64;
+        let mut shard_loads = vec![ShardLoad::default(); self.shards];
+        for (g, slot) in slots.into_iter().enumerate() {
+            let Some((shard, result)) = slot else {
+                continue;
+            };
+            registry.absorb(&result.registry);
+            digest.write_u64(g as u64);
+            digest.write_u64(result.trace_digest);
+            events += result.events;
+            packets += result.packets;
+            if let Some(load) = shard_loads.get_mut(shard) {
+                load.groups += 1;
+                load.events += result.events;
+                load.packets += result.packets;
+            }
+        }
+        ShardReport {
+            registry,
+            trace_digest: digest.finish(),
+            events,
+            packets,
+            shard_loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::node::{Context, Node, PortId};
+    use crate::packet::Packet;
+    use crate::sim::Simulator;
+    use crate::time::{Bandwidth, Time};
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
+            ctx.deliver_local(pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A tiny but non-trivial group: one seeded burst into a sink over a
+    /// lossy-free gigabit link, sized by the group's own RNG stream.
+    fn run_group(group: usize, group_seed: u64) -> GroupResult {
+        let mut sim = Simulator::new(group_seed);
+        sim.enable_trace();
+        let src = sim.add_node("src", Box::new(Sink));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(
+            src,
+            1,
+            dst,
+            0,
+            LinkSpec::new(Bandwidth::gbps(1), Time::from_micros(10)),
+        );
+        let n = 3 + (SimRng::new(group_seed).next_bounded(5) as usize);
+        for i in 0..n {
+            let mut pkt = Packet::with_flow(vec![0u8; 200 + group], group as u64);
+            pkt.meta.seq = Some(i as u64);
+            sim.inject(Time::from_micros(i as u64), src, 5, pkt);
+        }
+        sim.run();
+        let mut registry = MetricRegistry::new();
+        sim.export_metrics(&mut registry);
+        GroupResult {
+            registry,
+            trace_digest: digest_trace(&sim.trace_records()),
+            events: 0,
+            packets: 0,
+        }
+    }
+
+    #[test]
+    fn group_seed_ignores_shard_count() {
+        for g in 0..16 {
+            assert_eq!(
+                ShardedSim::new(42, 1).group_seed(g),
+                ShardedSim::new(42, 4).group_seed(g)
+            );
+        }
+        assert_ne!(
+            ShardedSim::new(42, 1).group_seed(0),
+            ShardedSim::new(42, 1).group_seed(1)
+        );
+    }
+
+    #[test]
+    fn sharded_matches_serial_exactly() {
+        let serial = ShardedSim::new(7, 1).run(9, run_group);
+        for shards in [2, 3, 4, 8] {
+            // Force real threads even on single-core CI hosts, where the
+            // default clamp would fall back to the calling thread.
+            let sharded = ShardedSim::new(7, shards)
+                .with_workers(shards)
+                .run(9, run_group);
+            assert_eq!(
+                mmt_telemetry::prometheus::render(&serial.registry),
+                mmt_telemetry::prometheus::render(&sharded.registry),
+                "{shards}-shard registry must render byte-identically"
+            );
+            assert_eq!(serial.trace_digest, sharded.trace_digest);
+        }
+    }
+
+    #[test]
+    fn worker_clamp_never_exceeds_shards() {
+        assert_eq!(ShardedSim::new(1, 4).with_workers(16).worker_count(), 4);
+        assert_eq!(ShardedSim::new(1, 1).worker_count(), 1);
+        assert!(ShardedSim::new(1, 8).worker_count() >= 1);
+    }
+
+    #[test]
+    fn loads_cover_all_groups() {
+        let report = ShardedSim::new(1, 4).run(10, |g, seed| GroupResult {
+            registry: MetricRegistry::new(),
+            trace_digest: seed,
+            events: 10 + g as u64,
+            packets: 1,
+        });
+        assert_eq!(report.shard_loads.len(), 4);
+        assert_eq!(report.shard_loads.iter().map(|l| l.groups).sum::<u64>(), 10);
+        // Groups 0..10 over 4 shards: 3, 3, 2, 2.
+        assert_eq!(report.shard_loads[0].groups, 3);
+        assert_eq!(report.shard_loads[3].groups, 2);
+        assert_eq!(report.packets, 10);
+        assert_eq!(
+            report.events,
+            (0..10u64).map(|g| 10 + g).sum::<u64>(),
+            "event totals fold across shards"
+        );
+        let util = report.shard_utilization();
+        assert_eq!(util.len(), 4);
+        assert!((util.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let s = ShardedSim::new(3, 0);
+        assert_eq!(s.shards(), 1);
+        let report = s.run(2, run_group);
+        assert_eq!(report.shard_loads.len(), 1);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        // Canonical FNV-1a 64 test vector: the empty input hashes to the
+        // offset basis, and "a" to 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest_str("a"), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write_u64(7);
+        assert_ne!(h.finish(), digest_str("a"));
+    }
+}

@@ -315,6 +315,12 @@ impl Simulator {
         self.now
     }
 
+    /// Total events processed so far (the deterministic work counter the
+    /// sharded load reports are built from).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Add a node; returns its id. Order of addition fixes ids.
     pub fn add_node(&mut self, name: &str, behavior: Box<dyn Node>) -> NodeId {
         self.nodes.push(NodeEntry {

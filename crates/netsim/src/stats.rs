@@ -2,6 +2,35 @@
 
 use crate::time::Time;
 
+/// Nearest-rank quantile over an **already-sorted** slice: the sample at
+/// index `round((n − 1) · q)`. `None` when empty; NaN degrades to `q = 0`
+/// and out-of-range `q` is clamped, matching
+/// [`LatencyHistogram::quantile`].
+///
+/// This is the sort-once building block for sweep aggregation: callers
+/// that need several quantiles of the same sample set sort once (or take
+/// [`LatencyHistogram::sorted_samples`]) and query this repeatedly,
+/// instead of paying a hidden re-sort per call on cloned sample vectors.
+pub fn quantile_sorted(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted.get(rank.min(sorted.len() - 1)).copied()
+}
+
+/// Median over an already-sorted slice (see [`quantile_sorted`]).
+pub fn median_sorted(sorted: &[u64]) -> Option<u64> {
+    quantile_sorted(sorted, 0.5)
+}
+
+/// A batch of quantiles over one already-sorted slice; the cheap way to
+/// fill a table row (min/median/p99/max and friends) with a single sort.
+pub fn quantiles_sorted(sorted: &[u64], qs: &[f64]) -> Vec<Option<u64>> {
+    qs.iter().map(|&q| quantile_sorted(sorted, q)).collect()
+}
+
 /// A sample-keeping latency recorder with quantile queries.
 ///
 /// Simulations produce at most millions of samples, so keeping them all and
@@ -48,18 +77,19 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `q`-quantile (0.0–1.0) by nearest-rank, or `None` if empty.
-    pub fn quantile(&mut self, q: f64) -> Option<Time> {
-        if self.samples_ns.is_empty() {
-            return None;
-        }
+    /// The sorted samples, sorting at most once since the last `record`
+    /// or `merge`. Sweep aggregation should take this once and fan out
+    /// through [`quantile_sorted`] rather than cloning samples per query.
+    pub fn sorted_samples(&mut self) -> &[u64] {
         self.ensure_sorted();
-        // NaN would otherwise survive clamp (clamp propagates NaN) and
-        // faulted telemetry can compute q from poisoned ratios.
-        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
-        let rank = ((self.samples_ns.len() as f64 - 1.0) * q).round() as usize;
-        let rank = rank.min(self.samples_ns.len() - 1);
-        self.samples_ns.get(rank).copied().map(Time::from_nanos)
+        &self.samples_ns
+    }
+
+    /// The `q`-quantile (0.0–1.0) by nearest-rank, or `None` if empty.
+    /// NaN `q` degrades to 0 (faulted telemetry can compute `q` from
+    /// poisoned ratios) and out-of-range `q` is clamped.
+    pub fn quantile(&mut self, q: f64) -> Option<Time> {
+        quantile_sorted(self.sorted_samples(), q).map(Time::from_nanos)
     }
 
     /// Median latency.
@@ -290,6 +320,40 @@ mod tests {
         assert_eq!(h.quantile(f64::NAN).unwrap().as_nanos(), 10);
         assert_eq!(h.quantile(f64::INFINITY).unwrap().as_nanos(), 30);
         assert_eq!(h.quantile(f64::NEG_INFINITY).unwrap().as_nanos(), 10);
+    }
+
+    #[test]
+    fn sorted_slice_helpers_match_histogram() {
+        let mut h = LatencyHistogram::new();
+        for v in [40u64, 10, 30, 20, 50] {
+            h.record(Time::from_nanos(v));
+        }
+        let sorted: Vec<u64> = h.sorted_samples().to_vec();
+        assert_eq!(sorted, vec![10, 20, 30, 40, 50]);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0, f64::NAN, -3.0, 9.0] {
+            assert_eq!(
+                quantile_sorted(&sorted, q),
+                h.quantile(q).map(|t| t.as_nanos()),
+                "free helper and histogram must agree at q={q}"
+            );
+        }
+        assert_eq!(median_sorted(&sorted), Some(30));
+        assert_eq!(
+            quantiles_sorted(&sorted, &[0.0, 0.5, 1.0]),
+            vec![Some(10), Some(30), Some(50)]
+        );
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(median_sorted(&[]), None);
+    }
+
+    #[test]
+    fn sorted_samples_caches_between_queries() {
+        let mut h = LatencyHistogram::new();
+        h.record(Time::from_nanos(2));
+        h.record(Time::from_nanos(1));
+        assert_eq!(h.sorted_samples(), &[1, 2]);
+        h.record(Time::from_nanos(0));
+        assert_eq!(h.sorted_samples(), &[0, 1, 2], "re-sorts after a record");
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod hol;
 pub mod osmotic;
 pub mod payload;
 pub mod rates;
+pub mod scale;
 pub mod slices;
 pub mod supernova;
 pub mod throughput;

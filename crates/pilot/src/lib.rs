@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod manyflow;
 pub mod topology;
 
 pub use topology::{Pilot, PilotConfig, PilotReport};

@@ -18,6 +18,7 @@ use mmt::netsim::{Bandwidth, FaultSpec, LossModel, PeriodicOutage, Time};
 use mmt::pilot::experiments::{failover, fct, hol};
 use mmt::pilot::{Pilot, PilotConfig};
 use mmt::protocol::ModeController;
+use mmt_bench::scale::{self, ScaleBenchConfig};
 use std::collections::HashMap;
 
 fn usage() -> ! {
@@ -50,7 +51,12 @@ fn usage() -> ! {
          \x20 fct     E1 flow-completion sweep  [--loss P] [--mb N] [--rtt1-ms N] [--rtt2-ms N] [--seed N]\n\
          \x20 hol     E2 head-of-line compare   [--loss P] [--rtt-ms N] [--messages N] [--seed N]\n\
          \x20 failover E13 crash failover      [--loss P] [--messages N] [--seed N]\n\
-         \x20         [--crash-at MS] [--restart-at MS]"
+         \x20         [--crash-at MS] [--restart-at MS]\n\
+         \x20 bench   many-flow scale bench    [--sensors K] [--packets N] [--seed N]\n\
+         \x20         [--shards LIST]           comma-separated shard counts (default 1,2,4;\n\
+         \x20                                   first entry is the speedup baseline)\n\
+         \x20         [--quick 0|1]             CI smoke shape (K=256, 4 packets/sensor)\n\
+         \x20         [--out FILE]              JSON report path (default BENCH_scale.json)"
     );
     std::process::exit(2);
 }
@@ -431,6 +437,82 @@ fn cmd_failover(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_bench(flags: HashMap<String, String>) {
+    let quick = match flags.get("quick").map(String::as_str) {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(other) => {
+            eprintln!("--quick must be 0 or 1, got {other}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = if quick {
+        ScaleBenchConfig::quick()
+    } else {
+        ScaleBenchConfig::full()
+    };
+    cfg.sensors = get(&flags, "sensors", cfg.sensors);
+    cfg.packets_per_sensor = get(&flags, "packets", cfg.packets_per_sensor);
+    cfg.seed = get(&flags, "seed", cfg.seed);
+    if cfg.sensors == 0 || cfg.packets_per_sensor == 0 {
+        eprintln!("--sensors and --packets must be ≥ 1");
+        std::process::exit(2);
+    }
+    if let Some(raw) = flags.get("shards") {
+        let parsed: Result<Vec<usize>, _> = raw.split(',').map(str::parse).collect();
+        match parsed {
+            Ok(list) if !list.is_empty() && list.iter().all(|&s| s >= 1) => {
+                cfg.shard_counts = list;
+            }
+            _ => {
+                eprintln!("--shards must be a comma-separated list of counts ≥ 1, got {raw}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    println!(
+        "scale bench: {} sensors × {} packets, shards {:?}, seed {}",
+        cfg.sensors, cfg.packets_per_sensor, cfg.shard_counts, cfg.seed
+    );
+    let result = scale::run(&cfg);
+    for r in &result.rows {
+        println!(
+            "shards {:<3} wall {:>9.3} ms  {:>12.0} pkt/s  {:>12.0} ev/s  speedup {:>5.2}x  \
+             digest {:016x}  util {:?}",
+            r.shards,
+            r.wall_ns as f64 / 1e6,
+            r.packets_per_sec,
+            r.events_per_sec,
+            r.speedup,
+            r.digest,
+            r.shard_utilization
+                .iter()
+                .map(|u| (u * 100.0).round() / 100.0)
+                .collect::<Vec<f64>>(),
+        );
+    }
+    println!(
+        "peak RSS {} kB; {} host core(s) (worker threads clamp to min(shards, cores))",
+        result.peak_rss_kb, result.host_cores
+    );
+    if !result.deterministic() {
+        eprintln!("DETERMINISM VIOLATION: digests diverged across shard counts");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, result.to_json() + "\n") {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "deterministic across shard counts; best speedup {:.2}x; report written to {out}",
+        result.best_speedup()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -440,6 +522,7 @@ fn main() {
         "fct" => cmd_fct(flags),
         "hol" => cmd_hol(flags),
         "failover" => cmd_failover(flags),
+        "bench" => cmd_bench(flags),
         _ => usage(),
     }
 }

@@ -247,3 +247,33 @@ fn valid_fault_flags_run_clean() {
     );
     assert!(stdout.contains("fault hits:"), "stdout: {stdout}");
 }
+
+#[test]
+fn bench_zero_shard_count_rejected() {
+    assert_clean_usage_error(&["bench", "--shards", "0"], "--shards");
+}
+
+#[test]
+fn bench_non_numeric_shard_list_rejected() {
+    assert_clean_usage_error(&["bench", "--shards", "1,x"], "--shards");
+}
+
+#[test]
+fn bench_zero_sensors_rejected() {
+    assert_clean_usage_error(&["bench", "--sensors", "0"], "--sensors and --packets");
+}
+
+#[test]
+fn bench_zero_packets_rejected() {
+    assert_clean_usage_error(&["bench", "--packets", "0"], "--sensors and --packets");
+}
+
+#[test]
+fn bench_bad_quick_value_rejected() {
+    assert_clean_usage_error(&["bench", "--quick", "2"], "--quick must be 0 or 1");
+}
+
+#[test]
+fn bench_non_numeric_sensors_rejected() {
+    assert_clean_usage_error(&["bench", "--sensors", "abc"], "could not parse --sensors");
+}

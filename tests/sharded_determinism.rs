@@ -1,0 +1,86 @@
+//! Differential determinism: a sharded many-flow run must be
+//! byte-identical to the serial run of the same seed — same merged
+//! Prometheus export, same trace digest — for every shard count. This is
+//! the contract that lets the scale harness use threads at all: sharding
+//! is a performance knob, never an observable one.
+
+use mmt::netsim::ShardedSim;
+use mmt::pilot::manyflow::{self, ManyFlowConfig};
+use mmt::telemetry::prometheus;
+
+/// Render the merged registry and digest for one (seed, shards) point.
+fn run_point(seed: u64, shards: usize) -> (String, u64, u64) {
+    let cfg = ManyFlowConfig::quick(seed).with_shards(shards);
+    let report = manyflow::run(&cfg);
+    (
+        prometheus::render(&report.shard.registry),
+        report.shard.trace_digest,
+        report.shard.packets,
+    )
+}
+
+#[test]
+fn sharded_matches_serial_for_eight_seeds() {
+    for seed in 1..=8u64 {
+        let (serial_prom, serial_digest, serial_packets) = run_point(seed, 1);
+        assert!(!serial_prom.is_empty());
+        assert!(serial_packets > 0, "fleet must deliver packets");
+        for shards in [2usize, 4] {
+            let (prom, digest, packets) = run_point(seed, shards);
+            assert_eq!(
+                serial_prom, prom,
+                "seed {seed}: {shards}-shard Prometheus export diverged from serial"
+            );
+            assert_eq!(
+                serial_digest, digest,
+                "seed {seed}: {shards}-shard trace digest diverged from serial"
+            );
+            assert_eq!(serial_packets, packets, "seed {seed}: packet counts");
+        }
+    }
+}
+
+#[test]
+fn worker_thread_layout_is_unobservable() {
+    // Same groups, same shard count — only the worker-thread count
+    // differs (forced past the host-core clamp). Every output must agree:
+    // thread scheduling may reorder completion, never results.
+    let cfg = ManyFlowConfig::quick(3).with_shards(4);
+    let groups = cfg.dtns;
+    let run = |workers: usize| {
+        let sharded = ShardedSim::new(cfg.seed, cfg.shards).with_workers(workers);
+        let report = sharded.run(groups, |g, gs| manyflow::run_group(&cfg, g, gs));
+        (
+            prometheus::render(&report.registry),
+            report.trace_digest,
+            report.shard_loads.clone(),
+        )
+    };
+    let (prom1, digest1, loads1) = run(1);
+    for workers in [2usize, 4, 8] {
+        let (prom, digest, loads) = run(workers);
+        assert_eq!(prom1, prom, "{workers} workers changed the metrics");
+        assert_eq!(digest1, digest, "{workers} workers changed the digest");
+        assert_eq!(loads1, loads, "{workers} workers changed shard loads");
+    }
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_streams() {
+    // Differential sanity in the other direction: the digest actually
+    // depends on the seed (a constant digest would also pass equality).
+    let (_, d1, _) = run_point(101, 2);
+    let (_, d2, _) = run_point(102, 2);
+    assert_ne!(d1, d2, "different seeds must not collide on digest");
+}
+
+#[test]
+fn group_seeds_are_shard_independent() {
+    // Group seeds derive from (root_seed, group) only; shard count is not
+    // an input. Spot-check the pure function the whole scheme rests on.
+    for shards in [1usize, 2, 4, 8] {
+        let sim = ShardedSim::new(7, shards);
+        assert_eq!(sim.group_seed(0), ShardedSim::new(7, 1).group_seed(0));
+        assert_eq!(sim.group_seed(5), ShardedSim::new(7, 1).group_seed(5));
+    }
+}
