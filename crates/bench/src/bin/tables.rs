@@ -13,7 +13,6 @@
 #![forbid(unsafe_code)]
 
 use mmt_bench::{gbps, pct, TextTable};
-use mmt_netsim::stats::quantiles_sorted;
 use mmt_netsim::{Bandwidth, LossModel, Time};
 use mmt_pilot::experiments::{
     alerts, aqm, backpressure, failover, faults, fct, hol, osmotic, payload, rates, scale, slices,
@@ -60,10 +59,10 @@ fn want(opts: &Opts, id: &str) -> bool {
     opts.selected.is_empty() || opts.selected.iter().any(|s| s == id || s == "all")
 }
 
-/// Render a nanosecond quantile cell from [`quantiles_sorted`] output.
-fn fmt_ns(v: Option<u64>) -> String {
-    v.map(|ns| Time::from_nanos(ns).to_string())
-        .unwrap_or_default()
+/// Render a latency-quantile cell (sketch-backed estimates; exact below
+/// 32 ns, upper-biased by at most 1/32 above).
+fn fmt_ns(v: Option<Time>) -> String {
+    v.map(|t| t.to_string()).unwrap_or_default()
 }
 
 fn t1(opts: &Opts) {
@@ -136,8 +135,8 @@ fn p1(opts: &Opts) {
     let mut pilot = Pilot::build(cfg);
     pilot.run(Time::from_secs(60));
     let mut r = pilot.report();
-    // Sort once, query every percentile off the same sorted slice.
-    let lat = quantiles_sorted(r.latency.sorted_samples(), &[0.5, 0.99]);
+    // Fixed-memory sketch quantiles — no cached sample vector to sort.
+    let lat = [r.latency.quantile(0.5), r.latency.quantile(0.99)];
     let mut t = TextTable::new(
         "P1/F4 — pilot study: three-mode run over the Fig. 4 topology",
         &["metric", "value"],
@@ -230,8 +229,12 @@ fn e2(opts: &Opts) {
     for loss in [0.0, 1e-3, 5e-3] {
         params.loss = loss;
         for mut r in hol::run_all(&params) {
-            // One sort serves p50, p99, and max.
-            let lat = quantiles_sorted(r.latency.sorted_samples(), &[0.5, 0.99, 1.0]);
+            // Sketch quantiles; q = 1.0 is the exact tracked maximum.
+            let lat = [
+                r.latency.quantile(0.5),
+                r.latency.quantile(0.99),
+                r.latency.quantile(1.0),
+            ];
             t.row(vec![
                 r.variant.to_string(),
                 format!("{loss:.0e}"),

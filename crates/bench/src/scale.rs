@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use mmt_netsim::SpanProfiler;
 use mmt_pilot::manyflow::{self, ManyFlowConfig};
 use mmt_telemetry::json::{self, JsonObject};
 
@@ -25,6 +26,9 @@ pub struct ScaleBenchConfig {
     pub shard_counts: Vec<usize>,
     /// Root seed (shared by every sweep point so digests must agree).
     pub seed: u64,
+    /// Run every sweep point with the hot-path span profiler on and
+    /// record the per-stage attribution in the result.
+    pub profile: bool,
 }
 
 impl ScaleBenchConfig {
@@ -35,6 +39,7 @@ impl ScaleBenchConfig {
             packets_per_sensor: 8,
             shard_counts: vec![1, 2, 4],
             seed: 1,
+            profile: false,
         }
     }
 
@@ -45,7 +50,15 @@ impl ScaleBenchConfig {
             packets_per_sensor: 4,
             shard_counts: vec![1, 2, 4],
             seed: 1,
+            profile: false,
         }
+    }
+
+    /// With the span profiler on.
+    #[must_use]
+    pub fn with_profile(mut self) -> ScaleBenchConfig {
+        self.profile = true;
+        self
     }
 }
 
@@ -86,6 +99,20 @@ pub struct ScaleBenchResult {
     /// threads to this, so speedup is bounded by `min(shards, host_cores)`
     /// — a 1-core container reports ≈1× by construction.
     pub host_cores: usize,
+    /// Per-stage span attribution from the baseline sweep point (zeroed
+    /// unless `config.profile`); identical across shard counts, which the
+    /// run asserts via the merged digests.
+    pub profile: SpanProfiler,
+    /// Peak RSS (kB) right after the sketch-mode sweep.
+    pub peak_rss_sketch_kb: u64,
+    /// Peak RSS (kB) after one additional serial run that retains exact
+    /// latency-sample vectors (the representation the sketch replaced).
+    pub peak_rss_exact_kb: u64,
+    /// `peak_rss_exact_kb − peak_rss_sketch_kb`: the high-water-mark
+    /// growth attributable to cached full-sample vectors. An honesty
+    /// field — `VmHWM` is monotone, so small fleets can legitimately
+    /// report 0 when the exact run fits under the sweep's peak.
+    pub rss_delta_kb: u64,
 }
 
 impl ScaleBenchResult {
@@ -101,6 +128,17 @@ impl ScaleBenchResult {
 
     /// Render as the `BENCH_scale.json` document.
     pub fn to_json(&self) -> String {
+        let profile = self
+            .profile
+            .rows()
+            .into_iter()
+            .map(|(stage, events, vtime_ns)| {
+                JsonObject::new()
+                    .str("stage", stage)
+                    .u64("events", events)
+                    .u64("vtime_ns", vtime_ns)
+                    .finish()
+            });
         let rows = self.rows.iter().map(|r| {
             JsonObject::new()
                 .u64("shards", r.shards as u64)
@@ -126,7 +164,11 @@ impl ScaleBenchResult {
             .f64("best_speedup", self.best_speedup())
             .u64("peak_rss_kb", self.peak_rss_kb)
             .u64("host_cores", self.host_cores as u64)
+            .u64("peak_rss_sketch_kb", self.peak_rss_sketch_kb)
+            .u64("peak_rss_exact_kb", self.peak_rss_exact_kb)
+            .u64("rss_delta_kb", self.rss_delta_kb)
             .raw("rows", &json::array(rows))
+            .raw("profile", &json::array(profile))
             .finish()
     }
 }
@@ -160,14 +202,17 @@ pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
         warm.packets_per_sensor = cfg.packets_per_sensor;
         let _ = manyflow::run(&warm);
     }
+    let mut profile = SpanProfiler::new();
     for &shards in &cfg.shard_counts {
         let mut fleet = ManyFlowConfig::fleet(cfg.sensors, shards, cfg.seed);
         fleet.packets_per_sensor = cfg.packets_per_sensor;
+        fleet.profile = cfg.profile;
         let start = Instant::now();
         let report = manyflow::run(&fleet);
         let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         if baseline_wall_ns == 0 {
             baseline_wall_ns = wall_ns.max(1);
+            profile = report.shard.profile.clone();
         }
         let secs = (wall_ns.max(1)) as f64 / 1e9;
         rows.push(ScaleRow {
@@ -182,11 +227,27 @@ pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
             shard_utilization: report.shard.shard_utilization(),
         });
     }
+    // The RSS honesty pair: snapshot the high-water mark after the
+    // sketch-mode sweep, then run the serial fleet once more with exact
+    // latency samples retained (the representation the sketch replaced)
+    // and snapshot again. VmHWM is monotone, so ordering matters: the
+    // sketch figure must be taken first or the exact run would pollute it.
+    let peak_rss_sketch_kb = peak_rss_kb();
+    {
+        let mut exact = ManyFlowConfig::fleet(cfg.sensors, 1, cfg.seed).with_exact_latency();
+        exact.packets_per_sensor = cfg.packets_per_sensor;
+        let _ = manyflow::run(&exact);
+    }
+    let peak_rss_exact_kb = peak_rss_kb();
     ScaleBenchResult {
         config: cfg.clone(),
         rows,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak_rss_exact_kb.max(peak_rss_sketch_kb),
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        profile,
+        peak_rss_sketch_kb,
+        peak_rss_exact_kb,
+        rss_delta_kb: peak_rss_exact_kb.saturating_sub(peak_rss_sketch_kb),
     }
 }
 
@@ -205,6 +266,24 @@ mod tests {
         assert!(json.contains("\"bench\":\"scale\""));
         assert!(json.contains("\"deterministic\":true"));
         assert!(json.contains("\"rows\":["));
+        assert!(json.contains("\"profile\":["));
+        assert!(json.contains("\"rss_delta_kb\":"));
+        // Profiling was off, so the attribution rows are present but zeroed.
+        assert_eq!(result.profile.total_events(), 0);
+    }
+
+    #[test]
+    fn profiled_sweep_records_hot_path_stages() {
+        let result = run(&ScaleBenchConfig::quick().with_profile());
+        assert!(result.deterministic(), "digests diverged across shards");
+        let rows = result.profile.rows();
+        assert_eq!(rows.len(), 7, "full stage taxonomy must render");
+        let active = rows.iter().filter(|(_, events, _)| *events > 0).count();
+        assert!(active >= 5, "expected >=5 active stages, got {active}");
+        let vtime_total: u64 = rows.iter().map(|(_, _, v)| v).sum();
+        assert!(vtime_total > 0, "virtual-time attribution must be nonzero");
+        let json = result.to_json();
+        assert!(json.contains("\"stage\":\"link_delivery\""));
     }
 
     #[test]

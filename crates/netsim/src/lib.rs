@@ -68,6 +68,7 @@ mod fault;
 mod link;
 mod node;
 mod packet;
+pub mod profile;
 mod queue;
 mod rng;
 pub mod shard;
@@ -81,6 +82,7 @@ pub use fault::{FaultSpec, FaultState, FaultVerdict, PeriodicOutage, RandomOutag
 pub use link::{Link, LinkId, LinkSpec, LossModel, LossState};
 pub use node::{Context, Node, NodeId, PortId, TimerToken};
 pub use packet::{Packet, PacketMeta};
+pub use profile::{SpanProfiler, Stage, StageTotals};
 pub use queue::{QueueSpec, TransmitQueue};
 pub use rng::SimRng;
 pub use shard::{GroupResult, ShardLoad, ShardReport, ShardedSim};

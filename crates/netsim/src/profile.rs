@@ -1,0 +1,215 @@
+//! Zero-dependency hot-path span profiler in **virtual time**.
+//!
+//! Wall-clock profilers (perf, flamegraphs) answer "where does the host
+//! CPU go", which is nondeterministic and useless as a regression
+//! artifact. This profiler instead attributes *simulated* work to a
+//! fixed taxonomy of hot-path stages — how many events each stage
+//! handled and how much virtual time those events represent — so the
+//! attribution is a pure function of the seed and byte-identical across
+//! shard/worker layouts (per-stage totals merge by commutative
+//! addition, like `MetricRegistry::absorb`).
+//!
+//! Two halves feed it:
+//!
+//! * the simulator core ([`crate::Simulator`]) attributes queue
+//!   operations (residency time), link delivery (serialization +
+//!   propagation per copy), and timer dispatch (arm→fire delay) when
+//!   profiling is enabled;
+//! * node-level code (encode/decode, retransmit serve, mode control)
+//!   folds its own counts in post-run via [`SpanProfiler::add`], since
+//!   only the protocol layer knows which packets were which.
+//!
+//! Everything is plain integers; rendering goes through
+//! [`SpanProfiler::rows`] in fixed stage order.
+
+/// The fixed taxonomy of profiled hot-path stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// MMT frame encode (sensor/source side).
+    Encode,
+    /// MMT frame decode + reassembly (DTN/sink side).
+    Decode,
+    /// Egress queue operations (enqueue + dequeue; vtime = residency).
+    QueueOps,
+    /// Link delivery (serialization + propagation, per delivered copy).
+    LinkDelivery,
+    /// Timer dispatch (vtime = arm→fire delay).
+    TimerDispatch,
+    /// Retransmit-buffer serves (NAK recovery).
+    RetransmitServe,
+    /// Mode-control decisions (closed-loop adaptation).
+    ModeControl,
+}
+
+/// All stages in fixed rendering order.
+pub const STAGES: [Stage; 7] = [
+    Stage::Encode,
+    Stage::Decode,
+    Stage::QueueOps,
+    Stage::LinkDelivery,
+    Stage::TimerDispatch,
+    Stage::RetransmitServe,
+    Stage::ModeControl,
+];
+
+impl Stage {
+    /// Stable snake_case name used in JSON and table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Encode => "encode",
+            Stage::Decode => "decode",
+            Stage::QueueOps => "queue_ops",
+            Stage::LinkDelivery => "link_delivery",
+            Stage::TimerDispatch => "timer_dispatch",
+            Stage::RetransmitServe => "retransmit_serve",
+            Stage::ModeControl => "mode_control",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Encode => 0,
+            Stage::Decode => 1,
+            Stage::QueueOps => 2,
+            Stage::LinkDelivery => 3,
+            Stage::TimerDispatch => 4,
+            Stage::RetransmitServe => 5,
+            Stage::ModeControl => 6,
+        }
+    }
+}
+
+/// Accumulated totals for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTotals {
+    /// Number of profiled events attributed to the stage.
+    pub events: u64,
+    /// Total virtual time attributed to the stage, in nanoseconds.
+    pub vtime_ns: u64,
+}
+
+/// Fixed-size per-stage accumulator; merge is commutative addition, so
+/// per-group profiles combine identically regardless of shard/worker
+/// layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanProfiler {
+    totals: [StageTotals; STAGES.len()],
+}
+
+impl SpanProfiler {
+    /// An empty profiler.
+    pub fn new() -> SpanProfiler {
+        SpanProfiler::default()
+    }
+
+    /// Attribute `events` profiled events and `vtime_ns` virtual
+    /// nanoseconds to `stage` (saturating).
+    pub fn add(&mut self, stage: Stage, events: u64, vtime_ns: u64) {
+        let t = &mut self.totals[stage.index()];
+        t.events = t.events.saturating_add(events);
+        t.vtime_ns = t.vtime_ns.saturating_add(vtime_ns);
+    }
+
+    /// Totals for one stage.
+    pub fn get(&self, stage: Stage) -> StageTotals {
+        self.totals[stage.index()]
+    }
+
+    /// Fold another profiler in (commutative elementwise addition).
+    pub fn merge(&mut self, other: &SpanProfiler) {
+        for stage in STAGES {
+            let o = other.get(stage);
+            self.add(stage, o.events, o.vtime_ns);
+        }
+    }
+
+    /// Total profiled events across all stages (saturating).
+    pub fn total_events(&self) -> u64 {
+        self.totals
+            .iter()
+            .fold(0u64, |a, t| a.saturating_add(t.events))
+    }
+
+    /// Per-stage rows in fixed order: `(name, events, vtime_ns)`.
+    /// Stages with zero events are included so consumers see the full
+    /// taxonomy.
+    pub fn rows(&self) -> Vec<(&'static str, u64, u64)> {
+        STAGES
+            .iter()
+            .map(|&s| {
+                let t = self.get(s);
+                (s.name(), t.events, t.vtime_ns)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get_accumulate() {
+        let mut p = SpanProfiler::new();
+        p.add(Stage::Encode, 3, 100);
+        p.add(Stage::Encode, 2, 50);
+        assert_eq!(
+            p.get(Stage::Encode),
+            StageTotals {
+                events: 5,
+                vtime_ns: 150
+            }
+        );
+        assert_eq!(p.get(Stage::Decode), StageTotals::default());
+        assert_eq!(p.total_events(), 5);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = SpanProfiler::new();
+        a.add(Stage::QueueOps, 10, 1_000);
+        a.add(Stage::LinkDelivery, 4, 9_999);
+        let mut b = SpanProfiler::new();
+        b.add(Stage::QueueOps, 7, 300);
+        b.add(Stage::ModeControl, 1, 5);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab.get(Stage::QueueOps),
+            StageTotals {
+                events: 17,
+                vtime_ns: 1_300
+            }
+        );
+    }
+
+    #[test]
+    fn rows_cover_full_taxonomy_in_fixed_order() {
+        let mut p = SpanProfiler::new();
+        p.add(Stage::RetransmitServe, 1, 2);
+        let rows = p.rows();
+        assert_eq!(rows.len(), STAGES.len());
+        assert_eq!(rows[0].0, "encode");
+        assert_eq!(rows[5], ("retransmit_serve", 1, 2));
+        assert_eq!(rows[6], ("mode_control", 0, 0));
+    }
+
+    #[test]
+    fn saturating_addition_never_wraps() {
+        let mut p = SpanProfiler::new();
+        p.add(Stage::Decode, u64::MAX, u64::MAX);
+        p.add(Stage::Decode, 1, 1);
+        assert_eq!(
+            p.get(Stage::Decode),
+            StageTotals {
+                events: u64::MAX,
+                vtime_ns: u64::MAX
+            }
+        );
+        assert_eq!(p.total_events(), u64::MAX);
+    }
+}

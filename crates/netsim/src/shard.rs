@@ -25,8 +25,9 @@
 
 use std::sync::mpsc;
 
+use crate::profile::SpanProfiler;
 use crate::rng::SimRng;
-use mmt_telemetry::{MetricRegistry, TraceRecord};
+use mmt_telemetry::{MetricRegistry, SeriesRow, TraceRecord};
 
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -106,6 +107,14 @@ pub struct GroupResult {
     pub events: u64,
     /// Packets the group delivered.
     pub packets: u64,
+    /// Sampled time-series rows (empty unless sampling is enabled).
+    /// Concatenated in ascending group order at merge, so the merged
+    /// JSONL is byte-identical across shard/worker counts — the
+    /// streaming analogue of `MetricRegistry::absorb`.
+    pub series: Vec<SeriesRow>,
+    /// The group's span profile (zeroed unless profiling is enabled);
+    /// merged by commutative addition.
+    pub profile: SpanProfiler,
 }
 
 /// Deterministic per-shard load summary (virtual work, not wall time —
@@ -134,6 +143,10 @@ pub struct ShardReport {
     pub packets: u64,
     /// Deterministic load per shard (indexed by shard id).
     pub shard_loads: Vec<ShardLoad>,
+    /// Per-group series rows concatenated in ascending group order.
+    pub series: Vec<SeriesRow>,
+    /// Span profiles summed across groups (order-independent).
+    pub profile: SpanProfiler,
 }
 
 impl ShardReport {
@@ -266,8 +279,10 @@ impl ShardedSim {
         let mut events = 0u64;
         let mut packets = 0u64;
         let mut shard_loads = vec![ShardLoad::default(); self.shards];
+        let mut series = Vec::new();
+        let mut profile = SpanProfiler::new();
         for (g, slot) in slots.into_iter().enumerate() {
-            let Some((shard, result)) = slot else {
+            let Some((shard, mut result)) = slot else {
                 continue;
             };
             registry.absorb(&result.registry);
@@ -275,6 +290,8 @@ impl ShardedSim {
             digest.write_u64(result.trace_digest);
             events += result.events;
             packets += result.packets;
+            series.append(&mut result.series);
+            profile.merge(&result.profile);
             if let Some(load) = shard_loads.get_mut(shard) {
                 load.groups += 1;
                 load.events += result.events;
@@ -287,6 +304,8 @@ impl ShardedSim {
             events,
             packets,
             shard_loads,
+            series,
+            profile,
         }
     }
 }
@@ -341,6 +360,8 @@ mod tests {
             trace_digest: digest_trace(&sim.trace_records()),
             events: 0,
             packets: 0,
+            series: Vec::new(),
+            profile: SpanProfiler::new(),
         }
     }
 
@@ -390,6 +411,8 @@ mod tests {
             trace_digest: seed,
             events: 10 + g as u64,
             packets: 1,
+            series: Vec::new(),
+            profile: SpanProfiler::new(),
         });
         assert_eq!(report.shard_loads.len(), 4);
         assert_eq!(report.shard_loads.iter().map(|l| l.groups).sum::<u64>(), 10);
@@ -405,6 +428,45 @@ mod tests {
         let util = report.shard_utilization();
         assert_eq!(util.len(), 4);
         assert!((util.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_and_profile_merge_ignores_worker_layout() {
+        let run = |workers| {
+            let report = ShardedSim::new(5, 4)
+                .with_workers(workers)
+                .run(8, |g, _seed| {
+                    let g_s = g.to_string();
+                    let mut profile = SpanProfiler::new();
+                    profile.add(crate::profile::Stage::Encode, g as u64, 1);
+                    GroupResult {
+                        registry: MetricRegistry::new(),
+                        trace_digest: 0,
+                        events: 0,
+                        packets: 0,
+                        series: vec![SeriesRow::counter(
+                            0,
+                            "x",
+                            &[("group", g_s.as_str())],
+                            g as u64,
+                        )],
+                        profile,
+                    }
+                });
+            (
+                mmt_telemetry::series::to_jsonl(&report.series),
+                report.profile,
+            )
+        };
+        let (s1, p1) = run(1);
+        for w in [2, 4, 8] {
+            let (s, p) = run(w);
+            assert_eq!(s1, s, "{w}-worker series must merge byte-identically");
+            assert_eq!(p1, p, "{w}-worker profile must merge identically");
+        }
+        let first = s1.lines().next().unwrap_or("");
+        assert!(first.contains("\"group\":\"0\""), "ascending group order");
+        assert_eq!(p1.get(crate::profile::Stage::Encode).events, 28);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The simulator event loop.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use mmt_telemetry::SeriesRow;
 
 use crate::fault::FaultVerdict;
 use crate::link::{Link, LinkId, LinkSpec, LinkStats};
 use crate::node::{Action, Context, Node, NodeId, PortId, TimerToken};
 use crate::packet::Packet;
+use crate::profile::{SpanProfiler, Stage};
 use crate::rng::SimRng;
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -21,8 +24,13 @@ enum EventKind {
     },
     /// A link transmitter finished serializing; it may start the next packet.
     TxComplete { link: usize },
-    /// A node timer fires.
-    Timer { node: usize, token: TimerToken },
+    /// A node timer fires; `armed_at` feeds the span profiler's
+    /// timer-dispatch attribution (arm→fire delay).
+    Timer {
+        node: usize,
+        token: TimerToken,
+        armed_at: Time,
+    },
     /// A scheduled node crash takes effect.
     NodeCrash { node: usize },
     /// A crashed node comes back up.
@@ -72,6 +80,32 @@ struct NodeEntry {
     restarts: u64,
 }
 
+/// The periodic time-series sampler (enabled via
+/// [`Simulator::enable_series`]).
+///
+/// In a discrete-event simulation state only changes at events, so a
+/// boundary `k·interval` is sampled lazily: just before the first event
+/// at or past the boundary is processed. The sampled state therefore
+/// reflects exactly the events strictly before the boundary — a pure
+/// function of the seed, independent of shard/worker layout.
+struct SeriesState {
+    interval: Time,
+    /// Next unemitted boundary multiplier (`t = next_k · interval`).
+    next_k: u64,
+    rows: Vec<SeriesRow>,
+}
+
+/// The hot-path span profiler state (enabled via
+/// [`Simulator::enable_profiler`]).
+struct ProfilerState {
+    spans: SpanProfiler,
+    /// Enqueue time per `(link, packet id)` for queue-residency
+    /// attribution. A re-enqueued id on the same link (retransmit copy
+    /// still resident) overwrites the entry — the residency of the
+    /// older copy is dropped, a documented approximation.
+    enqueued_at: BTreeMap<(u64, u64), Time>,
+}
+
 /// The discrete-event network simulator.
 ///
 /// Deterministic given its seed and the order of construction: nodes and
@@ -89,6 +123,8 @@ pub struct Simulator {
     trace: Trace,
     actions: Vec<Action>,
     events_processed: u64,
+    series: Option<SeriesState>,
+    profiler: Option<ProfilerState>,
 }
 
 impl Simulator {
@@ -106,6 +142,107 @@ impl Simulator {
             trace: Trace::disabled(),
             actions: Vec::new(),
             events_processed: 0,
+            series: None,
+            profiler: None,
+        }
+    }
+
+    /// Enable the periodic time-series sampler: one batch of rows per
+    /// `interval` of virtual time, starting at `t = 0` (see
+    /// [`Simulator::take_series`]).
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn enable_series(&mut self, interval: Time) {
+        assert!(interval > Time::ZERO, "series interval must be positive");
+        self.series = Some(SeriesState {
+            interval,
+            next_k: 0,
+            rows: Vec::new(),
+        });
+    }
+
+    /// Drain the sampled series rows accumulated so far (empty when the
+    /// sampler is disabled). Rows are in ascending time order; at each
+    /// boundary the batch is the event-loop counter followed by per-link
+    /// delivered-packets / tx-bytes counters and queue-occupancy gauges.
+    pub fn take_series(&mut self) -> Vec<SeriesRow> {
+        match &mut self.series {
+            Some(s) => std::mem::take(&mut s.rows),
+            None => Vec::new(),
+        }
+    }
+
+    /// Emit rows for every unemitted boundary `k·interval ≤ upto`. The
+    /// simulator state is constant between events, so sampling just
+    /// before advancing to an event at `upto` yields the exact state at
+    /// each boundary.
+    fn sample_series_until(&mut self, upto: Time) {
+        let (interval_ns, mut k) = match &self.series {
+            Some(s) => (s.interval.as_nanos(), s.next_k),
+            None => return,
+        };
+        let upto_ns = u128::from(upto.as_nanos());
+        let mut rows = Vec::new();
+        while u128::from(k) * u128::from(interval_ns) <= upto_ns {
+            let t_ns = (u128::from(k) * u128::from(interval_ns)) as u64;
+            rows.push(SeriesRow::counter(
+                t_ns,
+                "mmt_sim_events_total",
+                &[],
+                self.events_processed,
+            ));
+            for (idx, link) in self.links.iter().enumerate() {
+                let idx_s = idx.to_string();
+                let labels = [("link", idx_s.as_str())];
+                rows.push(SeriesRow::counter(
+                    t_ns,
+                    "mmt_link_delivered_packets_total",
+                    &labels,
+                    link.stats.delivered_packets,
+                ));
+                rows.push(SeriesRow::counter(
+                    t_ns,
+                    "mmt_link_tx_bytes_total",
+                    &labels,
+                    link.stats.tx_bytes,
+                ));
+                rows.push(SeriesRow::gauge(
+                    t_ns,
+                    "mmt_link_queue_occupancy_bytes",
+                    &labels,
+                    link.queue.occupancy_bytes() as f64,
+                ));
+            }
+            k += 1;
+        }
+        if let Some(s) = &mut self.series {
+            s.next_k = k;
+            s.rows.append(&mut rows);
+        }
+    }
+
+    /// Enable the hot-path span profiler (virtual-time + event-count
+    /// attribution per [`Stage`]; see [`Simulator::profiler`]).
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(ProfilerState {
+            spans: SpanProfiler::new(),
+            enqueued_at: BTreeMap::new(),
+        });
+    }
+
+    /// The accumulated span profile, if profiling is enabled.
+    pub fn profiler(&self) -> Option<&SpanProfiler> {
+        self.profiler.as_ref().map(|p| &p.spans)
+    }
+
+    /// Fold externally-measured work into the span profile (no-op when
+    /// profiling is disabled). The simulator core only sees queue, link,
+    /// and timer work; protocol layers attribute encode/decode,
+    /// retransmit-serve, and mode-control work through this.
+    pub fn profile_add(&mut self, stage: Stage, events: u64, vtime_ns: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.spans.add(stage, events, vtime_ns);
         }
     }
 
@@ -428,11 +565,13 @@ impl Simulator {
     /// Schedule a timer for a node from outside a callback.
     pub fn schedule_timer(&mut self, at: Time, node: NodeId, token: TimerToken) {
         assert!(at >= self.now, "cannot schedule into the past");
+        let armed_at = self.now;
         self.push_event(
             at,
             EventKind::Timer {
                 node: node.0,
                 token,
+                armed_at,
             },
         );
     }
@@ -551,7 +690,15 @@ impl Simulator {
                 Action::Send { port, pkt } => self.handle_send(idx, port, pkt),
                 Action::Timer { delay, token } => {
                     let at = self.now + delay;
-                    self.push_event(at, EventKind::Timer { node: idx, token });
+                    let armed_at = self.now;
+                    self.push_event(
+                        at,
+                        EventKind::Timer {
+                            node: idx,
+                            token,
+                            armed_at,
+                        },
+                    );
                 }
                 Action::DeliverLocal { pkt } => {
                     self.trace.record(TraceEvent {
@@ -630,6 +777,10 @@ impl Simulator {
             seq: meta.seq,
             config: meta.config,
         });
+        if let Some(p) = &mut self.profiler {
+            p.spans.add(Stage::QueueOps, 1, 0);
+            p.enqueued_at.insert((link_idx as u64, meta.id), self.now);
+        }
         if !self.links[link_idx].busy {
             self.start_tx(link_idx);
         }
@@ -642,6 +793,14 @@ impl Simulator {
             return;
         };
         link.busy = true;
+        if let Some(p) = &mut self.profiler {
+            let key = (link_idx as u64, pkt.meta.id);
+            let residency = match p.enqueued_at.remove(&key) {
+                Some(t0) => self.now.as_nanos().saturating_sub(t0.as_nanos()),
+                None => 0,
+            };
+            p.spans.add(Stage::QueueOps, 1, residency);
+        }
         let tx = link.spec.bandwidth.tx_time(pkt.len());
         link.stats.busy_ns += tx.as_nanos();
         link.stats.tx_packets += 1;
@@ -710,6 +869,15 @@ impl Simulator {
                     if reordered {
                         link.stats.reordered += 1;
                     }
+                    if let Some(p) = &mut self.profiler {
+                        let base = (arrive_at + extra_delay)
+                            .as_nanos()
+                            .saturating_sub(self.now.as_nanos());
+                        let copies = 1 + u64::from(duplicate_after.is_some());
+                        let lag_ns = duplicate_after.map_or(0, |l| l.as_nanos());
+                        p.spans
+                            .add(Stage::LinkDelivery, copies, base * copies + lag_ns);
+                    }
                     if let Some(lag) = duplicate_after {
                         link.stats.delivered_packets += 1;
                         link.stats.dup_injected += 1;
@@ -747,12 +915,20 @@ impl Simulator {
         entry.crashes += 1;
         entry.behavior.on_crash();
         let mut flushed = 0u64;
-        for link in &mut self.links {
+        for (link_idx, link) in self.links.iter_mut().enumerate() {
             if link.src_node != idx {
                 continue;
             }
-            while link.queue.dequeue().is_some() {
+            while let Some(pkt) = link.queue.dequeue() {
                 flushed += 1;
+                if let Some(p) = &mut self.profiler {
+                    let key = (link_idx as u64, pkt.meta.id);
+                    let residency = match p.enqueued_at.remove(&key) {
+                        Some(t0) => self.now.as_nanos().saturating_sub(t0.as_nanos()),
+                        None => 0,
+                    };
+                    p.spans.add(Stage::QueueOps, 1, residency);
+                }
             }
         }
         self.nodes[idx].crashed_drops += flushed;
@@ -776,6 +952,7 @@ impl Simulator {
             return false;
         };
         debug_assert!(event.at >= self.now, "time went backwards");
+        self.sample_series_until(event.at);
         self.now = event.at;
         self.events_processed += 1;
         match event.kind {
@@ -802,10 +979,18 @@ impl Simulator {
                 self.links[link].busy = false;
                 self.start_tx(link);
             }
-            EventKind::Timer { node, token } => {
+            EventKind::Timer {
+                node,
+                token,
+                armed_at,
+            } => {
                 if self.nodes[node].crashed {
                     // Timers armed before the crash die with the process.
                     return true;
+                }
+                if let Some(p) = &mut self.profiler {
+                    let delay = self.now.as_nanos().saturating_sub(armed_at.as_nanos());
+                    p.spans.add(Stage::TimerDispatch, 1, delay);
                 }
                 self.call_node(node, |n, ctx| n.on_timer(ctx, token));
             }
@@ -842,6 +1027,7 @@ impl Simulator {
         self.ensure_started();
         while let Some(Reverse(head)) = self.events.peek() {
             if head.at > deadline {
+                self.sample_series_until(deadline);
                 self.now = deadline;
                 break;
             }
@@ -1274,6 +1460,108 @@ mod tests {
         let ev = sim.trace().events()[0];
         assert_eq!(ev.node, Some(0));
         assert_eq!(ev.config, Some(0x47));
+    }
+
+    #[test]
+    fn series_sampler_emits_every_boundary_deterministically() {
+        let run = || {
+            let mut sim = Simulator::new(3);
+            sim.enable_series(Time::from_micros(10));
+            let src = sim.add_node("src", Box::new(Burst { n: 5, size: 1500 }));
+            let dst = sim.add_node("dst", Box::new(Sink));
+            sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+            sim.run();
+            mmt_telemetry::series::to_jsonl(&sim.take_series())
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same series bytes");
+        // Deliveries at 12..60 µs; boundaries 0,10,...,60 µs each emit
+        // one sim row + three rows for the single link.
+        assert_eq!(a.lines().count(), 7 * 4);
+        assert!(a.contains("\"t_ns\":0,\"name\":\"mmt_sim_events_total\""));
+        assert!(a.contains("\"t_ns\":60000,\"name\":\"mmt_link_tx_bytes_total\""));
+    }
+
+    #[test]
+    fn series_boundary_reflects_pre_boundary_state_only() {
+        let mut sim = Simulator::new(3);
+        sim.enable_series(Time::from_micros(12));
+        let src = sim.add_node("src", Box::new(Burst { n: 2, size: 1500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+        sim.run();
+        let rows = sim.take_series();
+        // The 12 µs boundary must not see the arrival event at exactly
+        // 12 µs: delivered count there is still what the link reported
+        // at serialization time of packet 1 (which happened at 12 µs
+        // TxComplete, also not yet processed).
+        let at_12: Vec<_> = rows
+            .iter()
+            .filter(|r| r.t_ns == 12_000 && r.name == "mmt_link_delivered_packets_total")
+            .collect();
+        assert_eq!(at_12.len(), 1);
+    }
+
+    #[test]
+    fn run_until_flushes_series_boundaries_to_deadline() {
+        let mut sim = Simulator::new(1);
+        sim.enable_series(Time::from_micros(10));
+        let src = sim.add_node("src", Box::new(Burst { n: 5, size: 1500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(0));
+        sim.run_until(Time::from_micros(25));
+        let rows = sim.take_series();
+        let ts: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.name == "mmt_sim_events_total")
+            .map(|r| r.t_ns)
+            .collect();
+        assert_eq!(ts, vec![0, 10_000, 20_000], "boundaries ≤ deadline");
+    }
+
+    #[test]
+    fn profiler_attributes_queue_link_and_timer_stages() {
+        use crate::profile::Stage;
+        let mut sim = Simulator::new(9);
+        sim.enable_profiler();
+        let src = sim.add_node("src", Box::new(Burst { n: 3, size: 1500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(1));
+        let t = sim.add_node("t", Box::new(Sink));
+        sim.schedule_timer(Time::from_millis(7), t, 1);
+        sim.run();
+        sim.profile_add(Stage::Decode, 3, 42);
+        let p = sim.profiler().unwrap().clone();
+        // 3 enqueues + 3 dequeues.
+        assert_eq!(p.get(Stage::QueueOps).events, 6);
+        // Packets 2 and 3 wait 12 and 24 µs in the queue.
+        assert_eq!(p.get(Stage::QueueOps).vtime_ns, 36_000);
+        assert_eq!(p.get(Stage::LinkDelivery).events, 3);
+        // Each delivery is 12 µs serialization + 1 ms propagation.
+        assert_eq!(p.get(Stage::LinkDelivery).vtime_ns, 3 * 1_012_000);
+        assert_eq!(p.get(Stage::TimerDispatch).events, 1);
+        assert_eq!(p.get(Stage::TimerDispatch).vtime_ns, 7_000_000);
+        assert_eq!(p.get(Stage::Decode).events, 3, "profile_add folds in");
+        assert_eq!(sim.profiler().unwrap().total_events(), 13);
+    }
+
+    #[test]
+    fn profiler_disabled_is_free_and_add_is_noop() {
+        let mut sim = Simulator::new(9);
+        let src = sim.add_node("src", Box::new(Burst { n: 3, size: 1500 }));
+        let dst = sim.add_node("dst", Box::new(Sink));
+        sim.add_oneway(src, 0, dst, 0, gbit_link(1));
+        sim.run();
+        sim.profile_add(crate::profile::Stage::Decode, 1, 1);
+        assert!(sim.profiler().is_none());
+        assert!(sim.take_series().is_empty(), "series disabled → empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "series interval must be positive")]
+    fn zero_series_interval_panics() {
+        let mut sim = Simulator::new(1);
+        sim.enable_series(Time::ZERO);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Measurement helpers: latency histograms and online summary statistics.
 
 use crate::time::Time;
+use mmt_telemetry::QuantileSketch;
 
 /// Nearest-rank quantile over an **already-sorted** slice: the sample at
 /// index `round((n − 1) · q)`. `None` when empty; NaN degrades to `q = 0`
@@ -31,65 +32,126 @@ pub fn quantiles_sorted(sorted: &[u64], qs: &[f64]) -> Vec<Option<u64>> {
     qs.iter().map(|&q| quantile_sorted(sorted, q)).collect()
 }
 
-/// A sample-keeping latency recorder with quantile queries.
+/// A latency recorder with quantile queries, sketch-backed by default.
 ///
-/// Simulations produce at most millions of samples, so keeping them all and
-/// sorting on demand is both exact and fast enough; no approximate sketch
-/// is needed.
+/// The hot path (per-flow recorders in fleet-scale runs) must not grow
+/// with the sample count, so the default mode keeps **only** a
+/// fixed-memory [`QuantileSketch`]: `count`, `sum`, `min`, `max`, and
+/// `stddev` stay exact while quantiles carry the sketch's documented
+/// bound (`v ≤ estimate ≤ v + v/32`, exact below 32 ns). Construct with
+/// [`LatencyHistogram::exact`] to additionally retain every sample, which
+/// restores exact nearest-rank quantiles — the fallback tests and
+/// honesty measurements use.
 ///
 /// Quantiles use the **nearest-rank** definition: for `n` samples the
 /// `q`-quantile is the sample at sorted index `round((n − 1) · q)`. So
 /// with one sample every quantile is that sample; with two samples every
 /// `q < 0.5` returns the lower and every `q ≥ 0.5` the upper; `q = 0` and
-/// `q = 1` are always the exact min and max.
-#[derive(Debug, Clone, Default)]
+/// `q = 1` are always the exact min and max (the sketch clamps into the
+/// observed `[min, max]`, preserving those edges too).
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
-    samples_ns: Vec<u64>,
+    sketch: QuantileSketch,
+    /// `Some` only in exact mode; grows with the sample count.
+    samples_ns: Option<Vec<u64>>,
     sorted: bool,
 }
 
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
 impl LatencyHistogram {
-    /// An empty histogram.
+    /// An empty sketch-backed histogram (fixed memory; the hot-path
+    /// default).
     pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
+        LatencyHistogram {
+            sketch: QuantileSketch::new(),
+            samples_ns: None,
+            sorted: true,
+        }
+    }
+
+    /// An empty histogram that *also* retains every sample for exact
+    /// nearest-rank quantiles (tests, honesty comparisons; memory grows
+    /// with the sample count).
+    pub fn exact() -> LatencyHistogram {
+        LatencyHistogram {
+            sketch: QuantileSketch::new(),
+            samples_ns: Some(Vec::new()),
+            sorted: true,
+        }
+    }
+
+    /// Whether exact samples are retained (quantiles are then exact).
+    pub fn is_exact(&self) -> bool {
+        self.samples_ns.is_some()
     }
 
     /// Record a latency.
     pub fn record(&mut self, latency: Time) {
-        self.samples_ns.push(latency.as_nanos());
-        self.sorted = false;
+        let ns = latency.as_nanos();
+        self.sketch.record(ns);
+        if let Some(samples) = &mut self.samples_ns {
+            samples.push(ns);
+            self.sorted = false;
+        }
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples_ns.len()
+        self.sketch.count() as usize
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ns.is_empty()
+        self.sketch.is_empty()
+    }
+
+    /// The underlying fixed-memory sketch (digests, accuracy tests).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// Exact sum of all recorded latencies in nanoseconds (saturating) —
+    /// the span profiler's virtual-time attribution for decode stages.
+    pub fn sum_ns(&self) -> u64 {
+        self.sketch.sum().min(u128::from(u64::MAX)) as u64
     }
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples_ns.sort_unstable();
+            if let Some(samples) = &mut self.samples_ns {
+                samples.sort_unstable();
+            }
             self.sorted = true;
         }
     }
 
-    /// The sorted samples, sorting at most once since the last `record`
-    /// or `merge`. Sweep aggregation should take this once and fan out
-    /// through [`quantile_sorted`] rather than cloning samples per query.
+    /// The retained sorted samples — **exact mode only**; the sketch-backed
+    /// default returns an empty slice because the hot path no longer
+    /// caches sample vectors. Exact-mode sweep aggregation should take
+    /// this once and fan out through [`quantile_sorted`].
     pub fn sorted_samples(&mut self) -> &[u64] {
         self.ensure_sorted();
-        &self.samples_ns
+        self.samples_ns.as_deref().unwrap_or(&[])
     }
 
-    /// The `q`-quantile (0.0–1.0) by nearest-rank, or `None` if empty.
-    /// NaN `q` degrades to 0 (faulted telemetry can compute `q` from
-    /// poisoned ratios) and out-of-range `q` is clamped.
+    /// The `q`-quantile (0.0–1.0) by nearest-rank, or `None` if empty:
+    /// exact when samples are retained, otherwise the sketch estimate
+    /// (upper-biased by at most 1/32). NaN `q` degrades to 0 (faulted
+    /// telemetry can compute `q` from poisoned ratios) and out-of-range
+    /// `q` is clamped.
     pub fn quantile(&mut self, q: f64) -> Option<Time> {
-        quantile_sorted(self.sorted_samples(), q).map(Time::from_nanos)
+        if self.samples_ns.is_some() {
+            self.ensure_sorted();
+            let sorted = self.samples_ns.as_deref().unwrap_or(&[]);
+            quantile_sorted(sorted, q).map(Time::from_nanos)
+        } else {
+            self.sketch.quantile(q).map(Time::from_nanos)
+        }
     }
 
     /// Median latency.
@@ -108,61 +170,44 @@ impl LatencyHistogram {
         self.quantile(0.999)
     }
 
-    /// Mean latency.
+    /// Mean latency (exact in both modes).
     pub fn mean(&self) -> Option<Time> {
-        if self.samples_ns.is_empty() {
-            return None;
-        }
-        let sum: u128 = self.samples_ns.iter().map(|&v| u128::from(v)).sum();
-        Some(Time::from_nanos(
-            (sum / self.samples_ns.len() as u128) as u64,
-        ))
+        self.sketch.mean().map(Time::from_nanos)
     }
 
-    /// Minimum.
+    /// Minimum (exact in both modes).
     pub fn min(&self) -> Option<Time> {
-        self.samples_ns.iter().min().map(|&v| Time::from_nanos(v))
+        self.sketch.min().map(Time::from_nanos)
     }
 
-    /// Maximum.
+    /// Maximum (exact in both modes).
     pub fn max(&self) -> Option<Time> {
-        self.samples_ns.iter().max().map(|&v| Time::from_nanos(v))
+        self.sketch.max().map(Time::from_nanos)
     }
 
-    /// Population standard deviation in nanoseconds (0.0 with fewer than
-    /// two samples).
+    /// Population standard deviation in nanoseconds (exact in both
+    /// modes; 0.0 with fewer than two samples).
     pub fn stddev_ns(&self) -> f64 {
-        let n = self.samples_ns.len();
-        if n < 2 {
-            return 0.0;
-        }
-        let sum: u128 = self.samples_ns.iter().map(|&v| u128::from(v)).sum();
-        let mean = sum as f64 / n as f64;
-        let var = self
-            .samples_ns
-            .iter()
-            .map(|&v| {
-                let d = v as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / n as f64;
-        var.sqrt()
+        self.sketch.stddev()
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. Sketches always merge
+    /// (commutatively); retained samples survive only when **both**
+    /// sides are exact — merging a sketch-only histogram in degrades
+    /// the result to sketch mode, since the samples cannot be
+    /// reconstructed.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        self.samples_ns.extend_from_slice(&other.samples_ns);
-        self.sorted = false;
-    }
-
-    /// Copy the samples into a telemetry histogram (for registry export).
-    pub fn to_ns_histogram(&self) -> mmt_telemetry::NsHistogram {
-        let mut h = mmt_telemetry::NsHistogram::new();
-        for &v in &self.samples_ns {
-            h.record(v);
+        self.sketch.merge(&other.sketch);
+        match (&mut self.samples_ns, &other.samples_ns) {
+            (Some(mine), Some(theirs)) => {
+                mine.extend_from_slice(theirs);
+                self.sorted = false;
+            }
+            _ => {
+                self.samples_ns = None;
+                self.sorted = true;
+            }
         }
-        h
     }
 }
 
@@ -219,8 +264,9 @@ mod tests {
 
     #[test]
     fn histogram_quantiles() {
-        let mut h = LatencyHistogram::new();
+        let mut h = LatencyHistogram::exact();
         assert!(h.is_empty());
+        assert!(h.is_exact());
         assert_eq!(h.quantile(0.5), None);
         for ms in 1..=100u64 {
             h.record(Time::from_millis(ms));
@@ -288,7 +334,7 @@ mod tests {
 
     #[test]
     fn p999_separates_tail() {
-        let mut h = LatencyHistogram::new();
+        let mut h = LatencyHistogram::exact();
         for v in 1..=10_000u64 {
             h.record(Time::from_nanos(v));
         }
@@ -296,9 +342,69 @@ mod tests {
         // round(9999·0.999) = 9989 → sample 9990.
         assert_eq!(h.p99().unwrap().as_nanos(), 9_900);
         assert_eq!(h.p999().unwrap().as_nanos(), 9_990);
-        let t = h.to_ns_histogram();
-        assert_eq!(t.count(), 10_000);
-        assert_eq!(t.max(), Some(10_000));
+    }
+
+    #[test]
+    fn sketch_mode_keeps_no_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(Time::from_nanos(v));
+        }
+        assert!(!h.is_exact());
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(
+            h.sorted_samples(),
+            &[] as &[u64],
+            "hot-path mode must not retain sample vectors"
+        );
+        // Exact aggregates survive in sketch mode.
+        assert_eq!(h.min().unwrap().as_nanos(), 1);
+        assert_eq!(h.max().unwrap().as_nanos(), 10_000);
+        assert_eq!(h.mean().unwrap().as_nanos(), 5_000);
+        assert_eq!(h.sum_ns(), 50_005_000);
+    }
+
+    #[test]
+    fn sketch_mode_quantiles_hold_documented_bound() {
+        let mut sk = LatencyHistogram::new();
+        let mut ex = LatencyHistogram::exact();
+        for v in 1..=10_000u64 {
+            let t = Time::from_nanos(v * 977); // spread across octaves
+            sk.record(t);
+            ex.record(t);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = ex.quantile(q).unwrap().as_nanos();
+            let est = sk.quantile(q).unwrap().as_nanos();
+            assert!(
+                est >= exact && est <= exact + exact / 32,
+                "q={q}: est {est} outside [{exact}, {}]",
+                exact + exact / 32
+            );
+        }
+    }
+
+    #[test]
+    fn merge_degrades_to_sketch_when_either_side_lacks_samples() {
+        let mut a = LatencyHistogram::exact();
+        let mut b = LatencyHistogram::new();
+        a.record(Time::from_nanos(10));
+        b.record(Time::from_nanos(20));
+        a.merge(&b);
+        assert!(
+            !a.is_exact(),
+            "samples cannot be reconstructed from a sketch"
+        );
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max().unwrap().as_nanos(), 20);
+
+        let mut c = LatencyHistogram::exact();
+        let mut d = LatencyHistogram::exact();
+        c.record(Time::from_nanos(1));
+        d.record(Time::from_nanos(2));
+        c.merge(&d);
+        assert!(c.is_exact(), "exact + exact stays exact");
+        assert_eq!(c.sorted_samples(), &[1, 2]);
     }
 
     #[test]
@@ -324,7 +430,7 @@ mod tests {
 
     #[test]
     fn sorted_slice_helpers_match_histogram() {
-        let mut h = LatencyHistogram::new();
+        let mut h = LatencyHistogram::exact();
         for v in [40u64, 10, 30, 20, 50] {
             h.record(Time::from_nanos(v));
         }
@@ -348,7 +454,7 @@ mod tests {
 
     #[test]
     fn sorted_samples_caches_between_queries() {
-        let mut h = LatencyHistogram::new();
+        let mut h = LatencyHistogram::exact();
         h.record(Time::from_nanos(2));
         h.record(Time::from_nanos(1));
         assert_eq!(h.sorted_samples(), &[1, 2]);

@@ -18,8 +18,8 @@ use std::rc::Rc;
 use mmt_netsim::shard::{digest_trace, Fnv64, GroupResult, ShardReport, ShardedSim};
 use mmt_netsim::stats::LatencyHistogram;
 use mmt_netsim::{
-    Bandwidth, Context, LinkSpec, Node, Packet, PacketArena, PortId, SimRng, Simulator, Time,
-    TimerToken,
+    Bandwidth, Context, LinkSpec, Node, Packet, PacketArena, PortId, SimRng, Simulator, Stage,
+    Time, TimerToken,
 };
 use mmt_telemetry::MetricRegistry;
 
@@ -41,6 +41,14 @@ pub struct ManyFlowConfig {
     /// Record per-packet traces (needed for trace digests; costs memory,
     /// so benches at K = 10 000 turn it off).
     pub trace: bool,
+    /// Sample deterministic time-series rows every interval of virtual
+    /// time (`None` = sampler off).
+    pub series_interval: Option<Time>,
+    /// Retain exact latency samples instead of the fixed-memory sketch
+    /// (honesty comparisons only; memory grows with packet count).
+    pub exact_latency: bool,
+    /// Enable the hot-path span profiler.
+    pub profile: bool,
 }
 
 impl ManyFlowConfig {
@@ -54,6 +62,9 @@ impl ManyFlowConfig {
             shards: 1,
             seed,
             trace: true,
+            series_interval: None,
+            exact_latency: false,
+            profile: false,
         }
     }
 
@@ -68,6 +79,9 @@ impl ManyFlowConfig {
             shards,
             seed,
             trace: false,
+            series_interval: None,
+            exact_latency: false,
+            profile: false,
         }
     }
 
@@ -75,6 +89,27 @@ impl ManyFlowConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> ManyFlowConfig {
         self.shards = shards;
+        self
+    }
+
+    /// With the time-series sampler on at `interval`.
+    #[must_use]
+    pub fn with_series(mut self, interval: Time) -> ManyFlowConfig {
+        self.series_interval = Some(interval);
+        self
+    }
+
+    /// With the span profiler on.
+    #[must_use]
+    pub fn with_profile(mut self) -> ManyFlowConfig {
+        self.profile = true;
+        self
+    }
+
+    /// With exact latency samples retained (sketch comparison runs).
+    #[must_use]
+    pub fn with_exact_latency(mut self) -> ManyFlowConfig {
+        self.exact_latency = true;
         self
     }
 
@@ -175,13 +210,23 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
     if cfg.trace {
         sim.enable_trace();
     }
+    if let Some(interval) = cfg.series_interval {
+        sim.enable_series(interval);
+    }
+    if cfg.profile {
+        sim.enable_profiler();
+    }
     let arena = Rc::new(RefCell::new(PacketArena::new()));
     let dtn = sim.add_node(
         "dtn",
         Box::new(Dtn {
             delivered: 0,
             bytes: 0,
-            latency: LatencyHistogram::new(),
+            latency: if cfg.exact_latency {
+                LatencyHistogram::exact()
+            } else {
+                LatencyHistogram::new()
+            },
             arena: Rc::clone(&arena),
         }),
     );
@@ -210,18 +255,35 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         );
     }
     sim.run();
-    let (delivered, bytes, p50, p99) = match sim.node_as_mut::<Dtn>(dtn) {
+    let (delivered, bytes, p50, p99, latency_sum_ns) = match sim.node_as_mut::<Dtn>(dtn) {
         Some(d) => (
             d.delivered,
             d.bytes,
             d.latency.median().unwrap_or(Time::ZERO),
             d.latency.p99().unwrap_or(Time::ZERO),
+            d.latency.sum_ns(),
         ),
-        None => (0, 0, Time::ZERO, Time::ZERO),
+        None => (0, 0, Time::ZERO, Time::ZERO, 0),
     };
+    let group_s = group.to_string();
+    // Protocol-layer span attribution the core cannot see: every sensor
+    // emission is one encode (instantaneous in virtual time — the model
+    // serializes on the link, not in the sensor), every DTN consume is
+    // one decode whose virtual time is the packet's end-to-end latency.
+    if cfg.profile {
+        let encodes = (sensors * cfg.packets_per_sensor) as u64;
+        sim.profile_add(Stage::Encode, encodes, 0);
+        sim.profile_add(Stage::Decode, delivered, latency_sum_ns);
+    }
+    let profile = sim.profiler().cloned().unwrap_or_default();
+    // Prefix each sampled row with the group label so merged JSONL rows
+    // stay attributable (and unique) after ascending-group-order concat.
+    let mut series = sim.take_series();
+    for row in &mut series {
+        row.labels.insert(0, ("group".to_string(), group_s.clone()));
+    }
     let mut registry = MetricRegistry::new();
     sim.export_metrics(&mut registry);
-    let group_s = group.to_string();
     let labels = [("group", group_s.as_str())];
     registry.describe(
         "mmt_manyflow_delivered_total",
@@ -280,6 +342,8 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         trace_digest,
         events: sim.events_processed(),
         packets: delivered,
+        series,
+        profile,
     }
 }
 
@@ -367,6 +431,66 @@ mod tests {
         assert_eq!(
             mmt_telemetry::prometheus::render(&serial.shard.registry),
             mmt_telemetry::prometheus::render(&sharded.shard.registry)
+        );
+    }
+
+    #[test]
+    fn series_rows_carry_group_labels_and_shard_identically() {
+        let cfg = ManyFlowConfig::quick(21).with_series(Time::from_micros(100));
+        let serial = run(&cfg);
+        let sharded = run(&cfg.clone().with_shards(4));
+        let a = mmt_telemetry::series::to_jsonl(&serial.shard.series);
+        let b = mmt_telemetry::series::to_jsonl(&sharded.shard.series);
+        assert!(!a.is_empty(), "sampler on → rows out");
+        assert_eq!(a, b, "series JSONL must ignore the shard count");
+        let first = a.lines().next().unwrap_or("");
+        assert!(
+            first.contains("\"labels\":{\"group\":\"0\""),
+            "group label leads, ascending group order: {first}"
+        );
+    }
+
+    #[test]
+    fn profile_covers_the_hot_path_stages() {
+        let report = run(&ManyFlowConfig::quick(13).with_profile());
+        let p = &report.shard.profile;
+        let offered = report.offered;
+        assert_eq!(p.get(Stage::Encode).events, offered);
+        assert_eq!(p.get(Stage::Decode).events, offered, "clean links");
+        assert!(p.get(Stage::Decode).vtime_ns > 0, "latency sum attributed");
+        // One enqueue + one dequeue per packet.
+        assert_eq!(p.get(Stage::QueueOps).events, 2 * offered);
+        assert_eq!(p.get(Stage::LinkDelivery).events, offered);
+        assert!(p.get(Stage::LinkDelivery).vtime_ns > 0);
+        assert!(
+            p.get(Stage::TimerDispatch).events >= offered,
+            "sensor pacing timers"
+        );
+        // Profile must also ignore the shard count.
+        let sharded = run(&ManyFlowConfig::quick(13).with_profile().with_shards(4));
+        assert_eq!(*p, sharded.shard.profile);
+    }
+
+    #[test]
+    fn exact_latency_mode_matches_sketch_mode_outcomes() {
+        let sketch = run(&ManyFlowConfig::quick(17));
+        let exact = run(&{
+            let mut c = ManyFlowConfig::quick(17);
+            c.exact_latency = true;
+            c
+        });
+        assert_eq!(sketch.shard.packets, exact.shard.packets);
+        // p50/p99 gauges may differ by the sketch bound but delivery
+        // counters must be identical.
+        assert_eq!(
+            sketch
+                .shard
+                .registry
+                .counter("mmt_manyflow_delivered_total", &[("group", "0")]),
+            exact
+                .shard
+                .registry
+                .counter("mmt_manyflow_delivered_total", &[("group", "0")]),
         );
     }
 }

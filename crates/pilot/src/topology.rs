@@ -11,7 +11,8 @@ use mmt_dataplane::programs::{self, BorderConfig};
 use mmt_dataplane::{DataplaneElement, ElementStats};
 use mmt_netsim::stats::LatencyHistogram;
 use mmt_netsim::{
-    Bandwidth, FaultSpec, LinkId, LinkSpec, LossModel, NodeId, Packet, Simulator, Time,
+    Bandwidth, FaultSpec, LinkId, LinkSpec, LossModel, NodeId, Packet, Simulator, SpanProfiler,
+    Stage, Time,
 };
 use mmt_wire::mmt::{ControlRepr, ExperimentId, Features, MmtRepr, ModeChangeRepr};
 use mmt_wire::{EthernetAddress, Ipv4Address};
@@ -362,6 +363,10 @@ impl Pilot {
             prev_exhausted = rcv_stats.nak_retries_exhausted;
             prev_aged = rcv_stats.aged_deliveries;
             let transitions = controller.observe(&sample);
+            // Each closed-loop observation is one mode-control decision;
+            // the control channel is out-of-band, so its virtual-time
+            // cost in the model is zero.
+            self.sim.profile_add(Stage::ModeControl, 1, 0);
             if !transitions.is_empty() {
                 applied += transitions.len() as u64;
                 self.apply_transitions(&transitions, controller);
@@ -475,6 +480,63 @@ impl Pilot {
     /// was enabled before the run).
     pub fn trace_records(&self) -> Vec<mmt_telemetry::TraceRecord> {
         self.sim.trace_records()
+    }
+
+    /// Enable the deterministic time-series sampler: one row batch per
+    /// `interval` of virtual time (see [`Simulator::enable_series`]).
+    pub fn enable_series(&mut self, interval: Time) {
+        self.sim.enable_series(interval);
+    }
+
+    /// Drain the sampled series rows accumulated so far.
+    pub fn take_series(&mut self) -> Vec<mmt_telemetry::SeriesRow> {
+        self.sim.take_series()
+    }
+
+    /// Enable the hot-path span profiler on the underlying simulator.
+    pub fn enable_profiler(&mut self) {
+        self.sim.enable_profiler();
+    }
+
+    /// The accumulated span profile with the protocol-layer stages the
+    /// simulator cannot see folded in (`None` unless profiling is
+    /// enabled): encode = sender emissions (instantaneous in virtual
+    /// time), decode = receiver deliveries with the summed end-to-end
+    /// latency as virtual time, retransmit-serve = buffer re-sends with
+    /// the holdoff window as per-serve virtual time.
+    pub fn profile(&self) -> Option<SpanProfiler> {
+        let mut p = self.sim.profiler()?.clone();
+        let report = self.report();
+        p.add(Stage::Encode, report.sender.sent, 0);
+        p.add(
+            Stage::Decode,
+            report.receiver.delivered,
+            report.latency.sum_ns(),
+        );
+        p.add(
+            Stage::RetransmitServe,
+            report.buffer.retransmitted,
+            report
+                .buffer
+                .retransmitted
+                .saturating_mul(self.config.retx_holdoff.as_nanos()),
+        );
+        Some(p)
+    }
+
+    /// Render a flight-recorder dump of the retained trace ring: a
+    /// `{"flight":"v1",...}` header carrying the trigger `reason`, then
+    /// the ring as JSONL (see [`mmt_telemetry::flight::render`]).
+    /// Deterministic for a fixed seed + config, so identical failures
+    /// produce byte-identical dumps.
+    pub fn flight_dump(&self, reason: &str) -> String {
+        mmt_telemetry::flight::render(
+            reason,
+            self.config.seed,
+            self.sim.now().as_nanos(),
+            self.sim.events_processed(),
+            &self.trace_records(),
+        )
     }
 
     /// Snapshot every layer's counters into one registry: simulator/link

@@ -1,0 +1,75 @@
+//! Flight-recorder dump rendering: a failure becomes a replayable
+//! artifact instead of a bare seed.
+//!
+//! The simulator keeps a bounded ring of recent trace events (see
+//! `Trace::with_capacity` in `mmt-netsim`); when a chaos invariant
+//! trips, a node crashes, or the sim panics, the driver renders the
+//! ring through [`render`]: one JSON header line carrying the trigger
+//! context (`reason`, seed, virtual time, events processed, record
+//! count) followed by the retained [`TraceRecord`]s as JSONL in the
+//! exact [`crate::trace::to_jsonl`] format. Output is deterministic for
+//! a given run, so two identical runs produce byte-identical dumps —
+//! the regression property the test suite pins.
+
+use crate::json::JsonObject;
+use crate::trace::{self, TraceRecord};
+
+/// Render a flight-recorder dump: a `{"flight":"v1",...}` header line
+/// plus the retained trace records as JSONL.
+pub fn render(
+    reason: &str,
+    seed: u64,
+    now_ns: u64,
+    events: u64,
+    records: &[TraceRecord],
+) -> String {
+    let header = JsonObject::new()
+        .str("flight", "v1")
+        .str("reason", reason)
+        .u64("seed", seed)
+        .u64("now_ns", now_ns)
+        .u64("events", events)
+        .u64("records", records.len() as u64)
+        .finish();
+    let mut out = header;
+    out.push('\n');
+    out.push_str(&trace::to_jsonl(records));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_has_header_then_records() {
+        let rec = TraceRecord {
+            ts_ns: 5,
+            kind: "node_crash".to_string(),
+            node: Some(1),
+            node_name: Some("dtn1".to_string()),
+            link: None,
+            packet_id: 0,
+            flow: 0,
+            seq: None,
+            config: None,
+            len_bytes: 0,
+        };
+        let out = render("node_crash", 7, 5_000, 42, &[rec]);
+        let mut lines = out.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("{\"flight\":\"v1\",\"reason\":\"node_crash\""));
+        assert!(header.contains("\"seed\":7"));
+        assert!(header.contains("\"records\":1"));
+        assert!(lines.next().unwrap().contains("\"kind\":\"node_crash\""));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn empty_ring_still_renders_header() {
+        let out = render("panic", 1, 0, 0, &[]);
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("\"reason\":\"panic\""));
+        assert!(out.contains("\"records\":0"));
+    }
+}

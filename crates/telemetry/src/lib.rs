@@ -20,6 +20,12 @@
 //!   [`trace::to_chrome_trace`] (Chrome Trace Event Format, loadable in
 //!   `chrome://tracing` / Perfetto as a virtual-time timeline).
 //!
+//! The streaming half adds [`QuantileSketch`] (fixed-memory online
+//! quantiles with a documented ≤ 1/32 upward error bound and a
+//! commutative merge), [`SeriesRow`] / [`series::to_jsonl`]
+//! (deterministic virtual-time series samples), and [`flight::render`]
+//! (flight-recorder dumps of the bounded trace ring on failure).
+//!
 //! Everything is pure `std` — no dependencies — so library crates that
 //! embed telemetry hooks stay dependency-free, and all timestamps are
 //! virtual-time `u64` nanoseconds.
@@ -40,12 +46,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 mod histogram;
 pub mod json;
 pub mod prometheus;
 mod registry;
+pub mod series;
+mod sketch;
 pub mod trace;
 
 pub use histogram::NsHistogram;
 pub use registry::{MetricKey, MetricRegistry, MetricValue};
+pub use series::{SeriesRow, SeriesValue};
+pub use sketch::QuantileSketch;
 pub use trace::TraceRecord;

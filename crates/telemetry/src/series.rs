@@ -1,0 +1,127 @@
+//! Deterministic time-series rows: the streaming counterpart of the
+//! end-of-run [`crate::MetricRegistry`] snapshot.
+//!
+//! A [`SeriesRow`] is one `(virtual time, metric, labels, value)` sample
+//! emitted by the simulator's periodic sampler. Rendering is strict
+//! JSONL with a fixed field order (`t_ns`, `name`, `labels`, `value`),
+//! so a run's series output is byte-for-byte reproducible for a given
+//! seed — and byte-identical across shard/worker counts when per-group
+//! rows are merged in ascending group order, mirroring
+//! `MetricRegistry::absorb`.
+
+use crate::json::JsonObject;
+
+/// The sampled value of one series point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeriesValue {
+    /// A monotone counter sample.
+    Counter(u64),
+    /// An instantaneous gauge sample.
+    Gauge(f64),
+}
+
+/// One time-series sample: virtual-time stamp, metric name, label set
+/// (rendered in stored order), and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRow {
+    /// Virtual time of the sample in nanoseconds.
+    pub t_ns: u64,
+    /// Metric name (Prometheus-style).
+    pub name: String,
+    /// Label pairs, rendered in stored order.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SeriesValue,
+}
+
+impl SeriesRow {
+    /// A counter sample.
+    pub fn counter(t_ns: u64, name: &str, labels: &[(&str, &str)], value: u64) -> SeriesRow {
+        SeriesRow {
+            t_ns,
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: SeriesValue::Counter(value),
+        }
+    }
+
+    /// A gauge sample.
+    pub fn gauge(t_ns: u64, name: &str, labels: &[(&str, &str)], value: f64) -> SeriesRow {
+        SeriesRow {
+            t_ns,
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: SeriesValue::Gauge(value),
+        }
+    }
+
+    /// Render as a single JSON object with fixed field order.
+    pub fn to_json(&self) -> String {
+        let mut labels = JsonObject::new();
+        for (k, v) in &self.labels {
+            labels = labels.str(k, v);
+        }
+        let obj = JsonObject::new()
+            .u64("t_ns", self.t_ns)
+            .str("name", &self.name)
+            .raw("labels", &labels.finish());
+        match self.value {
+            SeriesValue::Counter(v) => obj.u64("value", v),
+            SeriesValue::Gauge(v) => obj.f64("value", v),
+        }
+        .finish()
+    }
+}
+
+/// Render rows as JSON Lines, one object per sample in input order.
+pub fn to_jsonl(rows: &[SeriesRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_rendering_is_fixed_order() {
+        let c = SeriesRow::counter(1_000, "mmt_sim_events_total", &[], 42);
+        assert_eq!(
+            c.to_json(),
+            "{\"t_ns\":1000,\"name\":\"mmt_sim_events_total\",\"labels\":{},\"value\":42}"
+        );
+        let g = SeriesRow::gauge(
+            2_000,
+            "mmt_link_queue_occupancy_bytes",
+            &[("link", "3")],
+            0.5,
+        );
+        assert_eq!(
+            g.to_json(),
+            "{\"t_ns\":2000,\"name\":\"mmt_link_queue_occupancy_bytes\",\
+             \"labels\":{\"link\":\"3\"},\"value\":0.5}"
+        );
+    }
+
+    #[test]
+    fn jsonl_one_line_per_row() {
+        let rows = vec![
+            SeriesRow::counter(0, "a", &[], 1),
+            SeriesRow::counter(10, "a", &[], 2),
+        ];
+        let out = to_jsonl(&rows);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.ends_with('\n'));
+        assert_eq!(to_jsonl(&[]), "");
+    }
+}

@@ -32,6 +32,12 @@ fn usage() -> ! {
          \x20         [--trace-out FILE]        per-packet event trace\n\
          \x20         [--trace-format F]        chrome (default; chrome://tracing / Perfetto) or jsonl\n\
          \x20         [--trace-cap N]           keep only the last N trace events (ring buffer)\n\
+         \x20         [--series-out FILE]       per-interval time-series JSONL (virtual time)\n\
+         \x20         [--series-interval-us N]  sampling interval in µs (default 1000; ≥ 1)\n\
+         \x20         [--flight-out FILE]       flight-recorder dump path; written when a node\n\
+         \x20                                   crashes, packets are lost, the run is\n\
+         \x20                                   incomplete, or the sim panics\n\
+         \x20         [--flight-cap N]          flight ring capacity (default 4096; ≥ 1)\n\
          \x20         fault injection on the WAN crossing (both directions):\n\
          \x20         [--reorder P]             reorder probability in [0,1]\n\
          \x20         [--reorder-delay-us N]    max extra delay for reordered packets\n\
@@ -56,6 +62,8 @@ fn usage() -> ! {
          \x20         [--shards LIST]           comma-separated shard counts (default 1,2,4;\n\
          \x20                                   first entry is the speedup baseline)\n\
          \x20         [--quick 0|1]             CI smoke shape (K=256, 4 packets/sensor)\n\
+         \x20         [--profile 0|1]           hot-path span profiler; prints per-stage\n\
+         \x20                                   attribution and records it in the report\n\
          \x20         [--out FILE]              JSON report path (default BENCH_scale.json)"
     );
     std::process::exit(2);
@@ -260,24 +268,77 @@ fn cmd_pilot(flags: HashMap<String, String>) {
         }
         cap
     });
+    // Streaming observability flags. Validated eagerly so a bad value
+    // errors before any simulation work.
+    let series_out = flags.get("series-out").cloned();
+    let series_interval_us: u64 = get(&flags, "series-interval-us", 1000u64);
+    if series_interval_us == 0 {
+        eprintln!("--series-interval-us must be at least 1");
+        std::process::exit(2);
+    }
+    if flags.contains_key("series-interval-us") && series_out.is_none() {
+        eprintln!("--series-interval-us requires --series-out");
+        std::process::exit(2);
+    }
+    let flight_out = flags.get("flight-out").cloned();
+    let flight_cap: usize = get(&flags, "flight-cap", 4096usize);
+    if flight_cap == 0 {
+        eprintln!("--flight-cap must be at least 1");
+        std::process::exit(2);
+    }
+    if flags.contains_key("flight-cap") && flight_out.is_none() {
+        eprintln!("--flight-cap requires --flight-out");
+        std::process::exit(2);
+    }
+    // Both sinks are written at (or after) the end of the run — too late
+    // for a helpful error — so check the parent directory up front.
+    for (flag, path) in [("series-out", &series_out), ("flight-out", &flight_out)] {
+        if let Some(path) = path {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() && !dir.is_dir() {
+                    eprintln!("--{flag} parent directory {} does not exist", dir.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let crash_armed = cfg.crash_node.is_some();
     let mut pilot = Pilot::build(cfg);
     if trace_out.is_some() {
         match trace_cap {
             Some(cap) => pilot.enable_trace_bounded(cap),
             None => pilot.enable_trace(),
         }
+    } else if flight_out.is_some() {
+        // The flight recorder needs trace records to dump; arm a bounded
+        // ring so a long run keeps only the most recent events.
+        pilot.enable_trace_bounded(flight_cap);
     }
-    if adapt {
-        let mut controller = ModeController::new(failover::controller_config());
-        let applied =
-            pilot.run_adaptive(Time::from_secs(300), Time::from_millis(5), &mut controller);
-        let s = controller.stats();
-        println!(
-            "adaptation: {applied} transitions applied (degrade {}, recover {}, rehome {}, shed {}, unshed {})",
-            s.degrades, s.recovers, s.rehomes, s.sheds, s.unsheds
-        );
-    } else {
-        pilot.run(Time::from_secs(300));
+    if series_out.is_some() {
+        pilot.enable_series(Time::from_micros(series_interval_us));
+    }
+    let run_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if adapt {
+            let mut controller = ModeController::new(failover::controller_config());
+            let applied =
+                pilot.run_adaptive(Time::from_secs(300), Time::from_millis(5), &mut controller);
+            let s = controller.stats();
+            println!(
+                "adaptation: {applied} transitions applied (degrade {}, recover {}, rehome {}, shed {}, unshed {})",
+                s.degrades, s.recovers, s.rehomes, s.sheds, s.unsheds
+            );
+        } else {
+            pilot.run(Time::from_secs(300));
+        }
+    }));
+    if run_outcome.is_err() {
+        if let Some(path) = &flight_out {
+            match std::fs::write(path, pilot.flight_dump("panic")) {
+                Ok(()) => eprintln!("flight recorder dump (panic) written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        std::process::exit(101);
     }
     let mut r = pilot.report();
     println!(
@@ -338,6 +399,36 @@ fn cmd_pilot(flags: HashMap<String, String>) {
             "trace ({} events, {trace_format}) written to {path}",
             records.len()
         );
+    }
+    if let Some(path) = series_out {
+        let rows = pilot.take_series();
+        if let Err(e) = std::fs::write(&path, mmt::telemetry::series::to_jsonl(&rows)) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("series ({} rows) written to {path}", rows.len());
+    }
+    if let Some(path) = flight_out {
+        // First tripped trigger wins, most severe first.
+        let reason = if crash_armed {
+            Some("node_crash")
+        } else if r.receiver.lost > 0 {
+            Some("packets_lost")
+        } else if r.completed_at.is_none() {
+            Some("incomplete")
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => {
+                if let Err(e) = std::fs::write(&path, pilot.flight_dump(reason)) {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("flight recorder dump ({reason}) written to {path}");
+            }
+            None => println!("flight recorder armed; no trigger tripped"),
+        }
     }
 }
 
@@ -446,11 +537,20 @@ fn cmd_bench(flags: HashMap<String, String>) {
             std::process::exit(2);
         }
     };
+    let profile = match flags.get("profile").map(String::as_str) {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(other) => {
+            eprintln!("--profile must be 0 or 1, got {other}");
+            std::process::exit(2);
+        }
+    };
     let mut cfg = if quick {
         ScaleBenchConfig::quick()
     } else {
         ScaleBenchConfig::full()
     };
+    cfg.profile = profile;
     cfg.sensors = get(&flags, "sensors", cfg.sensors);
     cfg.packets_per_sensor = get(&flags, "packets", cfg.packets_per_sensor);
     cfg.seed = get(&flags, "seed", cfg.seed);
@@ -495,9 +595,19 @@ fn cmd_bench(flags: HashMap<String, String>) {
                 .collect::<Vec<f64>>(),
         );
     }
+    if cfg.profile {
+        println!("hot-path span profile (baseline run):");
+        for (stage, events, vtime_ns) in result.profile.rows() {
+            println!("  {stage:<18} events {events:>10}  vtime {vtime_ns:>14} ns");
+        }
+    }
     println!(
         "peak RSS {} kB; {} host core(s) (worker threads clamp to min(shards, cores))",
         result.peak_rss_kb, result.host_cores
+    );
+    println!(
+        "latency-sample RSS honesty: sketch {} kB, exact {} kB, delta {} kB",
+        result.peak_rss_sketch_kb, result.peak_rss_exact_kb, result.rss_delta_kb
     );
     if !result.deterministic() {
         eprintln!("DETERMINISM VIOLATION: digests diverged across shard counts");

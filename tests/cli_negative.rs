@@ -249,6 +249,82 @@ fn valid_fault_flags_run_clean() {
 }
 
 #[test]
+fn zero_series_interval_rejected() {
+    assert_clean_usage_error(
+        &[
+            "pilot",
+            "--series-out",
+            "s.jsonl",
+            "--series-interval-us",
+            "0",
+        ],
+        "--series-interval-us must be at least 1",
+    );
+}
+
+#[test]
+fn series_interval_without_out_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--series-interval-us", "100"],
+        "--series-interval-us requires --series-out",
+    );
+}
+
+#[test]
+fn series_out_with_missing_parent_dir_rejected() {
+    let path = std::env::temp_dir()
+        .join("mmt-no-such-dir-cli-negative")
+        .join("series.jsonl");
+    assert_clean_usage_error(
+        &[
+            "pilot",
+            "--series-out",
+            path.to_str().expect("utf-8 tmpdir"),
+        ],
+        "--series-out parent directory",
+    );
+}
+
+#[test]
+fn zero_flight_cap_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--flight-out", "f.jsonl", "--flight-cap", "0"],
+        "--flight-cap must be at least 1",
+    );
+}
+
+#[test]
+fn flight_cap_without_out_rejected() {
+    assert_clean_usage_error(
+        &["pilot", "--flight-cap", "16"],
+        "--flight-cap requires --flight-out",
+    );
+}
+
+#[test]
+fn flight_out_with_missing_parent_dir_rejected() {
+    let path = std::env::temp_dir()
+        .join("mmt-no-such-dir-cli-negative")
+        .join("flight.jsonl");
+    assert_clean_usage_error(
+        &[
+            "pilot",
+            "--flight-out",
+            path.to_str().expect("utf-8 tmpdir"),
+        ],
+        "--flight-out parent directory",
+    );
+}
+
+#[test]
+fn bench_bad_profile_value_rejected() {
+    assert_clean_usage_error(
+        &["bench", "--quick", "1", "--profile", "2"],
+        "--profile must be 0 or 1",
+    );
+}
+
+#[test]
 fn bench_zero_shard_count_rejected() {
     assert_clean_usage_error(&["bench", "--shards", "0"], "--shards");
 }

@@ -4,9 +4,10 @@
 //! the contract that lets the scale harness use threads at all: sharding
 //! is a performance knob, never an observable one.
 
-use mmt::netsim::ShardedSim;
+use mmt::netsim::{ShardedSim, Time};
 use mmt::pilot::manyflow::{self, ManyFlowConfig};
-use mmt::telemetry::prometheus;
+use mmt::pilot::{Pilot, PilotConfig};
+use mmt::telemetry::{prometheus, series};
 
 /// Render the merged registry and digest for one (seed, shards) point.
 fn run_point(seed: u64, shards: usize) -> (String, u64, u64) {
@@ -72,6 +73,73 @@ fn distinct_seeds_produce_distinct_streams() {
     let (_, d1, _) = run_point(101, 2);
     let (_, d2, _) = run_point(102, 2);
     assert_ne!(d1, d2, "different seeds must not collide on digest");
+}
+
+/// Render the merged time-series JSONL for one (seed, shards, workers)
+/// point, sampling every 100 µs of virtual time.
+fn series_point(seed: u64, shards: usize, workers: usize) -> String {
+    let cfg = ManyFlowConfig::quick(seed)
+        .with_shards(shards)
+        .with_series(Time::from_micros(100));
+    let groups = cfg.dtns;
+    let sharded = ShardedSim::new(cfg.seed, cfg.shards).with_workers(workers);
+    let report = sharded.run(groups, |g, gs| manyflow::run_group(&cfg, g, gs));
+    series::to_jsonl(&report.series)
+}
+
+#[test]
+fn series_jsonl_is_byte_identical_across_shards_and_workers() {
+    // The streaming sampler is part of the determinism contract: the
+    // per-interval JSONL must be byte-identical for every shard count AND
+    // every forced worker layout, for each of eight seeds. Virtual-time
+    // boundaries are sampled per group and merged in ascending group
+    // order, so neither partitioning nor thread scheduling may show.
+    for seed in 1..=8u64 {
+        let baseline = series_point(seed, 1, 1);
+        assert!(!baseline.is_empty(), "seed {seed}: sampler emitted nothing");
+        assert!(
+            baseline.starts_with("{\"t_ns\":0,"),
+            "seed {seed}: first row must be the t=0 boundary"
+        );
+        for shards in [1usize, 2, 4] {
+            for workers in [1usize, 2, 4] {
+                let got = series_point(seed, shards, workers);
+                assert_eq!(
+                    baseline, got,
+                    "seed {seed}: series diverged at {shards} shards / {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flight_recorder_dump_is_reproducible() {
+    // The dump a crash trips must be a pure function of the config: two
+    // identical runs produce byte-equal flight files (header + ring).
+    let dump = || {
+        let mut cfg = PilotConfig::default_run();
+        cfg.message_count = 200;
+        cfg.seed = 7;
+        cfg.crash_node = Some("dtn1".to_string());
+        cfg.crash_at = Time::from_millis(6);
+        let mut pilot = Pilot::build(cfg);
+        pilot.enable_trace_bounded(512);
+        pilot.run(Time::from_secs(300));
+        pilot.flight_dump("node_crash")
+    };
+    let first = dump();
+    let second = dump();
+    assert_eq!(first, second, "flight dump must be reproducible");
+    let header = first.lines().next().expect("dump has a header line");
+    assert!(
+        header.starts_with("{\"flight\":\"v1\",\"reason\":\"node_crash\",\"seed\":7,"),
+        "unexpected header: {header}"
+    );
+    assert!(
+        first.lines().count() > 1,
+        "dump must carry trace records after the header"
+    );
 }
 
 #[test]

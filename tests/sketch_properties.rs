@@ -1,0 +1,126 @@
+//! Property tests for the O(1) quantile sketch against the exact sorted
+//! reference: for every distribution we can throw at it, every estimate
+//! must sit inside the documented one-sided error band
+//! `exact ≤ estimate ≤ exact + ⌊exact/32⌋`, and merging must be
+//! commutative down to the digest. Distributions are adversarial on
+//! purpose — bursts, constants, and full-u64-range outliers stress the
+//! octave boundaries where a log-bucketed sketch would round wrong.
+
+use mmt::netsim::stats::quantile_sorted;
+use mmt::telemetry::QuantileSketch;
+
+/// SplitMix64 — the same tiny deterministic generator the simulator's RNG
+/// is built on, re-derived locally so the test has no seed coupling.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The adversarial corpus: name plus sample vector.
+fn distributions() -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = 0x5eed_u64;
+    let uniform: Vec<u64> = (0..4096).map(|_| splitmix(&mut rng) >> 20).collect();
+    let full_range: Vec<u64> = (0..4096).map(|_| splitmix(&mut rng)).collect();
+    // Burst: a tight cluster of small latencies with a sparse huge tail,
+    // the shape a paused link produces.
+    let mut burst: Vec<u64> = (0..4000).map(|i| 50_000 + (i % 37)).collect();
+    burst.extend((0..96).map(|i| 10_000_000_000 + i * 999_999_937));
+    // Outliers: pin both extremes of the representable range.
+    let mut outliers = vec![0u64, 1, 2, 31, 32, 33, u64::MAX - 1, u64::MAX];
+    outliers.extend((0..256).map(|_| splitmix(&mut rng)));
+    vec![
+        ("uniform", uniform),
+        ("full_range", full_range),
+        ("burst", burst),
+        ("constant", vec![123_456_789; 1000]),
+        ("constant_small", vec![7; 500]),
+        ("outliers", outliers),
+        ("singleton", vec![u64::MAX]),
+        ("ramp", (0..10_000).collect()),
+    ]
+}
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+#[test]
+fn estimates_stay_inside_the_documented_error_band() {
+    let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    for (name, values) in distributions() {
+        let sketch = sketch_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let exact = quantile_sorted(&sorted, q).expect("non-empty");
+            let est = sketch.quantile(q).expect("non-empty sketch");
+            // One-sided band, evaluated in u128 so u64::MAX can't wrap.
+            let lo = u128::from(exact);
+            let hi = lo + lo / 32;
+            assert!(
+                (lo..=hi).contains(&u128::from(est)),
+                "{name} q={q}: estimate {est} outside [{lo}, {hi}] (exact {exact})"
+            );
+        }
+        assert_eq!(sketch.count(), values.len() as u64, "{name}: count");
+        assert_eq!(
+            sketch.min(),
+            sorted.first().copied(),
+            "{name}: exact minimum"
+        );
+        assert_eq!(
+            sketch.max(),
+            sorted.last().copied(),
+            "{name}: exact maximum"
+        );
+    }
+}
+
+#[test]
+fn relative_error_bound_matches_the_documented_constant() {
+    // The band above is the integer form of MAX_RELATIVE_ERROR; make sure
+    // the constant and the arithmetic can't drift apart silently.
+    assert!((QuantileSketch::MAX_RELATIVE_ERROR - 1.0 / 32.0).abs() < 1e-12);
+}
+
+#[test]
+fn merge_is_commutative_down_to_the_digest() {
+    let dists = distributions();
+    for i in 0..dists.len() {
+        for j in (i + 1)..dists.len() {
+            let (name_a, a) = &dists[i];
+            let (name_b, b) = &dists[j];
+            let mut ab = sketch_of(a);
+            ab.merge(&sketch_of(b));
+            let mut ba = sketch_of(b);
+            ba.merge(&sketch_of(a));
+            assert_eq!(
+                ab.digest(),
+                ba.digest(),
+                "merge({name_a},{name_b}) digest differs from merge({name_b},{name_a})"
+            );
+            assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+            // The merged sketch must agree with recording the union.
+            let mut union: Vec<u64> = a.clone();
+            union.extend_from_slice(b);
+            assert_eq!(ab.digest(), sketch_of(&union).digest());
+        }
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    for (name, values) in distributions() {
+        let mut s = sketch_of(&values);
+        let before = s.digest();
+        s.merge(&QuantileSketch::new());
+        assert_eq!(s.digest(), before, "{name}: merging empty changed digest");
+    }
+}
