@@ -29,6 +29,12 @@ pub struct ScaleBenchConfig {
     /// Run every sweep point with the hot-path span profiler on and
     /// record the per-stage attribution in the result.
     pub profile: bool,
+    /// Event schedulers to sweep (`"wheel"` and/or `"heap"`). The default
+    /// runs both so one document carries the differential evidence: every
+    /// row's digest must match, which proves the timing wheel reproduces
+    /// the heap's event order byte-for-byte while the `events_per_sec`
+    /// columns show what the wheel buys.
+    pub schedulers: Vec<String>,
 }
 
 impl ScaleBenchConfig {
@@ -40,6 +46,7 @@ impl ScaleBenchConfig {
             shard_counts: vec![1, 2, 4],
             seed: 1,
             profile: false,
+            schedulers: vec!["wheel".to_string(), "heap".to_string()],
         }
     }
 
@@ -51,7 +58,15 @@ impl ScaleBenchConfig {
             shard_counts: vec![1, 2, 4],
             seed: 1,
             profile: false,
+            schedulers: vec!["wheel".to_string(), "heap".to_string()],
         }
+    }
+
+    /// Restrict the sweep to one scheduler (the `--scheduler` CLI flag).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: &str) -> ScaleBenchConfig {
+        self.schedulers = vec![scheduler.to_string()];
+        self
     }
 
     /// With the span profiler on.
@@ -65,6 +80,8 @@ impl ScaleBenchConfig {
 /// One sweep point: the fleet at a given shard count.
 #[derive(Debug, Clone)]
 pub struct ScaleRow {
+    /// Event scheduler this row ran under (`"wheel"` or `"heap"`).
+    pub scheduler: String,
     /// Shards used.
     pub shards: usize,
     /// Wall-clock nanoseconds for the whole fleet.
@@ -116,7 +133,9 @@ pub struct ScaleBenchResult {
 }
 
 impl ScaleBenchResult {
-    /// Whether every row produced the same merged digest.
+    /// Whether every row produced the same merged digest. With both
+    /// schedulers in the sweep this is also the wheel-vs-heap equivalence
+    /// gate: a wheel that reorders even one event tie fails here.
     pub fn deterministic(&self) -> bool {
         self.rows.windows(2).all(|w| w[0].digest == w[1].digest)
     }
@@ -141,6 +160,7 @@ impl ScaleBenchResult {
             });
         let rows = self.rows.iter().map(|r| {
             JsonObject::new()
+                .str("scheduler", &r.scheduler)
                 .u64("shards", r.shards as u64)
                 .u64("wall_ns", r.wall_ns)
                 .u64("packets", r.packets)
@@ -192,8 +212,7 @@ pub fn peak_rss_kb() -> u64 {
 /// groups); only the thread layout differs, which is why the digests must
 /// match and wall time may not.
 pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
-    let mut rows = Vec::with_capacity(cfg.shard_counts.len());
-    let mut baseline_wall_ns = 0u64;
+    let mut rows = Vec::with_capacity(cfg.shard_counts.len() * cfg.schedulers.len());
     // Warm-up: run the full fleet once, unmeasured, so the first measured
     // row doesn't pay the process's page faults and allocator growth for
     // everyone (row order would otherwise masquerade as speedup).
@@ -203,29 +222,40 @@ pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
         let _ = manyflow::run(&warm);
     }
     let mut profile = SpanProfiler::new();
-    for &shards in &cfg.shard_counts {
-        let mut fleet = ManyFlowConfig::fleet(cfg.sensors, shards, cfg.seed);
-        fleet.packets_per_sensor = cfg.packets_per_sensor;
-        fleet.profile = cfg.profile;
-        let start = Instant::now();
-        let report = manyflow::run(&fleet);
-        let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        if baseline_wall_ns == 0 {
-            baseline_wall_ns = wall_ns.max(1);
-            profile = report.shard.profile.clone();
+    let mut profiled = false;
+    for scheduler in &cfg.schedulers {
+        // Speedup is meaningful only within one scheduler, so each
+        // scheduler's serial row restarts the baseline.
+        let mut baseline_wall_ns = 0u64;
+        for &shards in &cfg.shard_counts {
+            let mut fleet = ManyFlowConfig::fleet(cfg.sensors, shards, cfg.seed);
+            fleet.packets_per_sensor = cfg.packets_per_sensor;
+            fleet.profile = cfg.profile;
+            fleet.heap_scheduler = scheduler == "heap";
+            let start = Instant::now();
+            let report = manyflow::run(&fleet);
+            let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if baseline_wall_ns == 0 {
+                baseline_wall_ns = wall_ns.max(1);
+                if !profiled {
+                    profile = report.shard.profile.clone();
+                    profiled = true;
+                }
+            }
+            let secs = (wall_ns.max(1)) as f64 / 1e9;
+            rows.push(ScaleRow {
+                scheduler: scheduler.clone(),
+                shards,
+                wall_ns,
+                packets: report.shard.packets,
+                events: report.shard.events,
+                packets_per_sec: report.shard.packets as f64 / secs,
+                events_per_sec: report.shard.events as f64 / secs,
+                speedup: baseline_wall_ns as f64 / wall_ns.max(1) as f64,
+                digest: report.shard.trace_digest,
+                shard_utilization: report.shard.shard_utilization(),
+            });
         }
-        let secs = (wall_ns.max(1)) as f64 / 1e9;
-        rows.push(ScaleRow {
-            shards,
-            wall_ns,
-            packets: report.shard.packets,
-            events: report.shard.events,
-            packets_per_sec: report.shard.packets as f64 / secs,
-            events_per_sec: report.shard.events as f64 / secs,
-            speedup: baseline_wall_ns as f64 / wall_ns.max(1) as f64,
-            digest: report.shard.trace_digest,
-            shard_utilization: report.shard.shard_utilization(),
-        });
     }
     // The RSS honesty pair: snapshot the high-water mark after the
     // sketch-mode sweep, then run the serial fleet once more with exact
@@ -258,11 +288,28 @@ mod tests {
     #[test]
     fn quick_sweep_is_deterministic_and_well_formed() {
         let result = run(&ScaleBenchConfig::quick());
-        assert_eq!(result.rows.len(), 3);
-        assert!(result.deterministic(), "digests diverged across shards");
+        assert_eq!(result.rows.len(), 6, "2 schedulers x 3 shard counts");
+        assert!(
+            result.deterministic(),
+            "digests diverged across shards/schedulers"
+        );
         assert!(result.rows.iter().all(|r| r.packets == 256 * 4));
         assert!(result.rows.iter().all(|r| r.packets_per_sec > 0.0));
+        assert_eq!(
+            result
+                .rows
+                .iter()
+                .filter(|r| r.scheduler == "wheel")
+                .count(),
+            3
+        );
+        assert_eq!(
+            result.rows.iter().filter(|r| r.scheduler == "heap").count(),
+            3
+        );
         let json = result.to_json();
+        assert!(json.contains("\"scheduler\":\"wheel\""));
+        assert!(json.contains("\"scheduler\":\"heap\""));
         assert!(json.contains("\"bench\":\"scale\""));
         assert!(json.contains("\"deterministic\":true"));
         assert!(json.contains("\"rows\":["));

@@ -76,6 +76,7 @@ mod sim;
 pub mod stats;
 mod time;
 mod trace;
+pub mod wheel;
 
 pub use arena::{ArenaStats, PacketArena, PacketRef};
 pub use fault::{FaultSpec, FaultState, FaultVerdict, PeriodicOutage, RandomOutage};
@@ -89,3 +90,4 @@ pub use shard::{GroupResult, ShardLoad, ShardReport, ShardedSim};
 pub use sim::Simulator;
 pub use time::{Bandwidth, Time};
 pub use trace::{Trace, TraceEvent, TraceKind};
+pub use wheel::{TimerWheel, WheelToken};

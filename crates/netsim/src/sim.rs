@@ -13,6 +13,7 @@ use crate::profile::{SpanProfiler, Stage};
 use crate::rng::SimRng;
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::wheel::TimerWheel;
 
 #[derive(Debug)]
 enum EventKind {
@@ -57,6 +58,69 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The pluggable event queue. The timing wheel is the default engine;
+/// the binary heap it replaced stays behind
+/// [`Simulator::with_heap_scheduler`] as a differential-testing escape
+/// hatch for one release (see `tests/scheduler_equivalence.rs`), after
+/// which it will be removed.
+///
+/// Both engines implement the same ordering contract — pop strictly by
+/// `(timestamp, push order)` — so every simulation is byte-identical
+/// under either.
+enum EventQueue {
+    /// Hierarchical timing wheel: O(1) schedule, amortized O(1) pop,
+    /// same-slot events batch-drained into one dispatch buffer.
+    Wheel(TimerWheel<EventKind>),
+    /// The legacy `BinaryHeap` engine: O(log n) per operation.
+    Heap {
+        heap: BinaryHeap<Reverse<Event>>,
+        seq: u64,
+    },
+}
+
+impl EventQueue {
+    fn push(&mut self, at: Time, kind: EventKind) {
+        match self {
+            EventQueue::Wheel(wheel) => {
+                wheel.schedule(at.as_nanos(), kind);
+            }
+            EventQueue::Heap { heap, seq } => {
+                let s = *seq;
+                *seq = seq.wrapping_add(1);
+                heap.push(Reverse(Event { at, seq: s, kind }));
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, EventKind)> {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.pop().map(|(at, kind)| (Time::from_nanos(at), kind)),
+            EventQueue::Heap { heap, .. } => heap.pop().map(|Reverse(e)| (e.at, e.kind)),
+        }
+    }
+
+    fn peek_at(&mut self) -> Option<Time> {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.peek().map(|(at, _)| Time::from_nanos(at)),
+            EventQueue::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.at),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.is_empty(),
+            EventQueue::Heap { heap, .. } => heap.is_empty(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            EventQueue::Wheel(_) => "wheel",
+            EventQueue::Heap { .. } => "heap",
+        }
     }
 }
 
@@ -113,9 +177,8 @@ struct ProfilerState {
 /// global sequence number.
 pub struct Simulator {
     now: Time,
-    seq: u64,
     next_packet_id: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventQueue,
     nodes: Vec<NodeEntry>,
     links: Vec<Link>,
     rng: SimRng,
@@ -132,9 +195,8 @@ impl Simulator {
     pub fn new(seed: u64) -> Simulator {
         Simulator {
             now: Time::ZERO,
-            seq: 0,
             next_packet_id: 1,
-            events: BinaryHeap::new(),
+            events: EventQueue::Wheel(TimerWheel::new()),
             nodes: Vec::new(),
             links: Vec::new(),
             rng: SimRng::new(seed),
@@ -145,6 +207,33 @@ impl Simulator {
             series: None,
             profiler: None,
         }
+    }
+
+    /// Run on the legacy `BinaryHeap` event queue instead of the timing
+    /// wheel. Observationally identical (same pop order, digests, and
+    /// telemetry bytes — pinned by `tests/scheduler_equivalence.rs`),
+    /// just slower; kept for one release as a differential-testing
+    /// escape hatch, then the heap engine will be removed.
+    ///
+    /// # Panics
+    /// Panics if events have already been scheduled.
+    #[must_use]
+    pub fn with_heap_scheduler(mut self) -> Simulator {
+        assert!(
+            self.events.is_empty() && !self.started,
+            "scheduler must be chosen before any event is scheduled"
+        );
+        self.events = EventQueue::Heap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        self
+    }
+
+    /// Name of the active event-queue engine (`"wheel"` or `"heap"`),
+    /// recorded in bench artifacts.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.events.name()
     }
 
     /// Enable the periodic time-series sampler: one batch of rows per
@@ -289,6 +378,11 @@ impl Simulator {
     /// throughput/utilization/occupancy, per-node unrouted drops, and
     /// event-loop totals. Link series are labeled `link` (index), `src`,
     /// and `dst` (node names); everything is a snapshot at `now`.
+    ///
+    /// The export is *sparse*: zero-valued per-node and per-link series
+    /// are omitted, which keeps fleet-scale registries proportional to
+    /// observed activity rather than topology size. Absent counters read
+    /// back as zero, so consumers see the same numbers either way.
     pub fn export_metrics(&self, reg: &mut mmt_telemetry::MetricRegistry) {
         use crate::time::Time;
         if !reg.is_enabled() {
@@ -319,20 +413,21 @@ impl Simulator {
         reg.describe("mmt_node_restarts_total", "node restarts after a crash");
         for (idx, node) in self.nodes.iter().enumerate() {
             let idx_s = idx.to_string();
-            let labels = [("node", idx_s.as_str()), ("name", node.name.as_str())];
-            reg.counter_add(
-                "mmt_node_unrouted_drops_total",
-                &labels,
-                node.unrouted_drops,
-            );
-            reg.counter_add(
-                "mmt_node_local_deliveries_total",
-                &labels,
-                node.local.len() as u64,
-            );
-            reg.counter_add("mmt_node_crashed_drops_total", &labels, node.crashed_drops);
-            reg.counter_add("mmt_node_crashes_total", &labels, node.crashes);
-            reg.counter_add("mmt_node_restarts_total", &labels, node.restarts);
+            let labels = mmt_telemetry::LabelSet::new(&[
+                ("node", idx_s.as_str()),
+                ("name", node.name.as_str()),
+            ]);
+            for (name, value) in [
+                ("mmt_node_unrouted_drops_total", node.unrouted_drops),
+                ("mmt_node_local_deliveries_total", node.local.len() as u64),
+                ("mmt_node_crashed_drops_total", node.crashed_drops),
+                ("mmt_node_crashes_total", node.crashes),
+                ("mmt_node_restarts_total", node.restarts),
+            ] {
+                if value != 0 {
+                    reg.counter_add_set(name, &labels, value);
+                }
+            }
         }
         reg.describe(
             "mmt_link_offered_packets_total",
@@ -397,53 +492,47 @@ impl Simulator {
         };
         for (idx, link) in self.links.iter().enumerate() {
             let idx_s = idx.to_string();
-            let labels = [
+            let labels = mmt_telemetry::LabelSet::new(&[
                 ("link", idx_s.as_str()),
                 ("src", self.nodes[link.src_node].name.as_str()),
                 ("dst", self.nodes[link.dst_node].name.as_str()),
-            ];
+            ]);
             let s = &link.stats;
-            reg.counter_add("mmt_link_offered_packets_total", &labels, s.offered_packets);
-            reg.counter_add("mmt_link_offered_bytes_total", &labels, s.offered_bytes);
-            reg.counter_add("mmt_link_tx_packets_total", &labels, s.tx_packets);
-            reg.counter_add("mmt_link_tx_bytes_total", &labels, s.tx_bytes);
-            reg.counter_add(
-                "mmt_link_delivered_packets_total",
-                &labels,
-                s.delivered_packets,
-            );
-            reg.counter_add("mmt_link_mtu_drops_total", &labels, s.mtu_drops);
-            reg.counter_add("mmt_link_queue_drops_total", &labels, s.queue_drops);
-            reg.counter_add(
-                "mmt_link_corruption_losses_total",
-                &labels,
-                s.corruption_losses,
-            );
-            reg.counter_add(
-                "mmt_link_queue_shed_aged_total",
-                &labels,
-                link.queue.shed_aged(),
-            );
-            reg.counter_add("mmt_link_flap_drops_total", &labels, s.flap_drops);
-            reg.counter_add("mmt_link_control_drops_total", &labels, s.control_drops);
-            reg.counter_add("mmt_link_dup_injected_total", &labels, s.dup_injected);
-            reg.counter_add("mmt_link_reordered_total", &labels, s.reordered);
-            reg.gauge_set("mmt_link_utilization", &labels, s.utilization(elapsed));
-            reg.gauge_set(
-                "mmt_link_throughput_bps",
-                &labels,
-                s.throughput_bps(elapsed),
-            );
-            reg.gauge_set(
-                "mmt_link_queue_occupancy_bytes",
-                &labels,
-                link.queue.occupancy_bytes() as f64,
-            );
-            reg.gauge_set(
-                "mmt_link_queue_occupancy_packets",
-                &labels,
-                link.queue.occupancy_packets() as f64,
-            );
+            for (name, value) in [
+                ("mmt_link_offered_packets_total", s.offered_packets),
+                ("mmt_link_offered_bytes_total", s.offered_bytes),
+                ("mmt_link_tx_packets_total", s.tx_packets),
+                ("mmt_link_tx_bytes_total", s.tx_bytes),
+                ("mmt_link_delivered_packets_total", s.delivered_packets),
+                ("mmt_link_mtu_drops_total", s.mtu_drops),
+                ("mmt_link_queue_drops_total", s.queue_drops),
+                ("mmt_link_corruption_losses_total", s.corruption_losses),
+                ("mmt_link_queue_shed_aged_total", link.queue.shed_aged()),
+                ("mmt_link_flap_drops_total", s.flap_drops),
+                ("mmt_link_control_drops_total", s.control_drops),
+                ("mmt_link_dup_injected_total", s.dup_injected),
+                ("mmt_link_reordered_total", s.reordered),
+            ] {
+                if value != 0 {
+                    reg.counter_add_set(name, &labels, value);
+                }
+            }
+            for (name, value) in [
+                ("mmt_link_utilization", s.utilization(elapsed)),
+                ("mmt_link_throughput_bps", s.throughput_bps(elapsed)),
+                (
+                    "mmt_link_queue_occupancy_bytes",
+                    link.queue.occupancy_bytes() as f64,
+                ),
+                (
+                    "mmt_link_queue_occupancy_packets",
+                    link.queue.occupancy_packets() as f64,
+                ),
+            ] {
+                if value != 0.0 {
+                    reg.gauge_set_set(name, &labels, value);
+                }
+            }
         }
     }
 
@@ -653,9 +742,7 @@ impl Simulator {
     }
 
     fn push_event(&mut self, at: Time, kind: EventKind) {
-        let seq = self.seq;
-        self.seq = self.seq.wrapping_add(1);
-        self.events.push(Reverse(Event { at, seq, kind }));
+        self.events.push(at, kind);
     }
 
     fn ensure_started(&mut self) {
@@ -766,17 +853,20 @@ impl Simulator {
             });
             return;
         }
-        self.trace.record(TraceEvent {
-            time: self.now,
-            kind: TraceKind::Enqueue,
-            node: Some(node_idx),
-            link: Some(link_idx),
-            packet_id: meta.id,
-            len,
-            flow: meta.flow,
-            seq: meta.seq,
-            config: meta.config,
-        });
+        // Hot path: skip even building the record when tracing is off.
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent {
+                time: self.now,
+                kind: TraceKind::Enqueue,
+                node: Some(node_idx),
+                link: Some(link_idx),
+                packet_id: meta.id,
+                len,
+                flow: meta.flow,
+                seq: meta.seq,
+                config: meta.config,
+            });
+        }
         if let Some(p) = &mut self.profiler {
             p.spans.add(Stage::QueueOps, 1, 0);
             p.enqueued_at.insert((link_idx as u64, meta.id), self.now);
@@ -948,31 +1038,34 @@ impl Simulator {
     /// Process a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(Reverse(event)) = self.events.pop() else {
+        let Some((at, kind)) = self.events.pop() else {
             return false;
         };
-        debug_assert!(event.at >= self.now, "time went backwards");
-        self.sample_series_until(event.at);
-        self.now = event.at;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.sample_series_until(at);
+        self.now = at;
         self.events_processed += 1;
-        match event.kind {
+        match kind {
             EventKind::Arrive { node, port, pkt } => {
                 if self.nodes[node].crashed {
                     // A dead node's NIC swallows the frame silently.
                     self.nodes[node].crashed_drops += 1;
                     return true;
                 }
-                self.trace.record(TraceEvent {
-                    time: self.now,
-                    kind: TraceKind::Arrive,
-                    node: Some(node),
-                    link: None,
-                    packet_id: pkt.meta.id,
-                    len: pkt.len(),
-                    flow: pkt.meta.flow,
-                    seq: pkt.meta.seq,
-                    config: pkt.meta.config,
-                });
+                // Hot path: skip even building the record when tracing is off.
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent {
+                        time: self.now,
+                        kind: TraceKind::Arrive,
+                        node: Some(node),
+                        link: None,
+                        packet_id: pkt.meta.id,
+                        len: pkt.len(),
+                        flow: pkt.meta.flow,
+                        seq: pkt.meta.seq,
+                        config: pkt.meta.config,
+                    });
+                }
                 self.call_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
             }
             EventKind::TxComplete { link } => {
@@ -1025,8 +1118,8 @@ impl Simulator {
     /// `deadline` are processed) or the queue drains.
     pub fn run_until(&mut self, deadline: Time) {
         self.ensure_started();
-        while let Some(Reverse(head)) = self.events.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.events.peek_at() {
+            if head_at > deadline {
                 self.sample_series_until(deadline);
                 self.now = deadline;
                 break;

@@ -9,8 +9,12 @@
 //! [`ShardedSim`] with byte-identical results either way.
 //!
 //! Hot-path discipline: each group owns a [`PacketArena`]; sensors draw
-//! payload buffers from it and the DTN recycles every consumed packet, so
-//! in steady state the group allocates nothing per packet.
+//! frame buffers from it ([`PacketArena::frame`], which skips the
+//! per-packet memset), encode a real MMT data header in place with the
+//! zero-copy [`MmtRepr::encode_into`], and the DTN parses it back with
+//! [`MmtRepr::decode_from`] before recycling the buffer — so in steady
+//! state the group neither allocates nor copies per packet, and the
+//! span profiler's encode/decode rows attribute real wire work.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -22,6 +26,7 @@ use mmt_netsim::{
     Time, TimerToken,
 };
 use mmt_telemetry::MetricRegistry;
+use mmt_wire::mmt::{ExperimentId, MmtRepr};
 
 /// Parameters of a many-flow run.
 #[derive(Debug, Clone)]
@@ -49,6 +54,10 @@ pub struct ManyFlowConfig {
     pub exact_latency: bool,
     /// Enable the hot-path span profiler.
     pub profile: bool,
+    /// Run every group on the legacy binary-heap event queue instead of
+    /// the timing wheel (differential testing only; see
+    /// [`Simulator::with_heap_scheduler`]).
+    pub heap_scheduler: bool,
 }
 
 impl ManyFlowConfig {
@@ -65,6 +74,7 @@ impl ManyFlowConfig {
             series_interval: None,
             exact_latency: false,
             profile: false,
+            heap_scheduler: false,
         }
     }
 
@@ -82,6 +92,7 @@ impl ManyFlowConfig {
             series_interval: None,
             exact_latency: false,
             profile: false,
+            heap_scheduler: false,
         }
     }
 
@@ -113,6 +124,13 @@ impl ManyFlowConfig {
         self
     }
 
+    /// With the legacy heap scheduler (differential testing only).
+    #[must_use]
+    pub fn with_heap_scheduler(mut self) -> ManyFlowConfig {
+        self.heap_scheduler = true;
+        self
+    }
+
     /// Sensors assigned to group `g` (round-robin remainder).
     pub fn sensors_in_group(&self, group: usize) -> usize {
         let dtns = self.dtns.max(1);
@@ -130,13 +148,17 @@ impl ManyFlowConfig {
 /// Pacing gap between a sensor's packets.
 const SENSOR_GAP: Time = Time::from_micros(100);
 
-/// A detector stream: emits `remaining` packets on a timer, payloads drawn
-/// from the group's arena, start phase staggered by the sim RNG.
+/// A detector stream: emits `remaining` MMT frames on a timer. Frame
+/// buffers come from the group's arena without a re-zeroing pass; the
+/// sequence-stamped data header is encoded in place over the front of
+/// the slot buffer, and the payload region rides along untouched.
 struct Sensor {
     flow: u64,
     remaining: usize,
     payload_bytes: usize,
     next_stamp: u64,
+    /// Header template; per-packet emission adds the sequence number.
+    header: MmtRepr,
     arena: Rc<RefCell<PacketArena>>,
 }
 
@@ -154,10 +176,14 @@ impl Node for Sensor {
         if self.remaining == 0 {
             return;
         }
-        let mut pkt = self
-            .arena
-            .borrow_mut()
-            .packet(self.payload_bytes, self.flow);
+        let repr = self.header.with_sequence(self.next_stamp);
+        let total = repr.header_len() + self.payload_bytes;
+        let mut pkt = self.arena.borrow_mut().frame(total, self.flow);
+        // Infallible: the buffer was sized from header_len one line up.
+        if repr.encode_into(&mut pkt.bytes).is_err() {
+            debug_assert!(false, "frame buffer sized from header_len");
+            return;
+        }
         pkt.meta.seq = Some(self.next_stamp);
         self.next_stamp = self.next_stamp.wrapping_add(1);
         ctx.send(0, pkt);
@@ -175,21 +201,31 @@ impl Node for Sensor {
     }
 }
 
-/// The group's DTN: counts and recycles every arrival instead of storing
-/// it, so memory stays flat at any K.
+/// The group's DTN: zero-copy-decodes, counts, and recycles every
+/// arrival instead of storing it, so memory stays flat at any K.
 struct Dtn {
     delivered: u64,
+    /// Payload bytes consumed (header bytes excluded by the decode).
     bytes: u64,
+    /// Frames whose MMT header failed to parse (must stay zero on
+    /// clean links; exported as `mmt_manyflow_decode_errors_total`).
+    decode_errors: u64,
     latency: LatencyHistogram,
     arena: Rc<RefCell<PacketArena>>,
 }
 
 impl Node for Dtn {
     fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
-        self.delivered += 1;
-        self.bytes += pkt.len() as u64;
-        self.latency
-            .record(ctx.now().saturating_sub(pkt.meta.created_at));
+        match MmtRepr::decode_from(&pkt.bytes) {
+            Ok((header, payload)) => {
+                debug_assert_eq!(header.sequence(), pkt.meta.seq);
+                self.delivered += 1;
+                self.bytes += payload.len() as u64;
+                self.latency
+                    .record(ctx.now().saturating_sub(pkt.meta.created_at));
+            }
+            Err(_) => self.decode_errors += 1,
+        }
         self.arena.borrow_mut().recycle(pkt);
     }
 
@@ -207,6 +243,9 @@ impl Node for Dtn {
 pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupResult {
     let sensors = cfg.sensors_in_group(group);
     let mut sim = Simulator::new(group_seed);
+    if cfg.heap_scheduler {
+        sim = sim.with_heap_scheduler();
+    }
     if cfg.trace {
         sim.enable_trace();
     }
@@ -222,6 +261,7 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         Box::new(Dtn {
             delivered: 0,
             bytes: 0,
+            decode_errors: 0,
             latency: if cfg.exact_latency {
                 LatencyHistogram::exact()
             } else {
@@ -233,6 +273,10 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
     // Per-sensor link heterogeneity comes from the group seed, not the
     // simulator's event stream, so wiring is reproducible by inspection.
     let mut wiring = SimRng::new(group_seed).fork_frozen(0x3EA5);
+    // One experiment id per group; the 24-bit field is masked rather than
+    // checked so pathological group counts degrade to aliasing, not a
+    // panic on the hot construction path.
+    let experiment = ExperimentId::new(group as u32 & 0x00FF_FFFF, 0);
     for s in 0..sensors {
         let flow = (group as u64) << 32 | s as u64;
         let node = sim.add_node(
@@ -242,6 +286,7 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
                 remaining: cfg.packets_per_sensor,
                 payload_bytes: cfg.payload_bytes,
                 next_stamp: 0,
+                header: MmtRepr::data(experiment),
                 arena: Rc::clone(&arena),
             }),
         );
@@ -255,16 +300,18 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         );
     }
     sim.run();
-    let (delivered, bytes, p50, p99, latency_sum_ns) = match sim.node_as_mut::<Dtn>(dtn) {
-        Some(d) => (
-            d.delivered,
-            d.bytes,
-            d.latency.median().unwrap_or(Time::ZERO),
-            d.latency.p99().unwrap_or(Time::ZERO),
-            d.latency.sum_ns(),
-        ),
-        None => (0, 0, Time::ZERO, Time::ZERO, 0),
-    };
+    let (delivered, bytes, decode_errors, p50, p99, latency_sum_ns) =
+        match sim.node_as_mut::<Dtn>(dtn) {
+            Some(d) => (
+                d.delivered,
+                d.bytes,
+                d.decode_errors,
+                d.latency.median().unwrap_or(Time::ZERO),
+                d.latency.p99().unwrap_or(Time::ZERO),
+                d.latency.sum_ns(),
+            ),
+            None => (0, 0, 0, Time::ZERO, Time::ZERO, 0),
+        };
     let group_s = group.to_string();
     // Protocol-layer span attribution the core cannot see: every sensor
     // emission is one encode (instantaneous in virtual time — the model
@@ -290,8 +337,16 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         "packets the group's DTN consumed",
     );
     registry.counter_add("mmt_manyflow_delivered_total", &labels, delivered);
-    registry.describe("mmt_manyflow_bytes_total", "bytes the group's DTN consumed");
+    registry.describe(
+        "mmt_manyflow_bytes_total",
+        "payload bytes the group's DTN consumed (MMT headers excluded)",
+    );
     registry.counter_add("mmt_manyflow_bytes_total", &labels, bytes);
+    registry.describe(
+        "mmt_manyflow_decode_errors_total",
+        "frames whose MMT header failed zero-copy decode at the DTN",
+    );
+    registry.counter_add("mmt_manyflow_decode_errors_total", &labels, decode_errors);
     registry.describe("mmt_manyflow_latency_p50_ns", "median sensor→DTN latency");
     registry.gauge_set(
         "mmt_manyflow_latency_p50_ns",

@@ -68,6 +68,10 @@ pub struct PilotConfig {
     pub restart_at: Option<Time>,
     /// Simulation seed.
     pub seed: u64,
+    /// Run on the legacy binary-heap event queue instead of the timing
+    /// wheel (differential testing only; see
+    /// [`mmt_netsim::Simulator::with_heap_scheduler`]).
+    pub heap_scheduler: bool,
 }
 
 impl PilotConfig {
@@ -97,6 +101,7 @@ impl PilotConfig {
             crash_at: Time::ZERO,
             restart_at: None,
             seed: 7,
+            heap_scheduler: false,
         }
     }
 }
@@ -150,6 +155,9 @@ impl Pilot {
     /// Build the Fig. 4 chain.
     pub fn build(config: PilotConfig) -> Pilot {
         let mut sim = Simulator::new(config.seed);
+        if config.heap_scheduler {
+            sim = sim.with_heap_scheduler();
+        }
 
         // --- nodes ---
         let mut sender_cfg = SenderConfig::regular(

@@ -56,7 +56,7 @@ mod sketch;
 pub mod trace;
 
 pub use histogram::NsHistogram;
-pub use registry::{MetricKey, MetricRegistry, MetricValue};
+pub use registry::{LabelSet, MetricRegistry, MetricValue};
 pub use series::{SeriesRow, SeriesValue};
 pub use sketch::QuantileSketch;
 pub use trace::TraceRecord;

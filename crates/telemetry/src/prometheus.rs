@@ -49,33 +49,33 @@ fn fmt_f64(v: f64) -> String {
 pub fn render(reg: &MetricRegistry) -> String {
     let mut out = String::new();
     let mut last_name: Option<&str> = None;
-    for (key, value) in reg.iter() {
-        if last_name != Some(key.name.as_str()) {
-            if let Some(help) = reg.help(&key.name) {
-                out.push_str(&format!("# HELP {} {}\n", key.name, help));
+    for (name, labels, value) in reg.iter() {
+        if last_name != Some(name) {
+            if let Some(help) = reg.help(name) {
+                out.push_str(&format!("# HELP {} {}\n", name, help));
             }
             let kind = match value {
                 MetricValue::Counter(_) => "counter",
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram(_) => "summary",
             };
-            out.push_str(&format!("# TYPE {} {}\n", key.name, kind));
-            last_name = Some(key.name.as_str());
+            out.push_str(&format!("# TYPE {} {}\n", name, kind));
+            last_name = Some(name);
         }
         match value {
             MetricValue::Counter(v) => {
                 out.push_str(&format!(
                     "{}{} {}\n",
-                    key.name,
-                    render_labels(&key.labels, None),
+                    name,
+                    render_labels(labels.pairs(), None),
                     v
                 ));
             }
             MetricValue::Gauge(v) => {
                 out.push_str(&format!(
                     "{}{} {}\n",
-                    key.name,
-                    render_labels(&key.labels, None),
+                    name,
+                    render_labels(labels.pairs(), None),
                     fmt_f64(*v)
                 ));
             }
@@ -85,35 +85,35 @@ pub fn render(reg: &MetricRegistry) -> String {
                     if let Some(v) = sorted.quantile(q) {
                         out.push_str(&format!(
                             "{}{} {}\n",
-                            key.name,
-                            render_labels(&key.labels, Some(("quantile", qname))),
+                            name,
+                            render_labels(labels.pairs(), Some(("quantile", qname))),
                             v
                         ));
                     }
                 }
                 out.push_str(&format!(
                     "{}_sum{} {}\n",
-                    key.name,
-                    render_labels(&key.labels, None),
+                    name,
+                    render_labels(labels.pairs(), None),
                     h.sum()
                 ));
                 out.push_str(&format!(
                     "{}_count{} {}\n",
-                    key.name,
-                    render_labels(&key.labels, None),
+                    name,
+                    render_labels(labels.pairs(), None),
                     h.count()
                 ));
                 if let (Some(min), Some(max)) = (h.min(), h.max()) {
                     out.push_str(&format!(
                         "{}_min{} {}\n",
-                        key.name,
-                        render_labels(&key.labels, None),
+                        name,
+                        render_labels(labels.pairs(), None),
                         min
                     ));
                     out.push_str(&format!(
                         "{}_max{} {}\n",
-                        key.name,
-                        render_labels(&key.labels, None),
+                        name,
+                        render_labels(labels.pairs(), None),
                         max
                     ));
                 }

@@ -1,32 +1,55 @@
 //! The labeled metric registry.
+//!
+//! Hot-path discipline: a fleet-scale export emits tens of thousands of
+//! series per run, so the key machinery is zero-copy. Metric names are
+//! `&'static str` (every caller passes a literal) stored borrowed in a
+//! [`Cow`], and label pairs live in a shared, immutable [`LabelSet`]
+//! whose clone is a reference-count bump. Storage is a two-level map —
+//! name first, then label set — so walking the tree never re-compares
+//! the long, common-prefixed metric names against every label set.
+//! Exporters that emit many series for one entity (a link, a node, a
+//! group) build the label set once and reuse it for every series, so
+//! the per-series cost is one ordered-map insert — no string allocation
+//! at all.
 
 use crate::histogram::NsHistogram;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// A metric's identity: name plus sorted label pairs.
+/// An immutable, shareable set of label pairs, sorted by key.
 ///
-/// Ordering (name, then labels) fixes the iteration order of the whole
-/// registry, which makes every export deterministic.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct MetricKey {
-    /// Metric name (Prometheus-style, e.g. `mmt_link_tx_packets_total`).
-    pub name: String,
-    /// Label pairs, sorted by key.
-    pub labels: Vec<(String, String)>,
+/// Building one allocates; cloning one (and therefore attaching it to
+/// any number of series) is a reference-count bump. This is the
+/// zero-copy analogue of passing `&[(&str, &str)]` to every call.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSet(Arc<[(String, String)]>);
+
+impl LabelSet {
+    /// Build a label set from unsorted pairs.
+    pub fn new(labels: &[(&str, &str)]) -> LabelSet {
+        let mut pairs: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        pairs.sort();
+        LabelSet(pairs.into())
+    }
+
+    /// The empty label set.
+    pub fn empty() -> LabelSet {
+        LabelSet(Arc::from([]))
+    }
+
+    /// The sorted pairs.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
 }
 
-impl MetricKey {
-    /// Build a key from a name and unsorted label pairs.
-    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
-        let mut labels: Vec<(String, String)> = labels
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
-        labels.sort();
-        MetricKey {
-            name: name.to_string(),
-            labels,
-        }
+impl Default for LabelSet {
+    fn default() -> LabelSet {
+        LabelSet::empty()
     }
 }
 
@@ -41,7 +64,10 @@ pub enum MetricValue {
     Histogram(NsHistogram),
 }
 
-/// A registry of named, labeled metrics with deterministic iteration.
+type SeriesMap = BTreeMap<LabelSet, MetricValue>;
+
+/// A registry of named, labeled metrics with deterministic iteration
+/// (name order, then label order).
 ///
 /// Disabled registries drop every write at a single branch, so
 /// instrumented code paths cost one predictable-taken compare when
@@ -49,7 +75,7 @@ pub enum MetricValue {
 #[derive(Debug, Clone, Default)]
 pub struct MetricRegistry {
     enabled: bool,
-    metrics: BTreeMap<MetricKey, MetricValue>,
+    metrics: BTreeMap<Cow<'static, str>, SeriesMap>,
     /// HELP strings, keyed by metric name.
     help: BTreeMap<String, String>,
 }
@@ -86,14 +112,17 @@ impl MetricRegistry {
         self.help.get(name).map(String::as_str)
     }
 
-    /// Add `delta` to a counter (creating it at zero first).
-    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+    /// Add `delta` to a counter identified by a shared label set
+    /// (creating it at zero first). The allocation-free write path.
+    pub fn counter_add_set(&mut self, name: &'static str, labels: &LabelSet, delta: u64) {
         if !self.enabled {
             return;
         }
         let entry = self
             .metrics
-            .entry(MetricKey::new(name, labels))
+            .entry(Cow::Borrowed(name))
+            .or_default()
+            .entry(labels.clone())
             .or_insert(MetricValue::Counter(0));
         match entry {
             MetricValue::Counter(v) => *v += delta,
@@ -101,28 +130,49 @@ impl MetricRegistry {
         }
     }
 
+    /// Add `delta` to a counter (creating it at zero first).
+    pub fn counter_add(&mut self, name: &'static str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counter_add_set(name, &LabelSet::new(labels), delta);
+    }
+
     /// Increment a counter by one.
-    pub fn counter_inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+    pub fn counter_inc(&mut self, name: &'static str, labels: &[(&str, &str)]) {
         self.counter_add(name, labels, 1);
     }
 
-    /// Set a gauge to a value.
-    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+    /// Set a gauge identified by a shared label set. The
+    /// allocation-free write path.
+    pub fn gauge_set_set(&mut self, name: &'static str, labels: &LabelSet, value: f64) {
         if !self.enabled {
             return;
         }
         self.metrics
-            .insert(MetricKey::new(name, labels), MetricValue::Gauge(value));
+            .entry(Cow::Borrowed(name))
+            .or_default()
+            .insert(labels.clone(), MetricValue::Gauge(value));
+    }
+
+    /// Set a gauge to a value.
+    pub fn gauge_set(&mut self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauge_set_set(name, &LabelSet::new(labels), value);
     }
 
     /// Record one nanosecond observation into a histogram.
-    pub fn observe_ns(&mut self, name: &str, labels: &[(&str, &str)], ns: u64) {
+    pub fn observe_ns(&mut self, name: &'static str, labels: &[(&str, &str)], ns: u64) {
         if !self.enabled {
             return;
         }
         let entry = self
             .metrics
-            .entry(MetricKey::new(name, labels))
+            .entry(Cow::Borrowed(name))
+            .or_default()
+            .entry(LabelSet::new(labels))
             .or_insert_with(|| MetricValue::Histogram(NsHistogram::new()));
         match entry {
             MetricValue::Histogram(h) => h.record(ns),
@@ -131,13 +181,20 @@ impl MetricRegistry {
     }
 
     /// Merge a whole histogram into a metric.
-    pub fn observe_histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &NsHistogram) {
+    pub fn observe_histogram(
+        &mut self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+        hist: &NsHistogram,
+    ) {
         if !self.enabled {
             return;
         }
         let entry = self
             .metrics
-            .entry(MetricKey::new(name, labels))
+            .entry(Cow::Borrowed(name))
+            .or_default()
+            .entry(LabelSet::new(labels))
             .or_insert_with(|| MetricValue::Histogram(NsHistogram::new()));
         match entry {
             MetricValue::Histogram(h) => h.merge(hist),
@@ -145,9 +202,15 @@ impl MetricRegistry {
         }
     }
 
+    fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.metrics.get(name)?.get(&LabelSet::new(labels))
+    }
+
     /// Read a counter (0 when absent) — mainly for tests and reports.
+    /// Sparse exporters omit zero-valued series, so "absent" and "zero"
+    /// are deliberately indistinguishable here.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
-        match self.metrics.get(&MetricKey::new(name, labels)) {
+        match self.get(name, labels) {
             Some(MetricValue::Counter(v)) => *v,
             _ => 0,
         }
@@ -155,7 +218,7 @@ impl MetricRegistry {
 
     /// Read a gauge, if present.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self.metrics.get(&MetricKey::new(name, labels)) {
+        match self.get(name, labels) {
             Some(MetricValue::Gauge(v)) => Some(*v),
             _ => None,
         }
@@ -163,7 +226,7 @@ impl MetricRegistry {
 
     /// Read a histogram, if present.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&NsHistogram> {
-        match self.metrics.get(&MetricKey::new(name, labels)) {
+        match self.get(name, labels) {
             Some(MetricValue::Histogram(h)) => Some(h),
             _ => None,
         }
@@ -171,7 +234,7 @@ impl MetricRegistry {
 
     /// Number of distinct (name, labels) series.
     pub fn len(&self) -> usize {
-        self.metrics.len()
+        self.metrics.values().map(SeriesMap::len).sum()
     }
 
     /// Whether the registry holds no series.
@@ -180,26 +243,50 @@ impl MetricRegistry {
     }
 
     /// Iterate series in deterministic (name, labels) order.
-    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
-        self.metrics.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &LabelSet, &MetricValue)> {
+        self.metrics.iter().flat_map(|(name, series)| {
+            series
+                .iter()
+                .map(move |(labels, value)| (name.as_ref(), labels, value))
+        })
     }
 
     /// Merge every series from `other` into this registry (counters add,
-    /// gauges overwrite, histograms merge).
+    /// gauges overwrite, histograms merge). The common shapes are cheap:
+    /// absorbing into an empty registry clones whole sorted maps without
+    /// a single key comparison, and a name seen for the first time clones
+    /// its entire series map. Only genuinely overlapping series pay a
+    /// per-entry merge — and even there keys clone by bumping a refcount.
     pub fn absorb(&mut self, other: &MetricRegistry) {
         if !self.enabled {
             return;
         }
-        for (key, value) in other.iter() {
-            let labels: Vec<(&str, &str)> = key
-                .labels
-                .iter()
-                .map(|(k, v)| (k.as_str(), v.as_str()))
-                .collect();
-            match value {
-                MetricValue::Counter(v) => self.counter_add(&key.name, &labels, *v),
-                MetricValue::Gauge(v) => self.gauge_set(&key.name, &labels, *v),
-                MetricValue::Histogram(h) => self.observe_histogram(&key.name, &labels, h),
+        if self.metrics.is_empty() {
+            self.metrics = other.metrics.clone();
+        } else {
+            for (name, series) in &other.metrics {
+                let mine = self.metrics.entry(name.clone()).or_default();
+                if mine.is_empty() {
+                    *mine = series.clone();
+                    continue;
+                }
+                for (labels, value) in series {
+                    match mine.entry(labels.clone()) {
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(value.clone());
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut slot) => {
+                            match (slot.get_mut(), value) {
+                                (MetricValue::Counter(mine), MetricValue::Counter(v)) => *mine += v,
+                                (MetricValue::Gauge(mine), MetricValue::Gauge(v)) => *mine = *v,
+                                (MetricValue::Histogram(mine), MetricValue::Histogram(h)) => {
+                                    mine.merge(h)
+                                }
+                                _ => panic!("metric {name} changed kind during absorb"), // mmt-lint: allow(P1, "API-misuse guard; merged registries share one schema")
+                            }
+                        }
+                    }
+                }
             }
         }
         for (name, help) in &other.help {
@@ -248,6 +335,19 @@ mod tests {
     }
 
     #[test]
+    fn shared_label_set_path_matches_slice_path() {
+        let mut reg = MetricRegistry::new();
+        let ls = LabelSet::new(&[("b", "2"), ("a", "1")]);
+        reg.counter_add_set("tx", &ls, 2);
+        reg.counter_add("tx", &[("a", "1"), ("b", "2")], 3);
+        reg.gauge_set_set("g", &ls, 4.5);
+        assert_eq!(reg.counter("tx", &[("a", "1"), ("b", "2")]), 5);
+        assert_eq!(reg.gauge("g", &[("a", "1"), ("b", "2")]), Some(4.5));
+        assert_eq!(reg.len(), 2, "both paths address the same series");
+        assert_eq!(ls.pairs()[0].0, "a", "label sets sort on construction");
+    }
+
+    #[test]
     fn gauges_overwrite_histograms_accumulate() {
         let mut reg = MetricRegistry::new();
         reg.gauge_set("g", &[], 1.0);
@@ -268,7 +368,7 @@ mod tests {
         reg.counter_inc("aa", &[("x", "1")]);
         let names: Vec<String> = reg
             .iter()
-            .map(|(k, _)| format!("{}{:?}", k.name, k.labels))
+            .map(|(name, labels, _)| format!("{name}{:?}", labels.pairs()))
             .collect();
         assert!(names[0].starts_with("aa") && names[0].contains('1'));
         assert!(names[1].starts_with("aa") && names[1].contains('2'));
@@ -289,6 +389,20 @@ mod tests {
         assert_eq!(a.gauge("g", &[]), Some(9.0));
         assert_eq!(a.histogram("h", &[]).unwrap().count(), 1);
         assert_eq!(a.help("c"), Some("a counter"));
+    }
+
+    #[test]
+    fn absorb_into_empty_is_a_clone() {
+        let mut b = MetricRegistry::new();
+        b.counter_add("c", &[("g", "0")], 2);
+        b.gauge_set("g", &[], 1.5);
+        b.describe("c", "a counter");
+        let mut a = MetricRegistry::new();
+        a.absorb(&b);
+        assert_eq!(a.counter("c", &[("g", "0")]), 2);
+        assert_eq!(a.gauge("g", &[]), Some(1.5));
+        assert_eq!(a.help("c"), Some("a counter"));
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

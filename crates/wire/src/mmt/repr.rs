@@ -279,6 +279,28 @@ impl MmtRepr {
         Ok(())
     }
 
+    /// Zero-copy emit: write the header into the front of a
+    /// caller-owned buffer (typically a `PacketArena` slot) and return
+    /// the offset where the payload region begins. The bytes at
+    /// `buf[returned..]` are left untouched, so a payload already in
+    /// place survives and nothing is allocated.
+    ///
+    /// Returns [`Error::BufferTooSmall`] (never panics) when `buf`
+    /// cannot hold the header.
+    pub fn encode_into(&self, buf: &mut [u8]) -> Result<usize> {
+        self.emit(buf)?;
+        Ok(self.header_len())
+    }
+
+    /// Zero-copy parse: read the header from the front of `buf` and
+    /// return it together with the borrowed payload slice. No
+    /// allocation; malformed or truncated input returns `Err` exactly
+    /// like [`MmtRepr::parse`].
+    pub fn decode_from(buf: &[u8]) -> Result<(MmtRepr, &[u8])> {
+        let repr = MmtRepr::parse(buf)?;
+        Ok((repr, &buf[repr.header_len()..]))
+    }
+
     /// Emit header + payload into a fresh buffer.
     pub fn emit_with_payload(&self, payload: &[u8]) -> Vec<u8> {
         let hlen = self.header_len();

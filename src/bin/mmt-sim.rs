@@ -62,6 +62,9 @@ fn usage() -> ! {
          \x20         [--shards LIST]           comma-separated shard counts (default 1,2,4;\n\
          \x20                                   first entry is the speedup baseline)\n\
          \x20         [--quick 0|1]             CI smoke shape (K=256, 4 packets/sensor)\n\
+         \x20         [--scheduler heap|wheel]  restrict the event-scheduler sweep to one\n\
+         \x20                                   implementation (default: both, with digest\n\
+         \x20                                   equality enforced across them)\n\
          \x20         [--profile 0|1]           hot-path span profiler; prints per-stage\n\
          \x20                                   attribution and records it in the report\n\
          \x20         [--out FILE]              JSON report path (default BENCH_scale.json)"
@@ -558,6 +561,14 @@ fn cmd_bench(flags: HashMap<String, String>) {
         eprintln!("--sensors and --packets must be ≥ 1");
         std::process::exit(2);
     }
+    match flags.get("scheduler").map(String::as_str) {
+        None => {}
+        Some(s @ ("heap" | "wheel")) => cfg = cfg.with_scheduler(s),
+        Some(other) => {
+            eprintln!("--scheduler must be heap or wheel, got {other}");
+            std::process::exit(2);
+        }
+    }
     if let Some(raw) = flags.get("shards") {
         let parsed: Result<Vec<usize>, _> = raw.split(',').map(str::parse).collect();
         match parsed {
@@ -575,14 +586,15 @@ fn cmd_bench(flags: HashMap<String, String>) {
         .cloned()
         .unwrap_or_else(|| "BENCH_scale.json".to_string());
     println!(
-        "scale bench: {} sensors × {} packets, shards {:?}, seed {}",
-        cfg.sensors, cfg.packets_per_sensor, cfg.shard_counts, cfg.seed
+        "scale bench: {} sensors × {} packets, shards {:?}, schedulers {:?}, seed {}",
+        cfg.sensors, cfg.packets_per_sensor, cfg.shard_counts, cfg.schedulers, cfg.seed
     );
     let result = scale::run(&cfg);
     for r in &result.rows {
         println!(
-            "shards {:<3} wall {:>9.3} ms  {:>12.0} pkt/s  {:>12.0} ev/s  speedup {:>5.2}x  \
+            "{:<5} shards {:<3} wall {:>9.3} ms  {:>12.0} pkt/s  {:>12.0} ev/s  speedup {:>5.2}x  \
              digest {:016x}  util {:?}",
+            r.scheduler,
             r.shards,
             r.wall_ns as f64 / 1e6,
             r.packets_per_sec,
@@ -610,7 +622,7 @@ fn cmd_bench(flags: HashMap<String, String>) {
         result.peak_rss_sketch_kb, result.peak_rss_exact_kb, result.rss_delta_kb
     );
     if !result.deterministic() {
-        eprintln!("DETERMINISM VIOLATION: digests diverged across shard counts");
+        eprintln!("DETERMINISM VIOLATION: digests diverged across shard counts or schedulers");
         std::process::exit(1);
     }
     if let Err(e) = std::fs::write(&out, result.to_json() + "\n") {
@@ -618,7 +630,7 @@ fn cmd_bench(flags: HashMap<String, String>) {
         std::process::exit(1);
     }
     println!(
-        "deterministic across shard counts; best speedup {:.2}x; report written to {out}",
+        "deterministic across shard counts and schedulers; best speedup {:.2}x; report written to {out}",
         result.best_speedup()
     );
 }

@@ -312,3 +312,51 @@ fn arena_refs_from_before_reuse_never_alias_new_data() {
     assert!(arena.get(a).is_none(), "pre-reuse ref is inert");
     assert_eq!(arena.get(b).expect("live")[0], 0xBB);
 }
+
+#[test]
+fn stale_packet_ref_into_encode_into_is_inert() {
+    // The zero-copy wire path encodes headers straight into arena slot
+    // buffers. A stale `PacketRef` (its slot released and re-leased to a
+    // new tenant) must never become a write path into that tenant: the
+    // generation check makes `get_mut` return `None`, so there is no
+    // buffer to pass to `encode_into` at all, and the new tenant's bytes
+    // survive untouched.
+    let mut arena = PacketArena::new();
+    let repr = MmtRepr::data(ExperimentId::new(2, 0)).with_sequence(9);
+    let total = repr.header_len() + 32;
+
+    let stale = arena.alloc(total);
+    assert!(arena.release(stale));
+    let tenant = arena.alloc(total);
+    assert_eq!(stale.index(), tenant.index(), "slot re-leased");
+    arena.get_mut(tenant).expect("live").fill(0x5A);
+
+    // The only route from a stale ref to a buffer is `get_mut`, and it
+    // is closed; a correct caller therefore skips the encode entirely.
+    assert!(
+        arena.get_mut(stale).is_none(),
+        "stale ref must not yield the new tenant's buffer"
+    );
+    if let Some(buf) = arena.get_mut(stale) {
+        repr.encode_into(buf).expect("sized");
+        unreachable!("stale ref produced a live buffer");
+    }
+    assert!(
+        arena.get(tenant).expect("live").iter().all(|&b| b == 0x5A),
+        "tenant bytes must survive a stale-ref encode attempt"
+    );
+
+    // The live ref is the one that encodes — and only over the header
+    // region, leaving the payload bytes as the tenant wrote them.
+    let buf = arena.get_mut(tenant).expect("live");
+    let written = repr.encode_into(buf).expect("buffer sized above");
+    assert_eq!(written, repr.header_len());
+    let view = arena.get(tenant).expect("live");
+    assert!(
+        view[written..].iter().all(|&b| b == 0x5A),
+        "encode_into must not touch payload bytes"
+    );
+    let (decoded, payload) = MmtRepr::decode_from(view).expect("round trip");
+    assert_eq!(decoded.sequence(), Some(9));
+    assert_eq!(payload.len(), 32);
+}

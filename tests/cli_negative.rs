@@ -353,3 +353,11 @@ fn bench_bad_quick_value_rejected() {
 fn bench_non_numeric_sensors_rejected() {
     assert_clean_usage_error(&["bench", "--sensors", "abc"], "could not parse --sensors");
 }
+
+#[test]
+fn bench_unknown_scheduler_rejected() {
+    assert_clean_usage_error(
+        &["bench", "--scheduler", "fifo"],
+        "--scheduler must be heap or wheel",
+    );
+}

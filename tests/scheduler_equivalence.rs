@@ -1,0 +1,146 @@
+//! Differential scheduler equivalence: the timing wheel that replaced
+//! the binary heap must be *observationally identical* — not merely
+//! "close". Every digest the harness can produce (Prometheus text,
+//! trace digests, series JSONL) must be byte-equal between
+//! `Simulator::with_heap_scheduler()` and the default wheel, across
+//! seeds, shard counts, and forced worker layouts.
+//!
+//! The heap survives one release solely as the reference engine for
+//! this suite; see DESIGN.md §12 for the removal plan.
+
+use mmt::netsim::{FaultSpec, PeriodicOutage, ShardedSim, Time};
+use mmt::pilot::manyflow::{self, ManyFlowConfig};
+use mmt::pilot::{Pilot, PilotConfig};
+use mmt::telemetry::{prometheus, series};
+
+/// Everything observable from one many-flow fleet run.
+fn fleet_outputs(seed: u64, shards: usize, workers: usize, heap: bool) -> (String, u64, String) {
+    let mut cfg = ManyFlowConfig::quick(seed)
+        .with_shards(shards)
+        .with_series(Time::from_micros(100));
+    if heap {
+        cfg = cfg.with_heap_scheduler();
+    }
+    let groups = cfg.dtns;
+    let sharded = ShardedSim::new(cfg.seed, cfg.shards).with_workers(workers);
+    let report = sharded.run(groups, |g, gs| manyflow::run_group(&cfg, g, gs));
+    (
+        prometheus::render(&report.registry),
+        report.trace_digest,
+        series::to_jsonl(&report.series),
+    )
+}
+
+#[test]
+fn manyflow_heap_and_wheel_agree_for_eight_seeds_all_layouts() {
+    for seed in 1..=8u64 {
+        for shards in [1usize, 2, 4] {
+            for workers in [1usize, 2, 4] {
+                let (wheel_prom, wheel_digest, wheel_series) =
+                    fleet_outputs(seed, shards, workers, false);
+                let (heap_prom, heap_digest, heap_series) =
+                    fleet_outputs(seed, shards, workers, true);
+                assert!(
+                    !wheel_prom.is_empty(),
+                    "seed {seed}: fleet exported no metrics"
+                );
+                assert_eq!(
+                    wheel_prom, heap_prom,
+                    "seed {seed} / {shards} shards / {workers} workers: \
+                     Prometheus output diverged between wheel and heap"
+                );
+                assert_eq!(
+                    wheel_digest, heap_digest,
+                    "seed {seed} / {shards} shards / {workers} workers: \
+                     trace digest diverged between wheel and heap"
+                );
+                assert_eq!(
+                    wheel_series, heap_series,
+                    "seed {seed} / {shards} shards / {workers} workers: \
+                     series JSONL diverged between wheel and heap"
+                );
+            }
+        }
+    }
+}
+
+/// Everything observable from one Fig. 4 pilot run.
+fn pilot_outputs(mut cfg: PilotConfig, heap: bool) -> (String, String, String) {
+    cfg.heap_scheduler = heap;
+    let mut pilot = Pilot::build(cfg);
+    pilot.enable_trace_bounded(4096);
+    pilot.enable_series(Time::from_millis(1));
+    pilot.run(Time::from_secs(300));
+    let trace = pilot
+        .trace_records()
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (
+        prometheus::render(&pilot.metrics()),
+        trace,
+        series::to_jsonl(&pilot.take_series()),
+    )
+}
+
+#[test]
+fn faulted_pilot_heap_and_wheel_agree() {
+    // E12-style: composed WAN faults (reorder, duplication, jitter,
+    // periodic flaps) on top of corruption loss. The fault layer draws
+    // from its own seeded streams, so engine-order bugs show up as
+    // diverged fault verdicts long before they corrupt counters.
+    for seed in [7u64, 21, 63] {
+        let mut cfg = PilotConfig::default_run();
+        cfg.seed = seed;
+        cfg.message_count = 400;
+        cfg.wan_fault = FaultSpec::none()
+            .with_reorder(0.05, Time::from_micros(500))
+            .with_duplication(0.02, Time::from_micros(50))
+            .with_jitter(Time::from_micros(100))
+            .with_scheduled_outage(PeriodicOutage {
+                first_down: Time::from_micros(200),
+                down_for: Time::from_millis(2),
+                period: Time::from_millis(50),
+            });
+        let wheel = pilot_outputs(cfg.clone(), false);
+        let heap = pilot_outputs(cfg, true);
+        assert_eq!(wheel.0, heap.0, "seed {seed}: faulted pilot metrics");
+        assert_eq!(wheel.1, heap.1, "seed {seed}: faulted pilot trace");
+        assert_eq!(wheel.2, heap.2, "seed {seed}: faulted pilot series");
+    }
+}
+
+#[test]
+fn crash_failover_pilot_heap_and_wheel_agree() {
+    // E13-style: DTN 1 crashes mid-run with a standby in the chain, then
+    // restarts. Crash/restart events ride the same queue as packets and
+    // timers, so this exercises tie-breaking between control events and
+    // data events at one timestamp.
+    for seed in [7u64, 42] {
+        let mut cfg = PilotConfig::default_run();
+        cfg.seed = seed;
+        cfg.message_count = 300;
+        cfg.standby = true;
+        cfg.crash_node = Some("dtn1".to_string());
+        cfg.crash_at = Time::from_millis(4);
+        cfg.restart_at = Some(Time::from_millis(40));
+        let wheel = pilot_outputs(cfg.clone(), false);
+        let heap = pilot_outputs(cfg, true);
+        assert_eq!(wheel.0, heap.0, "seed {seed}: failover pilot metrics");
+        assert_eq!(wheel.1, heap.1, "seed {seed}: failover pilot trace");
+        assert_eq!(wheel.2, heap.2, "seed {seed}: failover pilot series");
+    }
+}
+
+#[test]
+fn schedulers_actually_differ_in_implementation() {
+    // Differential sanity: a test suite proving "A == B" is vacuous if
+    // both labels select the same engine. The escape hatch must change
+    // the simulator's scheduler marker, and the fleet must still finish.
+    let wheel = manyflow::run(&ManyFlowConfig::quick(5));
+    let heap = manyflow::run(&ManyFlowConfig::quick(5).with_heap_scheduler());
+    assert!(wheel.shard.packets > 0);
+    assert_eq!(wheel.shard.packets, heap.shard.packets);
+    assert_eq!(wheel.shard.trace_digest, heap.shard.trace_digest);
+}

@@ -1,0 +1,236 @@
+//! Seeded property tests for the hierarchical timing wheel in
+//! isolation, checked against a sorted-vec reference model.
+//!
+//! The wheel's contract (DESIGN.md §12): pop order is globally minimum
+//! `(at, seq)` where `seq` is schedule order — FIFO within one
+//! timestamp — cancel is O(1) and exact, and any u64 timestamp is
+//! accepted, including slot-boundary, overflow-cascade, and `u64::MAX`
+//! saturation cases. The reference model is too slow to ship but
+//! obviously correct: a vec sorted by `(at, seq)`.
+
+use mmt::netsim::wheel::{TimerWheel, HORIZON_TICKS, LEVELS, SLOTS, SLOT_NS};
+
+/// Deterministic xorshift so every failure replays from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Obviously-correct reference: keep everything in a vec, pop the
+/// smallest `(at, seq)`.
+#[derive(Default)]
+struct RefModel {
+    entries: Vec<(u64, u64, u32)>, // (at, seq, id)
+    seq: u64,
+}
+
+impl RefModel {
+    fn schedule(&mut self, at: u64, id: u32) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.entries.push((at, seq, id));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> Option<u32> {
+        let pos = self.entries.iter().position(|&(_, s, _)| s == seq)?;
+        Some(self.entries.remove(pos).2)
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let min = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))?
+            .0;
+        let (at, _, id) = self.entries.remove(min);
+        Some((at, id))
+    }
+}
+
+/// Drive wheel and model through one interleaved schedule/cancel/pop
+/// schedule drawn from `seed`, with timestamps from `pick_at`.
+fn differential_run(seed: u64, ops: usize, pick_at: impl Fn(&mut Rng) -> u64) {
+    let mut rng = Rng(seed | 1);
+    let mut wheel = TimerWheel::new();
+    let mut model = RefModel::default();
+    // Live tokens, kept in sync: model seq -> wheel token.
+    let mut live = Vec::new();
+    let mut next_id = 0u32;
+    for step in 0..ops {
+        match rng.next() % 10 {
+            // 60% schedule, 20% cancel, 20% pop.
+            0..=5 => {
+                let at = pick_at(&mut rng);
+                let id = next_id;
+                next_id += 1;
+                let token = wheel.schedule(at, id);
+                let seq = model.schedule(at, id);
+                live.push((seq, token));
+            }
+            6 | 7 => {
+                if live.is_empty() {
+                    continue;
+                }
+                let victim = (rng.next() as usize) % live.len();
+                let (seq, token) = live.swap_remove(victim);
+                let got = wheel.cancel(token);
+                let want = model.cancel(seq);
+                assert_eq!(got, want, "seed {seed} step {step}: cancel diverged");
+                // Double-cancel must be inert.
+                assert_eq!(wheel.cancel(token), None, "seed {seed}: stale token");
+            }
+            _ => {
+                let got = wheel.pop();
+                let want = model.pop();
+                assert_eq!(got, want, "seed {seed} step {step}: pop diverged");
+                if got.is_some() {
+                    // Drop the popped entry's token; it is stale now and
+                    // cancelling it later must be inert on both sides.
+                    live.retain(|&(seq, _)| model.entries.iter().any(|&(_, s, _)| s == seq));
+                }
+            }
+        }
+        assert_eq!(wheel.len(), model.entries.len(), "seed {seed} step {step}");
+    }
+    // Drain: the tails must agree exactly.
+    loop {
+        let got = wheel.pop();
+        let want = model.pop();
+        assert_eq!(got, want, "seed {seed}: drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn random_interleavings_match_reference_model() {
+    for seed in 1..=16u64 {
+        // Mixed magnitudes: same-tick collisions, near times, far times.
+        differential_run(seed, 600, |rng| match rng.next() % 4 {
+            0 => rng.next() % 100,
+            1 => rng.next() % (SLOT_NS * SLOTS as u64),
+            2 => rng.next() % ((SLOT_NS * HORIZON_TICKS) >> 12),
+            _ => rng.next(),
+        });
+    }
+}
+
+#[test]
+fn slot_boundary_timestamps_match_reference_model() {
+    // k·slot_ns ± 1 for k across every level width, the exact horizon,
+    // horizon ± 1, and u64::MAX: the cases where a rounding slip in
+    // tick math or level selection would misfile an event.
+    let horizon_ns = HORIZON_TICKS.saturating_mul(SLOT_NS);
+    for seed in 1..=8u64 {
+        differential_run(seed.wrapping_mul(0x9E37_79B9), 400, |rng| {
+            let k = rng.next() % (SLOTS as u64 * LEVELS as u64);
+            let base = k.saturating_mul(SLOT_NS);
+            match rng.next() % 8 {
+                0 => base.saturating_sub(1),
+                1 => base,
+                2 => base + 1,
+                3 => horizon_ns - 1,
+                4 => horizon_ns,
+                5 => horizon_ns + 1,
+                6 => u64::MAX,
+                _ => u64::MAX - (rng.next() % SLOT_NS),
+            }
+        });
+    }
+}
+
+#[test]
+fn fifo_within_one_tick() {
+    // Events in the same tick (and the same nanosecond) must pop in
+    // schedule order, even when scheduled out of timestamp order.
+    let mut wheel = TimerWheel::new();
+    let at = 5 * SLOT_NS + 3;
+    for id in 0..64u32 {
+        // Interleave two timestamps inside one tick plus one equal
+        // timestamp: ordering is (at, seq), so equal `at` keeps FIFO.
+        let t = if id % 2 == 0 { at } else { at + 1 };
+        wheel.schedule(t, id);
+    }
+    let mut popped = Vec::new();
+    while let Some((t, id)) = wheel.pop() {
+        popped.push((t, id));
+    }
+    let mut expect: Vec<(u64, u32)> = (0..64u32)
+        .map(|id| (if id % 2 == 0 { at } else { at + 1 }, id))
+        .collect();
+    expect.sort_by_key(|&(t, id)| (t, id)); // schedule order == id order here
+    assert_eq!(
+        popped, expect,
+        "same-tick events must stay FIFO per timestamp"
+    );
+}
+
+#[test]
+fn overflow_cascade_preserves_order() {
+    // Schedule far beyond every wheel level, forcing the overflow list,
+    // interleaved with near events; cascading must never reorder.
+    let mut wheel = TimerWheel::new();
+    let far = HORIZON_TICKS.saturating_mul(SLOT_NS).saturating_mul(3);
+    let mut expect = Vec::new();
+    for i in 0..200u32 {
+        let at = match i % 4 {
+            0 => u64::from(i) * 17,
+            1 => far + u64::from(i),
+            2 => far * 2 + u64::from(i),
+            _ => SLOT_NS * u64::from(i % 50),
+        };
+        wheel.schedule(at, i);
+        expect.push((at, u64::from(i), i));
+    }
+    expect.sort_by_key(|&(at, seq, _)| (at, seq));
+    let mut got = Vec::new();
+    while let Some((at, id)) = wheel.pop() {
+        got.push((at, id));
+    }
+    let expect: Vec<(u64, u32)> = expect.into_iter().map(|(at, _, id)| (at, id)).collect();
+    assert_eq!(got, expect, "overflow cascade reordered events");
+}
+
+#[test]
+fn saturation_at_u64_max_is_poppable() {
+    let mut wheel = TimerWheel::new();
+    wheel.schedule(u64::MAX, 1u32);
+    wheel.schedule(u64::MAX - 1, 2u32);
+    wheel.schedule(u64::MAX, 3u32);
+    wheel.schedule(0, 4u32);
+    assert_eq!(wheel.pop(), Some((0, 4)));
+    assert_eq!(wheel.pop(), Some((u64::MAX - 1, 2)));
+    assert_eq!(wheel.pop(), Some((u64::MAX, 1)), "FIFO at saturation");
+    assert_eq!(wheel.pop(), Some((u64::MAX, 3)));
+    assert_eq!(wheel.pop(), None);
+}
+
+#[test]
+fn schedule_behind_the_cursor_pops_next() {
+    // Popping advances the cursor; a later schedule at an earlier time
+    // must still surface immediately (the sim asserts monotonic time at
+    // a higher layer — the wheel itself must not lose the event).
+    let mut wheel = TimerWheel::new();
+    wheel.schedule(10 * SLOT_NS, 1u32);
+    assert_eq!(wheel.pop(), Some((10 * SLOT_NS, 1)));
+    wheel.schedule(3, 2u32);
+    wheel.schedule(10 * SLOT_NS, 3u32);
+    assert_eq!(
+        wheel.pop(),
+        Some((3, 2)),
+        "behind-cursor event surfaced late"
+    );
+    assert_eq!(wheel.pop(), Some((10 * SLOT_NS, 3)));
+}
