@@ -409,7 +409,10 @@ fn e8(opts: &Opts) {
             u.registers.to_string(),
             tofino.admits(&u).to_string(),
             alveo.admits(&u).to_string(),
-            format!("{:.1}%", tofino.pressure(&u) * 100.0),
+            {
+                let ppm = tofino.pressure_ppm(&u);
+                format!("{}.{}%", ppm / 10_000, ppm % 10_000 / 1_000)
+            },
         ]);
     }
     emit(t, opts);

@@ -405,7 +405,9 @@ impl Node for RetransmitBuffer {
                 self.apply_mode_change(&mc);
                 return;
             }
-            _ => {}
+            Ok((_, ControlRepr::DeadlineExceeded(_)))
+            | Ok((_, ControlRepr::Backpressure(_)))
+            | Err(_) => {}
         }
         // Everything else runs the border pipeline.
         let mut parsed = parsed0;

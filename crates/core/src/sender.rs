@@ -240,7 +240,7 @@ impl Node for MmtSender {
             Ok((_, ControlRepr::DeadlineExceeded(_))) => {
                 self.stats.deadline_notifications += 1;
             }
-            _ => {}
+            Ok((_, ControlRepr::Nak(_))) | Ok((_, ControlRepr::ModeChange(_))) | Err(_) => {}
         }
     }
 

@@ -275,7 +275,12 @@ impl Node for StandbyBuffer {
                 }
                 return;
             }
-            _ => {}
+            // A NAK heard on any other port, and everything else, flows
+            // through the data path below.
+            Ok((_, ControlRepr::Nak(_)))
+            | Ok((_, ControlRepr::DeadlineExceeded(_)))
+            | Ok((_, ControlRepr::Backpressure(_)))
+            | Err(_) => {}
         }
         match port {
             PORT_UP => {

@@ -64,16 +64,19 @@ impl ResourceBudget {
             && usage.registers <= self.max_registers
     }
 
-    /// Fraction of the binding constraint consumed (1.0 = exactly full).
-    pub fn pressure(&self, usage: &ResourceUsage) -> f64 {
+    /// Parts-per-million of the binding constraint consumed
+    /// (1_000_000 = exactly full). Integer so E8 verdicts digest
+    /// identically everywhere.
+    pub fn pressure_ppm(&self, usage: &ResourceUsage) -> u64 {
         [
-            usage.tables as f64 / self.max_tables as f64,
-            usage.entries as f64 / self.max_entries as f64,
-            usage.key_fields as f64 / self.max_key_fields as f64,
-            usage.registers as f64 / self.max_registers as f64,
+            (usage.tables as u64) * 1_000_000 / (self.max_tables as u64).max(1),
+            (usage.entries as u64) * 1_000_000 / (self.max_entries as u64).max(1),
+            (usage.key_fields as u64) * 1_000_000 / (self.max_key_fields as u64).max(1),
+            (usage.registers as u64) * 1_000_000 / (self.max_registers as u64).max(1),
         ]
         .into_iter()
-        .fold(0.0, f64::max)
+        .max()
+        .unwrap_or(0)
     }
 }
 
@@ -91,7 +94,7 @@ mod tests {
             registers: 16,
         };
         assert!(b.admits(&u));
-        assert!(b.pressure(&u) < 0.25);
+        assert!(b.pressure_ppm(&u) < 250_000);
     }
 
     #[test]
@@ -102,7 +105,7 @@ mod tests {
             ..ResourceUsage::default()
         };
         assert!(!b.admits(&u));
-        assert!(b.pressure(&u) > 1.0);
+        assert!(b.pressure_ppm(&u) > 1_000_000);
     }
 
     #[test]
@@ -114,7 +117,7 @@ mod tests {
             key_fields: 1,
             registers: 1,
         };
-        assert!((b.pressure(&u) - 1.0).abs() < 1e-12);
+        assert_eq!(b.pressure_ppm(&u), 1_000_000);
         assert!(b.admits(&u));
     }
 }

@@ -11,8 +11,14 @@
 pub enum TokKind {
     /// An identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
     Ident(String),
-    /// A numeric literal (value not needed by any rule).
+    /// An integer literal (value not needed by any rule).
     Num,
+    /// A floating-point literal (`1.0`, `1e9`, `2.5f32`) — F1 needs the
+    /// distinction, nothing needs the value.
+    Float,
+    /// A string literal's body (escapes unprocessed) — F1 scans these
+    /// for float format specs; every other rule ignores them.
+    Str(String),
     /// A single punctuation character (`.`, `+`, `#`, `[`, ...).
     Punct(char),
 }
@@ -118,7 +124,13 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
             }
             '"' => {
-                i = skip_string(&chars, i, &mut line);
+                let start_line = line;
+                let (end, body) = skip_string(&chars, i, &mut line);
+                out.toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str(body),
+                });
+                i = end;
                 line_has_code = true;
             }
             '\'' => {
@@ -145,7 +157,13 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     if at(k) == Some('"') {
                         // Raw (or byte) string literal.
-                        i = skip_raw_string(&chars, k + 1, hashes, &mut line);
+                        let start_line = line;
+                        let (end, body) = skip_raw_string(&chars, k + 1, hashes, &mut line);
+                        out.toks.push(Tok {
+                            line: start_line,
+                            kind: TokKind::Str(body),
+                        });
+                        i = end;
                         continue;
                     }
                     if ident == "r" && hashes == 1 && at(k).is_some_and(is_ident_start) {
@@ -172,16 +190,25 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
             }
             c if c.is_ascii_digit() => {
+                let start = i;
                 let mut j = i;
                 while at(j).is_some_and(is_ident_continue)
                     || (at(j) == Some('.') && at(j + 1).is_some_and(|cc| cc.is_ascii_digit()))
                 {
                     j += 1;
                 }
-                out.toks.push(Tok {
-                    line,
-                    kind: TokKind::Num,
-                });
+                let text: String = chars.get(start..j).unwrap_or_default().iter().collect();
+                // `x.0` / `pair.0.1` are tuple-field accesses, not floats.
+                let after_dot = out
+                    .toks
+                    .last()
+                    .is_some_and(|t| t.kind == TokKind::Punct('.'));
+                let kind = if !after_dot && is_float_literal(&text) {
+                    TokKind::Float
+                } else {
+                    TokKind::Num
+                };
+                out.toks.push(Tok { line, kind });
                 line_has_code = true;
                 i = j;
             }
@@ -198,31 +225,74 @@ pub fn lex(src: &str) -> Lexed {
     out
 }
 
-/// Skip a normal `"..."` string starting at the opening quote; returns
-/// the index just past the closing quote.
-fn skip_string(chars: &[char], open: usize, line: &mut u32) -> usize {
-    let mut j = open + 1;
-    while let Some(c) = chars.get(j).copied() {
-        match c {
-            '\\' => j += 2,
-            '"' => return j + 1,
-            '\n' => {
-                *line += 1;
-                j += 1;
-            }
-            _ => j += 1,
-        }
+/// Classify a numeric literal's text. Hex/octal/binary are never floats
+/// (`0xDEAD` contains an `e` but is an integer); otherwise a `.`, an
+/// `f32`/`f64` suffix, or an exponent marks a float. An `e`/`E` counts
+/// as an exponent only in numeric position — preceded by a digit or
+/// `.`, followed by a digit or nothing (`1e-9` lexes as `1e` `-` `9`) —
+/// so suffixed integers like `0usize` stay integers.
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x")
+        || text.starts_with("0X")
+        || text.starts_with("0b")
+        || text.starts_with("0o")
+    {
+        return false;
     }
-    j
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    let chars: Vec<char> = text.chars().collect();
+    chars.iter().enumerate().any(|(i, c)| {
+        (*c == 'e' || *c == 'E')
+            && i > 0
+            && chars[i - 1].is_ascii_digit()
+            && chars
+                .get(i + 1)
+                .is_none_or(|n| n.is_ascii_digit() || *n == '_')
+    })
 }
 
-/// Skip a raw string body starting just past the opening quote; the
-/// string ends at `"` followed by `hashes` `#`s.
-fn skip_raw_string(chars: &[char], body: usize, hashes: usize, line: &mut u32) -> usize {
+/// Consume a normal `"..."` string starting at the opening quote;
+/// returns the index just past the closing quote and the raw body text
+/// (escape sequences unprocessed).
+fn skip_string(chars: &[char], open: usize, line: &mut u32) -> (usize, String) {
+    let mut j = open + 1;
+    let mut body = String::new();
+    while let Some(c) = chars.get(j).copied() {
+        match c {
+            '\\' => {
+                body.push(c);
+                if let Some(next) = chars.get(j + 1) {
+                    body.push(*next);
+                }
+                j += 2;
+            }
+            '"' => return (j + 1, body),
+            '\n' => {
+                *line += 1;
+                body.push(c);
+                j += 1;
+            }
+            _ => {
+                body.push(c);
+                j += 1;
+            }
+        }
+    }
+    (j, body)
+}
+
+/// Consume a raw string body starting just past the opening quote; the
+/// string ends at `"` followed by `hashes` `#`s. Returns the index just
+/// past the close and the body text.
+fn skip_raw_string(chars: &[char], body: usize, hashes: usize, line: &mut u32) -> (usize, String) {
     let mut j = body;
+    let mut text = String::new();
     while let Some(c) = chars.get(j).copied() {
         if c == '\n' {
             *line += 1;
+            text.push(c);
             j += 1;
             continue;
         }
@@ -234,12 +304,13 @@ fn skip_raw_string(chars: &[char], body: usize, hashes: usize, line: &mut u32) -
                 k += 1;
             }
             if seen == hashes {
-                return k;
+                return (k, text);
             }
         }
+        text.push(c);
         j += 1;
     }
-    j
+    (j, text)
 }
 
 /// Disambiguate a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
@@ -299,21 +370,43 @@ pub struct Escape {
     pub standalone: bool,
 }
 
+/// A `// mmt-lint: hot` / `// mmt-lint: cold` heat marker. `hot` makes
+/// the next function A1-checked anywhere; `cold` opts a function out
+/// inside a designated hot module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heat {
+    /// Allocation-checked.
+    Hot,
+    /// Opted out of allocation checks (hot modules only).
+    Cold,
+}
+
+/// One heat marker with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeatMarker {
+    /// Line the marker comment is on.
+    pub line: u32,
+    /// Hot or cold.
+    pub heat: Heat,
+}
+
 /// Escape comments parsed from a file, plus any malformed ones.
 #[derive(Debug, Default)]
 pub struct Escapes {
     /// Valid escapes.
     pub valid: Vec<Escape>,
     /// Lines carrying a `mmt-lint:` marker that failed to parse (missing
-    /// rule or justification).
+    /// rule or justification, or an unknown directive).
     pub malformed: Vec<u32>,
+    /// `hot` / `cold` heat markers, in source order.
+    pub markers: Vec<HeatMarker>,
 }
 
 const MARKER: &str = "mmt-lint:";
 
-/// Parse escapes out of the lexed comments. Doc comments (`///`,
-/// `//!`) are documentation, not escape carriers — they may mention the
-/// marker freely.
+/// Parse escapes and heat markers out of the lexed comments. Doc
+/// comments (`///`, `//!`) are documentation, not escape carriers —
+/// they may mention the marker freely.
 pub fn parse_escapes(comments: &[LineComment]) -> Escapes {
     let mut out = Escapes::default();
     for c in comments {
@@ -323,7 +416,24 @@ pub fn parse_escapes(comments: &[LineComment]) -> Escapes {
         let Some(pos) = c.text.find(MARKER) else {
             continue;
         };
-        let rest = c.text.get(pos + MARKER.len()..).unwrap_or("").trim_start();
+        let rest = c.text.get(pos + MARKER.len()..).unwrap_or("").trim();
+        match rest {
+            "hot" => {
+                out.markers.push(HeatMarker {
+                    line: c.line,
+                    heat: Heat::Hot,
+                });
+                continue;
+            }
+            "cold" => {
+                out.markers.push(HeatMarker {
+                    line: c.line,
+                    heat: Heat::Cold,
+                });
+                continue;
+            }
+            _ => {}
+        }
         match parse_allow(rest) {
             Some(rule) => out.valid.push(Escape {
                 line: c.line,
@@ -437,5 +547,62 @@ let b = 2;
         let lexed = lex("let x = 1; // trailing\n// alone\n");
         assert!(!lexed.comments[0].standalone);
         assert!(lexed.comments[1].standalone);
+    }
+
+    #[test]
+    fn float_literals_classified() {
+        let floats = |src: &str| {
+            lex(src)
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Float)
+                .count()
+        };
+        assert_eq!(floats("let a = 1.0;"), 1);
+        assert_eq!(floats("let a = 1e9;"), 1);
+        assert_eq!(floats("let a = 2.5f32;"), 1);
+        assert_eq!(floats("let a = 3f64;"), 1);
+        assert_eq!(floats("let a = 0xDEAD;"), 0); // hex 'e' is not an exponent
+        assert_eq!(floats("let a = 0xFEEDu64;"), 0);
+        assert_eq!(floats("let a = 10u64 + 1_000;"), 0);
+        assert_eq!(floats("let a = 0usize;"), 0); // suffix 'e' is not an exponent
+        assert_eq!(floats("let a = 3usize.pow(2);"), 0);
+        assert_eq!(floats("let a = 1e-9;"), 1); // lexes as `1e` `-` `9`
+        assert_eq!(floats("let a = pair.0;"), 0); // tuple field access
+        assert_eq!(floats("let a = t.0.1;"), 0);
+        assert_eq!(floats("for i in 0..10 {}"), 0);
+    }
+
+    #[test]
+    fn string_bodies_captured() {
+        let strs = |src: &str| -> Vec<String> {
+            lex(src)
+                .toks
+                .into_iter()
+                .filter_map(|t| match t.kind {
+                    TokKind::Str(s) => Some(s),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(strs(r#"let a = "plain";"#), vec!["plain"]);
+        assert_eq!(strs(r#"let a = format!("{:.3}", x);"#), vec!["{:.3}"]);
+        assert_eq!(strs(r##"let a = r#"raw {:e}"#;"##), vec!["raw {:e}"]);
+        // Escaped quote stays inside the body.
+        assert_eq!(strs(r#"let a = "a\"b";"#), vec!["a\\\"b"]);
+    }
+
+    #[test]
+    fn heat_markers_parse_without_malformed() {
+        let src = "// mmt-lint: hot\nfn f() {}\n// mmt-lint: cold\nfn g() {}\n// mmt-lint: warm\n";
+        let lexed = lex(src);
+        let esc = parse_escapes(&lexed.comments);
+        assert_eq!(esc.markers.len(), 2);
+        assert_eq!(esc.markers[0].heat, Heat::Hot);
+        assert_eq!(esc.markers[0].line, 1);
+        assert_eq!(esc.markers[1].heat, Heat::Cold);
+        assert_eq!(esc.markers[1].line, 3);
+        // Unknown directives are still malformed, not silently ignored.
+        assert_eq!(esc.malformed, vec![5]);
     }
 }

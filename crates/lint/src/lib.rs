@@ -14,7 +14,11 @@
 //! | `P1` | `unwrap()`/`expect()`/`panic!`/`unimplemented!`/`todo!` in non-test library code |
 //! | `U1` | Crate roots without `#![forbid(unsafe_code)]` |
 //! | `S1` | Bare `+`/`-` on sequence-number identifiers (use the wrapping/saturating helpers) |
-//! | `ESC` | Malformed escape comments |
+//! | `ESC` | Malformed escape comments and unattached heat markers |
+//! | `F1` | Float literals, float-cast arithmetic, libm calls, and float format specs in digest-critical crates |
+//! | `A1` | Allocation (`Vec::new`, `vec!`, `format!`, `.clone()`, ...) in hot functions |
+//! | `W1` | Wildcard arms in `match`es over the wire control discriminant |
+//! | `E1` | Stale escapes: an `allow(...)` that no longer suppresses anything |
 //!
 //! Per-line escapes carry a mandatory justification:
 //!
@@ -23,18 +27,28 @@
 //! ```
 //!
 //! An escape suppresses its rule on its own line, and — when the comment
-//! stands alone on its line — on the following line as well.
+//! stands alone on its line — across the full extent of the statement
+//! starting on the next line (token-aware, so rustfmt rewrapping cannot
+//! detach it). E1 audits every escape each run: one that suppresses
+//! nothing is itself a violation, keeping the escape list a shrinking
+//! budget rather than a ratchet leak.
+//!
+//! Hot functions are designated by a `// mmt-lint: hot` marker on (or
+//! above) the function, or by living in a hot module
+//! ([`rules::HOT_MODULES`]), where `// mmt-lint: cold` opts a function
+//! back out.
 //!
 //! There is deliberately no full Rust parse here (per the workspace's
 //! offline-build policy: no `syn`, no clippy plugins). A hand-rolled
-//! lexer that understands strings, raw strings, char literals, nested
-//! block comments, and attributes is enough to make every rule
+//! lexer plus a structural layer ([`parse`]: matched delimiters, `fn`
+//! spans, `match` arms, statement extents) is enough to make every rule
 //! token-accurate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
 

@@ -1,0 +1,604 @@
+//! Structural layer over the token stream: matched delimiters, `fn`
+//! item spans, `match` expressions with their arms, and statement
+//! extents.
+//!
+//! This is deliberately not a Rust parser — no precedence, no types, no
+//! name resolution. It recovers just enough shape (which tokens live in
+//! which function body, where a `match` arm's pattern ends, how far the
+//! statement after a comment stretches) for the structural rules (F1,
+//! A1, W1, E1) and the token-aware escape binder. Errors never abort:
+//! unmatched delimiters and half-parsed items degrade to "no structure
+//! here", and the token-level rules still run.
+
+use crate::lexer::{Heat, Tok, TokKind};
+
+/// Sentinel for "no matching delimiter found".
+pub const UNMATCHED: usize = usize::MAX;
+
+/// One `fn` item (free function, method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the item start: first attached attribute, visibility
+    /// qualifier, or the `fn` keyword itself.
+    pub start_line: u32,
+    /// Line of the `fn` keyword.
+    pub fn_line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the body `{` (None for bodyless trait methods).
+    pub body_open: Option<usize>,
+    /// Token index of the body's matching `}`.
+    pub body_close: Option<usize>,
+    /// Heat classification from a `// mmt-lint: hot` / `cold` marker
+    /// bound to this function (None when unmarked).
+    pub heat: Option<Heat>,
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Token range of the pattern (guard and `=>` excluded); empty when
+    /// the splitter could not recover it (struct patterns).
+    pub pat: (usize, usize),
+    /// Line of the `=>`.
+    pub line: u32,
+}
+
+/// One `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchSpan {
+    /// Token index of the `match` keyword.
+    pub match_tok: usize,
+    /// Token index of the body `{`.
+    pub body_open: usize,
+    /// Token index of the body `}`.
+    pub body_close: usize,
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// The structural index of one file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// For each token index: matching close for an open delimiter,
+    /// matching open for a close delimiter, [`UNMATCHED`] otherwise.
+    pub pair: Vec<usize>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Every `match` expression, in source order.
+    pub matches: Vec<MatchSpan>,
+    /// Lines of heat markers that bound to no function (diagnosed ESC).
+    pub unbound_markers: Vec<u32>,
+}
+
+fn is_open(k: &TokKind) -> bool {
+    matches!(
+        k,
+        TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{')
+    )
+}
+
+fn is_close(k: &TokKind) -> bool {
+    matches!(
+        k,
+        TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}')
+    )
+}
+
+/// Build the structural index for a token stream, binding the given
+/// heat markers to the functions they annotate.
+pub fn analyze(toks: &[Tok], markers: &[crate::lexer::HeatMarker]) -> Structure {
+    let mut s = Structure {
+        pair: vec![UNMATCHED; toks.len()],
+        ..Structure::default()
+    };
+    // 1. Delimiter matching (kind-insensitive best effort: a stray close
+    //    just pops whatever is open).
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if is_open(&t.kind) {
+            stack.push(i);
+        } else if is_close(&t.kind) {
+            if let Some(open) = stack.pop() {
+                s.pair[open] = i;
+                s.pair[i] = open;
+            }
+        }
+    }
+
+    // 2. fn items.
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_fn = matches!(&toks[i].kind, TokKind::Ident(k) if k == "fn")
+            && matches!(toks.get(i + 1), Some(t) if matches!(&t.kind, TokKind::Ident(_)));
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let name = match &toks[i + 1].kind {
+            TokKind::Ident(n) => n.clone(),
+            _ => unreachable!(),
+        };
+        let (body_open, body_close) = fn_body(toks, &s.pair, i + 2);
+        s.fns.push(FnSpan {
+            name,
+            start_line: item_start_line(toks, &s.pair, i),
+            fn_line: toks[i].line,
+            fn_tok: i,
+            body_open,
+            body_close,
+            heat: None,
+        });
+        i += 2;
+    }
+
+    // 3. match expressions.
+    for i in 0..toks.len() {
+        if !matches!(&toks[i].kind, TokKind::Ident(k) if k == "match") {
+            continue;
+        }
+        let Some(body_open) = match_body_open(toks, i) else {
+            continue;
+        };
+        let body_close = s.pair[body_open];
+        if body_close == UNMATCHED {
+            continue;
+        }
+        let arms = split_arms(toks, &s.pair, body_open, body_close);
+        s.matches.push(MatchSpan {
+            match_tok: i,
+            body_open,
+            body_close,
+            arms,
+        });
+    }
+
+    // 4. Bind heat markers: a marker on a function's header line, or
+    //    standing above it, attaches to that function.
+    for m in markers {
+        let on_header = s
+            .fns
+            .iter()
+            .position(|f| f.fn_line == m.line || (f.start_line <= m.line && m.line <= f.fn_line));
+        let below = s
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.start_line > m.line)
+            .min_by_key(|(_, f)| f.start_line)
+            .map(|(idx, _)| idx);
+        match on_header.or(below) {
+            Some(idx) => s.fns[idx].heat = Some(m.heat),
+            None => s.unbound_markers.push(m.line),
+        }
+    }
+    s
+}
+
+impl Structure {
+    /// Index (into `fns`) of the innermost function whose body contains
+    /// token `tok_idx`.
+    pub fn innermost_fn(&self, tok_idx: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span_len, fn_idx)
+        for (idx, f) in self.fns.iter().enumerate() {
+            let (Some(open), Some(close)) = (f.body_open, f.body_close) else {
+                continue;
+            };
+            if tok_idx > open && tok_idx < close {
+                let len = close - open;
+                if best.is_none_or(|(blen, _)| len < blen) {
+                    best = Some((len, idx));
+                }
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+}
+
+/// Find a fn's body `{` (or None at the signature-terminating `;`),
+/// scanning from just past the fn name. Parens/brackets in the
+/// signature are skipped by depth; the first depth-0 `{` is the body.
+fn fn_body(toks: &[Tok], pair: &[usize], from: usize) -> (Option<usize>, Option<usize>) {
+    let mut depth = 0i32;
+    let mut j = from;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return (None, None);
+                }
+            }
+            TokKind::Punct('{') if depth == 0 => {
+                let close = pair[j];
+                if close == UNMATCHED {
+                    return (None, None);
+                }
+                return (Some(j), Some(close));
+            }
+            TokKind::Punct(';') | TokKind::Punct('}') if depth == 0 => return (None, None),
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+/// Line the item starting at the `fn` keyword really begins on, walking
+/// back over visibility qualifiers (`pub`, `pub(crate)`, `const`,
+/// `async`, `unsafe`, `extern`, `default`) and attached attributes.
+fn item_start_line(toks: &[Tok], pair: &[usize], fn_tok: usize) -> u32 {
+    let mut j = fn_tok;
+    while j > 0 {
+        match &toks[j - 1].kind {
+            TokKind::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "pub" | "const" | "async" | "unsafe" | "extern" | "default"
+                ) =>
+            {
+                j -= 1;
+            }
+            // `pub(crate)` / `pub(super)`: jump over the paren group.
+            TokKind::Punct(')') => {
+                let open = pair[j - 1];
+                if open == UNMATCHED || open == 0 {
+                    break;
+                }
+                if matches!(&toks[open - 1].kind, TokKind::Ident(s) if s == "pub") {
+                    j = open;
+                } else {
+                    break;
+                }
+            }
+            // `#[attr]`: jump over the bracket group and its `#`.
+            TokKind::Punct(']') => {
+                let open = pair[j - 1];
+                if open == UNMATCHED || open == 0 {
+                    break;
+                }
+                if matches!(&toks[open - 1].kind, TokKind::Punct('#')) {
+                    j = open - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    toks[fn_tok.min(toks.len().saturating_sub(1))]
+        .line
+        .min(toks[j].line)
+}
+
+/// Find the `{` opening a `match` body: first depth-0 `{` after the
+/// scrutinee (Rust forbids bare struct literals there, so this is
+/// unambiguous).
+fn match_body_open(toks: &[Tok], match_tok: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = match_tok + 1;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            TokKind::Punct('{') if depth == 0 => return Some(j),
+            TokKind::Punct(';') if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Split a match body into arms. Walks the body at depth 0, jumping
+/// over delimiter groups wholesale; an arm pattern runs from the last
+/// boundary (body open, depth-0 `,`, or the close of a depth-0 `{}`
+/// group) to its `=>`, with a trailing `if` guard trimmed off.
+fn split_arms(toks: &[Tok], pair: &[usize], body_open: usize, body_close: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut boundary = body_open; // pattern starts after this index
+    let mut k = body_open + 1;
+    while k < body_close {
+        match &toks[k].kind {
+            kind if is_open(kind) => {
+                let close = pair[k];
+                if close == UNMATCHED || close >= body_close {
+                    break;
+                }
+                if *kind == TokKind::Punct('{') {
+                    // Block arm body (or block-like expression tail):
+                    // the next pattern starts after it.
+                    boundary = close;
+                }
+                k = close + 1;
+            }
+            TokKind::Punct(',') => {
+                boundary = k;
+                k += 1;
+            }
+            TokKind::Punct('=') if matches!(toks.get(k + 1), Some(t) if t.kind == TokKind::Punct('>')) =>
+            {
+                let mut pat_end = k;
+                // Trim a guard: depth-0 `if` inside the fragment.
+                for (g, t) in toks.iter().enumerate().take(k).skip(boundary + 1) {
+                    if matches!(&t.kind, TokKind::Ident(s) if s == "if") {
+                        pat_end = g;
+                        break;
+                    }
+                }
+                arms.push(Arm {
+                    pat: (boundary + 1, pat_end),
+                    line: toks[k].line,
+                });
+                k += 2;
+            }
+            _ => k += 1,
+        }
+    }
+    arms
+}
+
+/// Classify an arm pattern as a wildcard / catch-all: `_`, a bare
+/// lowercase binding (`other`), `mut other`, or an or-pattern with any
+/// such alternative. Unit-variant paths (`ControlRepr::Nak(..)`,
+/// `None`) are not wildcards.
+pub fn is_wildcard_pattern(toks: &[Tok], pat: (usize, usize)) -> bool {
+    let (start, end) = pat;
+    if start >= end || end > toks.len() {
+        return false;
+    }
+    // Split on depth-0 `|` (leading `|` yields an empty alternative,
+    // which is ignored).
+    let mut alts: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0i32;
+    let mut alt_start = start;
+    for (j, t) in toks.iter().enumerate().take(end).skip(start) {
+        match &t.kind {
+            k if is_open(k) => depth += 1,
+            k if is_close(k) => depth -= 1,
+            TokKind::Punct('|') if depth == 0 => {
+                alts.push((alt_start, j));
+                alt_start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    alts.push((alt_start, end));
+    alts.iter().any(|&(a, b)| {
+        let toks = &toks[a.min(toks.len())..b.min(toks.len())];
+        match toks {
+            [t] => matches!(&t.kind, TokKind::Ident(s) if is_binding_name(s)),
+            [m, t] => {
+                matches!(&m.kind, TokKind::Ident(s) if s == "mut")
+                    && matches!(&t.kind, TokKind::Ident(s) if is_binding_name(s))
+            }
+            _ => false,
+        }
+    })
+}
+
+/// A lone lowercase-or-underscore identifier in pattern position is a
+/// catch-all binding (unit variants are uppercase by convention, and
+/// the real ones in this workspace all are).
+fn is_binding_name(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c == '_' || c.is_lowercase())
+}
+
+/// Last line covered by a standalone escape on `line`: the extent of
+/// the statement beginning on the next line. Paren/bracket groups are
+/// jumped wholesale (a rustfmt-rewrapped call stays covered); the
+/// statement ends at a depth-0 `;` or `,`, at a `{` (block bodies are
+/// NOT covered — an escape above a `fn` covers its header, not every
+/// line inside), or at the close of the enclosing group.
+pub fn standalone_extent(toks: &[Tok], pair: &[usize], line: u32) -> u32 {
+    let Some(first) = toks.iter().position(|t| t.line > line) else {
+        return line + 1;
+    };
+    if toks[first].line != line + 1 {
+        // Nothing attached directly below; cover only the blank line.
+        return line + 1;
+    }
+    let mut k = first;
+    let mut last_line = toks[first].line;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('{') => return toks[k].line,
+            TokKind::Punct(';') | TokKind::Punct(',') => return toks[k].line,
+            TokKind::Punct('(') | TokKind::Punct('[') => {
+                let close = pair[k];
+                if close == UNMATCHED {
+                    return toks[k].line;
+                }
+                last_line = toks[close].line;
+                k = close + 1;
+            }
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                // Enclosing group closed: statement ended before it.
+                return last_line;
+            }
+            _ => {
+                last_line = toks[k].line.max(last_line);
+                k += 1;
+            }
+        }
+    }
+    last_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, parse_escapes};
+
+    fn structure(src: &str) -> (Vec<Tok>, Structure) {
+        let lexed = lex(src);
+        let esc = parse_escapes(&lexed.comments);
+        let s = analyze(&lexed.toks, &esc.markers);
+        (lexed.toks, s)
+    }
+
+    #[test]
+    fn fn_spans_with_attrs_and_vis() {
+        let src = "\
+#[inline]
+pub(crate) fn alpha(x: u32) -> u32 { x }
+
+fn beta();
+";
+        let (_, s) = structure(src);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "alpha");
+        assert_eq!(s.fns[0].start_line, 1); // attribute line
+        assert_eq!(s.fns[0].fn_line, 2);
+        assert!(s.fns[0].body_open.is_some());
+        assert_eq!(s.fns[1].name, "beta");
+        assert!(s.fns[1].body_open.is_none());
+    }
+
+    #[test]
+    fn innermost_fn_resolves_nesting() {
+        let src = "fn outer() { fn inner() { let x = 1; } let y = 2; }";
+        let (toks, s) = structure(src);
+        let x_idx = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("x".into()))
+            .unwrap();
+        let y_idx = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("y".into()))
+            .unwrap();
+        assert_eq!(s.fns[s.innermost_fn(x_idx).unwrap()].name, "inner");
+        assert_eq!(s.fns[s.innermost_fn(y_idx).unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn match_arms_split_and_wildcards_detected() {
+        let src = "\
+fn f(x: Foo) -> u32 {
+    match x {
+        Foo::A(n) => n,
+        Foo::B { v, .. } => v,
+        other => 0,
+    }
+}
+";
+        let (toks, s) = structure(src);
+        assert_eq!(s.matches.len(), 1);
+        let m = &s.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(!is_wildcard_pattern(&toks, m.arms[0].pat));
+        assert!(is_wildcard_pattern(&toks, m.arms[2].pat));
+        assert_eq!(m.arms[2].line, 5);
+    }
+
+    #[test]
+    fn guards_and_underscores() {
+        let src = "\
+fn f(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        n if n > 10 => n,
+        _ => 0,
+    }
+}
+";
+        let (toks, s) = structure(src);
+        let m = &s.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        // `n if n > 10` is a guarded catch-all binding: still a wildcard.
+        assert!(is_wildcard_pattern(&toks, m.arms[1].pat));
+        assert!(is_wildcard_pattern(&toks, m.arms[2].pat));
+    }
+
+    #[test]
+    fn block_arm_bodies_do_not_swallow_next_pattern() {
+        let src = "\
+fn f(x: Foo) -> u32 {
+    match x {
+        Foo::A(n) => { let y = n; y }
+        _ => 0,
+    }
+}
+";
+        let (toks, s) = structure(src);
+        let m = &s.matches[0];
+        assert_eq!(m.arms.len(), 2);
+        assert!(is_wildcard_pattern(&toks, m.arms[1].pat));
+    }
+
+    #[test]
+    fn or_pattern_with_binding_alternative() {
+        let src = "fn f(x: u32) { match x { 0 | n => {} } }";
+        let (toks, s) = structure(src);
+        assert!(is_wildcard_pattern(&toks, s.matches[0].arms[0].pat));
+        let src2 = "fn f(x: E) { match x { E::A | E::B => {} } }";
+        let (toks2, s2) = structure(src2);
+        assert!(!is_wildcard_pattern(&toks2, s2.matches[0].arms[0].pat));
+    }
+
+    #[test]
+    fn heat_markers_bind_to_next_fn() {
+        let src = "\
+// mmt-lint: hot
+#[inline]
+fn fast() {}
+
+fn plain() {}
+
+// mmt-lint: cold
+fn slow() {}
+
+// mmt-lint: hot
+";
+        let lexed = lex(src);
+        let esc = parse_escapes(&lexed.comments);
+        let s = analyze(&lexed.toks, &esc.markers);
+        assert_eq!(s.fns[0].heat, Some(crate::lexer::Heat::Hot));
+        assert_eq!(s.fns[1].heat, None);
+        assert_eq!(s.fns[2].heat, Some(crate::lexer::Heat::Cold));
+        assert_eq!(s.unbound_markers, vec![10]);
+    }
+
+    #[test]
+    fn standalone_extent_tracks_rewrapped_statements() {
+        // Single-line statement: extent is the next line (old behavior).
+        let src = "// c\nlet x = y.f();\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed.toks, &[]);
+        assert_eq!(standalone_extent(&lexed.toks, &s.pair, 1), 2);
+
+        // Rewrapped call: the whole statement is covered.
+        let src = "// c\nlet x = compute(\n    a,\n    b,\n).unwrap();\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed.toks, &[]);
+        assert_eq!(standalone_extent(&lexed.toks, &s.pair, 1), 5);
+
+        // Escape above a fn covers the header, not the body.
+        let src = "// c\nfn f(\n    a: u32,\n) -> u32 {\n    a\n}\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed.toks, &[]);
+        assert_eq!(standalone_extent(&lexed.toks, &s.pair, 1), 4);
+
+        // Match arm covered to its trailing comma.
+        let src = "// c\nFoo::A(n) =>\n    handle(n),\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed.toks, &[]);
+        assert_eq!(standalone_extent(&lexed.toks, &s.pair, 1), 3);
+
+        // Blank line below: nothing attached.
+        let src = "// c\n\nlet x = 1;\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed.toks, &[]);
+        assert_eq!(standalone_extent(&lexed.toks, &s.pair, 1), 2);
+    }
+}

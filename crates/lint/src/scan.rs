@@ -4,7 +4,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{check_file, classify, Violation};
+use crate::rules::{check_file_full, classify, Violation};
 
 /// Directories never descended into during a scan.
 const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures"];
@@ -16,6 +16,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// All diagnostics, sorted by (path, line, rule).
     pub violations: Vec<Violation>,
+    /// Total well-formed `allow(...)` escapes across the scan — the
+    /// escape budget CI tracks per PR.
+    pub escapes: usize,
 }
 
 impl Report {
@@ -34,9 +37,10 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "mmt-lint: {} file(s) scanned, {} violation(s)\n",
+            "mmt-lint: {} file(s) scanned, {} violation(s), {} escape(s)\n",
             self.files_scanned,
-            self.violations.len()
+            self.violations.len(),
+            self.escapes
         ));
         out
     }
@@ -45,6 +49,7 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"escapes\":{},", self.escapes));
         out.push_str("\"violations\":[");
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
@@ -104,7 +109,9 @@ pub fn run(roots: &[PathBuf], assume_crate: Option<&str>) -> io::Result<Report> 
         let src = fs::read_to_string(path)?;
         let display = path.to_string_lossy().replace('\\', "/");
         let class = classify(&display, assume_crate);
-        report.violations.extend(check_file(&display, &class, &src));
+        let check = check_file_full(&display, &class, &src);
+        report.violations.extend(check.violations);
+        report.escapes += check.escapes;
         report.files_scanned += 1;
     }
     report.violations.sort();
@@ -147,11 +154,13 @@ mod tests {
         let r = Report {
             files_scanned: 3,
             violations: vec![],
+            escapes: 7,
         };
         assert!(r.is_clean());
         assert!(r
             .render_text()
-            .contains("3 file(s) scanned, 0 violation(s)"));
+            .contains("3 file(s) scanned, 0 violation(s), 7 escape(s)"));
         assert!(r.render_json().contains("\"files_scanned\":3"));
+        assert!(r.render_json().contains("\"escapes\":7"));
     }
 }

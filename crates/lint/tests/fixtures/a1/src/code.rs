@@ -1,0 +1,26 @@
+//! A1 fixture: allocation in hot code.
+
+// mmt-lint: hot
+pub fn hot_alloc() -> Vec<u8> {
+    Vec::new()
+}
+
+// mmt-lint: hot
+pub fn hot_vec_macro() -> Vec<u8> {
+    vec![0u8; 4]
+}
+
+// mmt-lint: hot
+pub fn hot_clone(s: &[u8]) -> Vec<u8> {
+    s.to_vec()
+}
+
+pub fn cold_alloc() -> Vec<u8> {
+    Vec::new()
+}
+
+// mmt-lint: hot
+pub fn hot_escaped() -> Vec<u8> {
+    // mmt-lint: allow(A1, "fixture: amortized growth path")
+    Vec::new()
+}

@@ -1,0 +1,16 @@
+//! Binder fixture: a standalone escape covers the whole statement that
+//! starts on the next line — token-aware, so a rustfmt rewrap that pushes
+//! the violating call onto a later line cannot detach the escape. It does
+//! NOT bleed past the statement's end.
+
+pub fn rewrapped(v: Option<u32>) -> u32 {
+    // mmt-lint: allow(P1, "fixture: the unwrap sits two lines below after a rewrap")
+    v.map(|x| x + 1)
+        .unwrap()
+}
+
+pub fn next_statement_not_covered(v: Option<u32>) -> u32 {
+    // mmt-lint: allow(P1, "fixture: coverage must stop at the first statement")
+    let w = v;
+    w.unwrap()
+}

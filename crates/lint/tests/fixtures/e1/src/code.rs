@@ -1,0 +1,19 @@
+//! E1 fixture: stale and unknown escapes.
+
+pub fn stale_trailing() -> u32 {
+    1 // mmt-lint: allow(P1, "nothing panics here any more")
+}
+
+pub fn live_escape(v: Option<u32>) -> u32 {
+    v.unwrap() // mmt-lint: allow(P1, "fixture: the escape still suppresses this unwrap")
+}
+
+pub fn unknown_rule() -> u32 {
+    // mmt-lint: allow(Z9, "no such rule")
+    3
+}
+
+pub fn stale_standalone() -> u32 {
+    // mmt-lint: allow(D1, "no hash map below any more")
+    4
+}

@@ -1,0 +1,30 @@
+//! F1 fixture: float hazards in a digest-critical crate.
+
+pub fn bad_literal() -> f64 {
+    0.5
+}
+
+pub fn bad_cast_arith(n: u64) -> f64 {
+    n as f64 / 2.0
+}
+
+pub fn bad_libm(x: f64) -> f64 {
+    x.ln()
+}
+
+pub fn bad_format(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+pub fn ok_integer(n: u64) -> u64 {
+    n / 2
+}
+
+pub fn ok_sqrt(x: f64) -> f64 {
+    x.sqrt()
+}
+
+pub fn ok_escaped() -> f64 {
+    // mmt-lint: allow(F1, "fixture: reporting-only constant")
+    2.5
+}

@@ -1,0 +1,38 @@
+//! W1 fixture: wildcard arms over the wire control discriminant.
+
+pub enum ControlRepr {
+    Nak(u8),
+    DeadlineExceeded(u8),
+    Backpressure(u8),
+    ModeChange(u8),
+}
+
+pub fn bad(c: &ControlRepr) -> u32 {
+    match c {
+        ControlRepr::Nak(_) => 1,
+        _ => 0,
+    }
+}
+
+pub fn good(c: &ControlRepr) -> u32 {
+    match c {
+        ControlRepr::Nak(_) => 1,
+        ControlRepr::DeadlineExceeded(_) | ControlRepr::Backpressure(_) => 2,
+        ControlRepr::ModeChange(_) => 3,
+    }
+}
+
+pub fn unrelated(v: u8) -> u32 {
+    match v {
+        1 => 1,
+        _ => 0,
+    }
+}
+
+pub fn escaped(c: &ControlRepr) -> u32 {
+    match c {
+        ControlRepr::Nak(_) => 1,
+        // mmt-lint: allow(W1, "fixture: decode boundary")
+        _ => 0,
+    }
+}

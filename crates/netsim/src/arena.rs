@@ -81,12 +81,14 @@ pub struct PacketArena {
 
 impl PacketArena {
     /// An empty arena.
+    // mmt-lint: cold
     pub fn new() -> PacketArena {
         PacketArena::default()
     }
 
     /// An arena with `n` slots pre-created (each slot's buffer sized to
     /// `buf_len`), so the hot path never allocates at all.
+    // mmt-lint: cold
     pub fn with_capacity(n: usize, buf_len: usize) -> PacketArena {
         let mut a = PacketArena::new();
         a.slots.reserve(n);
@@ -119,6 +121,7 @@ impl PacketArena {
             None => {
                 self.stats.fresh += 1;
                 self.slots.push(Slot {
+                    // mmt-lint: allow(A1, "free list empty: arena growth path, amortized across the run")
                     buf: Vec::new(),
                     generation: 0,
                     live: false,
@@ -200,6 +203,7 @@ impl PacketArena {
             }
             None => {
                 self.stats.packets_fresh += 1;
+                // mmt-lint: allow(A1, "spare pool empty: pool-miss path, amortized across the run")
                 Vec::with_capacity(len)
             }
         };
@@ -224,6 +228,7 @@ impl PacketArena {
             }
             None => {
                 self.stats.packets_fresh += 1;
+                // mmt-lint: allow(A1, "spare pool empty: pool-miss path, amortized across the run")
                 Vec::with_capacity(len)
             }
         };

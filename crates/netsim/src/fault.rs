@@ -95,6 +95,7 @@ impl FaultSpec {
     /// Whether this spec injects nothing (the fast path skips all fault
     /// bookkeeping when true).
     pub fn is_none(&self) -> bool {
+        // mmt-lint: allow(F1, "exact comparisons against the 0.0 constant; no rounding involved")
         self.reorder <= 0.0
             && self.duplicate <= 0.0
             && self.jitter == Time::ZERO
@@ -193,8 +194,10 @@ impl FaultState {
     }
 
     fn exp_time(rng: &mut SimRng, mean: Time) -> Time {
+        // mmt-lint: allow(F1, "exponential outage sampling is libm-backed (documented hazard): bit-stable per platform, digest baselines recorded on the pinned CI libm")
         let ns = rng.exponential(mean.as_nanos() as f64).max(1.0);
         // Cap at ~292 years of virtual time to avoid overflow on extremes.
+        // mmt-lint: allow(F1, "exact clamp constants; conversion back to integer ns happens once here")
         Time::from_nanos(ns.min(9.2e18) as u64)
     }
 
@@ -229,6 +232,7 @@ impl FaultState {
                 return FaultVerdict::FlapDrop;
             }
         }
+        // mmt-lint: allow(F1, "exact comparison against the 0.0 constant; no rounding involved")
         if is_control && spec.control_loss > 0.0 && self.rng.chance(spec.control_loss) {
             return FaultVerdict::ControlDrop;
         }
@@ -237,10 +241,12 @@ impl FaultState {
             extra += Time::from_nanos(self.rng.next_bounded(spec.jitter.as_nanos() + 1));
         }
         let mut reordered = false;
+        // mmt-lint: allow(F1, "exact comparison against the 0.0 constant; no rounding involved")
         if spec.reorder > 0.0 && spec.reorder_delay > Time::ZERO && self.rng.chance(spec.reorder) {
             reordered = true;
             extra += Time::from_nanos(1 + self.rng.next_bounded(spec.reorder_delay.as_nanos()));
         }
+        // mmt-lint: allow(F1, "exact comparison against the 0.0 constant; no rounding involved")
         let duplicate_after = if spec.duplicate > 0.0 && self.rng.chance(spec.duplicate) {
             Some(spec.duplicate_delay.max(Time::from_nanos(1)))
         } else {

@@ -29,6 +29,7 @@ impl SimRng {
     /// A uniform float in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
         // 53 random mantissa bits.
+        // mmt-lint: allow(F1, "mantissa-scale by a power of two: every step is IEEE-exact, bit-identical on all platforms")
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
@@ -44,8 +45,10 @@ impl SimRng {
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
+        // mmt-lint: allow(F1, "exact comparison against the 0.0 constant; no rounding involved")
         if p <= 0.0 {
             false
+        // mmt-lint: allow(F1, "exact comparison against the 1.0 constant; no rounding involved")
         } else if p >= 1.0 {
             true
         } else {
@@ -76,6 +79,7 @@ impl SimRng {
     /// Sample an exponential inter-arrival time with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         let u = self.next_f64().max(f64::MIN_POSITIVE);
+        // mmt-lint: allow(F1, "ln is libm-backed (documented hazard): bit-stable per platform, digest baselines recorded on the pinned CI libm")
         -mean * u.ln()
     }
 
@@ -83,6 +87,7 @@ impl SimRng {
     pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
         let u1 = self.next_f64().max(f64::MIN_POSITIVE);
         let u2 = self.next_f64();
+        // mmt-lint: allow(F1, "Box-Muller ln/cos are libm-backed (documented hazard): bit-stable per platform, digest baselines recorded on the pinned CI libm")
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
         mean + stddev * z
     }

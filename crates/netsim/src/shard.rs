@@ -156,6 +156,7 @@ impl ShardReport {
         let total = self.events.max(1) as f64;
         self.shard_loads
             .iter()
+            // mmt-lint: allow(F1, "report-side load share; never enters the sim or its digests")
             .map(|l| l.events as f64 / total)
             .collect()
     }
@@ -229,6 +230,7 @@ impl ShardedSim {
     /// more, worker `w` owns groups `g ≡ w (mod workers)` on its own
     /// thread. Accounting always attributes group `g` to logical shard
     /// `g % shards`, so load reports are identical at any worker count.
+    // mmt-lint: cold
     pub fn run<F>(&self, groups: usize, run_group: F) -> ShardReport
     where
         F: Fn(usize, u64) -> GroupResult + Send + Sync,
@@ -273,6 +275,7 @@ impl ShardedSim {
     /// Fold per-group results in ascending group order (the order of the
     /// `slots` vector), which is what keeps the merge independent of
     /// completion order.
+    // mmt-lint: cold
     fn merge(&self, slots: Vec<Option<(usize, GroupResult)>>) -> ShardReport {
         let mut registry = MetricRegistry::new();
         let mut digest = Fnv64::new();

@@ -529,6 +529,7 @@ impl Simulator {
                     link.queue.occupancy_packets() as f64,
                 ),
             ] {
+                // mmt-lint: allow(F1, "exact zero test on integer-valued gauges; no rounding involved")
                 if value != 0.0 {
                     reg.gauge_set_set(name, &labels, value);
                 }

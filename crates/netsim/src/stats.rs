@@ -16,13 +16,16 @@ pub fn quantile_sorted(sorted: &[u64], q: f64) -> Option<u64> {
     if sorted.is_empty() {
         return None;
     }
+    // mmt-lint: allow(F1, "report-side rank selection: one IEEE-exact multiply+round of a sub-2^53 count; result is an index, not a digested value")
     let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    // mmt-lint: allow(F1, "report-side rank selection: one IEEE-exact multiply+round of a sub-2^53 count; result is an index, not a digested value")
     let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
     sorted.get(rank.min(sorted.len() - 1)).copied()
 }
 
 /// Median over an already-sorted slice (see [`quantile_sorted`]).
 pub fn median_sorted(sorted: &[u64]) -> Option<u64> {
+    // mmt-lint: allow(F1, "exactly-representable quantile constant passed to report-side selection")
     quantile_sorted(sorted, 0.5)
 }
 
@@ -156,17 +159,20 @@ impl LatencyHistogram {
 
     /// Median latency.
     pub fn median(&mut self) -> Option<Time> {
+        // mmt-lint: allow(F1, "exactly-representable quantile constant passed to report-side selection")
         self.quantile(0.5)
     }
 
     /// The 99th-percentile latency.
     pub fn p99(&mut self) -> Option<Time> {
+        // mmt-lint: allow(F1, "quantile constant for report-side selection; nearest-double rounding is fixed by IEEE 754, identical everywhere")
         self.quantile(0.99)
     }
 
     /// The 99.9th-percentile latency (the tail the paper's deadline
     /// arguments care about).
     pub fn p999(&mut self) -> Option<Time> {
+        // mmt-lint: allow(F1, "quantile constant for report-side selection; nearest-double rounding is fixed by IEEE 754, identical everywhere")
         self.quantile(0.999)
     }
 
@@ -229,6 +235,7 @@ impl OnlineStats {
     pub fn record(&mut self, x: f64) {
         self.n += 1;
         let d = x - self.mean;
+        // mmt-lint: allow(F1, "Welford update is +,-,*,/ only — IEEE-exact ops, bit-identical on all platforms; summary stats never enter digests")
         self.mean += d / self.n as f64;
         self.m2 += d * (x - self.mean);
     }
@@ -246,8 +253,10 @@ impl OnlineStats {
     /// Population variance (0.0 with <2 samples).
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
+            // mmt-lint: allow(F1, "exact zero constant; division below is a single IEEE-exact op on report-side values")
             0.0
         } else {
+            // mmt-lint: allow(F1, "exact zero constant; division below is a single IEEE-exact op on report-side values")
             self.m2 / self.n as f64
         }
     }

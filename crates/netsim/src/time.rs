@@ -36,6 +36,7 @@ impl Time {
     /// Construct from a floating-point second count (for human-friendly
     /// configuration; rounded to the nearest nanosecond).
     pub fn from_secs_f64(s: f64) -> Time {
+        // mmt-lint: allow(F1, "config-boundary helper: one IEEE-exact multiply, rounded to integer ns before entering the sim")
         Time((s * 1e9).round() as u64)
     }
 
@@ -56,6 +57,7 @@ impl Time {
 
     /// The value in seconds, as a float (for reporting only).
     pub fn as_secs_f64(&self) -> f64 {
+        // mmt-lint: allow(F1, "reporting-only view; the value never re-enters the sim or its digests")
         self.0 as f64 / 1e9
     }
 
@@ -106,13 +108,20 @@ impl core::ops::Div<u64> for Time {
 
 impl core::fmt::Display for Time {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Pure integer formatting (truncated to three decimals) so even
+        // human-readable output is platform-independent.
         let ns = self.0;
         if ns >= 1_000_000_000 {
-            write!(f, "{:.3}s", self.as_secs_f64())
+            write!(
+                f,
+                "{}.{:03}s",
+                ns / 1_000_000_000,
+                ns % 1_000_000_000 / 1_000_000
+            )
         } else if ns >= 1_000_000 {
-            write!(f, "{:.3}ms", ns as f64 / 1e6)
+            write!(f, "{}.{:03}ms", ns / 1_000_000, ns % 1_000_000 / 1_000)
         } else if ns >= 1_000 {
-            write!(f, "{:.3}µs", ns as f64 / 1e3)
+            write!(f, "{}.{:03}µs", ns / 1_000, ns % 1_000)
         } else {
             write!(f, "{ns}ns")
         }
@@ -156,6 +165,7 @@ impl Bandwidth {
 
     /// The rate in Gbit/s as a float (for reporting).
     pub fn as_gbps_f64(&self) -> f64 {
+        // mmt-lint: allow(F1, "reporting-only view; the value never re-enters the sim or its digests")
         self.0 as f64 / 1e9
     }
 
@@ -178,13 +188,24 @@ impl Bandwidth {
 
 impl core::fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Integer formatting (truncated to two decimals), matching Time.
         let bps = self.0;
         if bps >= 1_000_000_000_000 {
-            write!(f, "{:.2}Tbps", bps as f64 / 1e12)
+            write!(
+                f,
+                "{}.{:02}Tbps",
+                bps / 1_000_000_000_000,
+                bps % 1_000_000_000_000 / 10_000_000_000
+            )
         } else if bps >= 1_000_000_000 {
-            write!(f, "{:.2}Gbps", bps as f64 / 1e9)
+            write!(
+                f,
+                "{}.{:02}Gbps",
+                bps / 1_000_000_000,
+                bps % 1_000_000_000 / 10_000_000
+            )
         } else if bps >= 1_000_000 {
-            write!(f, "{:.2}Mbps", bps as f64 / 1e6)
+            write!(f, "{}.{:02}Mbps", bps / 1_000_000, bps % 1_000_000 / 10_000)
         } else {
             write!(f, "{bps}bps")
         }

@@ -117,6 +117,7 @@ impl<T> Default for TimerWheel<T> {
 
 impl<T> TimerWheel<T> {
     /// An empty wheel with its cursor at tick 0.
+    // mmt-lint: cold
     pub fn new() -> TimerWheel<T> {
         TimerWheel {
             slab: Vec::new(),

@@ -152,6 +152,15 @@ pub struct Pilot {
 }
 
 impl Pilot {
+    /// The node at `id` downcast to the concrete type `build()` registered
+    /// it with. Every id this struct holds is minted by `build()` together
+    /// with its type, so the lookup is infallible.
+    fn node<T: 'static>(&self, id: NodeId) -> &T {
+        self.sim
+            .node_as::<T>(id)
+            .expect("node type fixed at build()") // mmt-lint: allow(P1, "ids are minted by build() with the matching concrete type; a miss is a construction bug, not a runtime condition")
+    }
+
     /// Build the Fig. 4 chain.
     pub fn build(config: PilotConfig) -> Pilot {
         let mut sim = Simulator::new(config.seed);
@@ -346,16 +355,8 @@ impl Pilot {
             let wan = self.sim.link_stats(self.wan_link);
             let tx = wan.tx_packets;
             let lost = wan.corruption_losses + wan.flap_drops + wan.queue_drops;
-            let rcv_stats = self
-                .sim
-                .node_as::<MmtReceiver>(self.receiver)
-                .expect("receiver type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-                .stats;
-            let occupancy = self
-                .sim
-                .node_as::<RetransmitBuffer>(self.dtn1)
-                .expect("dtn1 type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-                .stored_bytes() as u64;
+            let rcv_stats = self.node::<MmtReceiver>(self.receiver).stats;
+            let occupancy = self.node::<RetransmitBuffer>(self.dtn1).stored_bytes() as u64;
             let sample = HealthSample {
                 wan_tx: tx.saturating_sub(prev_tx),
                 wan_lost: lost.saturating_sub(prev_lost),
@@ -553,65 +554,37 @@ impl Pilot {
     pub fn metrics(&self) -> mmt_telemetry::MetricRegistry {
         let mut reg = mmt_telemetry::MetricRegistry::new();
         self.sim.export_metrics(&mut reg);
-        self.sim
-            .node_as::<MmtSender>(self.sensor)
-            .expect("sensor type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+        self.node::<MmtSender>(self.sensor)
             .export_metrics(self.sim.node_name(self.sensor), &mut reg);
-        self.sim
-            .node_as::<RetransmitBuffer>(self.dtn1)
-            .expect("dtn1 type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+        self.node::<RetransmitBuffer>(self.dtn1)
             .export_metrics(self.sim.node_name(self.dtn1), &mut reg);
         if let Some(sb) = self.standby {
-            self.sim
-                .node_as::<StandbyBuffer>(sb)
-                .expect("standby type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+            self.node::<StandbyBuffer>(sb)
                 .export_metrics(self.sim.node_name(sb), &mut reg);
         }
-        self.sim
-            .node_as::<DataplaneElement>(self.tofino)
-            .expect("tofino type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+        self.node::<DataplaneElement>(self.tofino)
             .export_metrics(self.sim.node_name(self.tofino), &mut reg);
-        self.sim
-            .node_as::<DataplaneElement>(self.dtn2_switch)
-            .expect("dtn2 switch type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+        self.node::<DataplaneElement>(self.dtn2_switch)
             .export_metrics(self.sim.node_name(self.dtn2_switch), &mut reg);
-        self.sim
-            .node_as::<MmtReceiver>(self.receiver)
-            .expect("receiver type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+        self.node::<MmtReceiver>(self.receiver)
             .export_metrics(self.sim.node_name(self.receiver), &mut reg);
         reg
     }
 
     /// Whether the receiver saw every message.
     pub fn is_complete(&self) -> bool {
-        self.sim
-            .node_as::<MmtReceiver>(self.receiver)
-            .expect("receiver type") // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-            .is_complete()
+        self.node::<MmtReceiver>(self.receiver).is_complete()
     }
 
     /// Collect the run's report.
     pub fn report(&self) -> PilotReport {
-        let sender: SenderStats = self.sim.node_as::<MmtSender>(self.sensor).unwrap().stats; // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-        let buffer: RetransmitBufferStats = self
-            .sim
-            .node_as::<RetransmitBuffer>(self.dtn1)
-            .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-            .stats;
-        let tofino: ElementStats = *self
-            .sim
-            .node_as::<DataplaneElement>(self.tofino)
-            .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-            .stats();
-        let dtn2: ElementStats = *self
-            .sim
-            .node_as::<DataplaneElement>(self.dtn2_switch)
-            .unwrap() // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-            .stats();
-        let standby: Option<StandbyBufferStats> = self
-            .standby
-            .map(|sb| self.sim.node_as::<StandbyBuffer>(sb).unwrap().stats); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
-        let rcv = self.sim.node_as::<MmtReceiver>(self.receiver).unwrap(); // mmt-lint: allow(P1, "node registered with this concrete type in build()")
+        let sender: SenderStats = self.node::<MmtSender>(self.sensor).stats;
+        let buffer: RetransmitBufferStats = self.node::<RetransmitBuffer>(self.dtn1).stats;
+        let tofino: ElementStats = *self.node::<DataplaneElement>(self.tofino).stats();
+        let dtn2: ElementStats = *self.node::<DataplaneElement>(self.dtn2_switch).stats();
+        let standby: Option<StandbyBufferStats> =
+            self.standby.map(|sb| self.node::<StandbyBuffer>(sb).stats);
+        let rcv = self.node::<MmtReceiver>(self.receiver);
         let receiver: ReceiverStats = rcv.stats;
         let receiver_retransmit_source = rcv.retransmit_source();
         let mut latency = LatencyHistogram::new();

@@ -8,6 +8,20 @@ use std::collections::BTreeMap;
 const TOKEN_RTO: TimerToken = 1;
 const TOKEN_SEND: TimerToken = 2;
 
+/// Integer cube root: the largest `r` with `r³ ≤ n`.
+fn icbrt(n: u128) -> u64 {
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1 << 43;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        match mid.checked_mul(mid).and_then(|s| s.checked_mul(mid)) {
+            Some(cube) if cube <= n => lo = mid,
+            _ => hi = mid - 1,
+        }
+    }
+    lo as u64
+}
+
 /// Counters and timings exposed after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TcpSenderStats {
@@ -39,12 +53,19 @@ pub struct TcpSender {
     schedule: Vec<Time>,
     total_bytes: u64,
 
-    // Connection state.
+    // Connection state. All congestion arithmetic is integer (bytes and
+    // nanoseconds, kernel-style fixed point) so runs are bit-identical
+    // across platforms — no float in the digest-critical path.
     established: bool,
     snd_una: u64,
     snd_nxt: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    cwnd: u64,
+    /// Reno congestion-avoidance remainder: accumulated `mss·acked`
+    /// product not yet converted into window bytes (the integer
+    /// equivalent of fractional cwnd growth, like the kernel's
+    /// `snd_cwnd_cnt`).
+    cwnd_acc: u64,
+    ssthresh: u64,
     peer_window: u64,
     dup_acks: u32,
     /// Fast-recovery guard: ignore further dupack halvings until
@@ -52,16 +73,17 @@ pub struct TcpSender {
     recovery_until: u64,
 
     // CUBIC state (RFC 8312): window at the last loss, the epoch, and
-    // the plateau time K (0 when slow start exited without loss).
-    cubic_wmax: f64,
+    // the plateau time K in microseconds (0 when slow start exited
+    // without loss).
+    cubic_wmax: u64,
     cubic_epoch: Option<Time>,
-    cubic_k: f64,
+    cubic_k_us: u64,
 
-    // RTT estimation / RTO.
-    srtt_ns: f64,
-    rttvar_ns: f64,
+    // RTT estimation / RTO (integer ns, RFC 6298 shift arithmetic).
+    srtt_ns: u64,
+    rttvar_ns: u64,
     /// Minimum RTT observed (HyStart baseline).
-    min_rtt_ns: f64,
+    min_rtt_ns: u64,
     rto: Time,
     rto_deadline: Option<Time>,
     /// Send time of in-flight segments (seq → (sent_at, was_retransmitted)).
@@ -99,7 +121,7 @@ impl TcpSender {
             "schedule must be non-decreasing"
         );
         let total_bytes = (message_len as u64) * (schedule.len() as u64);
-        let cwnd = (profile.mss as f64) * f64::from(profile.init_cwnd_segments);
+        let cwnd = profile.mss as u64 * u64::from(profile.init_cwnd_segments);
         TcpSender {
             profile,
             flow,
@@ -110,16 +132,17 @@ impl TcpSender {
             snd_una: 0,
             snd_nxt: 0,
             cwnd,
-            ssthresh: f64::MAX / 4.0,
+            cwnd_acc: 0,
+            ssthresh: u64::MAX / 4,
             peer_window: profile.max_window_bytes,
             dup_acks: 0,
             recovery_until: 0,
-            cubic_wmax: 0.0,
+            cubic_wmax: 0,
             cubic_epoch: None,
-            cubic_k: 0.0,
-            srtt_ns: 0.0,
-            rttvar_ns: 0.0,
-            min_rtt_ns: f64::MAX,
+            cubic_k_us: 0,
+            srtt_ns: 0,
+            rttvar_ns: 0,
+            min_rtt_ns: u64::MAX,
             rto: Time::from_millis(200),
             rto_deadline: None,
             sent_times: BTreeMap::new(),
@@ -156,7 +179,7 @@ impl TcpSender {
     }
 
     fn effective_window(&self) -> u64 {
-        (self.cwnd as u64)
+        self.cwnd
             .min(self.peer_window)
             .min(self.profile.max_window_bytes)
     }
@@ -259,11 +282,18 @@ impl TcpSender {
             // growth from dumping multi-megabyte bursts into drop-tail
             // queues.
             let mut gap_ns = self.profile.per_segment_overhead_ns;
-            if self.srtt_ns > 0.0 {
-                let factor = if self.cwnd < self.ssthresh { 2.0 } else { 1.2 };
-                let rate_bps = factor * self.cwnd * 8.0 / (self.srtt_ns / 1e9);
-                let pace_ns = (u64::from(len) * 8) as f64 * 1e9 / rate_bps;
-                gap_ns = gap_ns.max(pace_ns as u64);
+            if self.srtt_ns > 0 {
+                // pace_ns = len·srtt / (factor·cwnd), factor 2 in slow
+                // start and 6/5 afterwards, computed in u128 so the
+                // len·srtt product cannot overflow.
+                let num = u128::from(len) * u128::from(self.srtt_ns);
+                let cwnd = u128::from(self.cwnd.max(1));
+                let pace_ns = if self.cwnd < self.ssthresh {
+                    num / (2 * cwnd)
+                } else {
+                    num * 5 / (6 * cwnd)
+                } as u64;
+                gap_ns = gap_ns.max(pace_ns);
             }
             self.next_send_at = now.max(self.next_send_at) + Time::from_nanos(gap_ns);
         }
@@ -271,90 +301,105 @@ impl TcpSender {
 
     /// Congestion-avoidance growth after `newly` acked bytes.
     fn grow_window(&mut self, now: Time, newly: u64) {
-        let mss = self.profile.mss as f64;
+        let mss = self.profile.mss as u64;
         if self.cwnd < self.ssthresh {
-            self.cwnd += newly as f64; // slow start (ABC-style)
+            self.cwnd += newly; // slow start (ABC-style)
             return;
         }
         match self.profile.cc {
             super::profile::CcAlgo::Reno => {
-                self.cwnd += mss * mss / self.cwnd * (newly as f64 / mss);
+                // cwnd += mss²/cwnd per mss acked, i.e. mss·newly/cwnd
+                // bytes per ack. The sub-byte remainder accumulates in
+                // `cwnd_acc` so growth is exact over time (the kernel's
+                // `snd_cwnd_cnt` in byte units).
+                self.cwnd_acc += mss * newly;
+                let add = self.cwnd_acc / self.cwnd.max(1);
+                self.cwnd_acc -= add * self.cwnd.max(1);
+                self.cwnd += add;
             }
             super::profile::CcAlgo::Cubic => {
-                // W(t) = C(t-K)^3 + Wmax, windows in MSS, t in seconds.
-                const C: f64 = 0.4;
-                if self.cubic_wmax <= 0.0 {
+                // W(t) = C(t-K)³ + Wmax with C = 0.4, windows in bytes and
+                // t in integer microseconds:
+                //   target = Wmax + 2·mss·d_us³ / (5·10¹⁸),  d_us = t - K.
+                if self.cubic_wmax == 0 {
                     // Slow start exited without a loss (HyStart): there is
                     // no plateau to approach — start convex growth from
                     // here immediately (K = 0, RFC 8312 §4.8 behaviour).
                     self.cubic_wmax = self.cwnd;
                     self.cubic_epoch = Some(now);
-                    self.cubic_k = 0.0;
+                    self.cubic_k_us = 0;
                 }
                 let epoch = *self.cubic_epoch.get_or_insert(now);
-                let wmax_mss = self.cubic_wmax / mss;
-                let t = (now - epoch).as_secs_f64();
-                let target_mss = C * (t - self.cubic_k).powi(3) + wmax_mss;
-                let target = (target_mss * mss).max(2.0 * mss);
+                let t_us = (now - epoch).as_nanos() / 1_000;
+                let d_us = t_us as i128 - i128::from(self.cubic_k_us);
+                let cubic = 2 * i128::from(mss) * d_us.pow(3) / 5_000_000_000_000_000_000;
+                let target = (i128::from(self.cubic_wmax) + cubic).max(i128::from(2 * mss));
                 // Never shrink here and never more than double per update.
-                self.cwnd = self.cwnd.max(target.min(self.cwnd * 2.0));
+                let capped = target.min(i128::from(self.cwnd * 2)) as u64;
+                self.cwnd = self.cwnd.max(capped);
             }
         }
     }
 
     /// Multiplicative decrease on loss detection.
-    fn on_loss_event(&mut self, now: Time, flight: f64) {
-        let mss = self.profile.mss as f64;
+    fn on_loss_event(&mut self, now: Time, flight: u64) {
+        let mss = self.profile.mss as u64;
         match self.profile.cc {
             super::profile::CcAlgo::Reno => {
-                self.ssthresh = (flight / 2.0).max(2.0 * mss);
+                self.ssthresh = (flight / 2).max(2 * mss);
             }
             super::profile::CcAlgo::Cubic => {
-                const C: f64 = 0.4;
-                const BETA: f64 = 0.7;
-                // W_max = congestion window at loss detection (RFC 8312).
+                // β = 0.7, C = 0.4 (RFC 8312). W_max = congestion window
+                // at loss detection; the plateau time in microseconds is
+                //   K = cbrt(Wmax·(1-β)/(C·mss)) s
+                //     = cbrt(3·Wmax·10¹⁸ / (4·mss)) µs.
                 let _ = flight;
-                self.cubic_wmax = self.cwnd.max(2.0 * mss);
+                self.cubic_wmax = self.cwnd.max(2 * mss);
                 self.cubic_epoch = Some(now);
-                self.cubic_k = (self.cubic_wmax / mss * (1.0 - BETA) / C).cbrt();
-                self.ssthresh = (self.cubic_wmax * BETA).max(2.0 * mss);
+                self.cubic_k_us = icbrt(
+                    u128::from(self.cubic_wmax) * 3_000_000_000_000_000_000 / u128::from(4 * mss),
+                );
+                self.ssthresh = (self.cubic_wmax * 7 / 10).max(2 * mss);
             }
         }
         self.cwnd = self.ssthresh;
+        self.cwnd_acc = 0;
     }
 
     /// The un-backed-off RTO from current estimates (RFC 6298).
     fn base_rto(&self) -> Time {
-        if self.srtt_ns == 0.0 {
+        if self.srtt_ns == 0 {
             return Time::from_millis(200);
         }
-        let rto_ns = (self.srtt_ns + 4.0 * self.rttvar_ns).max(1e6);
-        Time::from_nanos(rto_ns as u64)
+        let rto_ns = (self.srtt_ns + 4 * self.rttvar_ns).max(1_000_000);
+        Time::from_nanos(rto_ns)
     }
 
     fn update_rtt(&mut self, sample: Time) {
-        let s = sample.as_nanos() as f64;
+        let s = sample.as_nanos();
         self.min_rtt_ns = self.min_rtt_ns.min(s);
         // HyStart-style delay-based slow-start exit (what CUBIC kernels
         // ship): once queueing delay builds visibly above the propagation
-        // floor, stop doubling — long before the drop-tail queue
-        // overflows catastrophically.
+        // floor (25% + 4 ms), stop doubling — long before the drop-tail
+        // queue overflows catastrophically.
         if self.cwnd < self.ssthresh
-            && self.min_rtt_ns < f64::MAX
-            && s > self.min_rtt_ns * 1.25 + 4e6
+            && self.min_rtt_ns < u64::MAX
+            && s > self.min_rtt_ns + self.min_rtt_ns / 4 + 4_000_000
         {
             self.ssthresh = self.cwnd;
         }
-        if self.srtt_ns == 0.0 {
+        if self.srtt_ns == 0 {
             self.srtt_ns = s;
-            self.rttvar_ns = s / 2.0;
+            self.rttvar_ns = s / 2;
         } else {
-            let err = (s - self.srtt_ns).abs();
-            self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * err;
-            self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * s;
+            // RFC 6298 shift arithmetic: rttvar ← ¾·rttvar + ¼·|err|,
+            // srtt ← ⅞·srtt + ⅛·sample.
+            let err = self.srtt_ns.abs_diff(s);
+            self.rttvar_ns = (3 * self.rttvar_ns + err) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + s) / 8;
         }
-        let rto_ns = (self.srtt_ns + 4.0 * self.rttvar_ns).max(1e6); // ≥1 ms
-        self.rto = Time::from_nanos(rto_ns as u64);
+        let rto_ns = (self.srtt_ns + 4 * self.rttvar_ns).max(1_000_000); // ≥1 ms
+        self.rto = Time::from_nanos(rto_ns);
     }
 
     /// Merge a SACK block into the scoreboard.
@@ -465,7 +510,7 @@ impl TcpSender {
                 // crawls at one segment per RTT; the multiplicative part
                 // of congestion avoidance stays frozen.
                 if self.cwnd < self.ssthresh {
-                    self.cwnd += newly as f64;
+                    self.cwnd += newly;
                 }
                 // Retransmit the holes the scoreboard exposes (SACK-based),
                 // plus the cumulative hole itself if unSACKed (NewReno
@@ -485,7 +530,7 @@ impl TcpSender {
             // Completion?
             if self.snd_una >= self.total_bytes && self.stats.completed_at.is_none() {
                 self.stats.completed_at = Some(ctx.now());
-                self.stats.srtt_ns = self.srtt_ns as u64;
+                self.stats.srtt_ns = self.srtt_ns;
                 self.rto_deadline = None;
                 return;
             }
@@ -500,7 +545,7 @@ impl TcpSender {
             self.dup_acks += 1;
             if self.dup_acks == 3 && self.snd_una >= self.recovery_until {
                 // Fast retransmit + multiplicative decrease.
-                let flight = (self.snd_nxt - self.snd_una) as f64;
+                let flight = self.snd_nxt - self.snd_una;
                 self.on_loss_event(ctx.now(), flight);
                 self.recovery_until = self.snd_nxt;
                 self.stats.fast_retransmits += 1;
@@ -600,12 +645,13 @@ impl Node for TcpSender {
                     // (outside the current recovery epoch) resets the
                     // CUBIC anchor — an RTO while already recovering must
                     // not ratchet W_max down again.
-                    let mss = self.profile.mss as f64;
-                    let flight = (self.snd_nxt - self.snd_una) as f64;
+                    let mss = self.profile.mss as u64;
+                    let flight = self.snd_nxt - self.snd_una;
                     if self.snd_una >= self.recovery_until {
                         self.on_loss_event(ctx.now(), flight);
                     }
                     self.cwnd = mss;
+                    self.cwnd_acc = 0;
                     self.dup_acks = 0;
                     self.recovery_until = self.snd_nxt;
                     self.stats.rto_retransmits += 1;

@@ -47,6 +47,7 @@ impl ControlType {
             2 => Ok(ControlType::DeadlineExceeded),
             3 => Ok(ControlType::Backpressure),
             4 => Ok(ControlType::ModeChange),
+            // mmt-lint: allow(W1, "decode boundary over a raw byte: the other 251 values are all equally malformed")
             _ => Err(Error::Malformed("unknown control message type")),
         }
     }

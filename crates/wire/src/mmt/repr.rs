@@ -302,6 +302,7 @@ impl MmtRepr {
     }
 
     /// Emit header + payload into a fresh buffer.
+    // mmt-lint: cold
     pub fn emit_with_payload(&self, payload: &[u8]) -> Vec<u8> {
         let hlen = self.header_len();
         let mut buf = vec![0u8; hlen + payload.len()];
