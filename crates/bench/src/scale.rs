@@ -147,17 +147,25 @@ impl ScaleBenchResult {
 
     /// Render as the `BENCH_scale.json` document.
     pub fn to_json(&self) -> String {
-        let profile = self
-            .profile
-            .rows()
-            .into_iter()
-            .map(|(stage, events, vtime_ns)| {
-                JsonObject::new()
-                    .str("stage", stage)
-                    .u64("events", events)
-                    .u64("vtime_ns", vtime_ns)
-                    .finish()
-            });
+        // With the profiler off the span totals are all zero — emitting
+        // them as rows would read as "profiled, and everything cost
+        // nothing". Emit an explicit null instead.
+        let profile = if self.config.profile {
+            json::array(
+                self.profile
+                    .rows()
+                    .into_iter()
+                    .map(|(stage, events, vtime_ns)| {
+                        JsonObject::new()
+                            .str("stage", stage)
+                            .u64("events", events)
+                            .u64("vtime_ns", vtime_ns)
+                            .finish()
+                    }),
+            )
+        } else {
+            "null".to_string()
+        };
         let rows = self.rows.iter().map(|r| {
             JsonObject::new()
                 .str("scheduler", &r.scheduler)
@@ -188,7 +196,7 @@ impl ScaleBenchResult {
             .u64("peak_rss_exact_kb", self.peak_rss_exact_kb)
             .u64("rss_delta_kb", self.rss_delta_kb)
             .raw("rows", &json::array(rows))
-            .raw("profile", &json::array(profile))
+            .raw("profile", &profile)
             .finish()
     }
 }
@@ -313,9 +321,11 @@ mod tests {
         assert!(json.contains("\"bench\":\"scale\""));
         assert!(json.contains("\"deterministic\":true"));
         assert!(json.contains("\"rows\":["));
-        assert!(json.contains("\"profile\":["));
+        // Profiling was off: the field must be an explicit null, not an
+        // array of all-zero rows masquerading as a measurement.
+        assert!(json.contains("\"profile\":null"));
+        assert!(!json.contains("\"profile\":["));
         assert!(json.contains("\"rss_delta_kb\":"));
-        // Profiling was off, so the attribution rows are present but zeroed.
         assert_eq!(result.profile.total_events(), 0);
     }
 
@@ -330,6 +340,7 @@ mod tests {
         let vtime_total: u64 = rows.iter().map(|(_, _, v)| v).sum();
         assert!(vtime_total > 0, "virtual-time attribution must be nonzero");
         let json = result.to_json();
+        assert!(json.contains("\"profile\":["));
         assert!(json.contains("\"stage\":\"link_delivery\""));
     }
 

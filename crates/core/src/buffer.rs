@@ -15,6 +15,7 @@
 //!    sender (§5.1), realizing hop-by-hop flow control without TCP-style
 //!    congestion control (the §5.3 hypothesis exercised by experiment E7).
 
+use crate::machine::{self, Input, Machine, Output};
 use mmt_dataplane::action::Intrinsics;
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
 use mmt_dataplane::pipeline::Pipeline;
@@ -88,6 +89,7 @@ pub struct RetransmitBuffer {
     /// Bumped on every crash so credit timers armed before the crash are
     /// recognisably stale after restart (no double credit chains).
     credit_epoch: u64,
+    outbox: Vec<Output>,
     /// Counters.
     pub stats: RetransmitBufferStats,
 }
@@ -115,6 +117,7 @@ impl RetransmitBuffer {
             retx_holdoff: Time::ZERO,
             last_retx: BTreeMap::new(),
             credit_epoch: 0,
+            outbox: Vec::new(),
             stats: RetransmitBufferStats::default(),
         }
     }
@@ -330,12 +333,12 @@ impl RetransmitBuffer {
 
     fn serve_nak(
         &mut self,
-        ctx: &mut Context<'_>,
+        now: Time,
+        out: &mut Vec<Output>,
         nak: &mmt_wire::mmt::NakRepr,
         from_port: PortId,
     ) {
         self.stats.naks_received += 1;
-        let now = ctx.now();
         for range in &nak.ranges {
             for seq in range.first..=range.last {
                 match self.store.get(&seq) {
@@ -348,7 +351,10 @@ impl RetransmitBuffer {
                                 }
                             }
                         }
-                        ctx.send(from_port, pkt.clone());
+                        out.push(Output::Transmit {
+                            port: from_port,
+                            pkt: pkt.clone(),
+                        });
                         self.last_retx.insert(seq, now);
                         self.stats.retransmitted += 1;
                     }
@@ -358,7 +364,7 @@ impl RetransmitBuffer {
         }
     }
 
-    fn send_credit(&mut self, ctx: &mut Context<'_>, grant: u32) {
+    fn send_credit(&mut self, out: &mut Vec<Output>, grant: u32) {
         let ctrl = ControlRepr::Backpressure(BackpressureRepr {
             level: 1,
             window: grant,
@@ -375,20 +381,26 @@ impl RetransmitBuffer {
         );
         let mut pkt = Packet::new(frame);
         pkt.meta.control = true;
-        ctx.send(PORT_DAQ, pkt);
+        out.push(Output::Transmit {
+            port: PORT_DAQ,
+            pkt,
+        });
         self.stats.credits_sent += 1;
     }
-}
 
-impl Node for RetransmitBuffer {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    /// Start and restart look the same to the credit generator: open a
+    /// fresh grant chain.
+    fn start_credit_chain(&mut self, now: Time, out: &mut Vec<Output>) {
         if let Some(credit) = self.credit {
-            self.send_credit(ctx, credit.grant);
-            ctx.set_timer(credit.interval, self.credit_token());
+            self.send_credit(out, credit.grant);
+            out.push(Output::WakeAt {
+                at: now + credit.interval,
+                token: self.credit_token(),
+            });
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+    fn on_frame(&mut self, now: Time, port: PortId, pkt: Packet, out: &mut Vec<Output>) {
         let meta = pkt.meta;
         let parsed0 = ParsedPacket::parse(pkt.bytes, port);
         let Some(off) = parsed0.layers.mmt_offset() else {
@@ -398,7 +410,7 @@ impl Node for RetransmitBuffer {
         // pipeline. Other control messages run through the pipeline.
         match ControlRepr::parse_packet(&parsed0.bytes[off..]) {
             Ok((_, ControlRepr::Nak(nak))) => {
-                self.serve_nak(ctx, &nak, port);
+                self.serve_nak(now, out, &nak, port);
                 return;
             }
             Ok((_, ControlRepr::ModeChange(mc))) => {
@@ -412,7 +424,7 @@ impl Node for RetransmitBuffer {
         // Everything else runs the border pipeline.
         let mut parsed = parsed0;
         let intr = Intrinsics {
-            now_ns: ctx.now().as_nanos(),
+            now_ns: now.as_nanos(),
             created_at_ns: meta.created_at.as_nanos(),
         };
         let disp = self.pipeline.process(&mut parsed, intr);
@@ -425,17 +437,20 @@ impl Node for RetransmitBuffer {
             meta.config = Some(u64::from(hdr.config_id()));
         }
         if let Some(egress) = disp.egress {
-            let out = Packet {
+            let fwd = Packet {
                 bytes: parsed.bytes,
                 meta,
             };
             if egress == PORT_WAN {
                 if let Some(seq) = meta.seq {
-                    self.retain(seq, out.clone());
+                    self.retain(seq, fwd.clone());
                 }
                 self.stats.forwarded += 1;
             }
-            ctx.send(egress, out);
+            out.push(Output::Transmit {
+                port: egress,
+                pkt: fwd,
+            });
         }
         for (eport, bytes) in disp.emitted {
             // Mirror copies (DUPLICATED mode) are data: they keep the
@@ -453,20 +468,28 @@ impl Node for RetransmitBuffer {
                     ..PacketMeta::default()
                 }
             };
-            ctx.send(eport, Packet { bytes, meta: pmeta });
+            out.push(Output::Transmit {
+                port: eport,
+                pkt: Packet { bytes, meta: pmeta },
+            });
         }
     }
+}
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-        if token == self.credit_token() {
-            if let Some(credit) = self.credit {
-                self.send_credit(ctx, credit.grant);
-                ctx.set_timer(credit.interval, self.credit_token());
+impl Machine for RetransmitBuffer {
+    fn poll(&mut self, now: Time, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Start | Input::Restart => self.start_credit_chain(now, out),
+            Input::Frame { port, pkt } => self.on_frame(now, port, pkt, out),
+            Input::Timer { token } => {
+                if token == self.credit_token() {
+                    self.start_credit_chain(now, out);
+                }
             }
         }
     }
 
-    fn on_crash(&mut self) {
+    fn crash(&mut self) {
         // A power loss destroys the DRAM retransmission store: every
         // retained packet, the eviction ring, and the holdoff history.
         // The border pipeline's registers (the sequence cursor) survive —
@@ -483,11 +506,30 @@ impl Node for RetransmitBuffer {
         self.credit_epoch += 1;
     }
 
+    fn outbox(&mut self) -> &mut Vec<Output> {
+        &mut self.outbox
+    }
+}
+
+impl Node for RetransmitBuffer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        machine::step(self, ctx, Input::Start);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+        machine::step(self, ctx, Input::Frame { port, pkt });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        machine::step(self, ctx, Input::Timer { token });
+    }
+
+    fn on_crash(&mut self) {
+        Machine::crash(self);
+    }
+
     fn on_restart(&mut self, ctx: &mut Context<'_>) {
-        if let Some(credit) = self.credit {
-            self.send_credit(ctx, credit.grant);
-            ctx.set_timer(credit.interval, self.credit_token());
-        }
+        machine::step(self, ctx, Input::Restart);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -6,6 +6,10 @@
 //! wire format lives in `mmt-wire`; the in-network header surgery lives in
 //! `mmt-dataplane`; this crate provides the protocol's *behaviour*:
 //!
+//! * [`machine`] — the sans-io state-machine contract every node obeys:
+//!   `poll(now, input, &mut outputs)`, no clocks/sockets/threads inside,
+//!   timers as "wake me at T" outputs. The simulator and the `mmt-io`
+//!   real-socket runtime are two drivers of these identical machines.
 //! * [`mode`] — named modes (feature set + parameters) and the canonical
 //!   pilot-study mode sequence (mode 0/1 unreliable in the DAQ network,
 //!   mode 2 age-sensitive + recoverable-loss on the WAN, mode 3 timeliness
@@ -34,6 +38,7 @@
 
 pub mod buffer;
 pub mod controller;
+pub mod machine;
 pub mod mode;
 pub mod receiver;
 pub mod resourcemap;
@@ -46,6 +51,7 @@ pub use buffer::{RetransmitBuffer, RetransmitBufferStats};
 pub use controller::{
     ControllerConfig, ControllerStats, HealthSample, ModeController, ModeTransition,
 };
+pub use machine::{Input, Machine, Output};
 pub use mode::{Mode, ModeParams};
 pub use receiver::{MmtReceiver, ReceivedMessage, ReceiverConfig, ReceiverStats};
 pub use resourcemap::{Capability, ModePlanner, ResourceMap};

@@ -6,6 +6,7 @@
 //! gap never blocks later messages (the head-of-line contrast with TCP in
 //! §4.1).
 
+use crate::machine::{self, Input, Machine, Output};
 use crate::seqtrack::SeqTracker;
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
 use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
@@ -132,6 +133,7 @@ pub struct MmtReceiver {
     /// When the most recent sequenced packet arrived.
     last_arrival: Time,
     nak_timer_armed: bool,
+    outbox: Vec<Output>,
     /// Delivered messages, in arrival order.
     log: Vec<ReceivedMessage>,
     /// Distinct message indices delivered.
@@ -154,6 +156,7 @@ impl MmtReceiver {
             retransmit_source: None,
             last_arrival: Time::ZERO,
             nak_timer_armed: false,
+            outbox: Vec::new(),
             log: Vec::new(),
             distinct: std::collections::BTreeSet::new(),
             stats: ReceiverStats::default(),
@@ -168,6 +171,32 @@ impl MmtReceiver {
     /// Whether all expected messages have been delivered.
     pub fn is_complete(&self) -> bool {
         self.stats.completed_at.is_some()
+    }
+
+    /// Order-sensitive digest of the delivery log: FNV-1a over the
+    /// `(msg_index, seq)` pairs in arrival order. Deliberately excludes
+    /// timestamps, so the virtual-time and real-time drivers of the same
+    /// machines can compare end-to-end delivery byte-for-byte.
+    pub fn delivery_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for m in &self.log {
+            for v in [m.msg_index, m.seq.map_or(u64::MAX, |s| s)] {
+                for b in v.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Mutable access to the live configuration. The real-time io driver
+    /// uses this to feed its measured RTO estimate into `nak_interval`
+    /// (and to tighten retry budgets when a deadline watchdog degrades
+    /// the flow); the simulator never calls it, so virtual-time runs are
+    /// unaffected. Takes effect when the next NAK timer is armed.
+    pub fn config_mut(&mut self) -> &mut ReceiverConfig {
+        &mut self.config
     }
 
     /// The retransmit source named by the most recent sequenced packet —
@@ -253,10 +282,13 @@ impl MmtReceiver {
         reg.observe_histogram("mmt_receiver_age_ns", &labels, &age);
     }
 
-    fn arm_nak_timer(&mut self, ctx: &mut Context<'_>, delay: Time) {
+    fn arm_nak_timer(&mut self, now: Time, delay: Time, out: &mut Vec<Output>) {
         if !self.nak_timer_armed {
             self.nak_timer_armed = true;
-            ctx.set_timer(delay, TOKEN_NAK);
+            out.push(Output::WakeAt {
+                at: now + delay,
+                token: TOKEN_NAK,
+            });
         }
     }
 
@@ -300,8 +332,8 @@ impl MmtReceiver {
     /// Send a NAK for outstanding gaps, charging each sequence's retry
     /// budget; sequences whose budget is exhausted are abandoned as lost
     /// instead. Returns whether a NAK went out.
-    fn send_nak(&mut self, ctx: &mut Context<'_>) -> bool {
-        let missing = self.outstanding_ranges(self.config.max_ranges_per_nak, ctx.now());
+    fn send_nak(&mut self, now: Time, out: &mut Vec<Output>) -> bool {
+        let missing = self.outstanding_ranges(self.config.max_ranges_per_nak, now);
         if missing.is_empty() {
             return false;
         }
@@ -350,7 +382,7 @@ impl MmtReceiver {
         );
         let mut pkt = Packet::new(frame);
         pkt.meta.control = true;
-        ctx.send(0, pkt);
+        out.push(Output::Transmit { port: 0, pkt });
         self.stats.naks_sent += 1;
         true
     }
@@ -391,9 +423,8 @@ impl MmtReceiver {
     }
 }
 
-impl Node for MmtReceiver {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
-        let now = ctx.now();
+impl MmtReceiver {
+    fn on_frame(&mut self, now: Time, pkt: Packet, out: &mut Vec<Output>) {
         let meta = pkt.meta;
         let parsed = ParsedPacket::parse(pkt.bytes, 0);
         let Some(off) = parsed.layers.mmt_offset() else {
@@ -444,7 +475,7 @@ impl Node for MmtReceiver {
                 .expect_messages
                 .is_some_and(|expect| self.tracker.received_count() < expect);
             if self.tracker.gap_count() > 0 || tail_pending {
-                self.arm_nak_timer(ctx, self.config.reorder_delay);
+                self.arm_nak_timer(now, self.config.reorder_delay, out);
             }
         }
         // Extract the application message index from the payload prefix.
@@ -469,14 +500,10 @@ impl Node for MmtReceiver {
         self.deliver(msg, now);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-        if token != TOKEN_NAK {
-            return;
-        }
+    fn on_nak_timer(&mut self, now: Time, out: &mut Vec<Output>) {
         self.nak_timer_armed = false;
-        let now = ctx.now();
         let outstanding = self.age_out_gaps(now);
-        if outstanding && self.send_nak(ctx) {
+        if outstanding && self.send_nak(now, out) {
             self.barren_rounds = self.barren_rounds.saturating_add(1);
         }
         // Stay armed while anything is (or may become) outstanding: gaps
@@ -485,8 +512,32 @@ impl Node for MmtReceiver {
             self.tracker.received_count() > 0 && self.tracker.received_count() < expect
         });
         if outstanding || tail_pending {
-            self.arm_nak_timer(ctx, self.backoff_interval());
+            self.arm_nak_timer(now, self.backoff_interval(), out);
         }
+    }
+}
+
+impl Machine for MmtReceiver {
+    fn poll(&mut self, now: Time, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Frame { pkt, .. } => self.on_frame(now, pkt, out),
+            Input::Timer { token } if token == TOKEN_NAK => self.on_nak_timer(now, out),
+            Input::Start | Input::Timer { .. } | Input::Restart => {}
+        }
+    }
+
+    fn outbox(&mut self) -> &mut Vec<Output> {
+        &mut self.outbox
+    }
+}
+
+impl Node for MmtReceiver {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+        machine::step(self, ctx, Input::Frame { port, pkt });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        machine::step(self, ctx, Input::Timer { token });
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

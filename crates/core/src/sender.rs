@@ -8,6 +8,7 @@
 //! arrives (§5.1: "if an element ③ receives signals of downstream
 //! congestion or loss, it can relay a back-pressure signal to the sender").
 
+use crate::machine::{self, Input, Machine, Output};
 use mmt_dataplane::parser::{build_eth_mmt_frame, build_ip_mmt_frame, build_udp_tunnel_frame};
 use mmt_netsim::{Context, Node, Packet, PortId, Time, TimerToken};
 use mmt_wire::mmt::{ControlRepr, ExperimentId, MmtRepr};
@@ -101,6 +102,7 @@ pub struct MmtSender {
     /// Messages-in-flight credits granted by backpressure (None = no
     /// governor active).
     credits: Option<u64>,
+    outbox: Vec<Output>,
     /// Counters.
     pub stats: SenderStats,
 }
@@ -117,6 +119,7 @@ impl MmtSender {
             config,
             next: 0,
             credits: None,
+            outbox: Vec::new(),
             stats: SenderStats::default(),
         }
     }
@@ -157,8 +160,7 @@ impl MmtSender {
         }
     }
 
-    fn pump(&mut self, ctx: &mut Context<'_>) {
-        let now = ctx.now();
+    fn pump(&mut self, now: Time, out: &mut Vec<Output>) {
         while self.next < self.config.schedule.len() && self.config.schedule[self.next] <= now {
             if self.config.respect_backpressure {
                 match &mut self.credits {
@@ -204,50 +206,73 @@ impl MmtSender {
             // events correlate from the very first hop.
             pkt.meta.seq = repr.sequence();
             pkt.meta.config = Some(u64::from(repr.config_id));
-            ctx.send(0, pkt);
+            out.push(Output::Transmit { port: 0, pkt });
             self.stats.sent += 1;
             self.next += 1;
         }
         if self.next < self.config.schedule.len() {
-            let wake = self.config.schedule[self.next] - now;
-            ctx.set_timer(wake, TOKEN_PUMP);
+            out.push(Output::WakeAt {
+                at: self.config.schedule[self.next],
+                token: TOKEN_PUMP,
+            });
         } else if self.stats.finished_at.is_none() {
             self.stats.finished_at = Some(now);
         }
     }
 }
 
-impl Node for MmtSender {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.pump(ctx);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
-        // The only traffic a sensor receives is relayed control.
-        let parsed = mmt_dataplane::parser::ParsedPacket::parse(pkt.bytes, 0);
-        let Some(off) = parsed.layers.mmt_offset() else {
-            return;
-        };
-        match ControlRepr::parse_packet(&parsed.bytes[off..]) {
-            Ok((_, ControlRepr::Backpressure(bp))) => {
-                self.stats.backpressure_signals += 1;
-                if self.config.respect_backpressure {
-                    self.credits = Some(u64::from(bp.window));
-                    // Credits may unblock the pump.
-                    self.pump(ctx);
+impl Machine for MmtSender {
+    fn poll(&mut self, now: Time, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Start => self.pump(now, out),
+            Input::Frame { pkt, .. } => {
+                // The only traffic a sensor receives is relayed control.
+                let parsed = mmt_dataplane::parser::ParsedPacket::parse(pkt.bytes, 0);
+                let Some(off) = parsed.layers.mmt_offset() else {
+                    return;
+                };
+                match ControlRepr::parse_packet(&parsed.bytes[off..]) {
+                    Ok((_, ControlRepr::Backpressure(bp))) => {
+                        self.stats.backpressure_signals += 1;
+                        if self.config.respect_backpressure {
+                            self.credits = Some(u64::from(bp.window));
+                            // Credits may unblock the pump.
+                            self.pump(now, out);
+                        }
+                    }
+                    Ok((_, ControlRepr::DeadlineExceeded(_))) => {
+                        self.stats.deadline_notifications += 1;
+                    }
+                    Ok((_, ControlRepr::Nak(_))) | Ok((_, ControlRepr::ModeChange(_))) | Err(_) => {
+                    }
                 }
             }
-            Ok((_, ControlRepr::DeadlineExceeded(_))) => {
-                self.stats.deadline_notifications += 1;
+            Input::Timer { token } => {
+                if token == TOKEN_PUMP {
+                    self.pump(now, out);
+                }
             }
-            Ok((_, ControlRepr::Nak(_))) | Ok((_, ControlRepr::ModeChange(_))) | Err(_) => {}
+            // Sensors are stateless across power cycles: nothing to redo.
+            Input::Restart => {}
         }
+    }
+
+    fn outbox(&mut self) -> &mut Vec<Output> {
+        &mut self.outbox
+    }
+}
+
+impl Node for MmtSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        machine::step(self, ctx, Input::Start);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+        machine::step(self, ctx, Input::Frame { port, pkt });
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-        if token == TOKEN_PUMP {
-            self.pump(ctx);
-        }
+        machine::step(self, ctx, Input::Timer { token });
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

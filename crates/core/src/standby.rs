@@ -12,6 +12,7 @@
 //! receiver where recovery now lives. Sequences it cannot serve continue
 //! upstream — the primary, if alive, still gets a chance.
 
+use crate::machine::{self, Input, Machine, Output};
 use mmt_dataplane::parser::ParsedPacket;
 use mmt_netsim::{Context, Node, Packet, PortId, Time};
 use mmt_wire::mmt::{ControlRepr, ModeChangeRepr};
@@ -54,6 +55,7 @@ pub struct StandbyBuffer {
     /// Minimum spacing between serves of the same sequence.
     retx_holdoff: Time,
     last_retx: BTreeMap<u64, Time>,
+    outbox: Vec<Output>,
     /// Counters.
     pub stats: StandbyBufferStats,
 }
@@ -72,6 +74,7 @@ impl StandbyBuffer {
             active: false,
             retx_holdoff: Time::ZERO,
             last_retx: BTreeMap::new(),
+            outbox: Vec::new(),
             stats: StandbyBufferStats::default(),
         }
     }
@@ -193,11 +196,11 @@ impl StandbyBuffer {
     /// missing (to be re-NAKed upstream).
     fn serve_nak(
         &mut self,
-        ctx: &mut Context<'_>,
+        now: Time,
+        out: &mut Vec<Output>,
         nak: &mmt_wire::mmt::NakRepr,
         from_port: PortId,
     ) -> Vec<mmt_wire::mmt::NakRange> {
-        let now = ctx.now();
         let mut missing = Vec::new();
         for range in &nak.ranges {
             for seq in range.first..=range.last {
@@ -219,11 +222,14 @@ impl StandbyBuffer {
                             continue;
                         };
                         parsed.rewrite_mmt(&repr.with_retransmit(self.own_addr, self.own_port));
-                        let out = Packet {
+                        let served = Packet {
                             bytes: parsed.bytes,
                             meta: pkt.meta,
                         };
-                        ctx.send(from_port, out);
+                        out.push(Output::Transmit {
+                            port: from_port,
+                            pkt: served,
+                        });
                         self.last_retx.insert(seq, now);
                         self.stats.served += 1;
                     }
@@ -239,10 +245,8 @@ impl StandbyBuffer {
         }
         missing
     }
-}
 
-impl Node for StandbyBuffer {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+    fn on_frame(&mut self, now: Time, port: PortId, pkt: Packet, out: &mut Vec<Output>) {
         let parsed = ParsedPacket::parse(pkt.bytes, port);
         let Some(off) = parsed.layers.mmt_offset() else {
             return;
@@ -261,17 +265,17 @@ impl Node for StandbyBuffer {
                 if !self.active {
                     // Passive: relay the NAK to the primary untouched.
                     self.stats.naks_forwarded += 1;
-                    ctx.send(PORT_UP, pkt);
+                    out.push(Output::Transmit { port: PORT_UP, pkt });
                     return;
                 }
-                let missing = self.serve_nak(ctx, &nak, PORT_DOWN);
+                let missing = self.serve_nak(now, out, &nak, PORT_DOWN);
                 if !missing.is_empty() {
                     // Whatever we could not serve still deserves a shot at
                     // the primary: pass the original NAK on upstream (the
                     // primary's store dedups by holdoff; sequences we
                     // already served cost one duplicate at worst).
                     self.stats.naks_forwarded += 1;
-                    ctx.send(PORT_UP, pkt);
+                    out.push(Output::Transmit { port: PORT_UP, pkt });
                 }
                 return;
             }
@@ -294,23 +298,35 @@ impl Node for StandbyBuffer {
                         self.retain(seq, pkt.clone());
                     }
                 }
-                ctx.send(PORT_DOWN, pkt);
+                out.push(Output::Transmit {
+                    port: PORT_DOWN,
+                    pkt,
+                });
             }
             _ => {
                 // Upstream control (credits, deadline notifications, NAKs
                 // while passive fell through above): relay to the primary.
-                ctx.send(
-                    PORT_UP,
-                    Packet {
+                out.push(Output::Transmit {
+                    port: PORT_UP,
+                    pkt: Packet {
                         bytes: parsed.bytes,
                         meta: pkt.meta,
                     },
-                );
+                });
             }
         }
     }
+}
 
-    fn on_crash(&mut self) {
+impl Machine for StandbyBuffer {
+    fn poll(&mut self, now: Time, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Frame { port, pkt } => self.on_frame(now, port, pkt, out),
+            Input::Start | Input::Timer { .. } | Input::Restart => {}
+        }
+    }
+
+    fn crash(&mut self) {
         // Same DRAM failure model as the primary: the store is gone, the
         // activation (control-plane state) survives in the controller and
         // would be re-pushed on restart.
@@ -319,6 +335,20 @@ impl Node for StandbyBuffer {
         self.store_bytes = 0;
         self.last_retx.clear();
         self.active = false;
+    }
+
+    fn outbox(&mut self) -> &mut Vec<Output> {
+        &mut self.outbox
+    }
+}
+
+impl Node for StandbyBuffer {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+        machine::step(self, ctx, Input::Frame { port, pkt });
+    }
+
+    fn on_crash(&mut self) {
+        Machine::crash(self);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

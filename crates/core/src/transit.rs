@@ -14,8 +14,9 @@
 //! from downstream are served locally; sequences it no longer holds are
 //! re-NAKed upstream toward the previous buffer.
 
+use crate::machine::{self, Input, Machine, Output};
 use mmt_dataplane::parser::{build_eth_mmt_frame, ParsedPacket};
-use mmt_netsim::{Context, Node, Packet, PortId};
+use mmt_netsim::{Context, Node, Packet, PortId, Time};
 use mmt_wire::mmt::{ControlRepr, CoreHeader, MmtRepr, NakRange, NakRepr, RetransmitExt};
 use mmt_wire::{EthernetAddress, Ipv4Address};
 use std::collections::{BTreeMap, VecDeque};
@@ -54,6 +55,7 @@ pub struct TransitBuffer {
     store_bytes: usize,
     ring: VecDeque<u64>,
     store: BTreeMap<u64, Packet>,
+    outbox: Vec<Output>,
     /// Counters.
     pub stats: TransitBufferStats,
 }
@@ -69,6 +71,7 @@ impl TransitBuffer {
             store_bytes: 0,
             ring: VecDeque::new(),
             store: BTreeMap::new(),
+            outbox: Vec::new(),
             stats: TransitBufferStats::default(),
         }
     }
@@ -106,7 +109,7 @@ impl TransitBuffer {
 
     fn handle_nak(
         &mut self,
-        ctx: &mut Context<'_>,
+        out: &mut Vec<Output>,
         nak: NakRepr,
         experiment: mmt_wire::mmt::ExperimentId,
     ) {
@@ -116,7 +119,10 @@ impl TransitBuffer {
             for seq in range.first..=range.last {
                 match self.store.get(&seq) {
                     Some(pkt) => {
-                        ctx.send(PORT_DOWN, pkt.clone());
+                        out.push(Output::Transmit {
+                            port: PORT_DOWN,
+                            pkt: pkt.clone(),
+                        });
                         self.stats.served += 1;
                     }
                     None => unserved.push(seq),
@@ -150,27 +156,31 @@ impl TransitBuffer {
             &repr,
             &ctrl[repr.header_len()..],
         );
-        ctx.send(PORT_UP, Packet::new(frame));
+        out.push(Output::Transmit {
+            port: PORT_UP,
+            pkt: Packet::new(frame),
+        });
     }
-}
 
-impl Node for TransitBuffer {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, mut pkt: Packet) {
+    fn on_frame(&mut self, port: PortId, mut pkt: Packet, out: &mut Vec<Output>) {
         let parsed = ParsedPacket::parse(pkt.bytes.clone(), port);
         let Some(off) = parsed.layers.mmt_offset() else {
             // Not MMT: forward transparently.
-            let out = if port == PORT_UP { PORT_DOWN } else { PORT_UP };
-            ctx.send(out, pkt);
+            let egress = if port == PORT_UP { PORT_DOWN } else { PORT_UP };
+            out.push(Output::Transmit { port: egress, pkt });
             return;
         };
         // Control traffic.
         if let Ok((experiment, ctrl)) = ControlRepr::parse_packet(&parsed.bytes[off..]) {
             match (port, ctrl) {
                 (PORT_DOWN, ControlRepr::Nak(nak)) if self.repoint => {
-                    self.handle_nak(ctx, nak, experiment);
+                    self.handle_nak(out, nak, experiment);
                 }
-                (PORT_DOWN, _) => ctx.send(PORT_UP, pkt),
-                (_, _) => ctx.send(PORT_DOWN, pkt),
+                (PORT_DOWN, _) => out.push(Output::Transmit { port: PORT_UP, pkt }),
+                (_, _) => out.push(Output::Transmit {
+                    port: PORT_DOWN,
+                    pkt,
+                }),
             }
             return;
         }
@@ -190,11 +200,33 @@ impl Node for TransitBuffer {
                 }
             }
             self.stats.forwarded += 1;
-            ctx.send(PORT_DOWN, pkt);
+            out.push(Output::Transmit {
+                port: PORT_DOWN,
+                pkt,
+            });
         } else {
             // Data heading upstream is unusual; forward transparently.
-            ctx.send(PORT_UP, pkt);
+            out.push(Output::Transmit { port: PORT_UP, pkt });
         }
+    }
+}
+
+impl Machine for TransitBuffer {
+    fn poll(&mut self, _now: Time, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Frame { port, pkt } => self.on_frame(port, pkt, out),
+            Input::Start | Input::Timer { .. } | Input::Restart => {}
+        }
+    }
+
+    fn outbox(&mut self) -> &mut Vec<Output> {
+        &mut self.outbox
+    }
+}
+
+impl Node for TransitBuffer {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+        machine::step(self, ctx, Input::Frame { port, pkt });
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -1,0 +1,200 @@
+//! Seeded fault injection at the datagram boundary.
+//!
+//! The simulator injects loss on links; the real plane injects it at the
+//! socket: every outbound datagram rolls against a seeded [`SimRng`]
+//! before it reaches `sendto`. Drop, duplicate, and fixed-delay shapes
+//! compose, and because the generator is the same splitmix/xorshift rng
+//! the sim uses, a chaos run's fault pattern is reproducible from its
+//! seed (given the same datagram order).
+
+use std::collections::VecDeque;
+
+use mmt_netsim::{SimRng, Time};
+
+/// What to do to outbound datagrams.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability a datagram is silently dropped.
+    pub drop: f64,
+    /// Probability a datagram is sent twice.
+    pub dup: f64,
+    /// Fixed extra delay applied to every surviving copy.
+    pub delay: Time,
+}
+
+impl FaultPlan {
+    /// A plan that passes everything through untouched.
+    pub fn clean() -> FaultPlan {
+        FaultPlan {
+            drop: 0.0,
+            dup: 0.0,
+            delay: Time::ZERO,
+        }
+    }
+
+    /// Whether the plan can alter traffic at all.
+    pub fn is_clean(&self) -> bool {
+        self.drop <= 0.0 && self.dup <= 0.0 && self.delay == Time::ZERO
+    }
+}
+
+/// Counters for injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Datagrams passed through immediately.
+    pub passed: u64,
+    /// Datagrams silently dropped.
+    pub dropped: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+    /// Copies held back by the delay shape.
+    pub delayed: u64,
+}
+
+/// Applies a [`FaultPlan`] to outbound datagrams. Delayed copies are held
+/// in an internal queue; the driver flushes them with
+/// [`release_due`](FaultInjector::release_due) each loop iteration.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: SimRng,
+    plan: FaultPlan,
+    held: VecDeque<(Time, Vec<u8>)>,
+    /// Counters.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Create an injector with its own seeded rng stream.
+    pub fn new(seed: u64, plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            rng: SimRng::new(seed),
+            plan,
+            held: VecDeque::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Admit an outbound datagram: copies to transmit *now* are pushed to
+    /// `ready`; delayed copies are queued internally until due.
+    pub fn admit(&mut self, now: Time, datagram: &[u8], ready: &mut Vec<Vec<u8>>) {
+        if self.plan.drop > 0.0 && self.rng.chance(self.plan.drop) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let copies = if self.plan.dup > 0.0 && self.rng.chance(self.plan.dup) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            if self.plan.delay > Time::ZERO {
+                self.stats.delayed += 1;
+                self.held
+                    .push_back((now + self.plan.delay, datagram.to_vec()));
+            } else {
+                self.stats.passed += 1;
+                ready.push(datagram.to_vec());
+            }
+        }
+    }
+
+    /// Move every held copy whose release time has arrived into `ready`.
+    pub fn release_due(&mut self, now: Time, ready: &mut Vec<Vec<u8>>) {
+        while let Some((at, _)) = self.held.front() {
+            if *at > now {
+                break;
+            }
+            if let Some((_, bytes)) = self.held.pop_front() {
+                self.stats.passed += 1;
+                ready.push(bytes);
+            }
+        }
+    }
+
+    /// When the next held copy becomes due, if any.
+    pub fn next_release(&self) -> Option<Time> {
+        self.held.front().map(|(at, _)| *at)
+    }
+
+    /// Held copies not yet released.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_passes_everything_immediately() {
+        let mut inj = FaultInjector::new(7, FaultPlan::clean());
+        let mut ready = Vec::new();
+        for i in 0..100u8 {
+            inj.admit(Time::from_micros(u64::from(i)), &[i], &mut ready);
+        }
+        assert_eq!(ready.len(), 100);
+        assert_eq!(inj.stats.passed, 100);
+        assert_eq!(inj.stats.dropped, 0);
+        assert_eq!(inj.held_count(), 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured_and_seeded() {
+        let plan = FaultPlan {
+            drop: 0.3,
+            dup: 0.0,
+            delay: Time::ZERO,
+        };
+        let mut a = FaultInjector::new(42, plan);
+        let mut b = FaultInjector::new(42, plan);
+        let mut ra = Vec::new();
+        let mut rb = Vec::new();
+        for i in 0..1000u16 {
+            a.admit(Time::ZERO, &i.to_be_bytes(), &mut ra);
+            b.admit(Time::ZERO, &i.to_be_bytes(), &mut rb);
+        }
+        // Same seed, same order → identical verdicts.
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats.dropped, b.stats.dropped);
+        // ~300 expected; generous bounds keep this deterministic-stable.
+        assert!(a.stats.dropped > 200 && a.stats.dropped < 400);
+    }
+
+    #[test]
+    fn dup_produces_extra_copies() {
+        let plan = FaultPlan {
+            drop: 0.0,
+            dup: 1.0,
+            delay: Time::ZERO,
+        };
+        let mut inj = FaultInjector::new(1, plan);
+        let mut ready = Vec::new();
+        inj.admit(Time::ZERO, &[9], &mut ready);
+        assert_eq!(ready.len(), 2);
+        assert_eq!(inj.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn delay_holds_until_due_in_fifo_order() {
+        let plan = FaultPlan {
+            drop: 0.0,
+            dup: 0.0,
+            delay: Time::from_millis(10),
+        };
+        let mut inj = FaultInjector::new(1, plan);
+        let mut ready = Vec::new();
+        inj.admit(Time::ZERO, &[1], &mut ready);
+        inj.admit(Time::from_millis(1), &[2], &mut ready);
+        assert!(ready.is_empty());
+        assert_eq!(inj.next_release(), Some(Time::from_millis(10)));
+        inj.release_due(Time::from_millis(9), &mut ready);
+        assert!(ready.is_empty());
+        inj.release_due(Time::from_millis(10), &mut ready);
+        assert_eq!(ready, vec![vec![1]]);
+        inj.release_due(Time::from_millis(11), &mut ready);
+        assert_eq!(ready.len(), 2);
+        assert_eq!(ready[1], vec![2]);
+    }
+}

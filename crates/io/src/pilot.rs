@@ -1,0 +1,748 @@
+//! The `io-pilot` scenario: the pilot sender→DTN→receiver chain over
+//! real UDP sockets.
+//!
+//! Three runners share one loop shape:
+//!
+//! - [`run_loopback`] — both endpoints in one process over a loopback
+//!   socket pair. This is the CI shape: deterministic-enough, no peer
+//!   coordination, exercises the full recovery path.
+//! - [`run_connect`] — the sending half (sensor + border DTN), aimed at
+//!   a remote receiver.
+//! - [`run_listen`] — the receiving half, bound to an address, peer
+//!   learned from the first datagram.
+//!
+//! Faults are injected on the *data* direction only (at the sending
+//! socket); the NAK path stays clean, modelling a lossy WAN with a
+//! protected control channel. The receiver's NAK retry interval is driven
+//! by the [`RtoEstimator`]: each NAK→recovery round-trip feeds a sample,
+//! each barren retry backs the timeout off, and an exhausted retry budget
+//! degrades the flow early. A [`Watchdog`] ladder guards the configured
+//! deadline: shed → degrade → abort-with-flight-dump.
+
+use std::net::UdpSocket;
+
+use mmt_core::{MmtReceiver, MmtSender, ReceiverConfig, RetransmitBuffer, SenderConfig};
+use mmt_netsim::{Packet, Time};
+use mmt_telemetry::{flight, MetricRegistry, TraceRecord};
+use mmt_wire::mmt::ExperimentId;
+use mmt_wire::Ipv4Address;
+
+use crate::clock::IoClock;
+use crate::driver::{ReceiverSide, SenderSide};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
+use crate::rto::RtoEstimator;
+use crate::socket::{FaultySocket, SocketStats};
+use crate::watchdog::{Watchdog, WatchdogStage};
+use crate::IoError;
+
+/// Idle sleep granularity: short enough to keep µs-scale schedules
+/// honest, long enough not to spin a core.
+const IDLE_SLEEP: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// Configuration for an io-pilot run.
+#[derive(Debug, Clone)]
+pub struct IoPilotConfig {
+    /// Messages the sender emits.
+    pub messages: u64,
+    /// Payload bytes per message.
+    pub message_len: usize,
+    /// Gap between scheduled messages.
+    pub gap: Time,
+    /// Injected drop probability on the data direction.
+    pub loss: f64,
+    /// Injected duplication probability on the data direction.
+    pub dup: f64,
+    /// Injected fixed delay on the data direction.
+    pub delay: Time,
+    /// Seed for the fault injector rng.
+    pub seed: u64,
+    /// RTO floor.
+    pub rto_min: Time,
+    /// RTO ceiling.
+    pub rto_max: Time,
+    /// Per-sequence NAK retry budget (also the RTO backoff budget).
+    pub nak_retries: u32,
+    /// Total flow deadline (drives the watchdog ladder).
+    pub deadline: Time,
+    /// Flight-recorder ring capacity.
+    pub flight_cap: usize,
+}
+
+impl IoPilotConfig {
+    /// Defaults sized for a loopback smoke run: 200 × 1 KiB messages at
+    /// a 50 µs pace, 5 ms RTO floor, 2 s deadline.
+    pub fn defaults() -> IoPilotConfig {
+        IoPilotConfig {
+            messages: 200,
+            message_len: 1024,
+            gap: Time::from_micros(50),
+            loss: 0.0,
+            dup: 0.0,
+            delay: Time::ZERO,
+            seed: 1,
+            rto_min: Time::from_millis(5),
+            rto_max: Time::from_millis(500),
+            nak_retries: 16,
+            deadline: Time::from_secs(2),
+            flight_cap: 4096,
+        }
+    }
+
+    fn plan(&self) -> FaultPlan {
+        FaultPlan {
+            drop: self.loss,
+            dup: self.dup,
+            delay: self.delay,
+        }
+    }
+}
+
+/// Outcome of an io-pilot run.
+#[derive(Debug, Clone)]
+pub struct IoPilotReport {
+    /// Messages the run expected end-to-end.
+    pub messages: u64,
+    /// Deduplicated deliveries at the receiver (0 on the connect side,
+    /// which has no receiver).
+    pub delivered: u64,
+    /// Duplicate packets the receiver suppressed.
+    pub duplicates: u64,
+    /// NAKs the receiver sent.
+    pub naks_sent: u64,
+    /// Sequences recovered via NAK.
+    pub recovered: u64,
+    /// Sequences abandoned as lost.
+    pub lost: u64,
+    /// Sequences abandoned because their retry budget ran out.
+    pub nak_retries_exhausted: u64,
+    /// Datagrams the sender emitted.
+    pub sent: u64,
+    /// Whether the flow completed (every expected message delivered).
+    pub completed: bool,
+    /// Wall time consumed.
+    pub elapsed: Time,
+    /// Final watchdog stage.
+    pub watchdog_stage: WatchdogStage,
+    /// Watchdog transitions taken, with their times.
+    pub watchdog_transitions: Vec<(Time, WatchdogStage)>,
+    /// Final smoothed RTT estimate (ns; 0 if no sample).
+    pub srtt_ns: u64,
+    /// Final effective RTO (ns).
+    pub rto_ns: u64,
+    /// RTT samples folded into the estimator.
+    pub rto_samples: u64,
+    /// Fault-injection counters from the data direction.
+    pub faults: FaultStats,
+    /// Kernel-level counters for the data-direction socket.
+    pub data_socket: SocketStats,
+    /// Kernel-level counters for the control-direction socket.
+    pub control_socket: SocketStats,
+    /// Flight-recorder records accumulated during the run.
+    pub flight: Vec<TraceRecord>,
+    /// Fault-injector seed (stamped into flight dumps).
+    pub seed: u64,
+    /// Order-sensitive FNV digest of `(msg_index, seq)` deliveries —
+    /// comparable against a sim receiver's
+    /// [`MmtReceiver::delivery_digest`] for driver equivalence (0 on the
+    /// connect side, which has no receiver).
+    pub delivery_digest: u64,
+}
+
+impl IoPilotReport {
+    /// Exactly-once delivery: every expected message delivered, nothing
+    /// abandoned. (Duplicate *packets* may well have arrived — the
+    /// receiver's dedup is what this property tests.)
+    pub fn exactly_once(&self) -> bool {
+        self.delivered == self.messages && self.lost == 0
+    }
+
+    /// Render the flight recorder for this run.
+    pub fn render_flight(&self, reason: &str) -> String {
+        flight::render(
+            reason,
+            self.seed,
+            self.elapsed.as_nanos(),
+            self.flight.len() as u64,
+            &self.flight,
+        )
+    }
+
+    /// Export run counters into a metric registry under the `io_pilot`
+    /// node label, alongside whatever the machines themselves export.
+    pub fn export_metrics(&self, reg: &mut MetricRegistry) {
+        let labels = [("node", "io_pilot")];
+        for (name, help, value) in [
+            (
+                "mmt_io_sent_total",
+                "Datagrams emitted by the sending endpoint.",
+                self.sent,
+            ),
+            (
+                "mmt_io_delivered_total",
+                "Messages delivered (deduplicated).",
+                self.delivered,
+            ),
+            (
+                "mmt_io_recovered_total",
+                "Sequences recovered via NAK over the real path.",
+                self.recovered,
+            ),
+            (
+                "mmt_io_lost_total",
+                "Sequences abandoned as lost.",
+                self.lost,
+            ),
+            (
+                "mmt_io_faults_dropped_total",
+                "Datagrams dropped by the socket fault injector.",
+                self.faults.dropped,
+            ),
+            (
+                "mmt_io_faults_duplicated_total",
+                "Datagrams duplicated by the socket fault injector.",
+                self.faults.duplicated,
+            ),
+            (
+                "mmt_io_rto_samples_total",
+                "RTT samples folded into the RTO estimator.",
+                self.rto_samples,
+            ),
+        ] {
+            reg.describe(name, help);
+            reg.counter_add(name, &labels, value);
+        }
+        reg.describe(
+            "mmt_io_srtt_ns",
+            "Final smoothed RTT estimate in nanoseconds.",
+        );
+        reg.gauge_set("mmt_io_srtt_ns", &labels, self.srtt_ns as f64);
+        reg.describe("mmt_io_rto_ns", "Final effective RTO in nanoseconds.");
+        reg.gauge_set("mmt_io_rto_ns", &labels, self.rto_ns as f64);
+    }
+}
+
+/// Bounded flight recorder for io runs.
+struct Flight {
+    records: Vec<TraceRecord>,
+    cap: usize,
+    dropped: u64,
+    next_id: u64,
+}
+
+impl Flight {
+    fn new(cap: usize) -> Flight {
+        Flight {
+            records: Vec::new(),
+            cap,
+            dropped: 0,
+            next_id: 0,
+        }
+    }
+
+    fn event(&mut self, now: Time, kind: &str, len_bytes: u64) {
+        self.next_id += 1;
+        if self.records.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord {
+            ts_ns: now.as_nanos(),
+            kind: kind.to_string(),
+            node: None,
+            node_name: Some("io_pilot".to_string()),
+            link: None,
+            packet_id: self.next_id,
+            flow: 0,
+            seq: None,
+            config: None,
+            len_bytes,
+        });
+    }
+}
+
+/// Receiver-side control bookkeeping: RTO feeding, backoff, degrade.
+struct RxGovernor {
+    rto: RtoEstimator,
+    last_recovered: u64,
+    last_naks: u64,
+    nak_outstanding: Option<Time>,
+    degraded: bool,
+}
+
+impl RxGovernor {
+    fn new(cfg: &IoPilotConfig) -> RxGovernor {
+        RxGovernor {
+            rto: RtoEstimator::new(cfg.rto_min, cfg.rto_max, cfg.nak_retries),
+            last_recovered: 0,
+            last_naks: 0,
+            nak_outstanding: None,
+            degraded: false,
+        }
+    }
+
+    /// Collapse retry budgets so outstanding gaps exhaust quickly and
+    /// are accounted instead of retried past the deadline.
+    fn degrade(&mut self, rx: &mut ReceiverSide, now: Time, flight: &mut Flight) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        let rcfg = rx.receiver_mut().config_mut();
+        rcfg.max_nak_retries = 1;
+        rcfg.give_up_after = self.rto.current();
+        flight.event(now, "io_degrade", 0);
+    }
+
+    /// Fold the receiver's counters into RTO state after an iteration.
+    fn after_iter(&mut self, now: Time, rx: &mut ReceiverSide, flight: &mut Flight) {
+        let stats = rx.receiver().stats;
+        if stats.recovered > self.last_recovered {
+            if let Some(t0) = self.nak_outstanding.take() {
+                self.rto.observe(now.saturating_sub(t0));
+                flight.event(now, "io_rto_sample", self.rto.srtt_ns());
+            }
+            self.last_recovered = stats.recovered;
+            self.apply(rx);
+        }
+        if stats.naks_sent > self.last_naks {
+            if self.nak_outstanding.is_some() {
+                // A retry round passed with no recovery: back off.
+                if !self.rto.back_off() {
+                    self.degrade(rx, now, flight);
+                }
+                flight.event(now, "io_rto_backoff", self.rto.current().as_nanos());
+            } else {
+                self.nak_outstanding = Some(now);
+            }
+            self.last_naks = stats.naks_sent;
+            self.apply(rx);
+        }
+    }
+
+    /// Push the current RTO estimate into the receiver's NAK interval.
+    fn apply(&self, rx: &mut ReceiverSide) {
+        rx.receiver_mut().config_mut().nak_interval = self.rto.current();
+    }
+}
+
+fn apply_watchdog_stage(
+    stage: WatchdogStage,
+    rx: Option<&mut ReceiverSide>,
+    gov: Option<&mut RxGovernor>,
+    now: Time,
+    flight: &mut Flight,
+) {
+    match stage {
+        WatchdogStage::Shed => {
+            flight.event(now, "io_watchdog_shed", 0);
+            if let Some(rx) = rx {
+                // Reduce retry pressure on the struggling path.
+                let rcfg = rx.receiver_mut().config_mut();
+                rcfg.nak_interval = rcfg.nak_interval * 2;
+            }
+        }
+        WatchdogStage::Degraded => {
+            flight.event(now, "io_watchdog_degrade", 0);
+            if let (Some(rx), Some(gov)) = (rx, gov) {
+                gov.degrade(rx, now, flight);
+            }
+        }
+        WatchdogStage::Aborted => flight.event(now, "io_watchdog_abort", 0),
+        WatchdogStage::Healthy => {}
+    }
+}
+
+fn abort_error(flight: &Flight, seed: u64, now: Time) -> IoError {
+    IoError::WatchdogAbort {
+        flight: flight::render(
+            "watchdog_abort",
+            seed,
+            now.as_nanos(),
+            flight.records.len() as u64 + flight.dropped,
+            &flight.records,
+        ),
+        elapsed_ns: now.as_nanos(),
+    }
+}
+
+fn build_sender_side(cfg: &IoPilotConfig) -> SenderSide {
+    let exp = ExperimentId::new(2, 0);
+    let sender = MmtSender::new(SenderConfig::regular(
+        exp,
+        cfg.message_len,
+        cfg.gap,
+        cfg.messages as usize,
+    ));
+    let buffer = RetransmitBuffer::with_defaults(
+        exp,
+        Ipv4Address::new(10, 0, 0, 5),
+        cfg.deadline.as_nanos(),
+        1 << 30,
+    )
+    .with_retx_holdoff(cfg.rto_min / 2);
+    SenderSide::new(sender, buffer)
+}
+
+fn build_receiver_side(cfg: &IoPilotConfig) -> ReceiverSide {
+    let exp = ExperimentId::new(2, 0);
+    let mut rcfg = ReceiverConfig::wan_defaults(exp, Ipv4Address::new(10, 0, 0, 8));
+    rcfg.expect_messages = Some(cfg.messages);
+    rcfg.reorder_delay = (cfg.rto_min / 8).max(Time::from_micros(100));
+    // The NAK interval starts at the pre-sample RTO and is re-tuned by
+    // the governor as samples arrive.
+    rcfg.nak_interval = RtoEstimator::new(cfg.rto_min, cfg.rto_max, cfg.nak_retries).current();
+    rcfg.nak_interval_max = cfg.deadline.max(rcfg.nak_interval);
+    rcfg.max_nak_retries = cfg.nak_retries;
+    // Time-based give-up is the watchdog's job out here.
+    rcfg.give_up_after = cfg.deadline;
+    ReceiverSide::new(MmtReceiver::new(rcfg))
+}
+
+fn sleep_until_next(now: Time, candidates: &[Option<Time>]) {
+    let next = candidates.iter().flatten().min().copied();
+    let budget = match next {
+        Some(at) if at > now => {
+            let gap_ns = at.saturating_sub(now).as_nanos();
+            std::time::Duration::from_nanos(gap_ns).min(IDLE_SLEEP)
+        }
+        Some(_) => return, // something is already due — loop again now
+        None => IDLE_SLEEP,
+    };
+    std::thread::sleep(budget);
+}
+
+/// Run both endpoints in one process over a loopback socket pair.
+pub fn run_loopback(cfg: &IoPilotConfig) -> Result<IoPilotReport, IoError> {
+    let data_sock = UdpSocket::bind(("127.0.0.1", 0))?;
+    let ctrl_sock = UdpSocket::bind(("127.0.0.1", 0))?;
+    let data_addr = data_sock.local_addr()?;
+    let ctrl_addr = ctrl_sock.local_addr()?;
+    let mut s_tx = FaultySocket::new(
+        data_sock,
+        Some(ctrl_addr),
+        FaultInjector::new(cfg.seed, cfg.plan()),
+    )?;
+    let mut s_rx = FaultySocket::new(
+        ctrl_sock,
+        Some(data_addr),
+        FaultInjector::new(cfg.seed ^ 0x5ca1ab1e, FaultPlan::clean()),
+    )?;
+
+    let mut tx = build_sender_side(cfg);
+    let mut rx = build_receiver_side(cfg);
+    let mut gov = RxGovernor::new(cfg);
+    let mut watchdog = Watchdog::new(cfg.deadline);
+    let mut flight = Flight::new(cfg.flight_cap);
+
+    let clock = IoClock::start();
+    let mut wire_tx: Vec<Packet> = Vec::new();
+    let mut wire_rx: Vec<Packet> = Vec::new();
+    let mut buf = vec![0u8; 65536];
+    tx.start(clock.now(), &mut wire_tx);
+    flight.event(Time::ZERO, "io_start", 0);
+
+    let (completed, elapsed) = loop {
+        let now = clock.now();
+        if let Some(stage) = watchdog.check(now) {
+            apply_watchdog_stage(stage, Some(&mut rx), Some(&mut gov), now, &mut flight);
+            if stage == WatchdogStage::Aborted {
+                return Err(abort_error(&flight, cfg.seed, now));
+            }
+        }
+        tx.poll_timers(now, &mut wire_tx);
+        rx.poll_timers(now, &mut wire_rx);
+
+        let mut moved = false;
+        while let Some(n) = s_tx.recv(&mut buf)? {
+            moved = true;
+            flight.event(now, "io_rx_nak", n as u64);
+            tx.wire_in(now, buf[..n].to_vec(), &mut wire_tx);
+        }
+        while let Some(n) = s_rx.recv(&mut buf)? {
+            moved = true;
+            rx.wire_in(now, buf[..n].to_vec(), &mut wire_rx);
+        }
+        for pkt in wire_tx.drain(..) {
+            moved = true;
+            s_tx.send(now, &pkt.bytes)?;
+        }
+        for pkt in wire_rx.drain(..) {
+            moved = true;
+            flight.event(now, "io_tx_nak", pkt.bytes.len() as u64);
+            s_rx.send(now, &pkt.bytes)?;
+        }
+        s_tx.flush(now)?;
+        s_rx.flush(now)?;
+
+        gov.after_iter(now, &mut rx, &mut flight);
+
+        if rx.receiver().is_complete() {
+            break (true, now);
+        }
+        let stats = rx.receiver().stats;
+        if tx.sender().is_complete() && stats.delivered + stats.lost >= cfg.messages {
+            // Degraded completion: everything expected is accounted for,
+            // some of it as losses.
+            break (false, now);
+        }
+        if !moved {
+            sleep_until_next(
+                now,
+                &[
+                    tx.next_wake(),
+                    rx.next_wake(),
+                    s_tx.next_release(),
+                    s_rx.next_release(),
+                    watchdog.next_threshold(),
+                ],
+            );
+        }
+    };
+
+    flight.event(elapsed, "io_done", 0);
+    let stats = rx.receiver().stats;
+    Ok(IoPilotReport {
+        messages: cfg.messages,
+        delivered: stats.delivered,
+        duplicates: stats.duplicates,
+        naks_sent: stats.naks_sent,
+        recovered: stats.recovered,
+        lost: stats.lost,
+        nak_retries_exhausted: stats.nak_retries_exhausted,
+        sent: tx.sender().stats.sent,
+        completed,
+        elapsed,
+        watchdog_stage: watchdog.stage(),
+        watchdog_transitions: watchdog.transitions.clone(),
+        srtt_ns: gov.rto.srtt_ns(),
+        rto_ns: gov.rto.current().as_nanos(),
+        rto_samples: gov.rto.samples(),
+        faults: s_tx.fault_stats(),
+        data_socket: s_tx.stats,
+        control_socket: s_rx.stats,
+        flight: flight.records,
+        seed: cfg.seed,
+        delivery_digest: rx.receiver().delivery_digest(),
+    })
+}
+
+/// Run the sending half against a remote receiver at `addr`.
+pub fn run_connect(cfg: &IoPilotConfig, addr: &str) -> Result<IoPilotReport, IoError> {
+    let peer: std::net::SocketAddr = addr.parse().map_err(|_| IoError::Addr(addr.to_string()))?;
+    let sock = UdpSocket::bind(("0.0.0.0", 0))?;
+    let mut s_tx = FaultySocket::new(sock, Some(peer), FaultInjector::new(cfg.seed, cfg.plan()))?;
+    let mut tx = build_sender_side(cfg);
+    let mut watchdog = Watchdog::new(cfg.deadline);
+    let mut flight = Flight::new(cfg.flight_cap);
+    // Keep serving NAKs until the wire has been quiet this long.
+    let linger = (cfg.rto_min * 4).max(Time::from_millis(200));
+
+    let clock = IoClock::start();
+    let mut wire_tx: Vec<Packet> = Vec::new();
+    let mut buf = vec![0u8; 65536];
+    tx.start(clock.now(), &mut wire_tx);
+    flight.event(Time::ZERO, "io_start", 0);
+    let mut last_traffic = Time::ZERO;
+
+    let elapsed = loop {
+        let now = clock.now();
+        if let Some(stage) = watchdog.check(now) {
+            apply_watchdog_stage(stage, None, None, now, &mut flight);
+            if stage == WatchdogStage::Aborted {
+                return Err(abort_error(&flight, cfg.seed, now));
+            }
+        }
+        tx.poll_timers(now, &mut wire_tx);
+        let mut moved = false;
+        while let Some(n) = s_tx.recv(&mut buf)? {
+            moved = true;
+            flight.event(now, "io_rx_nak", n as u64);
+            tx.wire_in(now, buf[..n].to_vec(), &mut wire_tx);
+        }
+        for pkt in wire_tx.drain(..) {
+            moved = true;
+            s_tx.send(now, &pkt.bytes)?;
+        }
+        s_tx.flush(now)?;
+        if moved {
+            last_traffic = now;
+        }
+        if tx.sender().is_complete() && now.saturating_sub(last_traffic) >= linger {
+            break now;
+        }
+        if !moved {
+            sleep_until_next(
+                now,
+                &[
+                    tx.next_wake(),
+                    s_tx.next_release(),
+                    watchdog.next_threshold(),
+                    last_traffic.checked_add(linger),
+                ],
+            );
+        }
+    };
+
+    flight.event(elapsed, "io_done", 0);
+    Ok(IoPilotReport {
+        messages: cfg.messages,
+        delivered: 0,
+        duplicates: 0,
+        naks_sent: 0,
+        recovered: 0,
+        lost: 0,
+        nak_retries_exhausted: 0,
+        sent: tx.sender().stats.sent,
+        completed: tx.sender().is_complete(),
+        elapsed,
+        watchdog_stage: watchdog.stage(),
+        watchdog_transitions: watchdog.transitions.clone(),
+        srtt_ns: 0,
+        rto_ns: 0,
+        rto_samples: 0,
+        faults: s_tx.fault_stats(),
+        data_socket: s_tx.stats,
+        control_socket: SocketStats::default(),
+        flight: flight.records,
+        seed: cfg.seed,
+        delivery_digest: 0,
+    })
+}
+
+/// Run the receiving half, bound to `addr`; the peer is learned from the
+/// first datagram.
+pub fn run_listen(cfg: &IoPilotConfig, addr: &str) -> Result<IoPilotReport, IoError> {
+    let bound: std::net::SocketAddr = addr.parse().map_err(|_| IoError::Addr(addr.to_string()))?;
+    let sock = UdpSocket::bind(bound)?;
+    let mut s_rx = FaultySocket::new(
+        sock,
+        None,
+        FaultInjector::new(cfg.seed ^ 0x5ca1ab1e, FaultPlan::clean()),
+    )?;
+    let mut rx = build_receiver_side(cfg);
+    let mut gov = RxGovernor::new(cfg);
+    let mut watchdog = Watchdog::new(cfg.deadline);
+    let mut flight = Flight::new(cfg.flight_cap);
+
+    let clock = IoClock::start();
+    let mut wire_rx: Vec<Packet> = Vec::new();
+    let mut buf = vec![0u8; 65536];
+    flight.event(Time::ZERO, "io_start", 0);
+    let mut seen_any = false;
+
+    let (completed, elapsed) = loop {
+        let now = clock.now();
+        if let Some(stage) = watchdog.check(now) {
+            apply_watchdog_stage(stage, Some(&mut rx), Some(&mut gov), now, &mut flight);
+            if stage == WatchdogStage::Aborted {
+                if !seen_any {
+                    return Err(IoError::NoPeer);
+                }
+                return Err(abort_error(&flight, cfg.seed, now));
+            }
+        }
+        rx.poll_timers(now, &mut wire_rx);
+        let mut moved = false;
+        while let Some(n) = s_rx.recv(&mut buf)? {
+            moved = true;
+            seen_any = true;
+            rx.wire_in(now, buf[..n].to_vec(), &mut wire_rx);
+        }
+        for pkt in wire_rx.drain(..) {
+            moved = true;
+            flight.event(now, "io_tx_nak", pkt.bytes.len() as u64);
+            s_rx.send(now, &pkt.bytes)?;
+        }
+        s_rx.flush(now)?;
+        gov.after_iter(now, &mut rx, &mut flight);
+
+        if rx.receiver().is_complete() {
+            break (true, now);
+        }
+        let stats = rx.receiver().stats;
+        if seen_any && stats.delivered + stats.lost >= cfg.messages {
+            break (false, now);
+        }
+        if !moved {
+            sleep_until_next(now, &[rx.next_wake(), watchdog.next_threshold()]);
+        }
+    };
+
+    flight.event(elapsed, "io_done", 0);
+    let stats = rx.receiver().stats;
+    Ok(IoPilotReport {
+        messages: cfg.messages,
+        delivered: stats.delivered,
+        duplicates: stats.duplicates,
+        naks_sent: stats.naks_sent,
+        recovered: stats.recovered,
+        lost: stats.lost,
+        nak_retries_exhausted: stats.nak_retries_exhausted,
+        sent: 0,
+        completed,
+        elapsed,
+        watchdog_stage: watchdog.stage(),
+        watchdog_transitions: watchdog.transitions.clone(),
+        srtt_ns: gov.rto.srtt_ns(),
+        rto_ns: gov.rto.current().as_nanos(),
+        rto_samples: gov.rto.samples(),
+        faults: FaultStats::default(),
+        data_socket: SocketStats::default(),
+        control_socket: s_rx.stats,
+        flight: flight.records,
+        seed: cfg.seed,
+        delivery_digest: rx.receiver().delivery_digest(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_clean_run_delivers_exactly_once() {
+        let mut cfg = IoPilotConfig::defaults();
+        cfg.messages = 50;
+        cfg.gap = Time::from_micros(20);
+        let report = run_loopback(&cfg).expect("loopback run");
+        assert!(report.completed, "clean run completes: {report:?}");
+        assert!(report.exactly_once());
+        assert_eq!(report.delivered, 50);
+        assert_eq!(report.lost, 0);
+    }
+
+    #[test]
+    fn loopback_with_loss_recovers_via_nak() {
+        let mut cfg = IoPilotConfig::defaults();
+        cfg.messages = 100;
+        cfg.gap = Time::from_micros(20);
+        cfg.loss = 0.1;
+        cfg.seed = 7;
+        cfg.rto_min = Time::from_millis(2);
+        let report = run_loopback(&cfg).expect("lossy run");
+        assert!(report.completed, "lossy run completes: {report:?}");
+        assert!(report.exactly_once());
+        assert!(
+            report.faults.dropped > 0,
+            "the injector actually dropped something"
+        );
+        assert!(report.recovered > 0, "recovery went through the NAK path");
+        assert!(report.naks_sent > 0);
+    }
+
+    #[test]
+    fn impossible_deadline_aborts_with_flight_dump() {
+        let mut cfg = IoPilotConfig::defaults();
+        cfg.messages = 50;
+        cfg.loss = 1.0; // nothing ever arrives
+        cfg.deadline = Time::from_millis(50);
+        match run_loopback(&cfg) {
+            Err(IoError::WatchdogAbort { flight, elapsed_ns }) => {
+                assert!(flight.contains("\"flight\":\"v1\""));
+                assert!(flight.contains("watchdog_abort"));
+                assert!(elapsed_ns >= Time::from_millis(50).as_nanos());
+            }
+            other => panic!("expected watchdog abort, got {other:?}"),
+        }
+    }
+}

@@ -387,6 +387,9 @@ pub fn check_file_full(display_path: &str, class: &FileClass, src: &str) -> File
             );
         }
         // D2 — ambient nondeterminism outside the sim clock / seeded RNG.
+        // Clocks, environment, sockets, and threads all smuggle the host
+        // into sim-critical code; the real I/O plane lives in `mmt-io`,
+        // the one crate where they belong.
         if class.sim_critical && lib_code && !class.d2_exempt && !in_test(t.line) {
             if id == "Instant" || id == "SystemTime" {
                 push(
@@ -395,17 +398,40 @@ pub fn check_file_full(display_path: &str, class: &FileClass, src: &str) -> File
                     format!("`{id}` reads wall-clock time; use the sim clock"),
                 );
             }
-            if id == "std"
-                && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct(':'))
-                && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Punct(':'))
-                && matches!(toks.get(i + 3), Some(t) if t.kind == TokKind::Ident("env".into()))
-            {
+            if id == "UdpSocket" || id == "TcpStream" || id == "TcpListener" {
                 push(
                     "D2",
                     t.line,
-                    "`std::env` makes behavior environment-dependent; plumb config explicitly"
-                        .to_string(),
+                    format!("`{id}` does real I/O; sim-critical code must stay sans-io (sockets live in mmt-io)"),
                 );
+            }
+            if id == "std"
+                && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct(':'))
+                && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Punct(':'))
+            {
+                if let Some(TokKind::Ident(seg)) = toks.get(i + 3).map(|t| &t.kind) {
+                    match seg.as_str() {
+                        "env" => push(
+                            "D2",
+                            t.line,
+                            "`std::env` makes behavior environment-dependent; plumb config explicitly"
+                                .to_string(),
+                        ),
+                        "net" => push(
+                            "D2",
+                            t.line,
+                            "`std::net` does real I/O; sim-critical code must stay sans-io (sockets live in mmt-io)"
+                                .to_string(),
+                        ),
+                        "thread" => push(
+                            "D2",
+                            t.line,
+                            "`std::thread` introduces host scheduling; sim-critical code must stay single-threaded (threads live in mmt-io or behind an escape)"
+                                .to_string(),
+                        ),
+                        _ => {}
+                    }
+                }
             }
         }
         // P1 — panics in non-test library code.

@@ -1,0 +1,12 @@
+//! D2 io fixture: sockets and threads in a sim-critical crate.
+
+pub fn real_io() -> u64 {
+    let _s = std::net::UdpSocket::bind("127.0.0.1:0");
+    let _c = std::net::TcpStream::connect("127.0.0.1:1");
+    let _l = std::net::TcpListener::bind("127.0.0.1:0");
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _h = std::thread::spawn(|| {});
+    // mmt-lint: allow(D2, "fixture: justified thread use")
+    let _ok = std::thread::spawn(|| {});
+    0
+}

@@ -48,6 +48,37 @@ fn d2_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn d2_flags_sockets_and_threads_in_sim_critical_code() {
+    // Pin the guarantee that keeps the sans-io refactor honest: if a
+    // socket or thread import sneaks into mmt-core, the lint gains a
+    // violation.
+    let (code, out, _) = lint(&["--assume-crate", "core", "tests/fixtures/d2io"]);
+    assert_eq!(code, 1);
+    // `use std::net::X` lines fire both the path rule and the type rule.
+    assert_has(&out, "tests/fixtures/d2io/src/code.rs:4: [D2]");
+    assert_has(&out, "tests/fixtures/d2io/src/code.rs:5: [D2]");
+    assert_has(&out, "tests/fixtures/d2io/src/code.rs:6: [D2]");
+    assert_has(&out, "tests/fixtures/d2io/src/code.rs:7: [D2]");
+    assert_has(&out, "tests/fixtures/d2io/src/code.rs:8: [D2]");
+    assert_has(&out, "`UdpSocket`");
+    assert_has(&out, "`TcpStream`");
+    assert_has(&out, "`TcpListener`");
+    assert_has(&out, "`std::net`");
+    assert_has(&out, "`std::thread`");
+    // 3 × (path + type) on the net lines + 2 thread paths; the escaped
+    // spawn on line 10 stays exempt.
+    assert_has(&out, "8 violation(s)");
+}
+
+#[test]
+fn d2_io_crate_is_exempt_from_sans_io_rules() {
+    // mmt-io is the one crate whose whole point is real I/O: the same
+    // fixture must scan clean there.
+    let (code, out, _) = lint(&["--assume-crate", "io", "tests/fixtures/d2io"]);
+    assert_eq!(code, 0, "io crate must be D2-exempt, got:\n{out}");
+}
+
+#[test]
 fn p1_fixture_exact_diagnostics() {
     let (code, out, _) = lint(&["--assume-crate", "core", "tests/fixtures/p1"]);
     assert_eq!(code, 1);

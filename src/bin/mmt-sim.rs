@@ -67,7 +67,29 @@ fn usage() -> ! {
          \x20                                   equality enforced across them)\n\
          \x20         [--profile 0|1]           hot-path span profiler; prints per-stage\n\
          \x20                                   attribution and records it in the report\n\
-         \x20         [--out FILE]              JSON report path (default BENCH_scale.json)"
+         \x20         [--out FILE]              JSON report path (default BENCH_scale.json)\n\
+         \x20 io-pilot sender→DTN→receiver over real UDP sockets (sans-io core,\n\
+         \x20         real time). Default: both endpoints in-process over loopback.\n\
+         \x20         [--listen ADDR]           run only the receiving half, bound to ADDR\n\
+         \x20         [--connect ADDR]          run only the sending half, aimed at ADDR\n\
+         \x20         [--messages N]            messages to send (default 200; ≥ 1)\n\
+         \x20         [--len N]                 payload bytes per message (default 1024; ≥ 8)\n\
+         \x20         [--gap-us N]              send pacing gap in µs (default 50)\n\
+         \x20         [--loss P]                injected drop probability on the data path\n\
+         \x20         [--dup P]                 injected duplication probability\n\
+         \x20         [--delay-us N]            injected fixed delay in µs\n\
+         \x20         [--seed N]                fault-injector seed (default 1)\n\
+         \x20         [--rto-min-us N]          RTO floor in µs (default 5000; ≥ 1)\n\
+         \x20         [--rto-max-us N]          RTO ceiling in µs (default 500000)\n\
+         \x20         [--nak-retries N]         per-sequence NAK retry budget (default 16; ≥ 1)\n\
+         \x20         [--deadline-us N]         flow deadline in µs (default 2000000; ≥ 1);\n\
+         \x20                                   drives the shed→degrade→abort watchdog\n\
+         \x20         [--metrics-out FILE]      Prometheus text exposition of the run\n\
+         \x20         [--flight-out FILE]       flight-recorder dump path (always written on\n\
+         \x20                                   watchdog abort; on success with the flag set)\n\
+         \x20         [--flight-cap N]          flight ring capacity (default 4096; ≥ 1)\n\
+         \x20         exit: 0 delivered exactly once; 3 watchdog abort (flight dumped);\n\
+         \x20         4 degraded (losses accounted, no hang)"
     );
     std::process::exit(2);
 }
@@ -635,6 +657,182 @@ fn cmd_bench(flags: HashMap<String, String>) {
     );
 }
 
+fn cmd_io_pilot(flags: HashMap<String, String>) {
+    use mmt::io::{run_connect, run_listen, run_loopback, IoError, IoPilotConfig};
+
+    let mut cfg = IoPilotConfig::defaults();
+    cfg.messages = get(&flags, "messages", 200u64);
+    if cfg.messages == 0 {
+        eprintln!("--messages must be at least 1");
+        std::process::exit(2);
+    }
+    cfg.message_len = get(&flags, "len", 1024usize);
+    if cfg.message_len < 8 {
+        eprintln!("--len must be at least 8 (the payload carries its index)");
+        std::process::exit(2);
+    }
+    cfg.gap = Time::from_micros(get(&flags, "gap-us", 50u64));
+    cfg.loss = get_prob(&flags, "loss");
+    cfg.dup = get_prob(&flags, "dup");
+    cfg.delay = Time::from_micros(get(&flags, "delay-us", 0u64));
+    cfg.seed = get(&flags, "seed", 1u64);
+    let rto_min_us: u64 = get(&flags, "rto-min-us", 5_000u64);
+    if rto_min_us == 0 {
+        eprintln!("--rto-min-us must be at least 1");
+        std::process::exit(2);
+    }
+    cfg.rto_min = Time::from_micros(rto_min_us);
+    cfg.rto_max = Time::from_micros(get(&flags, "rto-max-us", 500_000u64)).max(cfg.rto_min);
+    cfg.nak_retries = get(&flags, "nak-retries", 16u32);
+    if cfg.nak_retries == 0 {
+        eprintln!("--nak-retries must be at least 1");
+        std::process::exit(2);
+    }
+    let deadline_us: u64 = get(&flags, "deadline-us", 2_000_000u64);
+    if deadline_us == 0 {
+        eprintln!("--deadline-us must be at least 1");
+        std::process::exit(2);
+    }
+    cfg.deadline = Time::from_micros(deadline_us);
+    cfg.flight_cap = get(&flags, "flight-cap", 4096usize);
+    if cfg.flight_cap == 0 {
+        eprintln!("--flight-cap must be at least 1");
+        std::process::exit(2);
+    }
+    let listen = flags.get("listen").cloned();
+    let connect = flags.get("connect").cloned();
+    if listen.is_some() && connect.is_some() {
+        eprintln!("--listen and --connect are mutually exclusive");
+        std::process::exit(2);
+    }
+    // Validate addresses eagerly so a typo errors before sockets open.
+    for (flag, addr) in [("listen", &listen), ("connect", &connect)] {
+        if let Some(addr) = addr {
+            if addr.parse::<std::net::SocketAddr>().is_err() {
+                eprintln!("--{flag} expects IP:PORT, got {addr}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let metrics_out = flags.get("metrics-out").cloned();
+    let flight_out = flags.get("flight-out").cloned();
+    for (flag, path) in [("metrics-out", &metrics_out), ("flight-out", &flight_out)] {
+        if let Some(path) = path {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() && !dir.is_dir() {
+                    eprintln!("--{flag} parent directory {} does not exist", dir.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let role = match (&listen, &connect) {
+        (Some(addr), _) => format!("listen {addr}"),
+        (_, Some(addr)) => format!("connect {addr}"),
+        _ => "loopback".to_string(),
+    };
+    println!(
+        "io-pilot ({role}): {} msgs × {} B, gap {}, loss {}, dup {}, delay {}, rto-min {}, deadline {}",
+        cfg.messages, cfg.message_len, cfg.gap, cfg.loss, cfg.dup, cfg.delay, cfg.rto_min, cfg.deadline
+    );
+
+    let result = match (&listen, &connect) {
+        (Some(addr), _) => run_listen(&cfg, addr),
+        (_, Some(addr)) => run_connect(&cfg, addr),
+        _ => run_loopback(&cfg),
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(IoError::WatchdogAbort { flight, elapsed_ns }) => {
+            eprintln!(
+                "io-pilot: watchdog abort after {}",
+                Time::from_nanos(elapsed_ns)
+            );
+            match &flight_out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &flight) {
+                        eprintln!("could not write --flight-out {path}: {e}");
+                    } else {
+                        println!("flight dump: {path}");
+                    }
+                }
+                None => eprintln!("{flight}"),
+            }
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("io-pilot: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "sent {} | delivered {}/{} (dups suppressed {}) | naks {} recovered {} lost {} (budget-exhausted {})",
+        report.sent,
+        report.delivered,
+        report.messages,
+        report.duplicates,
+        report.naks_sent,
+        report.recovered,
+        report.lost,
+        report.nak_retries_exhausted,
+    );
+    println!(
+        "elapsed {} | srtt {} | rto {} ({} samples) | watchdog {} | faults: dropped {} duplicated {} delayed {}",
+        report.elapsed,
+        Time::from_nanos(report.srtt_ns),
+        Time::from_nanos(report.rto_ns),
+        report.rto_samples,
+        report.watchdog_stage.label(),
+        report.faults.dropped,
+        report.faults.duplicated,
+        report.faults.delayed,
+    );
+    for (at, stage) in &report.watchdog_transitions {
+        println!("  watchdog → {} at {}", stage.label(), at);
+    }
+    if let Some(path) = &metrics_out {
+        let mut reg = mmt::telemetry::MetricRegistry::new();
+        report.export_metrics(&mut reg);
+        match std::fs::write(path, mmt::telemetry::prometheus::render(&reg)) {
+            Ok(()) => println!("metrics: {path}"),
+            Err(e) => {
+                eprintln!("could not write --metrics-out {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &flight_out {
+        let reason = if report.completed {
+            "complete"
+        } else {
+            "degraded"
+        };
+        match std::fs::write(path, report.render_flight(reason)) {
+            Ok(()) => println!("flight dump: {path}"),
+            Err(e) => {
+                eprintln!("could not write --flight-out {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // The connect side cannot observe delivery; its success is having
+    // drained the schedule and served every NAK until the line went
+    // quiet. Everything else demands exactly-once delivery.
+    let ok = if connect.is_some() {
+        report.completed
+    } else {
+        report.completed && report.exactly_once()
+    };
+    if ok {
+        println!("io-pilot: complete (exactly-once)");
+    } else {
+        println!("io-pilot: degraded — losses accounted, exiting nonzero");
+        std::process::exit(4);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -645,6 +843,7 @@ fn main() {
         "hol" => cmd_hol(flags),
         "failover" => cmd_failover(flags),
         "bench" => cmd_bench(flags),
+        "io-pilot" => cmd_io_pilot(flags),
         _ => usage(),
     }
 }

@@ -20,6 +20,7 @@
 //! | [`protocol`] | `mmt-core` | MMT endpoints, buffers, mode planner |
 //! | [`pilot`] | `mmt-pilot` | the Fig. 4 pilot and the experiment suite |
 //! | [`telemetry`] | `mmt-telemetry` | metric registry, flow-correlated tracing, exporters |
+//! | [`io`] | `mmt-io` | real-time UDP driver for the same sans-io machines: poll loop, RTO, watchdogs, socket fault injection |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 
 pub use mmt_daq as daq;
 pub use mmt_dataplane as dataplane;
+pub use mmt_io as io;
 pub use mmt_netsim as netsim;
 pub use mmt_pilot as pilot;
 pub use mmt_telemetry as telemetry;

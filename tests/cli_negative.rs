@@ -355,6 +355,89 @@ fn bench_non_numeric_sensors_rejected() {
 }
 
 #[test]
+fn io_pilot_bad_listen_address_rejected() {
+    assert_clean_usage_error(
+        &["io-pilot", "--listen", "not-an-addr"],
+        "--listen expects IP:PORT",
+    );
+}
+
+#[test]
+fn io_pilot_bad_connect_address_rejected() {
+    // A bare IP without a port is also not a socket address.
+    assert_clean_usage_error(
+        &["io-pilot", "--connect", "127.0.0.1"],
+        "--connect expects IP:PORT",
+    );
+}
+
+#[test]
+fn io_pilot_zero_deadline_rejected() {
+    assert_clean_usage_error(
+        &["io-pilot", "--deadline-us", "0"],
+        "--deadline-us must be at least 1",
+    );
+}
+
+#[test]
+fn io_pilot_loss_above_one_rejected() {
+    assert_clean_usage_error(
+        &["io-pilot", "--loss", "1.5"],
+        "--loss must be a probability in [0, 1]",
+    );
+}
+
+#[test]
+fn io_pilot_listen_and_connect_both_rejected() {
+    assert_clean_usage_error(
+        &[
+            "io-pilot",
+            "--listen",
+            "127.0.0.1:4000",
+            "--connect",
+            "127.0.0.1:4001",
+        ],
+        "--listen and --connect are mutually exclusive",
+    );
+}
+
+#[test]
+fn io_pilot_tiny_payload_rejected() {
+    assert_clean_usage_error(&["io-pilot", "--len", "4"], "--len must be at least 8");
+}
+
+#[test]
+fn io_pilot_zero_nak_retries_rejected() {
+    assert_clean_usage_error(
+        &["io-pilot", "--nak-retries", "0"],
+        "--nak-retries must be at least 1",
+    );
+}
+
+/// Sanity: a lossy loopback io-pilot run works end-to-end through the
+/// binary and exits 0 with exactly-once delivery.
+#[test]
+fn io_pilot_lossy_loopback_runs_clean() {
+    let out = mmt_sim(&[
+        "io-pilot",
+        "--messages",
+        "100",
+        "--loss",
+        "0.05",
+        "--seed",
+        "3",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "lossy io-pilot run failed\nstderr: {}",
+        stderr_of(&out)
+    );
+    assert!(stdout.contains("delivered 100/100"), "stdout: {stdout}");
+}
+
+#[test]
 fn bench_unknown_scheduler_rejected() {
     assert_clean_usage_error(
         &["bench", "--scheduler", "fifo"],
