@@ -614,6 +614,40 @@ fn e14(opts: &Opts) {
         String::new(),
     ]);
     emit(t, opts);
+
+    // The high-K ladder: one row per fleet size at a fixed shard count.
+    // Deterministic quantities only — the memory columns of the
+    // EXPERIMENTS.md ladder table come from `mmt-sim bench --sensors K`
+    // (peak_rss_per_flow_bytes in BENCH_scale.json), which must run in a
+    // fresh process because VmHWM is monotone.
+    let cells: &[usize] = if opts.quick {
+        &[1_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let ladder = scale::ladder(cells, 4, 1);
+    let mut t = TextTable::new(
+        "E14 — high-K ladder (4 shards; per-flow RSS regenerated by mmt-sim bench)",
+        &[
+            "sensors",
+            "shards",
+            "DTN groups",
+            "delivered",
+            "events",
+            "digest",
+        ],
+    );
+    for r in &ladder {
+        t.row(vec![
+            r.sensors.to_string(),
+            r.shards.to_string(),
+            r.dtns.to_string(),
+            r.delivered.to_string(),
+            r.events.to_string(),
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    emit(t, opts);
 }
 
 fn a1_a2(opts: &Opts) {

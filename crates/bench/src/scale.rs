@@ -7,6 +7,18 @@
 //! module owns every non-deterministic measurement: elapsed wall time,
 //! packets/sec, events/sec, and the peak-RSS proxy read from
 //! `/proc/self/status` (0 where unavailable).
+//!
+//! ## Per-flow memory cells
+//!
+//! `VmHWM` is monotone, so honesty about *per-flow* resident cost needs
+//! careful ordering: the memory ladder ([`ScaleBenchConfig::memory_sensors`])
+//! runs FIRST in the process — before the warm-up and the throughput
+//! sweep — in ascending K, and each cell snapshots the high-water mark
+//! right after its fleet completes. `peak_rss_per_flow_bytes` therefore
+//! includes the process baseline amortized over K (pessimistic, never
+//! flattering), and a later, larger run can never pollute an earlier,
+//! smaller cell. [`check_budget`] turns the figures into a regression
+//! gate against a checked-in budget file.
 
 use std::time::Instant;
 
@@ -35,18 +47,25 @@ pub struct ScaleBenchConfig {
     /// the heap's event order byte-for-byte while the `events_per_sec`
     /// columns show what the wheel buys.
     pub schedulers: Vec<String>,
+    /// Fleet sizes for the per-flow memory ladder, run before anything
+    /// else in ascending order (see the module docs on `VmHWM`
+    /// monotonicity). Empty = no memory cells.
+    pub memory_sensors: Vec<usize>,
 }
 
 impl ScaleBenchConfig {
-    /// The acceptance shape: K = 10 000 sensors, serial vs 2 and 4 shards.
+    /// The acceptance shape: K = 10 000 sensors, serial vs 2 and 4 shards,
+    /// profiler on (the default `BENCH_scale.json` must attribute stages),
+    /// memory cells at K = 10 000 and K = 100 000.
     pub fn full() -> ScaleBenchConfig {
         ScaleBenchConfig {
             sensors: 10_000,
             packets_per_sensor: 8,
             shard_counts: vec![1, 2, 4],
             seed: 1,
-            profile: false,
+            profile: true,
             schedulers: vec!["wheel".to_string(), "heap".to_string()],
+            memory_sensors: vec![10_000, 100_000],
         }
     }
 
@@ -59,6 +78,7 @@ impl ScaleBenchConfig {
             seed: 1,
             profile: false,
             schedulers: vec!["wheel".to_string(), "heap".to_string()],
+            memory_sensors: vec![256, 1024],
         }
     }
 
@@ -75,6 +95,39 @@ impl ScaleBenchConfig {
         self.profile = true;
         self
     }
+
+    /// With the span profiler off (the `--profile 0` CLI override).
+    #[must_use]
+    pub fn without_profile(mut self) -> ScaleBenchConfig {
+        self.profile = false;
+        self
+    }
+
+    /// Replace the memory ladder (the `--sensors` CLI flag derives cells
+    /// from the target K). Cells are sorted ascending — `VmHWM` is
+    /// monotone, so any other order would corrupt the smaller cells.
+    #[must_use]
+    pub fn with_memory_sensors(mut self, cells: Vec<usize>) -> ScaleBenchConfig {
+        self.memory_sensors = cells;
+        self.memory_sensors.sort_unstable();
+        self.memory_sensors.dedup();
+        self
+    }
+}
+
+/// One rung of the per-flow memory ladder.
+#[derive(Debug, Clone)]
+pub struct MemoryCell {
+    /// Fleet size (K).
+    pub sensors: usize,
+    /// Packets the cell's fleet delivered (completeness check: the RSS
+    /// figure is meaningless if the run died early).
+    pub packets: u64,
+    /// `VmHWM` right after this cell's fleet completed (kB).
+    pub peak_rss_kb: u64,
+    /// `peak_rss_kb × 1024 / sensors` — resident bytes per flow,
+    /// process baseline included (see the module docs).
+    pub peak_rss_per_flow_bytes: u64,
 }
 
 /// One sweep point: the fleet at a given shard count.
@@ -109,6 +162,9 @@ pub struct ScaleBenchResult {
     pub config: ScaleBenchConfig,
     /// One row per entry of `config.shard_counts`.
     pub rows: Vec<ScaleRow>,
+    /// The per-flow memory ladder (one cell per
+    /// `config.memory_sensors` entry, ascending K).
+    pub memory: Vec<MemoryCell>,
     /// Peak resident set (kB) after the sweep — a proxy, read once at the
     /// end, so it reflects the largest configuration run.
     pub peak_rss_kb: u64,
@@ -183,6 +239,14 @@ impl ScaleBenchResult {
                 )
                 .finish()
         });
+        let memory = self.memory.iter().map(|c| {
+            JsonObject::new()
+                .u64("sensors", c.sensors as u64)
+                .u64("packets", c.packets)
+                .u64("peak_rss_kb", c.peak_rss_kb)
+                .u64("peak_rss_per_flow_bytes", c.peak_rss_per_flow_bytes)
+                .finish()
+        });
         JsonObject::new()
             .str("bench", "scale")
             .u64("sensors", self.config.sensors as u64)
@@ -195,6 +259,7 @@ impl ScaleBenchResult {
             .u64("peak_rss_sketch_kb", self.peak_rss_sketch_kb)
             .u64("peak_rss_exact_kb", self.peak_rss_exact_kb)
             .u64("rss_delta_kb", self.rss_delta_kb)
+            .raw("memory", &json::array(memory))
             .raw("rows", &json::array(rows))
             .raw("profile", &profile)
             .finish()
@@ -221,6 +286,30 @@ pub fn peak_rss_kb() -> u64 {
 /// match and wall time may not.
 pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
     let mut rows = Vec::with_capacity(cfg.shard_counts.len() * cfg.schedulers.len());
+    // The memory ladder runs before anything else touches the heap in
+    // anger: VmHWM is monotone, so each ascending cell's snapshot is the
+    // true high-water mark of "process baseline + a K-flow fleet" and the
+    // later throughput sweep cannot deflate or inflate it retroactively.
+    let mut memory = Vec::with_capacity(cfg.memory_sensors.len());
+    {
+        let mut ladder = cfg.memory_sensors.clone();
+        ladder.sort_unstable();
+        for k in ladder {
+            let mut fleet = ManyFlowConfig::fleet(k, 1, cfg.seed);
+            fleet.packets_per_sensor = cfg.packets_per_sensor;
+            let report = manyflow::run(&fleet);
+            let rss_kb = peak_rss_kb();
+            memory.push(MemoryCell {
+                sensors: k,
+                packets: report.shard.packets,
+                peak_rss_kb: rss_kb,
+                peak_rss_per_flow_bytes: rss_kb
+                    .saturating_mul(1024)
+                    .checked_div(k as u64)
+                    .unwrap_or(0),
+            });
+        }
+    }
     // Warm-up: run the full fleet once, unmeasured, so the first measured
     // row doesn't pay the process's page faults and allocator growth for
     // everyone (row order would otherwise masquerade as speedup).
@@ -280,12 +369,100 @@ pub fn run(cfg: &ScaleBenchConfig) -> ScaleBenchResult {
     ScaleBenchResult {
         config: cfg.clone(),
         rows,
+        memory,
         peak_rss_kb: peak_rss_exact_kb.max(peak_rss_sketch_kb),
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         profile,
         peak_rss_sketch_kb,
         peak_rss_exact_kb,
         rss_delta_kb: peak_rss_exact_kb.saturating_sub(peak_rss_sketch_kb),
+    }
+}
+
+/// One budget line parsed from `BENCH_budget.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetCell {
+    /// Fleet size the budget applies to.
+    pub sensors: u64,
+    /// Budgeted resident bytes per flow.
+    pub peak_rss_per_flow_bytes: u64,
+}
+
+/// First unsigned integer following `"key":` in `text`. Whitespace
+/// between the colon and the digits is tolerated; anything else fails the
+/// lookup (strictness over guessing).
+fn u64_after(text: &str, key: &str) -> Option<u64> {
+    let probe = format!("\"{key}\"");
+    let at = text.find(&probe)? + probe.len();
+    let rest = text.get(at..)?.trim_start().strip_prefix(':')?;
+    let digits = rest.trim_start();
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(digits.len(), |(i, _)| i);
+    digits.get(..end)?.parse().ok()
+}
+
+/// Parse the checked-in budget file: a JSON document whose `cells` array
+/// holds `{"sensors": K, "peak_rss_per_flow_bytes": N}` objects. The
+/// parser is a lenient scanner (this workspace has no JSON reader and
+/// takes no dependencies): each `"sensors"` occurrence opens a cell, and
+/// the per-flow figure is read from the text between it and the next
+/// `"sensors"` occurrence.
+pub fn parse_budget(text: &str) -> Vec<BudgetCell> {
+    let probe = "\"sensors\"";
+    let mut cells = Vec::new();
+    let mut starts: Vec<usize> = Vec::new();
+    let mut from = 0usize;
+    while let Some(found) = text.get(from..).and_then(|t| t.find(probe)) {
+        starts.push(from + found);
+        from += found + probe.len();
+    }
+    for (i, &start) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(text.len());
+        let Some(chunk) = text.get(start..end) else {
+            continue;
+        };
+        if let (Some(sensors), Some(per_flow)) = (
+            u64_after(chunk, "sensors"),
+            u64_after(chunk, "peak_rss_per_flow_bytes"),
+        ) {
+            cells.push(BudgetCell {
+                sensors,
+                peak_rss_per_flow_bytes: per_flow,
+            });
+        }
+    }
+    cells
+}
+
+/// The RSS regression gate: every measured memory cell with a matching
+/// budget line must stay within +10% of its budget. Returns a
+/// human-readable violation list on failure; cells without a budget line
+/// (new ladder rungs) pass, and an empty/unparseable budget fails loudly
+/// rather than silently waving runs through.
+pub fn check_budget(measured: &[MemoryCell], budget_text: &str) -> Result<(), String> {
+    let budget = parse_budget(budget_text);
+    if budget.is_empty() {
+        return Err("budget file contains no parseable cells".to_string());
+    }
+    let mut violations = Vec::new();
+    for cell in measured {
+        let Some(b) = budget.iter().find(|b| b.sensors == cell.sensors as u64) else {
+            continue;
+        };
+        let limit = b.peak_rss_per_flow_bytes + b.peak_rss_per_flow_bytes / 10;
+        if cell.peak_rss_per_flow_bytes > limit {
+            violations.push(format!(
+                "K={}: {} B/flow exceeds budget {} B/flow (+10% limit {})",
+                cell.sensors, cell.peak_rss_per_flow_bytes, b.peak_rss_per_flow_bytes, limit
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("; "))
     }
 }
 
@@ -342,6 +519,90 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"profile\":["));
         assert!(json.contains("\"stage\":\"link_delivery\""));
+        // The regression the full-bench artifact once shipped: a profile
+        // block whose seven stages all read 0 events. Pin the hot stage.
+        let link = rows
+            .iter()
+            .find(|(stage, _, _)| *stage == "link_delivery")
+            .map(|(_, events, _)| *events)
+            .unwrap_or(0);
+        assert!(link > 0, "link_delivery must attribute events");
+    }
+
+    #[test]
+    fn full_config_profiles_and_ladders_by_default() {
+        let cfg = ScaleBenchConfig::full();
+        assert!(
+            cfg.profile,
+            "default BENCH_scale.json must attribute stages"
+        );
+        assert_eq!(cfg.memory_sensors, vec![10_000, 100_000]);
+        assert!(!ScaleBenchConfig::quick().profile, "CI smoke stays cheap");
+    }
+
+    #[test]
+    fn memory_cells_report_per_flow_figures() {
+        let mut cfg = ScaleBenchConfig::quick().with_scheduler("wheel");
+        cfg.shard_counts = vec![1];
+        cfg.memory_sensors = vec![1024, 256]; // run() must sort ascending
+        let result = run(&cfg);
+        assert_eq!(result.memory.len(), 2);
+        assert_eq!(result.memory[0].sensors, 256, "ascending K");
+        assert_eq!(result.memory[1].sensors, 1024);
+        for cell in &result.memory {
+            assert_eq!(cell.packets, cell.sensors as u64 * 4);
+            if cfg!(target_os = "linux") {
+                assert!(cell.peak_rss_kb > 0);
+                assert!(cell.peak_rss_per_flow_bytes > 0);
+            }
+        }
+        // VmHWM is monotone, so ascending cells never report shrinkage.
+        assert!(result.memory[1].peak_rss_kb >= result.memory[0].peak_rss_kb);
+        let json = result.to_json();
+        assert!(json.contains("\"memory\":[{\"sensors\":256"));
+        assert!(json.contains("\"peak_rss_per_flow_bytes\":"));
+    }
+
+    #[test]
+    fn budget_parser_reads_cells_and_gate_enforces_ten_percent() {
+        let budget = r#"{
+            "budget": "flow-rss",
+            "cells": [
+                {"sensors": 10000, "peak_rss_per_flow_bytes": 200},
+                {"sensors": 100000, "peak_rss_per_flow_bytes": 150}
+            ]
+        }"#;
+        let cells = parse_budget(budget);
+        assert_eq!(
+            cells,
+            vec![
+                BudgetCell {
+                    sensors: 10000,
+                    peak_rss_per_flow_bytes: 200
+                },
+                BudgetCell {
+                    sensors: 100000,
+                    peak_rss_per_flow_bytes: 150
+                },
+            ]
+        );
+        let cell = |sensors: usize, per_flow: u64| MemoryCell {
+            sensors,
+            packets: 1,
+            peak_rss_kb: 0,
+            peak_rss_per_flow_bytes: per_flow,
+        };
+        // Within budget, exactly at the +10% limit, and unbudgeted cells
+        // all pass; one byte over the limit fails with the cell named.
+        assert!(check_budget(&[cell(10000, 199)], budget).is_ok());
+        assert!(check_budget(&[cell(10000, 220)], budget).is_ok());
+        assert!(check_budget(&[cell(1, 999_999)], budget).is_ok());
+        let err = check_budget(&[cell(10000, 221), cell(100000, 140)], budget)
+            .expect_err("over-limit cell must fail");
+        assert!(err.contains("K=10000"), "violation names the cell: {err}");
+        assert!(!err.contains("K=100000"), "in-budget cell not named: {err}");
+        // An empty or unparseable budget fails loudly.
+        assert!(check_budget(&[cell(10000, 1)], "{}").is_err());
     }
 
     #[test]

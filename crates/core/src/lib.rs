@@ -29,6 +29,10 @@
 //! * [`controller`] — the closed-loop adaptation state machine: consumes
 //!   per-segment health observations and emits hysteresis-damped mode
 //!   transitions (degrade/recover/re-home/shed).
+//! * [`flowtable`] — dense struct-of-arrays per-flow state (generation
+//!   checked `u32` ids, parallel columns for seq cursors, mode words,
+//!   deadlines, occupancy) so a million flows cost tens of bytes each
+//!   instead of a boxed object graph.
 //! * [`resourcemap`] — the §6 future-work sketch: a shared map of
 //!   in-network programmable resources and a mode planner that assigns
 //!   per-segment modes from it, plus a gossip-style map exchange.
@@ -38,6 +42,7 @@
 
 pub mod buffer;
 pub mod controller;
+pub mod flowtable;
 pub mod machine;
 pub mod mode;
 pub mod receiver;
@@ -51,6 +56,7 @@ pub use buffer::{RetransmitBuffer, RetransmitBufferStats};
 pub use controller::{
     ControllerConfig, ControllerStats, HealthSample, ModeController, ModeTransition,
 };
+pub use flowtable::{FlowId, FlowTable, FlowTableStats, ModeWord, NO_RETX_SLOT};
 pub use machine::{Input, Machine, Output};
 pub use mode::{Mode, ModeParams};
 pub use receiver::{MmtReceiver, ReceivedMessage, ReceiverConfig, ReceiverStats};

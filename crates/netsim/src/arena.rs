@@ -240,6 +240,21 @@ impl PacketArena {
         Packet::with_flow(buf, flow)
     }
 
+    /// Like [`PacketArena::frame`] but only `physical_len` bytes are
+    /// resident: the remaining `total_len − physical_len` wire bytes ride
+    /// as the packet's *virtual tail* (see `PacketMeta::virtual_tail`).
+    /// Serialization times, MTU checks, queue caps, and link stats all
+    /// see `total_len`; memory sees `physical_len`. This is how a
+    /// million-sensor fleet carries 8 KB frames at ~40 B resident each.
+    pub fn frame_virtual(&mut self, physical_len: usize, total_len: usize, flow: u64) -> Packet {
+        debug_assert!(physical_len <= total_len);
+        let mut pkt = self.frame(physical_len, flow);
+        pkt.meta.virtual_tail = total_len
+            .saturating_sub(physical_len)
+            .min(u32::MAX as usize) as u32;
+        pkt
+    }
+
     /// Return a consumed packet's buffer to the spare pool.
     pub fn recycle(&mut self, pkt: Packet) {
         self.spare.push(pkt.bytes);
@@ -335,6 +350,20 @@ mod tests {
         assert_eq!(a.stats().packets_fresh, 1, "no second allocation");
         assert_eq!(q.len(), 1500);
         assert!(q.bytes.iter().all(|&b| b == 0), "recycled buffer rezeroed");
+    }
+
+    #[test]
+    fn frame_virtual_is_header_resident_full_length_on_wire() {
+        let mut a = PacketArena::new();
+        let p = a.frame_virtual(40, 8192, 3);
+        assert_eq!(p.len(), 8192, "wire sees the full frame");
+        assert_eq!(p.bytes.len(), 40, "memory holds only the header");
+        assert_eq!(p.meta.virtual_tail, 8152);
+        a.recycle(p);
+        // The recycled 40-byte buffer serves the next virtual frame.
+        let q = a.frame_virtual(40, 8192, 4);
+        assert_eq!(a.stats().packets_reused, 1);
+        assert_eq!(q.len(), 8192);
     }
 
     #[test]

@@ -66,6 +66,7 @@
 pub mod arena;
 mod fault;
 mod link;
+pub mod linkstats;
 mod node;
 mod packet;
 pub mod profile;
@@ -81,6 +82,7 @@ pub mod wheel;
 pub use arena::{ArenaStats, PacketArena, PacketRef};
 pub use fault::{FaultSpec, FaultState, FaultVerdict, PeriodicOutage, RandomOutage};
 pub use link::{Link, LinkId, LinkSpec, LossModel, LossState};
+pub use linkstats::LinkStatsBlock;
 pub use node::{Context, Node, NodeId, PortId, TimerToken};
 pub use packet::{Packet, PacketMeta};
 pub use profile::{SpanProfiler, Stage, StageTotals};

@@ -1,0 +1,304 @@
+//! Columnar per-link metric export — the flow-table idea applied to the
+//! telemetry plane.
+//!
+//! The eager export path materializes one labeled registry row per
+//! nonzero per-link series: an `Arc`'d label set (three heap `String`s)
+//! plus a B-tree entry per metric, per link. At fleet scale that
+//! dominates the footprint — every group's registry sits fully
+//! materialized until the merge folds them, ~1 kB per link against
+//! ~40 B of actual protocol state per flow.
+//!
+//! [`LinkStatsBlock`] is the diet: each simulator exports its per-link
+//! counters and gauges into a dense packed table (one row of plain
+//! words per link, node names interned once per block). Blocks merge
+//! numerically — counters add, gauges overwrite, exactly the
+//! [`MetricRegistry::absorb`] semantics for the same rows — and the
+//! merged block is materialized into real registry rows *once*, after
+//! the last group has been folded. Rendered output is byte-identical
+//! to the eager path; only the intermediate representation changes.
+
+use std::collections::BTreeMap;
+
+use mmt_telemetry::{LabelSet, MetricRegistry};
+
+/// Per-link counters, in export order (values are written sparsely:
+/// zero cells produce no row, matching the eager exporter).
+pub const LINK_COUNTERS: [&str; 13] = [
+    "mmt_link_offered_packets_total",
+    "mmt_link_offered_bytes_total",
+    "mmt_link_tx_packets_total",
+    "mmt_link_tx_bytes_total",
+    "mmt_link_delivered_packets_total",
+    "mmt_link_mtu_drops_total",
+    "mmt_link_queue_drops_total",
+    "mmt_link_corruption_losses_total",
+    "mmt_link_queue_shed_aged_total",
+    "mmt_link_flap_drops_total",
+    "mmt_link_control_drops_total",
+    "mmt_link_dup_injected_total",
+    "mmt_link_reordered_total",
+];
+
+/// Per-link gauges, in export order. Gauges follow last-writer-wins on
+/// merge (only nonzero writers count), matching `absorb`.
+pub const LINK_GAUGES: [&str; 4] = [
+    "mmt_link_utilization",
+    "mmt_link_throughput_bps",
+    "mmt_link_queue_occupancy_bytes",
+    "mmt_link_queue_occupancy_packets",
+];
+
+/// One packed link row: identity plus every exported cell as a plain
+/// word. Gauges store `f64` bits. ~150 B/link, no per-row heap.
+#[derive(Debug, Clone)]
+struct PackedLinkRow {
+    /// Group-local link index (the `link` label value).
+    link: u32,
+    /// Interned source node name.
+    src: u32,
+    /// Interned destination node name.
+    dst: u32,
+    /// Counter cells, parallel to [`LINK_COUNTERS`].
+    counters: [u64; LINK_COUNTERS.len()],
+    /// Gauge cells (`f64::to_bits`), parallel to [`LINK_GAUGES`].
+    gauges: [u64; LINK_GAUGES.len()],
+}
+
+/// A dense table of per-link metric cells; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStatsBlock {
+    /// Interned node names (label values), deduplicated.
+    names: Vec<String>,
+    rows: Vec<PackedLinkRow>,
+    /// Merge index: `(link, src, dst)` → row position.
+    index: BTreeMap<(u32, u32, u32), usize>,
+}
+
+impl LinkStatsBlock {
+    /// An empty block.
+    pub fn new() -> LinkStatsBlock {
+        LinkStatsBlock::default()
+    }
+
+    /// Links recorded in this block.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the block records no links at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        match self.names.iter().position(|n| n == name) {
+            Some(at) => at as u32,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as u32
+            }
+        }
+    }
+
+    fn name(&self, id: u32) -> &str {
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Record one link's export snapshot.
+    pub fn push(
+        &mut self,
+        link: u32,
+        src: &str,
+        dst: &str,
+        counters: [u64; LINK_COUNTERS.len()],
+        gauges: [f64; LINK_GAUGES.len()],
+    ) {
+        let src = self.intern(src);
+        let dst = self.intern(dst);
+        let mut bits = [0u64; LINK_GAUGES.len()];
+        for (cell, value) in bits.iter_mut().zip(gauges) {
+            *cell = value.to_bits();
+        }
+        let key = (link, src, dst);
+        match self.index.get(&key) {
+            Some(&at) => {
+                // Same identity pushed twice: fold like a merge so the
+                // block stays equivalent to two absorbed registries.
+                if let Some(row) = self.rows.get_mut(at) {
+                    fold_row(row, &counters, &bits);
+                }
+            }
+            None => {
+                self.index.insert(key, self.rows.len());
+                self.rows.push(PackedLinkRow {
+                    link,
+                    src,
+                    dst,
+                    counters,
+                    gauges: bits,
+                });
+            }
+        }
+    }
+
+    /// Fold another block into this one: counters add; gauges are
+    /// overwritten by nonzero incoming cells (a zero gauge was never
+    /// exported by the eager path, so it must not clobber).
+    pub fn merge_from(&mut self, other: &LinkStatsBlock) {
+        for row in &other.rows {
+            let src = self.intern(other.name(row.src));
+            let dst = self.intern(other.name(row.dst));
+            let key = (row.link, src, dst);
+            match self.index.get(&key) {
+                Some(&at) => {
+                    if let Some(mine) = self.rows.get_mut(at) {
+                        fold_row(mine, &row.counters, &row.gauges);
+                    }
+                }
+                None => {
+                    self.index.insert(key, self.rows.len());
+                    self.rows.push(PackedLinkRow {
+                        link: row.link,
+                        src,
+                        dst,
+                        counters: row.counters,
+                        gauges: row.gauges,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Materialize real registry rows — byte-identical to the eager
+    /// per-link exporter run over the same (merged) stats: zero cells
+    /// are omitted, everything else lands under the `link`/`src`/`dst`
+    /// label set the eager path used.
+    // mmt-lint: cold
+    pub fn materialize(&self, reg: &mut MetricRegistry) {
+        for row in &self.rows {
+            let link_s = row.link.to_string();
+            let labels = LabelSet::new(&[
+                ("link", link_s.as_str()),
+                ("src", self.name(row.src)),
+                ("dst", self.name(row.dst)),
+            ]);
+            for (name, value) in LINK_COUNTERS.iter().zip(row.counters) {
+                if value != 0 {
+                    reg.counter_add_set(name, &labels, value);
+                }
+            }
+            for (name, bits) in LINK_GAUGES.iter().zip(row.gauges) {
+                let value = f64::from_bits(bits);
+                // mmt-lint: allow(F1, "exact zero test on export-time gauge cells; mirrors the eager exporter's sparseness rule")
+                if value != 0.0 {
+                    reg.gauge_set_set(name, &labels, value);
+                }
+            }
+        }
+    }
+}
+
+fn fold_row(
+    row: &mut PackedLinkRow,
+    counters: &[u64; LINK_COUNTERS.len()],
+    gauge_bits: &[u64; LINK_GAUGES.len()],
+) {
+    for (mine, incoming) in row.counters.iter_mut().zip(counters) {
+        *mine += incoming;
+    }
+    for (mine, incoming) in row.gauges.iter_mut().zip(gauge_bits) {
+        // mmt-lint: allow(F1, "exact zero test replicating registry absorb: only a row that was actually exported overwrites")
+        if f64::from_bits(*incoming) != 0.0 {
+            *mine = *incoming;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_telemetry::prometheus;
+
+    fn eager(reg: &mut MetricRegistry, link: u32, src: &str, dst: &str, tx: u64, util: f64) {
+        let link_s = link.to_string();
+        let labels = LabelSet::new(&[("link", link_s.as_str()), ("src", src), ("dst", dst)]);
+        if tx != 0 {
+            reg.counter_add_set("mmt_link_tx_packets_total", &labels, tx);
+        }
+        if util != 0.0 {
+            reg.gauge_set_set("mmt_link_utilization", &labels, util);
+        }
+    }
+
+    fn block_row(_link: u32, tx: u64, util: f64) -> ([u64; 13], [f64; 4]) {
+        let mut counters = [0u64; 13];
+        counters[2] = tx;
+        let mut gauges = [0.0f64; 4];
+        gauges[0] = util;
+        (counters, gauges)
+    }
+
+    #[test]
+    fn materialized_rows_match_the_eager_exporter() {
+        let mut eager_reg = MetricRegistry::new();
+        eager(&mut eager_reg, 0, "sensor", "dtn", 7, 0.25);
+        eager(&mut eager_reg, 1, "sensor", "dtn", 0, 0.5); // zero counter omitted
+        let mut block = LinkStatsBlock::new();
+        let (c0, g0) = block_row(0, 7, 0.25);
+        block.push(0, "sensor", "dtn", c0, g0);
+        let (c1, g1) = block_row(1, 0, 0.5);
+        block.push(1, "sensor", "dtn", c1, g1);
+        let mut packed_reg = MetricRegistry::new();
+        block.materialize(&mut packed_reg);
+        assert_eq!(
+            prometheus::render(&eager_reg),
+            prometheus::render(&packed_reg)
+        );
+    }
+
+    #[test]
+    fn merge_matches_registry_absorb() {
+        // Two groups exporting the same link identity: counters must
+        // sum, the later nonzero gauge must win — exactly absorb.
+        let mut a_reg = MetricRegistry::new();
+        eager(&mut a_reg, 3, "sensor", "dtn", 5, 0.1);
+        let mut b_reg = MetricRegistry::new();
+        eager(&mut b_reg, 3, "sensor", "dtn", 9, 0.0); // gauge not exported
+        let mut merged_reg = MetricRegistry::new();
+        merged_reg.absorb(&a_reg);
+        merged_reg.absorb(&b_reg);
+
+        let mut a = LinkStatsBlock::new();
+        let (c, g) = block_row(3, 5, 0.1);
+        a.push(3, "sensor", "dtn", c, g);
+        let mut b = LinkStatsBlock::new();
+        let (c, g) = block_row(3, 9, 0.0);
+        b.push(3, "sensor", "dtn", c, g);
+        let mut merged = LinkStatsBlock::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.len(), 1);
+        let mut packed_reg = MetricRegistry::new();
+        merged.materialize(&mut packed_reg);
+        assert_eq!(
+            prometheus::render(&merged_reg),
+            prometheus::render(&packed_reg)
+        );
+    }
+
+    #[test]
+    fn distinct_identities_stay_distinct() {
+        let mut merged = LinkStatsBlock::new();
+        let (c, g) = block_row(0, 1, 0.0);
+        merged.push(0, "sensor", "dtn", c, g);
+        let (c, g) = block_row(0, 1, 0.0);
+        merged.push(0, "sensor", "standby", c, g);
+        let (c, g) = block_row(1, 1, 0.0);
+        merged.push(1, "sensor", "dtn", c, g);
+        assert_eq!(merged.len(), 3);
+        assert!(!merged.is_empty());
+    }
+}

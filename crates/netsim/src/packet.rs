@@ -24,6 +24,13 @@ pub struct PacketMeta {
     /// backpressure credit). Stamped at the emitting node so the fault
     /// layer can target control loss without parsing headers.
     pub control: bool,
+    /// Virtual payload tail: extra wire bytes the packet *represents*
+    /// without physically allocating them. [`Packet::len`] — and through
+    /// it every serialization time, MTU check, queue byte cap, and link
+    /// stat — counts them; only `bytes` is backed by memory. High-K
+    /// fleets use this to carry multi-KB payloads at header-only resident
+    /// cost.
+    pub virtual_tail: u32,
 }
 
 /// A packet: owned bytes plus metadata.
@@ -55,15 +62,15 @@ impl Packet {
         }
     }
 
-    /// Wire length in bytes.
+    /// Wire length in bytes (physical bytes plus the virtual tail).
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.bytes.len() + self.meta.virtual_tail as usize
     }
 
     /// Whether the packet has no bytes (never true for real traffic; kept
     /// for API completeness).
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.len() == 0
     }
 }
 
@@ -80,5 +87,17 @@ mod tests {
         let q = Packet::with_flow(vec![], 9);
         assert!(q.is_empty());
         assert_eq!(q.meta.flow, 9);
+    }
+
+    #[test]
+    fn virtual_tail_counts_toward_wire_length() {
+        let mut p = Packet::new(vec![0; 40]);
+        p.meta.virtual_tail = 8152;
+        assert_eq!(p.len(), 8192, "wire length includes the virtual tail");
+        assert_eq!(p.bytes.len(), 40, "only the header is resident");
+        assert!(!p.is_empty());
+        let mut hdr_only = Packet::new(Vec::new());
+        hdr_only.meta.virtual_tail = 1;
+        assert!(!hdr_only.is_empty());
     }
 }

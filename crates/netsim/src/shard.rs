@@ -23,8 +23,10 @@
 //! the bench layer measures (wall-clock never enters this crate; the
 //! determinism lint bans it here).
 
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 
+use crate::linkstats::LinkStatsBlock;
 use crate::profile::SpanProfiler;
 use crate::rng::SimRng;
 use mmt_telemetry::{MetricRegistry, SeriesRow, TraceRecord};
@@ -88,6 +90,27 @@ pub fn digest_trace(records: &[TraceRecord]) -> u64 {
     h.finish()
 }
 
+/// Digest a slice of trace records *keyed by flow*, skipping the node
+/// index. Flow-state refactors that re-house flows in different node
+/// objects (one fleet node vs. one node per sensor) keep every
+/// wire-observable field — timestamps, links, packet ids, flows, seqs,
+/// lengths — but renumber nodes; this digest is the invariant they are
+/// held to. Where node identity matters, use [`digest_trace`].
+pub fn digest_trace_flow(records: &[TraceRecord]) -> u64 {
+    let mut h = Fnv64::new();
+    for r in records {
+        h.write_u64(r.ts_ns);
+        h.write(r.kind.as_bytes());
+        h.write_u64(r.link.map_or(u64::MAX, |v| v));
+        h.write_u64(r.packet_id);
+        h.write_u64(r.flow);
+        h.write_u64(r.seq.map_or(u64::MAX, |v| v));
+        h.write_u64(r.config.map_or(u64::MAX, |v| v));
+        h.write_u64(r.len_bytes);
+    }
+    h.finish()
+}
+
 /// Digest a rendered string (e.g. a Prometheus exposition of a registry).
 pub fn digest_str(s: &str) -> u64 {
     let mut h = Fnv64::new();
@@ -101,6 +124,12 @@ pub fn digest_str(s: &str) -> u64 {
 pub struct GroupResult {
     /// Merged into the run's registry in ascending group order.
     pub registry: MetricRegistry,
+    /// Packed per-link metric cells (from
+    /// [`crate::Simulator::export_metrics_split`]); folded numerically
+    /// across groups and materialized into the merged registry once,
+    /// after the last group. Leave empty (the default) when the group's
+    /// registry already carries its link rows eagerly.
+    pub links: LinkStatsBlock,
     /// Digest of the group's trace (see [`digest_trace`]).
     pub trace_digest: u64,
     /// Simulator events the group processed.
@@ -236,11 +265,13 @@ impl ShardedSim {
         F: Fn(usize, u64) -> GroupResult + Send + Sync,
     {
         let workers = self.worker_count();
-        let mut slots: Vec<Option<(usize, GroupResult)>> = Vec::new();
-        slots.resize_with(groups, || None);
+        let mut merge = MergeAcc::new(self.shards);
         if workers == 1 {
-            for (g, slot) in slots.iter_mut().enumerate() {
-                *slot = Some((g % self.shards, run_group(g, self.group_seed(g))));
+            for g in 0..groups {
+                // Fold immediately: exactly one group's telemetry is
+                // ever alive alongside the accumulator, which is what
+                // keeps fleet-scale peak RSS flat in the group count.
+                merge.offer(g, g % self.shards, run_group(g, self.group_seed(g)));
             }
         } else {
             let (tx, rx) = mpsc::channel::<(usize, GroupResult)>();
@@ -264,52 +295,106 @@ impl ShardedSim {
                 }
             });
             drop(tx);
+            // Results arrive in completion order; the accumulator holds
+            // out-of-order arrivals and folds each contiguous prefix in
+            // ascending group order, so the merge is byte-identical to
+            // the serial loop while freeing group telemetry early.
             for (g, result) in rx {
-                if let Some(slot) = slots.get_mut(g) {
-                    *slot = Some((g % self.shards, result));
-                }
+                merge.offer(g, g % self.shards, result);
             }
         }
-        self.merge(slots)
+        merge.finish()
+    }
+}
+
+/// Merge accumulator: folds [`GroupResult`]s in ascending group order
+/// regardless of arrival order, releasing each group's telemetry as soon
+/// as it is absorbed. Out-of-order arrivals wait in `pending`; the fold
+/// itself is identical to the old collect-then-merge loop, so digests
+/// and registries are byte-identical — only peak memory changes.
+struct MergeAcc {
+    registry: MetricRegistry,
+    links: LinkStatsBlock,
+    digest: Fnv64,
+    events: u64,
+    packets: u64,
+    shard_loads: Vec<ShardLoad>,
+    series: Vec<SeriesRow>,
+    profile: SpanProfiler,
+    /// Next group id the fold is waiting for.
+    next: usize,
+    /// Groups that finished ahead of `next`, keyed by group id.
+    pending: BTreeMap<usize, (usize, GroupResult)>,
+}
+
+impl MergeAcc {
+    // mmt-lint: cold
+    fn new(shards: usize) -> MergeAcc {
+        MergeAcc {
+            registry: MetricRegistry::new(),
+            links: LinkStatsBlock::new(),
+            digest: Fnv64::new(),
+            events: 0,
+            packets: 0,
+            shard_loads: vec![ShardLoad::default(); shards],
+            series: Vec::new(),
+            profile: SpanProfiler::new(),
+            next: 0,
+            pending: BTreeMap::new(),
+        }
     }
 
-    /// Fold per-group results in ascending group order (the order of the
-    /// `slots` vector), which is what keeps the merge independent of
-    /// completion order.
+    /// Hand over group `g`'s result; folds it now if it is next in
+    /// ascending order, otherwise parks it until the gap closes.
     // mmt-lint: cold
-    fn merge(&self, slots: Vec<Option<(usize, GroupResult)>>) -> ShardReport {
-        let mut registry = MetricRegistry::new();
-        let mut digest = Fnv64::new();
-        let mut events = 0u64;
-        let mut packets = 0u64;
-        let mut shard_loads = vec![ShardLoad::default(); self.shards];
-        let mut series = Vec::new();
-        let mut profile = SpanProfiler::new();
-        for (g, slot) in slots.into_iter().enumerate() {
-            let Some((shard, mut result)) = slot else {
-                continue;
-            };
-            registry.absorb(&result.registry);
-            digest.write_u64(g as u64);
-            digest.write_u64(result.trace_digest);
-            events += result.events;
-            packets += result.packets;
-            series.append(&mut result.series);
-            profile.merge(&result.profile);
-            if let Some(load) = shard_loads.get_mut(shard) {
-                load.groups += 1;
-                load.events += result.events;
-                load.packets += result.packets;
+    fn offer(&mut self, g: usize, shard: usize, result: GroupResult) {
+        if g == self.next {
+            self.fold(g, shard, result);
+            self.next += 1;
+            while let Some((shard, result)) = self.pending.remove(&self.next) {
+                let g = self.next;
+                self.fold(g, shard, result);
+                self.next += 1;
             }
+        } else {
+            self.pending.insert(g, (shard, result));
         }
+    }
+
+    // mmt-lint: cold
+    fn fold(&mut self, g: usize, shard: usize, mut result: GroupResult) {
+        self.registry.absorb(&result.registry);
+        self.links.merge_from(&result.links);
+        self.digest.write_u64(g as u64);
+        self.digest.write_u64(result.trace_digest);
+        self.events += result.events;
+        self.packets += result.packets;
+        self.series.append(&mut result.series);
+        self.profile.merge(&result.profile);
+        if let Some(load) = self.shard_loads.get_mut(shard) {
+            load.groups += 1;
+            load.events += result.events;
+            load.packets += result.packets;
+        }
+    }
+
+    /// Fold any still-pending groups (ascending) and materialize the
+    /// packed link cells into the merged registry.
+    // mmt-lint: cold
+    fn finish(mut self) -> ShardReport {
+        let pending = std::mem::take(&mut self.pending);
+        for (g, (shard, result)) in pending {
+            self.fold(g, shard, result);
+        }
+        self.links.materialize(&mut self.registry);
         ShardReport {
-            registry,
-            trace_digest: digest.finish(),
-            events,
-            packets,
-            shard_loads,
-            series,
-            profile,
+            registry: self.registry,
+            trace_digest: self.digest.finish(),
+            events: self.events,
+            packets: self.packets,
+            shard_loads: self.shard_loads,
+            series: self.series,
+            profile: self.profile,
         }
     }
 }
@@ -361,6 +446,7 @@ mod tests {
         sim.export_metrics(&mut registry);
         GroupResult {
             registry,
+            links: LinkStatsBlock::new(),
             trace_digest: digest_trace(&sim.trace_records()),
             events: 0,
             packets: 0,
@@ -412,6 +498,7 @@ mod tests {
     fn loads_cover_all_groups() {
         let report = ShardedSim::new(1, 4).run(10, |g, seed| GroupResult {
             registry: MetricRegistry::new(),
+            links: LinkStatsBlock::new(),
             trace_digest: seed,
             events: 10 + g as u64,
             packets: 1,
@@ -445,6 +532,7 @@ mod tests {
                     profile.add(crate::profile::Stage::Encode, g as u64, 1);
                     GroupResult {
                         registry: MetricRegistry::new(),
+                        links: LinkStatsBlock::new(),
                         trace_digest: 0,
                         events: 0,
                         packets: 0,

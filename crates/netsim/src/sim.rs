@@ -384,9 +384,27 @@ impl Simulator {
     /// observed activity rather than topology size. Absent counters read
     /// back as zero, so consumers see the same numbers either way.
     pub fn export_metrics(&self, reg: &mut mmt_telemetry::MetricRegistry) {
+        let links = self.export_metrics_split(reg);
+        links.materialize(reg);
+    }
+
+    /// The fleet-scale variant of [`export_metrics`]: everything *except*
+    /// the per-link rows lands in `reg`; the per-link cells come back as
+    /// a packed [`LinkStatsBlock`] (~150 B/link, no per-row heap) for
+    /// the caller to merge across groups and materialize once. HELP
+    /// strings for the link metrics are still described into `reg`, so
+    /// an absorbed registry renders identically.
+    ///
+    /// [`export_metrics`]: Simulator::export_metrics
+    /// [`LinkStatsBlock`]: crate::linkstats::LinkStatsBlock
+    pub fn export_metrics_split(
+        &self,
+        reg: &mut mmt_telemetry::MetricRegistry,
+    ) -> crate::linkstats::LinkStatsBlock {
         use crate::time::Time;
+        let mut block = crate::linkstats::LinkStatsBlock::new();
         if !reg.is_enabled() {
-            return;
+            return block;
         }
         reg.describe("mmt_sim_now_ns", "current virtual time");
         reg.gauge_set("mmt_sim_now_ns", &[], self.now.as_nanos() as f64);
@@ -491,50 +509,39 @@ impl Simulator {
             self.now
         };
         for (idx, link) in self.links.iter().enumerate() {
-            let idx_s = idx.to_string();
-            let labels = mmt_telemetry::LabelSet::new(&[
-                ("link", idx_s.as_str()),
-                ("src", self.nodes[link.src_node].name.as_str()),
-                ("dst", self.nodes[link.dst_node].name.as_str()),
-            ]);
             let s = &link.stats;
-            for (name, value) in [
-                ("mmt_link_offered_packets_total", s.offered_packets),
-                ("mmt_link_offered_bytes_total", s.offered_bytes),
-                ("mmt_link_tx_packets_total", s.tx_packets),
-                ("mmt_link_tx_bytes_total", s.tx_bytes),
-                ("mmt_link_delivered_packets_total", s.delivered_packets),
-                ("mmt_link_mtu_drops_total", s.mtu_drops),
-                ("mmt_link_queue_drops_total", s.queue_drops),
-                ("mmt_link_corruption_losses_total", s.corruption_losses),
-                ("mmt_link_queue_shed_aged_total", link.queue.shed_aged()),
-                ("mmt_link_flap_drops_total", s.flap_drops),
-                ("mmt_link_control_drops_total", s.control_drops),
-                ("mmt_link_dup_injected_total", s.dup_injected),
-                ("mmt_link_reordered_total", s.reordered),
-            ] {
-                if value != 0 {
-                    reg.counter_add_set(name, &labels, value);
-                }
-            }
-            for (name, value) in [
-                ("mmt_link_utilization", s.utilization(elapsed)),
-                ("mmt_link_throughput_bps", s.throughput_bps(elapsed)),
-                (
-                    "mmt_link_queue_occupancy_bytes",
+            // Cell order is pinned by `linkstats::LINK_COUNTERS` /
+            // `LINK_GAUGES`; materialization re-applies the sparse
+            // (nonzero-only) export rule, so the rendered rows are
+            // byte-identical to the old eager exporter.
+            block.push(
+                idx as u32,
+                self.nodes[link.src_node].name.as_str(),
+                self.nodes[link.dst_node].name.as_str(),
+                [
+                    s.offered_packets,
+                    s.offered_bytes,
+                    s.tx_packets,
+                    s.tx_bytes,
+                    s.delivered_packets,
+                    s.mtu_drops,
+                    s.queue_drops,
+                    s.corruption_losses,
+                    link.queue.shed_aged(),
+                    s.flap_drops,
+                    s.control_drops,
+                    s.dup_injected,
+                    s.reordered,
+                ],
+                [
+                    s.utilization(elapsed),
+                    s.throughput_bps(elapsed),
                     link.queue.occupancy_bytes() as f64,
-                ),
-                (
-                    "mmt_link_queue_occupancy_packets",
                     link.queue.occupancy_packets() as f64,
-                ),
-            ] {
-                // mmt-lint: allow(F1, "exact zero test on integer-valued gauges; no rounding involved")
-                if value != 0.0 {
-                    reg.gauge_set_set(name, &labels, value);
-                }
-            }
+                ],
+            );
         }
+        block
     }
 
     /// Current virtual time.

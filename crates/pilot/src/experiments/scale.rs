@@ -66,6 +66,17 @@ pub fn full(seed: u64) -> Vec<E14Row> {
     scale_rows(10_000, seed, &[1, 2, 4])
 }
 
+/// The high-K ladder: one row per fleet size in `sensors`, all at a fixed
+/// shard count. The struct-of-arrays flow core plus virtual payload tails
+/// make K = 1 000 000 feasible in one process; memory figures belong to
+/// `mmt-bench` (this experiment reports only deterministic quantities).
+pub fn ladder(sensors: &[usize], shards: usize, seed: u64) -> Vec<E14Row> {
+    sensors
+        .iter()
+        .flat_map(|&k| scale_rows(k, seed, &[shards]))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +89,15 @@ mod tests {
         assert!(rows.windows(2).all(|w| w[0].delivered == w[1].delivered));
         assert!(rows.windows(2).all(|w| w[0].events == w[1].events));
         assert_eq!(rows[0].delivered, 256 * 8);
+    }
+
+    #[test]
+    fn ladder_rows_scale_delivery_with_k() {
+        let rows = ladder(&[64, 256], 2, 5);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].delivered, 64 * 8);
+        assert_eq!(rows[1].delivered, 256 * 8);
+        assert!(rows[1].events > rows[0].events);
     }
 
     #[test]

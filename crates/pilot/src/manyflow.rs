@@ -15,15 +15,33 @@
 //! [`MmtRepr::decode_from`] before recycling the buffer — so in steady
 //! state the group neither allocates nor copies per packet, and the
 //! span profiler's encode/decode rows attribute real wire work.
+//!
+//! ## Flow-state layout: struct-of-arrays by default
+//!
+//! The default execution houses a group's sensors in one [`SensorFleet`]
+//! node whose per-flow state (sequence cursor, remaining-packet counter,
+//! delivery occupancy) lives in a dense [`FlowTable`] — tens of bytes per
+//! flow — and whose frames carry their multi-KB payloads as *virtual
+//! tails* (only the MMT header is resident; see
+//! [`PacketArena::frame_virtual`]). The seed layout — one boxed
+//! [`Sensor`] node per flow with physically allocated payloads — is kept
+//! behind [`ManyFlowConfig::with_aos_sensors`] as the differential
+//! reference: `tests/flowtable_equivalence.rs` holds the two layouts to
+//! byte-identical Prometheus text, flow-keyed trace digests, and series
+//! JSONL. Both paths draw identical RNG sequences (staggers in flow
+//! order from the shared simulator stream, link parameters from the
+//! frozen wiring stream) and push timers in identical insertion order,
+//! which is what makes the equivalence exact rather than statistical.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use mmt_netsim::shard::{digest_trace, Fnv64, GroupResult, ShardReport, ShardedSim};
+use mmt_core::flowtable::{FlowId, FlowTable};
+use mmt_netsim::shard::{digest_trace_flow, Fnv64, GroupResult, ShardReport, ShardedSim};
 use mmt_netsim::stats::LatencyHistogram;
 use mmt_netsim::{
-    Bandwidth, Context, LinkSpec, Node, Packet, PacketArena, PortId, SimRng, Simulator, Stage,
-    Time, TimerToken,
+    Bandwidth, Context, LinkSpec, Node, NodeId, Packet, PacketArena, PortId, SimRng, Simulator,
+    Stage, Time, TimerToken,
 };
 use mmt_telemetry::MetricRegistry;
 use mmt_wire::mmt::{ExperimentId, MmtRepr};
@@ -58,6 +76,10 @@ pub struct ManyFlowConfig {
     /// the timing wheel (differential testing only; see
     /// [`Simulator::with_heap_scheduler`]).
     pub heap_scheduler: bool,
+    /// Use the seed array-of-structs layout — one boxed [`Sensor`] node
+    /// per flow, payloads physically allocated — instead of the default
+    /// [`FlowTable`]-backed [`SensorFleet`] (differential testing only).
+    pub aos_sensors: bool,
 }
 
 impl ManyFlowConfig {
@@ -75,6 +97,7 @@ impl ManyFlowConfig {
             exact_latency: false,
             profile: false,
             heap_scheduler: false,
+            aos_sensors: false,
         }
     }
 
@@ -93,6 +116,7 @@ impl ManyFlowConfig {
             exact_latency: false,
             profile: false,
             heap_scheduler: false,
+            aos_sensors: false,
         }
     }
 
@@ -128,6 +152,13 @@ impl ManyFlowConfig {
     #[must_use]
     pub fn with_heap_scheduler(mut self) -> ManyFlowConfig {
         self.heap_scheduler = true;
+        self
+    }
+
+    /// With the seed boxed-per-sensor layout (differential testing only).
+    #[must_use]
+    pub fn with_aos_sensors(mut self) -> ManyFlowConfig {
+        self.aos_sensors = true;
         self
     }
 
@@ -201,28 +232,123 @@ impl Node for Sensor {
     }
 }
 
+/// The whole group's sensor population as ONE node: per-flow state lives
+/// in the group's [`FlowTable`] (seq cursor and remaining counter as
+/// dense columns), frames carry virtual payload tails, and timer tokens
+/// address flows. Emission order, RNG draws, link traversal, and every
+/// wire-observable byte match the boxed [`Sensor`] reference exactly —
+/// only the node index on trace records (and the resident cost) differ.
+struct SensorFleet {
+    /// `(group << 32)`; flow `i`'s label is `base_flow | i`.
+    base_flow: u64,
+    payload_bytes: usize,
+    /// Header template; per-packet emission adds the sequence number.
+    header: MmtRepr,
+    arena: Rc<RefCell<PacketArena>>,
+    table: Rc<RefCell<FlowTable>>,
+    /// Flow handles in sensor order: timer token `i` drives `flows[i]`,
+    /// which sends on port `i` over the same link sensor `i` would own.
+    flows: Vec<FlowId>,
+}
+
+impl Node for SensorFleet {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _pkt: Packet) {}
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Staggers drawn in flow order from the shared simulator stream —
+        // the identical draw sequence the per-sensor nodes produce when
+        // started in node-insertion order.
+        for i in 0..self.flows.len() {
+            let id = self.flows[i];
+            if self.table.borrow().remaining(id).unwrap_or(0) > 0 {
+                let stagger =
+                    Time::from_nanos(ctx.rng().next_bounded(SENSOR_GAP.as_nanos().max(1)));
+                ctx.set_timer(stagger, i as TimerToken);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        let i = token as usize;
+        let Some(&id) = self.flows.get(i) else {
+            return;
+        };
+        let (seq, remaining) = {
+            let t = self.table.borrow();
+            match (t.seq(id), t.remaining(id)) {
+                (Some(s), Some(r)) => (s, r),
+                _ => return,
+            }
+        };
+        if remaining == 0 {
+            return;
+        }
+        let repr = self.header.with_sequence(seq);
+        let header_len = repr.header_len();
+        let total = header_len + self.payload_bytes;
+        let mut pkt =
+            self.arena
+                .borrow_mut()
+                .frame_virtual(header_len, total, self.base_flow | i as u64);
+        // Infallible: the buffer was sized from header_len one line up.
+        if repr.encode_into(&mut pkt.bytes).is_err() {
+            debug_assert!(false, "frame buffer sized from header_len");
+            return;
+        }
+        pkt.meta.seq = Some(seq);
+        ctx.send(i, pkt);
+        {
+            let mut t = self.table.borrow_mut();
+            t.set_seq(id, seq.wrapping_add(1));
+            t.set_remaining(id, remaining - 1);
+        }
+        if remaining > 1 {
+            ctx.set_timer(SENSOR_GAP, token);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 /// The group's DTN: zero-copy-decodes, counts, and recycles every
 /// arrival instead of storing it, so memory stays flat at any K.
 struct Dtn {
     delivered: u64,
-    /// Payload bytes consumed (header bytes excluded by the decode).
+    /// Payload bytes consumed (header bytes excluded; counted from the
+    /// wire length so virtual tails weigh the same as resident bytes).
     bytes: u64,
     /// Frames whose MMT header failed to parse (must stay zero on
     /// clean links; exported as `mmt_manyflow_decode_errors_total`).
     decode_errors: u64,
     latency: LatencyHistogram,
     arena: Rc<RefCell<PacketArena>>,
+    /// Present on the flow-table path: per-flow delivery occupancy is
+    /// mirrored into the table's occupancy column, keyed by the low
+    /// 32 bits of the packet's flow label.
+    table: Option<Rc<RefCell<FlowTable>>>,
+    flows: Vec<FlowId>,
 }
 
 impl Node for Dtn {
     fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, pkt: Packet) {
         match MmtRepr::decode_from(&pkt.bytes) {
-            Ok((header, payload)) => {
+            Ok((header, _payload)) => {
                 debug_assert_eq!(header.sequence(), pkt.meta.seq);
                 self.delivered += 1;
-                self.bytes += payload.len() as u64;
+                self.bytes += pkt.len().saturating_sub(header.header_len()) as u64;
                 self.latency
                     .record(ctx.now().saturating_sub(pkt.meta.created_at));
+                if let Some(table) = &self.table {
+                    let s = (pkt.meta.flow & 0xFFFF_FFFF) as usize;
+                    if let Some(&id) = self.flows.get(s) {
+                        table.borrow_mut().add_occupancy(id, 1);
+                    }
+                }
             }
             Err(_) => self.decode_errors += 1,
         }
@@ -237,10 +363,21 @@ impl Node for Dtn {
     }
 }
 
-/// Run one flow group (DTN `group` and its sensors) to completion and
-/// fold its telemetry into a [`GroupResult`]. Pure in `(config, group,
-/// group_seed)`; never consults the shard layout.
-pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupResult {
+/// One group's simulator plus the handles `run_group` (and the layout
+/// tests) need after the run.
+struct GroupSim {
+    sim: Simulator,
+    arena: Rc<RefCell<PacketArena>>,
+    /// `Some` on the default flow-table path, `None` on the boxed
+    /// reference path.
+    table: Option<Rc<RefCell<FlowTable>>>,
+    dtn: NodeId,
+}
+
+/// Build one flow group's simulator without running it. Node layout is
+/// the only thing `cfg.aos_sensors` changes: link creation order, wiring
+/// RNG draws, link specs, and port numbering are identical either way.
+fn build_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupSim {
     let sensors = cfg.sensors_in_group(group);
     let mut sim = Simulator::new(group_seed);
     if cfg.heap_scheduler {
@@ -256,49 +393,106 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         sim.enable_profiler();
     }
     let arena = Rc::new(RefCell::new(PacketArena::new()));
+    // One experiment id per group; the 24-bit field is masked rather than
+    // checked so pathological group counts degrade to aliasing, not a
+    // panic on the hot construction path.
+    let experiment = ExperimentId::new(group as u32 & 0x00FF_FFFF, 0);
+    let table = if cfg.aos_sensors {
+        None
+    } else {
+        let mut t = FlowTable::with_capacity(sensors);
+        let mut flows = Vec::with_capacity(sensors);
+        for _ in 0..sensors {
+            // Cannot exhaust: a group holds well under 2^32 flows.
+            if let Some(id) = t.alloc() {
+                t.set_remaining(id, cfg.packets_per_sensor.min(u32::MAX as usize) as u32);
+                flows.push(id);
+            }
+        }
+        Some((Rc::new(RefCell::new(t)), flows))
+    };
+    let latency = if cfg.exact_latency {
+        LatencyHistogram::exact()
+    } else {
+        LatencyHistogram::new()
+    };
     let dtn = sim.add_node(
         "dtn",
         Box::new(Dtn {
             delivered: 0,
             bytes: 0,
             decode_errors: 0,
-            latency: if cfg.exact_latency {
-                LatencyHistogram::exact()
-            } else {
-                LatencyHistogram::new()
-            },
+            latency,
             arena: Rc::clone(&arena),
+            table: table.as_ref().map(|(t, _)| Rc::clone(t)),
+            flows: table.as_ref().map(|(_, f)| f.clone()).unwrap_or_default(),
         }),
     );
     // Per-sensor link heterogeneity comes from the group seed, not the
     // simulator's event stream, so wiring is reproducible by inspection.
     let mut wiring = SimRng::new(group_seed).fork_frozen(0x3EA5);
-    // One experiment id per group; the 24-bit field is masked rather than
-    // checked so pathological group counts degrade to aliasing, not a
-    // panic on the hot construction path.
-    let experiment = ExperimentId::new(group as u32 & 0x00FF_FFFF, 0);
-    for s in 0..sensors {
-        let flow = (group as u64) << 32 | s as u64;
-        let node = sim.add_node(
-            "sensor",
-            Box::new(Sensor {
-                flow,
-                remaining: cfg.packets_per_sensor,
-                payload_bytes: cfg.payload_bytes,
-                next_stamp: 0,
-                header: MmtRepr::data(experiment),
-                arena: Rc::clone(&arena),
-            }),
-        );
+    let spec_for = |wiring: &mut SimRng| {
         let prop = Time::from_micros(50 + wiring.next_bounded(200));
-        sim.add_oneway(
-            node,
-            0,
-            dtn,
-            s,
-            LinkSpec::new(Bandwidth::gbps(10), prop).with_mtu(9018),
-        );
+        LinkSpec::new(Bandwidth::gbps(10), prop).with_mtu(9018)
+    };
+    let table = match table {
+        Some((t, flows)) => {
+            let fleet = sim.add_node(
+                "sensor",
+                Box::new(SensorFleet {
+                    base_flow: (group as u64) << 32,
+                    payload_bytes: cfg.payload_bytes,
+                    header: MmtRepr::data(experiment),
+                    arena: Rc::clone(&arena),
+                    table: Rc::clone(&t),
+                    flows,
+                }),
+            );
+            for s in 0..sensors {
+                let spec = spec_for(&mut wiring);
+                sim.add_oneway(fleet, s, dtn, s, spec);
+            }
+            Some(t)
+        }
+        None => {
+            for s in 0..sensors {
+                let flow = (group as u64) << 32 | s as u64;
+                let node = sim.add_node(
+                    "sensor",
+                    Box::new(Sensor {
+                        flow,
+                        remaining: cfg.packets_per_sensor,
+                        payload_bytes: cfg.payload_bytes,
+                        next_stamp: 0,
+                        header: MmtRepr::data(experiment),
+                        arena: Rc::clone(&arena),
+                    }),
+                );
+                let spec = spec_for(&mut wiring);
+                sim.add_oneway(node, 0, dtn, s, spec);
+            }
+            None
+        }
+    };
+    GroupSim {
+        sim,
+        arena,
+        table,
+        dtn,
     }
+}
+
+/// Run one flow group (DTN `group` and its sensors) to completion and
+/// fold its telemetry into a [`GroupResult`]. Pure in `(config, group,
+/// group_seed)`; never consults the shard layout.
+pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupResult {
+    let sensors = cfg.sensors_in_group(group);
+    let GroupSim {
+        mut sim,
+        arena,
+        table,
+        dtn,
+    } = build_group(cfg, group, group_seed);
     sim.run();
     let (delivered, bytes, decode_errors, p50, p99, latency_sum_ns) =
         match sim.node_as_mut::<Dtn>(dtn) {
@@ -312,6 +506,15 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
             ),
             None => (0, 0, 0, Time::ZERO, Time::ZERO, 0),
         };
+    // The occupancy column is the flow table's view of delivery; it must
+    // agree with the DTN's own counter flow-for-flow.
+    if let Some(table) = &table {
+        debug_assert_eq!(
+            table.borrow().occupancy_total(),
+            delivered,
+            "flow-table occupancy diverged from DTN delivery count"
+        );
+    }
     let group_s = group.to_string();
     // Protocol-layer span attribution the core cannot see: every sensor
     // emission is one encode (instantaneous in virtual time — the model
@@ -330,7 +533,10 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         row.labels.insert(0, ("group".to_string(), group_s.clone()));
     }
     let mut registry = MetricRegistry::new();
-    sim.export_metrics(&mut registry);
+    // Per-link cells ride back packed (~150 B/link) instead of as eager
+    // registry rows (~1 kB/link); the sharded merge folds the blocks and
+    // materializes real rows once, after the last group.
+    let links = sim.export_metrics_split(&mut registry);
     let labels = [("group", group_s.as_str())];
     registry.describe(
         "mmt_manyflow_delivered_total",
@@ -378,8 +584,11 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
         &labels,
         stats.packets_fresh,
     );
+    // Flow-keyed digest: every wire-observable field, minus the node
+    // index — the one field the SoA/AoS layouts legitimately disagree on
+    // (one fleet node vs. one node per sensor).
     let trace_digest = if cfg.trace {
-        digest_trace(&sim.trace_records())
+        digest_trace_flow(&sim.trace_records())
     } else {
         // Traces off (bench mode): digest the group's observable outcome
         // instead, so differential runs still compare something real.
@@ -394,6 +603,7 @@ pub fn run_group(cfg: &ManyFlowConfig, group: usize, group_seed: u64) -> GroupRe
     };
     GroupResult {
         registry,
+        links,
         trace_digest,
         events: sim.events_processed(),
         packets: delivered,
@@ -524,6 +734,45 @@ mod tests {
         // Profile must also ignore the shard count.
         let sharded = run(&ManyFlowConfig::quick(13).with_profile().with_shards(4));
         assert_eq!(*p, sharded.shard.profile);
+    }
+
+    #[test]
+    fn soa_path_actually_uses_the_flow_table() {
+        let cfg = ManyFlowConfig::quick(1);
+        let soa = build_group(&cfg, 0, 42);
+        let table = soa.table.expect("default path builds a flow table");
+        assert_eq!(table.borrow().live(), cfg.sensors_in_group(0));
+        assert_eq!(
+            table.borrow().stats().fresh as usize,
+            cfg.sensors_in_group(0)
+        );
+        let aos = build_group(&cfg.clone().with_aos_sensors(), 0, 42);
+        assert!(aos.table.is_none(), "reference path keeps boxed sensors");
+    }
+
+    #[test]
+    fn soa_and_aos_layouts_are_byte_identical() {
+        for seed in [5, 29] {
+            let cfg = ManyFlowConfig::quick(seed).with_series(Time::from_micros(100));
+            let soa = run(&cfg);
+            let aos = run(&cfg.clone().with_aos_sensors());
+            assert_eq!(
+                soa.shard.trace_digest, aos.shard.trace_digest,
+                "flow-keyed trace digests must match (seed {seed})"
+            );
+            assert_eq!(
+                mmt_telemetry::prometheus::render(&soa.shard.registry),
+                mmt_telemetry::prometheus::render(&aos.shard.registry),
+                "Prometheus text must match (seed {seed})"
+            );
+            assert_eq!(
+                mmt_telemetry::series::to_jsonl(&soa.shard.series),
+                mmt_telemetry::series::to_jsonl(&aos.shard.series),
+                "series JSONL must match (seed {seed})"
+            );
+            assert_eq!(soa.shard.events, aos.shard.events);
+            assert_eq!(soa.shard.packets, aos.shard.packets);
+        }
     }
 
     #[test]

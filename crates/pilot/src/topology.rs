@@ -3,6 +3,7 @@
 use mmt_core::buffer::{CreditConfig, RetransmitBufferStats};
 use mmt_core::buffer::{RetransmitBuffer, PORT_DAQ, PORT_WAN};
 use mmt_core::controller::{HealthSample, ModeController, ModeTransition};
+use mmt_core::flowtable::{FlowId, FlowTable};
 use mmt_core::receiver::{MmtReceiver, ReceiverConfig, ReceiverStats};
 use mmt_core::sender::{MmtSender, SenderConfig, SenderStats};
 use mmt_core::standby::{StandbyBuffer, StandbyBufferStats};
@@ -72,6 +73,13 @@ pub struct PilotConfig {
     /// wheel (differential testing only; see
     /// [`mmt_netsim::Simulator::with_heap_scheduler`]).
     pub heap_scheduler: bool,
+    /// House the pilot stream's adaptive state (mode word, deadline,
+    /// occupancy, retransmit-source slot) in a [`FlowTable`] row instead
+    /// of only inside the boxed controller. Behaviour-neutral: the
+    /// controller's word is parked in the table between control
+    /// intervals and thawed before each observation, so every decision
+    /// is byte-identical either way. Off only for differential testing.
+    pub flow_table: bool,
 }
 
 impl PilotConfig {
@@ -102,6 +110,7 @@ impl PilotConfig {
             restart_at: None,
             seed: 7,
             heap_scheduler: false,
+            flow_table: true,
         }
     }
 }
@@ -148,6 +157,15 @@ pub struct Pilot {
     /// DTN 1's WAN-facing egress link (dtn1 → tofino) — where drops land
     /// when the sensor overcommits the WAN (experiment E7).
     pub dtn1_egress: LinkId,
+    /// Dense per-flow state for the pilot stream (`None` when
+    /// `PilotConfig::flow_table` is off): the mode word is parked here
+    /// between control intervals, the deadline column holds the mode-2
+    /// budget, occupancy mirrors the retransmit buffer, and the
+    /// retransmit-source slot records which buffer (0 = primary DTN 1,
+    /// 1 = standby) currently serves NAKs.
+    pub flow_table: Option<FlowTable>,
+    /// The pilot stream's row in [`Pilot::flow_table`].
+    pub stream_flow: Option<FlowId>,
     config: PilotConfig,
 }
 
@@ -309,6 +327,21 @@ impl Pilot {
             }
         }
 
+        // --- flow-state row ---
+        let (flow_table, stream_flow) = if config.flow_table {
+            let mut table = FlowTable::with_capacity(1);
+            let id = table.alloc();
+            if let Some(id) = id {
+                table.set_deadline_ns(id, config.deadline_budget.as_nanos());
+                // Slot 0 = the primary retransmit buffer (DTN 1); a
+                // re-home flips this to 1 (the standby).
+                table.set_retx_slot(id, 0);
+            }
+            (Some(table), id)
+        } else {
+            (None, None)
+        };
+
         Pilot {
             sim,
             sensor,
@@ -320,6 +353,8 @@ impl Pilot {
             wan_link,
             wan_link_rev,
             dtn1_egress,
+            flow_table,
+            stream_flow,
             config,
         }
     }
@@ -349,6 +384,11 @@ impl Pilot {
         let mut prev_exhausted = 0u64;
         let mut prev_aged = 0u64;
         let mut applied = 0u64;
+        // Seed the flow row from the incoming controller so the first
+        // thaw below hands back exactly the state the caller passed in.
+        if let (Some(table), Some(id)) = (&mut self.flow_table, self.stream_flow) {
+            table.set_mode_word(id, controller.word());
+        }
         while self.sim.now() < horizon {
             let t = (self.sim.now() + interval).min(horizon);
             self.sim.run_until(t);
@@ -371,7 +411,28 @@ impl Pilot {
             prev_lost = lost;
             prev_exhausted = rcv_stats.nak_retries_exhausted;
             prev_aged = rcv_stats.aged_deliveries;
+            // Thaw the parked mode word, decide, park it again — the
+            // storage round-trip a flow-table-resident fleet performs per
+            // control interval. The word written back is the word read
+            // plus this observation, so decisions are byte-identical to
+            // the controller-resident path.
+            if let (Some(table), Some(id)) = (&mut self.flow_table, self.stream_flow) {
+                if let Some(word) = table.mode_word(id) {
+                    controller.load_word(word);
+                }
+            }
             let transitions = controller.observe(&sample);
+            if let (Some(table), Some(id)) = (&mut self.flow_table, self.stream_flow) {
+                table.set_mode_word(id, controller.word());
+                table.set_occupancy(id, occupancy.min(u64::from(u32::MAX)) as u32);
+                if transitions
+                    .iter()
+                    .any(|t| matches!(t, ModeTransition::ReHome { .. }))
+                {
+                    // The stream's NAK service moved to the standby.
+                    table.set_retx_slot(id, 1);
+                }
+            }
             // Each closed-loop observation is one mode-control decision;
             // the control channel is out-of-band, so its virtual-time
             // cost in the model is zero.
@@ -767,6 +828,44 @@ mod tests {
             r.receiver_retransmit_source,
             Some((addrs::DTN1, DTN1_NAK_PORT))
         );
+    }
+
+    #[test]
+    fn flow_table_row_is_behavior_neutral_and_mirrors_the_controller() {
+        use mmt_core::controller::ControllerConfig;
+        let mut cfg = PilotConfig::default_run();
+        cfg.message_count = 300;
+        cfg.wan_loss = LossModel::Random(0.05); // push the loss EWMA around
+        let run = |cfg: PilotConfig| {
+            let mut pilot = Pilot::build(cfg);
+            let mut controller = ModeController::new(ControllerConfig::default());
+            let applied =
+                pilot.run_adaptive(Time::from_secs(5), Time::from_millis(5), &mut controller);
+            (pilot, controller, applied)
+        };
+        let (with, c_with, applied_with) = run(cfg.clone());
+        let (without, c_without, applied_without) = run({
+            let mut c = cfg.clone();
+            c.flow_table = false;
+            c
+        });
+        // Behaviour-neutral: same decisions, same simulation, same
+        // telemetry, byte for byte.
+        assert_eq!(applied_with, applied_without);
+        assert_eq!(c_with.word(), c_without.word());
+        assert_eq!(*c_with.stats(), *c_without.stats());
+        assert_eq!(with.sim.events_processed(), without.sim.events_processed());
+        assert_eq!(
+            mmt_telemetry::prometheus::render(&with.metrics()),
+            mmt_telemetry::prometheus::render(&without.metrics())
+        );
+        // The table row mirrors the controller and the stream config.
+        let table = with.flow_table.as_ref().expect("flow table on by default");
+        let id = with.stream_flow.expect("stream row allocated");
+        assert_eq!(table.mode_word(id), Some(c_with.word()));
+        assert_eq!(table.deadline_ns(id), Some(cfg.deadline_budget.as_nanos()));
+        assert_eq!(table.retx_slot(id), Some(0), "no re-home: still primary");
+        assert!(without.flow_table.is_none());
     }
 
     #[test]

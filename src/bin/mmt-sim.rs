@@ -65,9 +65,16 @@ fn usage() -> ! {
          \x20         [--scheduler heap|wheel]  restrict the event-scheduler sweep to one\n\
          \x20                                   implementation (default: both, with digest\n\
          \x20                                   equality enforced across them)\n\
-         \x20         [--profile 0|1]           hot-path span profiler; prints per-stage\n\
-         \x20                                   attribution and records it in the report\n\
+         \x20         [--profile 0|1]           hot-path span profiler override (default:\n\
+         \x20                                   on for the full shape, off for --quick 1);\n\
+         \x20                                   when on, exits 1 if link_delivery attributes\n\
+         \x20                                   zero events (dead-profile smoke)\n\
+         \x20         [--budget FILE]           per-flow RSS budget file; exits 1 if any\n\
+         \x20                                   measured peak_rss_per_flow_bytes exceeds its\n\
+         \x20                                   budgeted cell by more than 10%\n\
          \x20         [--out FILE]              JSON report path (default BENCH_scale.json)\n\
+         \x20         memory ladder runs first (ascending K; explicit --sensors K measures\n\
+         \x20         K/10 and K) and records peak_rss_per_flow_bytes per cell\n\
          \x20 io-pilot sender→DTN→receiver over real UDP sockets (sans-io core,\n\
          \x20         real time). Default: both endpoints in-process over loopback.\n\
          \x20         [--listen ADDR]           run only the receiving half, bound to ADDR\n\
@@ -562,9 +569,13 @@ fn cmd_bench(flags: HashMap<String, String>) {
             std::process::exit(2);
         }
     };
+    // --profile is an override, not the source of truth: absent, the
+    // shape's default stands (full profiles so BENCH_scale.json always
+    // attributes stages; quick stays cheap for CI smoke).
     let profile = match flags.get("profile").map(String::as_str) {
-        None | Some("0") => false,
-        Some("1") => true,
+        None => None,
+        Some("0") => Some(false),
+        Some("1") => Some(true),
         Some(other) => {
             eprintln!("--profile must be 0 or 1, got {other}");
             std::process::exit(2);
@@ -575,13 +586,21 @@ fn cmd_bench(flags: HashMap<String, String>) {
     } else {
         ScaleBenchConfig::full()
     };
-    cfg.profile = profile;
+    if let Some(p) = profile {
+        cfg.profile = p;
+    }
     cfg.sensors = get(&flags, "sensors", cfg.sensors);
     cfg.packets_per_sensor = get(&flags, "packets", cfg.packets_per_sensor);
     cfg.seed = get(&flags, "seed", cfg.seed);
     if cfg.sensors == 0 || cfg.packets_per_sensor == 0 {
         eprintln!("--sensors and --packets must be ≥ 1");
         std::process::exit(2);
+    }
+    if flags.contains_key("sensors") {
+        // An explicit fleet size retargets the memory ladder too: a rung
+        // one decade down plus the target K.
+        let k = cfg.sensors;
+        cfg = cfg.with_memory_sensors(vec![(k / 10).max(1), k]);
     }
     match flags.get("scheduler").map(String::as_str) {
         None => {}
@@ -629,10 +648,42 @@ fn cmd_bench(flags: HashMap<String, String>) {
                 .collect::<Vec<f64>>(),
         );
     }
+    for cell in &result.memory {
+        println!(
+            "memory K={:<8} peak RSS {:>9} kB  peak_rss_per_flow_bytes {}",
+            cell.sensors, cell.peak_rss_kb, cell.peak_rss_per_flow_bytes
+        );
+    }
     if cfg.profile {
         println!("hot-path span profile (baseline run):");
+        let mut link_delivery_events = 0u64;
         for (stage, events, vtime_ns) in result.profile.rows() {
             println!("  {stage:<18} events {events:>10}  vtime {vtime_ns:>14} ns");
+            if stage == "link_delivery" {
+                link_delivery_events = events;
+            }
+        }
+        if link_delivery_events == 0 {
+            eprintln!(
+                "PROFILE SMOKE FAILURE: link_delivery attributed 0 events — stage \
+                 attribution is dead (every delivered packet must cross a link)"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = flags.get("budget") {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match scale::check_budget(&result.memory, &text) {
+                Ok(()) => println!("per-flow RSS within budget ({path})"),
+                Err(e) => {
+                    eprintln!("PER-FLOW RSS BUDGET EXCEEDED: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("could not read budget file {path}: {e}");
+                std::process::exit(2);
+            }
         }
     }
     println!(

@@ -1,0 +1,195 @@
+//! Differential flow-table equivalence: the struct-of-arrays flow-state
+//! core that replaced boxed per-sensor nodes must be *observationally
+//! identical* — not merely "close". Every digest the harness can
+//! produce (Prometheus text, trace digests, series JSONL) must be
+//! byte-equal between the SoA fleet and the seed AoS layout, across
+//! seeds, shard counts, and forced worker layouts — and between the
+//! pilot with its flow-table row wired in and without it.
+//!
+//! The AoS layout survives one release solely as the reference path for
+//! this suite; see DESIGN.md §14 for the borrow discipline and layout.
+
+use mmt::netsim::{FaultSpec, PeriodicOutage, ShardedSim, Time};
+use mmt::pilot::manyflow::{self, ManyFlowConfig};
+use mmt::pilot::{Pilot, PilotConfig};
+use mmt::protocol::controller::{ControllerConfig, ModeController};
+use mmt::telemetry::{prometheus, series};
+
+/// Everything observable from one many-flow fleet run.
+fn fleet_outputs(seed: u64, shards: usize, workers: usize, aos: bool) -> (String, u64, String) {
+    let mut cfg = ManyFlowConfig::quick(seed)
+        .with_shards(shards)
+        .with_series(Time::from_micros(100));
+    if aos {
+        cfg = cfg.with_aos_sensors();
+    }
+    let groups = cfg.dtns;
+    let sharded = ShardedSim::new(cfg.seed, cfg.shards).with_workers(workers);
+    let report = sharded.run(groups, |g, gs| manyflow::run_group(&cfg, g, gs));
+    (
+        prometheus::render(&report.registry),
+        report.trace_digest,
+        series::to_jsonl(&report.series),
+    )
+}
+
+#[test]
+fn manyflow_soa_and_aos_agree_for_eight_seeds_all_layouts() {
+    for seed in 1..=8u64 {
+        for shards in [1usize, 2, 4] {
+            for workers in [1usize, 2, 4] {
+                let (soa_prom, soa_digest, soa_series) =
+                    fleet_outputs(seed, shards, workers, false);
+                let (aos_prom, aos_digest, aos_series) = fleet_outputs(seed, shards, workers, true);
+                assert!(
+                    !soa_prom.is_empty(),
+                    "seed {seed}: fleet exported no metrics"
+                );
+                assert_eq!(
+                    soa_prom, aos_prom,
+                    "seed {seed} / {shards} shards / {workers} workers: \
+                     Prometheus output diverged between SoA and AoS flow state"
+                );
+                assert_eq!(
+                    soa_digest, aos_digest,
+                    "seed {seed} / {shards} shards / {workers} workers: \
+                     trace digest diverged between SoA and AoS flow state"
+                );
+                assert_eq!(
+                    soa_series, aos_series,
+                    "seed {seed} / {shards} shards / {workers} workers: \
+                     series JSONL diverged between SoA and AoS flow state"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn manyflow_soa_wheel_matches_aos_heap() {
+    // Cross product of the two differential axes: the SoA fleet on the
+    // production wheel scheduler must match the seed AoS layout on the
+    // reference heap. Catches interactions neither suite sees alone
+    // (e.g. a table-order bug masked by identical wheel cascades).
+    for seed in [3u64, 11] {
+        let soa_wheel = {
+            let cfg = ManyFlowConfig::quick(seed).with_shards(2);
+            let sharded = ShardedSim::new(cfg.seed, cfg.shards).with_workers(2);
+            sharded.run(cfg.dtns, |g, gs| manyflow::run_group(&cfg, g, gs))
+        };
+        let aos_heap = {
+            let cfg = ManyFlowConfig::quick(seed)
+                .with_shards(2)
+                .with_aos_sensors()
+                .with_heap_scheduler();
+            let sharded = ShardedSim::new(cfg.seed, cfg.shards).with_workers(2);
+            sharded.run(cfg.dtns, |g, gs| manyflow::run_group(&cfg, g, gs))
+        };
+        assert_eq!(
+            prometheus::render(&soa_wheel.registry),
+            prometheus::render(&aos_heap.registry),
+            "seed {seed}: SoA+wheel vs AoS+heap metrics"
+        );
+        assert_eq!(
+            soa_wheel.trace_digest, aos_heap.trace_digest,
+            "seed {seed}: SoA+wheel vs AoS+heap trace digest"
+        );
+        assert_eq!(soa_wheel.packets, aos_heap.packets);
+        assert_eq!(soa_wheel.events, aos_heap.events);
+    }
+}
+
+/// Everything observable from one Fig. 4 pilot run under the closed
+/// adaptation loop — the loop that parks the controller's mode word in
+/// the flow table and thaws it back every control interval.
+fn pilot_outputs(mut cfg: PilotConfig, flow_table: bool) -> (String, String, String, u64) {
+    cfg.flow_table = flow_table;
+    let mut pilot = Pilot::build(cfg);
+    pilot.enable_trace_bounded(4096);
+    pilot.enable_series(Time::from_millis(1));
+    let mut controller = ModeController::new(ControllerConfig::default());
+    let applied = pilot.run_adaptive(Time::from_secs(300), Time::from_millis(5), &mut controller);
+    let trace = pilot
+        .trace_records()
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (
+        prometheus::render(&pilot.metrics()),
+        trace,
+        series::to_jsonl(&pilot.take_series()),
+        applied,
+    )
+}
+
+#[test]
+fn faulted_pilot_flow_table_on_and_off_agree() {
+    // E12-style: composed WAN faults (reorder, duplication, jitter,
+    // periodic flaps) on top of corruption loss. The mode controller's
+    // word is parked in and thawed from the flow table every control
+    // interval, so a single misplaced bit in the round-trip shows up as
+    // diverged adaptation decisions and counters.
+    for seed in [7u64, 21, 63] {
+        let mut cfg = PilotConfig::default_run();
+        cfg.seed = seed;
+        cfg.message_count = 400;
+        cfg.wan_fault = FaultSpec::none()
+            .with_reorder(0.05, Time::from_micros(500))
+            .with_duplication(0.02, Time::from_micros(50))
+            .with_jitter(Time::from_micros(100))
+            .with_scheduled_outage(PeriodicOutage {
+                first_down: Time::from_micros(200),
+                down_for: Time::from_millis(2),
+                period: Time::from_millis(50),
+            });
+        let on = pilot_outputs(cfg.clone(), true);
+        let off = pilot_outputs(cfg, false);
+        assert_eq!(on.0, off.0, "seed {seed}: faulted pilot metrics");
+        assert_eq!(on.1, off.1, "seed {seed}: faulted pilot trace");
+        assert_eq!(on.2, off.2, "seed {seed}: faulted pilot series");
+        assert_eq!(
+            on.3, off.3,
+            "seed {seed}: faulted pilot transitions applied"
+        );
+    }
+}
+
+#[test]
+fn crash_failover_pilot_flow_table_on_and_off_agree() {
+    // E13-style: DTN 1 crashes mid-run with a standby in the chain, then
+    // restarts. Failover flips the flow's retransmit-buffer slot from
+    // primary to standby in the table; the flip must mirror — never
+    // drive — the recovery path.
+    for seed in [7u64, 42] {
+        let mut cfg = PilotConfig::default_run();
+        cfg.seed = seed;
+        cfg.message_count = 300;
+        cfg.standby = true;
+        cfg.crash_node = Some("dtn1".to_string());
+        cfg.crash_at = Time::from_millis(4);
+        cfg.restart_at = Some(Time::from_millis(40));
+        let on = pilot_outputs(cfg.clone(), true);
+        let off = pilot_outputs(cfg, false);
+        assert_eq!(on.0, off.0, "seed {seed}: failover pilot metrics");
+        assert_eq!(on.1, off.1, "seed {seed}: failover pilot trace");
+        assert_eq!(on.2, off.2, "seed {seed}: failover pilot series");
+        assert_eq!(
+            on.3, off.3,
+            "seed {seed}: failover pilot transitions applied"
+        );
+    }
+}
+
+#[test]
+fn layouts_actually_differ_in_implementation() {
+    // Differential sanity: a suite proving "A == B" is vacuous if both
+    // labels select the same layout. The SoA fleet must carry a live
+    // flow table sized to the fleet; the AoS escape hatch must not.
+    let cfg = ManyFlowConfig::quick(5);
+    let soa = manyflow::run(&cfg);
+    let aos = manyflow::run(&cfg.clone().with_aos_sensors());
+    assert!(soa.shard.packets > 0);
+    assert_eq!(soa.shard.packets, aos.shard.packets);
+    assert_eq!(soa.shard.trace_digest, aos.shard.trace_digest);
+}
